@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks: the raw costs behind the paper's figures —
+//! tag arithmetic, per-access policy overhead, index operations, and PM
+//! management operations.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use spp_bench::{fresh_pool, pmdk_policy, safepm_policy, spp_policy, uniform_keys};
+use spp_core::{MemoryPolicy, TagConfig};
+use spp_indices::{CTree, Index};
+
+/// Pure tag arithmetic: the register-only operations SPP adds to the hot
+/// path (no memory involved).
+fn bench_tag_ops(c: &mut Criterion) {
+    let cfg = TagConfig::default();
+    let p = cfg.make_tagged(0x1000, 4096);
+    let mut g = c.benchmark_group("tag_ops");
+    g.bench_function("make_tagged", |b| b.iter(|| cfg.make_tagged(black_box(0x1000), black_box(4096))));
+    g.bench_function("offset", |b| b.iter(|| cfg.offset(black_box(p), black_box(8))));
+    g.bench_function("check_bound", |b| b.iter(|| cfg.check_bound(black_box(p), black_box(8))));
+    g.bench_function("clean_tag", |b| b.iter(|| cfg.clean_tag(black_box(p))));
+    g.finish();
+}
+
+/// One 8-byte load through each policy: PMDK (bounds-free), SPP (tag math),
+/// SafePM (shadow lookup) — the per-access cost profile behind Fig. 4/5.
+fn bench_policy_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_access");
+    g.sample_size(30);
+
+    let pmdk = pmdk_policy(fresh_pool(1 << 22, 2));
+    let oid = pmdk.zalloc(4096).unwrap();
+    let ptr = pmdk.direct(oid);
+    g.bench_function("load_u64/PMDK", |b| b.iter(|| pmdk.load_u64(black_box(ptr)).unwrap()));
+
+    let spp = spp_policy(fresh_pool(1 << 22, 2), TagConfig::default());
+    let oid = spp.zalloc(4096).unwrap();
+    let ptr = spp.direct(oid);
+    g.bench_function("load_u64/SPP", |b| b.iter(|| spp.load_u64(black_box(ptr)).unwrap()));
+
+    let safepm = safepm_policy(fresh_pool(1 << 22, 2));
+    let oid = safepm.zalloc(4096).unwrap();
+    let ptr = safepm.direct(oid);
+    g.bench_function("load_u64/SafePM", |b| b.iter(|| safepm.load_u64(black_box(ptr)).unwrap()));
+    g.finish();
+}
+
+/// ctree insert+get under each variant (a small slice of Fig. 4).
+fn bench_ctree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ctree");
+    g.sample_size(10);
+    let keys = uniform_keys(2000, 0xC3);
+
+    fn insert_get<P: MemoryPolicy>(policy: Arc<P>, keys: &[u64]) {
+        let idx = CTree::create(policy).unwrap();
+        for &k in keys {
+            idx.insert(k, k).unwrap();
+        }
+        for &k in keys {
+            black_box(idx.get(k).unwrap());
+        }
+    }
+
+    g.bench_with_input(BenchmarkId::new("insert_get", "PMDK"), &keys, |b, keys| {
+        b.iter(|| insert_get(pmdk_policy(fresh_pool(64 << 20, 2)), keys))
+    });
+    g.bench_with_input(BenchmarkId::new("insert_get", "SPP"), &keys, |b, keys| {
+        b.iter(|| insert_get(spp_policy(fresh_pool(64 << 20, 2), TagConfig::default()), keys))
+    });
+    g.bench_with_input(BenchmarkId::new("insert_get", "SafePM"), &keys, |b, keys| {
+        b.iter(|| insert_get(safepm_policy(fresh_pool(64 << 20, 2)), keys))
+    });
+    g.finish();
+}
+
+/// Atomic alloc/free pairs under PMDK vs SPP (a slice of Fig. 7).
+fn bench_pm_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pm_ops");
+    g.sample_size(20);
+
+    let pmdk = pmdk_policy(fresh_pool(64 << 20, 2));
+    let home = pmdk.zalloc(64).unwrap();
+    let hp = pmdk.direct(home);
+    g.bench_function("alloc_free_256B/PMDK", |b| {
+        b.iter(|| {
+            let oid = pmdk.alloc_into_ptr(black_box(hp), 256).unwrap();
+            pmdk.free_from_ptr(hp, oid).unwrap();
+        })
+    });
+
+    let spp = spp_policy(fresh_pool(64 << 20, 2), TagConfig::default());
+    let home = spp.zalloc(64).unwrap();
+    let hp = spp.direct(home);
+    g.bench_function("alloc_free_256B/SPP", |b| {
+        b.iter(|| {
+            let oid = spp.alloc_into_ptr(black_box(hp), 256).unwrap();
+            spp.free_from_ptr(hp, oid).unwrap();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tag_ops, bench_policy_access, bench_ctree, bench_pm_ops);
+criterion_main!(benches);

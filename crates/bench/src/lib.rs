@@ -1,0 +1,146 @@
+//! Shared harness utilities for the table/figure regeneration binaries.
+//!
+//! Every binary prints the same rows/series the paper reports; see
+//! `EXPERIMENTS.md` at the workspace root for the recorded paper-vs-measured
+//! comparison. Each binary accepts `--quick` (tiny sizes for smoke runs)
+//! and simple `--key value` overrides.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use spp_core::{PmdkPolicy, SppPolicy, TagConfig};
+use spp_pm::{PmPool, PoolConfig};
+use spp_pmdk::{ObjPool, PoolOpts};
+use spp_safepm::SafePmPolicy;
+
+/// The three benchmarking variants of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Native PMDK.
+    Pmdk,
+    /// SafePM shadow memory.
+    SafePm,
+    /// Safe persistent pointers.
+    Spp,
+}
+
+impl Variant {
+    /// Figure order: baseline first.
+    pub const ALL: [Variant; 3] = [Variant::Pmdk, Variant::SafePm, Variant::Spp];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Pmdk => "PMDK",
+            Variant::SafePm => "SafePM",
+            Variant::Spp => "SPP",
+        }
+    }
+}
+
+/// Create a fresh device + object pool.
+pub fn fresh_pool(bytes: u64, lanes: usize) -> Arc<ObjPool> {
+    let pm = Arc::new(PmPool::new(PoolConfig::new(bytes).record_stats(false)));
+    Arc::new(ObjPool::create(pm, PoolOpts::new().lanes(lanes)).expect("pool create"))
+}
+
+/// Create a pool mapped low (for wide-tag configurations like Phoenix's).
+pub fn fresh_low_pool(bytes: u64, lanes: usize) -> Arc<ObjPool> {
+    let pm = Arc::new(PmPool::new(PoolConfig::new(bytes).base(0x10000).record_stats(false)));
+    Arc::new(ObjPool::create(pm, PoolOpts::new().lanes(lanes)).expect("pool create"))
+}
+
+/// Build the native policy.
+pub fn pmdk_policy(pool: Arc<ObjPool>) -> Arc<PmdkPolicy> {
+    Arc::new(PmdkPolicy::new(pool))
+}
+
+/// Build the SPP policy (26 tag bits unless overridden).
+pub fn spp_policy(pool: Arc<ObjPool>, cfg: TagConfig) -> Arc<SppPolicy> {
+    Arc::new(SppPolicy::new(pool, cfg).expect("spp policy"))
+}
+
+/// Build the SafePM policy (allocates the shadow).
+pub fn safepm_policy(pool: Arc<ObjPool>) -> Arc<SafePmPolicy> {
+    Arc::new(SafePmPolicy::create(pool).expect("safepm policy"))
+}
+
+/// Touch every page of the device so first-touch page faults of the
+/// simulated media do not pollute measurements.
+pub fn warm_pool(pool: &Arc<ObjPool>) {
+    let size = pool.pm().size();
+    let chunk = vec![0u8; 1 << 20];
+    let mut off = pool.heap_off();
+    while off < size {
+        let n = ((size - off) as usize).min(chunk.len());
+        // Writing zeros over the (still zero) heap dirties the pages for
+        // real — read faults would only map the shared zero page.
+        pool.write(off, &chunk[..n]).expect("warm write");
+        off += n as u64;
+    }
+}
+
+/// Time a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+/// Slowdown of `t` relative to `baseline` (1.0 = parity).
+pub fn slowdown(t: f64, baseline: f64) -> f64 {
+    if baseline > 0.0 {
+        t / baseline
+    } else {
+        f64::NAN
+    }
+}
+
+/// Minimal `--key value` / `--flag` argument scanning.
+#[derive(Debug, Clone)]
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Parse the process arguments.
+    pub fn parse() -> Self {
+        Args { raw: std::env::args().skip(1).collect() }
+    }
+
+    /// Whether `--name` was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == &format!("--{name}"))
+    }
+
+    /// The value after `--name`, parsed, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        let key = format!("--{name}");
+        self.raw
+            .iter()
+            .position(|a| a == &key)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+/// Uniform pseudo-random keys (pmembench's uniform 8-byte keys).
+pub fn uniform_keys(n: u64, seed: u64) -> Vec<u64> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        })
+        .collect()
+}
+
+/// Print a figure/table header.
+pub fn banner(title: &str) {
+    println!("==================================================================");
+    println!("{title}");
+    println!("==================================================================");
+}

@@ -1,0 +1,39 @@
+//! # spp-containers — the PMDK-example containers
+//!
+//! §VI-D of the paper applies SPP to "implementations of an array, a
+//! queue, a FIFO list, …" shipped as PMDK examples, and finds **three PM
+//! buffer overflows in the array example**: when `pmemobj_realloc` to a
+//! larger size fails, the example ignores the return value and fills the
+//! "newly allocated" array anyway, overflowing the original object
+//! (`array.c` lines 215/235/257).
+//!
+//! This crate rebuilds that example set over [`spp_core::MemoryPolicy`]:
+//!
+//! * [`PArray`] — a growable persistent array of `u64` elements, with both
+//!   the correct `resize` and the example's **buggy** `resize_unchecked`
+//!   path reproducing the real bug;
+//! * [`PQueue`] — a bounded persistent ring-buffer queue;
+//! * [`PList`] — a FIFO singly-linked list (`fifo.c`);
+//! * [`PString`] — a persistent string built on the wrapped string
+//!   functions (`strcpy`/`strcat` interposition of §IV-D);
+//! * [`PSlab`] — a fixed-slot persistent slab allocator;
+//! * [`buffon_needle`] / [`estimate_pi`] — the Monte-Carlo example
+//!   programs, accumulating their state in PM ("the remaining examples do
+//!   not report any error throughout their execution", §VI-D).
+//!
+//! All mutations are transactional (crash-consistent); everything runs
+//! unmodified under `PMDK`, `SPP` and `SafePM`.
+
+mod monte_carlo;
+mod parray;
+mod plist;
+mod pqueue;
+mod pslab;
+mod pstring;
+
+pub use monte_carlo::{buffon_needle, estimate_pi};
+pub use parray::PArray;
+pub use plist::PList;
+pub use pqueue::PQueue;
+pub use pslab::PSlab;
+pub use pstring::PString;

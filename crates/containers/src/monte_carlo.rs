@@ -1,0 +1,100 @@
+//! The Monte-Carlo example programs of §VI-D: Buffon's needle and a π
+//! estimator, accumulating their trial counters in PM objects. The paper
+//! runs these under SPP and observes no (false) errors — our tests do the
+//! same under all three policies.
+
+use spp_core::{MemoryPolicy, Result};
+
+/// Deterministic xorshift for reproducible "randomness".
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Buffon's needle: drop `trials` unit needles on unit-spaced lines and
+/// estimate π from the crossing frequency. State (trials, crossings) lives
+/// in an 16-byte PM object updated per batch; returns the estimate ×1000
+/// as an integer.
+///
+/// # Errors
+///
+/// Allocation errors or (false-positive) safety violations — the point of
+/// the §VI-D experiment is that none occur.
+pub fn buffon_needle<P: MemoryPolicy>(p: &P, trials: u64, seed: u64) -> Result<u64> {
+    let state = p.zalloc(16)?;
+    let sptr = p.direct(state);
+    let mut rng = seed | 1;
+    let mut crossings = 0u64;
+    for _ in 0..trials {
+        // Needle centre distance to nearest line in [0, 0.5], angle in
+        // [0, pi/2] — fixed-point with 1e6 denominators.
+        let d = xorshift(&mut rng) % 500_000; // distance * 1e6
+        let theta = (xorshift(&mut rng) % 1_570_796) as f64 / 1e6;
+        let reach = (theta.sin() * 500_000.0) as u64; // (L/2) sin θ * 1e6
+        if d <= reach {
+            crossings += 1;
+        }
+    }
+    p.store_u64(sptr, trials)?;
+    p.store_u64(p.gep(sptr, 8), crossings)?;
+    p.persist(sptr, 16)?;
+    // π ≈ 2 * trials / crossings (L = spacing = 1).
+    let t = p.load_u64(sptr)?;
+    let c = p.load_u64(p.gep(sptr, 8))?.max(1);
+    Ok(2000 * t / c)
+}
+
+/// Estimate π by sampling points in the unit square, batching counters
+/// through a PM accumulator array; returns the estimate ×1000.
+///
+/// # Errors
+///
+/// As [`buffon_needle`].
+pub fn estimate_pi<P: MemoryPolicy>(p: &P, trials: u64, seed: u64) -> Result<u64> {
+    // 8 accumulator slots to exercise strided PM writes.
+    let acc = p.zalloc(64)?;
+    let aptr = p.direct(acc);
+    let mut rng = seed | 1;
+    for i in 0..trials {
+        let x = xorshift(&mut rng) % 1_000_000;
+        let y = xorshift(&mut rng) % 1_000_000;
+        if x * x + y * y <= 1_000_000_000_000 {
+            let slot = p.gep(aptr, ((i % 8) * 8) as i64);
+            let v = p.load_u64(slot)?;
+            p.store_u64(slot, v + 1)?;
+        }
+    }
+    p.persist(aptr, 64)?;
+    let mut inside = 0u64;
+    for s in 0..8 {
+        inside += p.load_u64(p.gep(aptr, s * 8))?;
+    }
+    Ok(4000 * inside / trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_core::{SppPolicy, TagConfig};
+    use spp_pm::{PmPool, PoolConfig};
+    use spp_pmdk::{ObjPool, PoolOpts};
+    use std::sync::Arc;
+
+    fn spp() -> SppPolicy {
+        let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 20)));
+        let pool = Arc::new(ObjPool::create(pm, PoolOpts::small()).unwrap());
+        SppPolicy::new(pool, TagConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn pi_estimates_land_near_pi() {
+        let p = spp();
+        let buffon = buffon_needle(&p, 20_000, 7).unwrap();
+        let pi = estimate_pi(&p, 20_000, 11).unwrap();
+        // ×1000 fixed point: π ≈ 3141. Monte-Carlo tolerance ±10%.
+        assert!((2800..3500).contains(&buffon), "buffon gave {buffon}");
+        assert!((2900..3400).contains(&pi), "pi gave {pi}");
+    }
+}

@@ -1,0 +1,218 @@
+//! The PMDK `array` example: a growable persistent array — including its
+//! real unchecked-realloc overflow (§VI-D).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use spp_core::{MemoryPolicy, Result, SppError};
+use spp_pmdk::PmemOid;
+
+// Meta layout: data oid @0, len @oid_size, cap @oid_size+8.
+const M_DATA: u64 = 0;
+
+/// A persistent growable array of `u64` elements.
+pub struct PArray<P: MemoryPolicy> {
+    policy: Arc<P>,
+    meta: PmemOid,
+    os: u64,
+    write_lock: Mutex<()>,
+}
+
+impl<P: MemoryPolicy> PArray<P> {
+    fn m_len(&self) -> u64 {
+        self.os
+    }
+    fn m_cap(&self) -> u64 {
+        self.os + 8
+    }
+    fn meta_size(os: u64) -> u64 {
+        os + 16
+    }
+
+    /// Create an array with capacity for `cap` elements.
+    ///
+    /// # Errors
+    ///
+    /// Allocation errors.
+    pub fn create(policy: Arc<P>, cap: u64) -> Result<Self> {
+        let os = policy.oid_kind().on_media_size();
+        let meta = policy.zalloc(Self::meta_size(os))?;
+        let mptr = policy.direct(meta);
+        policy.zalloc_into_ptr(policy.gep(mptr, M_DATA as i64), cap.max(1) * 8)?;
+        policy.store_u64(policy.gep(mptr, (os + 8) as i64), cap.max(1))?;
+        policy.persist(mptr, Self::meta_size(os))?;
+        Ok(PArray { policy, meta, os, write_lock: Mutex::new(()) })
+    }
+
+    /// Re-attach to an existing array by its metadata oid.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn open(policy: Arc<P>, meta: PmemOid) -> Result<Self> {
+        let os = policy.oid_kind().on_media_size();
+        Ok(PArray { policy, meta, os, write_lock: Mutex::new(()) })
+    }
+
+    /// The durable metadata oid (store it in the pool root).
+    pub fn meta(&self) -> PmemOid {
+        self.meta
+    }
+
+    fn mptr(&self) -> u64 {
+        self.policy.direct(self.meta)
+    }
+
+    /// Number of elements.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn len(&self) -> Result<u64> {
+        self.policy.load_u64(self.policy.gep(self.mptr(), self.m_len() as i64))
+    }
+
+    /// Whether the array is empty.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Current capacity in elements.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn capacity(&self) -> Result<u64> {
+        self.policy.load_u64(self.policy.gep(self.mptr(), self.m_cap() as i64))
+    }
+
+    fn data(&self) -> Result<PmemOid> {
+        self.policy.load_oid(self.policy.gep(self.mptr(), M_DATA as i64))
+    }
+
+    /// Read element `i` (`None` past the end).
+    ///
+    /// # Errors
+    ///
+    /// Detected safety violations.
+    pub fn get(&self, i: u64) -> Result<Option<u64>> {
+        if i >= self.len()? {
+            return Ok(None);
+        }
+        let p = &*self.policy;
+        let dptr = p.direct(self.data()?);
+        Ok(Some(p.load_u64(p.gep(dptr, (i * 8) as i64))?))
+    }
+
+    /// Overwrite element `i`.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range writes surface as detected violations under protecting
+    /// policies; logically out-of-range but in-capacity writes are rejected
+    /// with [`SppError::Fault`]-free index checks here.
+    pub fn set(&self, i: u64, v: u64) -> Result<()> {
+        let _g = self.write_lock.lock();
+        let p = &*self.policy;
+        if i >= self.len()? {
+            return Err(SppError::Pmdk(spp_pmdk::PmdkError::InvalidOid { off: i }));
+        }
+        let dptr = p.direct(self.data()?);
+        p.pool().tx(|tx| -> Result<()> { p.tx_write_u64(tx, p.gep(dptr, (i * 8) as i64), v) })
+    }
+
+    /// Append an element, doubling the capacity if needed (the *correct*
+    /// variant of the example: the realloc result is checked).
+    ///
+    /// # Errors
+    ///
+    /// Allocation or transaction errors.
+    pub fn push(&self, v: u64) -> Result<()> {
+        let _g = self.write_lock.lock();
+        let p = &*self.policy;
+        let len = self.len()?;
+        let cap = self.capacity()?;
+        if len == cap {
+            self.grow(cap * 2)?;
+        }
+        let dptr = p.direct(self.data()?);
+        p.pool().tx(|tx| -> Result<()> {
+            let slot = p.gep(dptr, (len * 8) as i64);
+            p.store_u64(slot, v)?;
+            p.persist(slot, 8)?;
+            p.tx_write_u64(tx, p.gep(self.mptr(), self.m_len() as i64), len + 1)
+        })
+    }
+
+    /// Resize the backing object to hold `new_cap` elements.
+    ///
+    /// # Errors
+    ///
+    /// [`spp_pmdk::PmdkError::OutOfMemory`] — the original array is
+    /// untouched in that case (the property the buggy path ignores).
+    pub fn grow(&self, new_cap: u64) -> Result<()> {
+        let p = &*self.policy;
+        let data = self.data()?;
+        let dest = p.gep(self.mptr(), M_DATA as i64);
+        p.realloc_from_ptr(dest, data, new_cap * 8)?;
+        p.pool().tx(|tx| -> Result<()> {
+            p.tx_write_u64(tx, p.gep(self.mptr(), self.m_cap() as i64), new_cap)
+        })
+    }
+
+    /// The §VI-D bug (PMDK array example, lines 215/235/257): request a
+    /// reallocation, **ignore its result**, and fill the array to the new
+    /// size anyway. When the reallocation failed, the fill runs off the end
+    /// of the original object — silent corruption under native PMDK, an
+    /// overflow detection under SPP/SafePM.
+    ///
+    /// `new_cap` should be chosen to make the reallocation fail (e.g.
+    /// larger than the remaining pool space).
+    ///
+    /// # Errors
+    ///
+    /// Under protecting policies: the detected overflow. Under native PMDK:
+    /// usually `Ok` — corruption is silent.
+    pub fn resize_unchecked(&self, new_cap: u64) -> Result<()> {
+        let _g = self.write_lock.lock();
+        let p = &*self.policy;
+        let data = self.data()?;
+        let dest = p.gep(self.mptr(), M_DATA as i64);
+        // The example's bug: the return value is dropped on the floor.
+        let _ = p.realloc_from_ptr(dest, data, new_cap * 8);
+        // ... and the "resized" array is filled to the new capacity.
+        let dptr = p.direct(self.data()?);
+        for i in 0..new_cap {
+            p.store_u64(p.gep(dptr, (i * 8) as i64), 0)?;
+        }
+        p.persist(dptr, 8)?;
+        p.pool().tx(|tx| -> Result<()> {
+            p.tx_write_u64(tx, p.gep(self.mptr(), self.m_cap() as i64), new_cap)
+        })
+    }
+
+    /// Pop the last element.
+    ///
+    /// # Errors
+    ///
+    /// Transaction errors.
+    pub fn pop(&self) -> Result<Option<u64>> {
+        let _g = self.write_lock.lock();
+        let p = &*self.policy;
+        let len = self.len()?;
+        if len == 0 {
+            return Ok(None);
+        }
+        let dptr = p.direct(self.data()?);
+        let v = p.load_u64(p.gep(dptr, ((len - 1) * 8) as i64))?;
+        p.pool().tx(|tx| -> Result<()> {
+            p.tx_write_u64(tx, p.gep(self.mptr(), self.m_len() as i64), len - 1)
+        })?;
+        Ok(Some(v))
+    }
+}

@@ -1,0 +1,150 @@
+//! The PMDK `fifo` example: a persistent singly-linked FIFO list.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use spp_core::{MemoryPolicy, Result};
+use spp_pmdk::PmemOid;
+
+/// A persistent FIFO list of `u64` values (push at the tail, pop at the
+/// head), every mutation one transaction.
+///
+/// Meta layout: `head oid | tail oid | count`. Node: `next oid | value`.
+pub struct PList<P: MemoryPolicy> {
+    policy: Arc<P>,
+    meta: PmemOid,
+    os: u64,
+    write_lock: Mutex<()>,
+}
+
+impl<P: MemoryPolicy> PList<P> {
+    fn m_tail(&self) -> u64 {
+        self.os
+    }
+    fn m_count(&self) -> u64 {
+        self.os * 2
+    }
+    fn node_size(&self) -> u64 {
+        self.os + 8
+    }
+
+    /// Create an empty list.
+    ///
+    /// # Errors
+    ///
+    /// Allocation errors.
+    pub fn create(policy: Arc<P>) -> Result<Self> {
+        let os = policy.oid_kind().on_media_size();
+        let meta = policy.zalloc(os * 2 + 8)?;
+        Ok(PList { policy, meta, os, write_lock: Mutex::new(()) })
+    }
+
+    /// Re-attach by metadata oid.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn open(policy: Arc<P>, meta: PmemOid) -> Result<Self> {
+        let os = policy.oid_kind().on_media_size();
+        Ok(PList { policy, meta, os, write_lock: Mutex::new(()) })
+    }
+
+    /// The durable metadata oid.
+    pub fn meta(&self) -> PmemOid {
+        self.meta
+    }
+
+    fn mptr(&self) -> u64 {
+        self.policy.direct(self.meta)
+    }
+
+    /// Number of elements.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn len(&self) -> Result<u64> {
+        self.policy.load_u64(self.policy.gep(self.mptr(), self.m_count() as i64))
+    }
+
+    /// Whether the list is empty.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Append at the tail.
+    ///
+    /// # Errors
+    ///
+    /// Allocation/transaction errors.
+    pub fn push_back(&self, v: u64) -> Result<()> {
+        let _g = self.write_lock.lock();
+        let p = &*self.policy;
+        let mptr = self.mptr();
+        p.pool().tx(|tx| -> Result<()> {
+            let node = p.tx_alloc(tx, self.node_size(), true)?;
+            let nptr = p.direct(node);
+            p.store_u64(p.gep(nptr, self.os as i64), v)?;
+            p.persist(nptr, self.node_size())?;
+            let tail = p.load_oid(p.gep(mptr, self.m_tail() as i64))?;
+            if tail.is_null() {
+                p.tx_write_oid(tx, mptr, node)?; // head
+            } else {
+                p.tx_write_oid(tx, p.direct(tail), node)?; // tail.next
+            }
+            p.tx_write_oid(tx, p.gep(mptr, self.m_tail() as i64), node)?;
+            let count = p.load_u64(p.gep(mptr, self.m_count() as i64))?;
+            p.tx_write_u64(tx, p.gep(mptr, self.m_count() as i64), count + 1)
+        })
+    }
+
+    /// Pop from the head.
+    ///
+    /// # Errors
+    ///
+    /// Transaction errors or detected violations.
+    pub fn pop_front(&self) -> Result<Option<u64>> {
+        let _g = self.write_lock.lock();
+        let p = &*self.policy;
+        let mptr = self.mptr();
+        let head = p.load_oid(mptr)?;
+        if head.is_null() {
+            return Ok(None);
+        }
+        let hptr = p.direct(head);
+        let v = p.load_u64(p.gep(hptr, self.os as i64))?;
+        let next = p.load_oid(hptr)?;
+        p.pool().tx(|tx| -> Result<()> {
+            p.tx_write_oid(tx, mptr, next)?;
+            if next.is_null() {
+                p.tx_write_oid(tx, p.gep(mptr, self.m_tail() as i64), PmemOid::NULL)?;
+            }
+            let count = p.load_u64(p.gep(mptr, self.m_count() as i64))?;
+            p.tx_write_u64(tx, p.gep(mptr, self.m_count() as i64), count - 1)?;
+            p.tx_free(tx, head)
+        })?;
+        Ok(Some(v))
+    }
+
+    /// Collect all values front-to-back (diagnostics/tests).
+    ///
+    /// # Errors
+    ///
+    /// Detected violations while walking.
+    pub fn to_vec(&self) -> Result<Vec<u64>> {
+        let p = &*self.policy;
+        let mut out = Vec::new();
+        let mut cur = p.load_oid(self.mptr())?;
+        while !cur.is_null() {
+            let nptr = p.direct(cur);
+            out.push(p.load_u64(p.gep(nptr, self.os as i64))?);
+            cur = p.load_oid(nptr)?;
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,137 @@
+//! The PMDK `queue` example: a bounded persistent ring buffer.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use spp_core::{MemoryPolicy, Result};
+use spp_pmdk::PmemOid;
+
+/// A persistent bounded FIFO queue of `u64` values.
+///
+/// Meta layout: `data oid | cap | head | count` (ring indices). Enqueue and
+/// dequeue are single transactions.
+pub struct PQueue<P: MemoryPolicy> {
+    policy: Arc<P>,
+    meta: PmemOid,
+    os: u64,
+    write_lock: Mutex<()>,
+}
+
+impl<P: MemoryPolicy> PQueue<P> {
+    fn m_cap(&self) -> u64 {
+        self.os
+    }
+    fn m_head(&self) -> u64 {
+        self.os + 8
+    }
+    fn m_count(&self) -> u64 {
+        self.os + 16
+    }
+
+    /// Create a queue holding at most `cap` elements.
+    ///
+    /// # Errors
+    ///
+    /// Allocation errors.
+    pub fn create(policy: Arc<P>, cap: u64) -> Result<Self> {
+        let os = policy.oid_kind().on_media_size();
+        let meta = policy.zalloc(os + 24)?;
+        let mptr = policy.direct(meta);
+        policy.zalloc_into_ptr(mptr, cap.max(1) * 8)?;
+        policy.store_u64(policy.gep(mptr, os as i64), cap.max(1))?;
+        policy.persist(mptr, os + 24)?;
+        Ok(PQueue { policy, meta, os, write_lock: Mutex::new(()) })
+    }
+
+    /// Re-attach by metadata oid.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn open(policy: Arc<P>, meta: PmemOid) -> Result<Self> {
+        let os = policy.oid_kind().on_media_size();
+        Ok(PQueue { policy, meta, os, write_lock: Mutex::new(()) })
+    }
+
+    /// The durable metadata oid.
+    pub fn meta(&self) -> PmemOid {
+        self.meta
+    }
+
+    fn mptr(&self) -> u64 {
+        self.policy.direct(self.meta)
+    }
+
+    fn state(&self) -> Result<(PmemOid, u64, u64, u64)> {
+        let p = &*self.policy;
+        let mptr = self.mptr();
+        let data = p.load_oid(mptr)?;
+        let cap = p.load_u64(p.gep(mptr, self.m_cap() as i64))?;
+        let head = p.load_u64(p.gep(mptr, self.m_head() as i64))?;
+        let count = p.load_u64(p.gep(mptr, self.m_count() as i64))?;
+        Ok((data, cap, head, count))
+    }
+
+    /// Number of queued elements.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn len(&self) -> Result<u64> {
+        Ok(self.state()?.3)
+    }
+
+    /// Whether the queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Enqueue; returns `false` when full.
+    ///
+    /// # Errors
+    ///
+    /// Transaction errors or detected violations.
+    pub fn enqueue(&self, v: u64) -> Result<bool> {
+        let _g = self.write_lock.lock();
+        let p = &*self.policy;
+        let (data, cap, head, count) = self.state()?;
+        if count == cap {
+            return Ok(false);
+        }
+        let slot_idx = (head + count) % cap;
+        let dptr = p.direct(data);
+        p.pool().tx(|tx| -> Result<()> {
+            let slot = p.gep(dptr, (slot_idx * 8) as i64);
+            p.store_u64(slot, v)?;
+            p.persist(slot, 8)?;
+            p.tx_write_u64(tx, p.gep(self.mptr(), self.m_count() as i64), count + 1)
+        })?;
+        Ok(true)
+    }
+
+    /// Dequeue the oldest element.
+    ///
+    /// # Errors
+    ///
+    /// Transaction errors or detected violations.
+    pub fn dequeue(&self) -> Result<Option<u64>> {
+        let _g = self.write_lock.lock();
+        let p = &*self.policy;
+        let (data, cap, head, count) = self.state()?;
+        if count == 0 {
+            return Ok(None);
+        }
+        let dptr = p.direct(data);
+        let v = p.load_u64(p.gep(dptr, (head * 8) as i64))?;
+        p.pool().tx(|tx| -> Result<()> {
+            p.tx_write_u64(tx, p.gep(self.mptr(), self.m_head() as i64), (head + 1) % cap)?;
+            p.tx_write_u64(tx, p.gep(self.mptr(), self.m_count() as i64), count - 1)
+        })?;
+        Ok(Some(v))
+    }
+}

@@ -1,0 +1,147 @@
+//! A persistent NUL-terminated string built on the wrapped string
+//! functions (§IV-D): `strcpy`/`strcat` run through the policy's
+//! interposed wrappers, so capacity bugs surface exactly as in C.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use spp_core::{MemoryPolicy, Result};
+use spp_pmdk::PmemOid;
+
+/// A persistent string with explicit capacity management.
+///
+/// Meta layout: `data oid | cap`. The payload is a C string (NUL inside
+/// the object), manipulated with the wrapped `strcpy`/`strcat`.
+pub struct PString<P: MemoryPolicy> {
+    policy: Arc<P>,
+    meta: PmemOid,
+    os: u64,
+    write_lock: Mutex<()>,
+}
+
+impl<P: MemoryPolicy> PString<P> {
+    /// Create from an initial value with at least `cap` bytes of capacity
+    /// (NUL included).
+    ///
+    /// # Errors
+    ///
+    /// Allocation errors; a detected violation if `cap` cannot hold the
+    /// initial value.
+    pub fn create(policy: Arc<P>, initial: &str, cap: u64) -> Result<Self> {
+        let os = policy.oid_kind().on_media_size();
+        let cap = cap.max(initial.len() as u64 + 1);
+        let meta = policy.zalloc(os + 8)?;
+        let mptr = policy.direct(meta);
+        let data = policy.zalloc_into_ptr(mptr, cap)?;
+        policy.store_u64(policy.gep(mptr, os as i64), cap)?;
+        policy.persist(mptr, os + 8)?;
+        let dptr = policy.direct(data);
+        policy.store(dptr, initial.as_bytes())?;
+        policy.store(policy.gep(dptr, initial.len() as i64), &[0])?;
+        policy.persist(dptr, initial.len() as u64 + 1)?;
+        Ok(PString { policy, meta, os, write_lock: Mutex::new(()) })
+    }
+
+    /// The durable metadata oid.
+    pub fn meta(&self) -> PmemOid {
+        self.meta
+    }
+
+    fn mptr(&self) -> u64 {
+        self.policy.direct(self.meta)
+    }
+
+    fn data_ptr(&self) -> Result<u64> {
+        Ok(self.policy.direct(self.policy.load_oid(self.mptr())?))
+    }
+
+    /// Length via the wrapped `strlen`.
+    ///
+    /// # Errors
+    ///
+    /// Detected violations (e.g. lost terminator).
+    pub fn len(&self) -> Result<u64> {
+        self.policy.strlen(self.data_ptr()?)
+    }
+
+    /// Whether the string is empty.
+    ///
+    /// # Errors
+    ///
+    /// As [`PString::len`].
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Capacity in bytes (including the NUL).
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn capacity(&self) -> Result<u64> {
+        self.policy.load_u64(self.policy.gep(self.mptr(), self.os as i64))
+    }
+
+    /// Read out as a Rust `String`.
+    ///
+    /// # Errors
+    ///
+    /// Detected violations.
+    pub fn to_string_lossy(&self) -> Result<String> {
+        let len = self.len()?;
+        let mut buf = vec![0u8; len as usize];
+        self.policy.load(self.data_ptr()?, &mut buf)?;
+        Ok(String::from_utf8_lossy(&buf).into_owned())
+    }
+
+    /// Append `other`, growing the backing object first so the wrapped
+    /// `strcat` has room — the *correct* variant.
+    ///
+    /// # Errors
+    ///
+    /// Allocation errors; violations only on internal bugs.
+    pub fn append(&self, other: &str) -> Result<()> {
+        let _g = self.write_lock.lock();
+        let p = &*self.policy;
+        let needed = self.len()? + other.len() as u64 + 1;
+        if needed > self.capacity()? {
+            let data = p.load_oid(self.mptr())?;
+            p.realloc_from_ptr(self.mptr(), data, needed * 2)?;
+            p.pool().tx(|tx| -> Result<()> {
+                p.tx_write_u64(tx, p.gep(self.mptr(), self.os as i64), needed * 2)
+            })?;
+        }
+        self.raw_strcat(other)
+    }
+
+    /// Append **without** checking capacity — the classic C string bug.
+    /// The wrapped `strcat` validates the destination range against the
+    /// object bounds, so an overflowing append is detected under SPP and
+    /// SafePM and silently corrupts the neighbouring object under PMDK.
+    ///
+    /// # Errors
+    ///
+    /// The detected overflow, under protecting policies.
+    pub fn append_unchecked(&self, other: &str) -> Result<()> {
+        let _g = self.write_lock.lock();
+        self.raw_strcat(other)
+    }
+
+    fn raw_strcat(&self, other: &str) -> Result<()> {
+        let p = &*self.policy;
+        // Stage the suffix as a temporary PM string (the wrappers operate
+        // on PM pointers, like the interposed C functions).
+        let tmp = p.zalloc(other.len() as u64 + 1)?;
+        let tptr = p.direct(tmp);
+        p.store(tptr, other.as_bytes())?;
+        p.store(p.gep(tptr, other.len() as i64), &[0])?;
+        let dst = self.data_ptr()?;
+        let result = p.strcat(dst, tptr);
+        p.free(tmp)?;
+        result?;
+        let len = p.strlen(dst)?;
+        p.persist(dst, len + 1)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,258 @@
+//! Container behaviour under every policy + the §VI-D array-example bug.
+
+use std::sync::Arc;
+
+use spp_containers::{PArray, PList, PQueue, PString};
+use spp_core::{MemoryPolicy, PmdkPolicy, SppError, SppPolicy, TagConfig};
+use spp_pm::{PmPool, PoolConfig};
+use spp_pmdk::{ObjPool, PoolOpts};
+use spp_safepm::SafePmPolicy;
+
+fn pool(bytes: u64) -> Arc<ObjPool> {
+    let pm = Arc::new(PmPool::new(PoolConfig::new(bytes)));
+    Arc::new(ObjPool::create(pm, PoolOpts::small()).unwrap())
+}
+
+fn pmdk(bytes: u64) -> Arc<PmdkPolicy> {
+    Arc::new(PmdkPolicy::new(pool(bytes)))
+}
+
+fn spp(bytes: u64) -> Arc<SppPolicy> {
+    Arc::new(SppPolicy::new(pool(bytes), TagConfig::default()).unwrap())
+}
+
+fn safepm(bytes: u64) -> Arc<SafePmPolicy> {
+    Arc::new(SafePmPolicy::create(pool(bytes)).unwrap())
+}
+
+fn array_suite<P: MemoryPolicy>(policy: Arc<P>) {
+    let arr = PArray::create(policy, 4).unwrap();
+    assert!(arr.is_empty().unwrap());
+    for i in 0..100u64 {
+        arr.push(i * 3).unwrap(); // forces several growths
+    }
+    assert_eq!(arr.len().unwrap(), 100);
+    assert!(arr.capacity().unwrap() >= 100);
+    for i in 0..100u64 {
+        assert_eq!(arr.get(i).unwrap(), Some(i * 3));
+    }
+    assert_eq!(arr.get(100).unwrap(), None);
+    arr.set(50, 999).unwrap();
+    assert_eq!(arr.get(50).unwrap(), Some(999));
+    assert!(arr.set(100, 1).is_err());
+    assert_eq!(arr.pop().unwrap(), Some(99 * 3));
+    assert_eq!(arr.len().unwrap(), 99);
+}
+
+#[test]
+fn array_roundtrip_all_policies() {
+    array_suite(pmdk(1 << 22));
+    array_suite(spp(1 << 22));
+    array_suite(safepm(1 << 22));
+}
+
+#[test]
+fn queue_ring_semantics() {
+    let q = PQueue::create(spp(1 << 22), 3).unwrap();
+    assert_eq!(q.dequeue().unwrap(), None);
+    assert!(q.enqueue(1).unwrap());
+    assert!(q.enqueue(2).unwrap());
+    assert!(q.enqueue(3).unwrap());
+    assert!(!q.enqueue(4).unwrap()); // full
+    assert_eq!(q.dequeue().unwrap(), Some(1));
+    assert!(q.enqueue(4).unwrap()); // wraps
+    assert_eq!(q.dequeue().unwrap(), Some(2));
+    assert_eq!(q.dequeue().unwrap(), Some(3));
+    assert_eq!(q.dequeue().unwrap(), Some(4));
+    assert!(q.is_empty().unwrap());
+}
+
+#[test]
+fn list_fifo_order() {
+    let l = PList::create(spp(1 << 22)).unwrap();
+    for i in 0..50u64 {
+        l.push_back(i).unwrap();
+    }
+    assert_eq!(l.len().unwrap(), 50);
+    assert_eq!(l.to_vec().unwrap(), (0..50).collect::<Vec<_>>());
+    for i in 0..50u64 {
+        assert_eq!(l.pop_front().unwrap(), Some(i));
+    }
+    assert_eq!(l.pop_front().unwrap(), None);
+    assert!(l.is_empty().unwrap());
+    // Interleaved use after emptying.
+    l.push_back(9).unwrap();
+    assert_eq!(l.pop_front().unwrap(), Some(9));
+}
+
+#[test]
+fn string_append_grows() {
+    let s = PString::create(spp(1 << 22), "hello", 8).unwrap();
+    assert_eq!(s.len().unwrap(), 5);
+    s.append(", persistent world").unwrap();
+    assert_eq!(s.to_string_lossy().unwrap(), "hello, persistent world");
+    assert!(s.capacity().unwrap() >= 24);
+}
+
+mod array_bug_vi_d {
+    //! The array example's unchecked-realloc overflow (§VI-D).
+    use super::*;
+
+    /// Fill most of a small pool so the growth realloc must fail.
+    fn exhausted_array<P: MemoryPolicy>(policy: &Arc<P>) -> PArray<P> {
+        let arr = PArray::create(Arc::clone(policy), 64).unwrap();
+        // Consume the remaining heap.
+        while policy.zalloc(16 * 1024).is_ok() {}
+        arr
+    }
+
+    #[test]
+    fn spp_detects_the_failed_realloc_fill() {
+        let policy = spp(1 << 20);
+        let arr = exhausted_array(&policy);
+        let err = arr.resize_unchecked(100_000).unwrap_err();
+        assert!(
+            matches!(err, SppError::OverflowDetected { mechanism: "overflow-bit", .. }),
+            "expected overflow detection, got {err}"
+        );
+    }
+
+    #[test]
+    fn safepm_detects_it_too() {
+        let policy = safepm(1 << 20);
+        let arr = exhausted_array(&policy);
+        let err = arr.resize_unchecked(100_000).unwrap_err();
+        assert!(err.is_violation());
+    }
+
+    #[test]
+    fn native_pmdk_corrupts_silently_until_the_mapping_edge() {
+        let policy = pmdk(1 << 20);
+        let arr = exhausted_array(&policy);
+        // The fill scribbles over the rest of the heap; it only stops (with
+        // a plain fault, not a detection) at the end of the mapping.
+        match arr.resize_unchecked(100_000) {
+            Ok(()) => {} // fill fit inside the mapping: fully silent
+            Err(SppError::Fault { .. }) => {} // ran off the mapping eventually
+            Err(e) => panic!("unexpected error under native PMDK: {e}"),
+        }
+    }
+
+    #[test]
+    fn checked_resize_is_safe_everywhere() {
+        let policy = spp(1 << 20);
+        let arr = exhausted_array(&policy);
+        // The correct path reports the failure and leaves the array intact.
+        assert!(arr.grow(100_000).is_err());
+        assert_eq!(arr.len().unwrap(), 0);
+        arr.push(7).unwrap();
+        assert_eq!(arr.get(0).unwrap(), Some(7));
+    }
+}
+
+mod string_bug {
+    //! The classic unchecked strcat — caught by the wrapped string
+    //! functions (§IV-D).
+    use super::*;
+
+    #[test]
+    fn unchecked_append_detected_by_spp() {
+        let s = PString::create(spp(1 << 22), "0123456789", 12).unwrap();
+        let err = s.append_unchecked("ABCDEFGHIJKLMNOP").unwrap_err();
+        assert!(matches!(err, SppError::OverflowDetected { .. }), "got {err}");
+    }
+
+    #[test]
+    fn unchecked_append_silent_under_pmdk() {
+        let s = PString::create(pmdk(1 << 22), "0123456789", 12).unwrap();
+        // Native PMDK lets the overflowing copy happen (corrupting the
+        // neighbouring allocation); any failure surfaces only later and
+        // only as a plain fault — never as a *detection*.
+        match s.append_unchecked("ABCDEFGHIJKLMNOP") {
+            // The overflow itself always goes through; what varies is how
+            // much collateral damage (corrupted neighbouring allocator
+            // metadata, lost terminators) blows up afterwards.
+            Err(SppError::OverflowDetected { .. }) => {
+                panic!("native PMDK must not *detect* the overflow")
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn containers_share_a_pool_and_reopen() {
+    let policy = spp(1 << 22);
+    let arr = PArray::create(Arc::clone(&policy), 8).unwrap();
+    let q = PQueue::create(Arc::clone(&policy), 8).unwrap();
+    let l = PList::create(Arc::clone(&policy)).unwrap();
+    arr.push(1).unwrap();
+    q.enqueue(2).unwrap();
+    l.push_back(3).unwrap();
+    // Reopen by meta oid on the same pool (fresh handles).
+    let arr2 = PArray::open(Arc::clone(&policy), arr.meta()).unwrap();
+    let q2 = PQueue::open(Arc::clone(&policy), q.meta()).unwrap();
+    let l2 = PList::open(Arc::clone(&policy), l.meta()).unwrap();
+    assert_eq!(arr2.get(0).unwrap(), Some(1));
+    assert_eq!(q2.dequeue().unwrap(), Some(2));
+    assert_eq!(l2.pop_front().unwrap(), Some(3));
+}
+
+mod remaining_vi_d_examples {
+    //! §VI-D: "We apply SPP on implementations of … a solution of Buffon's
+    //! Needle problem, a program for the π calculation and a slab
+    //! allocator. The remaining examples do not report any error throughout
+    //! their execution."
+    use super::*;
+    use spp_containers::{buffon_needle, estimate_pi, PSlab};
+
+    #[test]
+    fn monte_carlo_examples_are_error_free_under_every_policy() {
+        let a = buffon_needle(&*pmdk(1 << 20), 5_000, 3).unwrap();
+        let b = buffon_needle(&*spp(1 << 20), 5_000, 3).unwrap();
+        let c = buffon_needle(&*safepm(1 << 20), 5_000, 3).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        let a = estimate_pi(&*pmdk(1 << 20), 5_000, 5).unwrap();
+        let b = estimate_pi(&*spp(1 << 20), 5_000, 5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slab_allocator_roundtrip() {
+        let p = spp(1 << 22);
+        let slab = PSlab::create(Arc::clone(&p), 64, 100).unwrap();
+        let mut slots = Vec::new();
+        for i in 0..100u64 {
+            let s = slab.alloc_slot().unwrap().expect("room");
+            p.store_u64(slab.slot_ptr(s).unwrap(), i).unwrap();
+            slots.push(s);
+        }
+        assert_eq!(slab.alloc_slot().unwrap(), None); // full
+        assert_eq!(slab.live().unwrap(), 100);
+        for (i, &s) in slots.iter().enumerate() {
+            assert_eq!(p.load_u64(slab.slot_ptr(s).unwrap()).unwrap(), i as u64);
+        }
+        // Free half, reuse.
+        for &s in slots.iter().step_by(2) {
+            slab.free_slot(s).unwrap();
+        }
+        assert_eq!(slab.live().unwrap(), 50);
+        assert!(slab.free_slot(slots[0]).is_err()); // double free
+        assert!(slab.alloc_slot().unwrap().is_some());
+    }
+
+    #[test]
+    fn running_off_the_slab_is_detected() {
+        let p = spp(1 << 22);
+        let slab = PSlab::create(Arc::clone(&p), 64, 4).unwrap();
+        let last = slab.slot_ptr(3).unwrap();
+        // Within the data object: fine (even though it's slot-granular
+        // territory — object-granular schemes can't see slot borders).
+        p.store_u64(last, 1).unwrap();
+        // One slot past the data object's end: caught.
+        let past = slab.slot_ptr(4).unwrap();
+        let err = p.store_u64(past, 1).unwrap_err();
+        assert!(matches!(err, SppError::OverflowDetected { .. }));
+    }
+}

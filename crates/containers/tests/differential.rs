@@ -1,0 +1,111 @@
+//! Randomized differential testing of the persistent containers against
+//! their `std` counterparts under the SPP policy.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use spp_containers::{PArray, PList, PQueue};
+use spp_core::{SppPolicy, TagConfig};
+use spp_pm::{PmPool, PoolConfig};
+use spp_pmdk::{ObjPool, PoolOpts};
+
+fn policy() -> Arc<SppPolicy> {
+    let pm = Arc::new(PmPool::new(PoolConfig::new(8 << 20)));
+    let pool = Arc::new(ObjPool::create(pm, PoolOpts::small()).unwrap());
+    Arc::new(SppPolicy::new(pool, TagConfig::default()).unwrap())
+}
+
+#[derive(Debug, Clone)]
+enum ArrOp {
+    Push(u64),
+    Pop,
+    Set { idx: u8, v: u64 },
+    Get { idx: u8 },
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn parray_matches_vec(ops in prop::collection::vec(
+        prop_oneof![
+            any::<u64>().prop_map(ArrOp::Push),
+            Just(ArrOp::Pop),
+            (any::<u8>(), any::<u64>()).prop_map(|(idx, v)| ArrOp::Set { idx, v }),
+            any::<u8>().prop_map(|idx| ArrOp::Get { idx }),
+        ],
+        1..100,
+    )) {
+        let arr = PArray::create(policy(), 2).unwrap();
+        let mut model: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                ArrOp::Push(v) => {
+                    arr.push(v).unwrap();
+                    model.push(v);
+                }
+                ArrOp::Pop => {
+                    prop_assert_eq!(arr.pop().unwrap(), model.pop());
+                }
+                ArrOp::Set { idx, v } => {
+                    if model.is_empty() { continue; }
+                    let i = idx as usize % model.len();
+                    arr.set(i as u64, v).unwrap();
+                    model[i] = v;
+                }
+                ArrOp::Get { idx } => {
+                    let i = idx as u64;
+                    prop_assert_eq!(arr.get(i).unwrap(), model.get(i as usize).copied());
+                }
+            }
+            prop_assert_eq!(arr.len().unwrap(), model.len() as u64);
+        }
+    }
+
+    #[test]
+    fn pqueue_matches_vecdeque(cap in 1u64..16, ops in prop::collection::vec(
+        prop_oneof![any::<u64>().prop_map(Some), Just(None)],
+        1..100,
+    )) {
+        let q = PQueue::create(policy(), cap).unwrap();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    let accepted = q.enqueue(v).unwrap();
+                    prop_assert_eq!(accepted, (model.len() as u64) < cap);
+                    if accepted {
+                        model.push_back(v);
+                    }
+                }
+                None => {
+                    prop_assert_eq!(q.dequeue().unwrap(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(q.len().unwrap(), model.len() as u64);
+        }
+    }
+
+    #[test]
+    fn plist_matches_vecdeque(ops in prop::collection::vec(
+        prop_oneof![any::<u64>().prop_map(Some), Just(None)],
+        1..80,
+    )) {
+        let l = PList::create(policy()).unwrap();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    l.push_back(v).unwrap();
+                    model.push_back(v);
+                }
+                None => {
+                    prop_assert_eq!(l.pop_front().unwrap(), model.pop_front());
+                }
+            }
+        }
+        prop_assert_eq!(l.to_vec().unwrap(), model.iter().copied().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,274 @@
+//! The configurable SPP pointer encoding (§IV-A, §IV-F).
+
+use crate::error::SppError;
+use crate::{OVERFLOW_BIT, PM_BIT};
+
+/// The SPP tag encoding for a given tag width.
+///
+/// The 64 pointer bits are divided into the PM bit (63), the overflow bit
+/// (62), `tag_bits` of tag, and `62 - tag_bits` of virtual address:
+///
+/// * maximum object size: `2^tag_bits` bytes;
+/// * maximum addressable pool range: `2^(62 - tag_bits)` bytes of the
+///   simulated virtual address space (pools are mapped low — §IV-F).
+///
+/// The paper's main evaluation uses 26 tag bits (64 MiB objects); the
+/// Phoenix experiments use 31 (2 GiB objects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TagConfig {
+    tag_bits: u32,
+}
+
+impl Default for TagConfig {
+    /// The paper's evaluation default: 26 tag bits.
+    fn default() -> Self {
+        TagConfig { tag_bits: 26 }
+    }
+}
+
+impl TagConfig {
+    /// Create an encoding with the given tag width.
+    ///
+    /// # Errors
+    ///
+    /// [`SppError::BadTagBits`] unless `8 <= tag_bits <= 40` (narrower tags
+    /// cannot express realistic objects; wider ones leave fewer than 22
+    /// address bits).
+    pub fn new(tag_bits: u32) -> Result<Self, SppError> {
+        if !(8..=40).contains(&tag_bits) {
+            return Err(SppError::BadTagBits(tag_bits));
+        }
+        Ok(TagConfig { tag_bits })
+    }
+
+    /// The 31-bit configuration used for the Phoenix suite (§VI-B).
+    pub fn phoenix() -> Self {
+        TagConfig { tag_bits: 31 }
+    }
+
+    /// Number of tag bits.
+    pub fn tag_bits(self) -> u32 {
+        self.tag_bits
+    }
+
+    /// Number of virtual-address bits (`64 - tag_bits - 2`).
+    pub fn address_bits(self) -> u32 {
+        62 - self.tag_bits
+    }
+
+    /// Largest allocatable object under this encoding (`2^tag_bits`).
+    pub fn max_object_size(self) -> u64 {
+        1u64 << self.tag_bits
+    }
+
+    /// Exclusive upper bound of addressable simulated VAs.
+    pub fn max_va(self) -> u64 {
+        1u64 << self.address_bits()
+    }
+
+    /// Mask of the virtual-address bits.
+    #[inline]
+    pub fn va_mask(self) -> u64 {
+        self.max_va() - 1
+    }
+
+    /// Mask of the combined overflow + tag field, in place.
+    #[inline]
+    fn field_mask(self) -> u64 {
+        // tag_bits + 1 bits starting at address_bits
+        ((1u64 << (self.tag_bits + 1)) - 1) << self.address_bits()
+    }
+
+    /// Construct a tagged PM pointer to byte 0 of an object of `size` bytes
+    /// mapped at simulated VA `va` — the core of the adapted
+    /// `pmemobj_direct` (§IV-B).
+    ///
+    /// The tag is the two's complement of the size within `tag_bits`
+    /// (masked so the overflow bit starts clear, as in the paper's
+    /// `pmemobj_direct` listing).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `va` fits the address bits and
+    /// `1 <= size <= max_object_size` — both enforced at allocation time by
+    /// [`crate::SppPolicy`].
+    #[inline]
+    pub fn make_tagged(self, va: u64, size: u64) -> u64 {
+        debug_assert!(va < self.max_va(), "pool mapped above the addressable range");
+        debug_assert!(size >= 1 && size <= self.max_object_size());
+        let tag = (self.max_object_size() - (size & (self.max_object_size() - 1)))
+            & (self.max_object_size() - 1);
+        // size == max_object_size yields tag 0 (distance counts from 0).
+        PM_BIT | (tag << self.address_bits()) | va
+    }
+
+    /// `__spp_updatetag` without the PM-bit check: add `delta` to the
+    /// overflow+tag field, wrapping within `tag_bits + 1` bits. The carry
+    /// into (or borrow out of) the top of the tag is what sets (or clears)
+    /// the overflow bit.
+    #[inline]
+    pub fn update_tag(self, ptr: u64, delta: i64) -> u64 {
+        let fm = self.field_mask();
+        let field = ptr & fm;
+        let add = ((delta as u64) << self.address_bits()) & fm;
+        let new_field = field.wrapping_add(add) & fm;
+        (ptr & !fm) | new_field
+    }
+
+    /// `__spp_cleantag` without the PM-bit check: strip the PM bit and tag,
+    /// preserving the overflow bit and the virtual address. An overflown
+    /// pointer thus resolves to `2^62 + va` — far outside every mapping.
+    #[inline]
+    pub fn clean_tag(self, ptr: u64) -> u64 {
+        ptr & (OVERFLOW_BIT | self.va_mask())
+    }
+
+    /// `__spp_checkbound` without the PM-bit check: account for an access of
+    /// `deref_size` bytes (tag `+= deref_size - 1`) and mask for dereference.
+    /// The *returned* address is the one to access; the caller's tagged
+    /// pointer keeps its original tag.
+    #[inline]
+    pub fn check_bound(self, ptr: u64, deref_size: u64) -> u64 {
+        self.clean_tag(self.update_tag(ptr, deref_size as i64 - 1))
+    }
+
+    /// Adjust a tagged pointer by `delta` bytes: virtual address and tag
+    /// move together (a GEP plus its injected `__spp_updatetag`, Fig. 3).
+    #[inline]
+    pub fn offset(self, ptr: u64, delta: i64) -> u64 {
+        let va = (ptr & self.va_mask()).wrapping_add(delta as u64) & self.va_mask();
+        let moved = self.update_tag(ptr, delta);
+        (moved & !self.va_mask()) | va
+    }
+
+    /// Whether the overflow bit is set.
+    #[inline]
+    pub fn is_overflowed(self, ptr: u64) -> bool {
+        ptr & OVERFLOW_BIT != 0
+    }
+
+    /// Extract the (untagged) virtual address.
+    #[inline]
+    pub fn va_of(self, ptr: u64) -> u64 {
+        ptr & self.va_mask()
+    }
+
+    /// Remaining distance to the object's upper bound, if the pointer is in
+    /// bounds (`None` when overflowed). Exposed for diagnostics and tests.
+    pub fn distance_to_bound(self, ptr: u64) -> Option<u64> {
+        if self.is_overflowed(ptr) {
+            return None;
+        }
+        let tag = (ptr >> self.address_bits()) & (self.max_object_size() - 1);
+        let dist = (self.max_object_size() - tag) & (self.max_object_size() - 1);
+        Some(if dist == 0 { self.max_object_size() } else { dist })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = TagConfig::default();
+        assert_eq!(c.tag_bits(), 26);
+        assert_eq!(c.address_bits(), 36);
+        assert_eq!(c.max_object_size(), 64 << 20);
+        assert_eq!(TagConfig::phoenix().tag_bits(), 31);
+    }
+
+    #[test]
+    fn rejects_bad_widths() {
+        assert!(TagConfig::new(7).is_err());
+        assert!(TagConfig::new(41).is_err());
+        assert!(TagConfig::new(8).is_ok());
+        assert!(TagConfig::new(40).is_ok());
+    }
+
+    #[test]
+    fn paper_figure3_example() {
+        // 24 tag bits, 42-byte object: initial tag 0xFFFFD6 (Fig. 3a).
+        let c = TagConfig::new(24).unwrap();
+        let va = 0x2000_0000u64;
+        let p = c.make_tagged(va, 42);
+        assert!(crate::is_pm_ptr(p));
+        assert!(!c.is_overflowed(p));
+        let tag = (p >> c.address_bits()) & 0xFF_FFFF;
+        assert_eq!(tag, 0xFF_FFD6);
+        // += 21 twice: second crossing sets the overflow bit (Fig. 3b/3c).
+        let p1 = c.offset(p, 21);
+        assert!(!c.is_overflowed(p1));
+        assert_eq!(c.va_of(p1), va + 21);
+        let p2 = c.offset(p1, 21);
+        assert!(c.is_overflowed(p2));
+        assert_eq!((p2 >> c.address_bits()) & 0xFF_FFFF, 0);
+        // Walking back clears it again.
+        let p3 = c.offset(p2, -1);
+        assert!(!c.is_overflowed(p3));
+    }
+
+    #[test]
+    fn clean_tag_preserves_overflow_and_va() {
+        let c = TagConfig::default();
+        let p = c.make_tagged(0x1000, 8);
+        assert_eq!(c.clean_tag(p), 0x1000);
+        let over = c.offset(p, 8);
+        assert!(c.is_overflowed(over));
+        let cleaned = c.clean_tag(over);
+        assert_eq!(cleaned, OVERFLOW_BIT | 0x1008);
+        assert!(cleaned >= (1 << 62)); // unmapped => faults
+    }
+
+    #[test]
+    fn check_bound_last_byte_ok_one_past_faults() {
+        let c = TagConfig::default();
+        let p = c.make_tagged(0x1000, 16);
+        // Access of the full 16 bytes at offset 0: fine.
+        assert_eq!(c.check_bound(p, 16), 0x1000);
+        // 8-byte access at offset 8: last byte is byte 15 -> fine.
+        let p8 = c.offset(p, 8);
+        assert_eq!(c.check_bound(p8, 8), 0x1008);
+        // 8-byte access at offset 9: last byte is 16 -> overflow.
+        let p9 = c.offset(p, 9);
+        assert!(c.check_bound(p9, 8) & OVERFLOW_BIT != 0);
+    }
+
+    #[test]
+    fn max_size_object_boundaries() {
+        let c = TagConfig::new(8).unwrap(); // max object = 256
+        let p = c.make_tagged(0x40_0000, 256);
+        assert!(!c.is_overflowed(p));
+        assert_eq!(c.check_bound(c.offset(p, 255), 1), 0x40_00FF);
+        assert!(c.check_bound(c.offset(p, 256), 1) & OVERFLOW_BIT != 0);
+        assert_eq!(c.distance_to_bound(p), Some(256));
+    }
+
+    #[test]
+    fn distance_tracks_offsets() {
+        let c = TagConfig::default();
+        let p = c.make_tagged(0x1000, 100);
+        assert_eq!(c.distance_to_bound(p), Some(100));
+        assert_eq!(c.distance_to_bound(c.offset(p, 60)), Some(40));
+        assert_eq!(c.distance_to_bound(c.offset(p, 100)), None);
+    }
+
+    #[test]
+    fn update_tag_leaves_address_alone() {
+        let c = TagConfig::default();
+        let p = c.make_tagged(0x1234, 50);
+        let q = c.update_tag(p, 10);
+        assert_eq!(c.va_of(q), 0x1234);
+        assert_eq!(c.distance_to_bound(q), Some(40));
+    }
+
+    #[test]
+    fn non_pm_bits_untouched_by_field_ops() {
+        let c = TagConfig::default();
+        let p = c.make_tagged(0xABCD, 1000);
+        for delta in [-5i64, 0, 5, 999, 1000, -1000] {
+            let q = c.offset(p, delta);
+            assert!(crate::is_pm_ptr(q), "PM bit lost at delta {delta}");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+use std::error::Error;
+use std::fmt;
+
+use spp_pm::PmError;
+use spp_pmdk::PmdkError;
+
+/// Errors surfaced by SPP policies and runtime operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SppError {
+    /// A spatial memory-safety violation was caught: the pointer's overflow
+    /// bit (or the baseline's equivalent mechanism) flagged the access.
+    OverflowDetected {
+        /// The (masked) faulting address.
+        va: u64,
+        /// Attempted access length.
+        len: u64,
+        /// Which mechanism fired: `"overflow-bit"`, `"shadow"`,
+        /// `"wrapper"`, ….
+        mechanism: &'static str,
+    },
+    /// A wild access outside every mapping (native SIGSEGV — not a
+    /// detection, just a crash).
+    Fault {
+        /// The faulting address.
+        va: u64,
+    },
+    /// Allocation request exceeds the encoding's maximum object size
+    /// (`2^tag_bits`, §IV-G).
+    ObjectTooLarge {
+        /// Requested size.
+        size: u64,
+        /// Maximum under the active [`crate::TagConfig`].
+        max: u64,
+    },
+    /// The pool mapping extends beyond the encoding's addressable range.
+    PoolTooLarge {
+        /// Highest VA of the mapping.
+        end_va: u64,
+        /// Exclusive VA limit (`2^address_bits`).
+        max_va: u64,
+    },
+    /// Invalid tag width given to [`crate::TagConfig::new`].
+    BadTagBits(u32),
+    /// An underlying pool/allocator error.
+    Pmdk(PmdkError),
+}
+
+impl fmt::Display for SppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SppError::OverflowDetected { va, len, mechanism } => write!(
+                f,
+                "pm buffer overflow detected by {mechanism}: access of {len} bytes at {va:#x}"
+            ),
+            SppError::Fault { va } => write!(f, "segmentation fault at {va:#x}"),
+            SppError::ObjectTooLarge { size, max } => {
+                write!(f, "object of {size} bytes exceeds encoding maximum of {max}")
+            }
+            SppError::PoolTooLarge { end_va, max_va } => {
+                write!(f, "pool mapping ends at {end_va:#x}, beyond addressable limit {max_va:#x}")
+            }
+            SppError::BadTagBits(b) => write!(f, "tag width {b} outside supported range 8..=40"),
+            SppError::Pmdk(e) => write!(f, "pool error: {e}"),
+        }
+    }
+}
+
+impl Error for SppError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SppError::Pmdk(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PmdkError> for SppError {
+    fn from(e: PmdkError) -> Self {
+        match e {
+            PmdkError::Pm(PmError::Fault { va, .. }) => SppError::Fault { va },
+            other => SppError::Pmdk(other),
+        }
+    }
+}
+
+impl From<PmError> for SppError {
+    fn from(e: PmError) -> Self {
+        match e {
+            PmError::Fault { va, .. } => SppError::Fault { va },
+            other => SppError::Pmdk(PmdkError::Pm(other)),
+        }
+    }
+}
+
+impl SppError {
+    /// Whether this error represents a *caught* memory-safety violation
+    /// (detection) or a crash (fault): both stop an attack, but the RIPE
+    /// accounting distinguishes them from silent success.
+    pub fn is_violation(&self) -> bool {
+        matches!(self, SppError::OverflowDetected { .. } | SppError::Fault { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_conversion() {
+        let e: SppError = PmError::Fault { va: 0x123, len: 8 }.into();
+        assert_eq!(e, SppError::Fault { va: 0x123 });
+        assert!(e.is_violation());
+        let e: SppError = PmdkError::RedoLogFull.into();
+        assert!(!e.is_violation());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            SppError::OverflowDetected { va: 1, len: 2, mechanism: "overflow-bit" },
+            SppError::Fault { va: 1 },
+            SppError::ObjectTooLarge { size: 10, max: 5 },
+            SppError::PoolTooLarge { end_va: 2, max_va: 1 },
+            SppError::BadTagBits(50),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

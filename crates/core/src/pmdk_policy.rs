@@ -1,0 +1,169 @@
+//! The uninstrumented baseline: native PMDK pointers.
+
+use std::sync::Arc;
+
+use spp_pmdk::{ObjPool, OidDest, OidKind, PmemOid};
+
+use crate::policy::MemoryPolicy;
+use crate::Result;
+
+/// Native PMDK behaviour — the `PMDK` row of Table I.
+///
+/// Pointers are plain virtual addresses; the only protection is the
+/// hardware page fault at the edges of the pool mapping. Overflows *within*
+/// the pool silently corrupt neighbouring objects, exactly like
+/// uninstrumented PM applications.
+#[derive(Debug, Clone)]
+pub struct PmdkPolicy {
+    pool: Arc<ObjPool>,
+}
+
+impl PmdkPolicy {
+    /// Wrap a pool with native (unchecked) access semantics.
+    pub fn new(pool: Arc<ObjPool>) -> Self {
+        PmdkPolicy { pool }
+    }
+}
+
+impl MemoryPolicy for PmdkPolicy {
+    fn name(&self) -> &'static str {
+        "PMDK"
+    }
+
+    fn oid_kind(&self) -> OidKind {
+        OidKind::Pmdk
+    }
+
+    fn pool(&self) -> &Arc<ObjPool> {
+        &self.pool
+    }
+
+    #[inline]
+    fn direct(&self, oid: PmemOid) -> u64 {
+        if oid.is_null() {
+            return 0;
+        }
+        self.pool.direct(oid)
+    }
+
+    #[inline]
+    fn gep(&self, ptr: u64, delta: i64) -> u64 {
+        ptr.wrapping_add(delta as u64)
+    }
+
+    #[inline]
+    fn resolve(&self, ptr: u64, len: u64) -> Result<u64> {
+        // Only the mapping edge faults; intra-pool overflow passes.
+        Ok(self.pool.pm().resolve(ptr, len as usize)?)
+    }
+
+    fn alloc_oid(&self, dest: Option<OidDest>, size: u64, zero: bool) -> Result<PmemOid> {
+        let oid = match (dest, zero) {
+            (Some(d), true) => self.pool.zalloc_into(d, size)?,
+            (Some(d), false) => self.pool.alloc_into(d, size)?,
+            (None, true) => self.pool.zalloc(size)?,
+            (None, false) => self.pool.alloc(size)?,
+        };
+        Ok(oid)
+    }
+
+    fn free_oid(&self, dest: Option<OidDest>, oid: PmemOid) -> Result<()> {
+        match dest {
+            Some(d) => self.pool.free_from(d, oid)?,
+            None => self.pool.free(oid)?,
+        }
+        Ok(())
+    }
+
+    fn realloc_oid(&self, dest: OidDest, oid: PmemOid, new_size: u64) -> Result<PmemOid> {
+        Ok(self.pool.realloc_into(dest, oid, new_size)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SppError;
+    use spp_pm::{PmPool, PoolConfig};
+    use spp_pmdk::PoolOpts;
+
+    fn policy() -> PmdkPolicy {
+        let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 20)));
+        PmdkPolicy::new(Arc::new(ObjPool::create(pm, PoolOpts::small()).unwrap()))
+    }
+
+    #[test]
+    fn basic_load_store() {
+        let p = policy();
+        let oid = p.zalloc(64).unwrap();
+        let ptr = p.direct(oid);
+        p.store_u64(ptr, 0xDEAD).unwrap();
+        assert_eq!(p.load_u64(ptr).unwrap(), 0xDEAD);
+        assert_eq!(p.load_u64(p.gep(ptr, 8)).unwrap(), 0);
+    }
+
+    #[test]
+    fn intra_pool_overflow_is_silent() {
+        // The defining weakness of the native baseline: overflowing into a
+        // neighbouring object succeeds.
+        let p = policy();
+        let a = p.zalloc(16).unwrap();
+        let b = p.zalloc(16).unwrap();
+        let pa = p.direct(a);
+        // Walk well past `a`'s bounds, onto `b`.
+        let delta = (b.off - a.off) as i64;
+        p.store_u64(p.gep(pa, delta), 0x41414141).unwrap();
+        assert_eq!(p.load_u64(p.direct(b)).unwrap(), 0x41414141);
+    }
+
+    #[test]
+    fn mapping_edge_faults() {
+        let p = policy();
+        let oid = p.zalloc(16).unwrap();
+        let ptr = p.direct(oid);
+        let far = p.gep(ptr, (p.pool().pm().size() * 2) as i64);
+        assert!(matches!(p.load_u64(far), Err(SppError::Fault { .. })));
+    }
+
+    #[test]
+    fn null_direct_faults_on_use() {
+        let p = policy();
+        let ptr = p.direct(PmemOid::NULL);
+        assert_eq!(ptr, 0);
+        assert!(matches!(p.load_u64(ptr), Err(SppError::Fault { .. })));
+    }
+
+    #[test]
+    fn memcpy_and_strings() {
+        let p = policy();
+        let a = p.zalloc(64).unwrap();
+        let b = p.zalloc(64).unwrap();
+        let pa = p.direct(a);
+        let pb = p.direct(b);
+        p.store(pa, b"hello\0").unwrap();
+        assert_eq!(p.strlen(pa).unwrap(), 5);
+        p.strcpy(pb, pa).unwrap();
+        let mut buf = [0u8; 6];
+        p.load(pb, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello\0");
+        p.strcat(pb, pa).unwrap();
+        assert_eq!(p.strlen(pb).unwrap(), 10);
+        assert_eq!(p.strcmp(pa, pb).unwrap(), std::cmp::Ordering::Less);
+        p.memset(pb, 0, 64).unwrap();
+        assert_eq!(p.strlen(pb).unwrap(), 0);
+    }
+
+    #[test]
+    fn tx_helpers() {
+        let p = policy();
+        let oid = p.zalloc(64).unwrap();
+        let ptr = p.direct(oid);
+        p.pool()
+            .tx(|tx| -> crate::Result<()> {
+                p.tx_write_u64(tx, ptr, 99)?;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(p.load_u64(ptr).unwrap(), 99);
+    }
+}

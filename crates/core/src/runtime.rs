@@ -1,0 +1,246 @@
+//! The SPP runtime hook library (§IV-D, §V-B).
+//!
+//! These are the functions the transformation pass injects. Each checked
+//! hook first tests the PM bit ("is this a PM pointer at all?") and passes
+//! volatile pointers through untouched; the `_direct` variants skip that
+//! test and are used where the pointer-tracking analysis proved the operand
+//! persistent (§IV-E).
+//!
+//! Invocation counters feed the ablation experiments: they quantify how many
+//! runtime calls pointer tracking and bound-check preemption eliminate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::config::TagConfig;
+use crate::is_pm_ptr;
+
+/// Hook invocation counters.
+#[derive(Debug, Default)]
+pub struct HookStats {
+    update_tag: AtomicU64,
+    clean_tag: AtomicU64,
+    check_bound: AtomicU64,
+    memintr_check: AtomicU64,
+    pm_bit_tests: AtomicU64,
+    volatile_passthrough: AtomicU64,
+}
+
+macro_rules! getter {
+    ($(#[$doc:meta] $name:ident),* $(,)?) => {
+        $(
+            #[$doc]
+            pub fn $name(&self) -> u64 {
+                self.$name.load(Ordering::Relaxed)
+            }
+        )*
+    };
+}
+
+impl HookStats {
+    getter! {
+        /// `__spp_updatetag` invocations.
+        update_tag,
+        /// `__spp_cleantag` invocations.
+        clean_tag,
+        /// `__spp_checkbound` invocations.
+        check_bound,
+        /// `__spp_memintr_check` invocations.
+        memintr_check,
+        /// Runtime PM-bit tests performed (skipped by `_direct` variants).
+        pm_bit_tests,
+        /// Hooks that turned out to be no-ops on volatile pointers.
+        volatile_passthrough,
+    }
+
+    /// Reset all counters.
+    pub fn reset(&self) {
+        for c in [
+            &self.update_tag,
+            &self.clean_tag,
+            &self.check_bound,
+            &self.memintr_check,
+            &self.pm_bit_tests,
+            &self.volatile_passthrough,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Total hook invocations.
+    pub fn total(&self) -> u64 {
+        self.update_tag() + self.clean_tag() + self.check_bound() + self.memintr_check()
+    }
+}
+
+/// The SPP runtime library instance: a tag configuration plus hook
+/// counters.
+#[derive(Debug, Default)]
+pub struct SppRuntime {
+    cfg: TagConfig,
+    stats: HookStats,
+}
+
+impl SppRuntime {
+    /// Create a runtime for the given encoding.
+    pub fn new(cfg: TagConfig) -> Self {
+        SppRuntime { cfg, stats: HookStats::default() }
+    }
+
+    /// The active encoding.
+    pub fn config(&self) -> TagConfig {
+        self.cfg
+    }
+
+    /// Hook invocation counters.
+    pub fn stats(&self) -> &HookStats {
+        &self.stats
+    }
+
+    /// `__spp_updatetag`: adjust the tag by `off` if `ptr` points to PM;
+    /// volatile pointers pass through unchanged.
+    #[inline]
+    pub fn updatetag(&self, ptr: u64, off: i64) -> u64 {
+        self.stats.update_tag.fetch_add(1, Ordering::Relaxed);
+        self.stats.pm_bit_tests.fetch_add(1, Ordering::Relaxed);
+        if !is_pm_ptr(ptr) {
+            self.stats.volatile_passthrough.fetch_add(1, Ordering::Relaxed);
+            return ptr;
+        }
+        self.cfg.update_tag(ptr, off)
+    }
+
+    /// `__spp_updatetag_direct`: as [`Self::updatetag`], PM provenance
+    /// proven statically.
+    #[inline]
+    pub fn updatetag_direct(&self, ptr: u64, off: i64) -> u64 {
+        self.stats.update_tag.fetch_add(1, Ordering::Relaxed);
+        self.cfg.update_tag(ptr, off)
+    }
+
+    /// `__spp_cleantag`: strip tag and PM bit (keeping the overflow bit) if
+    /// `ptr` points to PM.
+    #[inline]
+    pub fn cleantag(&self, ptr: u64) -> u64 {
+        self.stats.clean_tag.fetch_add(1, Ordering::Relaxed);
+        self.stats.pm_bit_tests.fetch_add(1, Ordering::Relaxed);
+        if !is_pm_ptr(ptr) {
+            self.stats.volatile_passthrough.fetch_add(1, Ordering::Relaxed);
+            return ptr;
+        }
+        self.cfg.clean_tag(ptr)
+    }
+
+    /// `__spp_cleantag_direct`: as [`Self::cleantag`], PM provenance proven.
+    #[inline]
+    pub fn cleantag_direct(&self, ptr: u64) -> u64 {
+        self.stats.clean_tag.fetch_add(1, Ordering::Relaxed);
+        self.cfg.clean_tag(ptr)
+    }
+
+    /// `__spp_cleantag_external`: mask a pointer argument before an external
+    /// (uninstrumented) call — identical masking, tracked together with
+    /// [`Self::cleantag`].
+    #[inline]
+    pub fn cleantag_external(&self, ptr: u64) -> u64 {
+        self.cleantag(ptr)
+    }
+
+    /// `__spp_checkbound`: account for an access of `deref_size` bytes and
+    /// return the masked address to dereference.
+    #[inline]
+    pub fn checkbound(&self, ptr: u64, deref_size: u64) -> u64 {
+        self.stats.check_bound.fetch_add(1, Ordering::Relaxed);
+        self.stats.pm_bit_tests.fetch_add(1, Ordering::Relaxed);
+        if !is_pm_ptr(ptr) {
+            self.stats.volatile_passthrough.fetch_add(1, Ordering::Relaxed);
+            return ptr;
+        }
+        self.cfg.check_bound(ptr, deref_size)
+    }
+
+    /// `__spp_checkbound_direct`: as [`Self::checkbound`], PM provenance
+    /// proven.
+    #[inline]
+    pub fn checkbound_direct(&self, ptr: u64, deref_size: u64) -> u64 {
+        self.stats.check_bound.fetch_add(1, Ordering::Relaxed);
+        self.cfg.check_bound(ptr, deref_size)
+    }
+
+    /// `__spp_memintr_check`: validate the maximum address a memory
+    /// intrinsic (`memcpy`, `memset`, …) will touch through `ptr` and return
+    /// the masked pointer to hand to the real intrinsic.
+    #[inline]
+    pub fn memintr_check(&self, ptr: u64, n: u64) -> u64 {
+        self.stats.memintr_check.fetch_add(1, Ordering::Relaxed);
+        self.stats.pm_bit_tests.fetch_add(1, Ordering::Relaxed);
+        if !is_pm_ptr(ptr) {
+            self.stats.volatile_passthrough.fetch_add(1, Ordering::Relaxed);
+            return ptr;
+        }
+        if n == 0 {
+            return self.cfg.clean_tag(ptr);
+        }
+        self.cfg.check_bound(ptr, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OVERFLOW_BIT;
+
+    fn rt() -> SppRuntime {
+        SppRuntime::new(TagConfig::default())
+    }
+
+    #[test]
+    fn volatile_pointers_pass_through() {
+        let rt = rt();
+        let vol = 0x7fff_1234u64; // no PM bit
+        assert_eq!(rt.updatetag(vol, 100), vol);
+        assert_eq!(rt.cleantag(vol), vol);
+        assert_eq!(rt.checkbound(vol, 8), vol);
+        assert_eq!(rt.memintr_check(vol, 64), vol);
+        assert_eq!(rt.stats().volatile_passthrough(), 4);
+    }
+
+    #[test]
+    fn checkbound_detects_oob_access() {
+        let rt = rt();
+        let p = rt.config().make_tagged(0x1000, 8);
+        assert_eq!(rt.checkbound(p, 8), 0x1000);
+        let p2 = rt.config().offset(p, 4);
+        assert!(rt.checkbound(p2, 8) & OVERFLOW_BIT != 0);
+    }
+
+    #[test]
+    fn direct_variants_skip_pm_test() {
+        let rt = rt();
+        let p = rt.config().make_tagged(0x1000, 16);
+        let _ = rt.updatetag_direct(p, 4);
+        let _ = rt.cleantag_direct(p);
+        let _ = rt.checkbound_direct(p, 8);
+        assert_eq!(rt.stats().pm_bit_tests(), 0);
+        assert_eq!(rt.stats().total(), 3);
+    }
+
+    #[test]
+    fn memintr_check_zero_len() {
+        let rt = rt();
+        let p = rt.config().make_tagged(0x1000, 8);
+        // Zero-length intrinsics must not flag even at the bound.
+        let at_end = rt.config().offset(p, 8);
+        assert!(rt.memintr_check(at_end, 0) & OVERFLOW_BIT != 0); // already past
+        assert_eq!(rt.memintr_check(p, 0), 0x1000);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let rt = rt();
+        let p = rt.config().make_tagged(0x1000, 8);
+        let _ = rt.checkbound(p, 1);
+        assert!(rt.stats().total() > 0);
+        rt.stats().reset();
+        assert_eq!(rt.stats().total(), 0);
+    }
+}

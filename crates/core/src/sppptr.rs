@@ -1,0 +1,142 @@
+//! An ergonomic tagged-pointer handle for application code.
+
+use spp_pmdk::PmemOid;
+
+use crate::spp_policy::SppPolicy;
+use crate::{MemoryPolicy, Result};
+
+/// A borrowed, tagged SPP pointer: bundles the raw 64-bit tagged value with
+/// the policy that knows how to move and dereference it.
+///
+/// This is the Rust embedding of what instrumented C code manipulates as a
+/// plain `char *`; it exists for readable examples and application code —
+/// the benchmarks use the raw `u64` interface directly.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # use std::sync::Arc;
+/// # use spp_pm::{PmPool, PoolConfig};
+/// # use spp_pmdk::{ObjPool, PoolOpts};
+/// # use spp_core::{MemoryPolicy, SppPolicy, SppPtr, TagConfig};
+/// # let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 20)));
+/// # let pool = Arc::new(ObjPool::create(pm, PoolOpts::small())?);
+/// # let spp = SppPolicy::new(pool, TagConfig::default())?;
+/// let oid = spp.zalloc(16)?;
+/// let p = SppPtr::new(&spp, oid);
+/// p.store_u64(0)?;
+/// assert!(p.offset(16).store_u64(1).is_err()); // past the end
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy)]
+pub struct SppPtr<'p> {
+    policy: &'p SppPolicy,
+    raw: u64,
+}
+
+impl std::fmt::Debug for SppPtr<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cfg = self.policy.config();
+        f.debug_struct("SppPtr")
+            .field("raw", &format_args!("{:#018x}", self.raw))
+            .field("va", &format_args!("{:#x}", cfg.va_of(self.raw)))
+            .field("overflowed", &cfg.is_overflowed(self.raw))
+            .field("distance_to_bound", &cfg.distance_to_bound(self.raw))
+            .finish()
+    }
+}
+
+impl<'p> SppPtr<'p> {
+    /// Tagged pointer to the start of `oid`'s object (`pmemobj_direct`).
+    pub fn new(policy: &'p SppPolicy, oid: PmemOid) -> Self {
+        SppPtr { policy, raw: policy.direct(oid) }
+    }
+
+    /// Wrap an existing raw tagged value.
+    pub fn from_raw(policy: &'p SppPolicy, raw: u64) -> Self {
+        SppPtr { policy, raw }
+    }
+
+    /// The raw 64-bit tagged value.
+    pub fn raw(&self) -> u64 {
+        self.raw
+    }
+
+    /// Pointer arithmetic: a new handle `delta` bytes away.
+    #[must_use]
+    pub fn offset(&self, delta: i64) -> Self {
+        SppPtr { policy: self.policy, raw: self.policy.gep(self.raw, delta) }
+    }
+
+    /// Whether the overflow bit is currently set.
+    pub fn is_overflowed(&self) -> bool {
+        self.policy.config().is_overflowed(self.raw)
+    }
+
+    /// Load `buf.len()` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Overflow detection / fault.
+    pub fn load(&self, buf: &mut [u8]) -> Result<()> {
+        self.policy.load(self.raw, buf)
+    }
+
+    /// Store `data`.
+    ///
+    /// # Errors
+    ///
+    /// Overflow detection / fault.
+    pub fn store(&self, data: &[u8]) -> Result<()> {
+        self.policy.store(self.raw, data)
+    }
+
+    /// Load a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Overflow detection / fault.
+    pub fn load_u64(&self) -> Result<u64> {
+        self.policy.load_u64(self.raw)
+    }
+
+    /// Store a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Overflow detection / fault.
+    pub fn store_u64(&self, v: u64) -> Result<()> {
+        self.policy.store_u64(self.raw, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TagConfig;
+    use spp_pm::{PmPool, PoolConfig};
+    use spp_pmdk::{ObjPool, PoolOpts};
+    use std::sync::Arc;
+
+    #[test]
+    fn handle_tracks_bounds() {
+        let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 20)));
+        let pool = Arc::new(ObjPool::create(pm, PoolOpts::small()).unwrap());
+        let spp = SppPolicy::new(pool, TagConfig::default()).unwrap();
+        let oid = spp.zalloc(24).unwrap();
+        let p = SppPtr::new(&spp, oid);
+        p.store(b"hello").unwrap();
+        let mut out = [0u8; 5];
+        p.load(&mut out).unwrap();
+        assert_eq!(&out, b"hello");
+        let past = p.offset(24);
+        assert!(past.is_overflowed() || past.load_u64().is_err());
+        assert!(!p.offset(16).is_overflowed());
+        let back = past.offset(-8);
+        back.store_u64(3).unwrap();
+        // Debug output is informative, never empty.
+        assert!(format!("{p:?}").contains("distance_to_bound"));
+    }
+}

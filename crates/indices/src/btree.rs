@@ -1,0 +1,600 @@
+//! B-tree map (PMDK's `btree_map` example), including a faithful
+//! reproduction of the real PM buffer-overflow bug the paper detects with
+//! SPP (§VI-D, PMDK GitHub issue #5333): a `memmove` during entry removal
+//! that copies one entry too many and runs off the end of the node object.
+//!
+//! The node layout deliberately places the value-oid array *last*, as the
+//! shifted arrays are in `btree_map.c`, so the buggy shift crosses the PM
+//! object boundary — silently corrupting the next block under native PMDK
+//! and tripping SPP's overflow bit.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use spp_core::{MemoryPolicy, Result};
+use spp_pmdk::{PmemOid, Tx};
+
+use crate::common::{read_value, tx_new_value, Layout};
+use crate::Index;
+
+/// Children per internal node.
+pub const ORDER: u64 = 8;
+/// Items per node.
+pub const MAX_ITEMS: u64 = ORDER - 1;
+
+#[derive(Debug, Clone, Copy)]
+struct BtLayout {
+    m_root: u64,
+    m_count: u64,
+    m_size: u64,
+    n_n: u64,
+    n_leaf: u64,
+    n_keys: u64,     // [MAX_ITEMS] u64
+    n_children: u64, // [ORDER] oid
+    n_values: u64,   // [MAX_ITEMS] oid — LAST on purpose (see module docs)
+    n_size: u64,
+    os: u64,
+}
+
+impl BtLayout {
+    fn new(os: u64) -> Self {
+        let mut m = Layout::new(os);
+        let m_root = m.oid();
+        let m_count = m.u64();
+        let mut n = Layout::new(os);
+        let n_n = n.u64();
+        let n_leaf = n.u64();
+        let n_keys = n.bytes(MAX_ITEMS * 8);
+        let n_children = n.oid_array(ORDER);
+        let n_values = n.oid_array(MAX_ITEMS);
+        BtLayout {
+            m_root,
+            m_count,
+            m_size: m.size(),
+            n_n,
+            n_leaf,
+            n_keys,
+            n_children,
+            n_values,
+            n_size: n.size(),
+            os,
+        }
+    }
+}
+
+/// A persistent B-tree map.
+pub struct BTreeMap<P: MemoryPolicy> {
+    policy: Arc<P>,
+    meta: PmemOid,
+    layout: BtLayout,
+    write_lock: Mutex<()>,
+}
+
+impl<P: MemoryPolicy> BTreeMap<P> {
+    fn root_field(&self) -> u64 {
+        self.policy.gep(self.policy.direct(self.meta), self.layout.m_root as i64)
+    }
+
+    fn key_ptr(&self, node_ptr: u64, i: u64) -> u64 {
+        self.policy.gep(node_ptr, (self.layout.n_keys + i * 8) as i64)
+    }
+
+    fn child_ptr(&self, node_ptr: u64, i: u64) -> u64 {
+        self.policy.gep(node_ptr, (self.layout.n_children + i * self.layout.os) as i64)
+    }
+
+    fn value_ptr(&self, node_ptr: u64, i: u64) -> u64 {
+        self.policy.gep(node_ptr, (self.layout.n_values + i * self.layout.os) as i64)
+    }
+
+    fn items(&self, node_ptr: u64) -> Result<u64> {
+        self.policy.load_u64(self.policy.gep(node_ptr, self.layout.n_n as i64))
+    }
+
+    fn is_leaf(&self, node_ptr: u64) -> Result<bool> {
+        Ok(self.policy.load_u64(self.policy.gep(node_ptr, self.layout.n_leaf as i64))? != 0)
+    }
+
+    fn new_node(&self, tx: &mut Tx<'_>, leaf: bool) -> Result<PmemOid> {
+        let p = &*self.policy;
+        let l = &self.layout;
+        let oid = p.tx_alloc(tx, l.n_size, true)?;
+        let ptr = p.direct(oid);
+        p.store_u64(p.gep(ptr, l.n_leaf as i64), u64::from(leaf))?;
+        p.persist(ptr, 16)?;
+        Ok(oid)
+    }
+
+    fn snapshot_node(&self, tx: &mut Tx<'_>, node_ptr: u64) -> Result<()> {
+        self.policy.tx_snapshot(tx, node_ptr, self.layout.n_size)
+    }
+
+    /// Shift items `[idx, n)` one slot right to open slot `idx`
+    /// (keys + values, and children `[idx+1, n+1)` if requested).
+    fn shift_right(&self, node_ptr: u64, idx: u64, n: u64, with_children: bool) -> Result<()> {
+        let p = &*self.policy;
+        if n > idx {
+            let count = n - idx;
+            p.memmove(self.key_ptr(node_ptr, idx + 1), self.key_ptr(node_ptr, idx), count * 8)?;
+            p.memmove(
+                self.value_ptr(node_ptr, idx + 1),
+                self.value_ptr(node_ptr, idx),
+                count * self.layout.os,
+            )?;
+            if with_children {
+                p.memmove(
+                    self.child_ptr(node_ptr, idx + 2),
+                    self.child_ptr(node_ptr, idx + 1),
+                    count * self.layout.os,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Shift items `[idx+1, n)` one slot left, erasing slot `idx`.
+    ///
+    /// `one_extra` reproduces the PMDK `btree_map` bug: the `memmove` count
+    /// is off by one entry, so on a **full** node the source range runs one
+    /// oid past the end of the node object.
+    fn shift_left(&self, node_ptr: u64, idx: u64, n: u64, one_extra: bool) -> Result<()> {
+        let p = &*self.policy;
+        let count = (n - idx - 1) + u64::from(one_extra);
+        if count > 0 {
+            p.memmove(self.key_ptr(node_ptr, idx), self.key_ptr(node_ptr, idx + 1), count * 8)?;
+            p.memmove(
+                self.value_ptr(node_ptr, idx),
+                self.value_ptr(node_ptr, idx + 1),
+                count * self.layout.os,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Split the full child `ci` of `parent` (which has room).
+    fn split_child(&self, tx: &mut Tx<'_>, parent: PmemOid, ci: u64) -> Result<()> {
+        let p = &*self.policy;
+        let l = self.layout;
+        let pptr = p.direct(parent);
+        let child = p.load_oid(self.child_ptr(pptr, ci))?;
+        let cptr = p.direct(child);
+        let child_leaf = self.is_leaf(cptr)?;
+        let z = self.new_node(tx, child_leaf)?;
+        let zptr = p.direct(z);
+        const MID: u64 = MAX_ITEMS / 2; // 3
+        let move_n = MAX_ITEMS - MID - 1; // 3 items to the new right node
+        self.snapshot_node(tx, pptr)?;
+        self.snapshot_node(tx, cptr)?;
+        // Copy upper items to z (fresh object: plain stores).
+        p.memcpy(self.key_ptr(zptr, 0), self.key_ptr(cptr, MID + 1), move_n * 8)?;
+        p.memcpy(self.value_ptr(zptr, 0), self.value_ptr(cptr, MID + 1), move_n * l.os)?;
+        if !child_leaf {
+            p.memcpy(self.child_ptr(zptr, 0), self.child_ptr(cptr, MID + 1), (move_n + 1) * l.os)?;
+        }
+        p.store_u64(p.gep(zptr, l.n_n as i64), move_n)?;
+        p.persist(zptr, l.n_size)?;
+        // Shrink the child.
+        p.store_u64(p.gep(cptr, l.n_n as i64), MID)?;
+        // Make room in the parent at ci and hoist the median.
+        let pn = self.items(pptr)?;
+        self.shift_right(pptr, ci, pn, true)?;
+        let mid_key = p.load_u64(self.key_ptr(cptr, MID))?;
+        let mid_val = p.load_oid(self.value_ptr(cptr, MID))?;
+        p.store_u64(self.key_ptr(pptr, ci), mid_key)?;
+        p.store_oid(self.value_ptr(pptr, ci), mid_val)?;
+        p.store_oid(self.child_ptr(pptr, ci + 1), z)?;
+        p.store_u64(p.gep(pptr, l.n_n as i64), pn + 1)?;
+        p.persist(pptr, l.n_size)?;
+        Ok(())
+    }
+
+    fn insert_nonfull(&self, tx: &mut Tx<'_>, node: PmemOid, key: u64, val: PmemOid) -> Result<()> {
+        let p = &*self.policy;
+        let l = self.layout;
+        let mut node = node;
+        loop {
+            let nptr = p.direct(node);
+            let n = self.items(nptr)?;
+            // Position of the first key >= `key`.
+            let mut i = 0;
+            let mut replace = false;
+            while i < n {
+                let k = p.load_u64(self.key_ptr(nptr, i))?;
+                if key == k {
+                    replace = true;
+                    break;
+                }
+                if key < k {
+                    break;
+                }
+                i += 1;
+            }
+            if replace {
+                let vp = self.value_ptr(nptr, i);
+                let old = p.load_oid(vp)?;
+                p.tx_free(tx, old)?;
+                p.tx_write_oid(tx, vp, val)?;
+                return Ok(());
+            }
+            if self.is_leaf(nptr)? {
+                self.snapshot_node(tx, nptr)?;
+                self.shift_right(nptr, i, n, false)?;
+                p.store_u64(self.key_ptr(nptr, i), key)?;
+                p.store_oid(self.value_ptr(nptr, i), val)?;
+                p.store_u64(p.gep(nptr, l.n_n as i64), n + 1)?;
+                p.persist(nptr, l.n_size)?;
+                self.bump_count(tx, 1)?;
+                return Ok(());
+            }
+            let child = p.load_oid(self.child_ptr(nptr, i))?;
+            let child_n = self.items(p.direct(child))?;
+            if child_n == MAX_ITEMS {
+                self.split_child(tx, node, i)?;
+                // The hoisted median may equal or precede `key`: re-run the
+                // position scan on this node.
+                continue;
+            }
+            node = child;
+        }
+    }
+
+    fn bump_count(&self, tx: &mut Tx<'_>, delta: i64) -> Result<()> {
+        let p = &*self.policy;
+        let ptr = p.gep(p.direct(self.meta), self.layout.m_count as i64);
+        let n = p.load_u64(ptr)?;
+        p.tx_write_u64(tx, ptr, n.wrapping_add(delta as u64))
+    }
+
+    /// Minimum degree `t`: non-root nodes keep at least `t - 1` items.
+    const T: u64 = ORDER / 2;
+
+    fn max_key(&self, mut node: PmemOid) -> Result<u64> {
+        let p = &*self.policy;
+        loop {
+            let nptr = p.direct(node);
+            let n = self.items(nptr)?;
+            if self.is_leaf(nptr)? {
+                return p.load_u64(self.key_ptr(nptr, n - 1));
+            }
+            node = p.load_oid(self.child_ptr(nptr, n))?;
+        }
+    }
+
+    fn min_key(&self, mut node: PmemOid) -> Result<u64> {
+        let p = &*self.policy;
+        loop {
+            let nptr = p.direct(node);
+            if self.is_leaf(nptr)? {
+                return p.load_u64(self.key_ptr(nptr, 0));
+            }
+            node = p.load_oid(self.child_ptr(nptr, 0))?;
+        }
+    }
+
+    /// Merge `child[i]`, separator `i`, and `child[i+1]` of `node` into one
+    /// full node (both children have `t - 1` items). Returns the merged
+    /// child. Shrinks the root when it empties.
+    fn merge_children(&self, tx: &mut Tx<'_>, node: PmemOid, i: u64) -> Result<PmemOid> {
+        let p = &*self.policy;
+        let l = self.layout;
+        let nptr = p.direct(node);
+        let left = p.load_oid(self.child_ptr(nptr, i))?;
+        let right = p.load_oid(self.child_ptr(nptr, i + 1))?;
+        let lptr = p.direct(left);
+        let rptr = p.direct(right);
+        let ln = self.items(lptr)?; // t - 1
+        let rn = self.items(rptr)?; // t - 1
+        self.snapshot_node(tx, lptr)?;
+        self.snapshot_node(tx, nptr)?;
+        // Separator drops into the left child.
+        let sep_key = p.load_u64(self.key_ptr(nptr, i))?;
+        let sep_val = p.load_oid(self.value_ptr(nptr, i))?;
+        p.store_u64(self.key_ptr(lptr, ln), sep_key)?;
+        p.store_oid(self.value_ptr(lptr, ln), sep_val)?;
+        // Right child's entries append after it.
+        p.memcpy(self.key_ptr(lptr, ln + 1), self.key_ptr(rptr, 0), rn * 8)?;
+        p.memcpy(self.value_ptr(lptr, ln + 1), self.value_ptr(rptr, 0), rn * l.os)?;
+        if !self.is_leaf(lptr)? {
+            p.memcpy(self.child_ptr(lptr, ln + 1), self.child_ptr(rptr, 0), (rn + 1) * l.os)?;
+        }
+        p.store_u64(p.gep(lptr, l.n_n as i64), ln + 1 + rn)?;
+        p.persist(lptr, l.n_size)?;
+        // Remove separator i and child i+1 from the parent.
+        let n = self.items(nptr)?;
+        self.shift_left(nptr, i, n, false)?;
+        if n > i + 1 {
+            p.memmove(
+                self.child_ptr(nptr, i + 1),
+                self.child_ptr(nptr, i + 2),
+                (n - i - 1) * l.os,
+            )?;
+        }
+        p.store_u64(p.gep(nptr, l.n_n as i64), n - 1)?;
+        p.persist(nptr, l.n_size)?;
+        p.tx_free(tx, right)?;
+        // Root shrink.
+        if n - 1 == 0 {
+            let root_field = self.root_field();
+            if p.load_oid(root_field)?.off == node.off {
+                p.tx_write_oid(tx, root_field, left)?;
+                p.tx_free(tx, node)?;
+            }
+        }
+        Ok(left)
+    }
+
+    /// Ensure `child[i]` of `node` has at least `t` items before descending
+    /// into it. Returns the node to continue the search from (the merged
+    /// child when a merge happened, otherwise the — possibly refilled —
+    /// original child).
+    fn fix_child(&self, tx: &mut Tx<'_>, node: PmemOid, i: u64) -> Result<PmemOid> {
+        let p = &*self.policy;
+        let l = self.layout;
+        let nptr = p.direct(node);
+        let n = self.items(nptr)?;
+        let child = p.load_oid(self.child_ptr(nptr, i))?;
+        let cptr = p.direct(child);
+        let cn = self.items(cptr)?;
+        if cn >= Self::T {
+            return Ok(child);
+        }
+        // Try borrowing from the left sibling.
+        if i > 0 {
+            let sib = p.load_oid(self.child_ptr(nptr, i - 1))?;
+            let sptr = p.direct(sib);
+            let sn = self.items(sptr)?;
+            if sn >= Self::T {
+                self.snapshot_node(tx, cptr)?;
+                self.snapshot_node(tx, sptr)?;
+                self.snapshot_node(tx, nptr)?;
+                // Child shifts right; parent separator drops in at 0.
+                self.shift_right(cptr, 0, cn, false)?;
+                if !self.is_leaf(cptr)? {
+                    p.memmove(self.child_ptr(cptr, 1), self.child_ptr(cptr, 0), (cn + 1) * l.os)?;
+                    let moved = p.load_oid(self.child_ptr(sptr, sn))?;
+                    p.store_oid(self.child_ptr(cptr, 0), moved)?;
+                }
+                let sep_key = p.load_u64(self.key_ptr(nptr, i - 1))?;
+                let sep_val = p.load_oid(self.value_ptr(nptr, i - 1))?;
+                p.store_u64(self.key_ptr(cptr, 0), sep_key)?;
+                p.store_oid(self.value_ptr(cptr, 0), sep_val)?;
+                p.store_u64(p.gep(cptr, l.n_n as i64), cn + 1)?;
+                // Sibling's last entry becomes the new separator.
+                let up_key = p.load_u64(self.key_ptr(sptr, sn - 1))?;
+                let up_val = p.load_oid(self.value_ptr(sptr, sn - 1))?;
+                p.store_u64(self.key_ptr(nptr, i - 1), up_key)?;
+                p.store_oid(self.value_ptr(nptr, i - 1), up_val)?;
+                p.store_u64(p.gep(sptr, l.n_n as i64), sn - 1)?;
+                p.persist(cptr, l.n_size)?;
+                p.persist(sptr, l.n_size)?;
+                p.persist(nptr, l.n_size)?;
+                return Ok(child);
+            }
+        }
+        // Try borrowing from the right sibling.
+        if i < n {
+            let sib = p.load_oid(self.child_ptr(nptr, i + 1))?;
+            let sptr = p.direct(sib);
+            let sn = self.items(sptr)?;
+            if sn >= Self::T {
+                self.snapshot_node(tx, cptr)?;
+                self.snapshot_node(tx, sptr)?;
+                self.snapshot_node(tx, nptr)?;
+                // Parent separator appends to the child.
+                let sep_key = p.load_u64(self.key_ptr(nptr, i))?;
+                let sep_val = p.load_oid(self.value_ptr(nptr, i))?;
+                p.store_u64(self.key_ptr(cptr, cn), sep_key)?;
+                p.store_oid(self.value_ptr(cptr, cn), sep_val)?;
+                if !self.is_leaf(cptr)? {
+                    let moved = p.load_oid(self.child_ptr(sptr, 0))?;
+                    p.store_oid(self.child_ptr(cptr, cn + 1), moved)?;
+                }
+                p.store_u64(p.gep(cptr, l.n_n as i64), cn + 1)?;
+                // Sibling's first entry becomes the new separator.
+                let up_key = p.load_u64(self.key_ptr(sptr, 0))?;
+                let up_val = p.load_oid(self.value_ptr(sptr, 0))?;
+                p.store_u64(self.key_ptr(nptr, i), up_key)?;
+                p.store_oid(self.value_ptr(nptr, i), up_val)?;
+                self.shift_left(sptr, 0, sn, false)?;
+                if !self.is_leaf(sptr)? {
+                    p.memmove(self.child_ptr(sptr, 0), self.child_ptr(sptr, 1), sn * l.os)?;
+                }
+                p.store_u64(p.gep(sptr, l.n_n as i64), sn - 1)?;
+                p.persist(cptr, l.n_size)?;
+                p.persist(sptr, l.n_size)?;
+                p.persist(nptr, l.n_size)?;
+                return Ok(child);
+            }
+        }
+        // Merge with a sibling.
+        if i > 0 {
+            self.merge_children(tx, node, i - 1)
+        } else {
+            self.merge_children(tx, node, i)
+        }
+    }
+
+    /// CLRS B-tree deletion. Returns the removed entry's value oid (not
+    /// freed — callers that *moved* the value must not free it).
+    fn delete_rec(
+        &self,
+        tx: &mut Tx<'_>,
+        node: PmemOid,
+        key: u64,
+        buggy: bool,
+    ) -> Result<Option<PmemOid>> {
+        let p = &*self.policy;
+        let l = self.layout;
+        let nptr = p.direct(node);
+        let n = self.items(nptr)?;
+        let mut i = 0;
+        let mut found = false;
+        while i < n {
+            let k = p.load_u64(self.key_ptr(nptr, i))?;
+            if key == k {
+                found = true;
+                break;
+            }
+            if key < k {
+                break;
+            }
+            i += 1;
+        }
+        if found {
+            let val = p.load_oid(self.value_ptr(nptr, i))?;
+            if self.is_leaf(nptr)? {
+                self.snapshot_node(tx, nptr)?;
+                self.shift_left(nptr, i, n, buggy)?;
+                p.store_u64(p.gep(nptr, l.n_n as i64), n - 1)?;
+                p.persist(nptr, l.n_size)?;
+                return Ok(Some(val));
+            }
+            let left = p.load_oid(self.child_ptr(nptr, i))?;
+            let right = p.load_oid(self.child_ptr(nptr, i + 1))?;
+            if self.items(p.direct(left))? >= Self::T {
+                let pred_key = self.max_key(left)?;
+                let pred_val = self
+                    .delete_rec(tx, left, pred_key, buggy)?
+                    .expect("predecessor key must exist");
+                p.tx_write_u64(tx, self.key_ptr(nptr, i), pred_key)?;
+                p.tx_write_oid(tx, self.value_ptr(nptr, i), pred_val)?;
+                return Ok(Some(val));
+            }
+            if self.items(p.direct(right))? >= Self::T {
+                let succ_key = self.min_key(right)?;
+                let succ_val = self
+                    .delete_rec(tx, right, succ_key, buggy)?
+                    .expect("successor key must exist");
+                p.tx_write_u64(tx, self.key_ptr(nptr, i), succ_key)?;
+                p.tx_write_oid(tx, self.value_ptr(nptr, i), succ_val)?;
+                return Ok(Some(val));
+            }
+            // Both children minimal: merge and recurse (the separator —
+            // including its value oid — moved into the merged child).
+            let merged = self.merge_children(tx, node, i)?;
+            return self.delete_rec(tx, merged, key, buggy);
+        }
+        if self.is_leaf(nptr)? {
+            return Ok(None);
+        }
+        let child = p.load_oid(self.child_ptr(nptr, i))?;
+        if self.items(p.direct(child))? < Self::T {
+            let next = self.fix_child(tx, node, i)?;
+            return self.delete_rec(tx, next, key, buggy);
+        }
+        self.delete_rec(tx, child, key, buggy)
+    }
+
+    fn remove_impl(&self, key: u64, buggy: bool) -> Result<bool> {
+        let _g = self.write_lock.lock();
+        let p = &*self.policy;
+        p.pool().tx(|tx| -> Result<bool> {
+            let root = p.load_oid(self.root_field())?;
+            if root.is_null() {
+                return Ok(false);
+            }
+            match self.delete_rec(tx, root, key, buggy)? {
+                None => Ok(false),
+                Some(val) => {
+                    p.tx_free(tx, val)?;
+                    self.bump_count(tx, -1)?;
+                    Ok(true)
+                }
+            }
+        })
+    }
+
+    /// The buggy removal path reproducing PMDK issue #5333: the entry-shift
+    /// `memmove` copies one entry too many. On a full node the copy crosses
+    /// the node object's boundary: silent corruption under native PMDK,
+    /// [`spp_core::SppError::OverflowDetected`] under SPP.
+    ///
+    /// # Errors
+    ///
+    /// Under SPP: the overflow detection. Under PMDK: usually `Ok` — the
+    /// corruption is silent.
+    pub fn remove_buggy(&self, key: u64) -> Result<bool> {
+        self.remove_impl(key, true)
+    }
+}
+
+impl<P: MemoryPolicy> Index<P> for BTreeMap<P> {
+    const NAME: &'static str = "btree";
+
+    fn open(policy: Arc<P>, meta: PmemOid) -> Result<Self> {
+        let layout = BtLayout::new(policy.oid_kind().on_media_size());
+        Ok(BTreeMap { policy, meta, layout, write_lock: Mutex::new(()) })
+    }
+
+    fn meta(&self) -> PmemOid {
+        self.meta
+    }
+
+    fn create(policy: Arc<P>) -> Result<Self> {
+        let layout = BtLayout::new(policy.oid_kind().on_media_size());
+        let meta = policy.zalloc(layout.m_size)?;
+        Ok(BTreeMap { policy, meta, layout, write_lock: Mutex::new(()) })
+    }
+
+    fn insert(&self, key: u64, value: u64) -> Result<()> {
+        let _g = self.write_lock.lock();
+        let p = &*self.policy;
+        p.pool().tx(|tx| -> Result<()> {
+            let val = tx_new_value(p, tx, value)?;
+            let root_field = self.root_field();
+            let mut root = p.load_oid(root_field)?;
+            if root.is_null() {
+                root = self.new_node(tx, true)?;
+                p.tx_write_oid(tx, root_field, root)?;
+            }
+            if self.items(p.direct(root))? == MAX_ITEMS {
+                let new_root = self.new_node(tx, false)?;
+                let nrptr = p.direct(new_root);
+                p.store_oid(self.child_ptr(nrptr, 0), root)?;
+                p.persist(nrptr, self.layout.n_size)?;
+                p.tx_write_oid(tx, root_field, new_root)?;
+                self.split_child(tx, new_root, 0)?;
+                root = new_root;
+            }
+            self.insert_nonfull(tx, root, key, val)
+        })
+    }
+
+    fn get(&self, key: u64) -> Result<Option<u64>> {
+        let p = &*self.policy;
+        let mut node = p.load_oid(self.root_field())?;
+        loop {
+            if node.is_null() {
+                return Ok(None);
+            }
+            let nptr = p.direct(node);
+            let n = self.items(nptr)?;
+            let mut i = 0;
+            while i < n {
+                let k = p.load_u64(self.key_ptr(nptr, i))?;
+                if key == k {
+                    let val = p.load_oid(self.value_ptr(nptr, i))?;
+                    return Ok(Some(read_value(p, val)?));
+                }
+                if key < k {
+                    break;
+                }
+                i += 1;
+            }
+            if self.is_leaf(nptr)? {
+                return Ok(None);
+            }
+            node = p.load_oid(self.child_ptr(nptr, i))?;
+        }
+    }
+
+    fn remove(&self, key: u64) -> Result<bool> {
+        self.remove_impl(key, false)
+    }
+
+    fn count(&self) -> Result<u64> {
+        let p = &*self.policy;
+        p.load_u64(p.gep(p.direct(self.meta), self.layout.m_count as i64))
+    }
+}

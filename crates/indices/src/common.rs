@@ -1,0 +1,105 @@
+//! Shared layout and value-object helpers.
+
+use spp_core::{MemoryPolicy, Result};
+use spp_pmdk::{PmemOid, Tx};
+
+/// A sequential struct-layout builder: computes field offsets for node
+/// layouts whose oid fields vary in size with the active policy (16 bytes
+/// under stock PMDK, 24 under SPP) — the mechanism behind SPP's per-node
+/// space overhead in Table III.
+#[derive(Debug, Clone, Copy)]
+pub struct Layout {
+    oid_size: u64,
+    cursor: u64,
+}
+
+impl Layout {
+    /// Start a layout for a policy with the given oid footprint.
+    pub fn new(oid_size: u64) -> Self {
+        Layout { oid_size, cursor: 0 }
+    }
+
+    /// Reserve a `u64` field; returns its offset.
+    pub fn u64(&mut self) -> u64 {
+        let off = self.cursor;
+        self.cursor += 8;
+        off
+    }
+
+    /// Reserve one oid field; returns its offset.
+    pub fn oid(&mut self) -> u64 {
+        let off = self.cursor;
+        self.cursor += self.oid_size;
+        off
+    }
+
+    /// Reserve an array of `n` oids; returns the offset of element 0.
+    /// Element `i` lives at `offset + i * oid_size`.
+    pub fn oid_array(&mut self, n: u64) -> u64 {
+        let off = self.cursor;
+        self.cursor += self.oid_size * n;
+        off
+    }
+
+    /// Reserve `n` raw bytes; returns the offset.
+    pub fn bytes(&mut self, n: u64) -> u64 {
+        let off = self.cursor;
+        self.cursor += n;
+        off
+    }
+
+    /// The oid footprint this layout was built with.
+    pub fn oid_size(&self) -> u64 {
+        self.oid_size
+    }
+
+    /// Total size of the laid-out struct.
+    pub fn size(&self) -> u64 {
+        self.cursor
+    }
+}
+
+/// Allocate (inside a transaction) a PM value object holding `v` — the
+/// pmembench map workloads allocate one value object per insert.
+pub(crate) fn tx_new_value<P: MemoryPolicy>(p: &P, tx: &mut Tx<'_>, v: u64) -> Result<PmemOid> {
+    let oid = p.tx_alloc(tx, 8, false)?;
+    let ptr = p.direct(oid);
+    p.store_u64(ptr, v)?;
+    p.persist(ptr, 8)?;
+    Ok(oid)
+}
+
+/// Read a value object's payload.
+pub(crate) fn read_value<P: MemoryPolicy>(p: &P, oid: PmemOid) -> Result<u64> {
+    p.load_u64(p.direct(oid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_offsets_depend_on_oid_size() {
+        let mut pmdk = Layout::new(16);
+        let k = pmdk.u64();
+        let left = pmdk.oid();
+        let right = pmdk.oid();
+        assert_eq!((k, left, right, pmdk.size()), (0, 8, 24, 40));
+
+        let mut spp = Layout::new(24);
+        let k = spp.u64();
+        let left = spp.oid();
+        let right = spp.oid();
+        assert_eq!((k, left, right, spp.size()), (0, 8, 32, 56));
+    }
+
+    #[test]
+    fn oid_array_strides() {
+        let mut l = Layout::new(24);
+        let base = l.oid_array(256);
+        assert_eq!(base, 0);
+        assert_eq!(l.size(), 256 * 24);
+        let tail = l.u64();
+        assert_eq!(tail, 6144);
+    }
+}

@@ -1,0 +1,281 @@
+//! Crit-bit tree (PMDK's `ctree_map`).
+//!
+//! Internal nodes hold the index of the most significant bit on which their
+//! two subtrees differ; bits strictly decrease along every root-to-leaf
+//! path. Lookups inspect at most 64 nodes; inserts splice one internal node
+//! and one leaf.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use spp_core::{MemoryPolicy, Result};
+use spp_pmdk::{PmemOid, Tx};
+
+use crate::common::{read_value, tx_new_value, Layout};
+use crate::Index;
+
+const KIND_LEAF: u64 = 0;
+const KIND_INTERNAL: u64 = 1;
+
+#[derive(Debug, Clone, Copy)]
+struct CtLayout {
+    // meta object
+    m_root: u64,
+    m_count: u64,
+    m_size: u64,
+    // node object (leaf and internal share the kind/word0 prefix)
+    n_kind: u64,
+    n_word: u64, // leaf: key, internal: diff bit
+    n_val: u64,  // leaf: value oid
+    n_child: u64, // internal: child[2] oids
+    leaf_size: u64,
+    int_size: u64,
+    os: u64,
+}
+
+impl CtLayout {
+    fn new(os: u64) -> Self {
+        let mut m = Layout::new(os);
+        let m_root = m.oid();
+        let m_count = m.u64();
+        // Leaf and internal share a union layout (PMDK's `tree_map_entry`
+        // is a union too), so both kinds allocate the same node size.
+        let mut leaf = Layout::new(os);
+        let n_kind = leaf.u64();
+        let n_word = leaf.u64();
+        let n_val = leaf.oid();
+        let mut int = Layout::new(os);
+        let _ = int.u64(); // kind
+        let _ = int.u64(); // diff bit
+        let n_child = int.oid_array(2);
+        let union_size = leaf.size().max(int.size());
+        let leaf_size = union_size;
+        let int_size = union_size;
+        CtLayout {
+            m_root,
+            m_count,
+            m_size: m.size(),
+            n_kind,
+            n_word,
+            n_val,
+            n_child,
+            leaf_size,
+            int_size,
+            os,
+        }
+    }
+}
+
+/// A persistent crit-bit tree map.
+pub struct CTree<P: MemoryPolicy> {
+    policy: Arc<P>,
+    meta: PmemOid,
+    layout: CtLayout,
+    write_lock: Mutex<()>,
+}
+
+impl<P: MemoryPolicy> CTree<P> {
+    fn new_leaf(&self, tx: &mut Tx<'_>, key: u64, value: PmemOid) -> Result<PmemOid> {
+        let p = &*self.policy;
+        let l = &self.layout;
+        let oid = p.tx_alloc(tx, l.leaf_size, false)?;
+        let ptr = p.direct(oid);
+        p.store_u64(p.gep(ptr, l.n_kind as i64), KIND_LEAF)?;
+        p.store_u64(p.gep(ptr, l.n_word as i64), key)?;
+        p.store_oid(p.gep(ptr, l.n_val as i64), value)?;
+        p.persist(ptr, l.leaf_size)?;
+        Ok(oid)
+    }
+
+    fn new_internal(
+        &self,
+        tx: &mut Tx<'_>,
+        diff_bit: u64,
+        children: [PmemOid; 2],
+    ) -> Result<PmemOid> {
+        let p = &*self.policy;
+        let l = &self.layout;
+        let oid = p.tx_alloc(tx, l.int_size, false)?;
+        let ptr = p.direct(oid);
+        p.store_u64(p.gep(ptr, l.n_kind as i64), KIND_INTERNAL)?;
+        p.store_u64(p.gep(ptr, l.n_word as i64), diff_bit)?;
+        p.store_oid(p.gep(ptr, l.n_child as i64), children[0])?;
+        p.store_oid(p.gep(ptr, (l.n_child + l.os) as i64), children[1])?;
+        p.persist(ptr, l.int_size)?;
+        Ok(oid)
+    }
+
+    fn child_field(&self, node_ptr: u64, dir: u64) -> u64 {
+        self.policy.gep(node_ptr, (self.layout.n_child + dir * self.layout.os) as i64)
+    }
+
+    fn bump_count(&self, tx: &mut Tx<'_>, delta: i64) -> Result<()> {
+        let p = &*self.policy;
+        let ptr = p.gep(p.direct(self.meta), self.layout.m_count as i64);
+        let n = p.load_u64(ptr)?;
+        p.tx_write_u64(tx, ptr, n.wrapping_add(delta as u64))
+    }
+
+    fn root_field(&self) -> u64 {
+        self.policy.gep(self.policy.direct(self.meta), self.layout.m_root as i64)
+    }
+
+    /// Walk to the leaf that `key` routes to (None if the tree is empty).
+    fn locate_leaf(&self, key: u64) -> Result<Option<PmemOid>> {
+        let p = &*self.policy;
+        let l = &self.layout;
+        let mut cur = p.load_oid(self.root_field())?;
+        if cur.is_null() {
+            return Ok(None);
+        }
+        loop {
+            let ptr = p.direct(cur);
+            if p.load_u64(p.gep(ptr, l.n_kind as i64))? == KIND_LEAF {
+                return Ok(Some(cur));
+            }
+            let bit = p.load_u64(p.gep(ptr, l.n_word as i64))?;
+            let dir = (key >> bit) & 1;
+            cur = p.load_oid(self.child_field(ptr, dir))?;
+        }
+    }
+}
+
+impl<P: MemoryPolicy> Index<P> for CTree<P> {
+    const NAME: &'static str = "ctree";
+
+    fn open(policy: Arc<P>, meta: PmemOid) -> Result<Self> {
+        let layout = CtLayout::new(policy.oid_kind().on_media_size());
+        Ok(CTree { policy, meta, layout, write_lock: Mutex::new(()) })
+    }
+
+    fn meta(&self) -> PmemOid {
+        self.meta
+    }
+
+    fn create(policy: Arc<P>) -> Result<Self> {
+        let layout = CtLayout::new(policy.oid_kind().on_media_size());
+        let meta = policy.zalloc(layout.m_size)?;
+        Ok(CTree { policy, meta, layout, write_lock: Mutex::new(()) })
+    }
+
+    fn insert(&self, key: u64, value: u64) -> Result<()> {
+        let _g = self.write_lock.lock();
+        let p = &*self.policy;
+        let l = self.layout;
+        p.pool().tx(|tx| -> Result<()> {
+            let root_field = self.root_field();
+            let root = p.load_oid(root_field)?;
+            let val = tx_new_value(p, tx, value)?;
+            if root.is_null() {
+                let leaf = self.new_leaf(tx, key, val)?;
+                p.tx_write_oid(tx, root_field, leaf)?;
+                return self.bump_count(tx, 1);
+            }
+            // Phase 1: route to the closest existing leaf.
+            let leaf = self.locate_leaf(key)?.expect("tree is non-empty");
+            let leaf_ptr = p.direct(leaf);
+            let leaf_key = p.load_u64(p.gep(leaf_ptr, l.n_word as i64))?;
+            if leaf_key == key {
+                // Update in place: swap the value object.
+                let vfield = p.gep(leaf_ptr, l.n_val as i64);
+                let old = p.load_oid(vfield)?;
+                p.tx_free(tx, old)?;
+                p.tx_write_oid(tx, vfield, val)?;
+                return Ok(());
+            }
+            // Phase 2: splice a new internal node at the crit bit.
+            let diff = 63 - (key ^ leaf_key).leading_zeros() as u64;
+            let new_dir = (key >> diff) & 1;
+            let mut field = root_field;
+            let mut cur = root;
+            loop {
+                let ptr = p.direct(cur);
+                if p.load_u64(p.gep(ptr, l.n_kind as i64))? != KIND_INTERNAL {
+                    break;
+                }
+                let bit = p.load_u64(p.gep(ptr, l.n_word as i64))?;
+                if bit < diff {
+                    break;
+                }
+                let dir = (key >> bit) & 1;
+                field = self.child_field(ptr, dir);
+                cur = p.load_oid(field)?;
+            }
+            let displaced = p.load_oid(field)?;
+            let new_leaf = self.new_leaf(tx, key, val)?;
+            let children =
+                if new_dir == 0 { [new_leaf, displaced] } else { [displaced, new_leaf] };
+            let internal = self.new_internal(tx, diff, children)?;
+            p.tx_write_oid(tx, field, internal)?;
+            self.bump_count(tx, 1)
+        })
+    }
+
+    fn get(&self, key: u64) -> Result<Option<u64>> {
+        let p = &*self.policy;
+        let l = self.layout;
+        match self.locate_leaf(key)? {
+            None => Ok(None),
+            Some(leaf) => {
+                let ptr = p.direct(leaf);
+                if p.load_u64(p.gep(ptr, l.n_word as i64))? != key {
+                    return Ok(None);
+                }
+                let val = p.load_oid(p.gep(ptr, l.n_val as i64))?;
+                Ok(Some(read_value(p, val)?))
+            }
+        }
+    }
+
+    fn remove(&self, key: u64) -> Result<bool> {
+        let _g = self.write_lock.lock();
+        let p = &*self.policy;
+        let l = self.layout;
+        p.pool().tx(|tx| -> Result<bool> {
+            let root_field = self.root_field();
+            let mut cur = p.load_oid(root_field)?;
+            if cur.is_null() {
+                return Ok(false);
+            }
+            // (internal oid, field pointing at it, sibling field of `cur`)
+            let mut parent: Option<(PmemOid, u64, u64)> = None;
+            let mut field = root_field;
+            loop {
+                let ptr = p.direct(cur);
+                if p.load_u64(p.gep(ptr, l.n_kind as i64))? == KIND_LEAF {
+                    break;
+                }
+                let bit = p.load_u64(p.gep(ptr, l.n_word as i64))?;
+                let dir = (key >> bit) & 1;
+                let child_f = self.child_field(ptr, dir);
+                let sib_f = self.child_field(ptr, 1 - dir);
+                parent = Some((cur, field, sib_f));
+                field = child_f;
+                cur = p.load_oid(field)?;
+            }
+            let leaf_ptr = p.direct(cur);
+            if p.load_u64(p.gep(leaf_ptr, l.n_word as i64))? != key {
+                return Ok(false);
+            }
+            let val = p.load_oid(p.gep(leaf_ptr, l.n_val as i64))?;
+            p.tx_free(tx, val)?;
+            p.tx_free(tx, cur)?;
+            match parent {
+                None => p.tx_write_oid(tx, root_field, PmemOid::NULL)?,
+                Some((int_oid, int_field, sib_f)) => {
+                    let sibling = p.load_oid(sib_f)?;
+                    p.tx_write_oid(tx, int_field, sibling)?;
+                    p.tx_free(tx, int_oid)?;
+                }
+            }
+            self.bump_count(tx, -1)?;
+            Ok(true)
+        })
+    }
+
+    fn count(&self) -> Result<u64> {
+        let p = &*self.policy;
+        p.load_u64(p.gep(p.direct(self.meta), self.layout.m_count as i64))
+    }
+}

@@ -1,0 +1,195 @@
+//! Transactional chained hash map (PMDK's `hashmap_tx`).
+//!
+//! A bucket-array object holds one oid per bucket; entries are chained
+//! nodes `{key, next, value}`. All mutations run inside one transaction.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use spp_core::{MemoryPolicy, Result};
+use spp_pmdk::PmemOid;
+
+use crate::common::{read_value, tx_new_value, Layout};
+use crate::Index;
+
+/// Default number of buckets (pmembench-scale runs pass their own).
+pub const DEFAULT_BUCKETS: u64 = 1 << 12;
+
+#[derive(Debug, Clone, Copy)]
+struct HmLayout {
+    m_buckets: u64,
+    m_nbuckets: u64,
+    m_count: u64,
+    m_size: u64,
+    n_key: u64,
+    n_next: u64,
+    n_val: u64,
+    n_size: u64,
+    os: u64,
+}
+
+impl HmLayout {
+    fn new(os: u64) -> Self {
+        let mut m = Layout::new(os);
+        let m_buckets = m.oid();
+        let m_nbuckets = m.u64();
+        let m_count = m.u64();
+        let mut n = Layout::new(os);
+        let n_key = n.u64();
+        let n_next = n.oid();
+        let n_val = n.oid();
+        HmLayout {
+            m_buckets,
+            m_nbuckets,
+            m_count,
+            m_size: m.size(),
+            n_key,
+            n_next,
+            n_val,
+            n_size: n.size(),
+            os,
+        }
+    }
+}
+
+/// A persistent transactional hash map.
+pub struct HashMapTx<P: MemoryPolicy> {
+    policy: Arc<P>,
+    meta: PmemOid,
+    buckets: PmemOid,
+    nbuckets: u64,
+    layout: HmLayout,
+    write_lock: Mutex<()>,
+}
+
+impl<P: MemoryPolicy> HashMapTx<P> {
+    /// Create with an explicit bucket count.
+    ///
+    /// # Errors
+    ///
+    /// Allocation errors (the bucket array is one object of
+    /// `nbuckets * oid_size` bytes).
+    pub fn with_buckets(policy: Arc<P>, nbuckets: u64) -> Result<Self> {
+        let layout = HmLayout::new(policy.oid_kind().on_media_size());
+        let meta = policy.zalloc(layout.m_size)?;
+        let meta_ptr = policy.direct(meta);
+        let buckets =
+            policy.zalloc_into_ptr(policy.gep(meta_ptr, layout.m_buckets as i64), nbuckets * layout.os)?;
+        policy.store_u64(policy.gep(meta_ptr, layout.m_nbuckets as i64), nbuckets)?;
+        policy.persist(meta_ptr, layout.m_size)?;
+        Ok(HashMapTx { policy, meta, buckets, nbuckets, layout, write_lock: Mutex::new(()) })
+    }
+
+    #[inline]
+    fn bucket_field(&self, key: u64) -> u64 {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let b = h % self.nbuckets;
+        self.policy.gep(self.policy.direct(self.buckets), (b * self.layout.os) as i64)
+    }
+
+    fn bump_count(&self, tx: &mut spp_pmdk::Tx<'_>, delta: i64) -> Result<()> {
+        let p = &*self.policy;
+        let ptr = p.gep(p.direct(self.meta), self.layout.m_count as i64);
+        let n = p.load_u64(ptr)?;
+        p.tx_write_u64(tx, ptr, n.wrapping_add(delta as u64))
+    }
+}
+
+impl<P: MemoryPolicy> Index<P> for HashMapTx<P> {
+    const NAME: &'static str = "hashmap";
+
+    fn open(policy: Arc<P>, meta: PmemOid) -> Result<Self> {
+        let layout = HmLayout::new(policy.oid_kind().on_media_size());
+        let mptr = policy.direct(meta);
+        let buckets = policy.load_oid(policy.gep(mptr, layout.m_buckets as i64))?;
+        let nbuckets = policy.load_u64(policy.gep(mptr, layout.m_nbuckets as i64))?;
+        Ok(HashMapTx { policy, meta, buckets, nbuckets, layout, write_lock: Mutex::new(()) })
+    }
+
+    fn meta(&self) -> PmemOid {
+        self.meta
+    }
+
+    fn create(policy: Arc<P>) -> Result<Self> {
+        Self::with_buckets(policy, DEFAULT_BUCKETS)
+    }
+
+    fn insert(&self, key: u64, value: u64) -> Result<()> {
+        let _g = self.write_lock.lock();
+        let p = &*self.policy;
+        let l = self.layout;
+        p.pool().tx(|tx| -> Result<()> {
+            let head_field = self.bucket_field(key);
+            let val = tx_new_value(p, tx, value)?;
+            // Search the chain for an existing key.
+            let mut cur = p.load_oid(head_field)?;
+            while !cur.is_null() {
+                let nptr = p.direct(cur);
+                if p.load_u64(p.gep(nptr, l.n_key as i64))? == key {
+                    let vfield = p.gep(nptr, l.n_val as i64);
+                    let old = p.load_oid(vfield)?;
+                    p.tx_free(tx, old)?;
+                    p.tx_write_oid(tx, vfield, val)?;
+                    return Ok(());
+                }
+                cur = p.load_oid(p.gep(nptr, l.n_next as i64))?;
+            }
+            // Prepend a new node.
+            let head = p.load_oid(head_field)?;
+            let node = p.tx_alloc(tx, l.n_size, false)?;
+            let nptr = p.direct(node);
+            p.store_u64(p.gep(nptr, l.n_key as i64), key)?;
+            p.store_oid(p.gep(nptr, l.n_next as i64), head)?;
+            p.store_oid(p.gep(nptr, l.n_val as i64), val)?;
+            p.persist(nptr, l.n_size)?;
+            p.tx_write_oid(tx, head_field, node)?;
+            self.bump_count(tx, 1)
+        })
+    }
+
+    fn get(&self, key: u64) -> Result<Option<u64>> {
+        let p = &*self.policy;
+        let l = self.layout;
+        let mut cur = p.load_oid(self.bucket_field(key))?;
+        while !cur.is_null() {
+            let nptr = p.direct(cur);
+            if p.load_u64(p.gep(nptr, l.n_key as i64))? == key {
+                let val = p.load_oid(p.gep(nptr, l.n_val as i64))?;
+                return Ok(Some(read_value(p, val)?));
+            }
+            cur = p.load_oid(p.gep(nptr, l.n_next as i64))?;
+        }
+        Ok(None)
+    }
+
+    fn remove(&self, key: u64) -> Result<bool> {
+        let _g = self.write_lock.lock();
+        let p = &*self.policy;
+        let l = self.layout;
+        p.pool().tx(|tx| -> Result<bool> {
+            let mut field = self.bucket_field(key);
+            let mut cur = p.load_oid(field)?;
+            while !cur.is_null() {
+                let nptr = p.direct(cur);
+                if p.load_u64(p.gep(nptr, l.n_key as i64))? == key {
+                    let next = p.load_oid(p.gep(nptr, l.n_next as i64))?;
+                    let val = p.load_oid(p.gep(nptr, l.n_val as i64))?;
+                    p.tx_free(tx, val)?;
+                    p.tx_free(tx, cur)?;
+                    p.tx_write_oid(tx, field, next)?;
+                    self.bump_count(tx, -1)?;
+                    return Ok(true);
+                }
+                field = p.gep(nptr, l.n_next as i64);
+                cur = p.load_oid(field)?;
+            }
+            Ok(false)
+        })
+    }
+
+    fn count(&self) -> Result<u64> {
+        let p = &*self.policy;
+        p.load_u64(p.gep(p.direct(self.meta), self.layout.m_count as i64))
+    }
+}

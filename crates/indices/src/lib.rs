@@ -1,0 +1,114 @@
+//! # spp-indices — persistent indices over SPP memory policies
+//!
+//! The data-structure workloads of the paper's evaluation (§VI-B "persistent
+//! indices", Fig. 4 and Table III), rebuilt generically over
+//! [`spp_core::MemoryPolicy`] so each runs unmodified under the `PMDK`,
+//! `SPP` and `SafePM` variants:
+//!
+//! * [`CTree`] — crit-bit tree (PMDK's `ctree_map`);
+//! * [`RbTree`] — red-black tree with sentinel (PMDK's `rbtree_map`);
+//! * [`RTree`] — 256-way radix tree whose nodes embed 256 oids — the
+//!   structure whose Table III space overhead under SPP is ~40% because the
+//!   oid array dominates node size;
+//! * [`HashMapTx`] — transactional chained hash map (`hashmap_tx`);
+//! * [`BTreeMap`] — B-tree map hosting the reproduction of the real PMDK
+//!   `btree_map` buffer-overflow bug (GitHub issue #5333, §VI-D).
+//!
+//! Every mutation is a single software transaction, so all indices are
+//! crash-consistent; layouts are computed from the policy's oid size, which
+//! is how SPP's 24-byte oids grow node footprints (Table III).
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use std::sync::Arc;
+//! use spp_pm::{PmPool, PoolConfig};
+//! use spp_pmdk::{ObjPool, PoolOpts};
+//! use spp_core::{SppPolicy, TagConfig};
+//! use spp_indices::{CTree, Index};
+//!
+//! let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 22)));
+//! let pool = Arc::new(ObjPool::create(pm, PoolOpts::small())?);
+//! let spp = Arc::new(SppPolicy::new(pool, TagConfig::default())?);
+//! let map = CTree::create(spp)?;
+//! map.insert(7, 42)?;
+//! assert_eq!(map.get(7)?, Some(42));
+//! assert!(map.remove(7)?);
+//! # Ok(())
+//! # }
+//! ```
+
+mod btree;
+mod common;
+mod ctree;
+mod hashmap;
+mod rbtree;
+mod rtree;
+
+pub use btree::BTreeMap;
+pub use common::Layout;
+pub use ctree::CTree;
+pub use hashmap::HashMapTx;
+pub use rbtree::RbTree;
+pub use rtree::RTree;
+
+use std::sync::Arc;
+
+use spp_core::{MemoryPolicy, Result};
+
+/// A persistent ordered/unordered map with `u64` keys and values, backed by
+/// PM objects, crash-consistent, and generic over the memory-safety policy.
+pub trait Index<P: MemoryPolicy>: Send + Sync + Sized {
+    /// Name as used in the paper's figures (`ctree`, `rbtree`, …).
+    const NAME: &'static str;
+
+    /// Create an empty index in the policy's pool.
+    ///
+    /// # Errors
+    ///
+    /// Allocation errors.
+    fn create(policy: Arc<P>) -> Result<Self>;
+
+    /// Re-attach to an index previously created in this pool, given its
+    /// durable metadata oid (see [`Index::meta`]) — the post-restart /
+    /// post-crash path.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    fn open(policy: Arc<P>, meta: spp_pmdk::PmemOid) -> Result<Self>;
+
+    /// The durable metadata oid identifying this index across restarts
+    /// (store it in the pool root).
+    fn meta(&self) -> spp_pmdk::PmemOid;
+
+    /// Insert or update `key → value`. Allocates a PM value object (as the
+    /// pmembench map workloads do).
+    ///
+    /// # Errors
+    ///
+    /// Allocation/transaction errors, or a detected safety violation.
+    fn insert(&self, key: u64, value: u64) -> Result<()>;
+
+    /// Look up `key`.
+    ///
+    /// # Errors
+    ///
+    /// Detected safety violations (on corrupted structures).
+    fn get(&self, key: u64) -> Result<Option<u64>>;
+
+    /// Remove `key`, freeing its value object. Returns whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// Transaction errors, or a detected safety violation.
+    fn remove(&self, key: u64) -> Result<bool>;
+
+    /// Number of live entries.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    fn count(&self) -> Result<u64>;
+}

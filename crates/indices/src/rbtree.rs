@@ -1,0 +1,458 @@
+//! Red-black tree (PMDK's `rbtree_map`): CLRS algorithms with a nil
+//! sentinel node, every mutation one software transaction.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use spp_core::{MemoryPolicy, Result};
+use spp_pmdk::{PmemOid, Tx};
+
+use crate::common::{read_value, tx_new_value, Layout};
+use crate::Index;
+
+const RED: u64 = 0;
+const BLACK: u64 = 1;
+
+#[derive(Debug, Clone, Copy)]
+struct RbLayout {
+    m_nil: u64,
+    m_root: u64,
+    m_count: u64,
+    m_size: u64,
+    n_color: u64,
+    n_key: u64,
+    n_parent: u64,
+    n_left: u64,
+    n_right: u64,
+    n_val: u64,
+    n_size: u64,
+}
+
+impl RbLayout {
+    fn new(os: u64) -> Self {
+        let mut m = Layout::new(os);
+        let m_nil = m.oid();
+        let m_root = m.oid();
+        let m_count = m.u64();
+        let mut n = Layout::new(os);
+        let n_color = n.u64();
+        let n_key = n.u64();
+        let n_parent = n.oid();
+        let n_left = n.oid();
+        let n_right = n.oid();
+        let n_val = n.oid();
+        RbLayout {
+            m_nil,
+            m_root,
+            m_count,
+            m_size: m.size(),
+            n_color,
+            n_key,
+            n_parent,
+            n_left,
+            n_right,
+            n_val,
+            n_size: n.size(),
+        }
+    }
+}
+
+/// A persistent red-black tree map.
+pub struct RbTree<P: MemoryPolicy> {
+    policy: Arc<P>,
+    meta: PmemOid,
+    nil: PmemOid,
+    layout: RbLayout,
+    write_lock: Mutex<()>,
+}
+
+impl<P: MemoryPolicy> RbTree<P> {
+    #[inline]
+    fn is_nil(&self, oid: PmemOid) -> bool {
+        oid.off == self.nil.off
+    }
+
+    #[inline]
+    fn nptr(&self, oid: PmemOid) -> u64 {
+        self.policy.direct(oid)
+    }
+
+    fn field(&self, oid: PmemOid, off: u64) -> u64 {
+        self.policy.gep(self.nptr(oid), off as i64)
+    }
+
+    fn oid_at(&self, node: PmemOid, off: u64) -> Result<PmemOid> {
+        self.policy.load_oid(self.field(node, off))
+    }
+
+    fn set_oid(&self, tx: &mut Tx<'_>, node: PmemOid, off: u64, v: PmemOid) -> Result<()> {
+        self.policy.tx_write_oid(tx, self.field(node, off), v)
+    }
+
+    fn u64_at(&self, node: PmemOid, off: u64) -> Result<u64> {
+        self.policy.load_u64(self.field(node, off))
+    }
+
+    fn set_u64(&self, tx: &mut Tx<'_>, node: PmemOid, off: u64, v: u64) -> Result<()> {
+        self.policy.tx_write_u64(tx, self.field(node, off), v)
+    }
+
+    fn parent(&self, n: PmemOid) -> Result<PmemOid> {
+        self.oid_at(n, self.layout.n_parent)
+    }
+    fn left(&self, n: PmemOid) -> Result<PmemOid> {
+        self.oid_at(n, self.layout.n_left)
+    }
+    fn right(&self, n: PmemOid) -> Result<PmemOid> {
+        self.oid_at(n, self.layout.n_right)
+    }
+    fn color(&self, n: PmemOid) -> Result<u64> {
+        self.u64_at(n, self.layout.n_color)
+    }
+
+    fn root(&self) -> Result<PmemOid> {
+        self.policy.load_oid(self.field(self.meta, self.layout.m_root))
+    }
+
+    fn set_root(&self, tx: &mut Tx<'_>, v: PmemOid) -> Result<()> {
+        self.set_oid(tx, self.meta, self.layout.m_root, v)
+    }
+
+    /// Allocate a fresh red node (plain stores: the object is new).
+    fn new_node(&self, tx: &mut Tx<'_>, key: u64, value: PmemOid) -> Result<PmemOid> {
+        let p = &*self.policy;
+        let l = &self.layout;
+        let oid = p.tx_alloc(tx, l.n_size, false)?;
+        let ptr = p.direct(oid);
+        p.store_u64(p.gep(ptr, l.n_color as i64), RED)?;
+        p.store_u64(p.gep(ptr, l.n_key as i64), key)?;
+        p.store_oid(p.gep(ptr, l.n_parent as i64), self.nil)?;
+        p.store_oid(p.gep(ptr, l.n_left as i64), self.nil)?;
+        p.store_oid(p.gep(ptr, l.n_right as i64), self.nil)?;
+        p.store_oid(p.gep(ptr, l.n_val as i64), value)?;
+        p.persist(ptr, l.n_size)?;
+        Ok(oid)
+    }
+
+    fn rotate(&self, tx: &mut Tx<'_>, x: PmemOid, left_rotate: bool) -> Result<()> {
+        let l = self.layout;
+        let (near, far) = if left_rotate { (l.n_left, l.n_right) } else { (l.n_right, l.n_left) };
+        let y = self.oid_at(x, far)?;
+        let y_near = self.oid_at(y, near)?;
+        self.set_oid(tx, x, far, y_near)?;
+        if !self.is_nil(y_near) {
+            self.set_oid(tx, y_near, l.n_parent, x)?;
+        }
+        let xp = self.parent(x)?;
+        self.set_oid(tx, y, l.n_parent, xp)?;
+        if self.is_nil(xp) {
+            self.set_root(tx, y)?;
+        } else if self.left(xp)?.off == x.off {
+            self.set_oid(tx, xp, l.n_left, y)?;
+        } else {
+            self.set_oid(tx, xp, l.n_right, y)?;
+        }
+        self.set_oid(tx, y, near, x)?;
+        self.set_oid(tx, x, l.n_parent, y)?;
+        Ok(())
+    }
+
+    fn insert_fixup(&self, tx: &mut Tx<'_>, mut z: PmemOid) -> Result<()> {
+        let l = self.layout;
+        while self.color(self.parent(z)?)? == RED {
+            let zp = self.parent(z)?;
+            let zpp = self.parent(zp)?;
+            let parent_is_left = self.left(zpp)?.off == zp.off;
+            let uncle =
+                if parent_is_left { self.right(zpp)? } else { self.left(zpp)? };
+            if self.color(uncle)? == RED {
+                self.set_u64(tx, zp, l.n_color, BLACK)?;
+                self.set_u64(tx, uncle, l.n_color, BLACK)?;
+                self.set_u64(tx, zpp, l.n_color, RED)?;
+                z = zpp;
+            } else {
+                if parent_is_left {
+                    if self.right(zp)?.off == z.off {
+                        z = zp;
+                        self.rotate(tx, z, true)?;
+                    }
+                    let zp = self.parent(z)?;
+                    let zpp = self.parent(zp)?;
+                    self.set_u64(tx, zp, l.n_color, BLACK)?;
+                    self.set_u64(tx, zpp, l.n_color, RED)?;
+                    self.rotate(tx, zpp, false)?;
+                } else {
+                    if self.left(zp)?.off == z.off {
+                        z = zp;
+                        self.rotate(tx, z, false)?;
+                    }
+                    let zp = self.parent(z)?;
+                    let zpp = self.parent(zp)?;
+                    self.set_u64(tx, zp, l.n_color, BLACK)?;
+                    self.set_u64(tx, zpp, l.n_color, RED)?;
+                    self.rotate(tx, zpp, true)?;
+                }
+            }
+        }
+        let root = self.root()?;
+        if self.color(root)? != BLACK {
+            self.set_u64(tx, root, l.n_color, BLACK)?;
+        }
+        Ok(())
+    }
+
+    fn find(&self, key: u64) -> Result<PmemOid> {
+        let l = self.layout;
+        let mut cur = self.root()?;
+        while !self.is_nil(cur) {
+            let k = self.u64_at(cur, l.n_key)?;
+            if key == k {
+                return Ok(cur);
+            }
+            cur = if key < k { self.left(cur)? } else { self.right(cur)? };
+        }
+        Ok(self.nil)
+    }
+
+    fn minimum(&self, mut n: PmemOid) -> Result<PmemOid> {
+        loop {
+            let ln = self.left(n)?;
+            if self.is_nil(ln) {
+                return Ok(n);
+            }
+            n = ln;
+        }
+    }
+
+    /// Replace the subtree rooted at `u` with the one rooted at `v`.
+    fn transplant(&self, tx: &mut Tx<'_>, u: PmemOid, v: PmemOid) -> Result<()> {
+        let l = self.layout;
+        let up = self.parent(u)?;
+        if self.is_nil(up) {
+            self.set_root(tx, v)?;
+        } else if self.left(up)?.off == u.off {
+            self.set_oid(tx, up, l.n_left, v)?;
+        } else {
+            self.set_oid(tx, up, l.n_right, v)?;
+        }
+        // CLRS assigns v.parent unconditionally — the nil sentinel's parent
+        // field is used by delete_fixup.
+        self.set_oid(tx, v, l.n_parent, up)?;
+        Ok(())
+    }
+
+    fn delete_fixup(&self, tx: &mut Tx<'_>, mut x: PmemOid) -> Result<()> {
+        let l = self.layout;
+        while x.off != self.root()?.off && self.color(x)? == BLACK {
+            let xp = self.parent(x)?;
+            let x_is_left = self.left(xp)?.off == x.off;
+            let (near, far, rot_near, rot_far) = if x_is_left {
+                (l.n_left, l.n_right, false, true)
+            } else {
+                (l.n_right, l.n_left, true, false)
+            };
+            let mut w = self.oid_at(xp, far)?;
+            if self.color(w)? == RED {
+                self.set_u64(tx, w, l.n_color, BLACK)?;
+                self.set_u64(tx, xp, l.n_color, RED)?;
+                self.rotate(tx, xp, rot_far)?;
+                w = self.oid_at(xp, far)?;
+            }
+            if self.color(self.oid_at(w, near)?)? == BLACK
+                && self.color(self.oid_at(w, far)?)? == BLACK
+            {
+                self.set_u64(tx, w, l.n_color, RED)?;
+                x = xp;
+            } else {
+                if self.color(self.oid_at(w, far)?)? == BLACK {
+                    let wn = self.oid_at(w, near)?;
+                    self.set_u64(tx, wn, l.n_color, BLACK)?;
+                    self.set_u64(tx, w, l.n_color, RED)?;
+                    self.rotate(tx, w, rot_near)?;
+                    w = self.oid_at(xp, far)?;
+                }
+                self.set_u64(tx, w, l.n_color, self.color(xp)?)?;
+                self.set_u64(tx, xp, l.n_color, BLACK)?;
+                let wf = self.oid_at(w, far)?;
+                self.set_u64(tx, wf, l.n_color, BLACK)?;
+                self.rotate(tx, xp, rot_far)?;
+                x = self.root()?;
+            }
+        }
+        if self.color(x)? != BLACK {
+            self.set_u64(tx, x, l.n_color, BLACK)?;
+        }
+        Ok(())
+    }
+
+    fn bump_count(&self, tx: &mut Tx<'_>, delta: i64) -> Result<()> {
+        let n = self.u64_at(self.meta, self.layout.m_count)?;
+        self.set_u64(tx, self.meta, self.layout.m_count, n.wrapping_add(delta as u64))
+    }
+
+    /// Validate red-black invariants (test support): returns the black
+    /// height.
+    ///
+    /// # Errors
+    ///
+    /// Device errors; panics on invariant violations (test-only helper).
+    pub fn check_invariants(&self) -> Result<u64> {
+        let root = self.root()?;
+        assert_eq!(self.color(root)?, BLACK, "root must be black");
+        self.check_node(root)
+    }
+
+    fn check_node(&self, n: PmemOid) -> Result<u64> {
+        if self.is_nil(n) {
+            return Ok(1);
+        }
+        let l = self.layout;
+        let left = self.left(n)?;
+        let right = self.right(n)?;
+        let k = self.u64_at(n, l.n_key)?;
+        if self.color(n)? == RED {
+            assert_eq!(self.color(left)?, BLACK, "red node with red left child");
+            assert_eq!(self.color(right)?, BLACK, "red node with red right child");
+        }
+        if !self.is_nil(left) {
+            assert!(self.u64_at(left, l.n_key)? < k, "bst order violated");
+            assert_eq!(self.parent(left)?.off, n.off, "left parent link broken");
+        }
+        if !self.is_nil(right) {
+            assert!(self.u64_at(right, l.n_key)? > k, "bst order violated");
+            assert_eq!(self.parent(right)?.off, n.off, "right parent link broken");
+        }
+        let bl = self.check_node(left)?;
+        let br = self.check_node(right)?;
+        assert_eq!(bl, br, "black height mismatch");
+        Ok(bl + u64::from(self.color(n)? == BLACK))
+    }
+}
+
+impl<P: MemoryPolicy> Index<P> for RbTree<P> {
+    const NAME: &'static str = "rbtree";
+
+    fn open(policy: Arc<P>, meta: PmemOid) -> Result<Self> {
+        let layout = RbLayout::new(policy.oid_kind().on_media_size());
+        let nil = policy.load_oid(policy.gep(policy.direct(meta), layout.m_nil as i64))?;
+        Ok(RbTree { policy, meta, nil, layout, write_lock: Mutex::new(()) })
+    }
+
+    fn meta(&self) -> PmemOid {
+        self.meta
+    }
+
+    fn create(policy: Arc<P>) -> Result<Self> {
+        let layout = RbLayout::new(policy.oid_kind().on_media_size());
+        let meta = policy.zalloc(layout.m_size)?;
+        // The nil sentinel: black, self-parented.
+        let nil = policy.zalloc(layout.n_size)?;
+        let nptr = policy.direct(nil);
+        policy.store_u64(policy.gep(nptr, layout.n_color as i64), BLACK)?;
+        policy.store_oid(policy.gep(nptr, layout.n_parent as i64), nil)?;
+        policy.store_oid(policy.gep(nptr, layout.n_left as i64), nil)?;
+        policy.store_oid(policy.gep(nptr, layout.n_right as i64), nil)?;
+        policy.persist(nptr, layout.n_size)?;
+        let mptr = policy.direct(meta);
+        policy.store_oid(policy.gep(mptr, layout.m_nil as i64), nil)?;
+        policy.store_oid(policy.gep(mptr, layout.m_root as i64), nil)?;
+        policy.persist(mptr, layout.m_size)?;
+        Ok(RbTree { policy, meta, nil, layout, write_lock: Mutex::new(()) })
+    }
+
+    fn insert(&self, key: u64, value: u64) -> Result<()> {
+        let _g = self.write_lock.lock();
+        let p = &*self.policy;
+        let l = self.layout;
+        p.pool().tx(|tx| -> Result<()> {
+            let val = tx_new_value(p, tx, value)?;
+            // BST descent.
+            let mut parent = self.nil;
+            let mut cur = self.root()?;
+            while !self.is_nil(cur) {
+                let k = self.u64_at(cur, l.n_key)?;
+                if key == k {
+                    let vfield = self.field(cur, l.n_val);
+                    let old = p.load_oid(vfield)?;
+                    p.tx_free(tx, old)?;
+                    p.tx_write_oid(tx, vfield, val)?;
+                    return Ok(());
+                }
+                parent = cur;
+                cur = if key < k { self.left(cur)? } else { self.right(cur)? };
+            }
+            let z = self.new_node(tx, key, val)?;
+            self.set_oid(tx, z, l.n_parent, parent)?;
+            if self.is_nil(parent) {
+                self.set_root(tx, z)?;
+            } else if key < self.u64_at(parent, l.n_key)? {
+                self.set_oid(tx, parent, l.n_left, z)?;
+            } else {
+                self.set_oid(tx, parent, l.n_right, z)?;
+            }
+            self.insert_fixup(tx, z)?;
+            self.bump_count(tx, 1)
+        })
+    }
+
+    fn get(&self, key: u64) -> Result<Option<u64>> {
+        let n = self.find(key)?;
+        if self.is_nil(n) {
+            return Ok(None);
+        }
+        let val = self.oid_at(n, self.layout.n_val)?;
+        Ok(Some(read_value(&*self.policy, val)?))
+    }
+
+    fn remove(&self, key: u64) -> Result<bool> {
+        let _g = self.write_lock.lock();
+        let p = &*self.policy;
+        let l = self.layout;
+        p.pool().tx(|tx| -> Result<bool> {
+            let z = self.find(key)?;
+            if self.is_nil(z) {
+                return Ok(false);
+            }
+            let val = self.oid_at(z, l.n_val)?;
+            p.tx_free(tx, val)?;
+            let mut y = z;
+            let mut y_color = self.color(y)?;
+            let x;
+            if self.is_nil(self.left(z)?) {
+                x = self.right(z)?;
+                self.transplant(tx, z, x)?;
+            } else if self.is_nil(self.right(z)?) {
+                x = self.left(z)?;
+                self.transplant(tx, z, x)?;
+            } else {
+                y = self.minimum(self.right(z)?)?;
+                y_color = self.color(y)?;
+                x = self.right(y)?;
+                if self.parent(y)?.off == z.off {
+                    self.set_oid(tx, x, l.n_parent, y)?;
+                } else {
+                    self.transplant(tx, y, x)?;
+                    let zr = self.right(z)?;
+                    self.set_oid(tx, y, l.n_right, zr)?;
+                    self.set_oid(tx, zr, l.n_parent, y)?;
+                }
+                self.transplant(tx, z, y)?;
+                let zl = self.left(z)?;
+                self.set_oid(tx, y, l.n_left, zl)?;
+                self.set_oid(tx, zl, l.n_parent, y)?;
+                self.set_u64(tx, y, l.n_color, self.color(z)?)?;
+            }
+            if y_color == BLACK {
+                self.delete_fixup(tx, x)?;
+            }
+            p.tx_free(tx, z)?;
+            self.bump_count(tx, -1)?;
+            Ok(true)
+        })
+    }
+
+    fn count(&self) -> Result<u64> {
+        self.u64_at(self.meta, self.layout.m_count)
+    }
+}

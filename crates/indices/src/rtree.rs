@@ -1,0 +1,291 @@
+//! 256-way radix tree (PMDK's `rtree_map`), with leaf push-down.
+//!
+//! Keys are routed byte-by-byte, most significant byte first; a leaf is
+//! stored directly in the first empty slot on its path, so chains of
+//! single-child internal nodes only appear where keys share prefixes.
+//!
+//! Every internal node embeds **256 oids**. Under SPP each oid grows from
+//! 16 to 24 bytes, so the node grows by 2 KiB — this is the structure
+//! behind the ~40% space overhead of Table III.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use spp_core::{MemoryPolicy, Result};
+use spp_pmdk::{PmemOid, Tx};
+
+use crate::common::{read_value, tx_new_value, Layout};
+use crate::Index;
+
+const KIND_LEAF: u64 = 0;
+const KIND_INTERNAL: u64 = 1;
+
+/// Radix fan-out (the paper's rtree nodes hold 256 oids).
+pub const FANOUT: u64 = 256;
+
+#[derive(Debug, Clone, Copy)]
+struct RtLayout {
+    m_root: u64,
+    m_count: u64,
+    m_size: u64,
+    // shared prefix
+    n_kind: u64,
+    // leaf
+    l_key: u64,
+    l_val: u64,
+    leaf_size: u64,
+    // internal
+    i_occupied: u64,
+    i_children: u64,
+    int_size: u64,
+    os: u64,
+}
+
+impl RtLayout {
+    fn new(os: u64) -> Self {
+        let mut m = Layout::new(os);
+        let m_root = m.oid();
+        let m_count = m.u64();
+        let mut leaf = Layout::new(os);
+        let n_kind = leaf.u64();
+        let l_key = leaf.u64();
+        let l_val = leaf.oid();
+        let mut int = Layout::new(os);
+        let _ = int.u64(); // kind
+        let i_occupied = int.u64();
+        let i_children = int.oid_array(FANOUT);
+        RtLayout {
+            m_root,
+            m_count,
+            m_size: m.size(),
+            n_kind,
+            l_key,
+            l_val,
+            leaf_size: leaf.size(),
+            i_occupied,
+            i_children,
+            int_size: int.size(),
+            os,
+        }
+    }
+}
+
+#[inline]
+fn key_byte(key: u64, depth: u32) -> u64 {
+    (key >> (8 * (7 - depth))) & 0xFF
+}
+
+/// A persistent 256-way radix tree map.
+pub struct RTree<P: MemoryPolicy> {
+    policy: Arc<P>,
+    meta: PmemOid,
+    layout: RtLayout,
+    write_lock: Mutex<()>,
+}
+
+impl<P: MemoryPolicy> RTree<P> {
+    fn root_field(&self) -> u64 {
+        self.policy.gep(self.policy.direct(self.meta), self.layout.m_root as i64)
+    }
+
+    fn child_field(&self, node_ptr: u64, byte: u64) -> u64 {
+        self.policy.gep(node_ptr, (self.layout.i_children + byte * self.layout.os) as i64)
+    }
+
+    fn new_leaf(&self, tx: &mut Tx<'_>, key: u64, value: PmemOid) -> Result<PmemOid> {
+        let p = &*self.policy;
+        let l = &self.layout;
+        let oid = p.tx_alloc(tx, l.leaf_size, false)?;
+        let ptr = p.direct(oid);
+        p.store_u64(p.gep(ptr, l.n_kind as i64), KIND_LEAF)?;
+        p.store_u64(p.gep(ptr, l.l_key as i64), key)?;
+        p.store_oid(p.gep(ptr, l.l_val as i64), value)?;
+        p.persist(ptr, l.leaf_size)?;
+        Ok(oid)
+    }
+
+    /// A fresh, zeroed internal node (the 256-oid array is the zero fill
+    /// that makes rtree inserts expensive for every variant).
+    fn new_internal(&self, tx: &mut Tx<'_>, occupied: u64) -> Result<PmemOid> {
+        let p = &*self.policy;
+        let l = &self.layout;
+        let oid = p.tx_alloc(tx, l.int_size, true)?;
+        let ptr = p.direct(oid);
+        p.store_u64(p.gep(ptr, l.n_kind as i64), KIND_INTERNAL)?;
+        p.store_u64(p.gep(ptr, l.i_occupied as i64), occupied)?;
+        p.persist(ptr, 16)?;
+        Ok(oid)
+    }
+
+    fn bump_count(&self, tx: &mut Tx<'_>, delta: i64) -> Result<()> {
+        let p = &*self.policy;
+        let ptr = p.gep(p.direct(self.meta), self.layout.m_count as i64);
+        let n = p.load_u64(ptr)?;
+        p.tx_write_u64(tx, ptr, n.wrapping_add(delta as u64))
+    }
+}
+
+impl<P: MemoryPolicy> Index<P> for RTree<P> {
+    const NAME: &'static str = "rtree";
+
+    fn open(policy: Arc<P>, meta: PmemOid) -> Result<Self> {
+        let layout = RtLayout::new(policy.oid_kind().on_media_size());
+        Ok(RTree { policy, meta, layout, write_lock: Mutex::new(()) })
+    }
+
+    fn meta(&self) -> PmemOid {
+        self.meta
+    }
+
+    fn create(policy: Arc<P>) -> Result<Self> {
+        let layout = RtLayout::new(policy.oid_kind().on_media_size());
+        let meta = policy.zalloc(layout.m_size)?;
+        Ok(RTree { policy, meta, layout, write_lock: Mutex::new(()) })
+    }
+
+    fn insert(&self, key: u64, value: u64) -> Result<()> {
+        let _g = self.write_lock.lock();
+        let p = &*self.policy;
+        let l = self.layout;
+        p.pool().tx(|tx| -> Result<()> {
+            let val = tx_new_value(p, tx, value)?;
+            let mut field = self.root_field();
+            let mut parent_ptr: Option<u64> = None; // internal node owning `field`
+            let mut depth = 0u32;
+            loop {
+                let cur = p.load_oid(field)?;
+                if cur.is_null() {
+                    let leaf = self.new_leaf(tx, key, val)?;
+                    p.tx_write_oid(tx, field, leaf)?;
+                    if let Some(pp) = parent_ptr {
+                        let occ_ptr = p.gep(pp, l.i_occupied as i64);
+                        let occ = p.load_u64(occ_ptr)?;
+                        p.tx_write_u64(tx, occ_ptr, occ + 1)?;
+                    }
+                    return self.bump_count(tx, 1);
+                }
+                let nptr = p.direct(cur);
+                if p.load_u64(p.gep(nptr, l.n_kind as i64))? == KIND_INTERNAL {
+                    let b = key_byte(key, depth);
+                    parent_ptr = Some(nptr);
+                    field = self.child_field(nptr, b);
+                    depth += 1;
+                    continue;
+                }
+                // Collided with a leaf.
+                let old_key = p.load_u64(p.gep(nptr, l.l_key as i64))?;
+                if old_key == key {
+                    let vfield = p.gep(nptr, l.l_val as i64);
+                    let old = p.load_oid(vfield)?;
+                    p.tx_free(tx, old)?;
+                    p.tx_write_oid(tx, vfield, val)?;
+                    return Ok(());
+                }
+                // Push both leaves down a chain of internals until their
+                // key bytes diverge. Fresh nodes are initialised with plain
+                // stores; only the splice into the live tree is undo-logged.
+                let top = self.new_internal(tx, 1)?;
+                let mut node_ptr = p.direct(top);
+                let mut d = depth;
+                loop {
+                    let b_new = key_byte(key, d);
+                    let b_old = key_byte(old_key, d);
+                    if b_new == b_old {
+                        let child = self.new_internal(tx, 1)?;
+                        p.store_oid(self.child_field(node_ptr, b_new), child)?;
+                        p.persist(self.child_field(node_ptr, b_new), l.os)?;
+                        node_ptr = p.direct(child);
+                        d += 1;
+                        continue;
+                    }
+                    p.store_u64(p.gep(node_ptr, l.i_occupied as i64), 2)?;
+                    p.store_oid(self.child_field(node_ptr, b_old), cur)?;
+                    let leaf = self.new_leaf(tx, key, val)?;
+                    p.store_oid(self.child_field(node_ptr, b_new), leaf)?;
+                    p.persist(node_ptr, l.int_size)?;
+                    break;
+                }
+                p.tx_write_oid(tx, field, top)?;
+                return self.bump_count(tx, 1);
+            }
+        })
+    }
+
+    fn get(&self, key: u64) -> Result<Option<u64>> {
+        let p = &*self.policy;
+        let l = self.layout;
+        let mut field = self.root_field();
+        let mut depth = 0u32;
+        loop {
+            let cur = p.load_oid(field)?;
+            if cur.is_null() {
+                return Ok(None);
+            }
+            let nptr = p.direct(cur);
+            if p.load_u64(p.gep(nptr, l.n_kind as i64))? == KIND_INTERNAL {
+                field = self.child_field(nptr, key_byte(key, depth));
+                depth += 1;
+                continue;
+            }
+            if p.load_u64(p.gep(nptr, l.l_key as i64))? != key {
+                return Ok(None);
+            }
+            let val = p.load_oid(p.gep(nptr, l.l_val as i64))?;
+            return Ok(Some(read_value(p, val)?));
+        }
+    }
+
+    fn remove(&self, key: u64) -> Result<bool> {
+        let _g = self.write_lock.lock();
+        let p = &*self.policy;
+        let l = self.layout;
+        p.pool().tx(|tx| -> Result<bool> {
+            // Path of (internal oid, field pointing at it) from root down.
+            let mut path: Vec<(PmemOid, u64)> = Vec::with_capacity(8);
+            let mut field = self.root_field();
+            let mut depth = 0u32;
+            let leaf = loop {
+                let cur = p.load_oid(field)?;
+                if cur.is_null() {
+                    return Ok(false);
+                }
+                let nptr = p.direct(cur);
+                if p.load_u64(p.gep(nptr, l.n_kind as i64))? == KIND_INTERNAL {
+                    path.push((cur, field));
+                    field = self.child_field(nptr, key_byte(key, depth));
+                    depth += 1;
+                    continue;
+                }
+                if p.load_u64(p.gep(nptr, l.l_key as i64))? != key {
+                    return Ok(false);
+                }
+                break cur;
+            };
+            let leaf_ptr = p.direct(leaf);
+            let val = p.load_oid(p.gep(leaf_ptr, l.l_val as i64))?;
+            p.tx_free(tx, val)?;
+            p.tx_free(tx, leaf)?;
+            p.tx_write_oid(tx, field, PmemOid::NULL)?;
+            // Prune now-empty internal nodes bottom-up.
+            for (node, node_field) in path.into_iter().rev() {
+                let nptr = p.direct(node);
+                let occ_ptr = p.gep(nptr, l.i_occupied as i64);
+                let occ = p.load_u64(occ_ptr)?;
+                p.tx_write_u64(tx, occ_ptr, occ - 1)?;
+                if occ - 1 > 0 {
+                    break;
+                }
+                p.tx_free(tx, node)?;
+                p.tx_write_oid(tx, node_field, PmemOid::NULL)?;
+            }
+            self.bump_count(tx, -1)?;
+            Ok(true)
+        })
+    }
+
+    fn count(&self) -> Result<u64> {
+        let p = &*self.policy;
+        p.load_u64(p.gep(p.direct(self.meta), self.layout.m_count as i64))
+    }
+}

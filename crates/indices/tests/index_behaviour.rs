@@ -1,0 +1,241 @@
+//! Behavioural tests for every index under every policy, including
+//! randomized differential testing against `std::collections::BTreeMap`.
+
+use std::collections::BTreeMap as StdMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use spp_core::{MemoryPolicy, PmdkPolicy, SppPolicy, TagConfig};
+use spp_indices::{BTreeMap, CTree, HashMapTx, Index, RTree, RbTree};
+use spp_pm::{PmPool, PoolConfig};
+use spp_pmdk::{ObjPool, PoolOpts};
+use spp_safepm::SafePmPolicy;
+
+fn pool(size: u64) -> Arc<ObjPool> {
+    let pm = Arc::new(PmPool::new(PoolConfig::new(size)));
+    Arc::new(ObjPool::create(pm, PoolOpts::new().lanes(4)).unwrap())
+}
+
+fn pmdk(size: u64) -> Arc<PmdkPolicy> {
+    Arc::new(PmdkPolicy::new(pool(size)))
+}
+
+fn spp(size: u64) -> Arc<SppPolicy> {
+    Arc::new(SppPolicy::new(pool(size), TagConfig::default()).unwrap())
+}
+
+fn safepm(size: u64) -> Arc<SafePmPolicy> {
+    Arc::new(SafePmPolicy::create(pool(size)).unwrap())
+}
+
+fn smoke<P: MemoryPolicy, I: Index<P>>(policy: Arc<P>) {
+    let idx = I::create(policy).unwrap();
+    assert_eq!(idx.get(1).unwrap(), None);
+    assert_eq!(idx.count().unwrap(), 0);
+    idx.insert(1, 100).unwrap();
+    idx.insert(2, 200).unwrap();
+    idx.insert(3, 300).unwrap();
+    assert_eq!(idx.count().unwrap(), 3);
+    assert_eq!(idx.get(1).unwrap(), Some(100));
+    assert_eq!(idx.get(2).unwrap(), Some(200));
+    assert_eq!(idx.get(3).unwrap(), Some(300));
+    assert_eq!(idx.get(4).unwrap(), None);
+    // Update in place.
+    idx.insert(2, 222).unwrap();
+    assert_eq!(idx.get(2).unwrap(), Some(222));
+    assert_eq!(idx.count().unwrap(), 3);
+    // Removal.
+    assert!(idx.remove(2).unwrap());
+    assert!(!idx.remove(2).unwrap());
+    assert_eq!(idx.get(2).unwrap(), None);
+    assert_eq!(idx.count().unwrap(), 2);
+    assert!(idx.remove(1).unwrap());
+    assert!(idx.remove(3).unwrap());
+    assert_eq!(idx.count().unwrap(), 0);
+    // Reuse after emptying.
+    idx.insert(9, 900).unwrap();
+    assert_eq!(idx.get(9).unwrap(), Some(900));
+}
+
+fn differential<P: MemoryPolicy, I: Index<P>>(policy: Arc<P>, ops: usize, seed: u64) {
+    let idx = I::create(policy).unwrap();
+    let mut reference = StdMap::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..ops {
+        let key = rng.random_range(0..200u64);
+        match rng.random_range(0..10u32) {
+            0..=5 => {
+                let v = rng.random::<u64>();
+                idx.insert(key, v).unwrap();
+                reference.insert(key, v);
+            }
+            6..=7 => {
+                let got = idx.get(key).unwrap();
+                assert_eq!(got, reference.get(&key).copied(), "get({key}) diverged");
+            }
+            _ => {
+                let removed = idx.remove(key).unwrap();
+                assert_eq!(removed, reference.remove(&key).is_some(), "remove({key}) diverged");
+            }
+        }
+    }
+    assert_eq!(idx.count().unwrap(), reference.len() as u64);
+    for (&k, &v) in &reference {
+        assert_eq!(idx.get(k).unwrap(), Some(v), "final get({k}) diverged");
+    }
+}
+
+macro_rules! index_suite {
+    ($modname:ident, $index:ident, $poolsize:expr) => {
+        mod $modname {
+            use super::*;
+
+            #[test]
+            fn smoke_pmdk() {
+                smoke::<_, $index<_>>(pmdk($poolsize));
+            }
+
+            #[test]
+            fn smoke_spp() {
+                smoke::<_, $index<_>>(spp($poolsize));
+            }
+
+            #[test]
+            fn smoke_safepm() {
+                smoke::<_, $index<_>>(safepm($poolsize));
+            }
+
+            #[test]
+            fn differential_pmdk() {
+                differential::<_, $index<_>>(pmdk($poolsize), 3000, 0xC0FFEE);
+            }
+
+            #[test]
+            fn differential_spp() {
+                differential::<_, $index<_>>(spp($poolsize), 3000, 0xC0FFEE);
+            }
+
+            #[test]
+            fn differential_safepm() {
+                differential::<_, $index<_>>(safepm($poolsize), 1500, 0xBEEF);
+            }
+
+            #[test]
+            fn sequential_and_reverse_insertions() {
+                let idx = $index::create(spp($poolsize)).unwrap();
+                for k in 0..300u64 {
+                    idx.insert(k, k * 10).unwrap();
+                }
+                for k in (300..600u64).rev() {
+                    idx.insert(k, k * 10).unwrap();
+                }
+                for k in 0..600u64 {
+                    assert_eq!(idx.get(k).unwrap(), Some(k * 10));
+                }
+                assert_eq!(idx.count().unwrap(), 600);
+                for k in 0..600u64 {
+                    assert!(idx.remove(k).unwrap());
+                }
+                assert_eq!(idx.count().unwrap(), 0);
+            }
+        }
+    };
+}
+
+index_suite!(ctree, CTree, 1 << 23);
+index_suite!(rbtree, RbTree, 1 << 23);
+index_suite!(rtree, RTree, 1 << 26);
+index_suite!(hashmap, HashMapTx, 1 << 23);
+index_suite!(btree, BTreeMap, 1 << 23);
+
+#[test]
+fn rbtree_invariants_under_churn() {
+    let idx = RbTree::create(spp(1 << 23)).unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut live = Vec::new();
+    for i in 0..500u64 {
+        let k = rng.random::<u64>();
+        idx.insert(k, i).unwrap();
+        live.push(k);
+        if i % 3 == 0 {
+            let victim = live.swap_remove(rng.random_range(0..live.len()));
+            assert!(idx.remove(victim).unwrap());
+        }
+        if i % 50 == 0 {
+            idx.check_invariants().unwrap();
+        }
+    }
+    idx.check_invariants().unwrap();
+    assert_eq!(idx.count().unwrap(), live.len() as u64);
+}
+
+#[test]
+fn extreme_keys() {
+    // Crit-bit and radix trees branch on raw key bits: exercise extremes.
+    for keys in [[0u64, u64::MAX, 1, 1 << 63], [0x8000_0000_0000_0000, 0x7FFF_FFFF_FFFF_FFFF, 2, 3]] {
+        let idx = CTree::create(spp(1 << 22)).unwrap();
+        let rt = RTree::create(spp(1 << 24)).unwrap();
+        for (i, &k) in keys.iter().enumerate() {
+            idx.insert(k, i as u64).unwrap();
+            rt.insert(k, i as u64).unwrap();
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(idx.get(k).unwrap(), Some(i as u64));
+            assert_eq!(rt.get(k).unwrap(), Some(i as u64));
+        }
+    }
+}
+
+mod btree_bug_5333 {
+    //! §VI-D: the PMDK `btree_map` memmove overflow.
+    use super::*;
+    use spp_core::SppError;
+
+    /// Fill one leaf to capacity (keys inserted in order stay in the root
+    /// leaf until the first split at 8 items).
+    fn fill_full_leaf<P: MemoryPolicy>(idx: &BTreeMap<P>) {
+        for k in 0..7u64 {
+            idx.insert(k, k).unwrap();
+        }
+    }
+
+    #[test]
+    fn spp_detects_the_overflow() {
+        let idx = BTreeMap::create(spp(1 << 22)).unwrap();
+        fill_full_leaf(&idx);
+        let err = idx.remove_buggy(0).unwrap_err();
+        assert!(
+            matches!(err, SppError::OverflowDetected { mechanism: "overflow-bit", .. }),
+            "expected overflow detection, got {err}"
+        );
+    }
+
+    #[test]
+    fn safepm_detects_the_overflow() {
+        let idx = BTreeMap::create(safepm(1 << 22)).unwrap();
+        fill_full_leaf(&idx);
+        let err = idx.remove_buggy(0).unwrap_err();
+        assert!(err.is_violation());
+    }
+
+    #[test]
+    fn native_pmdk_is_silently_corrupted() {
+        let idx = BTreeMap::create(pmdk(1 << 22)).unwrap();
+        fill_full_leaf(&idx);
+        // The overflowing read succeeds against the neighbouring block.
+        assert!(idx.remove_buggy(0).unwrap());
+    }
+
+    #[test]
+    fn non_full_node_does_not_trigger() {
+        // The bug needs a full node — on sparser nodes the extra entry is
+        // still inside the arrays. All three variants agree.
+        let idx = BTreeMap::create(spp(1 << 22)).unwrap();
+        idx.insert(1, 1).unwrap();
+        idx.insert(2, 2).unwrap();
+        assert!(idx.remove_buggy(1).unwrap());
+        assert_eq!(idx.get(2).unwrap(), Some(2));
+    }
+}

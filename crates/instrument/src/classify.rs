@@ -1,0 +1,171 @@
+//! Pointer-origin tracking (§IV-E / §V-C).
+//!
+//! Each register is classified by the way its value is produced:
+//! `pmemobj_direct`-derived (here: [`crate::ir::Inst::AllocPm`]) pointers
+//! are persistent; `malloc`-derived and arithmetic values are volatile;
+//! values loaded from memory or returned by externals are unknown. GEPs
+//! propagate their base's class. The join over multiple redefinitions is
+//! the usual lattice: equal classes stay, differing ones become `Unknown`.
+
+use std::collections::HashMap;
+
+use crate::ir::{Function, Inst, Reg, Stmt};
+
+/// The three classes of §IV-E.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Origin {
+    /// Provably not a PM pointer: no instrumentation needed.
+    Volatile,
+    /// Provably a tagged PM pointer: `_direct` hooks apply.
+    Persistent,
+    /// Could be either: instrument with the runtime PM-bit test.
+    #[default]
+    Unknown,
+}
+
+impl Origin {
+    fn join(self, other: Origin) -> Origin {
+        if self == other {
+            self
+        } else {
+            Origin::Unknown
+        }
+    }
+}
+
+/// Per-register classification for one function.
+#[derive(Debug, Default, Clone)]
+pub struct Classification {
+    origins: HashMap<Reg, Origin>,
+}
+
+impl Classification {
+    /// The class of `r` (`Unknown` when never seen).
+    pub fn of(&self, r: Reg) -> Origin {
+        self.origins.get(&r).copied().unwrap_or(Origin::Unknown)
+    }
+
+    fn set(&mut self, r: Reg, o: Origin) {
+        let cur = self.origins.get(&r).copied();
+        let merged = match cur {
+            Some(prev) => prev.join(o),
+            None => o,
+        };
+        self.origins.insert(r, merged);
+    }
+}
+
+/// Run the dataflow over a function. Iterates to a fixed point so that
+/// loop-carried redefinitions are joined conservatively.
+pub fn classify(f: &Function) -> Classification {
+    classify_with_params(f, &[])
+}
+
+/// As [`classify`], but seed registers `Reg(0)..Reg(params.len())` with
+/// known origins — the LTO pass's interprocedural parameter information.
+pub fn classify_with_params(f: &Function, params: &[Origin]) -> Classification {
+    let mut cls = Classification::default();
+    for (i, &o) in params.iter().enumerate() {
+        cls.origins.insert(Reg(i as u32), o);
+    }
+    // Two passes reach the fixed point for this join-only lattice over a
+    // structured body (a value can only move down the lattice once).
+    for _ in 0..2 {
+        walk(&f.body, &mut cls);
+    }
+    cls
+}
+
+fn walk(stmts: &[Stmt], cls: &mut Classification) {
+    for s in stmts {
+        match s {
+            Stmt::Inst(i) => visit(i, cls),
+            Stmt::Loop { counter, body, .. } => {
+                cls.set(*counter, Origin::Volatile);
+                walk(body, cls);
+            }
+        }
+    }
+}
+
+fn visit(i: &Inst, cls: &mut Classification) {
+    match i {
+        Inst::Const { dst, .. } | Inst::Add { dst, .. } | Inst::Mul { dst, .. } => {
+            cls.set(*dst, Origin::Volatile);
+        }
+        Inst::Copy { dst, src } => {
+            let o = cls.of(*src);
+            cls.set(*dst, o);
+        }
+        Inst::AllocPm { dst, .. } => cls.set(*dst, Origin::Persistent),
+        Inst::AllocVol { dst, .. } => cls.set(*dst, Origin::Volatile),
+        Inst::Gep { dst, base, .. } => {
+            let o = cls.of(*base);
+            cls.set(*dst, o);
+        }
+        // A value loaded from memory could be anything (§V-A: "the rest
+        // are classified as unknown").
+        Inst::Load { dst, .. } => cls.set(*dst, Origin::Unknown),
+        Inst::PtrToInt { dst, .. } => cls.set(*dst, Origin::Volatile),
+        Inst::Store { .. } | Inst::CallExt { .. } | Inst::CallInt { .. } | Inst::DummyLoad { .. } => {}
+        Inst::UpdateTag { .. } => {}
+        Inst::CheckBound { dst, .. } => cls.set(*dst, Origin::Volatile), // masked address
+        Inst::CleanTag { dst, .. } | Inst::CleanTagExternal { dst, .. } => {
+            cls.set(*dst, Origin::Volatile)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Operand;
+
+    #[test]
+    fn basic_origins() {
+        let mut f = Function::new();
+        let pm = f.reg();
+        let vol = f.reg();
+        let derived = f.reg();
+        let loaded = f.reg();
+        f.push(Inst::AllocPm { dst: pm, size: Operand::Const(64) });
+        f.push(Inst::AllocVol { dst: vol, size: Operand::Const(64) });
+        f.push(Inst::Gep { dst: derived, base: pm, offset: Operand::Const(8) });
+        f.push(Inst::Load { dst: loaded, ptr: derived, size: 8 });
+        let cls = classify(&f);
+        assert_eq!(cls.of(pm), Origin::Persistent);
+        assert_eq!(cls.of(vol), Origin::Volatile);
+        assert_eq!(cls.of(derived), Origin::Persistent);
+        assert_eq!(cls.of(loaded), Origin::Unknown);
+    }
+
+    #[test]
+    fn redefinition_joins_to_unknown() {
+        let mut f = Function::new();
+        let p = f.reg();
+        f.push(Inst::AllocPm { dst: p, size: Operand::Const(64) });
+        f.push(Inst::AllocVol { dst: p, size: Operand::Const(64) });
+        let cls = classify(&f);
+        assert_eq!(cls.of(p), Origin::Unknown);
+    }
+
+    #[test]
+    fn gep_in_loop_keeps_class() {
+        let mut f = Function::new();
+        let p = f.reg();
+        let i = f.reg();
+        f.push(Inst::AllocPm { dst: p, size: Operand::Const(1024) });
+        f.body.push(Stmt::Loop {
+            counter: i,
+            count: Operand::Const(4),
+            body: vec![Stmt::Inst(Inst::Gep {
+                dst: p,
+                base: p,
+                offset: Operand::Const(8),
+            })],
+        });
+        let cls = classify(&f);
+        assert_eq!(cls.of(p), Origin::Persistent);
+        assert_eq!(cls.of(i), Origin::Volatile);
+    }
+}

@@ -1,0 +1,143 @@
+//! The miniature IR.
+//!
+//! Registers hold 64-bit values and may be redefined (this is a pointer
+//! language, not strict SSA — `pm_ptr += 21` redefines `pm_ptr`, exactly as
+//! the paper's listings do). A function body is a sequence of statements;
+//! loops are structured so the hoisting optimization can reason about them
+//! the way LLVM's scalar evolution does.
+
+/// A virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// Immediate.
+    Const(u64),
+    /// Register value.
+    Reg(Reg),
+}
+
+/// Instructions. The first group is what front-ends emit; the hook group
+/// (`UpdateTag` … `DummyLoad`) exists only in *transformed* code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// `dst = value`.
+    Const { dst: Reg, value: u64 },
+    /// `dst = a + b` (wrapping).
+    Add { dst: Reg, a: Operand, b: Operand },
+    /// `dst = a * b` (wrapping).
+    Mul { dst: Reg, a: Operand, b: Operand },
+    /// `dst = src`.
+    Copy { dst: Reg, src: Reg },
+    /// Allocate a zeroed PM object; `dst` receives `pmemobj_direct(oid)` —
+    /// tagged under the SPP runtime.
+    AllocPm { dst: Reg, size: Operand },
+    /// Allocate volatile memory (`malloc`); never tagged.
+    AllocVol { dst: Reg, size: Operand },
+    /// Pointer arithmetic: `dst = base + offset` (a GEP). `dst` may equal
+    /// `base`.
+    Gep { dst: Reg, base: Reg, offset: Operand },
+    /// `dst = *ptr` (`size` bytes, ≤ 8, zero-extended).
+    Load { dst: Reg, ptr: Reg, size: u8 },
+    /// `*ptr = value` (`size` bytes).
+    Store { ptr: Reg, value: Operand, size: u8 },
+    /// `dst = (uint64_t)ptr`.
+    PtrToInt { dst: Reg, src: Reg },
+    /// Call into an uninstrumented external library, passing pointers.
+    /// The VM models the callee as reading one byte through each pointer.
+    CallExt { name: &'static str, ptr_args: Vec<Reg> },
+    /// Call an *internal* (instrumented) function of the same module: the
+    /// callee receives `args[i]` in its register `Reg(i)`. Tagged pointers
+    /// flow through unmasked — internal calls keep their tags (§IV-C).
+    CallInt { func: usize, args: Vec<Reg> },
+
+    // ---- hook instructions (inserted by the passes) ----
+    /// `ptr = __spp_updatetag(ptr, offset)`; `direct` skips the PM-bit test.
+    UpdateTag { ptr: Reg, offset: Operand, direct: bool },
+    /// `dst = __spp_checkbound(ptr, deref_size)` — the masked address to
+    /// dereference.
+    CheckBound { dst: Reg, ptr: Reg, deref_size: u8, direct: bool },
+    /// `dst = __spp_cleantag(src)`.
+    CleanTag { dst: Reg, src: Reg },
+    /// `dst = __spp_cleantag_external(src)` (before external calls).
+    CleanTagExternal { dst: Reg, src: Reg },
+    /// The preemption pass's volatile dummy load: faults iff the coalesced
+    /// bound check failed.
+    DummyLoad { ptr: Reg },
+}
+
+/// A statement: straight-line instruction or a counted loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// One instruction.
+    Inst(Inst),
+    /// `for counter in 0..count { body }` — `counter` is visible to the
+    /// body and increments by 1.
+    Loop { counter: Reg, count: Operand, body: Vec<Stmt> },
+}
+
+/// A function: a register budget and a body.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Function {
+    /// Number of registers used (register `Reg(n)` for `n < regs`).
+    pub regs: u32,
+    /// The body.
+    pub body: Vec<Stmt>,
+}
+
+impl Function {
+    /// Create an empty function.
+    pub fn new() -> Self {
+        Function::default()
+    }
+
+    /// Allocate a fresh register.
+    pub fn reg(&mut self) -> Reg {
+        let r = Reg(self.regs);
+        self.regs += 1;
+        r
+    }
+
+    /// Append an instruction.
+    pub fn push(&mut self, inst: Inst) {
+        self.body.push(Stmt::Inst(inst));
+    }
+
+    /// Count instructions of a kind across the whole body (test/metric
+    /// support).
+    pub fn count_insts(&self, pred: impl Fn(&Inst) -> bool + Copy) -> usize {
+        fn walk(stmts: &[Stmt], pred: impl Fn(&Inst) -> bool + Copy) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::Inst(i) => usize::from(pred(i)),
+                    Stmt::Loop { body, .. } => walk(body, pred),
+                })
+                .sum()
+        }
+        walk(&self.body, pred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_allocates_distinct_regs() {
+        let mut f = Function::new();
+        let a = f.reg();
+        let b = f.reg();
+        assert_ne!(a, b);
+        f.push(Inst::Const { dst: a, value: 1 });
+        f.body.push(Stmt::Loop {
+            counter: b,
+            count: Operand::Const(3),
+            body: vec![Stmt::Inst(Inst::Add { dst: a, a: Operand::Reg(a), b: Operand::Const(1) })],
+        });
+        assert_eq!(f.count_insts(|i| matches!(i, Inst::Add { .. })), 1);
+        assert_eq!(f.count_insts(|i| matches!(i, Inst::Const { .. })), 1);
+    }
+}

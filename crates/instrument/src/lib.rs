@@ -1,0 +1,39 @@
+//! # spp-instrument — the compiler half of SPP, on a miniature IR
+//!
+//! The paper implements SPP as an LLVM transformation pass plus an LTO
+//! pass (§IV-C, §V-A). A Rust reproduction cannot ship an LLVM pass, so
+//! this crate rebuilds the *decisions* those passes make on a miniature
+//! pointer-language IR and executes the result on a VM wired to the real
+//! simulated PM stack:
+//!
+//! * [`ir`] — registers, pointer/arithmetic/memory instructions, structured
+//!   loops, and the SPP hook instructions the pass injects;
+//! * [`classify`] — pointer-origin tracking: every register is `Volatile`,
+//!   `Persistent` or `Unknown` depending on how it was produced (§IV-E
+//!   "pointer tracking");
+//! * [`transform`] — the transformation pass: tag updates after pointer
+//!   arithmetic, implicit bound checks before dereferences, tag cleaning
+//!   before pointer-to-integer casts; volatile pointers are skipped
+//!   entirely and proven-persistent ones use the `_direct` hooks;
+//! * [`transform::mask_external_calls`] — the LTO pass's compatibility
+//!   masking for uninstrumented callees;
+//! * [`optimize`] — bound-check preemption: coalescing constant-stride
+//!   access runs and hoisting checks out of monotonic loops (§IV-E);
+//! * [`vm`] — an interpreter over [`spp_pmdk::ObjPool`] +
+//!   [`spp_core::SppRuntime`]: hook instructions call the real runtime
+//!   library (with its invocation counters — the ablation metrics), and
+//!   dereferences hit the simulated PM with real fault semantics.
+
+pub mod classify;
+pub mod ir;
+pub mod module;
+pub mod optimize;
+pub mod transform;
+pub mod vm;
+
+pub use classify::Origin;
+pub use ir::{Function, Inst, Operand, Reg, Stmt};
+pub use module::{lto_classify, spp_transform_module, LtoInfo, Module};
+pub use optimize::{hoist_loop_checks, preempt_straightline_checks};
+pub use transform::{mask_external_calls, spp_transform, spp_transform_with_params};
+pub use vm::{Trap, Vm, VmMode};

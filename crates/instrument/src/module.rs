@@ -1,0 +1,253 @@
+//! Whole-program (module) support: internal calls and the LTO pass's
+//! interprocedural pointer tracking (§IV-E, §V-A).
+//!
+//! "SPP's LTO pass proceeds one step further and analyzes the function
+//! pointer arguments. It scans the calling sites of each function and
+//! records the type of the pointer arguments passed by the caller. With
+//! this method, SPP can determine the category of a function pointer
+//! argument, provided that all the callers use pointers falling into a
+//! single category."
+
+use crate::classify::{classify_with_params, Classification, Origin};
+use crate::ir::{Function, Inst, Stmt};
+use crate::transform::{spp_transform_with_params, TransformStats};
+
+/// A whole program: `functions[0]` is the entry point; `CallInt { func }`
+/// indexes into this list. Callee parameters are its registers
+/// `Reg(0)..Reg(n_args)`.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    /// The functions; index 0 is the entry point.
+    pub functions: Vec<Function>,
+}
+
+/// Per-function parameter classifications derived by the LTO analysis.
+#[derive(Debug, Clone)]
+pub struct LtoInfo {
+    /// `params[f][i]` = joined origin of argument `i` across every call
+    /// site of function `f` (`Unknown` for the entry function / uncalled
+    /// parameters).
+    pub params: Vec<Vec<Origin>>,
+}
+
+fn call_sites(f: &Function, out: &mut Vec<(usize, Vec<crate::ir::Reg>)>) {
+    fn walk(stmts: &[Stmt], out: &mut Vec<(usize, Vec<crate::ir::Reg>)>) {
+        for s in stmts {
+            match s {
+                Stmt::Inst(Inst::CallInt { func, args }) => out.push((*func, args.clone())),
+                Stmt::Loop { body, .. } => walk(body, out),
+                _ => {}
+            }
+        }
+    }
+    walk(&f.body, out);
+}
+
+/// Maximum argument count considered (arguments land in `Reg(0..N)`).
+fn param_count(m: &Module, f: usize) -> usize {
+    let mut n = 0;
+    for g in &m.functions {
+        let mut sites = Vec::new();
+        call_sites(g, &mut sites);
+        for (callee, args) in sites {
+            if callee == f {
+                n = n.max(args.len());
+            }
+        }
+    }
+    n
+}
+
+/// Run the interprocedural analysis to a fixed point: each function's
+/// parameter origins are the join of the argument origins at every call
+/// site, where caller classifications themselves depend on *their* callers.
+pub fn lto_classify(m: &Module) -> LtoInfo {
+    let n = m.functions.len();
+    let mut params: Vec<Vec<Origin>> =
+        (0..n).map(|f| vec![Origin::Unknown; param_count(m, f)]).collect();
+    // Seed optimistically so the first join isn't poisoned by the
+    // initial Unknown (join-only lattice ⇒ iterate from "no information").
+    let mut seen_any: Vec<Vec<Option<Origin>>> =
+        (0..n).map(|f| vec![None; params[f].len()]).collect();
+    for _round in 0..n + 1 {
+        let mut next: Vec<Vec<Option<Origin>>> =
+            (0..n).map(|f| vec![None; params[f].len()]).collect();
+        for (caller_idx, caller) in m.functions.iter().enumerate() {
+            let seed: Vec<Origin> = seen_any[caller_idx]
+                .iter()
+                .map(|o| o.unwrap_or(Origin::Unknown))
+                .collect();
+            let cls = classify_with_params(caller, &seed);
+            let mut sites = Vec::new();
+            call_sites(caller, &mut sites);
+            for (callee, args) in sites {
+                for (i, arg) in args.iter().enumerate() {
+                    let o = cls.of(*arg);
+                    next[callee][i] = Some(match next[callee][i] {
+                        None => o,
+                        Some(prev) if prev == o => prev,
+                        Some(_) => Origin::Unknown,
+                    });
+                }
+            }
+        }
+        if next == seen_any {
+            break;
+        }
+        seen_any = next;
+    }
+    for f in 0..n {
+        for (i, o) in seen_any[f].iter().enumerate() {
+            params[f][i] = o.unwrap_or(Origin::Unknown);
+        }
+    }
+    LtoInfo { params }
+}
+
+/// Transform every function of the module, seeding each with the LTO
+/// parameter classifications when `lto` is enabled (otherwise parameters
+/// are `Unknown`, the intra-procedural baseline).
+pub fn spp_transform_module(
+    m: &Module,
+    pointer_tracking: bool,
+    lto: bool,
+) -> (Module, Vec<TransformStats>) {
+    let info = if lto {
+        lto_classify(m)
+    } else {
+        LtoInfo { params: m.functions.iter().enumerate().map(|(f, _)| vec![Origin::Unknown; param_count(m, f)]).collect() }
+    };
+    let mut out = Module::default();
+    let mut stats = Vec::new();
+    for (i, f) in m.functions.iter().enumerate() {
+        let (t, s) = spp_transform_with_params(f, pointer_tracking, &info.params[i]);
+        out.functions.push(t);
+        stats.push(s);
+    }
+    (out, stats)
+}
+
+/// Classification of one function given seeded parameter origins —
+/// re-exported for tests and tooling.
+pub fn classify_function(f: &Function, params: &[Origin]) -> Classification {
+    classify_with_params(f, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Inst, Operand, Reg};
+    use crate::vm::{Vm, VmMode};
+    use spp_core::TagConfig;
+    use spp_pm::{PmPool, PoolConfig};
+    use spp_pmdk::{ObjPool, PoolOpts};
+    use std::sync::Arc;
+
+    /// A callee that dereferences its first argument:
+    /// `fn deref(p) { x = *p }`.
+    fn deref_callee() -> Function {
+        let mut f = Function::new();
+        let p = f.reg(); // parameter 0
+        let x = f.reg();
+        f.push(Inst::Load { dst: x, ptr: p, size: 8 });
+        f
+    }
+
+    fn entry_calling_with(pm_arg: bool, vol_arg: bool) -> Function {
+        let mut main = Function::new();
+        let pm = main.reg();
+        let vol = main.reg();
+        main.push(Inst::AllocPm { dst: pm, size: Operand::Const(64) });
+        main.push(Inst::AllocVol { dst: vol, size: Operand::Const(64) });
+        if pm_arg {
+            main.push(Inst::CallInt { func: 1, args: vec![pm] });
+        }
+        if vol_arg {
+            main.push(Inst::CallInt { func: 1, args: vec![vol] });
+        }
+        main
+    }
+
+    #[test]
+    fn single_category_callers_classify_the_parameter() {
+        let m = Module { functions: vec![entry_calling_with(true, false), deref_callee()] };
+        let info = lto_classify(&m);
+        assert_eq!(info.params[1], vec![Origin::Persistent]);
+
+        let m = Module { functions: vec![entry_calling_with(false, true), deref_callee()] };
+        assert_eq!(lto_classify(&m).params[1], vec![Origin::Volatile]);
+    }
+
+    #[test]
+    fn mixed_callers_fall_back_to_unknown() {
+        let m = Module { functions: vec![entry_calling_with(true, true), deref_callee()] };
+        assert_eq!(lto_classify(&m).params[1], vec![Origin::Unknown]);
+    }
+
+    #[test]
+    fn transitive_classification_through_wrappers() {
+        // main -> wrapper(pm) -> deref(arg): both levels classify.
+        let mut wrapper = Function::new();
+        let p = wrapper.reg();
+        wrapper.push(Inst::CallInt { func: 2, args: vec![p] });
+        let m = Module {
+            functions: vec![entry_calling_with(true, false), wrapper, deref_callee()],
+        };
+        let info = lto_classify(&m);
+        assert_eq!(info.params[1], vec![Origin::Persistent]);
+        assert_eq!(info.params[2], vec![Origin::Persistent]);
+    }
+
+    #[test]
+    fn lto_removes_runtime_type_checks_in_callee() {
+        let m = Module { functions: vec![entry_calling_with(true, false), deref_callee()] };
+        // Without LTO the callee's parameter is unknown: checked hooks.
+        let (_t, stats) = spp_transform_module(&m, true, false);
+        assert_eq!(stats[1].direct_hooks, 0);
+        assert_eq!(stats[1].check_bounds, 1);
+        // With LTO the parameter is proven persistent: _direct hooks.
+        let (_t, stats) = spp_transform_module(&m, true, true);
+        assert_eq!(stats[1].direct_hooks, 1);
+        // Volatile-only callers prune the callee's instrumentation
+        // entirely ("prune injected calls when they have a volatile
+        // pointer as argument", §V-A).
+        let m = Module { functions: vec![entry_calling_with(false, true), deref_callee()] };
+        let (_t, stats) = spp_transform_module(&m, true, true);
+        assert_eq!(stats[1].check_bounds, 0);
+        assert_eq!(stats[1].skipped_volatile, 1);
+    }
+
+    #[test]
+    fn transformed_module_executes_with_tags_flowing_through_calls() {
+        let m = Module { functions: vec![entry_calling_with(true, false), deref_callee()] };
+        let (t, _) = spp_transform_module(&m, true, true);
+        let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 20)));
+        let pool = Arc::new(ObjPool::create(pm, PoolOpts::small()).unwrap());
+        let mut vm = Vm::new(pool, TagConfig::default(), VmMode::Spp);
+        vm.run_module(&t).unwrap();
+        // The callee used a _direct hook: no runtime PM-bit tests anywhere.
+        assert_eq!(vm.runtime().stats().pm_bit_tests(), 0);
+    }
+
+    #[test]
+    fn oob_through_internal_call_still_trapped() {
+        // Callee walks one past the object it was handed.
+        let mut callee = Function::new();
+        let p = callee.reg();
+        let x = callee.reg();
+        callee.push(Inst::Gep { dst: p, base: p, offset: Operand::Const(64) });
+        callee.push(Inst::Load { dst: x, ptr: p, size: 8 });
+        let mut main = Function::new();
+        let pm = main.reg();
+        main.push(Inst::AllocPm { dst: pm, size: Operand::Const(64) });
+        main.push(Inst::CallInt { func: 1, args: vec![pm] });
+        let m = Module { functions: vec![main, callee] };
+        let (t, _) = spp_transform_module(&m, true, true);
+        let pmp = Arc::new(PmPool::new(PoolConfig::new(1 << 20)));
+        let pool = Arc::new(ObjPool::create(pmp, PoolOpts::small()).unwrap());
+        let mut vm = Vm::new(pool, TagConfig::default(), VmMode::Spp);
+        let err = vm.run_module(&t).unwrap_err();
+        assert!(matches!(err, crate::vm::Trap::Overflow { .. }), "got {err}");
+        let _ = Reg(0);
+    }
+}

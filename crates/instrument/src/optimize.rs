@@ -1,0 +1,309 @@
+//! Bound-check preemption (§IV-E, §V-C): coalesce constant-stride access
+//! runs into a single tag update plus a dummy bound-checking load, and
+//! hoist checks out of monotonic loops.
+
+use crate::ir::{Function, Inst, Operand, Reg, Stmt};
+
+/// Statistics of an optimization run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OptStats {
+    /// Loops whose checks were hoisted to the preheader.
+    pub loops_hoisted: usize,
+    /// Straight-line runs coalesced.
+    pub runs_coalesced: usize,
+    /// Hook instructions removed.
+    pub hooks_removed: usize,
+}
+
+fn fresh(regs: &mut u32) -> Reg {
+    let r = Reg(*regs);
+    *regs += 1;
+    r
+}
+
+/// Whether `stmts` reads or writes register `r` anywhere.
+fn uses_reg(stmts: &[Stmt], r: Reg) -> bool {
+    fn op_uses(op: &Operand, r: Reg) -> bool {
+        matches!(op, Operand::Reg(x) if *x == r)
+    }
+    stmts.iter().any(|s| match s {
+        Stmt::Loop { counter, count, body } => {
+            *counter == r || op_uses(count, r) || uses_reg(body, r)
+        }
+        Stmt::Inst(i) => match i {
+            Inst::Const { dst, .. } => *dst == r,
+            Inst::Add { dst, a, b } | Inst::Mul { dst, a, b } => {
+                *dst == r || op_uses(a, r) || op_uses(b, r)
+            }
+            Inst::Copy { dst, src } => *dst == r || *src == r,
+            Inst::AllocPm { dst, size } | Inst::AllocVol { dst, size } => {
+                *dst == r || op_uses(size, r)
+            }
+            Inst::Gep { dst, base, offset } => *dst == r || *base == r || op_uses(offset, r),
+            Inst::Load { dst, ptr, .. } => *dst == r || *ptr == r,
+            Inst::Store { ptr, value, .. } => *ptr == r || op_uses(value, r),
+            Inst::PtrToInt { dst, src } => *dst == r || *src == r,
+            Inst::CallExt { ptr_args, .. } => ptr_args.contains(&r),
+            Inst::CallInt { args, .. } => args.contains(&r),
+            Inst::UpdateTag { ptr, offset, .. } => *ptr == r || op_uses(offset, r),
+            Inst::CheckBound { dst, ptr, .. } => *dst == r || *ptr == r,
+            Inst::CleanTag { dst, src } | Inst::CleanTagExternal { dst, src } => {
+                *dst == r || *src == r
+            }
+            Inst::DummyLoad { ptr } => *ptr == r,
+        },
+    })
+}
+
+/// The 4-instruction body shape the transformation pass produces for a
+/// constant-stride pointer walk.
+struct WalkBody {
+    ptr: Reg,
+    stride: u64,
+    deref_size: u8,
+    direct: bool,
+    access: Inst, // the Load/Store, with its masked reg
+    masked: Reg,
+}
+
+fn match_walk_body(body: &[Stmt]) -> Option<WalkBody> {
+    if body.len() != 4 {
+        return None;
+    }
+    let insts: Vec<&Inst> = body
+        .iter()
+        .map(|s| match s {
+            Stmt::Inst(i) => Some(i),
+            Stmt::Loop { .. } => None,
+        })
+        .collect::<Option<_>>()?;
+    let (p, stride) = match insts[0] {
+        Inst::Gep { dst, base, offset: Operand::Const(c) } if dst == base => (*dst, *c),
+        _ => return None,
+    };
+    let direct = match insts[1] {
+        Inst::UpdateTag { ptr, offset: Operand::Const(c), direct } if *ptr == p && *c == stride => {
+            *direct
+        }
+        _ => return None,
+    };
+    let (masked, deref_size) = match insts[2] {
+        Inst::CheckBound { dst, ptr, deref_size, .. } if *ptr == p => (*dst, *deref_size),
+        _ => return None,
+    };
+    match insts[3] {
+        Inst::Load { ptr, size, .. } | Inst::Store { ptr, size, .. }
+            if *ptr == masked && *size == deref_size =>
+        {
+            Some(WalkBody { ptr: p, stride, deref_size, direct, access: insts[3].clone(), masked })
+        }
+        _ => None,
+    }
+}
+
+/// Hoist bound checks out of monotonic constant-stride loops: one
+/// preheader tag update + dummy load validates the whole walk; the body
+/// then strides a *masked* pointer with zero per-iteration hooks.
+///
+/// Returns statistics. Loops whose pointer is live-out are left alone.
+pub fn hoist_loop_checks(f: &mut Function) -> OptStats {
+    let mut stats = OptStats::default();
+    let mut regs = f.regs;
+    let body = std::mem::take(&mut f.body);
+    f.body = hoist_walk(body, &mut regs, &mut stats);
+    f.regs = regs;
+    stats
+}
+
+fn hoist_walk(stmts: Vec<Stmt>, regs: &mut u32, stats: &mut OptStats) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    let n = stmts.len();
+    let mut iter = stmts.into_iter().enumerate().peekable();
+    let mut rest_cache: Vec<Stmt> = Vec::new(); // only used for liveness peeks
+    let _ = n;
+    while let Some((_, s)) = iter.next() {
+        match s {
+            Stmt::Loop { counter, count, body } => {
+                // Liveness of the walked pointer after this loop: collect
+                // remaining statements once.
+                rest_cache.clear();
+                rest_cache.extend(iter.clone().map(|(_, s)| s));
+                if let Some(walk) = match_walk_body(&body) {
+                    if !uses_reg(&rest_cache, walk.ptr) {
+                        emit_hoisted(&mut out, regs, counter, count, &walk);
+                        stats.loops_hoisted += 1;
+                        stats.hooks_removed += 2; // per-iteration UpdateTag + CheckBound
+                        continue;
+                    }
+                }
+                let body = hoist_walk(body, regs, stats);
+                out.push(Stmt::Loop { counter, count, body });
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn emit_hoisted(out: &mut Vec<Stmt>, regs: &mut u32, counter: Reg, count: Operand, walk: &WalkBody) {
+    // max byte touched (relative to the incoming pointer):
+    //   stride * count + deref_size - 1
+    let max_off = fresh(regs);
+    match count {
+        Operand::Const(n) => out.push(Stmt::Inst(Inst::Const {
+            dst: max_off,
+            value: walk.stride * n + u64::from(walk.deref_size) - 1,
+        })),
+        Operand::Reg(_) => {
+            out.push(Stmt::Inst(Inst::Mul {
+                dst: max_off,
+                a: count,
+                b: Operand::Const(walk.stride),
+            }));
+            out.push(Stmt::Inst(Inst::Add {
+                dst: max_off,
+                a: Operand::Reg(max_off),
+                b: Operand::Const(u64::from(walk.deref_size) - 1),
+            }));
+        }
+    }
+    // Preheader: single tag update on a copy + dummy bound-checking load.
+    let chk = fresh(regs);
+    out.push(Stmt::Inst(Inst::Copy { dst: chk, src: walk.ptr }));
+    out.push(Stmt::Inst(Inst::UpdateTag {
+        ptr: chk,
+        offset: Operand::Reg(max_off),
+        direct: walk.direct,
+    }));
+    let chk_masked = fresh(regs);
+    out.push(Stmt::Inst(Inst::CleanTag { dst: chk_masked, src: chk }));
+    out.push(Stmt::Inst(Inst::DummyLoad { ptr: chk_masked }));
+    // Body: stride the *masked* pointer — no PM bit, no hooks.
+    let m = walk.masked;
+    out.push(Stmt::Inst(Inst::CleanTag { dst: m, src: walk.ptr }));
+    out.push(Stmt::Loop {
+        counter,
+        count,
+        body: vec![
+            Stmt::Inst(Inst::Gep { dst: m, base: m, offset: Operand::Const(walk.stride) }),
+            Stmt::Inst(walk.access.clone()),
+        ],
+    });
+}
+
+/// Coalesce straight-line runs of the transformed constant-offset
+/// access pattern on one pointer: one preheader check replaces the
+/// per-access hooks (the paper's basic-block preemption example).
+pub fn preempt_straightline_checks(f: &mut Function) -> OptStats {
+    let mut stats = OptStats::default();
+    let mut regs = f.regs;
+    let body = std::mem::take(&mut f.body);
+    f.body = preempt_block(body, &mut regs, &mut stats);
+    f.regs = regs;
+    stats
+}
+
+fn preempt_block(stmts: Vec<Stmt>, regs: &mut u32, stats: &mut OptStats) -> Vec<Stmt> {
+    // First recurse into loops.
+    let stmts: Vec<Stmt> = stmts
+        .into_iter()
+        .map(|s| match s {
+            Stmt::Loop { counter, count, body } => {
+                Stmt::Loop { counter, count, body: preempt_block(body, regs, stats) }
+            }
+            other => other,
+        })
+        .collect();
+
+    let mut out: Vec<Stmt> = Vec::with_capacity(stmts.len());
+    let mut i = 0;
+    while i < stmts.len() {
+        // A "group" is [Gep(p, +c); UpdateTag(p, c); CheckBound(m, p, s); Access(m)].
+        let (groups, consumed, ptr) = collect_groups(&stmts[i..]);
+        if groups.len() >= 2 {
+            let p = ptr.expect("groups imply a pointer");
+            emit_coalesced(&mut out, regs, p, &groups);
+            stats.runs_coalesced += 1;
+            stats.hooks_removed += groups.len() * 2 - 1;
+            i += consumed;
+            continue;
+        }
+        out.push(stmts[i].clone());
+        i += 1;
+    }
+    out
+}
+
+struct Group {
+    cum_off: u64,
+    access: Inst,
+    direct: bool,
+}
+
+/// Collect a maximal run of walk groups on a single pointer starting at
+/// `stmts[0]`. Returns groups, statements consumed, and the pointer.
+fn collect_groups(stmts: &[Stmt]) -> (Vec<Group>, usize, Option<Reg>) {
+    let mut groups = Vec::new();
+    let mut cum = 0u64;
+    let mut idx = 0;
+    let mut ptr: Option<Reg> = None;
+    while idx + 4 <= stmts.len() {
+        let window = &stmts[idx..idx + 4];
+        match match_walk_body(window) {
+            // Only forward constant strides participate (the paper's
+            // "constant pointer increments"); a negative step ends the run.
+            Some(w) if (w.stride as i64) > 0 && (ptr.is_none() || ptr == Some(w.ptr)) => {
+                ptr = Some(w.ptr);
+                cum += w.stride;
+                groups.push(Group { cum_off: cum, access: w.access, direct: w.direct });
+                idx += 4;
+            }
+            _ => break,
+        }
+    }
+    (groups, idx, ptr)
+}
+
+fn emit_coalesced(out: &mut Vec<Stmt>, regs: &mut u32, p: Reg, groups: &[Group]) {
+    let max_needed = groups
+        .iter()
+        .map(|g| {
+            g.cum_off
+                + match &g.access {
+                    Inst::Load { size, .. } | Inst::Store { size, .. } => u64::from(*size),
+                    _ => 1,
+                }
+                - 1
+        })
+        .max()
+        .expect("nonempty run");
+    let total: u64 = groups.last().expect("nonempty").cum_off;
+    let direct = groups.iter().all(|g| g.direct);
+    // Single check for the whole run.
+    let chk = fresh(regs);
+    out.push(Stmt::Inst(Inst::Copy { dst: chk, src: p }));
+    out.push(Stmt::Inst(Inst::UpdateTag {
+        ptr: chk,
+        offset: Operand::Const(max_needed),
+        direct,
+    }));
+    let chk_masked = fresh(regs);
+    out.push(Stmt::Inst(Inst::CleanTag { dst: chk_masked, src: chk }));
+    out.push(Stmt::Inst(Inst::DummyLoad { ptr: chk_masked }));
+    // Masked base; accesses at absolute offsets, hook-free.
+    let base = fresh(regs);
+    out.push(Stmt::Inst(Inst::CleanTag { dst: base, src: p }));
+    for g in groups {
+        let addr = fresh(regs);
+        out.push(Stmt::Inst(Inst::Gep { dst: addr, base, offset: Operand::Const(g.cum_off) }));
+        let access = match &g.access {
+            Inst::Load { dst, size, .. } => Inst::Load { dst: *dst, ptr: addr, size: *size },
+            Inst::Store { value, size, .. } => Inst::Store { ptr: addr, value: *value, size: *size },
+            other => other.clone(),
+        };
+        out.push(Stmt::Inst(access));
+    }
+    // Keep `p` advanced for any later uses (tag included, one hook).
+    out.push(Stmt::Inst(Inst::Gep { dst: p, base: p, offset: Operand::Const(total) }));
+    out.push(Stmt::Inst(Inst::UpdateTag { ptr: p, offset: Operand::Const(total), direct }));
+}

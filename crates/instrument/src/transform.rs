@@ -1,0 +1,265 @@
+//! The SPP transformation pass and the LTO external-call masking (§IV-C).
+
+use crate::classify::{classify, Origin};
+use crate::ir::{Function, Inst, Reg, Stmt};
+
+/// Statistics of one transformation run — the numbers the ablation study
+/// reports.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TransformStats {
+    /// `__spp_updatetag` call sites inserted.
+    pub update_tags: usize,
+    /// `__spp_checkbound` call sites inserted.
+    pub check_bounds: usize,
+    /// `__spp_cleantag` call sites inserted (ptr-to-int).
+    pub clean_tags: usize,
+    /// Hook insertions *skipped* because pointer tracking proved the
+    /// operand volatile.
+    pub skipped_volatile: usize,
+    /// Hooks emitted as `_direct` variants (proven persistent).
+    pub direct_hooks: usize,
+}
+
+/// Run the transformation pass: inject tag updates after GEPs, bound
+/// checks before dereferences, and tag cleaning before pointer-to-int
+/// conversions. With `pointer_tracking` enabled (the default in the
+/// paper), volatile pointers are skipped and persistent ones use the
+/// `_direct` hooks; without it, every pointer is treated as unknown (the
+/// ablation baseline).
+pub fn spp_transform(f: &Function, pointer_tracking: bool) -> (Function, TransformStats) {
+    spp_transform_with_params(f, pointer_tracking, &[])
+}
+
+/// As [`spp_transform`], with seeded parameter origins from the LTO pass
+/// (see [`crate::module::lto_classify`]).
+pub fn spp_transform_with_params(
+    f: &Function,
+    pointer_tracking: bool,
+    params: &[crate::classify::Origin],
+) -> (Function, TransformStats) {
+    let cls = crate::classify::classify_with_params(f, params);
+    let mut out = Function { regs: f.regs, body: Vec::new() };
+    let mut stats = TransformStats::default();
+    let origin_of = |r: Reg| if pointer_tracking { cls.of(r) } else { Origin::Unknown };
+    out.body = walk(&f.body, &mut out.regs, &origin_of, &mut stats);
+    (out, stats)
+}
+
+fn walk(
+    stmts: &[Stmt],
+    regs: &mut u32,
+    origin_of: &impl Fn(Reg) -> Origin,
+    stats: &mut TransformStats,
+) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len() * 2);
+    for s in stmts {
+        match s {
+            Stmt::Loop { counter, count, body } => {
+                let body = walk(body, regs, origin_of, stats);
+                out.push(Stmt::Loop { counter: *counter, count: *count, body });
+            }
+            Stmt::Inst(i) => transform_inst(i, regs, origin_of, stats, &mut out),
+        }
+    }
+    out
+}
+
+fn fresh(regs: &mut u32) -> Reg {
+    let r = Reg(*regs);
+    *regs += 1;
+    r
+}
+
+fn transform_inst(
+    i: &Inst,
+    regs: &mut u32,
+    origin_of: &impl Fn(Reg) -> Origin,
+    stats: &mut TransformStats,
+    out: &mut Vec<Stmt>,
+) {
+    match i {
+        Inst::Gep { dst, base, offset } => {
+            let origin = origin_of(*base);
+            out.push(Stmt::Inst(i.clone()));
+            match origin {
+                Origin::Volatile => stats.skipped_volatile += 1,
+                Origin::Persistent | Origin::Unknown => {
+                    let direct = origin == Origin::Persistent;
+                    if direct {
+                        stats.direct_hooks += 1;
+                    }
+                    stats.update_tags += 1;
+                    out.push(Stmt::Inst(Inst::UpdateTag { ptr: *dst, offset: *offset, direct }));
+                }
+            }
+        }
+        Inst::Load { dst, ptr, size } => {
+            match origin_of(*ptr) {
+                Origin::Volatile => {
+                    stats.skipped_volatile += 1;
+                    out.push(Stmt::Inst(i.clone()));
+                }
+                origin => {
+                    let direct = origin == Origin::Persistent;
+                    if direct {
+                        stats.direct_hooks += 1;
+                    }
+                    stats.check_bounds += 1;
+                    let masked = fresh(regs);
+                    out.push(Stmt::Inst(Inst::CheckBound {
+                        dst: masked,
+                        ptr: *ptr,
+                        deref_size: *size,
+                        direct,
+                    }));
+                    out.push(Stmt::Inst(Inst::Load { dst: *dst, ptr: masked, size: *size }));
+                }
+            }
+        }
+        Inst::Store { ptr, value, size } => match origin_of(*ptr) {
+            Origin::Volatile => {
+                stats.skipped_volatile += 1;
+                out.push(Stmt::Inst(i.clone()));
+            }
+            origin => {
+                let direct = origin == Origin::Persistent;
+                if direct {
+                    stats.direct_hooks += 1;
+                }
+                stats.check_bounds += 1;
+                let masked = fresh(regs);
+                out.push(Stmt::Inst(Inst::CheckBound {
+                    dst: masked,
+                    ptr: *ptr,
+                    deref_size: *size,
+                    direct,
+                }));
+                out.push(Stmt::Inst(Inst::Store { ptr: masked, value: *value, size: *size }));
+            }
+        },
+        Inst::PtrToInt { dst, src } => match origin_of(*src) {
+            Origin::Volatile => {
+                stats.skipped_volatile += 1;
+                out.push(Stmt::Inst(i.clone()));
+            }
+            _ => {
+                stats.clean_tags += 1;
+                let cleaned = fresh(regs);
+                out.push(Stmt::Inst(Inst::CleanTag { dst: cleaned, src: *src }));
+                out.push(Stmt::Inst(Inst::PtrToInt { dst: *dst, src: cleaned }));
+            }
+        },
+        other => out.push(Stmt::Inst(other.clone())),
+    }
+}
+
+/// The LTO pass's compatibility step (§IV-C): mask the tag off every
+/// pointer argument right before an external (uninstrumented) call.
+/// Returns the number of arguments masked.
+pub fn mask_external_calls(f: &mut Function) -> usize {
+    let cls = classify(f);
+    let mut regs = f.regs;
+    let mut masked_count = 0;
+    let body = std::mem::take(&mut f.body);
+    f.body = mask_walk(body, &cls, &mut regs, &mut masked_count);
+    f.regs = regs;
+    masked_count
+}
+
+fn mask_walk(
+    stmts: Vec<Stmt>,
+    cls: &crate::classify::Classification,
+    regs: &mut u32,
+    masked_count: &mut usize,
+) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        match s {
+            Stmt::Loop { counter, count, body } => {
+                let body = mask_walk(body, cls, regs, masked_count);
+                out.push(Stmt::Loop { counter, count, body });
+            }
+            Stmt::Inst(Inst::CallExt { name, ptr_args }) => {
+                let mut new_args = Vec::with_capacity(ptr_args.len());
+                for arg in ptr_args {
+                    if cls.of(arg) == Origin::Volatile {
+                        new_args.push(arg);
+                        continue;
+                    }
+                    let cleaned = fresh(regs);
+                    out.push(Stmt::Inst(Inst::CleanTagExternal { dst: cleaned, src: arg }));
+                    new_args.push(cleaned);
+                    *masked_count += 1;
+                }
+                out.push(Stmt::Inst(Inst::CallExt { name, ptr_args: new_args }));
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Operand;
+
+    fn sample() -> Function {
+        let mut f = Function::new();
+        let pm = f.reg();
+        let vol = f.reg();
+        let x = f.reg();
+        f.push(Inst::AllocPm { dst: pm, size: Operand::Const(64) });
+        f.push(Inst::AllocVol { dst: vol, size: Operand::Const(64) });
+        f.push(Inst::Gep { dst: pm, base: pm, offset: Operand::Const(8) });
+        f.push(Inst::Gep { dst: vol, base: vol, offset: Operand::Const(8) });
+        f.push(Inst::Load { dst: x, ptr: pm, size: 8 });
+        f.push(Inst::Store { ptr: vol, value: Operand::Reg(x), size: 8 });
+        f
+    }
+
+    #[test]
+    fn tracking_skips_volatile_and_directs_persistent() {
+        let (t, stats) = spp_transform(&sample(), true);
+        assert_eq!(stats.update_tags, 1); // only the PM gep
+        assert_eq!(stats.check_bounds, 1); // only the PM load
+        assert_eq!(stats.skipped_volatile, 2); // vol gep + vol store
+        assert_eq!(stats.direct_hooks, 2); // both PM hooks proven persistent
+        assert_eq!(t.count_insts(|i| matches!(i, Inst::UpdateTag { direct: true, .. })), 1);
+    }
+
+    #[test]
+    fn without_tracking_everything_instrumented() {
+        let (t, stats) = spp_transform(&sample(), false);
+        assert_eq!(stats.update_tags, 2);
+        assert_eq!(stats.check_bounds, 2);
+        assert_eq!(stats.skipped_volatile, 0);
+        assert_eq!(stats.direct_hooks, 0);
+        assert_eq!(t.count_insts(|i| matches!(i, Inst::CheckBound { .. })), 2);
+    }
+
+    #[test]
+    fn ptrtoint_gets_cleaned() {
+        let mut f = Function::new();
+        let pm = f.reg();
+        let n = f.reg();
+        f.push(Inst::AllocPm { dst: pm, size: Operand::Const(8) });
+        f.push(Inst::PtrToInt { dst: n, src: pm });
+        let (t, stats) = spp_transform(&f, true);
+        assert_eq!(stats.clean_tags, 1);
+        assert_eq!(t.count_insts(|i| matches!(i, Inst::CleanTag { .. })), 1);
+    }
+
+    #[test]
+    fn external_calls_masked_only_for_pm_args() {
+        let mut f = Function::new();
+        let pm = f.reg();
+        let vol = f.reg();
+        f.push(Inst::AllocPm { dst: pm, size: Operand::Const(8) });
+        f.push(Inst::AllocVol { dst: vol, size: Operand::Const(8) });
+        f.push(Inst::CallExt { name: "write", ptr_args: vec![pm, vol] });
+        let masked = mask_external_calls(&mut f);
+        assert_eq!(masked, 1);
+        assert_eq!(f.count_insts(|i| matches!(i, Inst::CleanTagExternal { .. })), 1);
+    }
+}

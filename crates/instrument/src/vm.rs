@@ -1,0 +1,379 @@
+//! The executing VM: hook instructions call the real SPP runtime library;
+//! memory instructions hit the simulated PM pool (or a volatile arena)
+//! with real fault semantics.
+
+use std::sync::Arc;
+
+use spp_core::{SppRuntime, TagConfig, OVERFLOW_BIT};
+use spp_pmdk::ObjPool;
+
+use crate::ir::{Function, Inst, Operand, Reg, Stmt};
+
+/// Whether the VM models an uninstrumented (native) or SPP build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmMode {
+    /// `pmemobj_direct` returns raw addresses; hook instructions would be
+    /// absent from a native build (executing them anyway is a no-op on
+    /// untagged pointers).
+    Native,
+    /// `pmemobj_direct` returns tagged pointers; the program must have been
+    /// through [`crate::spp_transform`] or dereferences of tagged pointers
+    /// fault.
+    Spp,
+    /// The §VII generalisation: volatile allocations are tagged too, so the
+    /// same overflow-bit mechanism protects both memories (at the cost of
+    /// instrumenting every pointer — run the transform with pointer
+    /// tracking disabled so volatile pointers keep their hooks).
+    SppAll,
+}
+
+/// A runtime trap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// Access to an unmapped address whose overflow bit was set: an SPP
+    /// detection.
+    Overflow {
+        /// Faulting address.
+        va: u64,
+    },
+    /// Wild access to an unmapped address.
+    Fault {
+        /// Faulting address.
+        va: u64,
+    },
+    /// PM allocation failed.
+    OutOfMemory,
+    /// Malformed program (e.g. register out of range).
+    BadProgram(String),
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Trap::Overflow { va } => write!(f, "pm buffer overflow trapped at {va:#x}"),
+            Trap::Fault { va } => write!(f, "segmentation fault at {va:#x}"),
+            Trap::OutOfMemory => write!(f, "pm allocation failed"),
+            Trap::BadProgram(m) => write!(f, "bad program: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+// Kept inside the default encoding's 36 addressable bits so tagged
+// volatile pointers (VmMode::SppAll) resolve after masking.
+const ARENA_BASE: u64 = 0x2_0000_0000;
+
+/// The interpreter.
+pub struct Vm {
+    pool: Arc<ObjPool>,
+    runtime: SppRuntime,
+    mode: VmMode,
+    arena: Vec<u8>,
+    arena_used: usize,
+    regs: Vec<u64>,
+}
+
+impl Vm {
+    /// Create a VM over `pool` with the given encoding and build mode.
+    pub fn new(pool: Arc<ObjPool>, cfg: TagConfig, mode: VmMode) -> Self {
+        Vm {
+            pool,
+            runtime: SppRuntime::new(cfg),
+            mode,
+            arena: vec![0u8; 1 << 20],
+            arena_used: 0,
+            regs: Vec::new(),
+        }
+    }
+
+    /// The runtime library (hook invocation counters for ablations).
+    pub fn runtime(&self) -> &SppRuntime {
+        &self.runtime
+    }
+
+    /// Value of a register after [`Vm::run`].
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs.get(r.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Execute a function.
+    ///
+    /// # Errors
+    ///
+    /// A [`Trap`] — including [`Trap::Overflow`] for SPP detections.
+    pub fn run(&mut self, f: &Function) -> Result<(), Trap> {
+        self.regs = vec![0; f.regs as usize];
+        let module = crate::module::Module { functions: vec![f.clone()] };
+        self.exec_block(&f.body, &module)
+    }
+
+    /// Execute a whole module from its entry function (index 0), following
+    /// internal calls.
+    ///
+    /// # Errors
+    ///
+    /// A [`Trap`], or [`Trap::BadProgram`] for out-of-range call targets.
+    pub fn run_module(&mut self, m: &crate::module::Module) -> Result<(), Trap> {
+        let entry = m
+            .functions
+            .first()
+            .ok_or_else(|| Trap::BadProgram("empty module".into()))?;
+        self.regs = vec![0; entry.regs as usize];
+        self.exec_block(&entry.body, m)
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt], m: &crate::module::Module) -> Result<(), Trap> {
+        for s in stmts {
+            match s {
+                Stmt::Inst(Inst::CallInt { func, args }) => {
+                    let callee = m
+                        .functions
+                        .get(*func)
+                        .ok_or_else(|| Trap::BadProgram(format!("no function {func}")))?;
+                    let mut frame = vec![0u64; callee.regs as usize];
+                    for (i, &arg) in args.iter().enumerate() {
+                        if i < frame.len() {
+                            frame[i] = self.eval(Operand::Reg(arg));
+                        }
+                    }
+                    let saved = std::mem::replace(&mut self.regs, frame);
+                    let result = self.exec_block(&callee.body, m);
+                    self.regs = saved;
+                    result?;
+                }
+                Stmt::Inst(i) => self.exec_inst(i)?,
+                Stmt::Loop { counter, count, body } => {
+                    let n = self.eval(*count);
+                    for i in 0..n {
+                        self.set(*counter, i)?;
+                        self.exec_block(body, m)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn eval(&self, op: Operand) -> u64 {
+        match op {
+            Operand::Const(c) => c,
+            Operand::Reg(r) => self.regs.get(r.0 as usize).copied().unwrap_or(0),
+        }
+    }
+
+    fn set(&mut self, r: Reg, v: u64) -> Result<(), Trap> {
+        match self.regs.get_mut(r.0 as usize) {
+            Some(slot) => {
+                *slot = v;
+                Ok(())
+            }
+            None => Err(Trap::BadProgram(format!("register {r:?} out of range"))),
+        }
+    }
+
+    fn classify_unmapped(va: u64) -> Trap {
+        if va & OVERFLOW_BIT != 0 {
+            Trap::Overflow { va }
+        } else {
+            Trap::Fault { va }
+        }
+    }
+
+    fn read_mem(&self, va: u64, len: usize) -> Result<u64, Trap> {
+        let mut buf = [0u8; 8];
+        if let Ok(off) = self.pool.pm().resolve(va, len) {
+            self.pool.read(off, &mut buf[..len]).map_err(|_| Trap::Fault { va })?;
+            return Ok(u64::from_le_bytes(buf));
+        }
+        let a = va.wrapping_sub(ARENA_BASE) as usize;
+        if va >= ARENA_BASE && a + len <= self.arena.len() {
+            buf[..len].copy_from_slice(&self.arena[a..a + len]);
+            return Ok(u64::from_le_bytes(buf));
+        }
+        Err(Self::classify_unmapped(va))
+    }
+
+    fn write_mem(&mut self, va: u64, value: u64, len: usize) -> Result<(), Trap> {
+        let bytes = value.to_le_bytes();
+        if let Ok(off) = self.pool.pm().resolve(va, len) {
+            self.pool.write(off, &bytes[..len]).map_err(|_| Trap::Fault { va })?;
+            return Ok(());
+        }
+        let a = va.wrapping_sub(ARENA_BASE) as usize;
+        if va >= ARENA_BASE && a + len <= self.arena.len() {
+            self.arena[a..a + len].copy_from_slice(&bytes[..len]);
+            return Ok(());
+        }
+        Err(Self::classify_unmapped(va))
+    }
+
+    fn exec_inst(&mut self, i: &Inst) -> Result<(), Trap> {
+        match i {
+            Inst::Const { dst, value } => self.set(*dst, *value),
+            Inst::Add { dst, a, b } => {
+                let v = self.eval(*a).wrapping_add(self.eval(*b));
+                self.set(*dst, v)
+            }
+            Inst::Mul { dst, a, b } => {
+                let v = self.eval(*a).wrapping_mul(self.eval(*b));
+                self.set(*dst, v)
+            }
+            Inst::Copy { dst, src } => {
+                let v = self.eval(Operand::Reg(*src));
+                self.set(*dst, v)
+            }
+            Inst::AllocPm { dst, size } => {
+                let size = self.eval(*size).max(1);
+                let oid = self.pool.zalloc(size).map_err(|_| Trap::OutOfMemory)?;
+                let va = self.pool.pm().base() + oid.off;
+                let ptr = match self.mode {
+                    VmMode::Native => va,
+                    VmMode::Spp | VmMode::SppAll => {
+                        self.runtime.config().make_tagged(va, size)
+                    }
+                };
+                self.set(*dst, ptr)
+            }
+            Inst::AllocVol { dst, size } => {
+                let size = self.eval(*size).max(1) as usize;
+                let aligned = size.next_multiple_of(16);
+                if self.arena_used + aligned > self.arena.len() {
+                    return Err(Trap::OutOfMemory);
+                }
+                let va = ARENA_BASE + self.arena_used as u64;
+                self.arena_used += aligned;
+                let ptr = match self.mode {
+                    // The §VII extension tags volatile pointers identically.
+                    VmMode::SppAll => self.runtime.config().make_tagged(va, size as u64),
+                    VmMode::Native | VmMode::Spp => va,
+                };
+                self.set(*dst, ptr)
+            }
+            Inst::Gep { dst, base, offset } => {
+                // A *plain* GEP: address arithmetic only. The tag moves via
+                // the injected UpdateTag (or doesn't, in a native build —
+                // which is fine: native pointers carry no tag).
+                let v = self.eval(Operand::Reg(*base)).wrapping_add(self.eval(*offset));
+                self.set(*dst, v)
+            }
+            Inst::Load { dst, ptr, size } => {
+                let va = self.eval(Operand::Reg(*ptr));
+                let v = self.read_mem(va, *size as usize)?;
+                self.set(*dst, v)
+            }
+            Inst::Store { ptr, value, size } => {
+                let va = self.eval(Operand::Reg(*ptr));
+                let v = self.eval(*value);
+                self.write_mem(va, v, *size as usize)
+            }
+            Inst::PtrToInt { dst, src } => {
+                let v = self.eval(Operand::Reg(*src));
+                self.set(*dst, v)
+            }
+            Inst::CallInt { .. } => {
+                unreachable!("CallInt handled in exec_block")
+            }
+            Inst::CallExt { ptr_args, .. } => {
+                // The uninstrumented callee dereferences each pointer.
+                for &arg in ptr_args {
+                    let va = self.eval(Operand::Reg(arg));
+                    self.read_mem(va, 1)?;
+                }
+                Ok(())
+            }
+            Inst::UpdateTag { ptr, offset, direct } => {
+                let va = self.eval(Operand::Reg(*ptr));
+                let off = self.eval(*offset) as i64;
+                let v = if *direct {
+                    self.runtime.updatetag_direct(va, off)
+                } else {
+                    self.runtime.updatetag(va, off)
+                };
+                self.set(*ptr, v)
+            }
+            Inst::CheckBound { dst, ptr, deref_size, direct } => {
+                let va = self.eval(Operand::Reg(*ptr));
+                let v = if *direct {
+                    self.runtime.checkbound_direct(va, u64::from(*deref_size))
+                } else {
+                    self.runtime.checkbound(va, u64::from(*deref_size))
+                };
+                self.set(*dst, v)
+            }
+            Inst::CleanTag { dst, src } => {
+                let va = self.eval(Operand::Reg(*src));
+                let v = self.runtime.cleantag(va);
+                self.set(*dst, v)
+            }
+            Inst::CleanTagExternal { dst, src } => {
+                let va = self.eval(Operand::Reg(*src));
+                let v = self.runtime.cleantag_external(va);
+                self.set(*dst, v)
+            }
+            Inst::DummyLoad { ptr } => {
+                let va = self.eval(Operand::Reg(*ptr));
+                self.read_mem(va, 1)?;
+                Ok(())
+            }
+        }
+    }
+}
+
+/// An SPP pointer dereferenced without instrumentation carries the PM bit
+/// and resolves nowhere — exactly how real tagged pointers behave. Tests
+/// live in `tests/pipeline.rs`.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_pm::{PmPool, PoolConfig};
+    use spp_pmdk::PoolOpts;
+
+    use spp_core::is_pm_ptr;
+
+    fn vm(mode: VmMode) -> Vm {
+        let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 20)));
+        let pool = Arc::new(ObjPool::create(pm, PoolOpts::small()).unwrap());
+        Vm::new(pool, TagConfig::default(), mode)
+    }
+
+    #[test]
+    fn native_alloc_and_access() {
+        let mut f = Function::new();
+        let p = f.reg();
+        let x = f.reg();
+        f.push(Inst::AllocPm { dst: p, size: Operand::Const(64) });
+        f.push(Inst::Store { ptr: p, value: Operand::Const(0xAB), size: 8 });
+        f.push(Inst::Load { dst: x, ptr: p, size: 8 });
+        let mut vm = vm(VmMode::Native);
+        vm.run(&f).unwrap();
+        assert_eq!(vm.reg(x), 0xAB);
+    }
+
+    #[test]
+    fn tagged_pointer_without_hooks_faults() {
+        // An SPP build whose code was NOT transformed: the tagged pointer
+        // reaches the load raw and resolves nowhere.
+        let mut f = Function::new();
+        let p = f.reg();
+        f.push(Inst::AllocPm { dst: p, size: Operand::Const(64) });
+        f.push(Inst::Store { ptr: p, value: Operand::Const(1), size: 8 });
+        let mut vm = vm(VmMode::Spp);
+        let err = vm.run(&f).unwrap_err();
+        assert!(matches!(err, Trap::Fault { .. } | Trap::Overflow { .. }));
+    }
+
+    #[test]
+    fn volatile_arena_roundtrip() {
+        let mut f = Function::new();
+        let p = f.reg();
+        let x = f.reg();
+        f.push(Inst::AllocVol { dst: p, size: Operand::Const(32) });
+        f.push(Inst::Store { ptr: p, value: Operand::Const(7), size: 4 });
+        f.push(Inst::Load { dst: x, ptr: p, size: 4 });
+        let mut vm = vm(VmMode::Spp);
+        vm.run(&f).unwrap();
+        assert_eq!(vm.reg(x), 7);
+        assert!(!is_pm_ptr(vm.reg(p)));
+    }
+}

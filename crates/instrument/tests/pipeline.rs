@@ -1,0 +1,267 @@
+//! End-to-end compiler-pipeline tests: build program → classify →
+//! transform → optimize → execute on the VM, checking both semantics and
+//! hook-count ablations.
+
+use std::sync::Arc;
+
+use spp_core::TagConfig;
+use spp_instrument::{
+    hoist_loop_checks, mask_external_calls, preempt_straightline_checks, spp_transform, Function,
+    Inst, Operand, Stmt, Trap, Vm, VmMode,
+};
+use spp_pm::{PmPool, PoolConfig};
+use spp_pmdk::{ObjPool, PoolOpts};
+
+fn vm(mode: VmMode) -> Vm {
+    let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 20)));
+    let pool = Arc::new(ObjPool::create(pm, PoolOpts::small()).unwrap());
+    Vm::new(pool, TagConfig::default(), mode)
+}
+
+/// `p = alloc_pm((slots+1)*8); for i in 0..iters { p += 8; x = *p }`.
+fn walk_program(slots: u64, iters: u64) -> (Function, spp_instrument::Reg) {
+    let mut f = Function::new();
+    let p = f.reg();
+    let x = f.reg();
+    let i = f.reg();
+    f.push(Inst::AllocPm { dst: p, size: Operand::Const((slots + 1) * 8) });
+    f.body.push(Stmt::Loop {
+        counter: i,
+        count: Operand::Const(iters),
+        body: vec![
+            Stmt::Inst(Inst::Gep { dst: p, base: p, offset: Operand::Const(8) }),
+            Stmt::Inst(Inst::Load { dst: x, ptr: p, size: 8 }),
+        ],
+    });
+    (f, x)
+}
+
+#[test]
+fn transformed_walk_runs_in_bounds() {
+    let (f, _) = walk_program(16, 16);
+    let (t, stats) = spp_transform(&f, true);
+    assert_eq!(stats.update_tags, 1);
+    assert_eq!(stats.check_bounds, 1);
+    let mut vm = vm(VmMode::Spp);
+    vm.run(&t).unwrap();
+    // Hooks ran once per iteration.
+    assert_eq!(vm.runtime().stats().update_tag(), 16);
+    assert_eq!(vm.runtime().stats().check_bound(), 16);
+    // Pointer tracking proved the pointer persistent: zero runtime PM-bit
+    // tests.
+    assert_eq!(vm.runtime().stats().pm_bit_tests(), 0);
+}
+
+#[test]
+fn transformed_walk_traps_out_of_bounds() {
+    let (f, _) = walk_program(16, 17); // one step too far
+    let (t, _) = spp_transform(&f, true);
+    let mut vm = vm(VmMode::Spp);
+    let err = vm.run(&t).unwrap_err();
+    assert!(matches!(err, Trap::Overflow { .. }), "got {err}");
+}
+
+#[test]
+fn native_build_misses_the_same_overflow() {
+    let (f, _) = walk_program(16, 17);
+    let mut vm = vm(VmMode::Native);
+    // Uninstrumented, untagged: the over-read lands in the adjacent heap
+    // block and is silent.
+    vm.run(&f).unwrap();
+}
+
+#[test]
+fn without_pointer_tracking_pm_bit_tests_appear() {
+    let (f, _) = walk_program(8, 8);
+    let (t, _) = spp_transform(&f, false);
+    let mut vm = vm(VmMode::Spp);
+    vm.run(&t).unwrap();
+    assert_eq!(vm.runtime().stats().pm_bit_tests(), 16); // 8 updates + 8 checks
+}
+
+#[test]
+fn hoisting_removes_per_iteration_hooks() {
+    let (f, _) = walk_program(64, 64);
+    let (mut t, _) = spp_transform(&f, true);
+    let stats = hoist_loop_checks(&mut t);
+    assert_eq!(stats.loops_hoisted, 1);
+    let mut m = vm(VmMode::Spp);
+    m.run(&t).unwrap();
+    // One preheader update instead of 64; zero per-iteration checks.
+    assert_eq!(m.runtime().stats().update_tag(), 1);
+    assert_eq!(m.runtime().stats().check_bound(), 0);
+}
+
+#[test]
+fn hoisted_walk_still_traps_out_of_bounds() {
+    let (f, _) = walk_program(64, 65);
+    let (mut t, _) = spp_transform(&f, true);
+    assert_eq!(hoist_loop_checks(&mut t).loops_hoisted, 1);
+    let mut m = vm(VmMode::Spp);
+    let err = m.run(&t).unwrap_err();
+    assert!(matches!(err, Trap::Overflow { .. }), "got {err}");
+}
+
+#[test]
+fn hoisting_skips_loops_whose_pointer_is_live_out() {
+    let (mut f, _) = walk_program(8, 8);
+    // Use the pointer after the loop: hoisting must not fire.
+    let y = f.reg();
+    let p = spp_instrument::Reg(0);
+    f.push(Inst::Load { dst: y, ptr: p, size: 8 });
+    let (mut t, _) = spp_transform(&f, true);
+    assert_eq!(hoist_loop_checks(&mut t).loops_hoisted, 0);
+    let mut m = vm(VmMode::Spp);
+    m.run(&t).unwrap();
+}
+
+/// The paper's §IV-E straight-line example: consecutive constant
+/// increments and dereferences of one pointer.
+fn straightline_program(accesses: u64, object_slots: u64) -> Function {
+    let mut f = Function::new();
+    let p = f.reg();
+    let x = f.reg();
+    f.push(Inst::AllocPm { dst: p, size: Operand::Const((object_slots + 1) * 8) });
+    for _ in 0..accesses {
+        f.push(Inst::Gep { dst: p, base: p, offset: Operand::Const(8) });
+        f.push(Inst::Load { dst: x, ptr: p, size: 8 });
+    }
+    f
+}
+
+#[test]
+fn preemption_coalesces_the_run() {
+    let f = straightline_program(4, 8);
+    let (mut t, _) = spp_transform(&f, true);
+    let stats = preempt_straightline_checks(&mut t);
+    assert_eq!(stats.runs_coalesced, 1);
+    let mut m = vm(VmMode::Spp);
+    m.run(&t).unwrap();
+    // One preheader update + one trailing pointer-advance update; zero
+    // per-access checks.
+    assert_eq!(m.runtime().stats().check_bound(), 0);
+    assert_eq!(m.runtime().stats().update_tag(), 2);
+}
+
+#[test]
+fn preempted_run_still_traps() {
+    let f = straightline_program(4, 2); // 4 accesses into a 3-slot object
+    let (mut t, _) = spp_transform(&f, true);
+    assert_eq!(preempt_straightline_checks(&mut t).runs_coalesced, 1);
+    let mut m = vm(VmMode::Spp);
+    let err = m.run(&t).unwrap_err();
+    assert!(matches!(err, Trap::Overflow { .. }), "got {err}");
+}
+
+#[test]
+fn preemption_preserves_values() {
+    // Store then reload through the coalesced path; values must match the
+    // unoptimized run.
+    let mut f = Function::new();
+    let p = f.reg();
+    let x = f.reg();
+    f.push(Inst::AllocPm { dst: p, size: Operand::Const(64) });
+    for k in 0..3u64 {
+        f.push(Inst::Gep { dst: p, base: p, offset: Operand::Const(8) });
+        f.push(Inst::Store { ptr: p, value: Operand::Const(100 + k), size: 8 });
+    }
+    // Walk back and read the first stored slot.
+    f.push(Inst::Gep { dst: p, base: p, offset: Operand::Const(-16i64 as u64) });
+    f.push(Inst::Load { dst: x, ptr: p, size: 8 });
+
+    let (t_plain, _) = spp_transform(&f, true);
+    let mut m1 = vm(VmMode::Spp);
+    m1.run(&t_plain).unwrap();
+
+    let (mut t_opt, _) = spp_transform(&f, true);
+    preempt_straightline_checks(&mut t_opt);
+    let mut m2 = vm(VmMode::Spp);
+    m2.run(&t_opt).unwrap();
+
+    assert_eq!(m1.reg(x), 100);
+    assert_eq!(m2.reg(x), m1.reg(x));
+}
+
+#[test]
+fn external_call_needs_lto_masking() {
+    let mut f = Function::new();
+    let p = f.reg();
+    f.push(Inst::AllocPm { dst: p, size: Operand::Const(32) });
+    f.push(Inst::CallExt { name: "read", ptr_args: vec![p] });
+    let (t, _) = spp_transform(&f, true);
+    // Without the LTO pass: the uninstrumented callee dereferences the
+    // tagged pointer and faults (the incompatibility §IV-C solves).
+    let mut m = vm(VmMode::Spp);
+    assert!(m.run(&t).is_err());
+    // With it: masked argument, call succeeds.
+    let (mut t2, _) = spp_transform(&f, true);
+    assert!(mask_external_calls(&mut t2) >= 1);
+    let mut m2 = vm(VmMode::Spp);
+    m2.run(&t2).unwrap();
+}
+
+#[test]
+fn ptrtoint_value_is_the_plain_address() {
+    let mut f = Function::new();
+    let p = f.reg();
+    let n = f.reg();
+    f.push(Inst::AllocPm { dst: p, size: Operand::Const(32) });
+    f.push(Inst::PtrToInt { dst: n, src: p });
+    let (t, _) = spp_transform(&f, true);
+    let mut m = vm(VmMode::Spp);
+    m.run(&t).unwrap();
+    // The integer must look like an ordinary address (tag and PM bit
+    // cleaned) so application arithmetic behaves (§IV-G).
+    assert!(!spp_core::is_pm_ptr(m.reg(n)));
+    assert!(m.reg(n) >= 0x1_0000_0000); // the pool's base region
+}
+
+mod volatile_generalisation {
+    //! §VII: "at the cost of additional performance overhead, SPP could be
+    //! generalised and include instrumentation and checks for volatile
+    //! memory pointers" — the VM's `SppAll` mode does exactly that.
+    use super::*;
+
+    fn vol_overflow_program() -> Function {
+        let mut f = Function::new();
+        let p = f.reg();
+        f.push(Inst::AllocVol { dst: p, size: Operand::Const(32) });
+        f.push(Inst::Gep { dst: p, base: p, offset: Operand::Const(32) });
+        f.push(Inst::Store { ptr: p, value: Operand::Const(1), size: 8 });
+        f
+    }
+
+    #[test]
+    fn plain_spp_misses_volatile_overflows() {
+        // Volatile pointers are untagged and untracked: the overflow lands
+        // in adjacent arena memory silently (design goal #3 leaves volatile
+        // memory to other tools).
+        let (t, _) = spp_transform(&vol_overflow_program(), true);
+        let mut m = vm(VmMode::Spp);
+        m.run(&t).unwrap();
+    }
+
+    #[test]
+    fn spp_all_catches_volatile_overflows() {
+        // Generalised mode: the volatile allocation is tagged, and the
+        // transform must keep hooks on it (tracking disabled).
+        let (t, _) = spp_transform(&vol_overflow_program(), false);
+        let mut m = vm(VmMode::SppAll);
+        let err = m.run(&t).unwrap_err();
+        assert!(matches!(err, Trap::Overflow { .. }), "got {err}");
+    }
+
+    #[test]
+    fn spp_all_in_bounds_still_works() {
+        let mut f = Function::new();
+        let p = f.reg();
+        let x = f.reg();
+        f.push(Inst::AllocVol { dst: p, size: Operand::Const(32) });
+        f.push(Inst::Store { ptr: p, value: Operand::Const(0xAB), size: 8 });
+        f.push(Inst::Load { dst: x, ptr: p, size: 8 });
+        let (t, _) = spp_transform(&f, false);
+        let mut m = vm(VmMode::SppAll);
+        m.run(&t).unwrap();
+        assert_eq!(m.reg(x), 0xAB);
+    }
+}

@@ -1,0 +1,383 @@
+//! # spp-kvstore — a pmemkv-style persistent KV engine
+//!
+//! The paper's §VI-B KV-store experiment (Fig. 5) runs `pmemkv` with its
+//! concurrent persistent `cmap` engine under `pmemkv-bench` (db_bench)
+//! workloads. This crate rebuilds that stack:
+//!
+//! * [`KvStore`] — a concurrent chained hash map over PM: a bucket-array
+//!   object, per-stripe reader-writer locks (volatile, like cmap's), nodes
+//!   with embedded fixed-size keys and separately-allocated value objects;
+//! * [`workload`] — the four db_bench mixes of Fig. 5 (50/50 update-heavy,
+//!   95/5 read-heavy, random reads, sequential reads) with the paper's
+//!   parameters (16-byte keys, 1024-byte values).
+//!
+//! Generic over [`spp_core::MemoryPolicy`], so the same engine runs under
+//! `PMDK`, `SPP` and `SafePM`.
+
+pub mod workload;
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use spp_core::{MemoryPolicy, Result};
+use spp_pmdk::PmemOid;
+
+/// Fixed key size (db_bench default used in the paper).
+pub const KEY_SIZE: usize = 16;
+
+/// Number of lock stripes guarding the bucket array.
+pub const LOCK_STRIPES: usize = 1024;
+
+#[derive(Debug, Clone, Copy)]
+struct NodeLayout {
+    key: u64,   // [KEY_SIZE] bytes
+    next: u64,  // oid
+    vlen: u64,  // u64
+    value: u64, // oid
+    size: u64,
+    os: u64,
+}
+
+impl NodeLayout {
+    /// Node layout: key bytes, next oid, value length, value oid.
+    fn new(os: u64) -> Self {
+        let key = 0u64;
+        let next = KEY_SIZE as u64;
+        let vlen = next + os;
+        let value = vlen + 8;
+        let size = value + os;
+        NodeLayout { key, next, vlen, value, size, os }
+    }
+}
+
+/// A concurrent persistent hash map (the `cmap` engine analogue).
+pub struct KvStore<P: MemoryPolicy> {
+    policy: Arc<P>,
+    meta: PmemOid,
+    buckets: PmemOid,
+    nbuckets: u64,
+    layout: NodeLayout,
+    locks: Vec<RwLock<()>>,
+}
+
+impl<P: MemoryPolicy> KvStore<P> {
+    /// Create an engine with `nbuckets` hash buckets. The durable metadata
+    /// object (`{buckets oid, nbuckets}`) is returned by [`KvStore::meta`]
+    /// for reopening after a restart.
+    ///
+    /// # Errors
+    ///
+    /// Allocation errors (the bucket array is `nbuckets * oid_size` bytes).
+    pub fn create(policy: Arc<P>, nbuckets: u64) -> Result<Self> {
+        let layout = NodeLayout::new(policy.oid_kind().on_media_size());
+        let meta = policy.zalloc(layout.os + 8)?;
+        let mptr = policy.direct(meta);
+        let buckets = policy.zalloc_into_ptr(mptr, nbuckets * layout.os)?;
+        policy.store_u64(policy.gep(mptr, layout.os as i64), nbuckets)?;
+        policy.persist(mptr, layout.os + 8)?;
+        let locks = (0..LOCK_STRIPES).map(|_| RwLock::new(())).collect();
+        Ok(KvStore { policy, meta, buckets, nbuckets, layout, locks })
+    }
+
+    /// Re-attach to an engine created earlier in this pool (the restart /
+    /// post-crash path).
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn open(policy: Arc<P>, meta: PmemOid) -> Result<Self> {
+        let layout = NodeLayout::new(policy.oid_kind().on_media_size());
+        let mptr = policy.direct(meta);
+        let buckets = policy.load_oid(mptr)?;
+        let nbuckets = policy.load_u64(policy.gep(mptr, layout.os as i64))?;
+        let locks = (0..LOCK_STRIPES).map(|_| RwLock::new(())).collect();
+        Ok(KvStore { policy, meta, buckets, nbuckets, layout, locks })
+    }
+
+    /// The durable metadata oid (store it in the pool root).
+    pub fn meta(&self) -> PmemOid {
+        self.meta
+    }
+
+    /// The policy this store runs under.
+    pub fn policy(&self) -> &Arc<P> {
+        &self.policy
+    }
+
+    #[inline]
+    fn hash(key: &[u8]) -> u64 {
+        // FNV-1a.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in key {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        h
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: &[u8]) -> (u64, usize) {
+        let h = Self::hash(key);
+        let b = h % self.nbuckets;
+        (b, (h as usize) % LOCK_STRIPES)
+    }
+
+    fn bucket_field(&self, b: u64) -> u64 {
+        self.policy.gep(self.policy.direct(self.buckets), (b * self.layout.os) as i64)
+    }
+
+    fn key_of_node(&self, node_ptr: u64, out: &mut [u8; KEY_SIZE]) -> Result<()> {
+        self.policy.load(self.policy.gep(node_ptr, self.layout.key as i64), out)
+    }
+
+    /// Insert or update.
+    ///
+    /// # Errors
+    ///
+    /// Allocation/transaction errors or detected safety violations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is not exactly [`KEY_SIZE`] bytes.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        assert_eq!(key.len(), KEY_SIZE, "cmap engine uses fixed-size keys");
+        let p = &*self.policy;
+        let l = self.layout;
+        let (b, stripe) = self.bucket_of(key);
+        let _g = self.locks[stripe].write();
+        p.pool().tx(|tx| -> Result<()> {
+            // New value object first.
+            let val = p.tx_alloc(tx, value.len() as u64, false)?;
+            let vptr = p.direct(val);
+            p.store(vptr, value)?;
+            p.persist(vptr, value.len() as u64)?;
+            // Find the key in the chain.
+            let head_field = self.bucket_field(b);
+            let mut cur = p.load_oid(head_field)?;
+            let mut kbuf = [0u8; KEY_SIZE];
+            while !cur.is_null() {
+                let nptr = p.direct(cur);
+                self.key_of_node(nptr, &mut kbuf)?;
+                if kbuf == key {
+                    let vfield = p.gep(nptr, l.value as i64);
+                    let old = p.load_oid(vfield)?;
+                    p.tx_free(tx, old)?;
+                    p.tx_write_u64(tx, p.gep(nptr, l.vlen as i64), value.len() as u64)?;
+                    p.tx_write_oid(tx, vfield, val)?;
+                    return Ok(());
+                }
+                cur = p.load_oid(p.gep(nptr, l.next as i64))?;
+            }
+            // Prepend a new node.
+            let head = p.load_oid(head_field)?;
+            let node = p.tx_alloc(tx, l.size, false)?;
+            let nptr = p.direct(node);
+            p.store(p.gep(nptr, l.key as i64), key)?;
+            p.store_oid(p.gep(nptr, l.next as i64), head)?;
+            p.store_u64(p.gep(nptr, l.vlen as i64), value.len() as u64)?;
+            p.store_oid(p.gep(nptr, l.value as i64), val)?;
+            p.persist(nptr, l.size)?;
+            p.tx_write_oid(tx, head_field, node)?;
+            Ok(())
+        })
+    }
+
+    /// Look up `key`, appending the value to `out`. Returns whether found.
+    ///
+    /// # Errors
+    ///
+    /// Detected safety violations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is not exactly [`KEY_SIZE`] bytes.
+    pub fn get(&self, key: &[u8], out: &mut Vec<u8>) -> Result<bool> {
+        assert_eq!(key.len(), KEY_SIZE);
+        let p = &*self.policy;
+        let l = self.layout;
+        let (b, stripe) = self.bucket_of(key);
+        let _g = self.locks[stripe].read();
+        let mut cur = p.load_oid(self.bucket_field(b))?;
+        let mut kbuf = [0u8; KEY_SIZE];
+        while !cur.is_null() {
+            let nptr = p.direct(cur);
+            self.key_of_node(nptr, &mut kbuf)?;
+            if kbuf == key {
+                let vlen = p.load_u64(p.gep(nptr, l.vlen as i64))? as usize;
+                let val = p.load_oid(p.gep(nptr, l.value as i64))?;
+                let start = out.len();
+                out.resize(start + vlen, 0);
+                p.load(p.direct(val), &mut out[start..])?;
+                return Ok(true);
+            }
+            cur = p.load_oid(p.gep(nptr, l.next as i64))?;
+        }
+        Ok(false)
+    }
+
+    /// Remove `key`. Returns whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// Transaction errors or detected safety violations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is not exactly [`KEY_SIZE`] bytes.
+    pub fn remove(&self, key: &[u8]) -> Result<bool> {
+        assert_eq!(key.len(), KEY_SIZE);
+        let p = &*self.policy;
+        let l = self.layout;
+        let (b, stripe) = self.bucket_of(key);
+        let _g = self.locks[stripe].write();
+        p.pool().tx(|tx| -> Result<bool> {
+            let mut field = self.bucket_field(b);
+            let mut cur = p.load_oid(field)?;
+            let mut kbuf = [0u8; KEY_SIZE];
+            while !cur.is_null() {
+                let nptr = p.direct(cur);
+                self.key_of_node(nptr, &mut kbuf)?;
+                if kbuf == key {
+                    let next = p.load_oid(p.gep(nptr, l.next as i64))?;
+                    let val = p.load_oid(p.gep(nptr, l.value as i64))?;
+                    p.tx_free(tx, val)?;
+                    p.tx_free(tx, cur)?;
+                    p.tx_write_oid(tx, field, next)?;
+                    return Ok(true);
+                }
+                field = p.gep(nptr, l.next as i64);
+                cur = p.load_oid(field)?;
+            }
+            Ok(false)
+        })
+    }
+
+    /// Count all entries (full scan; test/diagnostic use).
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn count(&self) -> Result<u64> {
+        let p = &*self.policy;
+        let l = self.layout;
+        let mut n = 0;
+        for b in 0..self.nbuckets {
+            let mut cur = p.load_oid(self.bucket_field(b))?;
+            while !cur.is_null() {
+                n += 1;
+                cur = p.load_oid(p.gep(p.direct(cur), l.next as i64))?;
+            }
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_core::{PmdkPolicy, SppPolicy, TagConfig};
+    use spp_pm::{PmPool, PoolConfig};
+    use spp_pmdk::{ObjPool, PoolOpts};
+
+    fn spp_store(pool_size: u64, buckets: u64) -> KvStore<SppPolicy> {
+        let pm = Arc::new(PmPool::new(PoolConfig::new(pool_size)));
+        let pool = Arc::new(ObjPool::create(pm, PoolOpts::new().lanes(4)).unwrap());
+        let policy = Arc::new(SppPolicy::new(pool, TagConfig::default()).unwrap());
+        KvStore::create(policy, buckets).unwrap()
+    }
+
+    fn key(i: u64) -> [u8; KEY_SIZE] {
+        let mut k = [0u8; KEY_SIZE];
+        k[..8].copy_from_slice(&i.to_be_bytes());
+        k
+    }
+
+    #[test]
+    fn put_get_remove_roundtrip() {
+        let kv = spp_store(1 << 22, 256);
+        let mut out = Vec::new();
+        assert!(!kv.get(&key(1), &mut out).unwrap());
+        kv.put(&key(1), b"hello world").unwrap();
+        assert!(kv.get(&key(1), &mut out).unwrap());
+        assert_eq!(&out, b"hello world");
+        out.clear();
+        kv.put(&key(1), b"updated").unwrap();
+        assert!(kv.get(&key(1), &mut out).unwrap());
+        assert_eq!(&out, b"updated");
+        assert_eq!(kv.count().unwrap(), 1);
+        assert!(kv.remove(&key(1)).unwrap());
+        assert!(!kv.remove(&key(1)).unwrap());
+        assert_eq!(kv.count().unwrap(), 0);
+    }
+
+    #[test]
+    fn chains_with_many_collisions() {
+        let kv = spp_store(1 << 23, 2); // force long chains
+        for i in 0..200u64 {
+            kv.put(&key(i), format!("value-{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(kv.count().unwrap(), 200);
+        let mut out = Vec::new();
+        for i in 0..200u64 {
+            out.clear();
+            assert!(kv.get(&key(i), &mut out).unwrap(), "missing key {i}");
+            assert_eq!(out, format!("value-{i}").into_bytes());
+        }
+        for i in (0..200u64).step_by(2) {
+            assert!(kv.remove(&key(i)).unwrap());
+        }
+        assert_eq!(kv.count().unwrap(), 100);
+        for i in (1..200u64).step_by(2) {
+            out.clear();
+            assert!(kv.get(&key(i), &mut out).unwrap());
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers() {
+        let kv = Arc::new(spp_store(1 << 24, 1024));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let kv = Arc::clone(&kv);
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        let k = key(t * 1000 + i);
+                        kv.put(&k, &[t as u8; 64]).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(kv.count().unwrap(), 400);
+        let mut out = Vec::new();
+        for t in 0..4u64 {
+            out.clear();
+            assert!(kv.get(&key(t * 1000), &mut out).unwrap());
+            assert_eq!(out, vec![t as u8; 64]);
+        }
+    }
+
+    #[test]
+    fn large_values_roundtrip() {
+        let kv = spp_store(1 << 24, 64);
+        let v = vec![0xABu8; 1024];
+        for i in 0..50u64 {
+            kv.put(&key(i), &v).unwrap();
+        }
+        let mut out = Vec::new();
+        assert!(kv.get(&key(25), &mut out).unwrap());
+        assert_eq!(out.len(), 1024);
+        assert!(out.iter().all(|&b| b == 0xAB));
+    }
+
+    #[test]
+    fn works_under_native_policy_too() {
+        let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 22)));
+        let pool = Arc::new(ObjPool::create(pm, PoolOpts::small()).unwrap());
+        let kv = KvStore::create(Arc::new(PmdkPolicy::new(pool)), 64).unwrap();
+        kv.put(&key(9), b"native").unwrap();
+        let mut out = Vec::new();
+        assert!(kv.get(&key(9), &mut out).unwrap());
+        assert_eq!(&out, b"native");
+    }
+}

@@ -1,0 +1,167 @@
+//! db_bench-style workloads for Fig. 5 (`pmemkv-bench`).
+//!
+//! Four mixes, 16-byte keys, 1024-byte values, preloaded store, fixed
+//! per-thread operation counts. The driver measures aggregate throughput.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use spp_core::{MemoryPolicy, Result};
+
+use crate::{KvStore, KEY_SIZE};
+
+/// The four Fig. 5 workload mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mix {
+    /// 50% random reads, 50% random writes.
+    Update5050,
+    /// 95% random reads, 5% random writes.
+    Read95Write5,
+    /// 100% random reads.
+    RandomReads,
+    /// 100% reads in sequential key order.
+    SequentialReads,
+}
+
+impl Mix {
+    /// Label as used in the figure.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mix::Update5050 => "Random reads/writes (50%-50%)",
+            Mix::Read95Write5 => "Random reads/writes (95%-5%)",
+            Mix::RandomReads => "Random reads",
+            Mix::SequentialReads => "Sequential reads",
+        }
+    }
+
+    /// All four mixes in figure order.
+    pub fn all() -> [Mix; 4] {
+        [Mix::Update5050, Mix::Read95Write5, Mix::RandomReads, Mix::SequentialReads]
+    }
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Keys preloaded before measurement.
+    pub preload_keys: u64,
+    /// Operations per run (split across threads).
+    pub ops: u64,
+    /// Value size in bytes (1024 in the paper).
+    pub value_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig { preload_keys: 100_000, ops: 200_000, value_size: 1024, seed: 7 }
+    }
+}
+
+/// The fixed-width key for index `i`.
+pub fn make_key(i: u64) -> [u8; KEY_SIZE] {
+    let mut k = [0u8; KEY_SIZE];
+    k[..8].copy_from_slice(&i.to_be_bytes());
+    k[8..].copy_from_slice(b"kvkeypad");
+    k
+}
+
+/// Preload the store with `cfg.preload_keys` sequential keys.
+///
+/// # Errors
+///
+/// Engine errors.
+pub fn preload<P: MemoryPolicy>(kv: &KvStore<P>, cfg: &WorkloadConfig) -> Result<()> {
+    let value = vec![0x55u8; cfg.value_size];
+    for i in 0..cfg.preload_keys {
+        kv.put(&make_key(i), &value)?;
+    }
+    Ok(())
+}
+
+/// Run `mix` with `threads` worker threads; returns ops/second.
+///
+/// # Errors
+///
+/// Engine errors from any worker.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn run_mix<P: MemoryPolicy>(
+    kv: &Arc<KvStore<P>>,
+    cfg: &WorkloadConfig,
+    mix: Mix,
+    threads: u64,
+) -> Result<f64> {
+    let ops_per_thread = cfg.ops / threads;
+    let start = Instant::now();
+    let results: Vec<Result<()>> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let kv = Arc::clone(kv);
+            let cfg = *cfg;
+            handles.push(s.spawn(move || -> Result<()> {
+                let mut rng = StdRng::seed_from_u64(cfg.seed ^ (t + 1));
+                let value = vec![0xAAu8; cfg.value_size];
+                let mut out = Vec::with_capacity(cfg.value_size);
+                for i in 0..ops_per_thread {
+                    let write = match mix {
+                        Mix::Update5050 => rng.random_range(0..100) < 50,
+                        Mix::Read95Write5 => rng.random_range(0..100) < 5,
+                        Mix::RandomReads | Mix::SequentialReads => false,
+                    };
+                    let key_idx = if mix == Mix::SequentialReads {
+                        (t * ops_per_thread + i) % cfg.preload_keys
+                    } else {
+                        rng.random_range(0..cfg.preload_keys)
+                    };
+                    let key = make_key(key_idx);
+                    if write {
+                        kv.put(&key, &value)?;
+                    } else {
+                        out.clear();
+                        kv.get(&key, &mut out)?;
+                    }
+                }
+                Ok(())
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    for r in results {
+        r?;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    Ok(cfg.ops as f64 / elapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_core::{SppPolicy, TagConfig};
+    use spp_pm::{PmPool, PoolConfig};
+    use spp_pmdk::{ObjPool, PoolOpts};
+
+    #[test]
+    fn all_mixes_run() {
+        let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 25).record_stats(false)));
+        let pool = Arc::new(ObjPool::create(pm, PoolOpts::new().lanes(8)).unwrap());
+        let policy = Arc::new(SppPolicy::new(pool, TagConfig::default()).unwrap());
+        let kv = Arc::new(KvStore::create(policy, 4096).unwrap());
+        let cfg = WorkloadConfig { preload_keys: 500, ops: 2000, value_size: 128, seed: 3 };
+        preload(&kv, &cfg).unwrap();
+        assert_eq!(kv.count().unwrap(), 500);
+        for mix in Mix::all() {
+            let tput = run_mix(&kv, &cfg, mix, 2).unwrap();
+            assert!(tput > 0.0, "{} produced no throughput", mix.label());
+        }
+        // Preloaded keys still intact after the update-heavy mix.
+        let mut out = Vec::new();
+        assert!(kv.get(&make_key(0), &mut out).unwrap());
+    }
+}

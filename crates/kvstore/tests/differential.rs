@@ -1,0 +1,82 @@
+//! Randomized differential testing of the KV engine against
+//! `std::collections::HashMap` under the SPP policy.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use spp_core::{SppPolicy, TagConfig};
+use spp_kvstore::{KvStore, KEY_SIZE};
+use spp_pm::{PmPool, PoolConfig};
+use spp_pmdk::{ObjPool, PoolOpts};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { key: u8, len: u8 },
+    Get { key: u8 },
+    Remove { key: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 1u8..200).prop_map(|(key, len)| Op::Put { key, len }),
+        any::<u8>().prop_map(|key| Op::Get { key }),
+        any::<u8>().prop_map(|key| Op::Remove { key }),
+    ]
+}
+
+fn key_bytes(k: u8) -> [u8; KEY_SIZE] {
+    let mut out = [0u8; KEY_SIZE];
+    out[0] = k;
+    out[1..9].copy_from_slice(b"diffkey!");
+    out
+}
+
+fn value_bytes(k: u8, len: u8) -> Vec<u8> {
+    (0..len).map(|i| k.wrapping_add(i)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kv_matches_hashmap(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let pm = Arc::new(PmPool::new(PoolConfig::new(8 << 20)));
+        let pool = Arc::new(ObjPool::create(pm, PoolOpts::small()).unwrap());
+        let policy = Arc::new(SppPolicy::new(pool, TagConfig::default()).unwrap());
+        let kv = KvStore::create(policy, 16).unwrap();
+        let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+        let mut out = Vec::new();
+        for op in ops {
+            match op {
+                Op::Put { key, len } => {
+                    let v = value_bytes(key, len);
+                    kv.put(&key_bytes(key), &v).unwrap();
+                    model.insert(key, v);
+                }
+                Op::Get { key } => {
+                    out.clear();
+                    let found = kv.get(&key_bytes(key), &mut out).unwrap();
+                    match model.get(&key) {
+                        Some(v) => {
+                            prop_assert!(found, "key {key} missing");
+                            prop_assert_eq!(&out, v, "key {} value diverged", key);
+                        }
+                        None => prop_assert!(!found, "phantom key {key}"),
+                    }
+                }
+                Op::Remove { key } => {
+                    let removed = kv.remove(&key_bytes(key)).unwrap();
+                    prop_assert_eq!(removed, model.remove(&key).is_some());
+                }
+            }
+        }
+        prop_assert_eq!(kv.count().unwrap(), model.len() as u64);
+        for (k, v) in &model {
+            out.clear();
+            prop_assert!(kv.get(&key_bytes(*k), &mut out).unwrap());
+            prop_assert_eq!(&out, v);
+        }
+    }
+}

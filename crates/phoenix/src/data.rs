@@ -1,0 +1,180 @@
+//! Synthetic dataset generators: deterministic, written into PM objects
+//! through the policy (staged via volatile buffers, like `read(2)` into a
+//! PM-backed buffer).
+
+use spp_core::{MemoryPolicy, Result};
+use spp_pmdk::PmemOid;
+
+/// Minimal xorshift64* generator — deterministic across platforms, no
+/// external RNG needed for data generation.
+#[derive(Debug, Clone)]
+pub(crate) struct XorShift(pub u64);
+
+impl XorShift {
+    pub(crate) fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn fill_pm<P: MemoryPolicy>(
+    p: &P,
+    len: u64,
+    mut gen: impl FnMut(&mut Vec<u8>),
+) -> Result<PmemOid> {
+    let oid = p.alloc(len)?;
+    let base = p.direct(oid);
+    let mut off = 0u64;
+    let mut buf = Vec::with_capacity(64 * 1024);
+    while off < len {
+        buf.clear();
+        gen(&mut buf);
+        let chunk = (buf.len() as u64).min(len - off);
+        p.store(p.gep(base, off as i64), &buf[..chunk as usize])?;
+        off += chunk;
+    }
+    p.persist(base, len)?;
+    Ok(oid)
+}
+
+/// A PM object of `len` pseudo-random bytes (histogram input).
+///
+/// # Errors
+///
+/// Allocation errors.
+pub fn gen_bytes<P: MemoryPolicy>(p: &P, len: u64, seed: u64) -> Result<PmemOid> {
+    let mut rng = XorShift(seed | 1);
+    fill_pm(p, len, |buf| {
+        for _ in 0..8192 {
+            buf.extend_from_slice(&rng.next().to_le_bytes());
+        }
+    })
+}
+
+/// A PM object of `n` little-endian `(x, y)` u64 pairs roughly on the line
+/// `y = 3x + 7` with bounded noise (linear_regression input).
+///
+/// # Errors
+///
+/// Allocation errors.
+pub fn gen_pairs<P: MemoryPolicy>(p: &P, n: u64, seed: u64) -> Result<PmemOid> {
+    let mut rng = XorShift(seed | 1);
+    let mut i = 0u64;
+    fill_pm(p, n * 16, |buf| {
+        for _ in 0..4096 {
+            let x = i % 1000;
+            let noise = rng.next() % 5;
+            let y = 3 * x + 7 + noise;
+            buf.extend_from_slice(&x.to_le_bytes());
+            buf.extend_from_slice(&y.to_le_bytes());
+            i += 1;
+        }
+    })
+}
+
+/// A PM object of `n` points with `dim` u64 coordinates in `[0, 1000)`
+/// (kmeans / pca input).
+///
+/// # Errors
+///
+/// Allocation errors.
+pub fn gen_points<P: MemoryPolicy>(p: &P, n: u64, dim: u64, seed: u64) -> Result<PmemOid> {
+    let mut rng = XorShift(seed | 1);
+    fill_pm(p, n * dim * 8, |buf| {
+        for _ in 0..8192 {
+            buf.extend_from_slice(&(rng.next() % 1000).to_le_bytes());
+        }
+    })
+}
+
+/// A PM object of newline-separated pseudo-random lowercase words
+/// (string_match / word_count input). If `trailing_newline` is false the
+/// buffer ends mid-word — the condition that triggers the Phoenix
+/// string_match off-by-one (§VI-D).
+///
+/// # Errors
+///
+/// Allocation errors.
+pub fn gen_words<P: MemoryPolicy>(
+    p: &P,
+    len: u64,
+    seed: u64,
+    trailing_newline: bool,
+) -> Result<PmemOid> {
+    let mut rng = XorShift(seed | 1);
+    let oid = fill_pm(p, len, |buf| {
+        while buf.len() < 65536 {
+            let wlen = 3 + (rng.next() % 8);
+            for _ in 0..wlen {
+                buf.push(b'a' + (rng.next() % 26) as u8);
+            }
+            buf.push(b'\n');
+        }
+    })?;
+    let base = p.direct(oid);
+    let last = p.gep(base, len as i64 - 1);
+    if trailing_newline {
+        p.store(last, b"\n")?;
+    } else {
+        p.store(last, b"z")?;
+    }
+    p.persist(last, 1)?;
+    Ok(oid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_core::{PmdkPolicy, SppPolicy, TagConfig};
+    use spp_pm::{PmPool, PoolConfig};
+    use spp_pmdk::{ObjPool, PoolOpts};
+    use std::sync::Arc;
+
+    fn pmdk() -> PmdkPolicy {
+        let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 22)));
+        PmdkPolicy::new(Arc::new(ObjPool::create(pm, PoolOpts::small()).unwrap()))
+    }
+
+    #[test]
+    fn generators_are_deterministic_across_policies() {
+        let p1 = pmdk();
+        let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 22)));
+        let pool = Arc::new(ObjPool::create(pm, PoolOpts::small()).unwrap());
+        let p2 = SppPolicy::new(pool, TagConfig::default()).unwrap();
+        let a = gen_bytes(&p1, 4096, 9).unwrap();
+        let b = gen_bytes(&p2, 4096, 9).unwrap();
+        let mut ba = vec![0u8; 4096];
+        let mut bb = vec![0u8; 4096];
+        p1.load(p1.direct(a), &mut ba).unwrap();
+        p2.load(p2.direct(b), &mut bb).unwrap();
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn words_have_newlines_and_tail_control() {
+        let p = pmdk();
+        let with = gen_words(&p, 1000, 3, true).unwrap();
+        let without = gen_words(&p, 1000, 3, false).unwrap();
+        let mut b = [0u8; 1];
+        p.load(p.gep(p.direct(with), 999), &mut b).unwrap();
+        assert_eq!(b[0], b'\n');
+        p.load(p.gep(p.direct(without), 999), &mut b).unwrap();
+        assert_ne!(b[0], b'\n');
+    }
+
+    #[test]
+    fn pairs_follow_the_line() {
+        let p = pmdk();
+        let oid = gen_pairs(&p, 100, 1).unwrap();
+        let base = p.direct(oid);
+        for i in 0..100i64 {
+            let x = p.load_u64(p.gep(base, i * 16)).unwrap();
+            let y = p.load_u64(p.gep(base, i * 16 + 8)).unwrap();
+            assert!(y >= 3 * x + 7 && y < 3 * x + 12, "({x},{y}) off the line");
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! # spp-phoenix — Phoenix 2.0 kernels on persistent memory
+//!
+//! The paper's Fig. 6 ports all seven applications of the Phoenix 2.0
+//! suite to allocate their inputs and outputs as PM objects through the
+//! PMDK API and measures the slowdown of SPP and SafePM. This crate is
+//! that port, generic over [`spp_core::MemoryPolicy`]:
+//!
+//! * every input dataset is one (large) PM object, which is why the paper
+//!   runs Phoenix with **31 tag bits** (objects above the 26-bit 64 MiB
+//!   cap) — use [`spp_core::TagConfig::phoenix`] and a low pool base;
+//! * kernels read their working set element-by-element through the policy,
+//!   exactly like instrumented loads; `kmeans` re-reads its whole working
+//!   set every iteration, which is why it is the figure's outlier;
+//! * [`string_match`] reproduces the real Phoenix off-by-one heap overflow
+//!   the paper found with SPP (§VI-D, kozyraki/phoenix#9): scanning one
+//!   byte past the input buffer when the file does not end in a newline.
+//!
+//! Every kernel returns a checksum, so results can be compared across
+//! policies (the three variants must agree bit-for-bit).
+
+mod data;
+mod kernels;
+
+pub use data::{gen_bytes, gen_pairs, gen_points, gen_words};
+pub use kernels::{
+    histogram, kmeans, linear_regression, matrix_multiply, pca, string_match, word_count,
+};
+
+use std::sync::Arc;
+
+use spp_core::{MemoryPolicy, Result};
+
+/// Which Phoenix application to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum App {
+    /// RGB byte histogram.
+    Histogram,
+    /// K-means clustering (iterates over the full working set).
+    Kmeans,
+    /// Least-squares line fit over (x, y) pairs.
+    LinearRegression,
+    /// Dense matrix multiply.
+    MatrixMultiply,
+    /// Mean + covariance of a row-major matrix.
+    Pca,
+    /// Search words against encrypted keys.
+    StringMatch,
+    /// Word-frequency counting.
+    WordCount,
+}
+
+impl App {
+    /// All seven, in the figure's order.
+    pub const ALL: [App; 7] = [
+        App::Histogram,
+        App::Kmeans,
+        App::LinearRegression,
+        App::MatrixMultiply,
+        App::Pca,
+        App::StringMatch,
+        App::WordCount,
+    ];
+
+    /// Label as used in Fig. 6.
+    pub fn label(self) -> &'static str {
+        match self {
+            App::Histogram => "histogram",
+            App::Kmeans => "kmeans",
+            App::LinearRegression => "linear_regression",
+            App::MatrixMultiply => "matrix_multiply",
+            App::Pca => "pca",
+            App::StringMatch => "string_match",
+            App::WordCount => "word_count",
+        }
+    }
+}
+
+/// Workload scale parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PhoenixConfig {
+    /// Worker threads (the paper uses 8).
+    pub threads: usize,
+    /// Dataset scale factor (1 = test-size, larger for benchmarking).
+    pub scale: u64,
+    /// RNG seed for synthetic datasets.
+    pub seed: u64,
+}
+
+impl Default for PhoenixConfig {
+    fn default() -> Self {
+        PhoenixConfig { threads: 8, scale: 1, seed: 0xF0E1 }
+    }
+}
+
+/// Run one application; returns its checksum.
+///
+/// # Errors
+///
+/// Allocation errors or detected safety violations.
+pub fn run<P: MemoryPolicy>(app: App, policy: &Arc<P>, cfg: &PhoenixConfig) -> Result<u64> {
+    match app {
+        App::Histogram => histogram(policy, cfg),
+        App::Kmeans => kmeans(policy, cfg),
+        App::LinearRegression => linear_regression(policy, cfg),
+        App::MatrixMultiply => matrix_multiply(policy, cfg),
+        App::Pca => pca(policy, cfg),
+        App::StringMatch => string_match(policy, cfg, false),
+        App::WordCount => word_count(policy, cfg),
+    }
+}

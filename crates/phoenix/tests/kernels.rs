@@ -1,0 +1,100 @@
+//! Phoenix kernel tests: checksums agree across policies; the string_match
+//! bug is detected exactly where the paper says.
+
+use std::sync::Arc;
+
+use spp_core::{PmdkPolicy, SppError, SppPolicy, TagConfig};
+use spp_phoenix::{run, string_match, App, PhoenixConfig};
+use spp_pm::{PmPool, PoolConfig};
+use spp_pmdk::{ObjPool, PoolOpts};
+use spp_safepm::SafePmPolicy;
+
+const POOL: u64 = 1 << 25; // 32 MiB: ample for scale-1 datasets
+
+fn pool() -> Arc<ObjPool> {
+    // Phoenix runs with 31 tag bits, so the pool must be mapped low
+    // (§IV-F); base 64 KiB leaves the full 2 GiB addressable window.
+    let pm = Arc::new(PmPool::new(PoolConfig::new(POOL).base(0x10000)));
+    Arc::new(ObjPool::create(pm, PoolOpts::new().lanes(4)).unwrap())
+}
+
+fn cfg() -> PhoenixConfig {
+    PhoenixConfig { threads: 4, scale: 1, seed: 0xF0E1 }
+}
+
+#[test]
+fn all_kernels_agree_across_policies() {
+    for app in App::ALL {
+        let pmdk = Arc::new(PmdkPolicy::new(pool()));
+        let spp = Arc::new(SppPolicy::new(pool(), TagConfig::phoenix()).unwrap());
+        let safepm = Arc::new(SafePmPolicy::create(pool()).unwrap());
+        let a = run(app, &pmdk, &cfg()).unwrap();
+        let b = run(app, &spp, &cfg()).unwrap();
+        let c = run(app, &safepm, &cfg()).unwrap();
+        assert_eq!(a, b, "{}: PMDK vs SPP checksum mismatch", app.label());
+        assert_eq!(a, c, "{}: PMDK vs SafePM checksum mismatch", app.label());
+        assert_ne!(a, 0, "{}: degenerate checksum", app.label());
+    }
+}
+
+#[test]
+fn kernels_are_deterministic() {
+    let spp = Arc::new(SppPolicy::new(pool(), TagConfig::phoenix()).unwrap());
+    let x = run(App::Histogram, &spp, &cfg()).unwrap();
+    let spp2 = Arc::new(SppPolicy::new(pool(), TagConfig::phoenix()).unwrap());
+    let y = run(App::Histogram, &spp2, &cfg()).unwrap();
+    assert_eq!(x, y);
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    for threads in [1usize, 2, 8] {
+        let spp = Arc::new(SppPolicy::new(pool(), TagConfig::phoenix()).unwrap());
+        let mut c = cfg();
+        c.threads = threads;
+        let base = run(App::WordCount, &spp, &c).unwrap();
+        let spp1 = Arc::new(SppPolicy::new(pool(), TagConfig::phoenix()).unwrap());
+        let mut c1 = cfg();
+        c1.threads = 3;
+        let other = run(App::WordCount, &spp1, &c1).unwrap();
+        assert_eq!(base, other, "word_count diverges at {threads} threads");
+    }
+}
+
+mod string_match_bug {
+    //! §VI-D: the Phoenix string_match off-by-one (kozyraki/phoenix#9).
+    use super::*;
+
+    #[test]
+    fn spp_detects_the_off_by_one() {
+        let spp = Arc::new(SppPolicy::new(pool(), TagConfig::phoenix()).unwrap());
+        let err = string_match(&spp, &cfg(), true).unwrap_err();
+        assert!(
+            matches!(err, SppError::OverflowDetected { mechanism: "overflow-bit", .. }),
+            "expected overflow-bit detection, got {err}"
+        );
+    }
+
+    #[test]
+    fn safepm_detects_it_too() {
+        // ASan found the same bug on the volatile build (the paper verified
+        // its SPP finding with ASan); our SafePM model agrees.
+        let safepm = Arc::new(SafePmPolicy::create(pool()).unwrap());
+        let err = string_match(&safepm, &cfg(), true).unwrap_err();
+        assert!(err.is_violation());
+    }
+
+    #[test]
+    fn native_pmdk_reads_past_silently() {
+        let pmdk = Arc::new(PmdkPolicy::new(pool()));
+        // The overflowing read lands in the adjacent heap block: no fault,
+        // silently (in)correct result.
+        string_match(&pmdk, &cfg(), true).unwrap();
+    }
+
+    #[test]
+    fn fixed_version_is_clean_everywhere() {
+        let spp = Arc::new(SppPolicy::new(pool(), TagConfig::phoenix()).unwrap());
+        string_match(&spp, &cfg(), false).unwrap();
+    }
+}

@@ -1,0 +1,81 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulated PM device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PmError {
+    /// A load or store touched a simulated virtual address outside every
+    /// mapping — the analogue of a SIGSEGV/SIGBUS on real hardware.
+    ///
+    /// This is the error an SPP-tagged pointer with its overflow bit set
+    /// produces on dereference.
+    Fault {
+        /// The faulting simulated virtual address.
+        va: u64,
+        /// Length of the attempted access in bytes.
+        len: usize,
+    },
+    /// A pool-relative offset was outside the pool.
+    OutOfRange {
+        /// The offending pool offset.
+        off: u64,
+        /// Length of the attempted access in bytes.
+        len: usize,
+        /// Size of the pool.
+        pool_size: u64,
+    },
+    /// The requested pool size was zero or not cache-line aligned.
+    BadPoolSize(u64),
+    /// An operation required [`crate::Mode::Tracked`] but the pool runs in
+    /// [`crate::Mode::Fast`].
+    NotTracked,
+}
+
+impl fmt::Display for PmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmError::Fault { va, len } => {
+                write!(f, "fault: access of {len} bytes at unmapped address {va:#x}")
+            }
+            PmError::OutOfRange { off, len, pool_size } => write!(
+                f,
+                "pool-relative access out of range: {len} bytes at offset {off:#x} (pool size {pool_size:#x})"
+            ),
+            PmError::BadPoolSize(sz) => {
+                write!(f, "bad pool size {sz:#x}: must be nonzero and cache-line aligned")
+            }
+            PmError::NotTracked => {
+                write!(f, "operation requires a pool in tracked mode")
+            }
+        }
+    }
+}
+
+impl Error for PmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            PmError::Fault { va: 0x4000_0000_0000_0000, len: 8 },
+            PmError::OutOfRange { off: 10, len: 4, pool_size: 8 },
+            PmError::BadPoolSize(0),
+            PmError::NotTracked,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PmError>();
+    }
+}

@@ -1,0 +1,145 @@
+//! Event log for tracked pools: the raw material for crash-state
+//! enumeration (`pmreorder`) and flush/fence rule checking (`pmemcheck`).
+
+/// Durability state of a store event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreState {
+    /// Written to the (simulated) CPU cache; may or may not survive a crash.
+    Dirty,
+    /// Covered by a flush (`CLWB`) but not yet ordered by a fence; may or may
+    /// not survive a crash.
+    Flushed,
+    /// Flushed and fenced: guaranteed durable.
+    Persisted,
+}
+
+/// One entry in a tracked pool's event log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmEvent {
+    /// A store of `new` over `old` at pool offset `off`.
+    Store {
+        /// Monotonic sequence number.
+        seq: u64,
+        /// Pool-relative offset.
+        off: u64,
+        /// Bytes overwritten (for crash-state reconstruction).
+        old: Box<[u8]>,
+        /// Bytes written.
+        new: Box<[u8]>,
+        /// Durability state at the time of inspection.
+        state: StoreState,
+    },
+    /// A cache-line flush covering `[off, off + len)`.
+    Flush {
+        /// Monotonic sequence number.
+        seq: u64,
+        /// Pool-relative offset (cache-line aligned span start).
+        off: u64,
+        /// Span length.
+        len: u64,
+    },
+    /// A store fence (`SFENCE`): all previously flushed stores become durable.
+    Fence {
+        /// Monotonic sequence number.
+        seq: u64,
+    },
+    /// An application-level marker (e.g. transaction begin/commit), used by
+    /// the pmemcheck rules and by crash-point selection in tests.
+    Mark {
+        /// Monotonic sequence number.
+        seq: u64,
+        /// Free-form label.
+        label: String,
+    },
+}
+
+impl PmEvent {
+    /// The monotonic sequence number of this event.
+    pub fn seq(&self) -> u64 {
+        match self {
+            PmEvent::Store { seq, .. }
+            | PmEvent::Flush { seq, .. }
+            | PmEvent::Fence { seq }
+            | PmEvent::Mark { seq, .. } => *seq,
+        }
+    }
+}
+
+/// An ordered log of PM events recorded by a pool in tracked mode.
+#[derive(Debug, Default, Clone)]
+pub struct EventLog {
+    pub(crate) events: Vec<PmEvent>,
+    pub(crate) next_seq: u64,
+}
+
+impl EventLog {
+    /// Create an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All recorded events in program order.
+    pub fn events(&self) -> &[PmEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub(crate) fn push(&mut self, mk: impl FnOnce(u64) -> PmEvent) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(mk(seq));
+        seq
+    }
+
+    /// Iterate over store events that are not yet durable.
+    pub fn unpersisted_stores(&self) -> impl Iterator<Item = &PmEvent> {
+        self.events.iter().filter(|e| {
+            matches!(e, PmEvent::Store { state, .. } if *state != StoreState::Persisted)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_assigns_monotonic_seq() {
+        let mut log = EventLog::new();
+        let a = log.push(|seq| PmEvent::Fence { seq });
+        let b = log.push(|seq| PmEvent::Mark { seq, label: "x".into() });
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.events()[1].seq(), 1);
+    }
+
+    #[test]
+    fn unpersisted_filter() {
+        let mut log = EventLog::new();
+        log.push(|seq| PmEvent::Store {
+            seq,
+            off: 0,
+            old: Box::new([0]),
+            new: Box::new([1]),
+            state: StoreState::Dirty,
+        });
+        log.push(|seq| PmEvent::Store {
+            seq,
+            off: 8,
+            old: Box::new([0]),
+            new: Box::new([2]),
+            state: StoreState::Persisted,
+        });
+        assert_eq!(log.unpersisted_stores().count(), 1);
+    }
+}

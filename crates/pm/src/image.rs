@@ -1,0 +1,179 @@
+//! Crash images and crash-state enumeration.
+
+use crate::pool::{CrashSpec, PmPool};
+
+/// The durable bytes of a pool at a simulated power failure.
+///
+/// Produced by [`PmPool::crash_image`]; re-opened with
+/// [`PmPool::from_image`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashImage {
+    bytes: Vec<u8>,
+}
+
+impl CrashImage {
+    pub(crate) fn new(bytes: Vec<u8>) -> Self {
+        CrashImage { bytes }
+    }
+
+    /// Construct an image from raw durable bytes (used by external crash
+    /// replayers such as `spp-pmemcheck`).
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        CrashImage { bytes }
+    }
+
+    /// The surviving pool contents.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consume the image, returning the surviving pool contents.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Enumerates the crash states reachable from a pool's current point of
+/// execution — the `pmreorder` state space.
+///
+/// Every persisted store survives in every state; each unpersisted store
+/// independently may or may not survive. With `n` unpersisted stores there
+/// are `2^n` states; the iterator enumerates them exhaustively when
+/// `n <= exhaustive_limit` and otherwise yields the two extremes plus
+/// deterministically-strided subsets, which is the sampling strategy
+/// `pmreorder`'s `ReorderPartial` engine uses.
+#[derive(Debug)]
+pub struct CrashStateIter<'p> {
+    pool: &'p PmPool,
+    seqs: Vec<u64>,
+    next: u64,
+    total: u64,
+    stride: u64,
+}
+
+impl<'p> CrashStateIter<'p> {
+    /// Default cap on the number of unpersisted stores enumerated
+    /// exhaustively (`2^12 = 4096` states).
+    pub const EXHAUSTIVE_LIMIT: usize = 12;
+
+    /// Maximum number of sampled states when beyond the exhaustive limit.
+    pub const SAMPLE_BUDGET: u64 = 4096;
+
+    /// Create an iterator over crash states of `pool` at this moment.
+    pub fn new(pool: &'p PmPool) -> Self {
+        let seqs = pool.unpersisted_seqs();
+        let n = seqs.len();
+        if n <= Self::EXHAUSTIVE_LIMIT {
+            let total = 1u64 << n;
+            CrashStateIter { pool, seqs, next: 0, total, stride: 1 }
+        } else {
+            // Sample: always include masks 0 (drop all) and 2^n-1 (keep all)
+            // plus a deterministic stride through the space. n can exceed 63;
+            // in that case we walk prefix masks (keep-first-k), which covers
+            // the "crash at each program point" states — the ones recovery
+            // code must actually handle.
+            if n >= 63 {
+                CrashStateIter { pool, seqs, next: 0, total: n as u64 + 1, stride: u64::MAX }
+            } else {
+                let space = 1u64 << n;
+                let stride = (space / Self::SAMPLE_BUDGET).max(1) | 1; // odd stride
+                CrashStateIter { pool, seqs, next: 0, total: space.min(Self::SAMPLE_BUDGET), stride }
+            }
+        }
+    }
+
+    /// Number of crash states this iterator will yield.
+    pub fn state_count(&self) -> u64 {
+        self.total
+    }
+}
+
+impl Iterator for CrashStateIter<'_> {
+    type Item = CrashImage;
+
+    fn next(&mut self) -> Option<CrashImage> {
+        if self.next >= self.total {
+            return None;
+        }
+        let k = self.next;
+        self.next += 1;
+        let keep: Vec<u64> = if self.stride == u64::MAX {
+            // Prefix mode: keep the first k stores (program-order crash points).
+            self.seqs.iter().take(k as usize).copied().collect()
+        } else {
+            let mask = (k * self.stride) % (1u64 << self.seqs.len());
+            self.seqs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1u64 << i) != 0)
+                .map(|(_, &s)| s)
+                .collect()
+        };
+        Some(self.pool.crash_image(if keep.is_empty() {
+            CrashSpec::DropUnpersisted
+        } else {
+            CrashSpec::KeepSubset(keep)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{Mode, PoolConfig};
+
+    #[test]
+    fn exhaustive_enumeration_small() {
+        let pool = PmPool::new(PoolConfig::new(1024).mode(Mode::Tracked));
+        pool.write(0, &[1]).unwrap();
+        pool.write(8, &[2]).unwrap();
+        let it = CrashStateIter::new(&pool);
+        assert_eq!(it.state_count(), 4);
+        let images: Vec<_> = it.collect();
+        assert_eq!(images.len(), 4);
+        // All four combinations of the two stores must appear.
+        let mut combos: Vec<(u8, u8)> =
+            images.iter().map(|im| (im.bytes()[0], im.bytes()[8])).collect();
+        combos.sort_unstable();
+        combos.dedup();
+        assert_eq!(combos, vec![(0, 0), (0, 2), (1, 0), (1, 2)]);
+    }
+
+    #[test]
+    fn persisted_survive_in_every_state() {
+        let pool = PmPool::new(PoolConfig::new(1024).mode(Mode::Tracked));
+        pool.write(0, &[9]).unwrap();
+        pool.persist(0, 1).unwrap();
+        pool.write(8, &[1]).unwrap();
+        for img in CrashStateIter::new(&pool) {
+            assert_eq!(img.bytes()[0], 9);
+        }
+    }
+
+    #[test]
+    fn sampled_enumeration_large() {
+        let pool = PmPool::new(PoolConfig::new(1 << 16).mode(Mode::Tracked));
+        for i in 0..20u64 {
+            pool.write(i * 8, &[i as u8 + 1]).unwrap();
+        }
+        let it = CrashStateIter::new(&pool);
+        let n = it.state_count();
+        assert!(n <= CrashStateIter::SAMPLE_BUDGET);
+        assert_eq!(it.count() as u64, n);
+    }
+
+    #[test]
+    fn prefix_mode_for_very_many_stores() {
+        let pool = PmPool::new(PoolConfig::new(1 << 16).mode(Mode::Tracked));
+        for i in 0..70u64 {
+            pool.write(i * 8, &[1]).unwrap();
+        }
+        let it = CrashStateIter::new(&pool);
+        assert_eq!(it.state_count(), 71);
+        // The k-th prefix image has exactly k surviving stores.
+        for (k, img) in CrashStateIter::new(&pool).enumerate() {
+            let survivors = (0..70).filter(|i| img.bytes()[i * 8] == 1).count();
+            assert_eq!(survivors, k);
+        }
+    }
+}

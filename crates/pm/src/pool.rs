@@ -1,0 +1,655 @@
+use parking_lot::Mutex;
+
+use crate::error::PmError;
+use crate::events::{EventLog, PmEvent, StoreState};
+use crate::image::CrashImage;
+use crate::latency::LatencyModel;
+use crate::media::Media;
+use crate::stats::PmStats;
+use crate::{PoolOffset, Result, VirtAddr, DEFAULT_POOL_BASE};
+
+/// Cache-line size of the simulated device, in bytes.
+pub const CACHE_LINE: u64 = 64;
+
+/// Durability-tracking mode of a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// No store tracking: flushes and fences are no-ops and every store is
+    /// immediately durable. Used for performance benchmarks, where tracking
+    /// bookkeeping would distort measurements (the analogue of running on
+    /// real hardware rather than under valgrind).
+    #[default]
+    Fast,
+    /// Full store/flush/fence tracking with an event log. Crashes can be
+    /// injected and the set of surviving stores explored. Used by the
+    /// crash-consistency test suites.
+    Tracked,
+}
+
+/// Which not-yet-persisted stores survive a simulated crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrashSpec {
+    /// All unpersisted stores are lost (the adversarial minimum).
+    DropUnpersisted,
+    /// All stores survive (the lucky maximum — cache happened to write back).
+    KeepAll,
+    /// Exactly the stores whose sequence numbers appear in the list survive
+    /// (in addition to all persisted stores).
+    KeepSubset(Vec<u64>),
+}
+
+/// Configuration for creating a [`PmPool`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    size: u64,
+    base: VirtAddr,
+    mode: Mode,
+    latency: LatencyModel,
+    record_stats: bool,
+}
+
+impl PoolConfig {
+    /// Start configuring a pool of `size` bytes.
+    ///
+    /// `size` is rounded up to a cache-line multiple.
+    pub fn new(size: u64) -> Self {
+        let size = size.div_ceil(CACHE_LINE) * CACHE_LINE;
+        PoolConfig {
+            size,
+            base: DEFAULT_POOL_BASE,
+            mode: Mode::Fast,
+            latency: LatencyModel::none(),
+            record_stats: true,
+        }
+    }
+
+    /// Set the simulated virtual base address of the mapping.
+    pub fn base(mut self, base: VirtAddr) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Set the durability-tracking mode.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Set the access latency model.
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Enable or disable access-statistics recording (default on).
+    ///
+    /// Multi-threaded throughput benchmarks disable it so shared counter
+    /// cache-line traffic does not distort scaling.
+    pub fn record_stats(mut self, on: bool) -> Self {
+        self.record_stats = on;
+        self
+    }
+}
+
+#[derive(Debug)]
+struct Tracked {
+    log: EventLog,
+    /// Per unpersisted store: byte ranges not yet covered by a flush.
+    /// Indexed by position in `log.events` (only `Store` entries appear).
+    unflushed: Vec<(usize, Vec<(u64, u64)>)>,
+    /// Positions in `log.events` of stores that are flushed but unfenced.
+    flushed: Vec<usize>,
+}
+
+/// A simulated persistent-memory pool mapped into the simulated address
+/// space at [`PmPool::base`].
+///
+/// See the [crate-level documentation](crate) for the full model.
+pub struct PmPool {
+    base: VirtAddr,
+    size: u64,
+    media: Media,
+    mode: Mode,
+    track: Mutex<Tracked>,
+    latency: LatencyModel,
+    stats: PmStats,
+    record_stats: bool,
+}
+
+impl std::fmt::Debug for PmPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmPool")
+            .field("base", &format_args!("{:#x}", self.base))
+            .field("size", &self.size)
+            .field("mode", &self.mode)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PmPool {
+    /// Create a zero-initialised pool.
+    pub fn new(cfg: PoolConfig) -> Self {
+        PmPool {
+            base: cfg.base,
+            size: cfg.size,
+            media: Media::zeroed(cfg.size as usize),
+            mode: cfg.mode,
+            track: Mutex::new(Tracked { log: EventLog::new(), unflushed: Vec::new(), flushed: Vec::new() }),
+            latency: cfg.latency,
+            stats: PmStats::new(),
+            record_stats: cfg.record_stats,
+        }
+    }
+
+    /// Re-open a pool from a crash image, as if `mmap`ing the device after a
+    /// reboot. The image's bytes become the durable contents.
+    pub fn from_image(image: CrashImage, cfg: PoolConfig) -> Self {
+        let bytes = image.into_bytes();
+        let size = bytes.len() as u64;
+        PmPool {
+            base: cfg.base,
+            size,
+            media: Media::from_bytes(bytes),
+            mode: cfg.mode,
+            track: Mutex::new(Tracked { log: EventLog::new(), unflushed: Vec::new(), flushed: Vec::new() }),
+            latency: cfg.latency,
+            stats: PmStats::new(),
+            record_stats: cfg.record_stats,
+        }
+    }
+
+    /// Simulated virtual address the pool is mapped at.
+    pub fn base(&self) -> VirtAddr {
+        self.base
+    }
+
+    /// Pool size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Durability-tracking mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Access statistics (reads/writes/flushes/fences).
+    pub fn stats(&self) -> &PmStats {
+        &self.stats
+    }
+
+    /// Resolve a simulated virtual address range to a pool offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmError::Fault`] if any byte of `[va, va + len)` lies
+    /// outside this pool's mapping — the simulated SIGSEGV.
+    pub fn resolve(&self, va: VirtAddr, len: usize) -> Result<PoolOffset> {
+        let end = va.checked_add(len as u64).ok_or(PmError::Fault { va, len })?;
+        if va < self.base || end > self.base + self.size {
+            return Err(PmError::Fault { va, len });
+        }
+        Ok(va - self.base)
+    }
+
+    /// The simulated virtual address of pool offset `off`.
+    pub fn va_of(&self, off: PoolOffset) -> VirtAddr {
+        self.base + off
+    }
+
+    fn check_range(&self, off: PoolOffset, len: usize) -> Result<()> {
+        if off.checked_add(len as u64).is_none_or(|end| end > self.size) {
+            return Err(PmError::OutOfRange { off, len, pool_size: self.size });
+        }
+        Ok(())
+    }
+
+    /// Load `buf.len()` bytes from pool offset `off`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmError::OutOfRange`] if the range exceeds the pool.
+    pub fn read(&self, off: PoolOffset, buf: &mut [u8]) -> Result<()> {
+        self.check_range(off, buf.len())?;
+        self.latency.on_read(buf.len());
+        if self.record_stats {
+            self.stats.record_read(buf.len());
+        }
+        self.media.read(off as usize, buf);
+        Ok(())
+    }
+
+    /// Store `data` at pool offset `off`.
+    ///
+    /// In [`Mode::Tracked`], the store is recorded as *dirty*: it is not
+    /// durable until covered by [`flush`](Self::flush) + [`fence`](Self::fence).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmError::OutOfRange`] if the range exceeds the pool.
+    pub fn write(&self, off: PoolOffset, data: &[u8]) -> Result<()> {
+        self.check_range(off, data.len())?;
+        self.latency.on_write(data.len());
+        if self.record_stats {
+            self.stats.record_write(data.len());
+        }
+        if self.mode == Mode::Tracked {
+            let mut t = self.track.lock();
+            let mut old = vec![0u8; data.len()];
+            self.media.read(off as usize, &mut old);
+            t.log.push(|seq| PmEvent::Store {
+                seq,
+                off,
+                old: old.into_boxed_slice(),
+                new: data.to_vec().into_boxed_slice(),
+                state: StoreState::Dirty,
+            });
+            let idx = t.log.events.len() - 1;
+            t.unflushed.push((idx, vec![(off, off + data.len() as u64)]));
+        }
+        self.media.write(off as usize, data);
+        Ok(())
+    }
+
+    /// Store a fill pattern, equivalent to `memset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmError::OutOfRange`] if the range exceeds the pool.
+    pub fn fill(&self, off: PoolOffset, byte: u8, len: usize) -> Result<()> {
+        // Route through `write` so tracked mode records old bytes. Fill sizes
+        // in this workspace are small (allocator headers, redzones).
+        if self.mode == Mode::Tracked {
+            self.write(off, &vec![byte; len])
+        } else {
+            self.check_range(off, len)?;
+            self.latency.on_write(len);
+            if self.record_stats {
+                self.stats.record_write(len);
+            }
+            self.media.fill(off as usize, byte, len);
+            Ok(())
+        }
+    }
+
+    /// Flush the cache lines covering `[off, off + len)` (`CLWB` analogue).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmError::OutOfRange`] if the range exceeds the pool.
+    pub fn flush(&self, off: PoolOffset, len: usize) -> Result<()> {
+        self.check_range(off, len)?;
+        if self.record_stats {
+            self.stats.record_flush();
+        }
+        if self.mode != Mode::Tracked {
+            return Ok(());
+        }
+        let lo = off / CACHE_LINE * CACHE_LINE;
+        let hi = (off + len as u64).div_ceil(CACHE_LINE) * CACHE_LINE;
+        let mut t = self.track.lock();
+        t.log.push(|seq| PmEvent::Flush { seq, off: lo, len: hi - lo });
+        let mut newly_flushed = Vec::new();
+        for (idx, ranges) in t.unflushed.iter_mut() {
+            subtract_range(ranges, lo, hi);
+            if ranges.is_empty() {
+                newly_flushed.push(*idx);
+            }
+        }
+        t.unflushed.retain(|(_, ranges)| !ranges.is_empty());
+        for idx in newly_flushed {
+            if let PmEvent::Store { state, .. } = &mut t.log.events[idx] {
+                *state = StoreState::Flushed;
+            }
+            t.flushed.push(idx);
+        }
+        Ok(())
+    }
+
+    /// Issue a store fence (`SFENCE` analogue): all flushed stores become
+    /// durable.
+    pub fn fence(&self) {
+        if self.record_stats {
+            self.stats.record_fence();
+        }
+        if self.mode != Mode::Tracked {
+            return;
+        }
+        let mut t = self.track.lock();
+        t.log.push(|seq| PmEvent::Fence { seq });
+        let flushed = std::mem::take(&mut t.flushed);
+        for idx in flushed {
+            if let PmEvent::Store { state, .. } = &mut t.log.events[idx] {
+                *state = StoreState::Persisted;
+            }
+        }
+    }
+
+    /// Flush and fence in one call (`pmem_persist` analogue).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmError::OutOfRange`] if the range exceeds the pool.
+    pub fn persist(&self, off: PoolOffset, len: usize) -> Result<()> {
+        self.flush(off, len)?;
+        self.fence();
+        Ok(())
+    }
+
+    /// Record an application-level marker in the event log (no-op in
+    /// [`Mode::Fast`]).
+    pub fn mark(&self, label: impl Into<String>) {
+        if self.mode != Mode::Tracked {
+            return;
+        }
+        let label = label.into();
+        let mut t = self.track.lock();
+        t.log.push(|seq| PmEvent::Mark { seq, label });
+    }
+
+    /// Discard all tracking state, treating the current contents as the
+    /// durable baseline. Call at a quiescent point (everything persisted) —
+    /// typically right after pool setup — so subsequent crash exploration
+    /// starts from application activity rather than device formatting.
+    pub fn reset_tracking(&self) {
+        if self.mode != Mode::Tracked {
+            return;
+        }
+        let mut t = self.track.lock();
+        t.log = EventLog::new();
+        t.unflushed.clear();
+        t.flushed.clear();
+    }
+
+    /// Clone the current event log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmError::NotTracked`] in [`Mode::Fast`].
+    pub fn event_log(&self) -> Result<EventLog> {
+        if self.mode != Mode::Tracked {
+            return Err(PmError::NotTracked);
+        }
+        Ok(self.track.lock().log.clone())
+    }
+
+    /// Sequence numbers of stores that are not yet durable.
+    pub fn unpersisted_seqs(&self) -> Vec<u64> {
+        let t = self.track.lock();
+        t.log
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                PmEvent::Store { seq, state, .. } if *state != StoreState::Persisted => Some(*seq),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Materialise the bytes that would survive a power failure right now.
+    ///
+    /// Persisted stores always survive. Unpersisted stores survive according
+    /// to `spec`. In [`Mode::Fast`] every store is durable, so the image is
+    /// simply the current contents.
+    pub fn crash_image(&self, spec: CrashSpec) -> CrashImage {
+        let t = self.track.lock();
+        let mut bytes = self.media.snapshot();
+        if self.mode != Mode::Tracked {
+            return CrashImage::new(bytes);
+        }
+        // Step 1: revert *every* store in reverse order, recovering the
+        // image at tracking start. (Reverting only the unpersisted ones
+        // would clobber persisted stores that later overlapped them.)
+        for e in t.log.events.iter().rev() {
+            if let PmEvent::Store { off, old, .. } = e {
+                bytes[*off as usize..*off as usize + old.len()].copy_from_slice(old);
+            }
+        }
+        // Step 2: replay survivors in program order — persisted stores
+        // always, pending ones according to `spec`.
+        for e in t.log.events.iter() {
+            if let PmEvent::Store { seq, off, new, state, .. } = e {
+                let survives = *state == StoreState::Persisted
+                    || match &spec {
+                        CrashSpec::DropUnpersisted => false,
+                        CrashSpec::KeepAll => true,
+                        CrashSpec::KeepSubset(seqs) => seqs.contains(seq),
+                    };
+                if survives {
+                    bytes[*off as usize..*off as usize + new.len()].copy_from_slice(new);
+                }
+            }
+        }
+        CrashImage::new(bytes)
+    }
+
+    /// Snapshot the current (volatile-inclusive) contents. Useful for tests
+    /// that want "what the program sees", not "what survives a crash".
+    pub fn contents(&self) -> Vec<u8> {
+        self.media.snapshot()
+    }
+
+    /// Persist the device image to a file (what `pmempool` would see on a
+    /// real DAX file). Writes the *durable* bytes, as a clean shutdown
+    /// would leave them.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn save_to_file(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let img = self.crash_image(CrashSpec::KeepAll);
+        std::fs::write(path, img.bytes())
+    }
+
+    /// Load a device image previously written by [`PmPool::save_to_file`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn load_from_file(
+        path: impl AsRef<std::path::Path>,
+        cfg: PoolConfig,
+    ) -> std::io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        Ok(PmPool::from_image(CrashImage::from_bytes(bytes), cfg))
+    }
+}
+
+/// Remove `[lo, hi)` from a set of disjoint half-open ranges.
+fn subtract_range(ranges: &mut Vec<(u64, u64)>, lo: u64, hi: u64) {
+    let mut out = Vec::with_capacity(ranges.len());
+    for &(a, b) in ranges.iter() {
+        if b <= lo || a >= hi {
+            out.push((a, b));
+        } else {
+            if a < lo {
+                out.push((a, lo));
+            }
+            if b > hi {
+                out.push((hi, b));
+            }
+        }
+    }
+    *ranges = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracked_pool() -> PmPool {
+        PmPool::new(PoolConfig::new(4096).mode(Mode::Tracked))
+    }
+
+    #[test]
+    fn subtract_range_cases() {
+        let mut r = vec![(10, 20)];
+        subtract_range(&mut r, 0, 5);
+        assert_eq!(r, vec![(10, 20)]);
+        subtract_range(&mut r, 12, 15);
+        assert_eq!(r, vec![(10, 12), (15, 20)]);
+        subtract_range(&mut r, 0, 100);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn fast_mode_everything_durable() {
+        let pool = PmPool::new(PoolConfig::new(1024));
+        pool.write(0, &[1, 2, 3]).unwrap();
+        let img = pool.crash_image(CrashSpec::DropUnpersisted);
+        assert_eq!(&img.bytes()[..3], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn unflushed_store_lost_on_crash() {
+        let pool = tracked_pool();
+        pool.write(100, &[0xAB; 8]).unwrap();
+        let img = pool.crash_image(CrashSpec::DropUnpersisted);
+        assert_eq!(&img.bytes()[100..108], &[0u8; 8]);
+        let img = pool.crash_image(CrashSpec::KeepAll);
+        assert_eq!(&img.bytes()[100..108], &[0xAB; 8]);
+    }
+
+    #[test]
+    fn flush_without_fence_still_volatile() {
+        let pool = tracked_pool();
+        pool.write(0, &[7; 4]).unwrap();
+        pool.flush(0, 4).unwrap();
+        let img = pool.crash_image(CrashSpec::DropUnpersisted);
+        assert_eq!(&img.bytes()[..4], &[0u8; 4]);
+    }
+
+    #[test]
+    fn persist_makes_durable() {
+        let pool = tracked_pool();
+        pool.write(0, &[7; 4]).unwrap();
+        pool.persist(0, 4).unwrap();
+        let img = pool.crash_image(CrashSpec::DropUnpersisted);
+        assert_eq!(&img.bytes()[..4], &[7u8; 4]);
+    }
+
+    #[test]
+    fn partial_flush_leaves_store_dirty() {
+        let pool = tracked_pool();
+        // Store spans two cache lines; flush only the first.
+        pool.write(60, &[9; 8]).unwrap();
+        pool.flush(60, 4).unwrap();
+        pool.fence();
+        let img = pool.crash_image(CrashSpec::DropUnpersisted);
+        // The whole store is dropped: it was never fully flushed.
+        assert_eq!(&img.bytes()[60..68], &[0u8; 8]);
+        // Completing the flush persists it.
+        pool.flush(64, 4).unwrap();
+        pool.fence();
+        let img = pool.crash_image(CrashSpec::DropUnpersisted);
+        assert_eq!(&img.bytes()[60..68], &[9u8; 8]);
+    }
+
+    #[test]
+    fn overlapping_stores_subset_semantics() {
+        let pool = tracked_pool();
+        pool.write(0, &[1; 4]).unwrap(); // seq 0
+        pool.write(0, &[2; 4]).unwrap(); // seq 1 (flush of A is seq.. actually stores get seqs 0 and 1)
+        let seqs = pool.unpersisted_seqs();
+        assert_eq!(seqs.len(), 2);
+        // Keep only the *second* store: bytes must be the second store's.
+        let img = pool.crash_image(CrashSpec::KeepSubset(vec![seqs[1]]));
+        assert_eq!(&img.bytes()[..4], &[2u8; 4]);
+        // Keep only the *first*: bytes revert to the first store's.
+        let img = pool.crash_image(CrashSpec::KeepSubset(vec![seqs[0]]));
+        assert_eq!(&img.bytes()[..4], &[1u8; 4]);
+        // Keep neither.
+        let img = pool.crash_image(CrashSpec::DropUnpersisted);
+        assert_eq!(&img.bytes()[..4], &[0u8; 4]);
+    }
+
+    #[test]
+    fn resolve_faults_outside_mapping() {
+        let pool = PmPool::new(PoolConfig::new(1024));
+        let base = pool.base();
+        assert!(pool.resolve(base, 8).is_ok());
+        assert!(pool.resolve(base + 1016, 8).is_ok());
+        assert_eq!(pool.resolve(base + 1017, 8), Err(PmError::Fault { va: base + 1017, len: 8 }));
+        assert_eq!(pool.resolve(base - 1, 1), Err(PmError::Fault { va: base - 1, len: 1 }));
+        // An address with bit 62 set (a kept overflow bit) always faults.
+        let ov = (1u64 << 62) | base;
+        assert!(matches!(pool.resolve(ov, 1), Err(PmError::Fault { .. })));
+    }
+
+    #[test]
+    fn out_of_range_pool_relative() {
+        let pool = PmPool::new(PoolConfig::new(128));
+        let mut b = [0u8; 16];
+        assert!(matches!(pool.read(120, &mut b), Err(PmError::OutOfRange { .. })));
+        assert!(matches!(pool.write(u64::MAX, &b), Err(PmError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn from_image_roundtrip() {
+        let pool = tracked_pool();
+        pool.write(10, b"persist").unwrap();
+        pool.persist(10, 7).unwrap();
+        pool.write(200, b"volatile").unwrap();
+        let img = pool.crash_image(CrashSpec::DropUnpersisted);
+        let reopened = PmPool::from_image(img, PoolConfig::new(4096).mode(Mode::Tracked));
+        let mut buf = [0u8; 7];
+        reopened.read(10, &mut buf).unwrap();
+        assert_eq!(&buf, b"persist");
+        let mut buf = [0u8; 8];
+        reopened.read(200, &mut buf).unwrap();
+        assert_eq!(&buf, &[0u8; 8]);
+    }
+
+    #[test]
+    fn event_log_records_marks() {
+        let pool = tracked_pool();
+        pool.mark("tx_begin");
+        pool.write(0, &[1]).unwrap();
+        pool.mark("tx_commit");
+        let log = pool.event_log().unwrap();
+        let labels: Vec<_> = log
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                PmEvent::Mark { label, .. } => Some(label.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(labels, vec!["tx_begin", "tx_commit"]);
+    }
+
+    #[test]
+    fn event_log_requires_tracked() {
+        let pool = PmPool::new(PoolConfig::new(128));
+        assert_eq!(pool.event_log().unwrap_err(), PmError::NotTracked);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("spp_pm_test_image.bin");
+        let pool = PmPool::new(PoolConfig::new(4096));
+        pool.write(100, b"durable-image").unwrap();
+        pool.persist(100, 13).unwrap();
+        pool.save_to_file(&dir).unwrap();
+        let loaded = PmPool::load_from_file(&dir, PoolConfig::new(0)).unwrap();
+        assert_eq!(loaded.size(), 4096);
+        let mut b = [0u8; 13];
+        loaded.read(100, &mut b).unwrap();
+        assert_eq!(&b, b"durable-image");
+        let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn stats_counters() {
+        let pool = PmPool::new(PoolConfig::new(1024));
+        pool.write(0, &[0; 32]).unwrap();
+        let mut b = [0u8; 16];
+        pool.read(0, &mut b).unwrap();
+        pool.persist(0, 32).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.bytes_written(), 32);
+        assert_eq!(s.bytes_read(), 16);
+        assert_eq!(s.flushes(), 1);
+        assert_eq!(s.fences(), 1);
+    }
+}

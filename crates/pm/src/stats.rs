@@ -1,0 +1,106 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free access counters for a pool.
+///
+/// Used by the space-overhead accounting (Table III) and by tests asserting
+/// that optimizations actually remove accesses.
+#[derive(Debug, Default)]
+pub struct PmStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    flushes: AtomicU64,
+    fences: AtomicU64,
+}
+
+impl PmStats {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn record_read(&self, len: usize) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_write(&self, len: usize) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(len as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_flush(&self) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_fence(&self) {
+        self.fences.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of load operations performed.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Number of store operations performed.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes loaded.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes stored.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Number of flush operations.
+    pub fn flushes(&self) -> u64 {
+        self.flushes.load(Ordering::Relaxed)
+    }
+
+    /// Number of fences.
+    pub fn fences(&self) -> u64 {
+        self.fences.load(Ordering::Relaxed)
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.flushes.store(0, Ordering::Relaxed);
+        self.fences.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = PmStats::new();
+        s.record_read(8);
+        s.record_read(8);
+        s.record_write(64);
+        s.record_flush();
+        s.record_fence();
+        assert_eq!(s.reads(), 2);
+        assert_eq!(s.bytes_read(), 16);
+        assert_eq!(s.writes(), 1);
+        assert_eq!(s.bytes_written(), 64);
+        assert_eq!(s.flushes(), 1);
+        assert_eq!(s.fences(), 1);
+        s.reset();
+        assert_eq!(s.reads() + s.writes() + s.flushes() + s.fences(), 0);
+    }
+}

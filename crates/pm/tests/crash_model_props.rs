@@ -1,0 +1,134 @@
+//! Property tests: the tracked pool's crash-image construction agrees with
+//! an independent reference model of store/flush/fence durability.
+
+use proptest::prelude::*;
+
+use spp_pm::{CrashSpec, Mode, PmPool, PoolConfig, CACHE_LINE};
+
+const SIZE: u64 = 4096;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Store { off: u64, bytes: Vec<u8> },
+    Flush { off: u64, len: u64 },
+    Fence,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..SIZE - 32, prop::collection::vec(any::<u8>(), 1..24))
+            .prop_map(|(off, bytes)| Op::Store { off, bytes }),
+        (0u64..SIZE - 128, 1u64..128).prop_map(|(off, len)| Op::Flush { off, len }),
+        Just(Op::Fence),
+    ]
+}
+
+/// Reference model: replay ops tracking per-store durability exactly as the
+/// documentation promises (a store survives `DropUnpersisted` iff all its
+/// bytes' cache lines were flushed and a fence followed).
+#[derive(Default)]
+struct Model {
+    durable: Vec<u8>,
+    /// pending stores: (off, bytes, fully_flushed)
+    pending: Vec<(u64, Vec<u8>, bool)>,
+    /// unflushed ranges per pending store
+    unflushed: Vec<Vec<(u64, u64)>>,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model { durable: vec![0; SIZE as usize], ..Default::default() }
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match op {
+            Op::Store { off, bytes } => {
+                self.pending.push((*off, bytes.clone(), false));
+                self.unflushed.push(vec![(*off, *off + bytes.len() as u64)]);
+            }
+            Op::Flush { off, len } => {
+                let lo = off / CACHE_LINE * CACHE_LINE;
+                let hi = (off + len).div_ceil(CACHE_LINE) * CACHE_LINE;
+                for (i, ranges) in self.unflushed.iter_mut().enumerate() {
+                    let mut out = Vec::new();
+                    for &(a, b) in ranges.iter() {
+                        if b <= lo || a >= hi {
+                            out.push((a, b));
+                        } else {
+                            if a < lo {
+                                out.push((a, lo));
+                            }
+                            if b > hi {
+                                out.push((hi, b));
+                            }
+                        }
+                    }
+                    *ranges = out;
+                    if ranges.is_empty() {
+                        self.pending[i].2 = true;
+                    }
+                }
+            }
+            Op::Fence => {
+                let mut keep = Vec::new();
+                let mut keep_ranges = Vec::new();
+                for ((off, bytes, flushed), ranges) in
+                    self.pending.drain(..).zip(self.unflushed.drain(..))
+                {
+                    if flushed {
+                        self.durable[off as usize..off as usize + bytes.len()]
+                            .copy_from_slice(&bytes);
+                    } else {
+                        keep.push((off, bytes, flushed));
+                        keep_ranges.push(ranges);
+                    }
+                }
+                self.pending = keep;
+                self.unflushed = keep_ranges;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn drop_unpersisted_matches_reference_model(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let pool = PmPool::new(PoolConfig::new(SIZE).mode(Mode::Tracked));
+        let mut model = Model::new();
+        for op in &ops {
+            match op {
+                Op::Store { off, bytes } => pool.write(*off, bytes).unwrap(),
+                Op::Flush { off, len } => pool.flush(*off, *len as usize).unwrap(),
+                Op::Fence => pool.fence(),
+            }
+            model.apply(op);
+        }
+        let img = pool.crash_image(CrashSpec::DropUnpersisted);
+        prop_assert_eq!(img.bytes(), &model.durable[..], "durable image diverges from model");
+    }
+
+    #[test]
+    fn keep_all_equals_current_contents(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let pool = PmPool::new(PoolConfig::new(SIZE).mode(Mode::Tracked));
+        for op in &ops {
+            match op {
+                Op::Store { off, bytes } => pool.write(*off, bytes).unwrap(),
+                Op::Flush { off, len } => pool.flush(*off, *len as usize).unwrap(),
+                Op::Fence => pool.fence(),
+            }
+        }
+        let img = pool.crash_image(CrashSpec::KeepAll);
+        prop_assert_eq!(img.bytes().to_vec(), pool.contents());
+    }
+
+    #[test]
+    fn persist_always_makes_it_durable(off in 0u64..SIZE-16, bytes in prop::collection::vec(any::<u8>(), 1..16)) {
+        let pool = PmPool::new(PoolConfig::new(SIZE).mode(Mode::Tracked));
+        pool.write(off, &bytes).unwrap();
+        pool.persist(off, bytes.len()).unwrap();
+        let img = pool.crash_image(CrashSpec::DropUnpersisted);
+        prop_assert_eq!(&img.bytes()[off as usize..off as usize + bytes.len()], &bytes[..]);
+    }
+}

@@ -1,0 +1,86 @@
+//! `pmempool info` analogue: inspect a pool image — header, lane states,
+//! heap walk with per-class occupancy — the debugging companion PMDK ships.
+//!
+//! Usage:
+//!   `pmempool_info <image-file>`   inspect a saved device image
+//!   `pmempool_info --demo`         build a demo pool in memory and dump it
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use spp_pm::{PmPool, PoolConfig};
+use spp_pmdk::{ObjPool, OidDest, PoolOpts, BLOCK_HEADER_SIZE};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let pm = match arg.as_deref() {
+        Some("--demo") | None => {
+            let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 20)));
+            let pool = ObjPool::create(Arc::clone(&pm), PoolOpts::small()).expect("create");
+            // A few objects so the dump is interesting.
+            let root = pool.root(64).expect("root");
+            let a = pool.zalloc_into(OidDest::spp(root.off), 100).expect("alloc");
+            let _b = pool.zalloc(1000).expect("alloc");
+            let c = pool.zalloc(4096).expect("alloc");
+            pool.free(c).expect("free");
+            let _ = a;
+            drop(pool);
+            pm
+        }
+        Some(path) => Arc::new(
+            PmPool::load_from_file(path, PoolConfig::new(0))
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        ),
+    };
+
+    let pool = match ObjPool::open(Arc::clone(&pm)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("not a valid pool: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("pool");
+    println!("  uuid        : {:#018x}", pool.uuid());
+    println!("  device size : {} bytes", pm.size());
+    println!("  mapped at   : {:#x}", pm.base());
+    println!("  heap offset : {:#x}", pool.heap_off());
+    match pool.root(0) {
+        Ok(root) if !root.is_null() => {
+            println!("  root object : off={:#x} size={}", root.off, root.size)
+        }
+        _ => println!("  root object : (none)"),
+    }
+
+    let stats = pool.stats();
+    println!("heap");
+    println!("  live objects: {}", stats.live_objects);
+    println!("  live bytes  : {}", stats.live_bytes);
+    println!("  high water  : {} / {} bytes", stats.high_water, stats.heap_size);
+
+    // Walk block headers like recovery does and histogram the classes.
+    let mut live: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut free: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut off = pool.heap_off();
+    while off + BLOCK_HEADER_SIZE <= pm.size() {
+        let size = pool.read_u64(off).expect("block size");
+        if size == 0 {
+            break;
+        }
+        let state = pool.read_u64(off + 8).expect("block state");
+        *if state == 1 { live.entry(size) } else { free.entry(size) }.or_insert(0) += 1;
+        off += size;
+    }
+    println!("  block classes (size: live/free):");
+    let classes: std::collections::BTreeSet<u64> =
+        live.keys().chain(free.keys()).copied().collect();
+    for class in classes {
+        println!(
+            "    {:>8} B : {:>6} live {:>6} free",
+            class,
+            live.get(&class).copied().unwrap_or(0),
+            free.get(&class).copied().unwrap_or(0)
+        );
+    }
+}

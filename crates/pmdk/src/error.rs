@@ -1,0 +1,91 @@
+use std::error::Error;
+use std::fmt;
+
+use spp_pm::PmError;
+
+/// Errors produced by pool, allocator and transaction operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PmdkError {
+    /// An underlying PM device error (fault, out-of-range access).
+    Pm(PmError),
+    /// The heap cannot satisfy the allocation.
+    OutOfMemory {
+        /// Requested payload size in bytes.
+        requested: u64,
+    },
+    /// The per-lane undo log cannot hold another entry; the transaction
+    /// aborts. Capacity is configured at pool creation ([`crate::PoolOpts`]).
+    UndoLogFull {
+        /// Bytes needed by the rejected entry.
+        needed: u64,
+        /// Configured per-lane capacity.
+        capacity: u64,
+    },
+    /// An internal operation needed more redo slots than configured.
+    RedoLogFull,
+    /// The pool image failed validation on open.
+    BadPool(String),
+    /// An oid does not belong to this pool or points outside the heap.
+    InvalidOid {
+        /// The offending offset.
+        off: u64,
+    },
+    /// The transaction was aborted by application code.
+    TxAborted(String),
+    /// A requested object size is zero or exceeds the configured maximum.
+    BadAllocSize(u64),
+}
+
+impl fmt::Display for PmdkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmdkError::Pm(e) => write!(f, "pm device error: {e}"),
+            PmdkError::OutOfMemory { requested } => {
+                write!(f, "out of pool memory allocating {requested} bytes")
+            }
+            PmdkError::UndoLogFull { needed, capacity } => {
+                write!(f, "undo log full: entry needs {needed} bytes, lane capacity is {capacity}")
+            }
+            PmdkError::RedoLogFull => write!(f, "redo log slots exhausted"),
+            PmdkError::BadPool(msg) => write!(f, "invalid pool: {msg}"),
+            PmdkError::InvalidOid { off } => write!(f, "invalid oid with offset {off:#x}"),
+            PmdkError::TxAborted(msg) => write!(f, "transaction aborted: {msg}"),
+            PmdkError::BadAllocSize(sz) => write!(f, "bad allocation size {sz}"),
+        }
+    }
+}
+
+impl Error for PmdkError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PmdkError::Pm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PmError> for PmdkError {
+    fn from(e: PmError) -> Self {
+        PmdkError::Pm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PmdkError::from(PmError::NotTracked);
+        assert!(e.to_string().contains("pm device error"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&PmdkError::RedoLogFull).is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PmdkError>();
+    }
+}

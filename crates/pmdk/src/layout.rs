@@ -1,0 +1,201 @@
+//! Durable pool layout: header, lane regions, heap placement.
+//!
+//! ```text
+//! +0x000  Header (magic, uuid, geometry, root oid)
+//! +0x080  Lane 0:  redo header+slots | undo header+capacity
+//!         Lane 1:  ...
+//! heap_off  Heap: [block header | payload] [block header | payload] ...
+//! ```
+
+use std::sync::Arc;
+
+use spp_pm::PmPool;
+
+use crate::{PmdkError, Result};
+
+/// Magic value identifying a pool formatted by this crate.
+pub(crate) const MAGIC: u64 = 0x5350_505f_504d_444b; // "SPP_PMDK"
+
+/// Size of the durable pool header.
+pub(crate) const HEADER_SIZE: u64 = 128;
+
+/// Field offsets within the header.
+pub(crate) mod hdr {
+    pub const MAGIC: u64 = 0;
+    pub const POOL_UUID: u64 = 8;
+    pub const POOL_SIZE: u64 = 16;
+    pub const LANE_COUNT: u64 = 24;
+    pub const REDO_SLOTS: u64 = 32;
+    pub const UNDO_CAPACITY: u64 = 40;
+    pub const HEAP_OFF: u64 = 48;
+    pub const ROOT_OFF: u64 = 56;
+    pub const ROOT_SIZE: u64 = 64;
+    pub const USER_SLOT: u64 = 72;
+}
+
+/// Volatile copy of the durable pool header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Header {
+    pub pool_uuid: u64,
+    pub pool_size: u64,
+    pub lane_count: u64,
+    pub redo_slots: u64,
+    pub undo_capacity: u64,
+    pub heap_off: u64,
+    pub root_off: u64,
+    pub root_size: u64,
+}
+
+impl Header {
+    /// Size of one lane's redo region (header + slots).
+    pub fn redo_region_size(&self) -> u64 {
+        16 + self.redo_slots * 16
+    }
+
+    /// Size of one lane's undo region (header + capacity).
+    pub fn undo_region_size(&self) -> u64 {
+        16 + self.undo_capacity
+    }
+
+    /// Size of one full lane region, cache-line aligned.
+    pub fn lane_region_size(&self) -> u64 {
+        (self.redo_region_size() + self.undo_region_size()).next_multiple_of(64)
+    }
+
+    /// Pool offset of lane `i`'s redo region.
+    pub fn redo_off(&self, lane: usize) -> u64 {
+        HEADER_SIZE + lane as u64 * self.lane_region_size()
+    }
+
+    /// Pool offset of lane `i`'s undo region.
+    pub fn undo_off(&self, lane: usize) -> u64 {
+        self.redo_off(lane) + self.redo_region_size()
+    }
+
+    /// Where the heap must begin for this geometry.
+    pub fn expected_heap_off(&self) -> u64 {
+        (HEADER_SIZE + self.lane_count * self.lane_region_size()).next_multiple_of(64)
+    }
+
+    /// Persist the full header.
+    pub fn write_to(&self, pm: &Arc<PmPool>) -> Result<()> {
+        write_u64(pm, hdr::POOL_UUID, self.pool_uuid)?;
+        write_u64(pm, hdr::POOL_SIZE, self.pool_size)?;
+        write_u64(pm, hdr::LANE_COUNT, self.lane_count)?;
+        write_u64(pm, hdr::REDO_SLOTS, self.redo_slots)?;
+        write_u64(pm, hdr::UNDO_CAPACITY, self.undo_capacity)?;
+        write_u64(pm, hdr::HEAP_OFF, self.heap_off)?;
+        write_u64(pm, hdr::ROOT_OFF, self.root_off)?;
+        write_u64(pm, hdr::ROOT_SIZE, self.root_size)?;
+        pm.persist(0, HEADER_SIZE as usize)?;
+        // The magic is written last, after everything else is durable, so a
+        // crash during formatting never yields a pool that passes validation.
+        write_u64(pm, hdr::MAGIC, MAGIC)?;
+        pm.persist(hdr::MAGIC, 8)?;
+        Ok(())
+    }
+
+    /// Read and validate the header of an existing pool.
+    pub fn read_from(pm: &Arc<PmPool>) -> Result<Header> {
+        if pm.size() < HEADER_SIZE {
+            return Err(PmdkError::BadPool(format!("pool too small: {} bytes", pm.size())));
+        }
+        let magic = read_u64(pm, hdr::MAGIC)?;
+        if magic != MAGIC {
+            return Err(PmdkError::BadPool(format!("bad magic {magic:#x}")));
+        }
+        let h = Header {
+            pool_uuid: read_u64(pm, hdr::POOL_UUID)?,
+            pool_size: read_u64(pm, hdr::POOL_SIZE)?,
+            lane_count: read_u64(pm, hdr::LANE_COUNT)?,
+            redo_slots: read_u64(pm, hdr::REDO_SLOTS)?,
+            undo_capacity: read_u64(pm, hdr::UNDO_CAPACITY)?,
+            heap_off: read_u64(pm, hdr::HEAP_OFF)?,
+            root_off: read_u64(pm, hdr::ROOT_OFF)?,
+            root_size: read_u64(pm, hdr::ROOT_SIZE)?,
+        };
+        if h.pool_size != pm.size() {
+            return Err(PmdkError::BadPool(format!(
+                "header size {} != device size {}",
+                h.pool_size,
+                pm.size()
+            )));
+        }
+        if h.lane_count == 0 || h.heap_off != h.expected_heap_off() || h.heap_off >= h.pool_size {
+            return Err(PmdkError::BadPool("inconsistent geometry".into()));
+        }
+        Ok(h)
+    }
+}
+
+/// Read a little-endian u64 at a pool offset.
+pub(crate) fn read_u64(pm: &PmPool, off: u64) -> Result<u64> {
+    let mut b = [0u8; 8];
+    pm.read(off, &mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Write a little-endian u64 at a pool offset (no flush).
+pub(crate) fn write_u64(pm: &PmPool, off: u64, v: u64) -> Result<()> {
+    pm.write(off, &v.to_le_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_pm::PoolConfig;
+
+    fn header() -> Header {
+        Header {
+            pool_uuid: 42,
+            pool_size: 1 << 20,
+            lane_count: 4,
+            redo_slots: 32,
+            undo_capacity: 4096,
+            heap_off: 0,
+            root_off: 0,
+            root_size: 0,
+        }
+    }
+
+    #[test]
+    fn geometry_is_aligned_and_disjoint() {
+        let mut h = header();
+        h.heap_off = h.expected_heap_off();
+        assert_eq!(h.lane_region_size() % 64, 0);
+        for i in 0..h.lane_count as usize {
+            let r = h.redo_off(i);
+            let u = h.undo_off(i);
+            assert!(r < u);
+            assert!(u + h.undo_region_size() <= h.redo_off(i) + h.lane_region_size());
+        }
+        assert!(h.redo_off(h.lane_count as usize - 1) + h.lane_region_size() <= h.heap_off);
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 20)));
+        let mut h = header();
+        h.heap_off = h.expected_heap_off();
+        h.write_to(&pm).unwrap();
+        let back = Header::read_from(&pm).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 20)));
+        assert!(matches!(Header::read_from(&pm), Err(PmdkError::BadPool(_))));
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 20)));
+        let mut h = header();
+        h.pool_size = 1 << 19; // wrong on purpose
+        h.heap_off = h.expected_heap_off();
+        h.write_to(&pm).unwrap();
+        assert!(matches!(Header::read_from(&pm), Err(PmdkError::BadPool(_))));
+    }
+}

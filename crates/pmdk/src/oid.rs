@@ -1,0 +1,155 @@
+//! Persistent object identifiers — stock PMDK's 16-byte `PMEMoid` and SPP's
+//! 24-byte enhanced representation (§IV-B of the paper).
+
+/// On-media size of a stock PMDK oid (`pool_uuid_lo` + `off`).
+pub const OID_SIZE_PMDK: u64 = 16;
+
+/// On-media size of an SPP-enhanced oid (`pool_uuid_lo` + `off` + `size`).
+pub const OID_SIZE_SPP: u64 = 24;
+
+/// Selects the on-media encoding of oids stored in persistent structures.
+///
+/// This is the compile-time flavour the paper's adapted PMDK bakes in: stock
+/// PMDK persists `{pool_uuid, off}`; SPP appends a durable `size` field used
+/// to reconstruct pointer tags across restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OidKind {
+    /// Stock PMDK: 16 bytes on media, no size field.
+    #[default]
+    Pmdk,
+    /// SPP-enhanced: 24 bytes on media, size persisted after the offset
+    /// field (written *before* it in redo order).
+    Spp,
+}
+
+impl OidKind {
+    /// On-media size of one oid under this encoding.
+    pub const fn on_media_size(self) -> u64 {
+        match self {
+            OidKind::Pmdk => OID_SIZE_PMDK,
+            OidKind::Spp => OID_SIZE_SPP,
+        }
+    }
+}
+
+/// A persistent object identifier.
+///
+/// The in-memory form always carries `size`; whether `size` is *persisted*
+/// (and therefore survives restarts) depends on the [`OidKind`] the oid was
+/// stored with. An oid is *null* when its offset is zero, matching PMDK's
+/// `OID_IS_NULL`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PmemOid {
+    /// Pool UUID (low 64 bits), identifying the owning pool across runs.
+    pub pool_uuid: u64,
+    /// Offset of the object payload relative to the pool base.
+    pub off: u64,
+    /// Allocated payload size in bytes. Durable only under [`OidKind::Spp`].
+    pub size: u64,
+}
+
+impl PmemOid {
+    /// The null oid.
+    pub const NULL: PmemOid = PmemOid { pool_uuid: 0, off: 0, size: 0 };
+
+    /// Create an oid.
+    pub fn new(pool_uuid: u64, off: u64, size: u64) -> Self {
+        PmemOid { pool_uuid, off, size }
+    }
+
+    /// Whether this oid is null (offset zero), matching `OID_IS_NULL`.
+    pub fn is_null(&self) -> bool {
+        self.off == 0
+    }
+
+    /// Serialize for on-media storage under `kind`.
+    ///
+    /// Layout: `uuid` at +0, `off` at +8, and (SPP only) `size` at +16, all
+    /// little-endian — matching the paper's extended `struct PMEMoid`.
+    pub fn encode(&self, kind: OidKind) -> Vec<u8> {
+        let mut out = Vec::with_capacity(kind.on_media_size() as usize);
+        out.extend_from_slice(&self.pool_uuid.to_le_bytes());
+        out.extend_from_slice(&self.off.to_le_bytes());
+        if kind == OidKind::Spp {
+            out.extend_from_slice(&self.size.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize from on-media bytes under `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than the encoding size.
+    pub fn decode(bytes: &[u8], kind: OidKind) -> Self {
+        let uuid = u64::from_le_bytes(bytes[0..8].try_into().expect("oid uuid"));
+        let off = u64::from_le_bytes(bytes[8..16].try_into().expect("oid off"));
+        let size = match kind {
+            OidKind::Pmdk => 0,
+            OidKind::Spp => u64::from_le_bytes(bytes[16..24].try_into().expect("oid size")),
+        };
+        PmemOid { pool_uuid: uuid, off, size }
+    }
+}
+
+/// A PM location into which an allocation atomically publishes an oid.
+///
+/// `pmemobj_alloc(pop, &D_RW(node)->next, ...)`-style usage: the oid field
+/// lives inside another persistent object and must flip from null to valid
+/// atomically with the allocation itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OidDest {
+    /// Pool offset of the oid field.
+    pub off: u64,
+    /// Encoding (and thus footprint) of the oid field.
+    pub kind: OidKind,
+}
+
+impl OidDest {
+    /// A destination using stock PMDK encoding.
+    pub fn pmdk(off: u64) -> Self {
+        OidDest { off, kind: OidKind::Pmdk }
+    }
+
+    /// A destination using SPP's enhanced encoding.
+    pub fn spp(off: u64) -> Self {
+        OidDest { off, kind: OidKind::Spp }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_and_validity() {
+        assert!(PmemOid::NULL.is_null());
+        assert!(!PmemOid::new(1, 64, 8).is_null());
+    }
+
+    #[test]
+    fn encode_decode_pmdk_roundtrip() {
+        let oid = PmemOid::new(0xDEAD_BEEF, 0x1234, 99);
+        let bytes = oid.encode(OidKind::Pmdk);
+        assert_eq!(bytes.len(), 16);
+        let back = PmemOid::decode(&bytes, OidKind::Pmdk);
+        assert_eq!(back.pool_uuid, oid.pool_uuid);
+        assert_eq!(back.off, oid.off);
+        // size is not durable in stock PMDK encoding
+        assert_eq!(back.size, 0);
+    }
+
+    #[test]
+    fn encode_decode_spp_roundtrip() {
+        let oid = PmemOid::new(7, 0x40, 42);
+        let bytes = oid.encode(OidKind::Spp);
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(PmemOid::decode(&bytes, OidKind::Spp), oid);
+    }
+
+    #[test]
+    fn on_media_sizes() {
+        assert_eq!(OidKind::Pmdk.on_media_size(), OID_SIZE_PMDK);
+        assert_eq!(OidKind::Spp.on_media_size(), OID_SIZE_SPP);
+    }
+}

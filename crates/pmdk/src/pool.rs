@@ -1,0 +1,632 @@
+//! The persistent object pool: creation, open/recovery, atomic object
+//! management, transactions, and the root object.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::RngExt;
+
+use spp_pm::PmPool;
+
+use crate::alloc::{AllocState, AllocStats, BH_SIZE, BH_STATE, BLOCK_HEADER_SIZE, STATE_ALLOC, STATE_FREE};
+use crate::lane::Lanes;
+use crate::layout::{self, Header};
+use crate::oid::{OidDest, OidKind, PmemOid};
+use crate::redo::RedoLog;
+use crate::tx::Tx;
+use crate::ulog::{TxState, UndoEntry, UndoLog};
+use crate::{PmdkError, Result};
+
+/// Geometry options for [`ObjPool::create`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolOpts {
+    lane_count: usize,
+    redo_slots: u64,
+    undo_capacity: u64,
+}
+
+impl Default for PoolOpts {
+    fn default() -> Self {
+        PoolOpts { lane_count: 16, redo_slots: 64, undo_capacity: 256 * 1024 }
+    }
+}
+
+impl PoolOpts {
+    /// The default geometry: 16 lanes, 64 redo slots, 256 KiB undo capacity
+    /// per lane.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A tiny geometry for small pools (examples, unit tests): 2 lanes with
+    /// 8 KiB undo logs.
+    pub fn small() -> Self {
+        PoolOpts { lane_count: 2, redo_slots: 16, undo_capacity: 8 * 1024 }
+    }
+
+    /// Set the number of lanes (bounds intra-pool concurrency).
+    pub fn lanes(mut self, n: usize) -> Self {
+        self.lane_count = n.max(1);
+        self
+    }
+
+    /// Set redo slots per lane.
+    pub fn redo_slots(mut self, n: u64) -> Self {
+        self.redo_slots = n.max(8);
+        self
+    }
+
+    /// Set undo-log capacity per lane in bytes (bounds the data volume one
+    /// transaction may snapshot).
+    pub fn undo_capacity(mut self, bytes: u64) -> Self {
+        self.undo_capacity = bytes.next_multiple_of(8).max(1024);
+        self
+    }
+}
+
+/// A persistent object pool over a [`PmPool`] device — the `PMEMobjpool`
+/// analogue.
+///
+/// See the [crate documentation](crate) for the full model and an example.
+#[derive(Debug)]
+pub struct ObjPool {
+    pm: Arc<PmPool>,
+    hdr: Header,
+    alloc: Mutex<AllocState>,
+    lanes: Lanes,
+    root_lock: Mutex<()>,
+}
+
+impl ObjPool {
+    /// Format `pm` as a fresh pool.
+    ///
+    /// The device must be zero-initialised (a fresh [`PmPool`] is).
+    ///
+    /// # Errors
+    ///
+    /// [`PmdkError::BadPool`] if the device is too small for the geometry.
+    pub fn create(pm: Arc<PmPool>, opts: PoolOpts) -> Result<ObjPool> {
+        let mut hdr = Header {
+            pool_uuid: rand::rng().random::<u64>() | 1, // never 0
+            pool_size: pm.size(),
+            lane_count: opts.lane_count as u64,
+            redo_slots: opts.redo_slots,
+            undo_capacity: opts.undo_capacity,
+            heap_off: 0,
+            root_off: 0,
+            root_size: 0,
+        };
+        hdr.heap_off = hdr.expected_heap_off();
+        if hdr.heap_off + 4096 > pm.size() {
+            return Err(PmdkError::BadPool(format!(
+                "device of {} bytes too small for geometry needing {} bytes of metadata",
+                pm.size(),
+                hdr.heap_off
+            )));
+        }
+        hdr.write_to(&pm)?;
+        let alloc = AllocState::new(hdr.heap_off, hdr.pool_size);
+        Ok(ObjPool {
+            pm,
+            hdr,
+            alloc: Mutex::new(alloc),
+            lanes: Lanes::new(opts.lane_count),
+            root_lock: Mutex::new(()),
+        })
+    }
+
+    /// Open an existing pool, running recovery:
+    ///
+    /// 1. every valid redo log is re-applied (completing atomic operations);
+    /// 2. active transactions are rolled back; committed ones are completed;
+    /// 3. the volatile allocator state is rebuilt from block headers.
+    ///
+    /// # Errors
+    ///
+    /// [`PmdkError::BadPool`] if validation of the header, logs, or heap
+    /// fails.
+    pub fn open(pm: Arc<PmPool>) -> Result<ObjPool> {
+        let hdr = Header::read_from(&pm)?;
+        // Phase 1: redo logs (atomic op completion).
+        for lane in 0..hdr.lane_count as usize {
+            RedoLog::new(hdr.redo_off(lane), hdr.redo_slots).recover(&pm)?;
+        }
+        // Phase 2: transaction undo logs.
+        for lane in 0..hdr.lane_count as usize {
+            let ulog = UndoLog::new(hdr.undo_off(lane), hdr.undo_capacity);
+            match ulog.state(&pm)? {
+                TxState::None => {}
+                TxState::Active => {
+                    ulog.rollback_snapshots(&pm)?;
+                    for e in ulog.entries(&pm)? {
+                        if let UndoEntry::AllocOnAbort { block_hdr } = e {
+                            layout::write_u64(&pm, block_hdr + BH_STATE, STATE_FREE)?;
+                            pm.persist(block_hdr + BH_STATE, 8)?;
+                        }
+                    }
+                    ulog.clear(&pm)?;
+                }
+                TxState::Committed => {
+                    for e in ulog.entries(&pm)? {
+                        if let UndoEntry::FreeOnCommit { block_hdr } = e {
+                            // Idempotent: skip blocks already freed before
+                            // the crash.
+                            if layout::read_u64(&pm, block_hdr + BH_STATE)? == STATE_ALLOC {
+                                layout::write_u64(&pm, block_hdr + BH_STATE, STATE_FREE)?;
+                                pm.persist(block_hdr + BH_STATE, 8)?;
+                            }
+                        }
+                    }
+                    ulog.clear(&pm)?;
+                }
+            }
+        }
+        // Phase 3: rebuild the heap's volatile state.
+        let alloc = AllocState::rebuild(&pm, hdr.heap_off, hdr.pool_size)?;
+        Ok(ObjPool {
+            pm,
+            hdr,
+            alloc: Mutex::new(alloc),
+            lanes: Lanes::new(hdr.lane_count as usize),
+            root_lock: Mutex::new(()),
+        })
+    }
+
+    /// The underlying PM device.
+    pub fn pm(&self) -> &Arc<PmPool> {
+        &self.pm
+    }
+
+    /// This pool's UUID.
+    pub fn uuid(&self) -> u64 {
+        self.hdr.pool_uuid
+    }
+
+    /// Offset where the heap begins.
+    pub fn heap_off(&self) -> u64 {
+        self.hdr.heap_off
+    }
+
+    /// `pmemobj_direct`: the simulated virtual address of an oid's payload.
+    ///
+    /// Stock PMDK semantics — no tag. The SPP-adapted version lives in
+    /// `spp-core`.
+    pub fn direct(&self, oid: PmemOid) -> u64 {
+        self.pm.base() + oid.off
+    }
+
+    /// Current allocator statistics (space accounting for Table III).
+    pub fn stats(&self) -> AllocStats {
+        self.alloc.lock().stats()
+    }
+
+    // ---- raw data access (pool-relative) ----
+
+    /// Load bytes at a pool offset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device range errors.
+    pub fn read(&self, off: u64, buf: &mut [u8]) -> Result<()> {
+        self.pm.read(off, buf)?;
+        Ok(())
+    }
+
+    /// Store bytes at a pool offset (no flush).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device range errors.
+    pub fn write(&self, off: u64, data: &[u8]) -> Result<()> {
+        self.pm.write(off, data)?;
+        Ok(())
+    }
+
+    /// Flush + fence a range (`pmem_persist`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device range errors.
+    pub fn persist(&self, off: u64, len: usize) -> Result<()> {
+        self.pm.persist(off, len)?;
+        Ok(())
+    }
+
+    /// Load a little-endian `u64` at a pool offset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device range errors.
+    pub fn read_u64(&self, off: u64) -> Result<u64> {
+        layout::read_u64(&self.pm, off)
+    }
+
+    /// Store a little-endian `u64` at a pool offset (no flush).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device range errors.
+    pub fn write_u64(&self, off: u64, v: u64) -> Result<()> {
+        layout::write_u64(&self.pm, off, v)
+    }
+
+    /// Load a serialized oid stored at a pool offset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device range errors.
+    pub fn oid_read(&self, off: u64, kind: OidKind) -> Result<PmemOid> {
+        let mut buf = [0u8; 24];
+        let n = kind.on_media_size() as usize;
+        self.pm.read(off, &mut buf[..n])?;
+        Ok(PmemOid::decode(&buf[..n], kind))
+    }
+
+    /// Store a serialized oid at a pool offset (no flush; not atomic — use
+    /// [`Self::alloc_into`]/[`Self::free_from`] or a transaction for
+    /// crash-consistent oid publication).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device range errors.
+    pub fn oid_write(&self, off: u64, oid: PmemOid, kind: OidKind) -> Result<()> {
+        self.pm.write(off, &oid.encode(kind))?;
+        Ok(())
+    }
+
+    // ---- atomic object management ----
+
+    /// Allocate `size` bytes without initialisation; the oid is returned
+    /// only (no PM destination).
+    ///
+    /// # Errors
+    ///
+    /// [`PmdkError::OutOfMemory`] / [`PmdkError::BadAllocSize`].
+    pub fn alloc(&self, size: u64) -> Result<PmemOid> {
+        self.alloc_impl(None, size, false)
+    }
+
+    /// Allocate `size` zeroed bytes (no PM destination).
+    ///
+    /// # Errors
+    ///
+    /// [`PmdkError::OutOfMemory`] / [`PmdkError::BadAllocSize`].
+    pub fn zalloc(&self, size: u64) -> Result<PmemOid> {
+        self.alloc_impl(None, size, true)
+    }
+
+    /// `pmemobj_alloc`: allocate and atomically publish the oid into a PM
+    /// destination. Under [`OidKind::Spp`] the destination's `size` field is
+    /// redo-ordered **before** the validating `off` field (paper §IV-F).
+    ///
+    /// # Errors
+    ///
+    /// [`PmdkError::OutOfMemory`] / [`PmdkError::BadAllocSize`].
+    pub fn alloc_into(&self, dest: OidDest, size: u64) -> Result<PmemOid> {
+        self.alloc_impl(Some(dest), size, false)
+    }
+
+    /// [`Self::alloc_into`] with zero-initialisation.
+    ///
+    /// # Errors
+    ///
+    /// [`PmdkError::OutOfMemory`] / [`PmdkError::BadAllocSize`].
+    pub fn zalloc_into(&self, dest: OidDest, size: u64) -> Result<PmemOid> {
+        self.alloc_impl(Some(dest), size, true)
+    }
+
+    fn alloc_impl(&self, dest: Option<OidDest>, size: u64, zero: bool) -> Result<PmemOid> {
+        if size == 0 {
+            return Err(PmdkError::BadAllocSize(size));
+        }
+        let (lane, _guard) = self.lanes.acquire();
+        let block = self.alloc.lock().reserve(&self.pm, size)?;
+        let block_size = self.read_u64(block + BH_SIZE)?;
+        let payload = block + BLOCK_HEADER_SIZE;
+        if zero {
+            self.pm.fill(payload, 0, size as usize)?;
+            self.pm.persist(payload, size as usize)?;
+        }
+        let oid = PmemOid::new(self.hdr.pool_uuid, payload, size);
+        let entries = self.publish_entries(block, dest, Some(oid), size);
+        let redo = RedoLog::new(self.hdr.redo_off(lane), self.hdr.redo_slots);
+        if let Err(e) = redo.commit(&self.pm, &entries) {
+            self.alloc.lock().unreserve(block, block_size);
+            return Err(e);
+        }
+        self.alloc.lock().note_alloc(block_size);
+        Ok(oid)
+    }
+
+    /// Build redo entries validating a block and optionally publishing or
+    /// nulling an oid destination. Ordering (size before off) is the paper's
+    /// §IV-F invariant.
+    fn publish_entries(
+        &self,
+        block: u64,
+        dest: Option<OidDest>,
+        oid: Option<PmemOid>,
+        size: u64,
+    ) -> Vec<(u64, u64)> {
+        let mut entries = Vec::with_capacity(5);
+        match oid {
+            Some(oid) => {
+                entries.push((block + BH_STATE, STATE_ALLOC));
+                if let Some(d) = dest {
+                    if d.kind == OidKind::Spp {
+                        entries.push((d.off + 16, size));
+                    }
+                    entries.push((d.off, oid.pool_uuid));
+                    entries.push((d.off + 8, oid.off));
+                }
+            }
+            None => {
+                // Free: invalidate the oid first, then the block.
+                if let Some(d) = dest {
+                    entries.push((d.off + 8, 0));
+                    if d.kind == OidKind::Spp {
+                        entries.push((d.off + 16, 0));
+                    }
+                    entries.push((d.off, 0));
+                }
+                entries.push((block + BH_STATE, STATE_FREE));
+            }
+        }
+        entries
+    }
+
+    /// Locate and validate the block header backing `oid`.
+    pub(crate) fn block_of(&self, oid: PmemOid) -> Result<(u64, u64)> {
+        if oid.is_null()
+            || oid.off < self.hdr.heap_off + BLOCK_HEADER_SIZE
+            || oid.off >= self.hdr.pool_size
+        {
+            return Err(PmdkError::InvalidOid { off: oid.off });
+        }
+        let block = oid.off - BLOCK_HEADER_SIZE;
+        let size = self.read_u64(block + BH_SIZE)?;
+        if size == 0 || size % 16 != 0 || block + size > self.hdr.pool_size {
+            return Err(PmdkError::InvalidOid { off: oid.off });
+        }
+        if self.read_u64(block + BH_STATE)? != STATE_ALLOC {
+            return Err(PmdkError::InvalidOid { off: oid.off });
+        }
+        Ok((block, size))
+    }
+
+    /// Atomically free an object (no PM destination to null).
+    ///
+    /// # Errors
+    ///
+    /// [`PmdkError::InvalidOid`] for null/foreign/corrupt oids.
+    pub fn free(&self, oid: PmemOid) -> Result<()> {
+        self.free_impl(None, oid)
+    }
+
+    /// `pmemobj_free`: atomically free an object and null the oid stored at
+    /// `dest` (the offset field is invalidated first).
+    ///
+    /// # Errors
+    ///
+    /// [`PmdkError::InvalidOid`] for null/foreign/corrupt oids.
+    pub fn free_from(&self, dest: OidDest, oid: PmemOid) -> Result<()> {
+        self.free_impl(Some(dest), oid)
+    }
+
+    fn free_impl(&self, dest: Option<OidDest>, oid: PmemOid) -> Result<()> {
+        let (block, block_size) = self.block_of(oid)?;
+        let (lane, _guard) = self.lanes.acquire();
+        let entries = self.publish_entries(block, dest, None, 0);
+        RedoLog::new(self.hdr.redo_off(lane), self.hdr.redo_slots).commit(&self.pm, &entries)?;
+        let mut a = self.alloc.lock();
+        a.note_free(block_size);
+        a.release(block, block_size);
+        Ok(())
+    }
+
+    /// `pmemobj_realloc`: atomically reallocate `oid` to `new_size`,
+    /// publishing the new oid into `dest`. The whole oid (including SPP's
+    /// size field) flips in one redo commit — "the entire PMEMoid structure
+    /// is captured in a log" (paper §IV-F).
+    ///
+    /// Returns the new oid. If the block class is unchanged the object is
+    /// resized in place.
+    ///
+    /// # Errors
+    ///
+    /// [`PmdkError::OutOfMemory`] if a larger block cannot be found — in
+    /// that case the original object is untouched (the PMDK array example's
+    /// unchecked-return bug reproduced in `spp-ripe` depends on this).
+    pub fn realloc_into(&self, dest: OidDest, oid: PmemOid, new_size: u64) -> Result<PmemOid> {
+        if new_size == 0 {
+            return Err(PmdkError::BadAllocSize(new_size));
+        }
+        let (old_block, old_block_size) = self.block_of(oid)?;
+        let (lane, _guard) = self.lanes.acquire();
+        let redo = RedoLog::new(self.hdr.redo_off(lane), self.hdr.redo_slots);
+        if crate::alloc::class_block_size(new_size) == old_block_size {
+            // In-place: only the (durable, under SPP) size field changes.
+            let new_oid = PmemOid::new(oid.pool_uuid, oid.off, new_size);
+            if dest.kind == OidKind::Spp {
+                redo.commit(&self.pm, &[(dest.off + 16, new_size)])?;
+            }
+            return Ok(new_oid);
+        }
+        let new_block = self.alloc.lock().reserve(&self.pm, new_size)?;
+        let new_block_size = self.read_u64(new_block + BH_SIZE)?;
+        let new_payload = new_block + BLOCK_HEADER_SIZE;
+        // Copy the surviving prefix before validation.
+        let copy_len = (old_block_size - BLOCK_HEADER_SIZE).min(new_size);
+        self.copy_within(oid.off, new_payload, copy_len)?;
+        self.pm.persist(new_payload, copy_len as usize)?;
+        let new_oid = PmemOid::new(self.hdr.pool_uuid, new_payload, new_size);
+        let mut entries = vec![(new_block + BH_STATE, STATE_ALLOC)];
+        if dest.kind == OidKind::Spp {
+            entries.push((dest.off + 16, new_size));
+        }
+        entries.push((dest.off, new_oid.pool_uuid));
+        entries.push((dest.off + 8, new_oid.off));
+        entries.push((old_block + BH_STATE, STATE_FREE));
+        if let Err(e) = redo.commit(&self.pm, &entries) {
+            self.alloc.lock().unreserve(new_block, new_block_size);
+            return Err(e);
+        }
+        let mut a = self.alloc.lock();
+        a.note_alloc(new_block_size);
+        a.note_free(old_block_size);
+        a.release(old_block, old_block_size);
+        Ok(new_oid)
+    }
+
+    pub(crate) fn copy_within(&self, src: u64, dst: u64, len: u64) -> Result<()> {
+        let mut buf = [0u8; 4096];
+        let mut done = 0u64;
+        while done < len {
+            let chunk = (len - done).min(4096) as usize;
+            self.pm.read(src + done, &mut buf[..chunk])?;
+            self.pm.write(dst + done, &buf[..chunk])?;
+            done += chunk as u64;
+        }
+        Ok(())
+    }
+
+    /// Usable payload capacity of the block backing `oid` (may exceed the
+    /// requested size because of size-class rounding).
+    ///
+    /// # Errors
+    ///
+    /// [`PmdkError::InvalidOid`] for null/foreign/corrupt oids.
+    pub fn usable_size(&self, oid: PmemOid) -> Result<u64> {
+        let (_, block_size) = self.block_of(oid)?;
+        Ok(block_size - BLOCK_HEADER_SIZE)
+    }
+
+    // ---- root object ----
+
+    /// `pmemobj_root`: return the root object, allocating it (zeroed) on
+    /// first use. The root oid is stored durably in the pool header.
+    ///
+    /// # Errors
+    ///
+    /// Allocation errors on first use.
+    pub fn root(&self, size: u64) -> Result<PmemOid> {
+        let _g = self.root_lock.lock();
+        if self.hdr.root_off != 0 {
+            return Ok(PmemOid::new(self.hdr.pool_uuid, self.hdr.root_off, self.hdr.root_size));
+        }
+        let root_off_durable = layout::read_u64(&self.pm, layout::hdr::ROOT_OFF)?;
+        if root_off_durable != 0 {
+            let root_size = layout::read_u64(&self.pm, layout::hdr::ROOT_SIZE)?;
+            return Ok(PmemOid::new(self.hdr.pool_uuid, root_off_durable, root_size));
+        }
+        let oid = self.zalloc(size)?;
+        // Publish the root pointer atomically (size before off, as always).
+        let (lane, _guard) = self.lanes.acquire();
+        RedoLog::new(self.hdr.redo_off(lane), self.hdr.redo_slots).commit(
+            &self.pm,
+            &[(layout::hdr::ROOT_SIZE, size), (layout::hdr::ROOT_OFF, oid.off)],
+        )?;
+        // The volatile header copy is updated via interior state on reopen;
+        // within this process we cannot mutate `self.hdr` (shared refs), so
+        // re-reads go through the durable header (above).
+        Ok(oid)
+    }
+
+    /// Read the pool's durable user slot (one u64 of application metadata
+    /// in the header; the SafePM baseline stores its shadow locator here).
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn user_slot(&self) -> Result<u64> {
+        layout::read_u64(&self.pm, layout::hdr::USER_SLOT)
+    }
+
+    /// Atomically set the durable user slot.
+    ///
+    /// # Errors
+    ///
+    /// Device or redo-log errors.
+    pub fn set_user_slot(&self, v: u64) -> Result<()> {
+        let (lane, _guard) = self.lanes.acquire();
+        RedoLog::new(self.hdr.redo_off(lane), self.hdr.redo_slots)
+            .commit(&self.pm, &[(layout::hdr::USER_SLOT, v)])
+    }
+
+    /// Atomically publish `oid` into a PM destination (without allocating).
+    /// Under [`OidKind::Spp`] the size field is ordered before the offset.
+    ///
+    /// # Errors
+    ///
+    /// Device or redo-log errors.
+    pub fn publish_oid(&self, dest: OidDest, oid: PmemOid) -> Result<()> {
+        let (lane, _guard) = self.lanes.acquire();
+        let mut entries = Vec::with_capacity(3);
+        if dest.kind == OidKind::Spp {
+            entries.push((dest.off + 16, oid.size));
+        }
+        entries.push((dest.off, oid.pool_uuid));
+        entries.push((dest.off + 8, oid.off));
+        RedoLog::new(self.hdr.redo_off(lane), self.hdr.redo_slots).commit(&self.pm, &entries)
+    }
+
+    /// Atomically null the oid stored at `dest` (offset first).
+    ///
+    /// # Errors
+    ///
+    /// Device or redo-log errors.
+    pub fn unpublish_oid(&self, dest: OidDest) -> Result<()> {
+        let (lane, _guard) = self.lanes.acquire();
+        let mut entries = vec![(dest.off + 8, 0)];
+        if dest.kind == OidKind::Spp {
+            entries.push((dest.off + 16, 0));
+        }
+        entries.push((dest.off, 0));
+        RedoLog::new(self.hdr.redo_off(lane), self.hdr.redo_slots).commit(&self.pm, &entries)
+    }
+
+    // ---- transactions ----
+
+    /// Run `f` inside a software transaction.
+    ///
+    /// If `f` returns `Ok`, the transaction commits: snapshotted ranges are
+    /// flushed, deferred frees performed, and the undo log discarded. If `f`
+    /// returns `Err`, every snapshotted range is rolled back to its
+    /// pre-transaction contents and transactional allocations are freed.
+    ///
+    /// # Errors
+    ///
+    /// The application's error (after rollback), or log/device errors.
+    /// The error type only needs `From<PmdkError>` so application-level
+    /// error enums (e.g. `spp_core::SppError`) flow through transactions.
+    pub fn tx<R, E: From<PmdkError>>(
+        &self,
+        f: impl FnOnce(&mut Tx<'_>) -> std::result::Result<R, E>,
+    ) -> std::result::Result<R, E> {
+        let (lane, _guard) = self.lanes.acquire();
+        let ulog = UndoLog::new(self.hdr.undo_off(lane), self.hdr.undo_capacity);
+        ulog.begin(&self.pm).map_err(E::from)?;
+        self.pm.mark("tx_begin");
+        let mut tx = Tx::new(self, lane, ulog);
+        match f(&mut tx) {
+            Ok(r) => {
+                tx.commit().map_err(E::from)?;
+                self.pm.mark("tx_end");
+                Ok(r)
+            }
+            Err(e) => {
+                tx.rollback().map_err(E::from)?;
+                self.pm.mark("tx_abort");
+                Err(e)
+            }
+        }
+    }
+
+    pub(crate) fn hdr(&self) -> &Header {
+        &self.hdr
+    }
+
+    pub(crate) fn alloc_state(&self) -> &Mutex<AllocState> {
+        &self.alloc
+    }
+}

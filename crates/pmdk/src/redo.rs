@@ -1,0 +1,184 @@
+//! Per-lane redo log: makes multi-word metadata updates atomic.
+//!
+//! An operation (allocation, free, reallocation, root creation) gathers a
+//! list of `(target_offset, u64_value)` writes, persists them into the
+//! lane's redo region, sets the *valid* flag, applies them, and clears the
+//! flag. Recovery re-applies any log whose flag is set; application is
+//! idempotent, so crashing at any point yields either none or all of the
+//! writes — the PMDK allocator's atomicity mechanism.
+//!
+//! Entry *order matters*: entries are applied first-to-last, which is how
+//! SPP guarantees the oid `size` field is set before the validating `off`
+//! field (paper §IV-F).
+//!
+//! Region layout: `valid(8) count(8) [target(8) value(8)]*slots`.
+
+use spp_pm::PmPool;
+
+use crate::layout::{read_u64, write_u64};
+use crate::{PmdkError, Result};
+
+/// A view over one lane's redo region.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RedoLog {
+    region_off: u64,
+    slots: u64,
+}
+
+const VALID: u64 = 0;
+const COUNT: u64 = 8;
+const ENTRIES: u64 = 16;
+
+impl RedoLog {
+    pub(crate) fn new(region_off: u64, slots: u64) -> Self {
+        RedoLog { region_off, slots }
+    }
+
+    /// Atomically perform `entries` (in order) via the redo protocol.
+    ///
+    /// # Errors
+    ///
+    /// [`PmdkError::RedoLogFull`] if more entries than configured slots.
+    pub(crate) fn commit(&self, pm: &PmPool, entries: &[(u64, u64)]) -> Result<()> {
+        if entries.len() as u64 > self.slots {
+            return Err(PmdkError::RedoLogFull);
+        }
+        // 1. Stage entries and count.
+        let mut staged = Vec::with_capacity(entries.len() * 16);
+        for &(target, value) in entries {
+            staged.extend_from_slice(&target.to_le_bytes());
+            staged.extend_from_slice(&value.to_le_bytes());
+        }
+        pm.write(self.region_off + ENTRIES, &staged)?;
+        write_u64(pm, self.region_off + COUNT, entries.len() as u64)?;
+        pm.persist(self.region_off + COUNT, (8 + staged.len() as u64) as usize)?;
+        // 2. Validate the log. From here on, the operation is guaranteed to
+        //    complete (possibly via recovery).
+        write_u64(pm, self.region_off + VALID, 1)?;
+        pm.persist(self.region_off + VALID, 8)?;
+        // 3. Apply.
+        self.apply(pm)?;
+        // 4. Invalidate.
+        write_u64(pm, self.region_off + VALID, 0)?;
+        pm.persist(self.region_off + VALID, 8)?;
+        Ok(())
+    }
+
+    fn apply(&self, pm: &PmPool) -> Result<()> {
+        let count = read_u64(pm, self.region_off + COUNT)?;
+        for i in 0..count {
+            let target = read_u64(pm, self.region_off + ENTRIES + i * 16)?;
+            let value = read_u64(pm, self.region_off + ENTRIES + i * 16 + 8)?;
+            write_u64(pm, target, value)?;
+            pm.flush(target, 8)?;
+        }
+        pm.fence();
+        Ok(())
+    }
+
+    /// Recover this lane's redo log: if valid, re-apply and clear.
+    ///
+    /// Returns whether a log was applied.
+    pub(crate) fn recover(&self, pm: &PmPool) -> Result<bool> {
+        if read_u64(pm, self.region_off + VALID)? != 1 {
+            return Ok(false);
+        }
+        self.apply(pm)?;
+        write_u64(pm, self.region_off + VALID, 0)?;
+        pm.persist(self.region_off + VALID, 8)?;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_pm::{CrashSpec, Mode, PoolConfig, PmPool};
+    use std::sync::Arc;
+
+    fn pool() -> Arc<PmPool> {
+        Arc::new(PmPool::new(PoolConfig::new(1 << 16).mode(Mode::Tracked)))
+    }
+
+    #[test]
+    fn commit_applies_in_order() {
+        let pm = pool();
+        let log = RedoLog::new(0, 8);
+        log.commit(&pm, &[(0x1000, 7), (0x1008, 9)]).unwrap();
+        assert_eq!(read_u64(&pm, 0x1000).unwrap(), 7);
+        assert_eq!(read_u64(&pm, 0x1008).unwrap(), 9);
+        // And the effects are durable.
+        let img = pm.crash_image(CrashSpec::DropUnpersisted);
+        assert_eq!(u64::from_le_bytes(img.bytes()[0x1000..0x1008].try_into().unwrap()), 7);
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let pm = pool();
+        let log = RedoLog::new(0, 1);
+        let entries = vec![(0x1000u64, 1u64), (0x1008, 2)];
+        assert!(matches!(log.commit(&pm, &entries), Err(PmdkError::RedoLogFull)));
+    }
+
+    #[test]
+    fn recovery_completes_valid_log() {
+        let pm = pool();
+        let log = RedoLog::new(0, 8);
+        // Simulate a crash right after validation: stage + validate by hand.
+        pm.write(ENTRIES, &0x2000u64.to_le_bytes()).unwrap();
+        pm.write(ENTRIES + 8, &42u64.to_le_bytes()).unwrap();
+        write_u64(&pm, COUNT, 1).unwrap();
+        pm.persist(COUNT, 24).unwrap();
+        write_u64(&pm, VALID, 1).unwrap();
+        pm.persist(VALID, 8).unwrap();
+        let img = pm.crash_image(CrashSpec::DropUnpersisted);
+        let pm2 = Arc::new(PmPool::from_image(img, PoolConfig::new(1 << 16).mode(Mode::Tracked)));
+        assert!(log.recover(&pm2).unwrap());
+        assert_eq!(read_u64(&pm2, 0x2000).unwrap(), 42);
+        // Second recovery is a no-op.
+        assert!(!log.recover(&pm2).unwrap());
+    }
+
+    #[test]
+    fn crash_before_validation_applies_nothing() {
+        let pm = pool();
+        // Stage without validating.
+        pm.write(ENTRIES, &0x2000u64.to_le_bytes()).unwrap();
+        pm.write(ENTRIES + 8, &42u64.to_le_bytes()).unwrap();
+        write_u64(&pm, COUNT, 1).unwrap();
+        pm.persist(COUNT, 24).unwrap();
+        let img = pm.crash_image(CrashSpec::DropUnpersisted);
+        let pm2 = Arc::new(PmPool::from_image(img, PoolConfig::new(1 << 16)));
+        let log = RedoLog::new(0, 8);
+        assert!(!log.recover(&pm2).unwrap());
+        assert_eq!(read_u64(&pm2, 0x2000).unwrap(), 0);
+    }
+
+    #[test]
+    fn crash_mid_apply_recovers_to_all_writes() {
+        // Stage + validate a 3-entry log, apply only the first entry, crash.
+        // Recovery must complete the remaining writes (all-or-nothing).
+        let pm = pool();
+        let entries: [(u64, u64); 3] = [(0x3000, 1), (0x3008, 2), (0x3010, 3)];
+        let mut staged = Vec::new();
+        for (t, v) in entries {
+            staged.extend_from_slice(&t.to_le_bytes());
+            staged.extend_from_slice(&v.to_le_bytes());
+        }
+        pm.write(ENTRIES, &staged).unwrap();
+        write_u64(&pm, COUNT, 3).unwrap();
+        pm.persist(COUNT, 8 + 48).unwrap();
+        write_u64(&pm, VALID, 1).unwrap();
+        pm.persist(VALID, 8).unwrap();
+        // Partial application.
+        write_u64(&pm, 0x3000, 1).unwrap();
+        pm.persist(0x3000, 8).unwrap();
+        let img = pm.crash_image(CrashSpec::DropUnpersisted);
+        let pm2 = Arc::new(PmPool::from_image(img, PoolConfig::new(1 << 16).mode(Mode::Tracked)));
+        let log = RedoLog::new(0, 8);
+        assert!(log.recover(&pm2).unwrap());
+        assert_eq!(read_u64(&pm2, 0x3000).unwrap(), 1);
+        assert_eq!(read_u64(&pm2, 0x3008).unwrap(), 2);
+        assert_eq!(read_u64(&pm2, 0x3010).unwrap(), 3);
+    }
+}

@@ -1,0 +1,195 @@
+//! Software transactions (the `pmemobj_tx_*` analogue).
+
+use std::collections::HashSet;
+
+use crate::alloc::{BH_SIZE, BH_STATE, BLOCK_HEADER_SIZE, STATE_ALLOC, STATE_FREE};
+use crate::layout::write_u64;
+use crate::oid::PmemOid;
+use crate::pool::ObjPool;
+use crate::redo::RedoLog;
+use crate::ulog::UndoLog;
+use crate::{PmdkError, Result};
+
+/// An in-flight transaction. Created by [`ObjPool::tx`].
+///
+/// All mutations of existing PM data inside the transaction must be covered
+/// by a prior [`Tx::snapshot`] (PMDK's `pmemobj_tx_add_range`); the
+/// snapshotted old bytes go to the persistent undo log and are restored on
+/// abort or on recovery from a crash mid-transaction.
+#[derive(Debug)]
+pub struct Tx<'p> {
+    pool: &'p ObjPool,
+    lane: usize,
+    ulog: UndoLog,
+    /// Deduplication of snapshot ranges (exact-match, like PMDK's range tree
+    /// in spirit).
+    snapshotted: HashSet<(u64, u64)>,
+    /// Ranges to flush at commit.
+    ranges: Vec<(u64, u64)>,
+    /// Blocks allocated inside this tx (freed on abort).
+    allocs: Vec<(u64, u64)>,
+    /// Blocks to free at commit: (block_hdr, block_size).
+    frees: Vec<(u64, u64)>,
+}
+
+impl<'p> Tx<'p> {
+    pub(crate) fn new(pool: &'p ObjPool, lane: usize, ulog: UndoLog) -> Self {
+        Tx {
+            pool,
+            lane,
+            ulog,
+            snapshotted: HashSet::new(),
+            ranges: Vec::new(),
+            allocs: Vec::new(),
+            frees: Vec::new(),
+        }
+    }
+
+    /// The pool this transaction runs against.
+    pub fn pool(&self) -> &'p ObjPool {
+        self.pool
+    }
+
+    /// `pmemobj_tx_add_range`: snapshot `[off, off+len)` into the undo log
+    /// so it can be restored on abort. Idempotent for identical ranges.
+    ///
+    /// # Errors
+    ///
+    /// [`PmdkError::UndoLogFull`] if the lane's undo capacity is exhausted
+    /// (the transaction should then be aborted by returning the error).
+    pub fn snapshot(&mut self, off: u64, len: u64) -> Result<()> {
+        if len == 0 || !self.snapshotted.insert((off, len)) {
+            return Ok(());
+        }
+        let mut old = vec![0u8; len as usize];
+        self.pool.pm().read(off, &mut old)?;
+        self.ulog.append_snapshot(self.pool.pm(), off, &old)?;
+        if self.pool.pm().mode() == spp_pm::Mode::Tracked {
+            self.pool.pm().mark(format!("tx_add:{off}:{len}"));
+        }
+        self.ranges.push((off, len));
+        Ok(())
+    }
+
+    /// Snapshot a range and then overwrite it with `data` (convenience for
+    /// the common snapshot-then-write pattern).
+    ///
+    /// # Errors
+    ///
+    /// As [`Tx::snapshot`] plus device range errors.
+    pub fn write(&mut self, off: u64, data: &[u8]) -> Result<()> {
+        self.snapshot(off, data.len() as u64)?;
+        self.pool.pm().write(off, data)?;
+        Ok(())
+    }
+
+    /// Snapshot + write a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Tx::write`].
+    pub fn write_u64(&mut self, off: u64, v: u64) -> Result<()> {
+        self.write(off, &v.to_le_bytes())
+    }
+
+    /// `pmemobj_tx_alloc`: allocate inside the transaction. The object
+    /// becomes permanent only if the transaction commits.
+    ///
+    /// # Errors
+    ///
+    /// Allocation or undo-log errors.
+    pub fn alloc(&mut self, size: u64) -> Result<PmemOid> {
+        self.alloc_impl(size, false)
+    }
+
+    /// `pmemobj_tx_zalloc`: zero-initialised transactional allocation.
+    ///
+    /// # Errors
+    ///
+    /// Allocation or undo-log errors.
+    pub fn zalloc(&mut self, size: u64) -> Result<PmemOid> {
+        self.alloc_impl(size, true)
+    }
+
+    fn alloc_impl(&mut self, size: u64, zero: bool) -> Result<PmemOid> {
+        if size == 0 {
+            return Err(PmdkError::BadAllocSize(size));
+        }
+        let pm = self.pool.pm();
+        let block = self.pool.alloc_state().lock().reserve(pm, size)?;
+        let block_size = self.pool.read_u64(block + BH_SIZE)?;
+        // Log first: a crash from here on rolls the allocation back.
+        if let Err(e) = self.ulog.append_alloc(pm, block) {
+            self.pool.alloc_state().lock().unreserve(block, block_size);
+            return Err(e);
+        }
+        let payload = block + BLOCK_HEADER_SIZE;
+        if zero {
+            pm.fill(payload, 0, size as usize)?;
+            pm.persist(payload, size as usize)?;
+        }
+        write_u64(pm, block + BH_STATE, STATE_ALLOC)?;
+        pm.persist(block + BH_STATE, 8)?;
+        if pm.mode() == spp_pm::Mode::Tracked {
+            pm.mark(format!("tx_alloc:{block}:{block_size}"));
+        }
+        self.pool.alloc_state().lock().note_alloc(block_size);
+        self.allocs.push((block, block_size));
+        Ok(PmemOid::new(self.pool.uuid(), payload, size))
+    }
+
+    /// `pmemobj_tx_free`: free an object when (and only when) the
+    /// transaction commits. Nulling oid fields that referenced it is the
+    /// application's job, via [`Tx::snapshot`]-covered writes.
+    ///
+    /// # Errors
+    ///
+    /// [`PmdkError::InvalidOid`] or undo-log errors.
+    pub fn free(&mut self, oid: PmemOid) -> Result<()> {
+        let (block, block_size) = self.pool.block_of(oid)?;
+        self.ulog.append_free(self.pool.pm(), block)?;
+        self.frees.push((block, block_size));
+        Ok(())
+    }
+
+    /// Abort explicitly with a message (sugar for returning
+    /// [`PmdkError::TxAborted`] from the closure).
+    pub fn abort(&self, reason: impl Into<String>) -> PmdkError {
+        PmdkError::TxAborted(reason.into())
+    }
+
+    pub(crate) fn commit(self) -> Result<()> {
+        let pm = self.pool.pm();
+        // 1. Make all writes to snapshotted ranges durable.
+        for &(off, len) in &self.ranges {
+            pm.flush(off, len as usize)?;
+        }
+        pm.fence();
+        // 2. Commit point.
+        self.ulog.set_committed(pm)?;
+        pm.mark("tx_commit");
+        // 3. Deferred frees, each atomic via the lane redo.
+        let redo = RedoLog::new(self.pool.hdr().redo_off(self.lane), self.pool.hdr().redo_slots);
+        for &(block, block_size) in &self.frees {
+            redo.commit(pm, &[(block + BH_STATE, STATE_FREE)])?;
+            let mut a = self.pool.alloc_state().lock();
+            a.note_free(block_size);
+            a.release(block, block_size);
+        }
+        // 4. Done.
+        self.ulog.clear(pm)
+    }
+
+    pub(crate) fn rollback(self) -> Result<()> {
+        let pm = self.pool.pm();
+        self.ulog.rollback_snapshots(pm)?;
+        for &(block, block_size) in &self.allocs {
+            write_u64(pm, block + BH_STATE, STATE_FREE)?;
+            pm.persist(block + BH_STATE, 8)?;
+            let mut a = self.pool.alloc_state().lock();
+            a.note_free(block_size);
+            a.release(block, block_size);
+        }
+        self.ulog.clear(pm)
+    }
+}

@@ -1,0 +1,219 @@
+//! pmemcheck-style flush/fence rule checking.
+
+use spp_pm::{EventLog, PmEvent};
+
+/// A hard rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A store was never made durable (not flushed, or flushed but never
+    /// fenced) by the end of the log — `pmemcheck`'s
+    /// "stores not made persistent" error.
+    StoreNotPersisted {
+        /// Store sequence number.
+        seq: u64,
+        /// Pool offset.
+        off: u64,
+        /// Store length.
+        len: u64,
+        /// `"not flushed"` or `"flushed but not fenced"`.
+        state: &'static str,
+    },
+}
+
+/// A performance warning (not a correctness problem).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Warning {
+    /// A flush covered no dirty bytes — wasted `CLWB`.
+    RedundantFlush {
+        /// Flush sequence number.
+        seq: u64,
+        /// Flushed range start.
+        off: u64,
+        /// Flushed range length.
+        len: u64,
+    },
+}
+
+/// Analysis outcome.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Hard violations (empty log = crash-consistent usage).
+    pub errors: Vec<Violation>,
+    /// Performance warnings.
+    pub warnings: Vec<Warning>,
+    /// Total stores analysed.
+    pub stores: u64,
+    /// Total flushes analysed.
+    pub flushes: u64,
+    /// Total fences analysed.
+    pub fences: u64,
+}
+
+impl Report {
+    /// Whether the log satisfied all rules.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+#[derive(Debug)]
+struct PendingStore {
+    seq: u64,
+    off: u64,
+    len: u64,
+    /// byte ranges not yet covered by a flush
+    unflushed: Vec<(u64, u64)>,
+}
+
+/// The rules checker.
+#[derive(Debug, Default)]
+pub struct Checker;
+
+impl Checker {
+    /// Create a checker.
+    pub fn new() -> Self {
+        Checker
+    }
+
+    /// Analyse a pool event log.
+    pub fn analyze(&self, log: &EventLog) -> Report {
+        let mut report = Report::default();
+        let mut pending: Vec<PendingStore> = Vec::new();
+        for ev in log.events() {
+            match ev {
+                PmEvent::Store { seq, off, new, .. } => {
+                    report.stores += 1;
+                    pending.push(PendingStore {
+                        seq: *seq,
+                        off: *off,
+                        len: new.len() as u64,
+                        unflushed: vec![(*off, *off + new.len() as u64)],
+                    });
+                }
+                PmEvent::Flush { seq, off, len } => {
+                    report.flushes += 1;
+                    let lo = *off;
+                    let hi = *off + *len;
+                    let mut useful = false;
+                    for s in pending.iter_mut() {
+                        let before: u64 = s.unflushed.iter().map(|(a, b)| b - a).sum();
+                        subtract(&mut s.unflushed, lo, hi);
+                        let after: u64 = s.unflushed.iter().map(|(a, b)| b - a).sum();
+                        if after < before {
+                            useful = true;
+                        }
+                    }
+                    if !useful {
+                        report
+                            .warnings
+                            .push(Warning::RedundantFlush { seq: *seq, off: lo, len: *len });
+                    }
+                }
+                PmEvent::Fence { .. } => {
+                    report.fences += 1;
+                    // Fully flushed stores become durable; drop them.
+                    pending.retain(|s| !s.unflushed.is_empty());
+                }
+                PmEvent::Mark { .. } => {}
+            }
+        }
+        for s in &pending {
+            let state = if s.unflushed.iter().map(|(a, b)| b - a).sum::<u64>() == s.len {
+                "not flushed"
+            } else {
+                "flushed but not fenced"
+            };
+            report.errors.push(Violation::StoreNotPersisted {
+                seq: s.seq,
+                off: s.off,
+                len: s.len,
+                state,
+            });
+        }
+        report
+    }
+}
+
+fn subtract(ranges: &mut Vec<(u64, u64)>, lo: u64, hi: u64) {
+    let mut out = Vec::with_capacity(ranges.len());
+    for &(a, b) in ranges.iter() {
+        if b <= lo || a >= hi {
+            out.push((a, b));
+        } else {
+            if a < lo {
+                out.push((a, lo));
+            }
+            if b > hi {
+                out.push((hi, b));
+            }
+        }
+    }
+    *ranges = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_pm::{Mode, PmPool, PoolConfig};
+
+    fn tracked() -> PmPool {
+        PmPool::new(PoolConfig::new(4096).mode(Mode::Tracked))
+    }
+
+    #[test]
+    fn clean_persist_pattern() {
+        let pm = tracked();
+        pm.write(0, &[1; 16]).unwrap();
+        pm.persist(0, 16).unwrap();
+        let report = Checker::new().analyze(&pm.event_log().unwrap());
+        assert!(report.is_clean(), "{:?}", report.errors);
+        assert_eq!(report.stores, 1);
+    }
+
+    #[test]
+    fn missing_flush_detected() {
+        let pm = tracked();
+        pm.write(0, &[1; 8]).unwrap();
+        let report = Checker::new().analyze(&pm.event_log().unwrap());
+        assert_eq!(report.errors.len(), 1);
+        assert!(matches!(
+            report.errors[0],
+            Violation::StoreNotPersisted { state: "not flushed", .. }
+        ));
+    }
+
+    #[test]
+    fn missing_fence_detected() {
+        let pm = tracked();
+        pm.write(0, &[1; 8]).unwrap();
+        pm.flush(0, 8).unwrap();
+        let report = Checker::new().analyze(&pm.event_log().unwrap());
+        assert_eq!(report.errors.len(), 1);
+        assert!(matches!(
+            report.errors[0],
+            Violation::StoreNotPersisted { state: "flushed but not fenced", .. }
+        ));
+    }
+
+    #[test]
+    fn redundant_flush_warned() {
+        let pm = tracked();
+        pm.write(0, &[1; 8]).unwrap();
+        pm.persist(0, 8).unwrap();
+        pm.flush(0, 8).unwrap(); // nothing dirty anymore
+        pm.fence();
+        let report = Checker::new().analyze(&pm.event_log().unwrap());
+        assert!(report.is_clean());
+        assert_eq!(report.warnings.len(), 1);
+    }
+
+    #[test]
+    fn partial_flush_is_not_durable() {
+        let pm = tracked();
+        pm.write(60, &[1; 16]).unwrap(); // spans two lines
+        pm.flush(60, 2).unwrap(); // only the first line
+        pm.fence();
+        let report = Checker::new().analyze(&pm.event_log().unwrap());
+        assert_eq!(report.errors.len(), 1);
+    }
+}

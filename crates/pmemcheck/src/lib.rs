@@ -1,0 +1,27 @@
+//! # spp-pmemcheck — crash-consistency verification
+//!
+//! The §VI-E toolchain of the paper, rebuilt over [`spp_pm`]'s event log:
+//!
+//! * [`Checker`] — `pmemcheck` rules: every store must be covered by a
+//!   flush and a fence before the program (or the region of interest) ends;
+//!   redundant flushes are reported as performance warnings;
+//! * [`TxChecker`] — the TX-discipline rule: stores inside a transaction
+//!   must be undo-logged (snapshotted) or target objects allocated within
+//!   the same transaction;
+//! * [`Replayer`] — `pmreorder`: reconstructs, at every chosen crash point,
+//!   the set of memory images a power failure could leave behind (persisted
+//!   stores always present; pending stores present in any order-consistent
+//!   subset) and runs a user-supplied consistency validator on each.
+//!
+//! The workspace's crash-consistency suites drive whole index workloads in
+//! tracked mode and validate that `ObjPool::open` recovery plus the index
+//! invariants hold in **every** reachable crash state — with the SPP size
+//! field in play, which is exactly the property §VI-E establishes.
+
+mod checker;
+mod replay;
+mod txcheck;
+
+pub use checker::{Checker, Report, Violation, Warning};
+pub use replay::{CrashPoints, ExploreError, Replayer};
+pub use txcheck::{TxChecker, TxReport, UnprotectedStore};

@@ -1,0 +1,297 @@
+//! pmreorder-style crash-state exploration over an event log.
+
+use spp_pm::{CrashImage, EventLog, PmEvent};
+
+/// Where to inject crashes during replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoints {
+    /// After every event (exhaustive in program order).
+    EveryEvent,
+    /// After every fence plus at the end (the points where the durable set
+    /// changes shape).
+    Fences,
+}
+
+/// A consistency failure found during exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreError {
+    /// Index of the crash point in the event log (events consumed).
+    pub prefix: usize,
+    /// How many pending (unpersisted) stores were allowed to survive.
+    pub survivors: usize,
+    /// The validator's message.
+    pub message: String,
+}
+
+impl std::fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "inconsistent crash state at event {} with {} surviving pending stores: {}",
+            self.prefix, self.survivors, self.message
+        )
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+/// Replays an event log from an all-zero initial pool image, maintaining
+/// the durable ("persisted") image and the ordered list of pending stores,
+/// and materialising crash states at chosen points.
+///
+/// At each crash point it enumerates which pending (unfenced) stores the
+/// cache may have written back: **exhaustively** (all `2^n` subsets, the
+/// `ReorderFull` engine) when few stores are pending, falling back to
+/// forward + backward accumulative orders plus singletons (the
+/// `ReorderPartial` strategy) for larger sets. Exhaustive subsets are what
+/// catch ordering bugs like "valid-flag durable before its data".
+#[derive(Debug)]
+pub struct Replayer {
+    initial: Vec<u8>,
+    events: Vec<PmEvent>,
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    off: u64,
+    new: Box<[u8]>,
+    /// byte ranges not yet flushed
+    unflushed: Vec<(u64, u64)>,
+    /// fully flushed (awaiting fence)
+    flushed: bool,
+}
+
+impl Replayer {
+    /// Pending-store count up to which crash subsets are enumerated
+    /// exhaustively.
+    pub const EXHAUSTIVE_PENDING: usize = 10;
+
+    /// Create a replayer for a pool of `pool_size` bytes whose entire
+    /// history (from the zeroed state) is in `log`.
+    pub fn new(pool_size: u64, log: EventLog) -> Self {
+        Replayer { initial: vec![0u8; pool_size as usize], events: log.events().to_vec() }
+    }
+
+    /// Create a replayer whose history starts from a known durable baseline
+    /// (pair with [`spp_pm::PmPool::reset_tracking`] after pool setup).
+    pub fn with_initial(initial: Vec<u8>, log: EventLog) -> Self {
+        Replayer { initial, events: log.events().to_vec() }
+    }
+
+    /// Number of events in the log.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Explore crash states; `validate` receives each candidate image and
+    /// returns `Err(reason)` if the application-level invariants do not
+    /// hold after recovery.
+    ///
+    /// Returns the first inconsistent state found, if any, plus the number
+    /// of states checked.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError`] describing the first inconsistent crash state.
+    pub fn explore<F>(
+        &self,
+        points: CrashPoints,
+        mut validate: F,
+    ) -> Result<u64, Box<ExploreError>>
+    where
+        F: FnMut(&CrashImage) -> Result<(), String>,
+    {
+        let mut durable = self.initial.clone();
+        let mut pending: Vec<Pending> = Vec::new();
+        let mut checked = 0u64;
+
+        let mut check_here = |prefix: usize,
+                              durable: &[u8],
+                              pending: &[Pending]|
+         -> Result<u64, Box<ExploreError>> {
+            let n = pending.len();
+            let subsets: Vec<Vec<usize>> = if n <= Self::EXHAUSTIVE_PENDING {
+                (0..(1usize << n))
+                    .map(|mask| (0..n).filter(|i| mask & (1 << i) != 0).collect())
+                    .collect()
+            } else {
+                let mut subs: Vec<Vec<usize>> = Vec::new();
+                for k in 0..=n {
+                    subs.push((0..k).collect()); // forward accumulative
+                    subs.push((n - k..n).collect()); // backward accumulative
+                }
+                for i in 0..n {
+                    subs.push(vec![i]); // singletons
+                }
+                subs.sort();
+                subs.dedup();
+                subs
+            };
+            let mut local = 0u64;
+            for subset in subsets {
+                let mut image = durable.to_vec();
+                // Apply surviving stores in program order (overlaps resolve
+                // as the cache would: later store wins).
+                for &i in &subset {
+                    let s = &pending[i];
+                    image[s.off as usize..s.off as usize + s.new.len()].copy_from_slice(&s.new);
+                }
+                local += 1;
+                if let Err(message) = validate(&CrashImage::from_bytes(image)) {
+                    return Err(Box::new(ExploreError {
+                        prefix,
+                        survivors: subset.len(),
+                        message,
+                    }));
+                }
+            }
+            Ok(local)
+        };
+
+        for (i, ev) in self.events.iter().enumerate() {
+            match ev {
+                PmEvent::Store { off, new, .. } => {
+                    pending.push(Pending {
+                        off: *off,
+                        new: new.clone(),
+                        unflushed: vec![(*off, *off + new.len() as u64)],
+                        flushed: false,
+                    });
+                }
+                PmEvent::Flush { off, len, .. } => {
+                    for s in pending.iter_mut() {
+                        subtract(&mut s.unflushed, *off, *off + *len);
+                        if s.unflushed.is_empty() {
+                            s.flushed = true;
+                        }
+                    }
+                }
+                PmEvent::Fence { .. } => {
+                    // Flushed stores become durable *in program order*.
+                    let mut rest = Vec::with_capacity(pending.len());
+                    for s in pending.drain(..) {
+                        if s.flushed {
+                            durable[s.off as usize..s.off as usize + s.new.len()]
+                                .copy_from_slice(&s.new);
+                        } else {
+                            rest.push(s);
+                        }
+                    }
+                    pending = rest;
+                    if points == CrashPoints::Fences {
+                        checked += check_here(i + 1, &durable, &pending)?;
+                    }
+                }
+                PmEvent::Mark { .. } => {}
+            }
+            if points == CrashPoints::EveryEvent {
+                checked += check_here(i + 1, &durable, &pending)?;
+            }
+        }
+        // Final state (program exit / crash at the very end).
+        checked += check_here(self.events.len(), &durable, &pending)?;
+        Ok(checked)
+    }
+}
+
+fn subtract(ranges: &mut Vec<(u64, u64)>, lo: u64, hi: u64) {
+    let mut out = Vec::with_capacity(ranges.len());
+    for &(a, b) in ranges.iter() {
+        if b <= lo || a >= hi {
+            out.push((a, b));
+        } else {
+            if a < lo {
+                out.push((a, lo));
+            }
+            if b > hi {
+                out.push((hi, b));
+            }
+        }
+    }
+    *ranges = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_pm::{Mode, PmPool, PoolConfig};
+
+    #[test]
+    fn durable_prefix_semantics() {
+        let pm = PmPool::new(PoolConfig::new(4096).mode(Mode::Tracked));
+        pm.write(0, &[1]).unwrap();
+        pm.persist(0, 1).unwrap();
+        pm.write(8, &[2]).unwrap(); // never persisted
+        let replayer = Replayer::new(pm.size(), pm.event_log().unwrap());
+        let mut saw_pending_survivor = false;
+        let checked = replayer
+            .explore(CrashPoints::EveryEvent, |img| {
+                // Invariant: byte 8 may be 0 or 2; byte 0 is 1 only after
+                // its fence; never anything else.
+                let b0 = img.bytes()[0];
+                let b8 = img.bytes()[8];
+                if b8 == 2 {
+                    saw_pending_survivor = true;
+                }
+                if (b0 == 0 || b0 == 1) && (b8 == 0 || b8 == 2) {
+                    Ok(())
+                } else {
+                    Err(format!("unexpected bytes {b0} {b8}"))
+                }
+            })
+            .unwrap();
+        assert!(checked > 3);
+        assert!(saw_pending_survivor, "exploration never surfaced the pending store");
+    }
+
+    #[test]
+    fn detects_ordering_bugs() {
+        // Classic bug: write data, write valid-flag, persist both with ONE
+        // fence — the flag may become durable without the data.
+        let pm = PmPool::new(PoolConfig::new(4096).mode(Mode::Tracked));
+        pm.write(0, &[0xDD; 8]).unwrap(); // data
+        pm.write(64, &[1]).unwrap(); // valid flag (different line!)
+        pm.flush(0, 8).unwrap();
+        pm.flush(64, 1).unwrap();
+        pm.fence();
+        let replayer = Replayer::new(pm.size(), pm.event_log().unwrap());
+        let result = replayer.explore(CrashPoints::EveryEvent, |img| {
+            let valid = img.bytes()[64] == 1;
+            let data_ok = img.bytes()[0] == 0xDD;
+            if valid && !data_ok {
+                Err("valid flag set but data missing".into())
+            } else {
+                Ok(())
+            }
+        });
+        let err = result.unwrap_err();
+        assert!(err.message.contains("data missing"));
+    }
+
+    #[test]
+    fn correct_ordering_passes() {
+        // The fixed version: fence between data and flag.
+        let pm = PmPool::new(PoolConfig::new(4096).mode(Mode::Tracked));
+        pm.write(0, &[0xDD; 8]).unwrap();
+        pm.persist(0, 8).unwrap();
+        pm.write(64, &[1]).unwrap();
+        pm.persist(64, 1).unwrap();
+        let replayer = Replayer::new(pm.size(), pm.event_log().unwrap());
+        replayer
+            .explore(CrashPoints::EveryEvent, |img| {
+                let valid = img.bytes()[64] == 1;
+                let data_ok = img.bytes()[0] == 0xDD;
+                if valid && !data_ok {
+                    Err("valid flag set but data missing".into())
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap();
+    }
+}

@@ -1,0 +1,174 @@
+//! The transaction-discipline rule (`pmemcheck`'s TX checks): inside a
+//! transaction, every store to the heap must be covered either by a
+//! `pmemobj_tx_add_range` snapshot or by an object allocated inside the
+//! same transaction — otherwise a crash-and-rollback would leave the
+//! un-logged write behind, silently breaking atomicity.
+//!
+//! The transaction engine emits `tx_add:<off>:<len>` and
+//! `tx_alloc:<off>:<len>` marks (tracked mode only); this checker matches
+//! heap stores in `[tx_begin, tx_commit)` windows against them. Coverage is
+//! resolved per-window *after* collecting all marks, because allocator
+//! reservations touch block headers a moment before their mark is emitted.
+
+use spp_pm::{EventLog, PmEvent};
+
+/// A store inside a transaction that rollback could not undo.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnprotectedStore {
+    /// Store sequence number.
+    pub seq: u64,
+    /// Pool offset.
+    pub off: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// Outcome of the TX-discipline analysis.
+#[derive(Debug, Clone, Default)]
+pub struct TxReport {
+    /// Stores that violate the discipline.
+    pub unprotected: Vec<UnprotectedStore>,
+    /// Transactions analysed.
+    pub transactions: u64,
+}
+
+impl TxReport {
+    /// Whether all transactional stores were covered.
+    pub fn is_clean(&self) -> bool {
+        self.unprotected.is_empty()
+    }
+}
+
+/// The TX-discipline checker.
+///
+/// Limitation: windows are matched in log order, so logs from *concurrent*
+/// transactions interleave and must be analysed per-lane; the workspace's
+/// crash suites run single-threaded workloads.
+#[derive(Debug, Default)]
+pub struct TxChecker {
+    heap_off: u64,
+}
+
+impl TxChecker {
+    /// Create a checker for a pool whose heap starts at `heap_off` (stores
+    /// below it are log/lane metadata and exempt).
+    pub fn new(heap_off: u64) -> Self {
+        TxChecker { heap_off }
+    }
+
+    /// Analyse the log.
+    pub fn analyze(&self, log: &EventLog) -> TxReport {
+        let mut report = TxReport::default();
+        let events = log.events();
+        let mut i = 0;
+        while i < events.len() {
+            if matches!(&events[i], PmEvent::Mark { label, .. } if label == "tx_begin") {
+                // Find the end of the window (commit or abort).
+                let mut j = i + 1;
+                let mut covered: Vec<(u64, u64)> = Vec::new();
+                while j < events.len() {
+                    if let PmEvent::Mark { label, .. } = &events[j] {
+                        if label == "tx_commit" || label == "tx_abort" {
+                            break;
+                        }
+                        if let Some(range) = parse_range(label, "tx_add:")
+                            .or_else(|| parse_range(label, "tx_alloc:"))
+                        {
+                            covered.push(range);
+                        }
+                    }
+                    j += 1;
+                }
+                // Validate the window's heap stores.
+                for ev in &events[i..j] {
+                    if let PmEvent::Store { seq, off, new, .. } = ev {
+                        let len = new.len() as u64;
+                        if *off < self.heap_off {
+                            continue; // lane/undo/redo metadata
+                        }
+                        let ok = covered
+                            .iter()
+                            .any(|&(a, l)| *off >= a && *off + len <= a + l);
+                        if !ok {
+                            report.unprotected.push(UnprotectedStore {
+                                seq: *seq,
+                                off: *off,
+                                len,
+                            });
+                        }
+                    }
+                }
+                report.transactions += 1;
+                i = j + 1;
+                continue;
+            }
+            i += 1;
+        }
+        report
+    }
+}
+
+fn parse_range(label: &str, prefix: &str) -> Option<(u64, u64)> {
+    let rest = label.strip_prefix(prefix)?;
+    let (off, len) = rest.split_once(':')?;
+    Some((off.parse().ok()?, len.parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_pm::{Mode, PmPool, PoolConfig};
+    use spp_pmdk::{ObjPool, PoolOpts};
+    use std::sync::Arc;
+
+    fn tracked_pool() -> (Arc<PmPool>, ObjPool) {
+        let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 20).mode(Mode::Tracked)));
+        let pool = ObjPool::create(Arc::clone(&pm), PoolOpts::small()).unwrap();
+        (pm, pool)
+    }
+
+    #[test]
+    fn disciplined_tx_is_clean() {
+        let (pm, pool) = tracked_pool();
+        let obj = pool.zalloc(64).unwrap();
+        pm.reset_tracking();
+        pool.tx(|tx| -> spp_pmdk::Result<()> {
+            tx.write_u64(obj.off, 7)?; // snapshot + write
+            let fresh = tx.zalloc(32)?; // covered by tx_alloc
+            tx.pool().write_u64(fresh.off, 9)?;
+            tx.pool().persist(fresh.off, 8)?;
+            Ok(())
+        })
+        .unwrap();
+        let report = TxChecker::new(pool.heap_off()).analyze(&pm.event_log().unwrap());
+        assert_eq!(report.transactions, 1);
+        assert!(report.is_clean(), "{:?}", report.unprotected);
+    }
+
+    #[test]
+    fn unsnapshotted_store_is_flagged() {
+        let (pm, pool) = tracked_pool();
+        let obj = pool.zalloc(64).unwrap();
+        pm.reset_tracking();
+        pool.tx(|tx| -> spp_pmdk::Result<()> {
+            // BUG: raw write to pre-existing data without tx.snapshot.
+            tx.pool().write_u64(obj.off, 7)?;
+            Ok(())
+        })
+        .unwrap();
+        let report = TxChecker::new(pool.heap_off()).analyze(&pm.event_log().unwrap());
+        assert_eq!(report.unprotected.len(), 1);
+        assert_eq!(report.unprotected[0].off, obj.off);
+    }
+
+    #[test]
+    fn stores_outside_transactions_are_not_this_checkers_business() {
+        let (pm, pool) = tracked_pool();
+        let obj = pool.zalloc(64).unwrap();
+        pm.reset_tracking();
+        pool.write_u64(obj.off, 1).unwrap(); // no tx: atomic-discipline land
+        let report = TxChecker::new(pool.heap_off()).analyze(&pm.event_log().unwrap());
+        assert_eq!(report.transactions, 0);
+        assert!(report.is_clean());
+    }
+}

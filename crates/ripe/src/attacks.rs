@@ -1,0 +1,132 @@
+//! The attack-form matrix.
+
+/// How the overflowing access is performed — RIPE's "technique" axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// A byte-at-a-time loop of stores walking forward.
+    LoopStore,
+    /// One direct store at the target offset (attacker-controlled index).
+    SingleStore,
+    /// A wrapped `memcpy` whose length crosses the bound.
+    Memcpy,
+    /// A wrapped `strcpy` from an attacker-controlled long string.
+    Strcpy,
+}
+
+impl Method {
+    /// The methods used when sweeping a family.
+    pub const ALL: [Method; 4] =
+        [Method::LoopStore, Method::SingleStore, Method::Memcpy, Method::Strcpy];
+}
+
+/// Mechanically-distinct attack families (see the crate docs table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Overflow from a buffer field into a sibling field of the *same*
+    /// object — in bounds for every object-granular mechanism. These are
+    /// the attacks the paper reports SPP cannot detect (§VI-D: "the
+    /// constructed PM buffer is only directly accessed in-bounds").
+    IntraObject,
+    /// A non-contiguous jump that lands *inside another live object*,
+    /// skipping every redzone. Caught only by distance-tagged pointers.
+    FarJumpLive,
+    /// Contiguous overflow into the adjacent object within the same 4 KiB
+    /// chunk, crossing the (poisoned) block header.
+    AdjacentSameChunk,
+    /// Overflow confined to the attacker block's class padding.
+    PaddingSlack,
+    /// A long contiguous smash into unallocated heap (dead chunks).
+    WildernessSmash,
+    /// Target beyond the pool mapping — environmentally impossible; these
+    /// are RIPE's never-viable forms (the "prevented" bulk of every row).
+    BeyondMapping,
+}
+
+/// One attack form.
+#[derive(Debug, Clone)]
+pub struct Attack {
+    /// Stable identifier (for reports).
+    pub id: String,
+    /// Family (decides setup and target).
+    pub family: Family,
+    /// Access technique.
+    pub method: Method,
+    /// Attacker buffer's requested size.
+    pub buffer_size: u64,
+    /// Family-specific reach parameter (extra distance past the bound).
+    pub reach: u64,
+}
+
+fn push(suite: &mut Vec<Attack>, family: Family, method: Method, buffer_size: u64, reach: u64) {
+    let id = format!("{:?}/{:?}/buf{}/reach{}", family, method, buffer_size, reach);
+    suite.push(Attack { id, family, method, buffer_size, reach });
+}
+
+/// Generate the deterministic 223-form suite (83 viable on an unprotected
+/// PM heap + 140 environmentally impossible, matching the RIPE PM port's
+/// totals).
+pub fn generate_suite() -> Vec<Attack> {
+    let mut s = Vec::with_capacity(223);
+    // 4 intra-object forms (one per technique).
+    for m in Method::ALL {
+        push(&mut s, Family::IntraObject, m, 64, 16);
+    }
+    // 2 far-jump forms.
+    push(&mut s, Family::FarJumpLive, Method::SingleStore, 32, 0);
+    push(&mut s, Family::FarJumpLive, Method::Memcpy, 32, 0);
+    // 8 adjacent-object forms: 4 techniques × 2 buffer sizes.
+    for m in Method::ALL {
+        for size in [32, 96] {
+            push(&mut s, Family::AdjacentSameChunk, m, size, 8);
+        }
+    }
+    // 6 padding-slack forms: 3 techniques × 2 slack depths.
+    for m in [Method::LoopStore, Method::SingleStore, Method::Memcpy] {
+        for reach in [2, 6] {
+            push(&mut s, Family::PaddingSlack, m, 40, reach);
+        }
+    }
+    // 63 wilderness-smash forms: 3 techniques × 21 smash distances.
+    for m in [Method::LoopStore, Method::Memcpy, Method::Strcpy] {
+        for k in 0..21u64 {
+            push(&mut s, Family::WildernessSmash, m, 128, 8192 + k * 512);
+        }
+    }
+    // 140 beyond-mapping forms: 4 techniques × 35 distances.
+    for m in Method::ALL {
+        for k in 0..35u64 {
+            push(&mut s, Family::BeyondMapping, m, 64, k * 4096);
+        }
+    }
+    debug_assert_eq!(s.len(), 223);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_ripe_cardinality() {
+        let s = generate_suite();
+        assert_eq!(s.len(), 223);
+        let count = |f: Family| s.iter().filter(|a| a.family == f).count();
+        assert_eq!(count(Family::IntraObject), 4);
+        assert_eq!(count(Family::FarJumpLive), 2);
+        assert_eq!(count(Family::AdjacentSameChunk), 8);
+        assert_eq!(count(Family::PaddingSlack), 6);
+        assert_eq!(count(Family::WildernessSmash), 63);
+        assert_eq!(count(Family::BeyondMapping), 140);
+        // Viable-on-native total matches the paper's 83.
+        assert_eq!(223 - count(Family::BeyondMapping), 83);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let s = generate_suite();
+        let mut ids: Vec<_> = s.iter().map(|a| a.id.clone()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), s.len());
+    }
+}

@@ -1,0 +1,259 @@
+//! Attack execution and outcome classification.
+
+use spp_core::{MemoryPolicy, Result, SppError};
+use spp_pmdk::PmemOid;
+
+use crate::attacks::{Attack, Family, Method};
+
+/// Outcome of one attack form under one variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The target bytes were corrupted and no violation was raised.
+    Success,
+    /// The mechanism raised a violation / the access faulted / the target
+    /// was never reached.
+    Prevented,
+}
+
+const MARKER: u8 = 0x41;
+const MARKER64: u64 = 0x4141_4141_4141_4141;
+
+/// Allocate a NUL-terminated attack string of `len` marker bytes.
+fn make_string<P: MemoryPolicy>(p: &P, len: u64) -> Result<PmemOid> {
+    let oid = p.zalloc(len + 1)?;
+    let ptr = p.direct(oid);
+    p.memset(ptr, MARKER, len)?;
+    p.store(p.gep(ptr, len as i64), &[0])?;
+    Ok(oid)
+}
+
+/// Allocate a marker-filled payload object.
+fn make_payload<P: MemoryPolicy>(p: &P, len: u64) -> Result<PmemOid> {
+    let oid = p.zalloc(len)?;
+    p.memset(p.direct(oid), MARKER, len)?;
+    Ok(oid)
+}
+
+/// Did the attack's payload land at `target_off`? Inspected through the raw
+/// device, bypassing every policy.
+fn target_hit<P: MemoryPolicy>(p: &P, target_off: u64) -> Result<bool> {
+    let mut b = [0u8; 1];
+    p.pool().read(target_off, &mut b)?;
+    Ok(b[0] == MARKER)
+}
+
+fn classify(r: std::result::Result<(), SppError>) -> Option<Outcome> {
+    match r {
+        Ok(()) => None, // outcome decided by target inspection
+        Err(e) if e.is_violation() => Some(Outcome::Prevented),
+        Err(_) => Some(Outcome::Prevented), // setup-ish failure still stops the attack
+    }
+}
+
+/// Execute one attack form under `p` (a policy over a fresh pool).
+///
+/// # Errors
+///
+/// Only *setup* errors (allocation of attacker/victim objects). The attack
+/// itself cannot error — violations become [`Outcome::Prevented`].
+pub fn run_attack<P: MemoryPolicy>(p: &P, a: &Attack) -> Result<Outcome> {
+    match a.family {
+        Family::IntraObject => intra_object(p, a),
+        Family::FarJumpLive => far_jump(p, a),
+        Family::AdjacentSameChunk => adjacent(p, a),
+        Family::PaddingSlack => padding(p, a),
+        Family::WildernessSmash => wilderness(p, a),
+        Family::BeyondMapping => beyond_mapping(p, a),
+    }
+}
+
+/// Overflow a buffer field into the `secret` field of the same object.
+fn intra_object<P: MemoryPolicy>(p: &P, a: &Attack) -> Result<Outcome> {
+    let size = a.buffer_size; // object: [buffer ........ | secret(8) ]
+    let obj = p.zalloc(size)?;
+    let ptr = p.direct(obj);
+    let secret_off = size - 8;
+    let attack = || -> std::result::Result<(), SppError> {
+        match a.method {
+            Method::LoopStore => {
+                for i in 0..size {
+                    p.store(p.gep(ptr, i as i64), &[MARKER])?;
+                }
+            }
+            Method::SingleStore => {
+                p.store_u64(p.gep(ptr, secret_off as i64), MARKER64)?;
+            }
+            Method::Memcpy => {
+                let src = make_payload(p, size)?;
+                p.memcpy(ptr, p.direct(src), size)?;
+            }
+            Method::Strcpy => {
+                let src = make_string(p, size - 1)?;
+                p.strcpy(ptr, p.direct(src))?;
+            }
+        }
+        Ok(())
+    };
+    if let Some(o) = classify(attack()) {
+        return Ok(o);
+    }
+    Ok(if target_hit(p, obj.off + secret_off)? { Outcome::Success } else { Outcome::Prevented })
+}
+
+/// Jump from one object straight into another live object.
+fn far_jump<P: MemoryPolicy>(p: &P, a: &Attack) -> Result<Outcome> {
+    let attacker = p.zalloc(a.buffer_size)?;
+    for _ in 0..3 {
+        let _spacer = p.zalloc(128)?;
+    }
+    let victim = p.zalloc(64)?;
+    let ptr = p.direct(attacker);
+    let jump = (victim.off + 16 - attacker.off) as i64;
+    let attack = || -> std::result::Result<(), SppError> {
+        match a.method {
+            Method::Memcpy => {
+                let src = make_payload(p, 8)?;
+                p.memcpy(p.gep(ptr, jump), p.direct(src), 8)?;
+            }
+            _ => p.store_u64(p.gep(ptr, jump), MARKER64)?,
+        }
+        Ok(())
+    };
+    if let Some(o) = classify(attack()) {
+        return Ok(o);
+    }
+    Ok(if target_hit(p, victim.off + 16)? { Outcome::Success } else { Outcome::Prevented })
+}
+
+/// Contiguously overflow into the adjacent object (crossing its header).
+fn adjacent<P: MemoryPolicy>(p: &P, a: &Attack) -> Result<Outcome> {
+    let attacker = p.zalloc(a.buffer_size)?;
+    let victim = p.zalloc(a.buffer_size)?;
+    let ptr = p.direct(attacker);
+    let span = victim.off - attacker.off + a.reach; // first `reach` victim bytes
+    let attack = || -> std::result::Result<(), SppError> {
+        match a.method {
+            Method::LoopStore => {
+                for i in 0..span {
+                    p.store(p.gep(ptr, i as i64), &[MARKER])?;
+                }
+            }
+            Method::SingleStore => {
+                // Contiguous u64-stride sweep (RIPE's word-granular write
+                // loop; a true single jump is the FarJumpLive family).
+                let mut i = 0;
+                while i < span {
+                    p.store_u64(p.gep(ptr, i as i64), MARKER64)?;
+                    i += 8;
+                }
+            }
+            Method::Memcpy => {
+                let src = make_payload(p, span)?;
+                p.memcpy(ptr, p.direct(src), span)?;
+            }
+            Method::Strcpy => {
+                let src = make_string(p, span - 1)?;
+                p.strcpy(ptr, p.direct(src))?;
+            }
+        }
+        Ok(())
+    };
+    if let Some(o) = classify(attack()) {
+        return Ok(o);
+    }
+    Ok(if target_hit(p, victim.off)? { Outcome::Success } else { Outcome::Prevented })
+}
+
+/// Overflow confined to the attacker block's class padding.
+fn padding<P: MemoryPolicy>(p: &P, a: &Attack) -> Result<Outcome> {
+    let attacker = p.zalloc(a.buffer_size)?;
+    let ptr = p.direct(attacker);
+    let end = a.buffer_size + a.reach; // strictly within the block's padding
+    let target_off = attacker.off + end - 1;
+    let attack = || -> std::result::Result<(), SppError> {
+        match a.method {
+            Method::LoopStore => {
+                for i in 0..end {
+                    p.store(p.gep(ptr, i as i64), &[MARKER])?;
+                }
+            }
+            Method::SingleStore => {
+                p.store(p.gep(ptr, (end - 1) as i64), &[MARKER])?;
+            }
+            _ => {
+                let src = make_payload(p, end)?;
+                p.memcpy(ptr, p.direct(src), end)?;
+            }
+        }
+        Ok(())
+    };
+    if let Some(o) = classify(attack()) {
+        return Ok(o);
+    }
+    Ok(if target_hit(p, target_off)? { Outcome::Success } else { Outcome::Prevented })
+}
+
+/// Long contiguous smash into unallocated heap space.
+fn wilderness<P: MemoryPolicy>(p: &P, a: &Attack) -> Result<Outcome> {
+    // Payload/string sources are allocated *before* the attacker so the
+    // attacker is the last live object before the wilderness.
+    let src = match a.method {
+        Method::Memcpy => Some(make_payload(p, a.reach + 8)?),
+        Method::Strcpy => Some(make_string(p, a.reach + 7)?),
+        _ => None,
+    };
+    let attacker = p.zalloc(a.buffer_size)?;
+    let ptr = p.direct(attacker);
+    let target_off = attacker.off + a.reach;
+    let attack = || -> std::result::Result<(), SppError> {
+        match a.method {
+            Method::LoopStore | Method::SingleStore => {
+                // Word writes at cache-line stride up to the target.
+                let mut i = 0;
+                while i <= a.reach {
+                    p.store_u64(p.gep(ptr, i as i64), MARKER64)?;
+                    i += 64;
+                }
+            }
+            Method::Memcpy => {
+                p.memcpy(ptr, p.direct(src.expect("payload")), a.reach + 8)?;
+            }
+            Method::Strcpy => {
+                p.strcpy(ptr, p.direct(src.expect("string")))?;
+            }
+        }
+        Ok(())
+    };
+    if let Some(o) = classify(attack()) {
+        return Ok(o);
+    }
+    Ok(if target_hit(p, target_off)? { Outcome::Success } else { Outcome::Prevented })
+}
+
+/// Target beyond the pool mapping: environmentally impossible everywhere.
+fn beyond_mapping<P: MemoryPolicy>(p: &P, a: &Attack) -> Result<Outcome> {
+    let attacker = p.zalloc(a.buffer_size)?;
+    let ptr = p.direct(attacker);
+    let pool_size = p.pool().pm().size();
+    let jump = (pool_size + a.reach) as i64;
+    let attack = || -> std::result::Result<(), SppError> {
+        match a.method {
+            Method::Memcpy => {
+                let src = make_payload(p, 8)?;
+                p.memcpy(p.gep(ptr, jump), p.direct(src), 8)?;
+            }
+            Method::Strcpy => {
+                let src = make_string(p, 7)?;
+                p.strcpy(p.gep(ptr, jump), p.direct(src))?;
+            }
+            _ => p.store_u64(p.gep(ptr, jump), MARKER64)?,
+        }
+        Ok(())
+    };
+    match classify(attack()) {
+        Some(o) => Ok(o),
+        // No fault would mean the write landed outside the pool, which the
+        // device cannot represent; treat as prevented.
+        None => Ok(Outcome::Prevented),
+    }
+}

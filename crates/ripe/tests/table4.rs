@@ -1,0 +1,70 @@
+//! The Table IV experiment: run the full suite under all five variants and
+//! check the counts land where the mechanisms dictate.
+
+use std::sync::Arc;
+
+use spp_core::{PmdkPolicy, SppPolicy, TagConfig};
+use spp_pm::{PmPool, PoolConfig};
+use spp_pmdk::{ObjPool, PoolOpts};
+use spp_ripe::{evaluate_variant, generate_suite, MemcheckPolicy};
+use spp_safepm::SafePmPolicy;
+
+const POOL: u64 = 1 << 22;
+
+fn fresh_pool() -> Arc<ObjPool> {
+    let pm = Arc::new(PmPool::new(PoolConfig::new(POOL)));
+    Arc::new(ObjPool::create(pm, PoolOpts::small()).unwrap())
+}
+
+#[test]
+fn table4_counts() {
+    let suite = generate_suite();
+
+    let native =
+        evaluate_variant("PM pool heap", &suite, || Ok(PmdkPolicy::new(fresh_pool()))).unwrap();
+    let spp = evaluate_variant("SPP", &suite, || {
+        SppPolicy::new(fresh_pool(), TagConfig::default())
+    })
+    .unwrap();
+    let safepm =
+        evaluate_variant("SafePM", &suite, || SafePmPolicy::create(fresh_pool())).unwrap();
+    let memcheck =
+        evaluate_variant("memcheck", &suite, || Ok(MemcheckPolicy::new(fresh_pool()))).unwrap();
+
+    // Totals always add up.
+    for row in [&native, &spp, &safepm, &memcheck] {
+        assert_eq!(row.successful + row.prevented, 223, "{row:?}");
+    }
+
+    // Native: all 83 viable forms succeed (paper: 83/140).
+    assert_eq!(native.successful, 83, "{native:?}");
+
+    // SPP: only the intra-object forms survive (paper: 4/219).
+    assert_eq!(spp.successful, 4, "{spp:?}");
+
+    // SafePM: intra-object + redzone-skipping jumps (paper: 6/217).
+    assert_eq!(safepm.successful, 6, "{safepm:?}");
+
+    // memcheck: everything near live data (paper: 20/203).
+    assert_eq!(memcheck.successful, 20, "{memcheck:?}");
+
+    // The ordering the paper's Table IV demonstrates.
+    assert!(spp.successful <= safepm.successful);
+    assert!(safepm.successful < memcheck.successful);
+    assert!(memcheck.successful < native.successful);
+}
+
+#[test]
+fn per_family_outcomes_under_spp() {
+    use spp_ripe::{run_attack, Family, Outcome};
+    let suite = generate_suite();
+    for attack in &suite {
+        let policy = SppPolicy::new(fresh_pool(), TagConfig::default()).unwrap();
+        let outcome = run_attack(&policy, attack).unwrap();
+        let expect = match attack.family {
+            Family::IntraObject => Outcome::Success,
+            _ => Outcome::Prevented,
+        };
+        assert_eq!(outcome, expect, "attack {} diverged under SPP", attack.id);
+    }
+}

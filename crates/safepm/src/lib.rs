@@ -1,0 +1,37 @@
+//! # spp-safepm — the SafePM baseline
+//!
+//! SafePM (EuroSys '22) is the state-of-the-art PM memory-safety tool the
+//! paper compares against: an AddressSanitizer-style *shadow memory*
+//! approach where every 8-byte granule of the pool has one shadow byte, the
+//! shadow itself lives **inside the PM pool** (so safety metadata survives
+//! crashes), and objects are surrounded by poisoned redzones.
+//!
+//! This crate reimplements that mechanism as a [`spp_core::MemoryPolicy`] so
+//! the same workloads run under `PMDK` / `SPP` / `SafePM` — the three
+//! variants of the paper's Table I:
+//!
+//! * every access consults the persistent shadow (extra PM reads on the
+//!   critical path — the cost the evaluation figures show);
+//! * allocations are padded with a right redzone and the shadow is
+//!   poisoned/unpoisoned and **persisted** on every heap operation;
+//! * detection granularity is 8 bytes: overflows that stay within the last
+//!   partially-addressable granule escape, which is exactly why SafePM
+//!   misses a handful of RIPE attacks that SPP's byte-precise tag catches
+//!   (Table IV: 6 vs 4 successful attacks).
+//!
+//! ## Shadow encoding
+//!
+//! Unlike ASan (0 = addressable), the durable default must be *poisoned* so
+//! that a fresh pool needs no giant shadow initialisation write:
+//!
+//! | shadow byte | meaning                          |
+//! |-------------|----------------------------------|
+//! | `0`         | poisoned (unallocated / redzone) |
+//! | `1..=7`     | first *k* bytes addressable      |
+//! | `8`         | all 8 bytes addressable          |
+
+mod policy;
+mod shadow;
+
+pub use policy::SafePmPolicy;
+pub use shadow::{Shadow, REDZONE_BYTES, SHADOW_GRANULE};

@@ -1,0 +1,86 @@
+//! §VI-D in one binary: the real-world PM buffer overflows the paper
+//! detects with SPP, reproduced and run under all three variants.
+//!
+//! 1. the PMDK `btree_map` memmove overflow (GitHub issue #5333);
+//! 2. the Phoenix `string_match` off-by-one (kozyraki/phoenix#9);
+//! 3. a RIPE-style adjacent-object smash.
+//!
+//! Run with: `cargo run --example detect_bugs`
+
+use std::sync::Arc;
+
+use spp::core::{MemoryPolicy, PmdkPolicy, SppPolicy, TagConfig};
+use spp::indices::{BTreeMap, Index};
+use spp::phoenix::{string_match, PhoenixConfig};
+use spp::pm::{PmPool, PoolConfig};
+use spp::pmdk::{ObjPool, PoolOpts};
+use spp::ripe::{generate_suite, run_attack, Family, Outcome};
+use spp::safepm::SafePmPolicy;
+
+fn pool(base: u64) -> Arc<ObjPool> {
+    let pm = Arc::new(PmPool::new(PoolConfig::new(32 << 20).base(base)));
+    Arc::new(ObjPool::create(pm, PoolOpts::small()).expect("pool"))
+}
+
+fn verdict<T>(r: spp::core::Result<T>) -> String {
+    match r {
+        Ok(_) => "SILENT (bug executed unnoticed)".to_string(),
+        Err(e) if e.is_violation() => format!("DETECTED: {e}"),
+        Err(e) => format!("error: {e}"),
+    }
+}
+
+fn btree_bug<P: MemoryPolicy>(policy: Arc<P>) -> spp::core::Result<bool> {
+    let idx = BTreeMap::create(policy)?;
+    for k in 0..7u64 {
+        idx.insert(k, k)?; // fill one leaf to capacity
+    }
+    idx.remove_buggy(0) // the off-by-one memmove of btree_map.c:378
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== PMDK btree_map memmove overflow (issue #5333) ==");
+    println!("  PMDK   : {}", verdict(btree_bug(Arc::new(PmdkPolicy::new(pool(1 << 32))))));
+    println!("  SafePM : {}", verdict(btree_bug(Arc::new(SafePmPolicy::create(pool(1 << 32))?))));
+    println!(
+        "  SPP    : {}",
+        verdict(btree_bug(Arc::new(SppPolicy::new(pool(1 << 32), TagConfig::default())?)))
+    );
+
+    println!("\n== Phoenix string_match off-by-one (kozyraki/phoenix#9) ==");
+    let cfg = PhoenixConfig { threads: 2, scale: 1, seed: 1 };
+    println!(
+        "  PMDK   : {}",
+        verdict(string_match(&Arc::new(PmdkPolicy::new(pool(0x10000))), &cfg, true))
+    );
+    println!(
+        "  SafePM : {}",
+        verdict(string_match(&Arc::new(SafePmPolicy::create(pool(0x10000))?), &cfg, true))
+    );
+    println!(
+        "  SPP    : {}",
+        verdict(string_match(
+            &Arc::new(SppPolicy::new(pool(0x10000), TagConfig::phoenix())?),
+            &cfg,
+            true
+        ))
+    );
+
+    println!("\n== RIPE adjacent-object smash ==");
+    let attack = generate_suite()
+        .into_iter()
+        .find(|a| a.family == Family::AdjacentSameChunk)
+        .expect("suite has adjacent attacks");
+    for (name, outcome) in [
+        ("PMDK", run_attack(&PmdkPolicy::new(pool(1 << 32)), &attack)?),
+        ("SafePM", run_attack(&SafePmPolicy::create(pool(1 << 32))?, &attack)?),
+        ("SPP", run_attack(&SppPolicy::new(pool(1 << 32), TagConfig::default())?, &attack)?),
+    ] {
+        let text = match outcome {
+            Outcome::Success => "ATTACK SUCCEEDED (victim corrupted)",
+            Outcome::Prevented => "prevented",
+        };
+        println!("  {name:<7}: {text}");
+    }
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! # spp — Safe Persistent Pointers (DSN 2024) reproduction, facade crate
+//!
+//! Re-exports the full workspace so examples and integration tests can use a
+//! single dependency. See the crate-level docs of each member:
+//!
+//! * [`spp_pm`] — simulated persistent-memory device
+//! * [`spp_pmdk`] — miniature `libpmemobj` (allocator, transactions, oids)
+//! * [`spp_core`] — the SPP tagged-pointer scheme and memory-safety policies
+//! * [`spp_safepm`] — the SafePM shadow-memory baseline
+//! * [`spp_instrument`] — mini-IR compiler passes standing in for LLVM
+//! * [`spp_containers`] — PMDK-example-style containers (array/queue/list/string)
+//! * [`spp_indices`] — persistent indices (ctree/rbtree/rtree/hashmap/btree)
+//! * [`spp_kvstore`] — pmemkv-style concurrent persistent KV engine
+//! * [`spp_phoenix`] — Phoenix 2.0 kernels ported to PM
+//! * [`spp_ripe`] — RIPE-style attack matrix
+//! * [`spp_pmemcheck`] — crash-consistency checker (pmemcheck/pmreorder)
+
+pub use spp_containers as containers;
+pub use spp_core as core;
+pub use spp_indices as indices;
+pub use spp_instrument as instrument;
+pub use spp_kvstore as kvstore;
+pub use spp_phoenix as phoenix;
+pub use spp_pm as pm;
+pub use spp_pmdk as pmdk;
+pub use spp_pmemcheck as pmemcheck;
+pub use spp_ripe as ripe;
+pub use spp_safepm as safepm;
