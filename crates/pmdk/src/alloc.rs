@@ -1,4 +1,4 @@
-//! Persistent heap allocator.
+//! Persistent heap allocator, sharded into per-lane arenas.
 //!
 //! The heap is a contiguous sequence of blocks, each prefixed by a durable
 //! 16-byte header `{block_size(8), state(8)}`. Free lists are *volatile*,
@@ -9,8 +9,42 @@
 //! A block becomes *allocated* only when a redo log flips its header state,
 //! so a crash between reservation and validation simply leaves a free block
 //! for the next rebuild to collect.
+//!
+//! # Arena sharding
+//!
+//! Runtime state is split across per-lane arenas (PMDK's arena design):
+//! each arena has its own mutex guarding segregated free lists plus private
+//! *wilderness spans*, refilled in large chunks from one shared wilderness
+//! cursor. A thread's lane index picks its arena, so the hot alloc/free
+//! paths take exactly one (usually uncontended) lock. Frees are
+//! *free-to-local*: a block returns to the freeing lane's arena, not the
+//! arena that carved it — no owner lookup, at the cost of slow cross-arena
+//! drift under producer/consumer free patterns (the steal path below makes
+//! that drift harmless).
+//!
+//! The durable format is unchanged: the header chain stays intact at every
+//! crash point because
+//!
+//! 1. a refill persists the chunk's free-block header *before* the shared
+//!    cursor advances, and refills are serialized under the shared-cursor
+//!    mutex, so chunk headers become durable in increasing address order
+//!    (a lock-free cursor bump would allow a crash-visible hole that hides
+//!    every live block beyond it from the recovery scan);
+//! 2. carving a block from a span persists the successor header first and
+//!    only then shrinks the span header, so a crash in between leaves the
+//!    old span header valid (the successor header stays invisible inside
+//!    it);
+//! 3. when an arena's span ends exactly at the shared cursor, refills
+//!    extend it in place (grow its header) instead of opening a disjoint
+//!    chunk — single-threaded allocation therefore degenerates to the
+//!    classic bump layout, byte-identical to the unsharded allocator.
+//!
+//! Statistics are relaxed atomics, off every lock.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
 
 use spp_pm::PmPool;
 
@@ -29,6 +63,11 @@ pub(crate) const BH_STATE: u64 = 8;
 pub(crate) const STATE_FREE: u64 = 0;
 /// Block state: allocated.
 pub(crate) const STATE_ALLOC: u64 = 1;
+
+/// Largest chunk a refill grabs from the shared wilderness.
+const MAX_REFILL_CHUNK: u64 = 256 * 1024;
+/// Smallest refill target (tiny pools still refill whole requests).
+const MIN_REFILL_CHUNK: u64 = 4096;
 
 /// Round a payload request to its block size class.
 ///
@@ -52,6 +91,13 @@ pub(crate) fn class_block_size(payload: u64) -> u64 {
     class + BLOCK_HEADER_SIZE
 }
 
+/// Whether a block size (header included) is exactly some class size.
+/// Rebuild routes class-shaped free blocks to free lists and everything
+/// else (chunk remainders) to re-carvable wilderness spans.
+fn is_class_block(block: u64) -> bool {
+    block > BLOCK_HEADER_SIZE && class_block_size(block - BLOCK_HEADER_SIZE) == block
+}
+
 /// Point-in-time allocator statistics, used for the Table III space
 /// accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -61,41 +107,127 @@ pub struct AllocStats {
     /// Number of live objects.
     pub live_objects: u64,
     /// High-water mark of heap consumption (bytes past heap start).
+    /// Chunk-granular: refills advance it by whole chunks.
     pub high_water: u64,
     /// Total heap capacity in bytes.
     pub heap_size: u64,
 }
 
-/// Volatile allocator state guarded by the pool's allocator mutex.
-#[derive(Debug)]
-pub(crate) struct AllocState {
-    heap_off: u64,
-    heap_end: u64,
-    /// block size class -> free block header offsets
+/// One arena's volatile state, guarded by its own mutex.
+#[derive(Debug, Default)]
+struct ArenaState {
+    /// block size class -> free block header offsets (LIFO reuse)
     free: HashMap<u64, Vec<u64>>,
-    /// next never-used offset
-    wilderness: u64,
-    live_bytes: u64,
-    live_objects: u64,
-    high_water: u64,
+    /// Private wilderness spans `(off, len)`. Invariant: each span's first
+    /// 16 bytes are a durable free-block header covering the whole span,
+    /// so the heap scans cleanly at every crash point.
+    wild: Vec<(u64, u64)>,
 }
 
-impl AllocState {
-    pub(crate) fn new(heap_off: u64, heap_end: u64) -> Self {
-        AllocState {
+impl ArenaState {
+    fn pop_free(&mut self, block: u64) -> Option<u64> {
+        self.free.get_mut(&block)?.pop()
+    }
+
+    /// Carve a `block`-sized reservation out of the first span that fits.
+    ///
+    /// The successor header is persisted *before* the span header shrinks:
+    /// until the shrink is durable the old header still covers the whole
+    /// span and the successor header is invisible inside it, so the chain
+    /// is intact whichever writes a crash keeps.
+    fn carve(&mut self, pm: &PmPool, block: u64) -> Result<Option<u64>> {
+        let Some(i) = self.wild.iter().position(|&(_, len)| len >= block) else {
+            return Ok(None);
+        };
+        let (off, len) = self.wild[i];
+        if len == block {
+            // The span header already describes exactly this block.
+            self.wild.swap_remove(i);
+            return Ok(Some(off));
+        }
+        write_u64(pm, off + block + BH_SIZE, len - block)?;
+        write_u64(pm, off + block + BH_STATE, STATE_FREE)?;
+        pm.persist(off + block + BH_SIZE, BLOCK_HEADER_SIZE as usize)?;
+        write_u64(pm, off + BH_SIZE, block)?;
+        pm.persist(off + BH_SIZE, 8)?;
+        if pm.mode() == spp_pm::Mode::Tracked {
+            // Header maintenance is exempt from tx discipline (see the
+            // heap_hdr rules in spp-pmemcheck's TxChecker).
+            pm.mark(format!("heap_hdr:{}:{}", off + block, BLOCK_HEADER_SIZE));
+            pm.mark(format!("heap_hdr:{off}:8"));
+        }
+        self.wild[i] = (off + block, len - block);
+        Ok(Some(off))
+    }
+
+    #[cfg(test)]
+    fn wild_bytes(&self) -> u64 {
+        self.wild.iter().map(|&(_, len)| len).sum()
+    }
+}
+
+/// The shared wilderness frontier. Also the refill serialization point:
+/// holding this mutex across the header persist is what keeps chunk
+/// headers durable in address order.
+#[derive(Debug)]
+struct SharedWilderness {
+    cursor: u64,
+}
+
+/// The sharded persistent-heap allocator.
+pub(crate) struct Arenas {
+    heap_off: u64,
+    heap_end: u64,
+    /// Refill chunk target, adapted to pool size at construction.
+    chunk: u64,
+    arenas: Vec<Mutex<ArenaState>>,
+    shared: Mutex<SharedWilderness>,
+    live_bytes: AtomicU64,
+    live_objects: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl std::fmt::Debug for Arenas {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Arenas")
+            .field("narenas", &self.arenas.len())
+            .field("chunk", &self.chunk)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Arenas {
+    pub(crate) fn new(heap_off: u64, heap_end: u64, narenas: usize) -> Self {
+        let narenas = narenas.max(1);
+        let heap = heap_end.saturating_sub(heap_off);
+        // Scale chunks down on small pools so one arena cannot hog the
+        // heap; clamp to [4 KiB, 256 KiB] and keep 16-byte granularity.
+        let chunk = (heap / (8 * narenas as u64))
+            .clamp(MIN_REFILL_CHUNK, MAX_REFILL_CHUNK)
+            .next_multiple_of(16);
+        Arenas {
             heap_off,
             heap_end,
-            free: HashMap::new(),
-            wilderness: heap_off,
-            live_bytes: 0,
-            live_objects: 0,
-            high_water: 0,
+            chunk,
+            arenas: (0..narenas).map(|_| Mutex::new(ArenaState::default())).collect(),
+            shared: Mutex::new(SharedWilderness { cursor: heap_off }),
+            live_bytes: AtomicU64::new(0),
+            live_objects: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
         }
     }
 
-    /// Rebuild volatile state by scanning durable block headers.
-    pub(crate) fn rebuild(pm: &PmPool, heap_off: u64, heap_end: u64) -> Result<Self> {
-        let mut st = AllocState::new(heap_off, heap_end);
+    /// Rebuild volatile state by scanning durable block headers — the same
+    /// linear walk as the unsharded allocator (the media format is
+    /// identical). Free blocks are distributed round-robin: class-shaped
+    /// ones onto arena free lists, odd-shaped ones (chunk remainders) as
+    /// re-carvable wilderness spans.
+    pub(crate) fn rebuild(pm: &PmPool, heap_off: u64, heap_end: u64, narenas: usize) -> Result<Self> {
+        let ar = Arenas::new(heap_off, heap_end, narenas);
+        let n = ar.arenas.len();
+        let (mut next_free, mut next_wild) = (0usize, 0usize);
+        let (mut live_bytes, mut live_objects) = (0u64, 0u64);
         let mut off = heap_off;
         while off + BLOCK_HEADER_SIZE <= heap_end {
             let size = read_u64(pm, off + BH_SIZE)?;
@@ -107,10 +239,19 @@ impl AllocState {
             }
             let state = read_u64(pm, off + BH_STATE)?;
             match state {
-                STATE_FREE => st.free.entry(size).or_default().push(off),
+                STATE_FREE => {
+                    if is_class_block(size) {
+                        let mut a = ar.arenas[next_free % n].lock();
+                        a.free.entry(size).or_default().push(off);
+                        next_free += 1;
+                    } else {
+                        ar.arenas[next_wild % n].lock().wild.push((off, size));
+                        next_wild += 1;
+                    }
+                }
                 STATE_ALLOC => {
-                    st.live_bytes += size;
-                    st.live_objects += 1;
+                    live_bytes += size;
+                    live_objects += 1;
                 }
                 other => {
                     return Err(PmdkError::BadPool(format!("corrupt block state {other} at {off:#x}")))
@@ -118,64 +259,157 @@ impl AllocState {
             }
             off += size;
         }
-        st.wilderness = off;
-        st.high_water = off - heap_off;
-        Ok(st)
+        ar.shared.lock().cursor = off;
+        ar.live_bytes.store(live_bytes, Ordering::Relaxed);
+        ar.live_objects.store(live_objects, Ordering::Relaxed);
+        ar.high_water.store(off - heap_off, Ordering::Relaxed);
+        Ok(ar)
     }
 
-    /// Reserve a block able to hold `payload` bytes. The block's header size
-    /// is durable after this call but its state remains free until a redo
-    /// log validates the allocation.
+    /// Reserve a block able to hold `payload` bytes from `lane`'s arena.
+    /// The block's header size is durable after this call but its state
+    /// remains free until a redo log validates the allocation.
     ///
-    /// Returns the block header offset.
-    pub(crate) fn reserve(&mut self, pm: &PmPool, payload: u64) -> Result<u64> {
+    /// Returns `(block_header_offset, block_size)` — callers never re-read
+    /// the size word from PM. Takes exactly one arena lock on the fast
+    /// path; misses fall back to refilling from the shared wilderness and
+    /// then to stealing from sibling arenas (one lock at a time, so lane
+    /// holders can never deadlock on each other's arenas).
+    pub(crate) fn reserve(&self, pm: &PmPool, lane: usize, payload: u64) -> Result<(u64, u64)> {
         let block = class_block_size(payload);
-        if let Some(list) = self.free.get_mut(&block) {
-            if let Some(off) = list.pop() {
-                return Ok(off);
+        let n = self.arenas.len();
+        let home = lane % n;
+        {
+            let mut a = self.arenas[home].lock();
+            if let Some(off) = a.pop_free(block) {
+                return Ok((off, block));
+            }
+            if let Some(off) = a.carve(pm, block)? {
+                return Ok((off, block));
+            }
+            if self.refill(pm, &mut a, block)? {
+                let off = a.carve(pm, block)?.expect("refilled span fits the request");
+                return Ok((off, block));
             }
         }
-        // Carve from the wilderness.
-        if self.wilderness + block > self.heap_end {
-            return Err(PmdkError::OutOfMemory { requested: payload });
+        // Shared wilderness exhausted: steal from sibling arenas.
+        for d in 1..n {
+            let mut a = self.arenas[(home + d) % n].lock();
+            if let Some(off) = a.pop_free(block) {
+                return Ok((off, block));
+            }
+            if let Some(off) = a.carve(pm, block)? {
+                return Ok((off, block));
+            }
         }
-        let off = self.wilderness;
-        write_u64(pm, off + BH_SIZE, block)?;
-        pm.persist(off + BH_SIZE, 8)?;
-        self.wilderness += block;
-        self.high_water = self.high_water.max(self.wilderness - self.heap_off);
-        Ok(off)
+        // Last chance: a concurrent free may have restocked home while we
+        // were scanning siblings.
+        let mut a = self.arenas[home].lock();
+        if let Some(off) = a.pop_free(block) {
+            return Ok((off, block));
+        }
+        if let Some(off) = a.carve(pm, block)? {
+            return Ok((off, block));
+        }
+        Err(PmdkError::OutOfMemory { requested: payload })
     }
 
-    /// Return a block to its free list (call after its durable state is
-    /// already `STATE_FREE`).
-    pub(crate) fn release(&mut self, block_hdr: u64, block_size: u64) {
-        self.free.entry(block_size).or_default().push(block_hdr);
+    /// Restock `a` from the shared wilderness so it can satisfy a `need`-
+    /// sized carve. Returns `false` when the wilderness cannot cover it.
+    ///
+    /// Called with the arena lock held; lock order is always arena →
+    /// shared, never the reverse.
+    fn refill(&self, pm: &PmPool, a: &mut ArenaState, need: u64) -> Result<bool> {
+        let mut sh = self.shared.lock();
+        let remaining = self.heap_end.saturating_sub(sh.cursor);
+        // Contiguous growth: a span ending at the cursor extends in place,
+        // which keeps single-threaded layouts identical to a bump pointer.
+        if let Some(i) = a.wild.iter().position(|&(off, len)| off + len == sh.cursor) {
+            let (off, len) = a.wild[i];
+            let extra = (need - len).max(self.chunk).min(remaining);
+            if len + extra < need {
+                return Ok(false);
+            }
+            write_u64(pm, off + BH_SIZE, len + extra)?;
+            pm.persist(off + BH_SIZE, 8)?;
+            if pm.mode() == spp_pm::Mode::Tracked {
+                pm.mark(format!("heap_hdr:{off}:8"));
+            }
+            sh.cursor += extra;
+            self.high_water.fetch_max(sh.cursor - self.heap_off, Ordering::Relaxed);
+            a.wild[i] = (off, len + extra);
+            return Ok(true);
+        }
+        // Disjoint chunk: persist its header before the cursor moves.
+        let want = need.max(self.chunk).min(remaining);
+        if want < need {
+            return Ok(false);
+        }
+        let off = sh.cursor;
+        write_u64(pm, off + BH_SIZE, want)?;
+        write_u64(pm, off + BH_STATE, STATE_FREE)?;
+        pm.persist(off + BH_SIZE, BLOCK_HEADER_SIZE as usize)?;
+        if pm.mode() == spp_pm::Mode::Tracked {
+            pm.mark(format!("heap_hdr:{off}:{BLOCK_HEADER_SIZE}"));
+        }
+        sh.cursor += want;
+        self.high_water.fetch_max(sh.cursor - self.heap_off, Ordering::Relaxed);
+        a.wild.push((off, want));
+        Ok(true)
+    }
+
+    /// Return a block to `lane`'s free list (call after its durable state
+    /// is already `STATE_FREE`). Free-to-local: see the module docs.
+    pub(crate) fn release(&self, lane: usize, block_hdr: u64, block_size: u64) {
+        let mut a = self.arenas[lane % self.arenas.len()].lock();
+        a.free.entry(block_size).or_default().push(block_hdr);
     }
 
     /// Undo a reservation that was never validated (error paths): the block
     /// header state is still free on media, so only volatile state changes.
-    pub(crate) fn unreserve(&mut self, block_hdr: u64, block_size: u64) {
-        self.release(block_hdr, block_size);
+    pub(crate) fn unreserve(&self, lane: usize, block_hdr: u64, block_size: u64) {
+        self.release(lane, block_hdr, block_size);
     }
 
-    pub(crate) fn note_alloc(&mut self, block_size: u64) {
-        self.live_bytes += block_size;
-        self.live_objects += 1;
+    /// Account a validated allocation (lock-free).
+    pub(crate) fn note_alloc(&self, block_size: u64) {
+        self.live_bytes.fetch_add(block_size, Ordering::Relaxed);
+        self.live_objects.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn note_free(&mut self, block_size: u64) {
-        self.live_bytes -= block_size;
-        self.live_objects -= 1;
+    /// Account a durable free (lock-free).
+    pub(crate) fn note_free(&self, block_size: u64) {
+        self.live_bytes.fetch_sub(block_size, Ordering::Relaxed);
+        self.live_objects.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Complete a free: account it and return the block to `lane`'s arena.
+    /// One arena lock total.
+    pub(crate) fn free_block(&self, lane: usize, block_hdr: u64, block_size: u64) {
+        self.note_free(block_size);
+        self.release(lane, block_hdr, block_size);
     }
 
     pub(crate) fn stats(&self) -> AllocStats {
         AllocStats {
-            live_bytes: self.live_bytes,
-            live_objects: self.live_objects,
-            high_water: self.high_water,
+            live_bytes: self.live_bytes.load(Ordering::Relaxed),
+            live_objects: self.live_objects.load(Ordering::Relaxed),
+            high_water: self.high_water.load(Ordering::Relaxed),
             heap_size: self.heap_end - self.heap_off,
         }
+    }
+
+    #[cfg(test)]
+    fn free_list_len(&self, block: u64) -> usize {
+        self.arenas
+            .iter()
+            .map(|a| a.lock().free.get(&block).map_or(0, Vec::len))
+            .sum()
+    }
+
+    #[cfg(test)]
+    fn wild_bytes(&self) -> u64 {
+        self.arenas.iter().map(|a| a.lock().wild_bytes()).sum()
     }
 }
 
@@ -200,61 +434,142 @@ mod tests {
     }
 
     #[test]
+    fn class_block_detection() {
+        for payload in [1u64, 16, 17, 100, 300, 4097] {
+            assert!(is_class_block(class_block_size(payload)));
+        }
+        assert!(!is_class_block(0));
+        assert!(!is_class_block(16)); // header alone is no block
+        assert!(!is_class_block(MAX_REFILL_CHUNK)); // chunks are not classes
+    }
+
+    #[test]
     fn reserve_carves_sequentially() {
         let pm = PmPool::new(PoolConfig::new(1 << 16));
-        let mut st = AllocState::new(0, 1 << 16);
-        let a = st.reserve(&pm, 16).unwrap();
-        let b = st.reserve(&pm, 16).unwrap();
-        assert_eq!(a, 0);
-        assert_eq!(b, 32);
+        let ar = Arenas::new(0, 1 << 16, 1);
+        let (a, asz) = ar.reserve(&pm, 0, 16).unwrap();
+        let (b, bsz) = ar.reserve(&pm, 0, 16).unwrap();
+        assert_eq!((a, asz), (0, 32));
+        assert_eq!((b, bsz), (32, 32));
         assert_eq!(read_u64(&pm, a + BH_SIZE).unwrap(), 32);
+        assert_eq!(read_u64(&pm, b + BH_SIZE).unwrap(), 32);
+    }
+
+    #[test]
+    fn sticky_lane_preserves_bump_layout_across_refills() {
+        // A single lane allocating through multiple refill chunks must see
+        // strictly adjacent blocks (contiguous span growth), exactly like
+        // the unsharded bump allocator.
+        let pm = PmPool::new(PoolConfig::new(1 << 20));
+        let ar = Arenas::new(0, 1 << 20, 4);
+        let mut expect = 0u64;
+        for _ in 0..200 {
+            let (off, size) = ar.reserve(&pm, 2, 100).unwrap();
+            assert_eq!(off, expect);
+            expect = off + size;
+        }
     }
 
     #[test]
     fn release_enables_reuse() {
         let pm = PmPool::new(PoolConfig::new(1 << 16));
-        let mut st = AllocState::new(0, 1 << 16);
-        let a = st.reserve(&pm, 100).unwrap();
-        st.release(a, class_block_size(100));
-        let b = st.reserve(&pm, 100).unwrap();
+        let ar = Arenas::new(0, 1 << 16, 1);
+        let (a, asz) = ar.reserve(&pm, 0, 100).unwrap();
+        ar.release(0, a, asz);
+        let (b, _) = ar.reserve(&pm, 0, 100).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn free_to_local_block_steals_back() {
+        // A block freed into lane 1's arena is found by lane 0 once the
+        // wilderness is gone (steal path).
+        let pm = PmPool::new(PoolConfig::new(1 << 16));
+        let ar = Arenas::new(0, 64, 2);
+        let (a, asz) = ar.reserve(&pm, 0, 16).unwrap();
+        let (_b, _) = ar.reserve(&pm, 0, 16).unwrap();
+        ar.release(1, a, asz);
+        let (c, _) = ar.reserve(&pm, 0, 16).unwrap();
+        assert_eq!(c, a);
     }
 
     #[test]
     fn oom_when_heap_exhausted() {
         let pm = PmPool::new(PoolConfig::new(1 << 16));
-        let mut st = AllocState::new(0, 64);
-        st.reserve(&pm, 16).unwrap();
-        st.reserve(&pm, 16).unwrap();
-        assert!(matches!(st.reserve(&pm, 16), Err(PmdkError::OutOfMemory { .. })));
+        let ar = Arenas::new(0, 64, 1);
+        ar.reserve(&pm, 0, 16).unwrap();
+        ar.reserve(&pm, 0, 16).unwrap();
+        assert!(matches!(ar.reserve(&pm, 0, 16), Err(PmdkError::OutOfMemory { .. })));
     }
 
     #[test]
     fn rebuild_reconstructs_lists_and_stats() {
         let pm = PmPool::new(PoolConfig::new(1 << 16));
-        let mut st = AllocState::new(0, 1 << 16);
-        let a = st.reserve(&pm, 16).unwrap();
-        let b = st.reserve(&pm, 16).unwrap();
-        let c = st.reserve(&pm, 100).unwrap();
+        let ar = Arenas::new(0, 1 << 16, 2);
+        let (a, asz) = ar.reserve(&pm, 0, 16).unwrap();
+        let (b, _bsz) = ar.reserve(&pm, 0, 16).unwrap();
+        let (c, csz) = ar.reserve(&pm, 0, 100).unwrap();
         // Mark a, c allocated durably; leave b free.
         for off in [a, c] {
             write_u64(&pm, off + BH_STATE, STATE_ALLOC).unwrap();
         }
-        let _ = b;
-        let small = class_block_size(16);
-        let big = class_block_size(100);
-        let re = AllocState::rebuild(&pm, 0, 1 << 16).unwrap();
-        assert_eq!(re.live_objects, 2);
-        assert_eq!(re.live_bytes, small + big);
-        assert_eq!(re.wilderness, 2 * small + big);
-        assert_eq!(re.free.get(&small).map(|v| v.len()), Some(1));
-        assert_eq!(re.high_water, 2 * small + big);
+        let cursor = ar.shared.lock().cursor;
+        let re = Arenas::rebuild(&pm, 0, 1 << 16, 2).unwrap();
+        let stats = re.stats();
+        assert_eq!(stats.live_objects, 2);
+        assert_eq!(stats.live_bytes, asz + csz);
+        // The refilled chunk is durable, so the rebuilt frontier and
+        // high-water are chunk-granular — identical to pre-crash.
+        assert_eq!(re.shared.lock().cursor, cursor);
+        assert_eq!(stats.high_water, cursor);
+        // b is back on a free list; the chunk remainder is a wild span.
+        assert_eq!(re.free_list_len(asz), 1);
+        assert_eq!(re.wild_bytes(), cursor - (asz + asz + csz));
+        // Round trip: the rebuilt allocator reuses b for a same-class ask.
+        let (again, _) = re.reserve(&pm, 0, 16).unwrap();
+        assert_eq!(again, b);
+    }
+
+    #[test]
+    fn rebuild_distributes_across_arenas() {
+        let pm = PmPool::new(PoolConfig::new(1 << 18));
+        let ar = Arenas::new(0, 1 << 18, 1);
+        let mut blocks = Vec::new();
+        for _ in 0..8 {
+            blocks.push(ar.reserve(&pm, 0, 64).unwrap());
+        }
+        // All eight stay durably free; rebuild across 4 arenas must spread
+        // them round-robin and still find every one.
+        let re = Arenas::rebuild(&pm, 0, 1 << 18, 4).unwrap();
+        assert_eq!(re.free_list_len(blocks[0].1), 8);
+        let per_arena: Vec<usize> = re
+            .arenas
+            .iter()
+            .map(|a| a.lock().free.values().map(Vec::len).sum())
+            .collect();
+        assert!(per_arena.iter().all(|&c| c == 2), "{per_arena:?}");
     }
 
     #[test]
     fn rebuild_rejects_corrupt_header() {
         let pm = PmPool::new(PoolConfig::new(1 << 16));
         write_u64(&pm, BH_SIZE, 17).unwrap(); // not multiple of 16
-        assert!(matches!(AllocState::rebuild(&pm, 0, 1 << 16), Err(PmdkError::BadPool(_))));
+        assert!(matches!(Arenas::rebuild(&pm, 0, 1 << 16, 1), Err(PmdkError::BadPool(_))));
+    }
+
+    #[test]
+    fn crash_after_refill_before_validation_loses_nothing() {
+        // Crash right after a reserve (refill + carve, nothing validated):
+        // the persisted chunk header keeps the frontier intact and the
+        // carved-but-unvalidated block comes back free.
+        let pm = PmPool::new(PoolConfig::new(1 << 16).mode(spp_pm::Mode::Tracked));
+        let ar = Arenas::new(0, 1 << 16, 1);
+        ar.reserve(&pm, 0, 16).unwrap();
+        let img = pm.crash_image(spp_pm::CrashSpec::DropUnpersisted);
+        let crashed = PmPool::from_image(img, PoolConfig::new(1 << 16));
+        let re = Arenas::rebuild(&crashed, 0, 1 << 16, 1).unwrap();
+        assert_eq!(re.stats().live_objects, 0);
+        assert_eq!(re.stats().high_water, ar.stats().high_water);
+        re.reserve(&crashed, 0, 16).unwrap();
     }
 }

@@ -1,21 +1,78 @@
 //! Lane management: each concurrent operation (atomic allocation or
 //! transaction) exclusively holds one lane, which owns a redo region and an
 //! undo region in PM. PMDK's design, minus the striping heuristics.
+//!
+//! Each thread has a sticky *preferred* lane (assigned round-robin at first
+//! use), tried first on every acquisition. The lane index also selects the
+//! thread's allocator arena, so stickiness is what gives a thread an
+//! (almost always) uncontended arena and, single-threaded, a bump-ordered
+//! heap layout. When the preferred lane is taken, acquisition rotates over
+//! the others with bounded exponential backoff, and finally parks on a
+//! condvar until some lane holder leaves — no unbounded spinning.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex as StdMutex, PoisonError};
+use std::time::Duration;
 
 use parking_lot::{Mutex, MutexGuard};
 
+/// Spin/backoff rounds before parking. Early rounds use cpu-relax hints,
+/// later ones yield the scheduler slice (which is what actually helps on
+/// oversubscribed cores).
+const SPIN_ROUNDS: u32 = 6;
+
+/// Process-wide ticket source for per-thread preferred lanes.
+static NEXT_TICKET: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static TICKET: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+fn thread_ticket() -> usize {
+    TICKET.with(|t| {
+        if t.get() == usize::MAX {
+            t.set(NEXT_TICKET.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
 pub(crate) struct Lanes {
     locks: Vec<Mutex<()>>,
-    next_hint: AtomicUsize,
+    /// Threads parked waiting for any lane (keeps the release path free of
+    /// condvar traffic while nobody waits).
+    waiters: AtomicUsize,
+    park: StdMutex<()>,
+    unpark: Condvar,
+}
+
+/// Exclusive hold of one lane. Dropping it releases the lane and wakes one
+/// parked waiter, if any.
+pub(crate) struct LaneGuard<'a> {
+    lanes: &'a Lanes,
+    held: Option<MutexGuard<'a, ()>>,
+}
+
+impl Drop for LaneGuard<'_> {
+    fn drop(&mut self) {
+        // Release the lane before waking anyone, so the woken thread's
+        // try_lock can succeed immediately.
+        self.held.take();
+        if self.lanes.waiters.load(Ordering::SeqCst) > 0 {
+            drop(self.lanes.park.lock());
+            self.lanes.unpark.notify_one();
+        }
+    }
 }
 
 impl Lanes {
     pub(crate) fn new(count: usize) -> Self {
         Lanes {
-            locks: (0..count).map(|_| Mutex::new(())).collect(),
-            next_hint: AtomicUsize::new(0),
+            locks: (0..count.max(1)).map(|_| Mutex::new(())).collect(),
+            waiters: AtomicUsize::new(0),
+            park: StdMutex::new(()),
+            unpark: Condvar::new(),
         }
     }
 
@@ -24,22 +81,60 @@ impl Lanes {
         self.locks.len()
     }
 
-    /// Acquire any free lane.
+    fn try_any(&self, start: usize) -> Option<(usize, LaneGuard<'_>)> {
+        for i in 0..self.locks.len() {
+            let idx = (start + i) % self.locks.len();
+            if let Some(guard) = self.locks[idx].try_lock() {
+                return Some((idx, LaneGuard { lanes: self, held: Some(guard) }));
+            }
+        }
+        None
+    }
+
+    /// Acquire any free lane, preferring the calling thread's sticky lane.
     ///
-    /// Lock-ordering note: acquisition spins across lanes rather than
+    /// Lock-ordering note: acquisition rotates across lanes rather than
     /// blocking on a fixed one, so a thread that already holds a lane (a
     /// transaction performing an atomic allocation) can never deadlock with
-    /// another such thread — some lane always frees up.
-    pub(crate) fn acquire(&self) -> (usize, MutexGuard<'_, ()>) {
-        let start = self.next_hint.fetch_add(1, Ordering::Relaxed) % self.locks.len();
-        loop {
-            for i in 0..self.locks.len() {
-                let idx = (start + i) % self.locks.len();
-                if let Some(guard) = self.locks[idx].try_lock() {
-                    return (idx, guard);
-                }
+    /// another such thread — some lane always frees up. Parking uses a
+    /// timeout for the same reason: a waiter must eventually re-scan even
+    /// if it misses a wakeup.
+    pub(crate) fn acquire(&self) -> (usize, LaneGuard<'_>) {
+        let pref = thread_ticket() % self.locks.len();
+        // Fast path: the sticky lane is free (the common case whenever
+        // threads <= lanes).
+        if let Some(guard) = self.locks[pref].try_lock() {
+            return (pref, LaneGuard { lanes: self, held: Some(guard) });
+        }
+        // Bounded spinning with exponential backoff.
+        for round in 0..SPIN_ROUNDS {
+            if let Some(got) = self.try_any(pref) {
+                return got;
             }
-            std::thread::yield_now();
+            if round < 2 {
+                for _ in 0..(1 << round) {
+                    std::hint::spin_loop();
+                }
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        // Park until a holder leaves.
+        loop {
+            self.waiters.fetch_add(1, Ordering::SeqCst);
+            // Re-scan after registering, or a release racing ahead of the
+            // registration could leave us asleep with a lane free.
+            if let Some(got) = self.try_any(pref) {
+                self.waiters.fetch_sub(1, Ordering::SeqCst);
+                return got;
+            }
+            let slot = self.park.lock().unwrap_or_else(PoisonError::into_inner);
+            let (slot, _timed_out) = self
+                .unpark
+                .wait_timeout(slot, Duration::from_micros(200))
+                .unwrap_or_else(PoisonError::into_inner);
+            drop(slot);
+            self.waiters.fetch_sub(1, Ordering::SeqCst);
         }
     }
 }
@@ -65,7 +160,18 @@ mod tests {
     }
 
     #[test]
+    fn sticky_lane_reused_when_free() {
+        let lanes = Lanes::new(4);
+        let (a, ga) = lanes.acquire();
+        drop(ga);
+        let (b, _gb) = lanes.acquire();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn concurrent_acquisition_makes_progress() {
+        // More threads than lanes: every acquisition must park and still
+        // complete.
         let lanes = Arc::new(Lanes::new(2));
         let mut handles = Vec::new();
         for _ in 0..8 {
@@ -80,5 +186,19 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn parked_waiter_wakes_on_release() {
+        let lanes = Arc::new(Lanes::new(1));
+        let (_idx, guard) = lanes.acquire();
+        let l2 = Arc::clone(&lanes);
+        let h = std::thread::spawn(move || {
+            let (_i, g) = l2.acquire();
+            drop(g);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        drop(guard);
+        h.join().unwrap();
     }
 }

@@ -8,7 +8,7 @@ use rand::RngExt;
 
 use spp_pm::PmPool;
 
-use crate::alloc::{AllocState, AllocStats, BH_SIZE, BH_STATE, BLOCK_HEADER_SIZE, STATE_ALLOC, STATE_FREE};
+use crate::alloc::{AllocStats, Arenas, BH_SIZE, BH_STATE, BLOCK_HEADER_SIZE, STATE_ALLOC, STATE_FREE};
 use crate::lane::Lanes;
 use crate::layout::{self, Header};
 use crate::oid::{OidDest, OidKind, PmemOid};
@@ -72,7 +72,7 @@ impl PoolOpts {
 pub struct ObjPool {
     pm: Arc<PmPool>,
     hdr: Header,
-    alloc: Mutex<AllocState>,
+    alloc: Arenas,
     lanes: Lanes,
     root_lock: Mutex<()>,
 }
@@ -105,11 +105,11 @@ impl ObjPool {
             )));
         }
         hdr.write_to(&pm)?;
-        let alloc = AllocState::new(hdr.heap_off, hdr.pool_size);
+        let alloc = Arenas::new(hdr.heap_off, hdr.pool_size, opts.lane_count);
         Ok(ObjPool {
             pm,
             hdr,
-            alloc: Mutex::new(alloc),
+            alloc,
             lanes: Lanes::new(opts.lane_count),
             root_lock: Mutex::new(()),
         })
@@ -162,11 +162,11 @@ impl ObjPool {
             }
         }
         // Phase 3: rebuild the heap's volatile state.
-        let alloc = AllocState::rebuild(&pm, hdr.heap_off, hdr.pool_size)?;
+        let alloc = Arenas::rebuild(&pm, hdr.heap_off, hdr.pool_size, hdr.lane_count as usize)?;
         Ok(ObjPool {
             pm,
             hdr,
-            alloc: Mutex::new(alloc),
+            alloc,
             lanes: Lanes::new(hdr.lane_count as usize),
             root_lock: Mutex::new(()),
         })
@@ -197,7 +197,7 @@ impl ObjPool {
 
     /// Current allocator statistics (space accounting for Table III).
     pub fn stats(&self) -> AllocStats {
-        self.alloc.lock().stats()
+        self.alloc.stats()
     }
 
     // ---- raw data access (pool-relative) ----
@@ -320,8 +320,7 @@ impl ObjPool {
             return Err(PmdkError::BadAllocSize(size));
         }
         let (lane, _guard) = self.lanes.acquire();
-        let block = self.alloc.lock().reserve(&self.pm, size)?;
-        let block_size = self.read_u64(block + BH_SIZE)?;
+        let (block, block_size) = self.alloc.reserve(&self.pm, lane, size)?;
         let payload = block + BLOCK_HEADER_SIZE;
         if zero {
             self.pm.fill(payload, 0, size as usize)?;
@@ -331,10 +330,10 @@ impl ObjPool {
         let entries = self.publish_entries(block, dest, Some(oid), size);
         let redo = RedoLog::new(self.hdr.redo_off(lane), self.hdr.redo_slots);
         if let Err(e) = redo.commit(&self.pm, &entries) {
-            self.alloc.lock().unreserve(block, block_size);
+            self.alloc.unreserve(lane, block, block_size);
             return Err(e);
         }
-        self.alloc.lock().note_alloc(block_size);
+        self.alloc.note_alloc(block_size);
         Ok(oid)
     }
 
@@ -418,9 +417,7 @@ impl ObjPool {
         let (lane, _guard) = self.lanes.acquire();
         let entries = self.publish_entries(block, dest, None, 0);
         RedoLog::new(self.hdr.redo_off(lane), self.hdr.redo_slots).commit(&self.pm, &entries)?;
-        let mut a = self.alloc.lock();
-        a.note_free(block_size);
-        a.release(block, block_size);
+        self.alloc.free_block(lane, block, block_size);
         Ok(())
     }
 
@@ -452,8 +449,7 @@ impl ObjPool {
             }
             return Ok(new_oid);
         }
-        let new_block = self.alloc.lock().reserve(&self.pm, new_size)?;
-        let new_block_size = self.read_u64(new_block + BH_SIZE)?;
+        let (new_block, new_block_size) = self.alloc.reserve(&self.pm, lane, new_size)?;
         let new_payload = new_block + BLOCK_HEADER_SIZE;
         // Copy the surviving prefix before validation.
         let copy_len = (old_block_size - BLOCK_HEADER_SIZE).min(new_size);
@@ -468,13 +464,11 @@ impl ObjPool {
         entries.push((dest.off + 8, new_oid.off));
         entries.push((old_block + BH_STATE, STATE_FREE));
         if let Err(e) = redo.commit(&self.pm, &entries) {
-            self.alloc.lock().unreserve(new_block, new_block_size);
+            self.alloc.unreserve(lane, new_block, new_block_size);
             return Err(e);
         }
-        let mut a = self.alloc.lock();
-        a.note_alloc(new_block_size);
-        a.note_free(old_block_size);
-        a.release(old_block, old_block_size);
+        self.alloc.note_alloc(new_block_size);
+        self.alloc.free_block(lane, old_block, old_block_size);
         Ok(new_oid)
     }
 
@@ -626,7 +620,7 @@ impl ObjPool {
         &self.hdr
     }
 
-    pub(crate) fn alloc_state(&self) -> &Mutex<AllocState> {
+    pub(crate) fn arenas(&self) -> &Arenas {
         &self.alloc
     }
 }

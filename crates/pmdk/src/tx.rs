@@ -2,7 +2,7 @@
 
 use std::collections::HashSet;
 
-use crate::alloc::{BH_SIZE, BH_STATE, BLOCK_HEADER_SIZE, STATE_ALLOC, STATE_FREE};
+use crate::alloc::{BH_STATE, BLOCK_HEADER_SIZE, STATE_ALLOC, STATE_FREE};
 use crate::layout::write_u64;
 use crate::oid::PmemOid;
 use crate::pool::ObjPool;
@@ -116,11 +116,10 @@ impl<'p> Tx<'p> {
             return Err(PmdkError::BadAllocSize(size));
         }
         let pm = self.pool.pm();
-        let block = self.pool.alloc_state().lock().reserve(pm, size)?;
-        let block_size = self.pool.read_u64(block + BH_SIZE)?;
+        let (block, block_size) = self.pool.arenas().reserve(pm, self.lane, size)?;
         // Log first: a crash from here on rolls the allocation back.
         if let Err(e) = self.ulog.append_alloc(pm, block) {
-            self.pool.alloc_state().lock().unreserve(block, block_size);
+            self.pool.arenas().unreserve(self.lane, block, block_size);
             return Err(e);
         }
         let payload = block + BLOCK_HEADER_SIZE;
@@ -133,7 +132,7 @@ impl<'p> Tx<'p> {
         if pm.mode() == spp_pm::Mode::Tracked {
             pm.mark(format!("tx_alloc:{block}:{block_size}"));
         }
-        self.pool.alloc_state().lock().note_alloc(block_size);
+        self.pool.arenas().note_alloc(block_size);
         self.allocs.push((block, block_size));
         Ok(PmemOid::new(self.pool.uuid(), payload, size))
     }
@@ -172,9 +171,7 @@ impl<'p> Tx<'p> {
         let redo = RedoLog::new(self.pool.hdr().redo_off(self.lane), self.pool.hdr().redo_slots);
         for &(block, block_size) in &self.frees {
             redo.commit(pm, &[(block + BH_STATE, STATE_FREE)])?;
-            let mut a = self.pool.alloc_state().lock();
-            a.note_free(block_size);
-            a.release(block, block_size);
+            self.pool.arenas().free_block(self.lane, block, block_size);
         }
         // 4. Done.
         self.ulog.clear(pm)
@@ -186,9 +183,7 @@ impl<'p> Tx<'p> {
         for &(block, block_size) in &self.allocs {
             write_u64(pm, block + BH_STATE, STATE_FREE)?;
             pm.persist(block + BH_STATE, 8)?;
-            let mut a = self.pool.alloc_state().lock();
-            a.note_free(block_size);
-            a.release(block, block_size);
+            self.pool.arenas().free_block(self.lane, block, block_size);
         }
         self.ulog.clear(pm)
     }

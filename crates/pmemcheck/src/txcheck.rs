@@ -9,6 +9,14 @@
 //! heap stores in `[tx_begin, tx_commit)` windows against them. Coverage is
 //! resolved per-window *after* collecting all marks, because allocator
 //! reservations touch block headers a moment before their mark is emitted.
+//!
+//! Allocator wilderness maintenance (carving a block out of a span, chunk
+//! refills) rewrites free-block headers; those stores arrive under
+//! `heap_hdr:<off>:<len>` marks and are exempt: they only ever describe
+//! *free* space, keep the header chain valid at every crash point by
+//! construction (successor header persisted before a span shrinks), and
+//! need no undo — rollback of the enclosing transaction leaves them behind
+//! as correct free-space bookkeeping, exactly like PMDK's heap micro-ops.
 
 use spp_pm::{EventLog, PmEvent};
 
@@ -73,6 +81,7 @@ impl TxChecker {
                         }
                         if let Some(range) = parse_range(label, "tx_add:")
                             .or_else(|| parse_range(label, "tx_alloc:"))
+                            .or_else(|| parse_range(label, "heap_hdr:"))
                         {
                             covered.push(range);
                         }
