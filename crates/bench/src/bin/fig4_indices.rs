@@ -46,7 +46,7 @@ fn bench_structure(
     pool_bytes: u64,
     runner: impl Fn(Variant, &[u64], u64) -> OpTimes,
 ) {
-    let keys = uniform_keys(n, 0xF16_4);
+    let keys = uniform_keys(n, 0xF164);
     let base = runner(Variant::Pmdk, &keys, pool_bytes);
     let safepm = runner(Variant::SafePm, &keys, pool_bytes);
     let spp = runner(Variant::Spp, &keys, pool_bytes);

@@ -2,11 +2,19 @@
 //! four db_bench workload mixes and a thread sweep. 16-byte keys,
 //! 1024-byte values, store preloaded before measurement.
 //!
-//! Usage: `fig5_pmemkv [--preload 100000] [--ops 100000] [--threads 1,2,4,8] [--quick]`
+//! Usage: `fig5_pmemkv [--preload 100000] [--ops 100000] [--threads 1,2,4,8]
+//!                     [--pool-mb 1536] [--quick] [--smoke]`
+//!
+//! `--smoke` is the CI mode: a seconds-long run whose numbers are not
+//! meaningful, used to prove the harness end-to-end. Every run also writes
+//! machine-readable results to `results/BENCH_fig5_pmemkv.json`.
 
 use std::sync::Arc;
 
-use spp_bench::{banner, fresh_pool, pmdk_policy, safepm_policy, slowdown, spp_policy, Args, Variant};
+use spp_bench::{
+    banner, fresh_pool, pmdk_policy, safepm_policy, slowdown, spp_policy, write_results, Args,
+    Json, Variant,
+};
 use spp_core::{MemoryPolicy, TagConfig};
 use spp_kvstore::workload::{preload, run_mix, Mix, WorkloadConfig};
 use spp_kvstore::KvStore;
@@ -24,12 +32,16 @@ fn throughput<P: MemoryPolicy>(
 
 fn main() {
     let args = Args::parse();
-    let quick = args.flag("quick");
-    let preload_keys: u64 = args.get("preload", if quick { 2_000 } else { 100_000 });
-    let ops: u64 = args.get("ops", if quick { 5_000 } else { 100_000 });
-    let threads_csv: String = args.get("threads", "1,2,4,8".to_string());
+    let smoke = args.flag("smoke");
+    let quick = args.flag("quick") || smoke;
+    let preload_keys: u64 =
+        args.get("preload", if smoke { 500 } else if quick { 2_000 } else { 100_000 });
+    let ops: u64 = args.get("ops", if smoke { 1_000 } else if quick { 5_000 } else { 100_000 });
+    let threads_csv: String =
+        args.get("threads", if smoke { "1,2".to_string() } else { "1,2,4,8".to_string() });
     let threads: Vec<u64> = threads_csv.split(',').filter_map(|t| t.parse().ok()).collect();
-    let pool_bytes: u64 = args.get("pool-mb", if quick { 256u64 } else { 1536 }) << 20;
+    let pool_bytes: u64 =
+        args.get("pool-mb", if smoke { 64u64 } else if quick { 256 } else { 1536 }) << 20;
 
     banner("Figure 5: pmemkv throughput — slowdown w.r.t. native PMDK");
     println!("preload={preload_keys} ops={ops} value=1024B (single-core host: thread");
@@ -37,6 +49,7 @@ fn main() {
     println!();
 
     let cfg = WorkloadConfig { preload_keys, ops, value_size: 1024, seed: 7 };
+    let mut rows = Vec::new();
     for mix in Mix::all() {
         println!("{}", mix.label());
         for &t in &threads {
@@ -51,15 +64,40 @@ fn main() {
                     mix,
                     t,
                 );
+            let pmdk_ops = ops as f64 / base;
+            let safepm_x = slowdown(safepm, base);
+            let spp_x = slowdown(spp, base);
             println!(
-                "  threads={t:<3} PMDK {:>10.0} ops/s   SafePM {:>5.2}x   SPP {:>5.2}x",
-                ops as f64 / base,
-                slowdown(safepm, base),
-                slowdown(spp, base),
+                "  threads={t:<3} PMDK {pmdk_ops:>10.0} ops/s   SafePM {safepm_x:>5.2}x   SPP {spp_x:>5.2}x",
             );
+            rows.push(Json::Obj(vec![
+                ("mix", Json::Str(mix.label().to_string())),
+                ("threads", Json::Int(t)),
+                ("pmdk_ops_per_s", Json::Num(pmdk_ops)),
+                ("safepm_slowdown", Json::Num(safepm_x)),
+                ("spp_slowdown", Json::Num(spp_x)),
+            ]));
         }
         let _ = Variant::ALL; // figure order documented in the lib
     }
     println!();
     println!("(paper: SPP average 18.3% slowdown across mixes; SafePM 84.4%)");
+
+    let doc = Json::Obj(vec![
+        ("bench", Json::Str("fig5_pmemkv".to_string())),
+        ("smoke", Json::Bool(smoke)),
+        (
+            "config",
+            Json::Obj(vec![
+                ("preload", Json::Int(preload_keys)),
+                ("ops", Json::Int(ops)),
+                ("value_size", Json::Int(1024)),
+                ("pool_bytes", Json::Int(pool_bytes)),
+                ("threads", Json::Arr(threads.iter().map(|&t| Json::Int(t)).collect())),
+            ]),
+        ),
+        ("results", Json::Arr(rows)),
+    ]);
+    let path = write_results("fig5_pmemkv", &doc);
+    println!("results written to {}", path.display());
 }

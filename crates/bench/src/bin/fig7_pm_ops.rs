@@ -1,11 +1,18 @@
 //! Fig. 7: slowdown of SPP for PM management operations (atomic and
 //! transactional alloc / free / realloc) across object sizes.
 //!
-//! Usage: `fig7_pm_ops [--ops 10000] [--quick]`
+//! Usage: `fig7_pm_ops [--ops 10000] [--quick] [--smoke]`
+//!
+//! `--smoke` is the CI mode: a seconds-long run whose numbers are not
+//! meaningful, used to prove the harness end-to-end. Every run also writes
+//! machine-readable results to `results/BENCH_fig7_pm_ops.json`.
 
 use std::sync::Arc;
 
-use spp_bench::{banner, fresh_pool, pmdk_policy, slowdown, spp_policy, timed, warm_pool, Args};
+use spp_bench::{
+    banner, fresh_pool, pmdk_policy, slowdown, spp_policy, timed, warm_pool, write_results, Args,
+    Json,
+};
 use spp_core::{MemoryPolicy, TagConfig};
 use spp_pmdk::PmemOid;
 
@@ -81,12 +88,14 @@ fn run_ops<P: MemoryPolicy>(p: &Arc<P>, size: u64, ops: u64) -> OpSet {
 
 fn main() {
     let args = Args::parse();
-    let quick = args.flag("quick");
-    let ops: u64 = args.get("ops", if quick { 1_000 } else { 10_000 });
+    let smoke = args.flag("smoke");
+    let quick = args.flag("quick") || smoke;
+    let reps = if smoke { 2 } else { 5 };
+    let ops: u64 = args.get("ops", if smoke { 200 } else if quick { 1_000 } else { 10_000 });
     // Enough heap for ops live objects of the largest class plus the
     // non-coalescing residue of the realloc phase (old 16 KiB-class blocks
     // cannot serve the grown requests).
-    let pool_bytes: u64 = (ops * 50 * 1024).max(256 << 20);
+    let pool_bytes: u64 = (ops * 50 * 1024).max(if smoke { 64 << 20 } else { 256 << 20 });
 
     banner("Figure 7: PM management operations — SPP slowdown w.r.t. PMDK");
     println!("ops={ops} per operation type");
@@ -95,6 +104,7 @@ fn main() {
         "{:<8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "size", "at.alloc", "at.free", "at.realloc", "tx.alloc", "tx.free", "tx.realloc"
     );
+    let mut rows = Vec::new();
     for (size, label) in SIZES {
         let pool_a = fresh_pool(pool_bytes, 4);
         warm_pool(&pool_a);
@@ -104,7 +114,6 @@ fn main() {
         // warm-up hit both symmetrically); per-field medians.
         let pmdk = pmdk_policy(pool_a);
         let spp_p = spp_policy(pool_b, TagConfig::default());
-        let reps = 5;
         let mut base_sets = Vec::with_capacity(reps);
         let mut spp_sets = Vec::with_capacity(reps);
         for _ in 0..reps {
@@ -128,17 +137,42 @@ fn main() {
             tx_free: pick(&spp_sets, |s| s.tx_free),
             tx_realloc: pick(&spp_sets, |s| s.tx_realloc),
         };
+        let at_alloc = slowdown(spp.atomic_alloc, base.atomic_alloc);
+        let at_free = slowdown(spp.atomic_free, base.atomic_free);
+        let at_realloc = slowdown(spp.atomic_realloc, base.atomic_realloc);
+        let txa = slowdown(spp.tx_alloc, base.tx_alloc);
+        let txf = slowdown(spp.tx_free, base.tx_free);
+        let txr = slowdown(spp.tx_realloc, base.tx_realloc);
         println!(
-            "{:<8} {:>11.2}x {:>11.2}x {:>11.2}x {:>11.2}x {:>11.2}x {:>11.2}x",
-            label,
-            slowdown(spp.atomic_alloc, base.atomic_alloc),
-            slowdown(spp.atomic_free, base.atomic_free),
-            slowdown(spp.atomic_realloc, base.atomic_realloc),
-            slowdown(spp.tx_alloc, base.tx_alloc),
-            slowdown(spp.tx_free, base.tx_free),
-            slowdown(spp.tx_realloc, base.tx_realloc),
+            "{label:<8} {at_alloc:>11.2}x {at_free:>11.2}x {at_realloc:>11.2}x \
+             {txa:>11.2}x {txf:>11.2}x {txr:>11.2}x",
         );
+        rows.push(Json::Obj(vec![
+            ("size", Json::Int(size)),
+            ("atomic_alloc_slowdown", Json::Num(at_alloc)),
+            ("atomic_free_slowdown", Json::Num(at_free)),
+            ("atomic_realloc_slowdown", Json::Num(at_realloc)),
+            ("tx_alloc_slowdown", Json::Num(txa)),
+            ("tx_free_slowdown", Json::Num(txf)),
+            ("tx_realloc_slowdown", Json::Num(txr)),
+        ]));
     }
     println!();
     println!("(paper: 1-8% slowdown for most operations, 7-17% for atomic free)");
+
+    let doc = Json::Obj(vec![
+        ("bench", Json::Str("fig7_pm_ops".to_string())),
+        ("smoke", Json::Bool(smoke)),
+        (
+            "config",
+            Json::Obj(vec![
+                ("ops", Json::Int(ops)),
+                ("reps", Json::Int(reps as u64)),
+                ("pool_bytes", Json::Int(pool_bytes)),
+            ]),
+        ),
+        ("results", Json::Arr(rows)),
+    ]);
+    let path = write_results("fig7_pm_ops", &doc);
+    println!("results written to {}", path.display());
 }

@@ -144,3 +144,83 @@ pub fn banner(title: &str) {
     println!("{title}");
     println!("==================================================================");
 }
+
+/// A minimal JSON value (the workspace vendors no serde; the benchmark
+/// binaries only need to *emit* results, never parse them).
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A number; non-finite values render as `null`.
+    Num(f64),
+    /// An unsigned integer (rendered without a fraction).
+    Int(u64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    /// Serialise to compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Num(v) if v.is_finite() => out.push_str(&format!("{v}")),
+            Json::Num(_) => out.push_str("null"),
+            Json::Int(v) => out.push_str(&format!("{v}")),
+            Json::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str((*k).to_string()).render_into(out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Write a benchmark result document to `results/BENCH_<name>.json`
+/// (creating `results/` under the current directory) and return the path.
+pub fn write_results(name: &str, doc: &Json) -> std::path::PathBuf {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results/");
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, doc.render() + "\n").expect("write results json");
+    path
+}

@@ -168,14 +168,11 @@ mod string_bug {
         // Native PMDK lets the overflowing copy happen (corrupting the
         // neighbouring allocation); any failure surfaces only later and
         // only as a plain fault — never as a *detection*.
-        match s.append_unchecked("ABCDEFGHIJKLMNOP") {
-            // The overflow itself always goes through; what varies is how
-            // much collateral damage (corrupted neighbouring allocator
-            // metadata, lost terminators) blows up afterwards.
-            Err(SppError::OverflowDetected { .. }) => {
-                panic!("native PMDK must not *detect* the overflow")
-            }
-            _ => {}
+        // The overflow itself always goes through; what varies is how much
+        // collateral damage (corrupted neighbouring allocator metadata,
+        // lost terminators) blows up afterwards.
+        if let Err(SppError::OverflowDetected { .. }) = s.append_unchecked("ABCDEFGHIJKLMNOP") {
+            panic!("native PMDK must not *detect* the overflow")
         }
     }
 }

@@ -154,6 +154,37 @@ mod tests {
     }
 
     #[test]
+    fn memmove_overlapping_ranges() {
+        // Regression: memmove used to stage the whole range in one volatile
+        // buffer; the chunked copy must stay overlap-safe in both
+        // directions, including across its 4096-byte chunk boundary.
+        let p = policy();
+        let n = 12 * 1024usize;
+        let oid = p.zalloc(n as u64).unwrap();
+        let ptr = p.direct(oid);
+        let mut mirror: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+        p.store(ptr, &mirror).unwrap();
+
+        // Destination starts inside the source range: backward copy.
+        p.memmove(p.gep(ptr, 5000), ptr, 7000).unwrap();
+        mirror.copy_within(0..7000, 5000);
+        let mut got = vec![0u8; n];
+        p.load(ptr, &mut got).unwrap();
+        assert_eq!(got, mirror);
+
+        // Destination below the source, still overlapping: forward copy.
+        p.memmove(ptr, p.gep(ptr, 5000), 7000).unwrap();
+        mirror.copy_within(5000..12_000, 0);
+        p.load(ptr, &mut got).unwrap();
+        assert_eq!(got, mirror);
+
+        // Exact self-copy is a no-op.
+        p.memmove(ptr, ptr, n as u64).unwrap();
+        p.load(ptr, &mut got).unwrap();
+        assert_eq!(got, mirror);
+    }
+
+    #[test]
     fn tx_helpers() {
         let p = policy();
         let oid = p.zalloc(64).unwrap();

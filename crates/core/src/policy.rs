@@ -318,8 +318,10 @@ pub trait MemoryPolicy: Send + Sync {
         copy_pool_bytes(self.pool(), s, d, n)
     }
 
-    /// Wrapped `memmove` (overlap-safe; our chunked copy buffers through
-    /// volatile memory, so it degenerates to `memcpy` semantics).
+    /// Wrapped `memmove`: overlap-safe chunked copy. Copies forward when
+    /// the destination starts below the source (or the ranges are
+    /// disjoint) and backward otherwise, so each chunk is read before any
+    /// write can clobber it — no full-range staging buffer.
     ///
     /// # Errors
     ///
@@ -330,11 +332,7 @@ pub trait MemoryPolicy: Send + Sync {
         }
         let s = self.resolve(src, n)?;
         let d = self.resolve(dst, n)?;
-        // Buffer the whole range to preserve overlap semantics.
-        let mut buf = vec![0u8; n as usize];
-        self.pool().read(s, &mut buf)?;
-        self.pool().write(d, &buf)?;
-        Ok(())
+        move_pool_bytes(self.pool(), s, d, n)
     }
 
     /// Wrapped `memset`.
@@ -429,6 +427,37 @@ fn copy_pool_bytes(pool: &ObjPool, src: u64, dst: u64, n: u64) -> Result<()> {
         pool.read(src + done, &mut buf[..chunk])?;
         pool.write(dst + done, &buf[..chunk])?;
         done += chunk as u64;
+    }
+    Ok(())
+}
+
+/// Chunked overlap-safe pool-to-pool copy (`memmove` semantics).
+///
+/// Direction rule: a forward copy reads each source chunk before the copy
+/// front reaches it, which is only safe when the destination starts below
+/// the source or the ranges are disjoint; when the destination starts
+/// inside the source range, the copy runs backward from the tail instead.
+fn move_pool_bytes(pool: &ObjPool, src: u64, dst: u64, n: u64) -> Result<()> {
+    if src == dst {
+        return Ok(());
+    }
+    let mut buf = [0u8; 4096];
+    if dst < src || dst >= src + n {
+        let mut done = 0u64;
+        while done < n {
+            let chunk = (n - done).min(4096) as usize;
+            pool.read(src + done, &mut buf[..chunk])?;
+            pool.write(dst + done, &buf[..chunk])?;
+            done += chunk as u64;
+        }
+    } else {
+        let mut left = n;
+        while left > 0 {
+            let chunk = left.min(4096) as usize;
+            left -= chunk as u64;
+            pool.read(src + left, &mut buf[..chunk])?;
+            pool.write(dst + left, &buf[..chunk])?;
+        }
     }
     Ok(())
 }

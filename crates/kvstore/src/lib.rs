@@ -120,7 +120,10 @@ impl<P: MemoryPolicy> KvStore<P> {
     fn bucket_of(&self, key: &[u8]) -> (u64, usize) {
         let h = Self::hash(key);
         let b = h % self.nbuckets;
-        (b, (h as usize) % LOCK_STRIPES)
+        // Stripe from the *upper* hash bits: the bucket index consumes the
+        // low bits, so reusing them would lock-correlate neighbouring
+        // buckets whenever LOCK_STRIPES shares factors with nbuckets.
+        (b, (h >> 54) as usize % LOCK_STRIPES)
     }
 
     fn bucket_field(&self, b: u64) -> u64 {

@@ -101,8 +101,8 @@ pub fn kmeans<P: MemoryPolicy>(policy: &Arc<P>, cfg: &PhoenixConfig) -> Result<u
     // Initial centroids: the first K points.
     let mut centroids = vec![[0u64; KDIM as usize]; KCLUSTERS];
     for (c, centroid) in centroids.iter_mut().enumerate() {
-        for d in 0..KDIM as usize {
-            centroid[d] =
+        for (d, coord) in centroid.iter_mut().enumerate() {
+            *coord =
                 policy.load_u64(policy.gep(base, ((c as u64 * KDIM + d as u64) * 8) as i64))?;
         }
     }

@@ -32,17 +32,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("p            = {p:?}");
     let near_end = p.offset(41);
     println!("p + 41       = {near_end:?}");
-    near_end.store(&[b'!'])?; // last byte: fine
+    near_end.store(b"!")?; // last byte: fine
     let past = p.offset(42);
     println!("p + 42       = {past:?} (overflow bit set)");
-    match past.store(&[b'X']) {
+    match past.store(b"X") {
         Err(SppError::OverflowDetected { mechanism, .. }) => {
             println!("store through p+42 detected by {mechanism} ✓")
         }
         other => println!("unexpected: {other:?}"),
     }
     // Walking back in bounds revalidates the pointer.
-    past.offset(-1).store(&[b'!'])?;
+    past.offset(-1).store(b"!")?;
     println!("p + 42 - 1 store succeeded (pointer revalidated) ✓");
 
     // 5. Persist and crash. Unflushed data is lost; the oid (published via
