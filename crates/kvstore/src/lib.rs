@@ -120,10 +120,14 @@ impl<P: MemoryPolicy> KvStore<P> {
     fn bucket_of(&self, key: &[u8]) -> (u64, usize) {
         let h = Self::hash(key);
         let b = h % self.nbuckets;
-        // Stripe from the *upper* hash bits: the bucket index consumes the
-        // low bits, so reusing them would lock-correlate neighbouring
-        // buckets whenever LOCK_STRIPES shares factors with nbuckets.
-        (b, (h >> 54) as usize % LOCK_STRIPES)
+        // The stripe must be a pure function of the bucket index: the stripe
+        // lock is the only synchronization for a bucket chain, so two keys
+        // that collide into one bucket must take the same lock. Mix b with a
+        // Fibonacci constant and keep the upper bits so neighbouring buckets
+        // still spread across stripes when LOCK_STRIPES shares factors with
+        // nbuckets.
+        let stripe = (b.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 54) as usize % LOCK_STRIPES;
+        (b, stripe)
     }
 
     fn bucket_field(&self, b: u64) -> u64 {
@@ -357,6 +361,45 @@ mod tests {
             out.clear();
             assert!(kv.get(&key(t * 1000), &mut out).unwrap());
             assert_eq!(out, vec![t as u8; 64]);
+        }
+    }
+
+    #[test]
+    fn same_bucket_keys_share_a_stripe() {
+        // The stripe lock is the only synchronization for a bucket chain, so
+        // stripe must be a pure function of the bucket index.
+        let kv = spp_store(1 << 22, 7); // odd nbuckets: many distinct hashes per bucket
+        let mut stripe_for_bucket = std::collections::HashMap::new();
+        for i in 0..10_000u64 {
+            let (b, s) = kv.bucket_of(&key(i));
+            let prev = *stripe_for_bucket.entry(b).or_insert(s);
+            assert_eq!(prev, s, "bucket {b} mapped to stripes {prev} and {s}");
+        }
+    }
+
+    #[test]
+    fn concurrent_same_bucket_writers_lose_no_inserts() {
+        // With only 2 buckets every thread collides; under broken striping
+        // concurrent chain-head prepends race and drop inserts.
+        let kv = Arc::new(spp_store(1 << 24, 2));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let kv = Arc::clone(&kv);
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        kv.put(&key(t * 1000 + i), &[t as u8; 32]).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(kv.count().unwrap(), 400);
+        let mut out = Vec::new();
+        for t in 0..4u64 {
+            for i in 0..100u64 {
+                out.clear();
+                assert!(kv.get(&key(t * 1000 + i), &mut out).unwrap(), "lost key {t}/{i}");
+                assert_eq!(out, vec![t as u8; 32]);
+            }
         }
     }
 
