@@ -17,9 +17,15 @@ fn bench_tag_ops(c: &mut Criterion) {
     let cfg = TagConfig::default();
     let p = cfg.make_tagged(0x1000, 4096);
     let mut g = c.benchmark_group("tag_ops");
-    g.bench_function("make_tagged", |b| b.iter(|| cfg.make_tagged(black_box(0x1000), black_box(4096))));
-    g.bench_function("offset", |b| b.iter(|| cfg.offset(black_box(p), black_box(8))));
-    g.bench_function("check_bound", |b| b.iter(|| cfg.check_bound(black_box(p), black_box(8))));
+    g.bench_function("make_tagged", |b| {
+        b.iter(|| cfg.make_tagged(black_box(0x1000), black_box(4096)))
+    });
+    g.bench_function("offset", |b| {
+        b.iter(|| cfg.offset(black_box(p), black_box(8)))
+    });
+    g.bench_function("check_bound", |b| {
+        b.iter(|| cfg.check_bound(black_box(p), black_box(8)))
+    });
     g.bench_function("clean_tag", |b| b.iter(|| cfg.clean_tag(black_box(p))));
     g.finish();
 }
@@ -33,17 +39,23 @@ fn bench_policy_access(c: &mut Criterion) {
     let pmdk = pmdk_policy(fresh_pool(1 << 22, 2));
     let oid = pmdk.zalloc(4096).unwrap();
     let ptr = pmdk.direct(oid);
-    g.bench_function("load_u64/PMDK", |b| b.iter(|| pmdk.load_u64(black_box(ptr)).unwrap()));
+    g.bench_function("load_u64/PMDK", |b| {
+        b.iter(|| pmdk.load_u64(black_box(ptr)).unwrap())
+    });
 
     let spp = spp_policy(fresh_pool(1 << 22, 2), TagConfig::default());
     let oid = spp.zalloc(4096).unwrap();
     let ptr = spp.direct(oid);
-    g.bench_function("load_u64/SPP", |b| b.iter(|| spp.load_u64(black_box(ptr)).unwrap()));
+    g.bench_function("load_u64/SPP", |b| {
+        b.iter(|| spp.load_u64(black_box(ptr)).unwrap())
+    });
 
     let safepm = safepm_policy(fresh_pool(1 << 22, 2));
     let oid = safepm.zalloc(4096).unwrap();
     let ptr = safepm.direct(oid);
-    g.bench_function("load_u64/SafePM", |b| b.iter(|| safepm.load_u64(black_box(ptr)).unwrap()));
+    g.bench_function("load_u64/SafePM", |b| {
+        b.iter(|| safepm.load_u64(black_box(ptr)).unwrap())
+    });
     g.finish();
 }
 
@@ -67,11 +79,18 @@ fn bench_ctree(c: &mut Criterion) {
         b.iter(|| insert_get(pmdk_policy(fresh_pool(64 << 20, 2)), keys))
     });
     g.bench_with_input(BenchmarkId::new("insert_get", "SPP"), &keys, |b, keys| {
-        b.iter(|| insert_get(spp_policy(fresh_pool(64 << 20, 2), TagConfig::default()), keys))
+        b.iter(|| {
+            insert_get(
+                spp_policy(fresh_pool(64 << 20, 2), TagConfig::default()),
+                keys,
+            )
+        })
     });
-    g.bench_with_input(BenchmarkId::new("insert_get", "SafePM"), &keys, |b, keys| {
-        b.iter(|| insert_get(safepm_policy(fresh_pool(64 << 20, 2)), keys))
-    });
+    g.bench_with_input(
+        BenchmarkId::new("insert_get", "SafePM"),
+        &keys,
+        |b, keys| b.iter(|| insert_get(safepm_policy(fresh_pool(64 << 20, 2)), keys)),
+    );
     g.finish();
 }
 
@@ -102,5 +121,11 @@ fn bench_pm_ops(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tag_ops, bench_policy_access, bench_ctree, bench_pm_ops);
+criterion_group!(
+    benches,
+    bench_tag_ops,
+    bench_policy_access,
+    bench_ctree,
+    bench_pm_ops
+);
 criterion_main!(benches);

@@ -10,9 +10,7 @@ use std::time::Instant;
 
 use spp_bench::{banner, Args};
 use spp_core::TagConfig;
-use spp_instrument::{
-    hoist_loop_checks, spp_transform, Function, Inst, Operand, Stmt, Vm, VmMode,
-};
+use spp_instrument::{hoist_loop_checks, spp_transform, Function, Inst, Operand, Stmt, Vm, VmMode};
 use spp_pm::{PmPool, PoolConfig};
 use spp_pmdk::{ObjPool, PoolOpts};
 
@@ -24,15 +22,33 @@ fn walk_program(iters: u64) -> Function {
     // One volatile pointer in the mix so pointer tracking has something to
     // prune.
     let vol = f.reg();
-    f.push(Inst::AllocPm { dst: p, size: Operand::Const((iters + 1) * 8) });
-    f.push(Inst::AllocVol { dst: vol, size: Operand::Const(64) });
-    f.push(Inst::Store { ptr: vol, value: Operand::Const(1), size: 8 });
+    f.push(Inst::AllocPm {
+        dst: p,
+        size: Operand::Const((iters + 1) * 8),
+    });
+    f.push(Inst::AllocVol {
+        dst: vol,
+        size: Operand::Const(64),
+    });
+    f.push(Inst::Store {
+        ptr: vol,
+        value: Operand::Const(1),
+        size: 8,
+    });
     f.body.push(Stmt::Loop {
         counter: i,
         count: Operand::Const(iters),
         body: vec![
-            Stmt::Inst(Inst::Gep { dst: p, base: p, offset: Operand::Const(8) }),
-            Stmt::Inst(Inst::Load { dst: x, ptr: p, size: 8 }),
+            Stmt::Inst(Inst::Gep {
+                dst: p,
+                base: p,
+                offset: Operand::Const(8),
+            }),
+            Stmt::Inst(Inst::Load {
+                dst: x,
+                ptr: p,
+                size: 8,
+            }),
         ],
     });
     f
@@ -66,11 +82,17 @@ fn main() {
 
     let (t_no, _) = spp_transform(&f, false);
     let (secs, ut, cb, bits) = run(&t_no, pool_bytes);
-    println!("{:<34} {secs:>9.3} {ut:>12} {cb:>12} {bits:>12}", "instrument all (no tracking)");
+    println!(
+        "{:<34} {secs:>9.3} {ut:>12} {cb:>12} {bits:>12}",
+        "instrument all (no tracking)"
+    );
 
     let (t_track, _) = spp_transform(&f, true);
     let (secs, ut, cb, bits) = run(&t_track, pool_bytes);
-    println!("{:<34} {secs:>9.3} {ut:>12} {cb:>12} {bits:>12}", "+ pointer tracking (_direct)");
+    println!(
+        "{:<34} {secs:>9.3} {ut:>12} {cb:>12} {bits:>12}",
+        "+ pointer tracking (_direct)"
+    );
 
     let (mut t_opt, _) = spp_transform(&f, true);
     let hoisted = hoist_loop_checks(&mut t_opt);
@@ -82,7 +104,10 @@ fn main() {
 
     println!();
     banner("Ablation: tag-width sweep (encoding limits, §IV-G)");
-    println!("{:<10} {:>16} {:>18}", "tag bits", "max object", "max pool VA range");
+    println!(
+        "{:<10} {:>16} {:>18}",
+        "tag bits", "max object", "max pool VA range"
+    );
     for bits in [18u32, 22, 26, 31, 36] {
         let cfg = TagConfig::new(bits).expect("cfg");
         println!(

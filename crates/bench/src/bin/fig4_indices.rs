@@ -6,7 +6,10 @@
 
 use std::sync::Arc;
 
-use spp_bench::{banner, fresh_pool, pmdk_policy, safepm_policy, slowdown, spp_policy, timed, uniform_keys, Args, Variant};
+use spp_bench::{
+    banner, fresh_pool, pmdk_policy, safepm_policy, slowdown, spp_policy, timed, uniform_keys,
+    Args, Variant,
+};
 use spp_core::{MemoryPolicy, TagConfig};
 use spp_indices::{CTree, HashMapTx, Index, RTree, RbTree};
 
@@ -37,7 +40,11 @@ fn run_index<P: MemoryPolicy, I: Index<P>>(policy: Arc<P>, keys: &[u64]) -> OpTi
             idx.remove(k).expect("remove");
         }
     });
-    OpTimes { insert, get, remove }
+    OpTimes {
+        insert,
+        get,
+        remove,
+    }
 }
 
 fn bench_structure(

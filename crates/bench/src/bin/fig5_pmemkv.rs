@@ -34,29 +34,68 @@ fn main() {
     let args = Args::parse();
     let smoke = args.flag("smoke");
     let quick = args.flag("quick") || smoke;
-    let preload_keys: u64 =
-        args.get("preload", if smoke { 500 } else if quick { 2_000 } else { 100_000 });
-    let ops: u64 = args.get("ops", if smoke { 1_000 } else if quick { 5_000 } else { 100_000 });
-    let threads_csv: String =
-        args.get("threads", if smoke { "1,2".to_string() } else { "1,2,4,8".to_string() });
-    let threads: Vec<u64> = threads_csv.split(',').filter_map(|t| t.parse().ok()).collect();
-    let pool_bytes: u64 =
-        args.get("pool-mb", if smoke { 64u64 } else if quick { 256 } else { 1536 }) << 20;
+    let preload_keys: u64 = args.get(
+        "preload",
+        if smoke {
+            500
+        } else if quick {
+            2_000
+        } else {
+            100_000
+        },
+    );
+    let ops: u64 = args.get(
+        "ops",
+        if smoke {
+            1_000
+        } else if quick {
+            5_000
+        } else {
+            100_000
+        },
+    );
+    let threads_csv: String = args.get(
+        "threads",
+        if smoke {
+            "1,2".to_string()
+        } else {
+            "1,2,4,8".to_string()
+        },
+    );
+    let threads: Vec<u64> = threads_csv
+        .split(',')
+        .filter_map(|t| t.parse().ok())
+        .collect();
+    let pool_bytes: u64 = args.get(
+        "pool-mb",
+        if smoke {
+            64u64
+        } else if quick {
+            256
+        } else {
+            1536
+        },
+    ) << 20;
 
     banner("Figure 5: pmemkv throughput — slowdown w.r.t. native PMDK");
     println!("preload={preload_keys} ops={ops} value=1024B (single-core host: thread");
     println!("counts time-slice; per-thread-count relative slowdowns remain meaningful)");
     println!();
 
-    let cfg = WorkloadConfig { preload_keys, ops, value_size: 1024, seed: 7 };
+    let cfg = WorkloadConfig {
+        preload_keys,
+        ops,
+        value_size: 1024,
+        seed: 7,
+    };
     let mut rows = Vec::new();
     for mix in Mix::all() {
         println!("{}", mix.label());
         for &t in &threads {
-            let base = ops as f64
-                / throughput(pmdk_policy(fresh_pool(pool_bytes, 16)), &cfg, mix, t);
-            let safepm = ops as f64
-                / throughput(safepm_policy(fresh_pool(pool_bytes, 16)), &cfg, mix, t);
+            let base =
+                ops as f64 / throughput(pmdk_policy(fresh_pool(pool_bytes, 16)), &cfg, mix, t);
+            let safepm =
+                ops as f64 / throughput(safepm_policy(fresh_pool(pool_bytes, 16)), &cfg, mix, t);
             let spp = ops as f64
                 / throughput(
                     spp_policy(fresh_pool(pool_bytes, 16), TagConfig::default()),
@@ -93,7 +132,10 @@ fn main() {
                 ("ops", Json::Int(ops)),
                 ("value_size", Json::Int(1024)),
                 ("pool_bytes", Json::Int(pool_bytes)),
-                ("threads", Json::Arr(threads.iter().map(|&t| Json::Int(t)).collect())),
+                (
+                    "threads",
+                    Json::Arr(threads.iter().map(|&t| Json::Int(t)).collect()),
+                ),
             ]),
         ),
         ("results", Json::Arr(rows)),

@@ -3,7 +3,9 @@
 //!
 //! Usage: `fig6_phoenix [--scale 4] [--threads 8] [--quick]`
 
-use spp_bench::{banner, fresh_low_pool, pmdk_policy, safepm_policy, slowdown, spp_policy, timed, Args};
+use spp_bench::{
+    banner, fresh_low_pool, pmdk_policy, safepm_policy, slowdown, spp_policy, timed, Args,
+};
 use spp_core::TagConfig;
 use spp_phoenix::{run, App, PhoenixConfig};
 
@@ -18,7 +20,11 @@ fn main() {
     println!("scale={scale} threads={threads} tag_bits=31");
     println!();
 
-    let cfg = PhoenixConfig { threads, scale, seed: 0xF0E1 };
+    let cfg = PhoenixConfig {
+        threads,
+        scale,
+        seed: 0xF0E1,
+    };
     for app in App::ALL {
         let (base_sum, base) = timed(|| {
             run(app, &pmdk_policy(fresh_low_pool(pool_bytes, 8)), &cfg).expect("pmdk run")
@@ -27,8 +33,12 @@ fn main() {
             run(app, &safepm_policy(fresh_low_pool(pool_bytes, 8)), &cfg).expect("safepm run")
         });
         let (spp_sum, spp) = timed(|| {
-            run(app, &spp_policy(fresh_low_pool(pool_bytes, 8), TagConfig::phoenix()), &cfg)
-                .expect("spp run")
+            run(
+                app,
+                &spp_policy(fresh_low_pool(pool_bytes, 8), TagConfig::phoenix()),
+                &cfg,
+            )
+            .expect("spp run")
         });
         assert_eq!(base_sum, spp_sum, "{}: checksum mismatch", app.label());
         assert_eq!(base_sum, safepm_sum, "{}: checksum mismatch", app.label());

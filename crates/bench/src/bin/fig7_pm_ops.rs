@@ -16,8 +16,13 @@ use spp_bench::{
 use spp_core::{MemoryPolicy, TagConfig};
 use spp_pmdk::PmemOid;
 
-const SIZES: [(u64, &str); 5] =
-    [(64, "64 B"), (256, "256 B"), (1024, "1 KB"), (4096, "4 KB"), (16384, "16 KB")];
+const SIZES: [(u64, &str); 5] = [
+    (64, "64 B"),
+    (256, "256 B"),
+    (1024, "1 KB"),
+    (4096, "4 KB"),
+    (16384, "16 KB"),
+];
 
 struct OpSet {
     atomic_alloc: f64,
@@ -79,11 +84,19 @@ fn run_ops<P: MemoryPolicy>(p: &Arc<P>, size: u64, ops: u64) -> OpSet {
     });
     let (_, tx_free) = timed(|| {
         for oid in tx_oids.drain(..) {
-            pool.tx(|tx| -> spp_core::Result<_> { p.tx_free(tx, oid) }).expect("tx free");
+            pool.tx(|tx| -> spp_core::Result<_> { p.tx_free(tx, oid) })
+                .expect("tx free");
         }
     });
 
-    OpSet { atomic_alloc, atomic_free, atomic_realloc, tx_alloc, tx_free, tx_realloc }
+    OpSet {
+        atomic_alloc,
+        atomic_free,
+        atomic_realloc,
+        tx_alloc,
+        tx_free,
+        tx_realloc,
+    }
 }
 
 fn main() {
@@ -91,7 +104,16 @@ fn main() {
     let smoke = args.flag("smoke");
     let quick = args.flag("quick") || smoke;
     let reps = if smoke { 2 } else { 5 };
-    let ops: u64 = args.get("ops", if smoke { 200 } else if quick { 1_000 } else { 10_000 });
+    let ops: u64 = args.get(
+        "ops",
+        if smoke {
+            200
+        } else if quick {
+            1_000
+        } else {
+            10_000
+        },
+    );
     // Enough heap for ops live objects of the largest class plus the
     // non-coalescing residue of the realloc phase (old 16 KiB-class blocks
     // cannot serve the grown requests).

@@ -45,18 +45,28 @@ fn main() {
 
     banner("Latency sweep: SPP relative overhead vs media speed (§VI-B)");
     println!("ctree insert+get, n={n}\n");
-    println!("{:<26} {:>12} {:>10}", "media latency model", "PMDK (s)", "SPP");
+    println!(
+        "{:<26} {:>12} {:>10}",
+        "media latency model", "PMDK (s)", "SPP"
+    );
     let models: [(&str, LatencyModel); 3] = [
         ("DRAM-like (no injection)", LatencyModel::none()),
         ("Optane-like", LatencyModel::optane_like()),
         (
             "slow CXL-like (3x Optane)",
-            LatencyModel { read_spins: 180, write_spins: 60, per_line_spins: 90 },
+            LatencyModel {
+                read_spins: 180,
+                write_spins: 60,
+                per_line_spins: 90,
+            },
         ),
     ];
     for (label, lat) in models {
         let base = run(pmdk_policy(pool_with_latency(lat)), &keys);
-        let spp = run(spp_policy(pool_with_latency(lat), TagConfig::default()), &keys);
+        let spp = run(
+            spp_policy(pool_with_latency(lat), TagConfig::default()),
+            &keys,
+        );
         println!("{label:<26} {base:>12.3} {:>9.2}x", slowdown(spp, base));
     }
     println!();

@@ -21,17 +21,22 @@ fn recovery_ms(n: u64, kind: OidKind, runs: u64) -> f64 {
     let pool_bytes = (data_bytes * 4).max(8 << 20);
     let mut total_ms = 0.0;
     for _ in 0..runs {
-        let pm = Arc::new(
-            PmPool::new(PoolConfig::new(pool_bytes).mode(Mode::Tracked).record_stats(false)),
-        );
-        let pool =
-            ObjPool::create(Arc::clone(&pm), PoolOpts::new().lanes(1).undo_capacity(undo))
-                .expect("pool");
+        let pm = Arc::new(PmPool::new(
+            PoolConfig::new(pool_bytes)
+                .mode(Mode::Tracked)
+                .record_stats(false),
+        ));
+        let pool = ObjPool::create(
+            Arc::clone(&pm),
+            PoolOpts::new().lanes(1).undo_capacity(undo),
+        )
+        .expect("pool");
         // One array object holding n serialized oids.
         let arr = pool.zalloc(data_bytes).expect("array");
         for i in 0..n {
             let oid = PmemOid::new(pool.uuid(), 64 + i, 8);
-            pool.oid_write(arr.off + i * oid_size, oid, kind).expect("seed oid");
+            pool.oid_write(arr.off + i * oid_size, oid, kind)
+                .expect("seed oid");
         }
         pool.persist(arr.off, data_bytes as usize).expect("persist");
         pm.reset_tracking();
@@ -45,7 +50,10 @@ fn recovery_ms(n: u64, kind: OidKind, runs: u64) -> f64 {
             Err(spp_pmdk::PmdkError::TxAborted("crash point".into()))
         });
         let img = img.into_inner().expect("crash image");
-        let pm2 = Arc::new(PmPool::from_image(img, PoolConfig::new(0).record_stats(false)));
+        let pm2 = Arc::new(PmPool::from_image(
+            img,
+            PoolConfig::new(0).record_stats(false),
+        ));
         let start = Instant::now();
         let reopened = ObjPool::open(pm2).expect("recovery");
         total_ms += start.elapsed().as_secs_f64() * 1e3;
@@ -61,7 +69,10 @@ fn main() {
     let runs: u64 = args.get("runs", if quick { 3 } else { 10 });
 
     banner("Table II: recovery time (ms) vs snapshotted PMEMoids");
-    println!("{:<10} {:>12} {:>12} {:>9}", "oids", "PMDK (ms)", "SPP (ms)", "ratio");
+    println!(
+        "{:<10} {:>12} {:>12} {:>9}",
+        "oids", "PMDK (ms)", "SPP (ms)", "ratio"
+    );
     let mut n = 100u64;
     while n <= max {
         let pmdk = recovery_ms(n, OidKind::Pmdk, runs);

@@ -27,19 +27,24 @@ fn main() {
         // The volatile-heap run uses the same simulated heap without
         // persistence semantics; like the paper, its counts match the PM
         // pool heap (the attacks do not depend on durability).
-        evaluate_variant("Volatile heap", &suite, || Ok(PmdkPolicy::new(fresh_pool())))
-            .expect("volatile"),
-        evaluate_variant("PM pool heap", &suite, || Ok(PmdkPolicy::new(fresh_pool())))
-            .expect("pm"),
-        evaluate_variant("SafePM", &suite, || SafePmPolicy::create(fresh_pool()))
-            .expect("safepm"),
-        evaluate_variant("SPP", &suite, || SppPolicy::new(fresh_pool(), TagConfig::default()))
-            .expect("spp"),
+        evaluate_variant("Volatile heap", &suite, || {
+            Ok(PmdkPolicy::new(fresh_pool()))
+        })
+        .expect("volatile"),
+        evaluate_variant("PM pool heap", &suite, || Ok(PmdkPolicy::new(fresh_pool()))).expect("pm"),
+        evaluate_variant("SafePM", &suite, || SafePmPolicy::create(fresh_pool())).expect("safepm"),
+        evaluate_variant("SPP", &suite, || {
+            SppPolicy::new(fresh_pool(), TagConfig::default())
+        })
+        .expect("spp"),
         evaluate_variant("memcheck", &suite, || Ok(MemcheckPolicy::new(fresh_pool())))
             .expect("memcheck"),
     ];
 
-    println!("{:<15} {:>11} {:>10}", "RIPE variant", "Successful", "Prevented");
+    println!(
+        "{:<15} {:>11} {:>10}",
+        "RIPE variant", "Successful", "Prevented"
+    );
     for r in &rows {
         println!("{:<15} {:>11} {:>10}", r.variant, r.successful, r.prevented);
     }

@@ -46,7 +46,9 @@ pub fn fresh_pool(bytes: u64, lanes: usize) -> Arc<ObjPool> {
 
 /// Create a pool mapped low (for wide-tag configurations like Phoenix's).
 pub fn fresh_low_pool(bytes: u64, lanes: usize) -> Arc<ObjPool> {
-    let pm = Arc::new(PmPool::new(PoolConfig::new(bytes).base(0x10000).record_stats(false)));
+    let pm = Arc::new(PmPool::new(
+        PoolConfig::new(bytes).base(0x10000).record_stats(false),
+    ));
     Arc::new(ObjPool::create(pm, PoolOpts::new().lanes(lanes)).expect("pool create"))
 }
 
@@ -105,7 +107,9 @@ pub struct Args {
 impl Args {
     /// Parse the process arguments.
     pub fn parse() -> Self {
-        Args { raw: std::env::args().skip(1).collect() }
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
     }
 
     /// Whether `--name` was passed.

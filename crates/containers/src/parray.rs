@@ -42,7 +42,12 @@ impl<P: MemoryPolicy> PArray<P> {
         policy.zalloc_into_ptr(policy.gep(mptr, M_DATA as i64), cap.max(1) * 8)?;
         policy.store_u64(policy.gep(mptr, (os + 8) as i64), cap.max(1))?;
         policy.persist(mptr, Self::meta_size(os))?;
-        Ok(PArray { policy, meta, os, write_lock: Mutex::new(()) })
+        Ok(PArray {
+            policy,
+            meta,
+            os,
+            write_lock: Mutex::new(()),
+        })
     }
 
     /// Re-attach to an existing array by its metadata oid.
@@ -52,7 +57,12 @@ impl<P: MemoryPolicy> PArray<P> {
     /// Device errors.
     pub fn open(policy: Arc<P>, meta: PmemOid) -> Result<Self> {
         let os = policy.oid_kind().on_media_size();
-        Ok(PArray { policy, meta, os, write_lock: Mutex::new(()) })
+        Ok(PArray {
+            policy,
+            meta,
+            os,
+            write_lock: Mutex::new(()),
+        })
     }
 
     /// The durable metadata oid (store it in the pool root).
@@ -70,7 +80,8 @@ impl<P: MemoryPolicy> PArray<P> {
     ///
     /// Device errors.
     pub fn len(&self) -> Result<u64> {
-        self.policy.load_u64(self.policy.gep(self.mptr(), self.m_len() as i64))
+        self.policy
+            .load_u64(self.policy.gep(self.mptr(), self.m_len() as i64))
     }
 
     /// Whether the array is empty.
@@ -88,11 +99,13 @@ impl<P: MemoryPolicy> PArray<P> {
     ///
     /// Device errors.
     pub fn capacity(&self) -> Result<u64> {
-        self.policy.load_u64(self.policy.gep(self.mptr(), self.m_cap() as i64))
+        self.policy
+            .load_u64(self.policy.gep(self.mptr(), self.m_cap() as i64))
     }
 
     fn data(&self) -> Result<PmemOid> {
-        self.policy.load_oid(self.policy.gep(self.mptr(), M_DATA as i64))
+        self.policy
+            .load_oid(self.policy.gep(self.mptr(), M_DATA as i64))
     }
 
     /// Read element `i` (`None` past the end).
@@ -123,7 +136,8 @@ impl<P: MemoryPolicy> PArray<P> {
             return Err(SppError::Pmdk(spp_pmdk::PmdkError::InvalidOid { off: i }));
         }
         let dptr = p.direct(self.data()?);
-        p.pool().tx(|tx| -> Result<()> { p.tx_write_u64(tx, p.gep(dptr, (i * 8) as i64), v) })
+        p.pool()
+            .tx(|tx| -> Result<()> { p.tx_write_u64(tx, p.gep(dptr, (i * 8) as i64), v) })
     }
 
     /// Append an element, doubling the capacity if needed (the *correct*

@@ -37,7 +37,12 @@ impl<P: MemoryPolicy> PList<P> {
     pub fn create(policy: Arc<P>) -> Result<Self> {
         let os = policy.oid_kind().on_media_size();
         let meta = policy.zalloc(os * 2 + 8)?;
-        Ok(PList { policy, meta, os, write_lock: Mutex::new(()) })
+        Ok(PList {
+            policy,
+            meta,
+            os,
+            write_lock: Mutex::new(()),
+        })
     }
 
     /// Re-attach by metadata oid.
@@ -47,7 +52,12 @@ impl<P: MemoryPolicy> PList<P> {
     /// Device errors.
     pub fn open(policy: Arc<P>, meta: PmemOid) -> Result<Self> {
         let os = policy.oid_kind().on_media_size();
-        Ok(PList { policy, meta, os, write_lock: Mutex::new(()) })
+        Ok(PList {
+            policy,
+            meta,
+            os,
+            write_lock: Mutex::new(()),
+        })
     }
 
     /// The durable metadata oid.
@@ -65,7 +75,8 @@ impl<P: MemoryPolicy> PList<P> {
     ///
     /// Device errors.
     pub fn len(&self) -> Result<u64> {
-        self.policy.load_u64(self.policy.gep(self.mptr(), self.m_count() as i64))
+        self.policy
+            .load_u64(self.policy.gep(self.mptr(), self.m_count() as i64))
     }
 
     /// Whether the list is empty.

@@ -41,7 +41,12 @@ impl<P: MemoryPolicy> PQueue<P> {
         policy.zalloc_into_ptr(mptr, cap.max(1) * 8)?;
         policy.store_u64(policy.gep(mptr, os as i64), cap.max(1))?;
         policy.persist(mptr, os + 24)?;
-        Ok(PQueue { policy, meta, os, write_lock: Mutex::new(()) })
+        Ok(PQueue {
+            policy,
+            meta,
+            os,
+            write_lock: Mutex::new(()),
+        })
     }
 
     /// Re-attach by metadata oid.
@@ -51,7 +56,12 @@ impl<P: MemoryPolicy> PQueue<P> {
     /// Device errors.
     pub fn open(policy: Arc<P>, meta: PmemOid) -> Result<Self> {
         let os = policy.oid_kind().on_media_size();
-        Ok(PQueue { policy, meta, os, write_lock: Mutex::new(()) })
+        Ok(PQueue {
+            policy,
+            meta,
+            os,
+            write_lock: Mutex::new(()),
+        })
     }
 
     /// The durable metadata oid.
@@ -129,7 +139,11 @@ impl<P: MemoryPolicy> PQueue<P> {
         let dptr = p.direct(data);
         let v = p.load_u64(p.gep(dptr, (head * 8) as i64))?;
         p.pool().tx(|tx| -> Result<()> {
-            p.tx_write_u64(tx, p.gep(self.mptr(), self.m_head() as i64), (head + 1) % cap)?;
+            p.tx_write_u64(
+                tx,
+                p.gep(self.mptr(), self.m_head() as i64),
+                (head + 1) % cap,
+            )?;
             p.tx_write_u64(tx, p.gep(self.mptr(), self.m_count() as i64), count - 1)
         })?;
         Ok(Some(v))

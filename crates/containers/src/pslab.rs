@@ -43,7 +43,14 @@ impl<P: MemoryPolicy> PSlab<P> {
         policy.store_u64(policy.gep(mptr, os as i64), slot_size)?;
         policy.store_u64(policy.gep(mptr, (os + 8) as i64), slots)?;
         policy.persist(mptr, meta_size)?;
-        Ok(PSlab { policy, meta, os, slot_size, slots, write_lock: Mutex::new(()) })
+        Ok(PSlab {
+            policy,
+            meta,
+            os,
+            slot_size,
+            slots,
+            write_lock: Mutex::new(()),
+        })
     }
 
     /// The durable metadata oid.
@@ -78,9 +85,8 @@ impl<P: MemoryPolicy> PSlab<P> {
             if idx >= self.slots {
                 break;
             }
-            p.pool().tx(|tx| -> Result<()> {
-                p.tx_write_u64(tx, wptr, word | (1 << bit))
-            })?;
+            p.pool()
+                .tx(|tx| -> Result<()> { p.tx_write_u64(tx, wptr, word | (1 << bit)) })?;
             return Ok(Some(idx));
         }
         Ok(None)
@@ -102,9 +108,8 @@ impl<P: MemoryPolicy> PSlab<P> {
         if word & (1 << (idx % 64)) == 0 {
             return Err(SppError::Pmdk(spp_pmdk::PmdkError::InvalidOid { off: idx }));
         }
-        p.pool().tx(|tx| -> Result<()> {
-            p.tx_write_u64(tx, wptr, word & !(1 << (idx % 64)))
-        })
+        p.pool()
+            .tx(|tx| -> Result<()> { p.tx_write_u64(tx, wptr, word & !(1 << (idx % 64))) })
     }
 
     /// A pointer to slot `idx`'s payload — tagged with the *whole data

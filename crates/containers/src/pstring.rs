@@ -40,7 +40,12 @@ impl<P: MemoryPolicy> PString<P> {
         policy.store(dptr, initial.as_bytes())?;
         policy.store(policy.gep(dptr, initial.len() as i64), &[0])?;
         policy.persist(dptr, initial.len() as u64 + 1)?;
-        Ok(PString { policy, meta, os, write_lock: Mutex::new(()) })
+        Ok(PString {
+            policy,
+            meta,
+            os,
+            write_lock: Mutex::new(()),
+        })
     }
 
     /// The durable metadata oid.
@@ -80,7 +85,8 @@ impl<P: MemoryPolicy> PString<P> {
     ///
     /// Device errors.
     pub fn capacity(&self) -> Result<u64> {
-        self.policy.load_u64(self.policy.gep(self.mptr(), self.os as i64))
+        self.policy
+            .load_u64(self.policy.gep(self.mptr(), self.os as i64))
     }
 
     /// Read out as a Rust `String`.

@@ -112,7 +112,13 @@ mod array_bug_vi_d {
         let arr = exhausted_array(&policy);
         let err = arr.resize_unchecked(100_000).unwrap_err();
         assert!(
-            matches!(err, SppError::OverflowDetected { mechanism: "overflow-bit", .. }),
+            matches!(
+                err,
+                SppError::OverflowDetected {
+                    mechanism: "overflow-bit",
+                    ..
+                }
+            ),
             "expected overflow detection, got {err}"
         );
     }
@@ -132,7 +138,7 @@ mod array_bug_vi_d {
         // The fill scribbles over the rest of the heap; it only stops (with
         // a plain fault, not a detection) at the end of the mapping.
         match arr.resize_unchecked(100_000) {
-            Ok(()) => {} // fill fit inside the mapping: fully silent
+            Ok(()) => {}                      // fill fit inside the mapping: fully silent
             Err(SppError::Fault { .. }) => {} // ran off the mapping eventually
             Err(e) => panic!("unexpected error under native PMDK: {e}"),
         }
@@ -159,7 +165,10 @@ mod string_bug {
     fn unchecked_append_detected_by_spp() {
         let s = PString::create(spp(1 << 22), "0123456789", 12).unwrap();
         let err = s.append_unchecked("ABCDEFGHIJKLMNOP").unwrap_err();
-        assert!(matches!(err, SppError::OverflowDetected { .. }), "got {err}");
+        assert!(
+            matches!(err, SppError::OverflowDetected { .. }),
+            "got {err}"
+        );
     }
 
     #[test]

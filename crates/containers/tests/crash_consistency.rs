@@ -47,9 +47,8 @@ fn list_links_never_tear() {
             let items = list.to_vec().map_err(|e| format!("walk violation: {e}"))?;
             // Legal states: any push-prefix, with or without the pop.
             let full: Vec<u64> = (10..15).collect();
-            let ok = (0..=full.len()).any(|k| {
-                items == full[..k] || (k >= 1 && items == full[1..k])
-            });
+            let ok =
+                (0..=full.len()).any(|k| items == full[..k] || (k >= 1 && items == full[1..k]));
             if !ok {
                 return Err(format!("inconsistent list contents: {items:?}"));
             }
@@ -90,8 +89,7 @@ fn queue_indices_never_tear() {
             while let Some(v) = q.dequeue().map_err(|e| format!("dequeue violation: {e}"))? {
                 drained.push(v);
             }
-            let legal: [&[u64]; 6] =
-                [&[], &[1], &[1, 2], &[2], &[2, 3], &[1, 2, 3]];
+            let legal: [&[u64]; 6] = [&[], &[1], &[1, 2], &[2], &[2, 3], &[1, 2, 3]];
             if !legal.contains(&drained.as_slice()) {
                 return Err(format!("illegal queue state {drained:?}"));
             }

@@ -94,7 +94,10 @@ impl TagConfig {
     /// [`crate::SppPolicy`].
     #[inline]
     pub fn make_tagged(self, va: u64, size: u64) -> u64 {
-        debug_assert!(va < self.max_va(), "pool mapped above the addressable range");
+        debug_assert!(
+            va < self.max_va(),
+            "pool mapped above the addressable range"
+        );
         debug_assert!(size >= 1 && size <= self.max_object_size());
         let tag = (self.max_object_size() - (size & (self.max_object_size() - 1)))
             & (self.max_object_size() - 1);
@@ -161,7 +164,11 @@ impl TagConfig {
         }
         let tag = (ptr >> self.address_bits()) & (self.max_object_size() - 1);
         let dist = (self.max_object_size() - tag) & (self.max_object_size() - 1);
-        Some(if dist == 0 { self.max_object_size() } else { dist })
+        Some(if dist == 0 {
+            self.max_object_size()
+        } else {
+            dist
+        })
     }
 }
 

@@ -55,10 +55,16 @@ impl fmt::Display for SppError {
             ),
             SppError::Fault { va } => write!(f, "segmentation fault at {va:#x}"),
             SppError::ObjectTooLarge { size, max } => {
-                write!(f, "object of {size} bytes exceeds encoding maximum of {max}")
+                write!(
+                    f,
+                    "object of {size} bytes exceeds encoding maximum of {max}"
+                )
             }
             SppError::PoolTooLarge { end_va, max_va } => {
-                write!(f, "pool mapping ends at {end_va:#x}, beyond addressable limit {max_va:#x}")
+                write!(
+                    f,
+                    "pool mapping ends at {end_va:#x}, beyond addressable limit {max_va:#x}"
+                )
             }
             SppError::BadTagBits(b) => write!(f, "tag width {b} outside supported range 8..=40"),
             SppError::Pmdk(e) => write!(f, "pool error: {e}"),
@@ -98,7 +104,10 @@ impl SppError {
     /// (detection) or a crash (fault): both stop an attack, but the RIPE
     /// accounting distinguishes them from silent success.
     pub fn is_violation(&self) -> bool {
-        matches!(self, SppError::OverflowDetected { .. } | SppError::Fault { .. })
+        matches!(
+            self,
+            SppError::OverflowDetected { .. } | SppError::Fault { .. }
+        )
     }
 }
 
@@ -118,10 +127,17 @@ mod tests {
     #[test]
     fn display_nonempty() {
         for e in [
-            SppError::OverflowDetected { va: 1, len: 2, mechanism: "overflow-bit" },
+            SppError::OverflowDetected {
+                va: 1,
+                len: 2,
+                mechanism: "overflow-bit",
+            },
             SppError::Fault { va: 1 },
             SppError::ObjectTooLarge { size: 10, max: 5 },
-            SppError::PoolTooLarge { end_va: 2, max_va: 1 },
+            SppError::PoolTooLarge {
+                end_va: 2,
+                max_va: 1,
+            },
             SppError::BadTagBits(50),
         ] {
             assert!(!e.to_string().is_empty());

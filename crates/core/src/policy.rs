@@ -111,7 +111,14 @@ pub trait MemoryPolicy: Send + Sync {
     /// As [`MemoryPolicy::alloc_oid`] plus resolution errors on `dest_ptr`.
     fn alloc_into_ptr(&self, dest_ptr: u64, size: u64) -> Result<PmemOid> {
         let off = self.resolve(dest_ptr, self.oid_kind().on_media_size())?;
-        self.alloc_oid(Some(OidDest { off, kind: self.oid_kind() }), size, false)
+        self.alloc_oid(
+            Some(OidDest {
+                off,
+                kind: self.oid_kind(),
+            }),
+            size,
+            false,
+        )
     }
 
     /// Zeroed [`MemoryPolicy::alloc_into_ptr`].
@@ -121,7 +128,14 @@ pub trait MemoryPolicy: Send + Sync {
     /// As [`MemoryPolicy::alloc_into_ptr`].
     fn zalloc_into_ptr(&self, dest_ptr: u64, size: u64) -> Result<PmemOid> {
         let off = self.resolve(dest_ptr, self.oid_kind().on_media_size())?;
-        self.alloc_oid(Some(OidDest { off, kind: self.oid_kind() }), size, true)
+        self.alloc_oid(
+            Some(OidDest {
+                off,
+                kind: self.oid_kind(),
+            }),
+            size,
+            true,
+        )
     }
 
     /// Free an object held by a volatile oid.
@@ -140,7 +154,13 @@ pub trait MemoryPolicy: Send + Sync {
     /// As [`MemoryPolicy::free_oid`] plus resolution errors.
     fn free_from_ptr(&self, dest_ptr: u64, oid: PmemOid) -> Result<()> {
         let off = self.resolve(dest_ptr, self.oid_kind().on_media_size())?;
-        self.free_oid(Some(OidDest { off, kind: self.oid_kind() }), oid)
+        self.free_oid(
+            Some(OidDest {
+                off,
+                kind: self.oid_kind(),
+            }),
+            oid,
+        )
     }
 
     /// Reallocate the object whose oid is stored at `dest_ptr`.
@@ -150,7 +170,14 @@ pub trait MemoryPolicy: Send + Sync {
     /// As [`MemoryPolicy::realloc_oid`] plus resolution errors.
     fn realloc_from_ptr(&self, dest_ptr: u64, oid: PmemOid, new_size: u64) -> Result<PmemOid> {
         let off = self.resolve(dest_ptr, self.oid_kind().on_media_size())?;
-        self.realloc_oid(OidDest { off, kind: self.oid_kind() }, oid, new_size)
+        self.realloc_oid(
+            OidDest {
+                off,
+                kind: self.oid_kind(),
+            },
+            oid,
+            new_size,
+        )
     }
 
     // ---------- defaults: loads & stores ----------
@@ -288,7 +315,11 @@ pub trait MemoryPolicy: Send + Sync {
     ///
     /// Allocation/undo-log errors.
     fn tx_alloc(&self, tx: &mut Tx<'_>, size: u64, zero: bool) -> Result<PmemOid> {
-        Ok(if zero { tx.zalloc(size)? } else { tx.alloc(size)? })
+        Ok(if zero {
+            tx.zalloc(size)?
+        } else {
+            tx.alloc(size)?
+        })
     }
 
     /// Transactional free (performed at commit).
@@ -373,7 +404,9 @@ pub trait MemoryPolicy: Send + Sync {
             }
             off += chunk as u64;
         }
-        Err(SppError::Fault { va: self.pool().pm().base() + pool_size })
+        Err(SppError::Fault {
+            va: self.pool().pm().base() + pool_size,
+        })
     }
 
     /// Wrapped `strcpy`: computes `n = strlen(src) + 1` and validates both

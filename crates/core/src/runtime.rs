@@ -83,7 +83,10 @@ pub struct SppRuntime {
 impl SppRuntime {
     /// Create a runtime for the given encoding.
     pub fn new(cfg: TagConfig) -> Self {
-        SppRuntime { cfg, stats: HookStats::default() }
+        SppRuntime {
+            cfg,
+            stats: HookStats::default(),
+        }
     }
 
     /// The active encoding.
@@ -103,7 +106,9 @@ impl SppRuntime {
         self.stats.update_tag.fetch_add(1, Ordering::Relaxed);
         self.stats.pm_bit_tests.fetch_add(1, Ordering::Relaxed);
         if !is_pm_ptr(ptr) {
-            self.stats.volatile_passthrough.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .volatile_passthrough
+                .fetch_add(1, Ordering::Relaxed);
             return ptr;
         }
         self.cfg.update_tag(ptr, off)
@@ -124,7 +129,9 @@ impl SppRuntime {
         self.stats.clean_tag.fetch_add(1, Ordering::Relaxed);
         self.stats.pm_bit_tests.fetch_add(1, Ordering::Relaxed);
         if !is_pm_ptr(ptr) {
-            self.stats.volatile_passthrough.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .volatile_passthrough
+                .fetch_add(1, Ordering::Relaxed);
             return ptr;
         }
         self.cfg.clean_tag(ptr)
@@ -152,7 +159,9 @@ impl SppRuntime {
         self.stats.check_bound.fetch_add(1, Ordering::Relaxed);
         self.stats.pm_bit_tests.fetch_add(1, Ordering::Relaxed);
         if !is_pm_ptr(ptr) {
-            self.stats.volatile_passthrough.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .volatile_passthrough
+                .fetch_add(1, Ordering::Relaxed);
             return ptr;
         }
         self.cfg.check_bound(ptr, deref_size)
@@ -174,7 +183,9 @@ impl SppRuntime {
         self.stats.memintr_check.fetch_add(1, Ordering::Relaxed);
         self.stats.pm_bit_tests.fetch_add(1, Ordering::Relaxed);
         if !is_pm_ptr(ptr) {
-            self.stats.volatile_passthrough.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .volatile_passthrough
+                .fetch_add(1, Ordering::Relaxed);
             return ptr;
         }
         if n == 0 {

@@ -32,7 +32,10 @@ impl SppPolicy {
     pub fn new(pool: Arc<ObjPool>, cfg: TagConfig) -> Result<Self> {
         let end_va = pool.pm().base() + pool.pm().size();
         if end_va > cfg.max_va() {
-            return Err(SppError::PoolTooLarge { end_va, max_va: cfg.max_va() });
+            return Err(SppError::PoolTooLarge {
+                end_va,
+                max_va: cfg.max_va(),
+            });
         }
         Ok(SppPolicy { pool, cfg })
     }
@@ -44,7 +47,11 @@ impl SppPolicy {
 
     fn classify_fault(&self, masked: u64, len: u64) -> SppError {
         if masked & OVERFLOW_BIT != 0 {
-            SppError::OverflowDetected { va: masked, len, mechanism: "overflow-bit" }
+            SppError::OverflowDetected {
+                va: masked,
+                len,
+                mechanism: "overflow-bit",
+            }
         } else {
             SppError::Fault { va: masked }
         }
@@ -74,7 +81,11 @@ impl MemoryPolicy for SppPolicy {
         let va = self.pool.pm().base() + oid.off;
         // An oid decoded from a stock 16-byte field has size 0; treat it as
         // untracked (full-range tag) rather than a zero-byte object.
-        let size = if oid.size == 0 { self.cfg.max_object_size() } else { oid.size };
+        let size = if oid.size == 0 {
+            self.cfg.max_object_size()
+        } else {
+            oid.size
+        };
         self.cfg.make_tagged(va, size)
     }
 
@@ -92,7 +103,11 @@ impl MemoryPolicy for SppPolicy {
     /// the overflow bit, then let the (simulated) MMU do the rest.
     #[inline]
     fn resolve(&self, ptr: u64, len: u64) -> Result<u64> {
-        let masked = if is_pm_ptr(ptr) { self.cfg.check_bound(ptr, len.max(1)) } else { ptr };
+        let masked = if is_pm_ptr(ptr) {
+            self.cfg.check_bound(ptr, len.max(1))
+        } else {
+            ptr
+        };
         self.pool
             .pm()
             .resolve(masked, len as usize)
@@ -102,7 +117,10 @@ impl MemoryPolicy for SppPolicy {
     fn alloc_oid(&self, dest: Option<OidDest>, size: u64, zero: bool) -> Result<PmemOid> {
         // The adapted PMDK caps object sizes at 2^tag_bits (§IV-G).
         if size > self.cfg.max_object_size() {
-            return Err(SppError::ObjectTooLarge { size, max: self.cfg.max_object_size() });
+            return Err(SppError::ObjectTooLarge {
+                size,
+                max: self.cfg.max_object_size(),
+            });
         }
         let oid = match (dest, zero) {
             (Some(d), true) => self.pool.zalloc_into(d, size)?,
@@ -123,16 +141,26 @@ impl MemoryPolicy for SppPolicy {
 
     fn realloc_oid(&self, dest: OidDest, oid: PmemOid, new_size: u64) -> Result<PmemOid> {
         if new_size > self.cfg.max_object_size() {
-            return Err(SppError::ObjectTooLarge { size: new_size, max: self.cfg.max_object_size() });
+            return Err(SppError::ObjectTooLarge {
+                size: new_size,
+                max: self.cfg.max_object_size(),
+            });
         }
         Ok(self.pool.realloc_into(dest, oid, new_size)?)
     }
 
     fn tx_alloc(&self, tx: &mut spp_pmdk::Tx<'_>, size: u64, zero: bool) -> Result<PmemOid> {
         if size > self.cfg.max_object_size() {
-            return Err(SppError::ObjectTooLarge { size, max: self.cfg.max_object_size() });
+            return Err(SppError::ObjectTooLarge {
+                size,
+                max: self.cfg.max_object_size(),
+            });
         }
-        Ok(if zero { tx.zalloc(size)? } else { tx.alloc(size)? })
+        Ok(if zero {
+            tx.zalloc(size)?
+        } else {
+            tx.alloc(size)?
+        })
     }
 }
 
@@ -169,7 +197,13 @@ mod tests {
         p.store(p.gep(ptr, 63), &[1]).unwrap();
         // One past the end — detected even though the pool has room.
         let err = p.store(p.gep(ptr, 64), &[1]).unwrap_err();
-        assert!(matches!(err, SppError::OverflowDetected { mechanism: "overflow-bit", .. }));
+        assert!(matches!(
+            err,
+            SppError::OverflowDetected {
+                mechanism: "overflow-bit",
+                ..
+            }
+        ));
         // Multi-byte access whose tail crosses.
         let err = p.store_u64(p.gep(ptr, 57), 0).unwrap_err();
         assert!(matches!(err, SppError::OverflowDetected { .. }));
@@ -204,7 +238,10 @@ mod tests {
         let pool = Arc::new(ObjPool::create(pm, PoolOpts::small()).unwrap());
         let p = SppPolicy::new(pool, TagConfig::new(10).unwrap()).unwrap(); // 1 KiB max
         assert!(p.zalloc(1024).is_ok());
-        assert!(matches!(p.zalloc(1025), Err(SppError::ObjectTooLarge { .. })));
+        assert!(matches!(
+            p.zalloc(1025),
+            Err(SppError::ObjectTooLarge { .. })
+        ));
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl std::fmt::Debug for SppPtr<'_> {
 impl<'p> SppPtr<'p> {
     /// Tagged pointer to the start of `oid`'s object (`pmemobj_direct`).
     pub fn new(policy: &'p SppPolicy, oid: PmemOid) -> Self {
-        SppPtr { policy, raw: policy.direct(oid) }
+        SppPtr {
+            policy,
+            raw: policy.direct(oid),
+        }
     }
 
     /// Wrap an existing raw tagged value.
@@ -67,7 +70,10 @@ impl<'p> SppPtr<'p> {
     /// Pointer arithmetic: a new handle `delta` bytes away.
     #[must_use]
     pub fn offset(&self, delta: i64) -> Self {
-        SppPtr { policy: self.policy, raw: self.policy.gep(self.raw, delta) }
+        SppPtr {
+            policy: self.policy,
+            raw: self.policy.gep(self.raw, delta),
+        }
     }
 
     /// Whether the overflow bit is currently set.

@@ -105,7 +105,10 @@ impl<T: PmType> TypedOid<T> {
         debug_assert_eq!(buf.len() as u64, T::SIZE);
         policy.store(policy.gep(ptr, TYPE_HDR as i64), &buf)?;
         policy.persist(ptr, TYPE_HDR + T::SIZE)?;
-        Ok(TypedOid { oid, _marker: PhantomData })
+        Ok(TypedOid {
+            oid,
+            _marker: PhantomData,
+        })
     }
 
     /// Reinterpret a raw oid as `T`, verifying the stored type number
@@ -121,7 +124,10 @@ impl<T: PmType> TypedOid<T> {
         if tn != T::TYPE_NUM {
             return Err(SppError::Pmdk(PmdkError::InvalidOid { off: oid.off }));
         }
-        Ok(TypedOid { oid, _marker: PhantomData })
+        Ok(TypedOid {
+            oid,
+            _marker: PhantomData,
+        })
     }
 
     /// The untyped oid (for storage inside other PM structures).
@@ -151,9 +157,9 @@ impl<T: PmType> TypedOid<T> {
         let ptr = policy.direct(self.oid);
         let mut buf = Vec::with_capacity(T::SIZE as usize);
         value.encode(&mut buf);
-        policy.pool().tx(|tx| -> Result<()> {
-            policy.tx_write(tx, policy.gep(ptr, TYPE_HDR as i64), &buf)
-        })
+        policy
+            .pool()
+            .tx(|tx| -> Result<()> { policy.tx_write(tx, policy.gep(ptr, TYPE_HDR as i64), &buf) })
     }
 
     /// Free the object (`delete_persistent<T>`).
@@ -210,10 +216,17 @@ mod tests {
     #[test]
     fn typed_roundtrip() {
         let p = spp();
-        let acct = Account { id: 7, balance: 100, tag: *b"VIPVIPVI" };
+        let acct = Account {
+            id: 7,
+            balance: 100,
+            tag: *b"VIPVIPVI",
+        };
         let t = TypedOid::new(&p, &acct).unwrap();
         assert_eq!(t.read(&p).unwrap(), acct);
-        let updated = Account { balance: 50, ..acct.clone() };
+        let updated = Account {
+            balance: 50,
+            ..acct.clone()
+        };
         t.write(&p, &updated).unwrap();
         assert_eq!(t.read(&p).unwrap(), updated);
         t.delete(&p).unwrap();

@@ -114,7 +114,6 @@ proptest! {
     }
 }
 
-
 /// §IV-G: an offset that exceeds the (tag_bits + 1)-bit representation
 /// range wraps the overflow bit back to zero, so *very* distant accesses
 /// can escape detection. This test pins down that documented limitation so

@@ -20,7 +20,9 @@ fn build_app(policy: &SppPolicy, records: &[&[u8]]) -> u64 {
         let size = 32 + payload.len() as u64;
         let oid = policy.zalloc_into_ptr(prev_field, size).unwrap();
         let ptr = policy.direct(oid);
-        policy.store_u64(policy.gep(ptr, 24), payload.len() as u64).unwrap();
+        policy
+            .store_u64(policy.gep(ptr, 24), payload.len() as u64)
+            .unwrap();
         policy.store(policy.gep(ptr, 32), payload).unwrap();
         policy.persist(ptr, size).unwrap();
         prev_field = ptr; // next oid field at offset 0
@@ -64,7 +66,10 @@ fn recovery_path_reconstructs_tags_from_durable_sizes() {
     let root_off = build_app(&policy, &[b"alpha", b"bravo-longer", b"c"]);
     let recovered = crash_reopen(&pm);
     let records = recover_walk(&recovered, root_off).unwrap();
-    assert_eq!(records, vec![b"alpha".to_vec(), b"bravo-longer".to_vec(), b"c".to_vec()]);
+    assert_eq!(
+        records,
+        vec![b"alpha".to_vec(), b"bravo-longer".to_vec(), b"c".to_vec()]
+    );
 }
 
 #[test]
@@ -85,9 +90,17 @@ fn buggy_recovery_code_is_caught_like_any_other_code() {
     let ptr = recovered.direct(oid);
     let len = recovered.load_u64(recovered.gep(ptr, 24)).unwrap();
     let mut buf = vec![0u8; len as usize + 1]; // the bug
-    let err = recovered.load(recovered.gep(ptr, 32), &mut buf).unwrap_err();
+    let err = recovered
+        .load(recovered.gep(ptr, 32), &mut buf)
+        .unwrap_err();
     assert!(
-        matches!(err, SppError::OverflowDetected { mechanism: "overflow-bit", .. }),
+        matches!(
+            err,
+            SppError::OverflowDetected {
+                mechanism: "overflow-bit",
+                ..
+            }
+        ),
         "recovery-path overflow must be detected, got {err}"
     );
 }
@@ -101,14 +114,21 @@ fn partially_persisted_chain_recovers_to_a_prefix() {
     let pool = Arc::new(ObjPool::create(Arc::clone(&pm), PoolOpts::small()).unwrap());
     let policy = SppPolicy::new(pool, TagConfig::default()).unwrap();
     let root_off = build_app(&policy, &[b"one", b"two", b"three"]);
-    for keep in [spp_pm::CrashSpec::KeepAll, spp_pm::CrashSpec::DropUnpersisted] {
+    for keep in [
+        spp_pm::CrashSpec::KeepAll,
+        spp_pm::CrashSpec::DropUnpersisted,
+    ] {
         let img = pm.crash_image(keep);
         let pm2 = Arc::new(PmPool::from_image(img, PoolConfig::new(0)));
-        let p2 = Arc::new(SppPolicy::new(Arc::new(ObjPool::open(pm2).unwrap()), TagConfig::default()).unwrap());
+        let p2 = Arc::new(
+            SppPolicy::new(Arc::new(ObjPool::open(pm2).unwrap()), TagConfig::default()).unwrap(),
+        );
         let records = recover_walk(&p2, root_off).unwrap();
         assert!(records.len() <= 3);
-        let expected: Vec<Vec<u8>> =
-            [b"one".as_slice(), b"two", b"three"].iter().map(|s| s.to_vec()).collect();
+        let expected: Vec<Vec<u8>> = [b"one".as_slice(), b"two", b"three"]
+            .iter()
+            .map(|s| s.to_vec())
+            .collect();
         assert_eq!(records, expected[..records.len()].to_vec());
     }
 }

@@ -28,7 +28,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Combine a function name and a parameter into one label.
     pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
-        BenchmarkId { name: format!("{function_name}/{parameter}") }
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
     }
 }
 
@@ -56,7 +58,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { default_sample_size: 20 }
+        Criterion {
+            default_sample_size: 20,
+        }
     }
 }
 
@@ -69,7 +73,10 @@ impl Criterion {
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("\n== {name} ==");
-        BenchmarkGroup { sample_size: self.default_sample_size, _parent: self }
+        BenchmarkGroup {
+            sample_size: self.default_sample_size,
+            _parent: self,
+        }
     }
 }
 
@@ -108,7 +115,10 @@ impl BenchmarkGroup<'_> {
         // Calibrate: grow the iteration count until one sample takes ~5 ms.
         let mut iters: u64 = 1;
         loop {
-            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
             f(&mut b);
             if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 24 {
                 break;
@@ -117,7 +127,10 @@ impl BenchmarkGroup<'_> {
         }
         let mut per_iter: Vec<f64> = (0..self.sample_size)
             .map(|_| {
-                let mut b = Bencher { iters, elapsed: Duration::ZERO };
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
                 f(&mut b);
                 b.elapsed.as_secs_f64() / iters as f64
             })

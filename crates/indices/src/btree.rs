@@ -73,27 +73,37 @@ pub struct BTreeMap<P: MemoryPolicy> {
 
 impl<P: MemoryPolicy> BTreeMap<P> {
     fn root_field(&self) -> u64 {
-        self.policy.gep(self.policy.direct(self.meta), self.layout.m_root as i64)
+        self.policy
+            .gep(self.policy.direct(self.meta), self.layout.m_root as i64)
     }
 
     fn key_ptr(&self, node_ptr: u64, i: u64) -> u64 {
-        self.policy.gep(node_ptr, (self.layout.n_keys + i * 8) as i64)
+        self.policy
+            .gep(node_ptr, (self.layout.n_keys + i * 8) as i64)
     }
 
     fn child_ptr(&self, node_ptr: u64, i: u64) -> u64 {
-        self.policy.gep(node_ptr, (self.layout.n_children + i * self.layout.os) as i64)
+        self.policy.gep(
+            node_ptr,
+            (self.layout.n_children + i * self.layout.os) as i64,
+        )
     }
 
     fn value_ptr(&self, node_ptr: u64, i: u64) -> u64 {
-        self.policy.gep(node_ptr, (self.layout.n_values + i * self.layout.os) as i64)
+        self.policy
+            .gep(node_ptr, (self.layout.n_values + i * self.layout.os) as i64)
     }
 
     fn items(&self, node_ptr: u64) -> Result<u64> {
-        self.policy.load_u64(self.policy.gep(node_ptr, self.layout.n_n as i64))
+        self.policy
+            .load_u64(self.policy.gep(node_ptr, self.layout.n_n as i64))
     }
 
     fn is_leaf(&self, node_ptr: u64) -> Result<bool> {
-        Ok(self.policy.load_u64(self.policy.gep(node_ptr, self.layout.n_leaf as i64))? != 0)
+        Ok(self
+            .policy
+            .load_u64(self.policy.gep(node_ptr, self.layout.n_leaf as i64))?
+            != 0)
     }
 
     fn new_node(&self, tx: &mut Tx<'_>, leaf: bool) -> Result<PmemOid> {
@@ -116,7 +126,11 @@ impl<P: MemoryPolicy> BTreeMap<P> {
         let p = &*self.policy;
         if n > idx {
             let count = n - idx;
-            p.memmove(self.key_ptr(node_ptr, idx + 1), self.key_ptr(node_ptr, idx), count * 8)?;
+            p.memmove(
+                self.key_ptr(node_ptr, idx + 1),
+                self.key_ptr(node_ptr, idx),
+                count * 8,
+            )?;
             p.memmove(
                 self.value_ptr(node_ptr, idx + 1),
                 self.value_ptr(node_ptr, idx),
@@ -142,7 +156,11 @@ impl<P: MemoryPolicy> BTreeMap<P> {
         let p = &*self.policy;
         let count = (n - idx - 1) + u64::from(one_extra);
         if count > 0 {
-            p.memmove(self.key_ptr(node_ptr, idx), self.key_ptr(node_ptr, idx + 1), count * 8)?;
+            p.memmove(
+                self.key_ptr(node_ptr, idx),
+                self.key_ptr(node_ptr, idx + 1),
+                count * 8,
+            )?;
             p.memmove(
                 self.value_ptr(node_ptr, idx),
                 self.value_ptr(node_ptr, idx + 1),
@@ -167,10 +185,22 @@ impl<P: MemoryPolicy> BTreeMap<P> {
         self.snapshot_node(tx, pptr)?;
         self.snapshot_node(tx, cptr)?;
         // Copy upper items to z (fresh object: plain stores).
-        p.memcpy(self.key_ptr(zptr, 0), self.key_ptr(cptr, MID + 1), move_n * 8)?;
-        p.memcpy(self.value_ptr(zptr, 0), self.value_ptr(cptr, MID + 1), move_n * l.os)?;
+        p.memcpy(
+            self.key_ptr(zptr, 0),
+            self.key_ptr(cptr, MID + 1),
+            move_n * 8,
+        )?;
+        p.memcpy(
+            self.value_ptr(zptr, 0),
+            self.value_ptr(cptr, MID + 1),
+            move_n * l.os,
+        )?;
         if !child_leaf {
-            p.memcpy(self.child_ptr(zptr, 0), self.child_ptr(cptr, MID + 1), (move_n + 1) * l.os)?;
+            p.memcpy(
+                self.child_ptr(zptr, 0),
+                self.child_ptr(cptr, MID + 1),
+                (move_n + 1) * l.os,
+            )?;
         }
         p.store_u64(p.gep(zptr, l.n_n as i64), move_n)?;
         p.persist(zptr, l.n_size)?;
@@ -294,9 +324,17 @@ impl<P: MemoryPolicy> BTreeMap<P> {
         p.store_oid(self.value_ptr(lptr, ln), sep_val)?;
         // Right child's entries append after it.
         p.memcpy(self.key_ptr(lptr, ln + 1), self.key_ptr(rptr, 0), rn * 8)?;
-        p.memcpy(self.value_ptr(lptr, ln + 1), self.value_ptr(rptr, 0), rn * l.os)?;
+        p.memcpy(
+            self.value_ptr(lptr, ln + 1),
+            self.value_ptr(rptr, 0),
+            rn * l.os,
+        )?;
         if !self.is_leaf(lptr)? {
-            p.memcpy(self.child_ptr(lptr, ln + 1), self.child_ptr(rptr, 0), (rn + 1) * l.os)?;
+            p.memcpy(
+                self.child_ptr(lptr, ln + 1),
+                self.child_ptr(rptr, 0),
+                (rn + 1) * l.os,
+            )?;
         }
         p.store_u64(p.gep(lptr, l.n_n as i64), ln + 1 + rn)?;
         p.persist(lptr, l.n_size)?;
@@ -351,7 +389,11 @@ impl<P: MemoryPolicy> BTreeMap<P> {
                 // Child shifts right; parent separator drops in at 0.
                 self.shift_right(cptr, 0, cn, false)?;
                 if !self.is_leaf(cptr)? {
-                    p.memmove(self.child_ptr(cptr, 1), self.child_ptr(cptr, 0), (cn + 1) * l.os)?;
+                    p.memmove(
+                        self.child_ptr(cptr, 1),
+                        self.child_ptr(cptr, 0),
+                        (cn + 1) * l.os,
+                    )?;
                     let moved = p.load_oid(self.child_ptr(sptr, sn))?;
                     p.store_oid(self.child_ptr(cptr, 0), moved)?;
                 }
@@ -524,7 +566,12 @@ impl<P: MemoryPolicy> Index<P> for BTreeMap<P> {
 
     fn open(policy: Arc<P>, meta: PmemOid) -> Result<Self> {
         let layout = BtLayout::new(policy.oid_kind().on_media_size());
-        Ok(BTreeMap { policy, meta, layout, write_lock: Mutex::new(()) })
+        Ok(BTreeMap {
+            policy,
+            meta,
+            layout,
+            write_lock: Mutex::new(()),
+        })
     }
 
     fn meta(&self) -> PmemOid {
@@ -534,7 +581,12 @@ impl<P: MemoryPolicy> Index<P> for BTreeMap<P> {
     fn create(policy: Arc<P>) -> Result<Self> {
         let layout = BtLayout::new(policy.oid_kind().on_media_size());
         let meta = policy.zalloc(layout.m_size)?;
-        Ok(BTreeMap { policy, meta, layout, write_lock: Mutex::new(()) })
+        Ok(BTreeMap {
+            policy,
+            meta,
+            layout,
+            write_lock: Mutex::new(()),
+        })
     }
 
     fn insert(&self, key: u64, value: u64) -> Result<()> {

@@ -16,7 +16,10 @@ pub struct Layout {
 impl Layout {
     /// Start a layout for a policy with the given oid footprint.
     pub fn new(oid_size: u64) -> Self {
-        Layout { oid_size, cursor: 0 }
+        Layout {
+            oid_size,
+            cursor: 0,
+        }
     }
 
     /// Reserve a `u64` field; returns its offset.

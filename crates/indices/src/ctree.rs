@@ -26,8 +26,8 @@ struct CtLayout {
     m_size: u64,
     // node object (leaf and internal share the kind/word0 prefix)
     n_kind: u64,
-    n_word: u64, // leaf: key, internal: diff bit
-    n_val: u64,  // leaf: value oid
+    n_word: u64,  // leaf: key, internal: diff bit
+    n_val: u64,   // leaf: value oid
     n_child: u64, // internal: child[2] oids
     leaf_size: u64,
     int_size: u64,
@@ -107,7 +107,10 @@ impl<P: MemoryPolicy> CTree<P> {
     }
 
     fn child_field(&self, node_ptr: u64, dir: u64) -> u64 {
-        self.policy.gep(node_ptr, (self.layout.n_child + dir * self.layout.os) as i64)
+        self.policy.gep(
+            node_ptr,
+            (self.layout.n_child + dir * self.layout.os) as i64,
+        )
     }
 
     fn bump_count(&self, tx: &mut Tx<'_>, delta: i64) -> Result<()> {
@@ -118,7 +121,8 @@ impl<P: MemoryPolicy> CTree<P> {
     }
 
     fn root_field(&self) -> u64 {
-        self.policy.gep(self.policy.direct(self.meta), self.layout.m_root as i64)
+        self.policy
+            .gep(self.policy.direct(self.meta), self.layout.m_root as i64)
     }
 
     /// Walk to the leaf that `key` routes to (None if the tree is empty).
@@ -146,7 +150,12 @@ impl<P: MemoryPolicy> Index<P> for CTree<P> {
 
     fn open(policy: Arc<P>, meta: PmemOid) -> Result<Self> {
         let layout = CtLayout::new(policy.oid_kind().on_media_size());
-        Ok(CTree { policy, meta, layout, write_lock: Mutex::new(()) })
+        Ok(CTree {
+            policy,
+            meta,
+            layout,
+            write_lock: Mutex::new(()),
+        })
     }
 
     fn meta(&self) -> PmemOid {
@@ -156,7 +165,12 @@ impl<P: MemoryPolicy> Index<P> for CTree<P> {
     fn create(policy: Arc<P>) -> Result<Self> {
         let layout = CtLayout::new(policy.oid_kind().on_media_size());
         let meta = policy.zalloc(layout.m_size)?;
-        Ok(CTree { policy, meta, layout, write_lock: Mutex::new(()) })
+        Ok(CTree {
+            policy,
+            meta,
+            layout,
+            write_lock: Mutex::new(()),
+        })
     }
 
     fn insert(&self, key: u64, value: u64) -> Result<()> {
@@ -204,8 +218,11 @@ impl<P: MemoryPolicy> Index<P> for CTree<P> {
             }
             let displaced = p.load_oid(field)?;
             let new_leaf = self.new_leaf(tx, key, val)?;
-            let children =
-                if new_dir == 0 { [new_leaf, displaced] } else { [displaced, new_leaf] };
+            let children = if new_dir == 0 {
+                [new_leaf, displaced]
+            } else {
+                [displaced, new_leaf]
+            };
             let internal = self.new_internal(tx, diff, children)?;
             p.tx_write_oid(tx, field, internal)?;
             self.bump_count(tx, 1)

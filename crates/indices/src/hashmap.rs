@@ -74,18 +74,30 @@ impl<P: MemoryPolicy> HashMapTx<P> {
         let layout = HmLayout::new(policy.oid_kind().on_media_size());
         let meta = policy.zalloc(layout.m_size)?;
         let meta_ptr = policy.direct(meta);
-        let buckets =
-            policy.zalloc_into_ptr(policy.gep(meta_ptr, layout.m_buckets as i64), nbuckets * layout.os)?;
+        let buckets = policy.zalloc_into_ptr(
+            policy.gep(meta_ptr, layout.m_buckets as i64),
+            nbuckets * layout.os,
+        )?;
         policy.store_u64(policy.gep(meta_ptr, layout.m_nbuckets as i64), nbuckets)?;
         policy.persist(meta_ptr, layout.m_size)?;
-        Ok(HashMapTx { policy, meta, buckets, nbuckets, layout, write_lock: Mutex::new(()) })
+        Ok(HashMapTx {
+            policy,
+            meta,
+            buckets,
+            nbuckets,
+            layout,
+            write_lock: Mutex::new(()),
+        })
     }
 
     #[inline]
     fn bucket_field(&self, key: u64) -> u64 {
         let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let b = h % self.nbuckets;
-        self.policy.gep(self.policy.direct(self.buckets), (b * self.layout.os) as i64)
+        self.policy.gep(
+            self.policy.direct(self.buckets),
+            (b * self.layout.os) as i64,
+        )
     }
 
     fn bump_count(&self, tx: &mut spp_pmdk::Tx<'_>, delta: i64) -> Result<()> {
@@ -104,7 +116,14 @@ impl<P: MemoryPolicy> Index<P> for HashMapTx<P> {
         let mptr = policy.direct(meta);
         let buckets = policy.load_oid(policy.gep(mptr, layout.m_buckets as i64))?;
         let nbuckets = policy.load_u64(policy.gep(mptr, layout.m_nbuckets as i64))?;
-        Ok(HashMapTx { policy, meta, buckets, nbuckets, layout, write_lock: Mutex::new(()) })
+        Ok(HashMapTx {
+            policy,
+            meta,
+            buckets,
+            nbuckets,
+            layout,
+            write_lock: Mutex::new(()),
+        })
     }
 
     fn meta(&self) -> PmemOid {

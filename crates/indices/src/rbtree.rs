@@ -112,7 +112,8 @@ impl<P: MemoryPolicy> RbTree<P> {
     }
 
     fn root(&self) -> Result<PmemOid> {
-        self.policy.load_oid(self.field(self.meta, self.layout.m_root))
+        self.policy
+            .load_oid(self.field(self.meta, self.layout.m_root))
     }
 
     fn set_root(&self, tx: &mut Tx<'_>, v: PmemOid) -> Result<()> {
@@ -137,7 +138,11 @@ impl<P: MemoryPolicy> RbTree<P> {
 
     fn rotate(&self, tx: &mut Tx<'_>, x: PmemOid, left_rotate: bool) -> Result<()> {
         let l = self.layout;
-        let (near, far) = if left_rotate { (l.n_left, l.n_right) } else { (l.n_right, l.n_left) };
+        let (near, far) = if left_rotate {
+            (l.n_left, l.n_right)
+        } else {
+            (l.n_right, l.n_left)
+        };
         let y = self.oid_at(x, far)?;
         let y_near = self.oid_at(y, near)?;
         self.set_oid(tx, x, far, y_near)?;
@@ -164,8 +169,11 @@ impl<P: MemoryPolicy> RbTree<P> {
             let zp = self.parent(z)?;
             let zpp = self.parent(zp)?;
             let parent_is_left = self.left(zpp)?.off == zp.off;
-            let uncle =
-                if parent_is_left { self.right(zpp)? } else { self.left(zpp)? };
+            let uncle = if parent_is_left {
+                self.right(zpp)?
+            } else {
+                self.left(zpp)?
+            };
             if self.color(uncle)? == RED {
                 self.set_u64(tx, zp, l.n_color, BLACK)?;
                 self.set_u64(tx, uncle, l.n_color, BLACK)?;
@@ -210,7 +218,11 @@ impl<P: MemoryPolicy> RbTree<P> {
             if key == k {
                 return Ok(cur);
             }
-            cur = if key < k { self.left(cur)? } else { self.right(cur)? };
+            cur = if key < k {
+                self.left(cur)?
+            } else {
+                self.right(cur)?
+            };
         }
         Ok(self.nil)
     }
@@ -288,7 +300,12 @@ impl<P: MemoryPolicy> RbTree<P> {
 
     fn bump_count(&self, tx: &mut Tx<'_>, delta: i64) -> Result<()> {
         let n = self.u64_at(self.meta, self.layout.m_count)?;
-        self.set_u64(tx, self.meta, self.layout.m_count, n.wrapping_add(delta as u64))
+        self.set_u64(
+            tx,
+            self.meta,
+            self.layout.m_count,
+            n.wrapping_add(delta as u64),
+        )
     }
 
     /// Validate red-black invariants (test support): returns the black
@@ -336,7 +353,13 @@ impl<P: MemoryPolicy> Index<P> for RbTree<P> {
     fn open(policy: Arc<P>, meta: PmemOid) -> Result<Self> {
         let layout = RbLayout::new(policy.oid_kind().on_media_size());
         let nil = policy.load_oid(policy.gep(policy.direct(meta), layout.m_nil as i64))?;
-        Ok(RbTree { policy, meta, nil, layout, write_lock: Mutex::new(()) })
+        Ok(RbTree {
+            policy,
+            meta,
+            nil,
+            layout,
+            write_lock: Mutex::new(()),
+        })
     }
 
     fn meta(&self) -> PmemOid {
@@ -358,7 +381,13 @@ impl<P: MemoryPolicy> Index<P> for RbTree<P> {
         policy.store_oid(policy.gep(mptr, layout.m_nil as i64), nil)?;
         policy.store_oid(policy.gep(mptr, layout.m_root as i64), nil)?;
         policy.persist(mptr, layout.m_size)?;
-        Ok(RbTree { policy, meta, nil, layout, write_lock: Mutex::new(()) })
+        Ok(RbTree {
+            policy,
+            meta,
+            nil,
+            layout,
+            write_lock: Mutex::new(()),
+        })
     }
 
     fn insert(&self, key: u64, value: u64) -> Result<()> {
@@ -380,7 +409,11 @@ impl<P: MemoryPolicy> Index<P> for RbTree<P> {
                     return Ok(());
                 }
                 parent = cur;
-                cur = if key < k { self.left(cur)? } else { self.right(cur)? };
+                cur = if key < k {
+                    self.left(cur)?
+                } else {
+                    self.right(cur)?
+                };
             }
             let z = self.new_node(tx, key, val)?;
             self.set_oid(tx, z, l.n_parent, parent)?;

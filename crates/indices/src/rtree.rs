@@ -86,11 +86,15 @@ pub struct RTree<P: MemoryPolicy> {
 
 impl<P: MemoryPolicy> RTree<P> {
     fn root_field(&self) -> u64 {
-        self.policy.gep(self.policy.direct(self.meta), self.layout.m_root as i64)
+        self.policy
+            .gep(self.policy.direct(self.meta), self.layout.m_root as i64)
     }
 
     fn child_field(&self, node_ptr: u64, byte: u64) -> u64 {
-        self.policy.gep(node_ptr, (self.layout.i_children + byte * self.layout.os) as i64)
+        self.policy.gep(
+            node_ptr,
+            (self.layout.i_children + byte * self.layout.os) as i64,
+        )
     }
 
     fn new_leaf(&self, tx: &mut Tx<'_>, key: u64, value: PmemOid) -> Result<PmemOid> {
@@ -131,7 +135,12 @@ impl<P: MemoryPolicy> Index<P> for RTree<P> {
 
     fn open(policy: Arc<P>, meta: PmemOid) -> Result<Self> {
         let layout = RtLayout::new(policy.oid_kind().on_media_size());
-        Ok(RTree { policy, meta, layout, write_lock: Mutex::new(()) })
+        Ok(RTree {
+            policy,
+            meta,
+            layout,
+            write_lock: Mutex::new(()),
+        })
     }
 
     fn meta(&self) -> PmemOid {
@@ -141,7 +150,12 @@ impl<P: MemoryPolicy> Index<P> for RTree<P> {
     fn create(policy: Arc<P>) -> Result<Self> {
         let layout = RtLayout::new(policy.oid_kind().on_media_size());
         let meta = policy.zalloc(layout.m_size)?;
-        Ok(RTree { policy, meta, layout, write_lock: Mutex::new(()) })
+        Ok(RTree {
+            policy,
+            meta,
+            layout,
+            write_lock: Mutex::new(()),
+        })
     }
 
     fn insert(&self, key: u64, value: u64) -> Result<()> {

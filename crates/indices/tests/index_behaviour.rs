@@ -77,7 +77,11 @@ fn differential<P: MemoryPolicy, I: Index<P>>(policy: Arc<P>, ops: usize, seed: 
             }
             _ => {
                 let removed = idx.remove(key).unwrap();
-                assert_eq!(removed, reference.remove(&key).is_some(), "remove({key}) diverged");
+                assert_eq!(
+                    removed,
+                    reference.remove(&key).is_some(),
+                    "remove({key}) diverged"
+                );
             }
         }
     }
@@ -174,7 +178,10 @@ fn rbtree_invariants_under_churn() {
 #[test]
 fn extreme_keys() {
     // Crit-bit and radix trees branch on raw key bits: exercise extremes.
-    for keys in [[0u64, u64::MAX, 1, 1 << 63], [0x8000_0000_0000_0000, 0x7FFF_FFFF_FFFF_FFFF, 2, 3]] {
+    for keys in [
+        [0u64, u64::MAX, 1, 1 << 63],
+        [0x8000_0000_0000_0000, 0x7FFF_FFFF_FFFF_FFFF, 2, 3],
+    ] {
         let idx = CTree::create(spp(1 << 22)).unwrap();
         let rt = RTree::create(spp(1 << 24)).unwrap();
         for (i, &k) in keys.iter().enumerate() {
@@ -207,7 +214,13 @@ mod btree_bug_5333 {
         fill_full_leaf(&idx);
         let err = idx.remove_buggy(0).unwrap_err();
         assert!(
-            matches!(err, SppError::OverflowDetected { mechanism: "overflow-bit", .. }),
+            matches!(
+                err,
+                SppError::OverflowDetected {
+                    mechanism: "overflow-bit",
+                    ..
+                }
+            ),
             "expected overflow detection, got {err}"
         );
     }

@@ -107,7 +107,10 @@ fn visit(i: &Inst, cls: &mut Classification) {
         // are classified as unknown").
         Inst::Load { dst, .. } => cls.set(*dst, Origin::Unknown),
         Inst::PtrToInt { dst, .. } => cls.set(*dst, Origin::Volatile),
-        Inst::Store { .. } | Inst::CallExt { .. } | Inst::CallInt { .. } | Inst::DummyLoad { .. } => {}
+        Inst::Store { .. }
+        | Inst::CallExt { .. }
+        | Inst::CallInt { .. }
+        | Inst::DummyLoad { .. } => {}
         Inst::UpdateTag { .. } => {}
         Inst::CheckBound { dst, .. } => cls.set(*dst, Origin::Volatile), // masked address
         Inst::CleanTag { dst, .. } | Inst::CleanTagExternal { dst, .. } => {
@@ -128,10 +131,24 @@ mod tests {
         let vol = f.reg();
         let derived = f.reg();
         let loaded = f.reg();
-        f.push(Inst::AllocPm { dst: pm, size: Operand::Const(64) });
-        f.push(Inst::AllocVol { dst: vol, size: Operand::Const(64) });
-        f.push(Inst::Gep { dst: derived, base: pm, offset: Operand::Const(8) });
-        f.push(Inst::Load { dst: loaded, ptr: derived, size: 8 });
+        f.push(Inst::AllocPm {
+            dst: pm,
+            size: Operand::Const(64),
+        });
+        f.push(Inst::AllocVol {
+            dst: vol,
+            size: Operand::Const(64),
+        });
+        f.push(Inst::Gep {
+            dst: derived,
+            base: pm,
+            offset: Operand::Const(8),
+        });
+        f.push(Inst::Load {
+            dst: loaded,
+            ptr: derived,
+            size: 8,
+        });
         let cls = classify(&f);
         assert_eq!(cls.of(pm), Origin::Persistent);
         assert_eq!(cls.of(vol), Origin::Volatile);
@@ -143,8 +160,14 @@ mod tests {
     fn redefinition_joins_to_unknown() {
         let mut f = Function::new();
         let p = f.reg();
-        f.push(Inst::AllocPm { dst: p, size: Operand::Const(64) });
-        f.push(Inst::AllocVol { dst: p, size: Operand::Const(64) });
+        f.push(Inst::AllocPm {
+            dst: p,
+            size: Operand::Const(64),
+        });
+        f.push(Inst::AllocVol {
+            dst: p,
+            size: Operand::Const(64),
+        });
         let cls = classify(&f);
         assert_eq!(cls.of(p), Origin::Unknown);
     }
@@ -154,7 +177,10 @@ mod tests {
         let mut f = Function::new();
         let p = f.reg();
         let i = f.reg();
-        f.push(Inst::AllocPm { dst: p, size: Operand::Const(1024) });
+        f.push(Inst::AllocPm {
+            dst: p,
+            size: Operand::Const(1024),
+        });
         f.body.push(Stmt::Loop {
             counter: i,
             count: Operand::Const(4),

@@ -38,7 +38,11 @@ pub enum Inst {
     AllocVol { dst: Reg, size: Operand },
     /// Pointer arithmetic: `dst = base + offset` (a GEP). `dst` may equal
     /// `base`.
-    Gep { dst: Reg, base: Reg, offset: Operand },
+    Gep {
+        dst: Reg,
+        base: Reg,
+        offset: Operand,
+    },
     /// `dst = *ptr` (`size` bytes, ≤ 8, zero-extended).
     Load { dst: Reg, ptr: Reg, size: u8 },
     /// `*ptr = value` (`size` bytes).
@@ -47,7 +51,10 @@ pub enum Inst {
     PtrToInt { dst: Reg, src: Reg },
     /// Call into an uninstrumented external library, passing pointers.
     /// The VM models the callee as reading one byte through each pointer.
-    CallExt { name: &'static str, ptr_args: Vec<Reg> },
+    CallExt {
+        name: &'static str,
+        ptr_args: Vec<Reg>,
+    },
     /// Call an *internal* (instrumented) function of the same module: the
     /// callee receives `args[i]` in its register `Reg(i)`. Tagged pointers
     /// flow through unmasked — internal calls keep their tags (§IV-C).
@@ -55,10 +62,19 @@ pub enum Inst {
 
     // ---- hook instructions (inserted by the passes) ----
     /// `ptr = __spp_updatetag(ptr, offset)`; `direct` skips the PM-bit test.
-    UpdateTag { ptr: Reg, offset: Operand, direct: bool },
+    UpdateTag {
+        ptr: Reg,
+        offset: Operand,
+        direct: bool,
+    },
     /// `dst = __spp_checkbound(ptr, deref_size)` — the masked address to
     /// dereference.
-    CheckBound { dst: Reg, ptr: Reg, deref_size: u8, direct: bool },
+    CheckBound {
+        dst: Reg,
+        ptr: Reg,
+        deref_size: u8,
+        direct: bool,
+    },
     /// `dst = __spp_cleantag(src)`.
     CleanTag { dst: Reg, src: Reg },
     /// `dst = __spp_cleantag_external(src)` (before external calls).
@@ -75,7 +91,11 @@ pub enum Stmt {
     Inst(Inst),
     /// `for counter in 0..count { body }` — `counter` is visible to the
     /// body and increments by 1.
-    Loop { counter: Reg, count: Operand, body: Vec<Stmt> },
+    Loop {
+        counter: Reg,
+        count: Operand,
+        body: Vec<Stmt>,
+    },
 }
 
 /// A function: a register budget and a body.
@@ -135,7 +155,11 @@ mod tests {
         f.body.push(Stmt::Loop {
             counter: b,
             count: Operand::Const(3),
-            body: vec![Stmt::Inst(Inst::Add { dst: a, a: Operand::Reg(a), b: Operand::Const(1) })],
+            body: vec![Stmt::Inst(Inst::Add {
+                dst: a,
+                a: Operand::Reg(a),
+                b: Operand::Const(1),
+            })],
         });
         assert_eq!(f.count_insts(|i| matches!(i, Inst::Add { .. })), 1);
         assert_eq!(f.count_insts(|i| matches!(i, Inst::Const { .. })), 1);

@@ -63,8 +63,9 @@ fn param_count(m: &Module, f: usize) -> usize {
 /// site, where caller classifications themselves depend on *their* callers.
 pub fn lto_classify(m: &Module) -> LtoInfo {
     let n = m.functions.len();
-    let mut params: Vec<Vec<Origin>> =
-        (0..n).map(|f| vec![Origin::Unknown; param_count(m, f)]).collect();
+    let mut params: Vec<Vec<Origin>> = (0..n)
+        .map(|f| vec![Origin::Unknown; param_count(m, f)])
+        .collect();
     // Seed optimistically so the first join isn't poisoned by the
     // initial Unknown (join-only lattice ⇒ iterate from "no information").
     let mut seen_any: Vec<Vec<Option<Origin>>> =
@@ -115,7 +116,14 @@ pub fn spp_transform_module(
     let info = if lto {
         lto_classify(m)
     } else {
-        LtoInfo { params: m.functions.iter().enumerate().map(|(f, _)| vec![Origin::Unknown; param_count(m, f)]).collect() }
+        LtoInfo {
+            params: m
+                .functions
+                .iter()
+                .enumerate()
+                .map(|(f, _)| vec![Origin::Unknown; param_count(m, f)])
+                .collect(),
+        }
     };
     let mut out = Module::default();
     let mut stats = Vec::new();
@@ -149,7 +157,11 @@ mod tests {
         let mut f = Function::new();
         let p = f.reg(); // parameter 0
         let x = f.reg();
-        f.push(Inst::Load { dst: x, ptr: p, size: 8 });
+        f.push(Inst::Load {
+            dst: x,
+            ptr: p,
+            size: 8,
+        });
         f
     }
 
@@ -157,30 +169,48 @@ mod tests {
         let mut main = Function::new();
         let pm = main.reg();
         let vol = main.reg();
-        main.push(Inst::AllocPm { dst: pm, size: Operand::Const(64) });
-        main.push(Inst::AllocVol { dst: vol, size: Operand::Const(64) });
+        main.push(Inst::AllocPm {
+            dst: pm,
+            size: Operand::Const(64),
+        });
+        main.push(Inst::AllocVol {
+            dst: vol,
+            size: Operand::Const(64),
+        });
         if pm_arg {
-            main.push(Inst::CallInt { func: 1, args: vec![pm] });
+            main.push(Inst::CallInt {
+                func: 1,
+                args: vec![pm],
+            });
         }
         if vol_arg {
-            main.push(Inst::CallInt { func: 1, args: vec![vol] });
+            main.push(Inst::CallInt {
+                func: 1,
+                args: vec![vol],
+            });
         }
         main
     }
 
     #[test]
     fn single_category_callers_classify_the_parameter() {
-        let m = Module { functions: vec![entry_calling_with(true, false), deref_callee()] };
+        let m = Module {
+            functions: vec![entry_calling_with(true, false), deref_callee()],
+        };
         let info = lto_classify(&m);
         assert_eq!(info.params[1], vec![Origin::Persistent]);
 
-        let m = Module { functions: vec![entry_calling_with(false, true), deref_callee()] };
+        let m = Module {
+            functions: vec![entry_calling_with(false, true), deref_callee()],
+        };
         assert_eq!(lto_classify(&m).params[1], vec![Origin::Volatile]);
     }
 
     #[test]
     fn mixed_callers_fall_back_to_unknown() {
-        let m = Module { functions: vec![entry_calling_with(true, true), deref_callee()] };
+        let m = Module {
+            functions: vec![entry_calling_with(true, true), deref_callee()],
+        };
         assert_eq!(lto_classify(&m).params[1], vec![Origin::Unknown]);
     }
 
@@ -189,7 +219,10 @@ mod tests {
         // main -> wrapper(pm) -> deref(arg): both levels classify.
         let mut wrapper = Function::new();
         let p = wrapper.reg();
-        wrapper.push(Inst::CallInt { func: 2, args: vec![p] });
+        wrapper.push(Inst::CallInt {
+            func: 2,
+            args: vec![p],
+        });
         let m = Module {
             functions: vec![entry_calling_with(true, false), wrapper, deref_callee()],
         };
@@ -200,7 +233,9 @@ mod tests {
 
     #[test]
     fn lto_removes_runtime_type_checks_in_callee() {
-        let m = Module { functions: vec![entry_calling_with(true, false), deref_callee()] };
+        let m = Module {
+            functions: vec![entry_calling_with(true, false), deref_callee()],
+        };
         // Without LTO the callee's parameter is unknown: checked hooks.
         let (_t, stats) = spp_transform_module(&m, true, false);
         assert_eq!(stats[1].direct_hooks, 0);
@@ -211,7 +246,9 @@ mod tests {
         // Volatile-only callers prune the callee's instrumentation
         // entirely ("prune injected calls when they have a volatile
         // pointer as argument", §V-A).
-        let m = Module { functions: vec![entry_calling_with(false, true), deref_callee()] };
+        let m = Module {
+            functions: vec![entry_calling_with(false, true), deref_callee()],
+        };
         let (_t, stats) = spp_transform_module(&m, true, true);
         assert_eq!(stats[1].check_bounds, 0);
         assert_eq!(stats[1].skipped_volatile, 1);
@@ -219,7 +256,9 @@ mod tests {
 
     #[test]
     fn transformed_module_executes_with_tags_flowing_through_calls() {
-        let m = Module { functions: vec![entry_calling_with(true, false), deref_callee()] };
+        let m = Module {
+            functions: vec![entry_calling_with(true, false), deref_callee()],
+        };
         let (t, _) = spp_transform_module(&m, true, true);
         let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 20)));
         let pool = Arc::new(ObjPool::create(pm, PoolOpts::small()).unwrap());
@@ -235,13 +274,29 @@ mod tests {
         let mut callee = Function::new();
         let p = callee.reg();
         let x = callee.reg();
-        callee.push(Inst::Gep { dst: p, base: p, offset: Operand::Const(64) });
-        callee.push(Inst::Load { dst: x, ptr: p, size: 8 });
+        callee.push(Inst::Gep {
+            dst: p,
+            base: p,
+            offset: Operand::Const(64),
+        });
+        callee.push(Inst::Load {
+            dst: x,
+            ptr: p,
+            size: 8,
+        });
         let mut main = Function::new();
         let pm = main.reg();
-        main.push(Inst::AllocPm { dst: pm, size: Operand::Const(64) });
-        main.push(Inst::CallInt { func: 1, args: vec![pm] });
-        let m = Module { functions: vec![main, callee] };
+        main.push(Inst::AllocPm {
+            dst: pm,
+            size: Operand::Const(64),
+        });
+        main.push(Inst::CallInt {
+            func: 1,
+            args: vec![pm],
+        });
+        let m = Module {
+            functions: vec![main, callee],
+        };
         let (t, _) = spp_transform_module(&m, true, true);
         let pmp = Arc::new(PmPool::new(PoolConfig::new(1 << 20)));
         let pool = Arc::new(ObjPool::create(pmp, PoolOpts::small()).unwrap());

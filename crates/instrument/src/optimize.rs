@@ -27,9 +27,11 @@ fn uses_reg(stmts: &[Stmt], r: Reg) -> bool {
         matches!(op, Operand::Reg(x) if *x == r)
     }
     stmts.iter().any(|s| match s {
-        Stmt::Loop { counter, count, body } => {
-            *counter == r || op_uses(count, r) || uses_reg(body, r)
-        }
+        Stmt::Loop {
+            counter,
+            count,
+            body,
+        } => *counter == r || op_uses(count, r) || uses_reg(body, r),
         Stmt::Inst(i) => match i {
             Inst::Const { dst, .. } => *dst == r,
             Inst::Add { dst, a, b } | Inst::Mul { dst, a, b } => {
@@ -78,24 +80,42 @@ fn match_walk_body(body: &[Stmt]) -> Option<WalkBody> {
         })
         .collect::<Option<_>>()?;
     let (p, stride) = match insts[0] {
-        Inst::Gep { dst, base, offset: Operand::Const(c) } if dst == base => (*dst, *c),
+        Inst::Gep {
+            dst,
+            base,
+            offset: Operand::Const(c),
+        } if dst == base => (*dst, *c),
         _ => return None,
     };
     let direct = match insts[1] {
-        Inst::UpdateTag { ptr, offset: Operand::Const(c), direct } if *ptr == p && *c == stride => {
-            *direct
-        }
+        Inst::UpdateTag {
+            ptr,
+            offset: Operand::Const(c),
+            direct,
+        } if *ptr == p && *c == stride => *direct,
         _ => return None,
     };
     let (masked, deref_size) = match insts[2] {
-        Inst::CheckBound { dst, ptr, deref_size, .. } if *ptr == p => (*dst, *deref_size),
+        Inst::CheckBound {
+            dst,
+            ptr,
+            deref_size,
+            ..
+        } if *ptr == p => (*dst, *deref_size),
         _ => return None,
     };
     match insts[3] {
         Inst::Load { ptr, size, .. } | Inst::Store { ptr, size, .. }
             if *ptr == masked && *size == deref_size =>
         {
-            Some(WalkBody { ptr: p, stride, deref_size, direct, access: insts[3].clone(), masked })
+            Some(WalkBody {
+                ptr: p,
+                stride,
+                deref_size,
+                direct,
+                access: insts[3].clone(),
+                masked,
+            })
         }
         _ => None,
     }
@@ -123,7 +143,11 @@ fn hoist_walk(stmts: Vec<Stmt>, regs: &mut u32, stats: &mut OptStats) -> Vec<Stm
     let _ = n;
     while let Some((_, s)) = iter.next() {
         match s {
-            Stmt::Loop { counter, count, body } => {
+            Stmt::Loop {
+                counter,
+                count,
+                body,
+            } => {
                 // Liveness of the walked pointer after this loop: collect
                 // remaining statements once.
                 rest_cache.clear();
@@ -137,7 +161,11 @@ fn hoist_walk(stmts: Vec<Stmt>, regs: &mut u32, stats: &mut OptStats) -> Vec<Stm
                     }
                 }
                 let body = hoist_walk(body, regs, stats);
-                out.push(Stmt::Loop { counter, count, body });
+                out.push(Stmt::Loop {
+                    counter,
+                    count,
+                    body,
+                });
             }
             other => out.push(other),
         }
@@ -145,7 +173,13 @@ fn hoist_walk(stmts: Vec<Stmt>, regs: &mut u32, stats: &mut OptStats) -> Vec<Stm
     out
 }
 
-fn emit_hoisted(out: &mut Vec<Stmt>, regs: &mut u32, counter: Reg, count: Operand, walk: &WalkBody) {
+fn emit_hoisted(
+    out: &mut Vec<Stmt>,
+    regs: &mut u32,
+    counter: Reg,
+    count: Operand,
+    walk: &WalkBody,
+) {
     // max byte touched (relative to the incoming pointer):
     //   stride * count + deref_size - 1
     let max_off = fresh(regs);
@@ -169,23 +203,36 @@ fn emit_hoisted(out: &mut Vec<Stmt>, regs: &mut u32, counter: Reg, count: Operan
     }
     // Preheader: single tag update on a copy + dummy bound-checking load.
     let chk = fresh(regs);
-    out.push(Stmt::Inst(Inst::Copy { dst: chk, src: walk.ptr }));
+    out.push(Stmt::Inst(Inst::Copy {
+        dst: chk,
+        src: walk.ptr,
+    }));
     out.push(Stmt::Inst(Inst::UpdateTag {
         ptr: chk,
         offset: Operand::Reg(max_off),
         direct: walk.direct,
     }));
     let chk_masked = fresh(regs);
-    out.push(Stmt::Inst(Inst::CleanTag { dst: chk_masked, src: chk }));
+    out.push(Stmt::Inst(Inst::CleanTag {
+        dst: chk_masked,
+        src: chk,
+    }));
     out.push(Stmt::Inst(Inst::DummyLoad { ptr: chk_masked }));
     // Body: stride the *masked* pointer — no PM bit, no hooks.
     let m = walk.masked;
-    out.push(Stmt::Inst(Inst::CleanTag { dst: m, src: walk.ptr }));
+    out.push(Stmt::Inst(Inst::CleanTag {
+        dst: m,
+        src: walk.ptr,
+    }));
     out.push(Stmt::Loop {
         counter,
         count,
         body: vec![
-            Stmt::Inst(Inst::Gep { dst: m, base: m, offset: Operand::Const(walk.stride) }),
+            Stmt::Inst(Inst::Gep {
+                dst: m,
+                base: m,
+                offset: Operand::Const(walk.stride),
+            }),
             Stmt::Inst(walk.access.clone()),
         ],
     });
@@ -208,9 +255,15 @@ fn preempt_block(stmts: Vec<Stmt>, regs: &mut u32, stats: &mut OptStats) -> Vec<
     let stmts: Vec<Stmt> = stmts
         .into_iter()
         .map(|s| match s {
-            Stmt::Loop { counter, count, body } => {
-                Stmt::Loop { counter, count, body: preempt_block(body, regs, stats) }
-            }
+            Stmt::Loop {
+                counter,
+                count,
+                body,
+            } => Stmt::Loop {
+                counter,
+                count,
+                body: preempt_block(body, regs, stats),
+            },
             other => other,
         })
         .collect();
@@ -255,7 +308,11 @@ fn collect_groups(stmts: &[Stmt]) -> (Vec<Group>, usize, Option<Reg>) {
             Some(w) if (w.stride as i64) > 0 && (ptr.is_none() || ptr == Some(w.ptr)) => {
                 ptr = Some(w.ptr);
                 cum += w.stride;
-                groups.push(Group { cum_off: cum, access: w.access, direct: w.direct });
+                groups.push(Group {
+                    cum_off: cum,
+                    access: w.access,
+                    direct: w.direct,
+                });
                 idx += 4;
             }
             _ => break,
@@ -288,22 +345,45 @@ fn emit_coalesced(out: &mut Vec<Stmt>, regs: &mut u32, p: Reg, groups: &[Group])
         direct,
     }));
     let chk_masked = fresh(regs);
-    out.push(Stmt::Inst(Inst::CleanTag { dst: chk_masked, src: chk }));
+    out.push(Stmt::Inst(Inst::CleanTag {
+        dst: chk_masked,
+        src: chk,
+    }));
     out.push(Stmt::Inst(Inst::DummyLoad { ptr: chk_masked }));
     // Masked base; accesses at absolute offsets, hook-free.
     let base = fresh(regs);
     out.push(Stmt::Inst(Inst::CleanTag { dst: base, src: p }));
     for g in groups {
         let addr = fresh(regs);
-        out.push(Stmt::Inst(Inst::Gep { dst: addr, base, offset: Operand::Const(g.cum_off) }));
+        out.push(Stmt::Inst(Inst::Gep {
+            dst: addr,
+            base,
+            offset: Operand::Const(g.cum_off),
+        }));
         let access = match &g.access {
-            Inst::Load { dst, size, .. } => Inst::Load { dst: *dst, ptr: addr, size: *size },
-            Inst::Store { value, size, .. } => Inst::Store { ptr: addr, value: *value, size: *size },
+            Inst::Load { dst, size, .. } => Inst::Load {
+                dst: *dst,
+                ptr: addr,
+                size: *size,
+            },
+            Inst::Store { value, size, .. } => Inst::Store {
+                ptr: addr,
+                value: *value,
+                size: *size,
+            },
             other => other.clone(),
         };
         out.push(Stmt::Inst(access));
     }
     // Keep `p` advanced for any later uses (tag included, one hook).
-    out.push(Stmt::Inst(Inst::Gep { dst: p, base: p, offset: Operand::Const(total) }));
-    out.push(Stmt::Inst(Inst::UpdateTag { ptr: p, offset: Operand::Const(total), direct }));
+    out.push(Stmt::Inst(Inst::Gep {
+        dst: p,
+        base: p,
+        offset: Operand::Const(total),
+    }));
+    out.push(Stmt::Inst(Inst::UpdateTag {
+        ptr: p,
+        offset: Operand::Const(total),
+        direct,
+    }));
 }

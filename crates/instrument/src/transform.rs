@@ -38,9 +38,18 @@ pub fn spp_transform_with_params(
     params: &[crate::classify::Origin],
 ) -> (Function, TransformStats) {
     let cls = crate::classify::classify_with_params(f, params);
-    let mut out = Function { regs: f.regs, body: Vec::new() };
+    let mut out = Function {
+        regs: f.regs,
+        body: Vec::new(),
+    };
     let mut stats = TransformStats::default();
-    let origin_of = |r: Reg| if pointer_tracking { cls.of(r) } else { Origin::Unknown };
+    let origin_of = |r: Reg| {
+        if pointer_tracking {
+            cls.of(r)
+        } else {
+            Origin::Unknown
+        }
+    };
     out.body = walk(&f.body, &mut out.regs, &origin_of, &mut stats);
     (out, stats)
 }
@@ -54,9 +63,17 @@ fn walk(
     let mut out = Vec::with_capacity(stmts.len() * 2);
     for s in stmts {
         match s {
-            Stmt::Loop { counter, count, body } => {
+            Stmt::Loop {
+                counter,
+                count,
+                body,
+            } => {
                 let body = walk(body, regs, origin_of, stats);
-                out.push(Stmt::Loop { counter: *counter, count: *count, body });
+                out.push(Stmt::Loop {
+                    counter: *counter,
+                    count: *count,
+                    body,
+                });
             }
             Stmt::Inst(i) => transform_inst(i, regs, origin_of, stats, &mut out),
         }
@@ -89,33 +106,39 @@ fn transform_inst(
                         stats.direct_hooks += 1;
                     }
                     stats.update_tags += 1;
-                    out.push(Stmt::Inst(Inst::UpdateTag { ptr: *dst, offset: *offset, direct }));
-                }
-            }
-        }
-        Inst::Load { dst, ptr, size } => {
-            match origin_of(*ptr) {
-                Origin::Volatile => {
-                    stats.skipped_volatile += 1;
-                    out.push(Stmt::Inst(i.clone()));
-                }
-                origin => {
-                    let direct = origin == Origin::Persistent;
-                    if direct {
-                        stats.direct_hooks += 1;
-                    }
-                    stats.check_bounds += 1;
-                    let masked = fresh(regs);
-                    out.push(Stmt::Inst(Inst::CheckBound {
-                        dst: masked,
-                        ptr: *ptr,
-                        deref_size: *size,
+                    out.push(Stmt::Inst(Inst::UpdateTag {
+                        ptr: *dst,
+                        offset: *offset,
                         direct,
                     }));
-                    out.push(Stmt::Inst(Inst::Load { dst: *dst, ptr: masked, size: *size }));
                 }
             }
         }
+        Inst::Load { dst, ptr, size } => match origin_of(*ptr) {
+            Origin::Volatile => {
+                stats.skipped_volatile += 1;
+                out.push(Stmt::Inst(i.clone()));
+            }
+            origin => {
+                let direct = origin == Origin::Persistent;
+                if direct {
+                    stats.direct_hooks += 1;
+                }
+                stats.check_bounds += 1;
+                let masked = fresh(regs);
+                out.push(Stmt::Inst(Inst::CheckBound {
+                    dst: masked,
+                    ptr: *ptr,
+                    deref_size: *size,
+                    direct,
+                }));
+                out.push(Stmt::Inst(Inst::Load {
+                    dst: *dst,
+                    ptr: masked,
+                    size: *size,
+                }));
+            }
+        },
         Inst::Store { ptr, value, size } => match origin_of(*ptr) {
             Origin::Volatile => {
                 stats.skipped_volatile += 1;
@@ -134,7 +157,11 @@ fn transform_inst(
                     deref_size: *size,
                     direct,
                 }));
-                out.push(Stmt::Inst(Inst::Store { ptr: masked, value: *value, size: *size }));
+                out.push(Stmt::Inst(Inst::Store {
+                    ptr: masked,
+                    value: *value,
+                    size: *size,
+                }));
             }
         },
         Inst::PtrToInt { dst, src } => match origin_of(*src) {
@@ -145,8 +172,14 @@ fn transform_inst(
             _ => {
                 stats.clean_tags += 1;
                 let cleaned = fresh(regs);
-                out.push(Stmt::Inst(Inst::CleanTag { dst: cleaned, src: *src }));
-                out.push(Stmt::Inst(Inst::PtrToInt { dst: *dst, src: cleaned }));
+                out.push(Stmt::Inst(Inst::CleanTag {
+                    dst: cleaned,
+                    src: *src,
+                }));
+                out.push(Stmt::Inst(Inst::PtrToInt {
+                    dst: *dst,
+                    src: cleaned,
+                }));
             }
         },
         other => out.push(Stmt::Inst(other.clone())),
@@ -175,9 +208,17 @@ fn mask_walk(
     let mut out = Vec::with_capacity(stmts.len());
     for s in stmts {
         match s {
-            Stmt::Loop { counter, count, body } => {
+            Stmt::Loop {
+                counter,
+                count,
+                body,
+            } => {
                 let body = mask_walk(body, cls, regs, masked_count);
-                out.push(Stmt::Loop { counter, count, body });
+                out.push(Stmt::Loop {
+                    counter,
+                    count,
+                    body,
+                });
             }
             Stmt::Inst(Inst::CallExt { name, ptr_args }) => {
                 let mut new_args = Vec::with_capacity(ptr_args.len());
@@ -187,11 +228,17 @@ fn mask_walk(
                         continue;
                     }
                     let cleaned = fresh(regs);
-                    out.push(Stmt::Inst(Inst::CleanTagExternal { dst: cleaned, src: arg }));
+                    out.push(Stmt::Inst(Inst::CleanTagExternal {
+                        dst: cleaned,
+                        src: arg,
+                    }));
                     new_args.push(cleaned);
                     *masked_count += 1;
                 }
-                out.push(Stmt::Inst(Inst::CallExt { name, ptr_args: new_args }));
+                out.push(Stmt::Inst(Inst::CallExt {
+                    name,
+                    ptr_args: new_args,
+                }));
             }
             other => out.push(other),
         }
@@ -209,12 +256,34 @@ mod tests {
         let pm = f.reg();
         let vol = f.reg();
         let x = f.reg();
-        f.push(Inst::AllocPm { dst: pm, size: Operand::Const(64) });
-        f.push(Inst::AllocVol { dst: vol, size: Operand::Const(64) });
-        f.push(Inst::Gep { dst: pm, base: pm, offset: Operand::Const(8) });
-        f.push(Inst::Gep { dst: vol, base: vol, offset: Operand::Const(8) });
-        f.push(Inst::Load { dst: x, ptr: pm, size: 8 });
-        f.push(Inst::Store { ptr: vol, value: Operand::Reg(x), size: 8 });
+        f.push(Inst::AllocPm {
+            dst: pm,
+            size: Operand::Const(64),
+        });
+        f.push(Inst::AllocVol {
+            dst: vol,
+            size: Operand::Const(64),
+        });
+        f.push(Inst::Gep {
+            dst: pm,
+            base: pm,
+            offset: Operand::Const(8),
+        });
+        f.push(Inst::Gep {
+            dst: vol,
+            base: vol,
+            offset: Operand::Const(8),
+        });
+        f.push(Inst::Load {
+            dst: x,
+            ptr: pm,
+            size: 8,
+        });
+        f.push(Inst::Store {
+            ptr: vol,
+            value: Operand::Reg(x),
+            size: 8,
+        });
         f
     }
 
@@ -225,7 +294,10 @@ mod tests {
         assert_eq!(stats.check_bounds, 1); // only the PM load
         assert_eq!(stats.skipped_volatile, 2); // vol gep + vol store
         assert_eq!(stats.direct_hooks, 2); // both PM hooks proven persistent
-        assert_eq!(t.count_insts(|i| matches!(i, Inst::UpdateTag { direct: true, .. })), 1);
+        assert_eq!(
+            t.count_insts(|i| matches!(i, Inst::UpdateTag { direct: true, .. })),
+            1
+        );
     }
 
     #[test]
@@ -243,7 +315,10 @@ mod tests {
         let mut f = Function::new();
         let pm = f.reg();
         let n = f.reg();
-        f.push(Inst::AllocPm { dst: pm, size: Operand::Const(8) });
+        f.push(Inst::AllocPm {
+            dst: pm,
+            size: Operand::Const(8),
+        });
         f.push(Inst::PtrToInt { dst: n, src: pm });
         let (t, stats) = spp_transform(&f, true);
         assert_eq!(stats.clean_tags, 1);
@@ -255,11 +330,23 @@ mod tests {
         let mut f = Function::new();
         let pm = f.reg();
         let vol = f.reg();
-        f.push(Inst::AllocPm { dst: pm, size: Operand::Const(8) });
-        f.push(Inst::AllocVol { dst: vol, size: Operand::Const(8) });
-        f.push(Inst::CallExt { name: "write", ptr_args: vec![pm, vol] });
+        f.push(Inst::AllocPm {
+            dst: pm,
+            size: Operand::Const(8),
+        });
+        f.push(Inst::AllocVol {
+            dst: vol,
+            size: Operand::Const(8),
+        });
+        f.push(Inst::CallExt {
+            name: "write",
+            ptr_args: vec![pm, vol],
+        });
         let masked = mask_external_calls(&mut f);
         assert_eq!(masked, 1);
-        assert_eq!(f.count_insts(|i| matches!(i, Inst::CleanTagExternal { .. })), 1);
+        assert_eq!(
+            f.count_insts(|i| matches!(i, Inst::CleanTagExternal { .. })),
+            1
+        );
     }
 }

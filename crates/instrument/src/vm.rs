@@ -104,7 +104,9 @@ impl Vm {
     /// A [`Trap`] — including [`Trap::Overflow`] for SPP detections.
     pub fn run(&mut self, f: &Function) -> Result<(), Trap> {
         self.regs = vec![0; f.regs as usize];
-        let module = crate::module::Module { functions: vec![f.clone()] };
+        let module = crate::module::Module {
+            functions: vec![f.clone()],
+        };
         self.exec_block(&f.body, &module)
     }
 
@@ -143,7 +145,11 @@ impl Vm {
                     result?;
                 }
                 Stmt::Inst(i) => self.exec_inst(i)?,
-                Stmt::Loop { counter, count, body } => {
+                Stmt::Loop {
+                    counter,
+                    count,
+                    body,
+                } => {
                     let n = self.eval(*count);
                     for i in 0..n {
                         self.set(*counter, i)?;
@@ -183,7 +189,9 @@ impl Vm {
     fn read_mem(&self, va: u64, len: usize) -> Result<u64, Trap> {
         let mut buf = [0u8; 8];
         if let Ok(off) = self.pool.pm().resolve(va, len) {
-            self.pool.read(off, &mut buf[..len]).map_err(|_| Trap::Fault { va })?;
+            self.pool
+                .read(off, &mut buf[..len])
+                .map_err(|_| Trap::Fault { va })?;
             return Ok(u64::from_le_bytes(buf));
         }
         let a = va.wrapping_sub(ARENA_BASE) as usize;
@@ -197,7 +205,9 @@ impl Vm {
     fn write_mem(&mut self, va: u64, value: u64, len: usize) -> Result<(), Trap> {
         let bytes = value.to_le_bytes();
         if let Ok(off) = self.pool.pm().resolve(va, len) {
-            self.pool.write(off, &bytes[..len]).map_err(|_| Trap::Fault { va })?;
+            self.pool
+                .write(off, &bytes[..len])
+                .map_err(|_| Trap::Fault { va })?;
             return Ok(());
         }
         let a = va.wrapping_sub(ARENA_BASE) as usize;
@@ -229,9 +239,7 @@ impl Vm {
                 let va = self.pool.pm().base() + oid.off;
                 let ptr = match self.mode {
                     VmMode::Native => va,
-                    VmMode::Spp | VmMode::SppAll => {
-                        self.runtime.config().make_tagged(va, size)
-                    }
+                    VmMode::Spp | VmMode::SppAll => self.runtime.config().make_tagged(va, size),
                 };
                 self.set(*dst, ptr)
             }
@@ -254,7 +262,9 @@ impl Vm {
                 // A *plain* GEP: address arithmetic only. The tag moves via
                 // the injected UpdateTag (or doesn't, in a native build —
                 // which is fine: native pointers carry no tag).
-                let v = self.eval(Operand::Reg(*base)).wrapping_add(self.eval(*offset));
+                let v = self
+                    .eval(Operand::Reg(*base))
+                    .wrapping_add(self.eval(*offset));
                 self.set(*dst, v)
             }
             Inst::Load { dst, ptr, size } => {
@@ -282,7 +292,11 @@ impl Vm {
                 }
                 Ok(())
             }
-            Inst::UpdateTag { ptr, offset, direct } => {
+            Inst::UpdateTag {
+                ptr,
+                offset,
+                direct,
+            } => {
                 let va = self.eval(Operand::Reg(*ptr));
                 let off = self.eval(*offset) as i64;
                 let v = if *direct {
@@ -292,7 +306,12 @@ impl Vm {
                 };
                 self.set(*ptr, v)
             }
-            Inst::CheckBound { dst, ptr, deref_size, direct } => {
+            Inst::CheckBound {
+                dst,
+                ptr,
+                deref_size,
+                direct,
+            } => {
                 let va = self.eval(Operand::Reg(*ptr));
                 let v = if *direct {
                     self.runtime.checkbound_direct(va, u64::from(*deref_size))
@@ -342,9 +361,20 @@ mod tests {
         let mut f = Function::new();
         let p = f.reg();
         let x = f.reg();
-        f.push(Inst::AllocPm { dst: p, size: Operand::Const(64) });
-        f.push(Inst::Store { ptr: p, value: Operand::Const(0xAB), size: 8 });
-        f.push(Inst::Load { dst: x, ptr: p, size: 8 });
+        f.push(Inst::AllocPm {
+            dst: p,
+            size: Operand::Const(64),
+        });
+        f.push(Inst::Store {
+            ptr: p,
+            value: Operand::Const(0xAB),
+            size: 8,
+        });
+        f.push(Inst::Load {
+            dst: x,
+            ptr: p,
+            size: 8,
+        });
         let mut vm = vm(VmMode::Native);
         vm.run(&f).unwrap();
         assert_eq!(vm.reg(x), 0xAB);
@@ -356,8 +386,15 @@ mod tests {
         // reaches the load raw and resolves nowhere.
         let mut f = Function::new();
         let p = f.reg();
-        f.push(Inst::AllocPm { dst: p, size: Operand::Const(64) });
-        f.push(Inst::Store { ptr: p, value: Operand::Const(1), size: 8 });
+        f.push(Inst::AllocPm {
+            dst: p,
+            size: Operand::Const(64),
+        });
+        f.push(Inst::Store {
+            ptr: p,
+            value: Operand::Const(1),
+            size: 8,
+        });
         let mut vm = vm(VmMode::Spp);
         let err = vm.run(&f).unwrap_err();
         assert!(matches!(err, Trap::Fault { .. } | Trap::Overflow { .. }));
@@ -368,9 +405,20 @@ mod tests {
         let mut f = Function::new();
         let p = f.reg();
         let x = f.reg();
-        f.push(Inst::AllocVol { dst: p, size: Operand::Const(32) });
-        f.push(Inst::Store { ptr: p, value: Operand::Const(7), size: 4 });
-        f.push(Inst::Load { dst: x, ptr: p, size: 4 });
+        f.push(Inst::AllocVol {
+            dst: p,
+            size: Operand::Const(32),
+        });
+        f.push(Inst::Store {
+            ptr: p,
+            value: Operand::Const(7),
+            size: 4,
+        });
+        f.push(Inst::Load {
+            dst: x,
+            ptr: p,
+            size: 4,
+        });
         let mut vm = vm(VmMode::Spp);
         vm.run(&f).unwrap();
         assert_eq!(vm.reg(x), 7);

@@ -24,13 +24,24 @@ fn walk_program(slots: u64, iters: u64) -> (Function, spp_instrument::Reg) {
     let p = f.reg();
     let x = f.reg();
     let i = f.reg();
-    f.push(Inst::AllocPm { dst: p, size: Operand::Const((slots + 1) * 8) });
+    f.push(Inst::AllocPm {
+        dst: p,
+        size: Operand::Const((slots + 1) * 8),
+    });
     f.body.push(Stmt::Loop {
         counter: i,
         count: Operand::Const(iters),
         body: vec![
-            Stmt::Inst(Inst::Gep { dst: p, base: p, offset: Operand::Const(8) }),
-            Stmt::Inst(Inst::Load { dst: x, ptr: p, size: 8 }),
+            Stmt::Inst(Inst::Gep {
+                dst: p,
+                base: p,
+                offset: Operand::Const(8),
+            }),
+            Stmt::Inst(Inst::Load {
+                dst: x,
+                ptr: p,
+                size: 8,
+            }),
         ],
     });
     (f, x)
@@ -108,7 +119,11 @@ fn hoisting_skips_loops_whose_pointer_is_live_out() {
     // Use the pointer after the loop: hoisting must not fire.
     let y = f.reg();
     let p = spp_instrument::Reg(0);
-    f.push(Inst::Load { dst: y, ptr: p, size: 8 });
+    f.push(Inst::Load {
+        dst: y,
+        ptr: p,
+        size: 8,
+    });
     let (mut t, _) = spp_transform(&f, true);
     assert_eq!(hoist_loop_checks(&mut t).loops_hoisted, 0);
     let mut m = vm(VmMode::Spp);
@@ -121,10 +136,21 @@ fn straightline_program(accesses: u64, object_slots: u64) -> Function {
     let mut f = Function::new();
     let p = f.reg();
     let x = f.reg();
-    f.push(Inst::AllocPm { dst: p, size: Operand::Const((object_slots + 1) * 8) });
+    f.push(Inst::AllocPm {
+        dst: p,
+        size: Operand::Const((object_slots + 1) * 8),
+    });
     for _ in 0..accesses {
-        f.push(Inst::Gep { dst: p, base: p, offset: Operand::Const(8) });
-        f.push(Inst::Load { dst: x, ptr: p, size: 8 });
+        f.push(Inst::Gep {
+            dst: p,
+            base: p,
+            offset: Operand::Const(8),
+        });
+        f.push(Inst::Load {
+            dst: x,
+            ptr: p,
+            size: 8,
+        });
     }
     f
 }
@@ -160,14 +186,33 @@ fn preemption_preserves_values() {
     let mut f = Function::new();
     let p = f.reg();
     let x = f.reg();
-    f.push(Inst::AllocPm { dst: p, size: Operand::Const(64) });
+    f.push(Inst::AllocPm {
+        dst: p,
+        size: Operand::Const(64),
+    });
     for k in 0..3u64 {
-        f.push(Inst::Gep { dst: p, base: p, offset: Operand::Const(8) });
-        f.push(Inst::Store { ptr: p, value: Operand::Const(100 + k), size: 8 });
+        f.push(Inst::Gep {
+            dst: p,
+            base: p,
+            offset: Operand::Const(8),
+        });
+        f.push(Inst::Store {
+            ptr: p,
+            value: Operand::Const(100 + k),
+            size: 8,
+        });
     }
     // Walk back and read the first stored slot.
-    f.push(Inst::Gep { dst: p, base: p, offset: Operand::Const(-16i64 as u64) });
-    f.push(Inst::Load { dst: x, ptr: p, size: 8 });
+    f.push(Inst::Gep {
+        dst: p,
+        base: p,
+        offset: Operand::Const(-16i64 as u64),
+    });
+    f.push(Inst::Load {
+        dst: x,
+        ptr: p,
+        size: 8,
+    });
 
     let (t_plain, _) = spp_transform(&f, true);
     let mut m1 = vm(VmMode::Spp);
@@ -186,8 +231,14 @@ fn preemption_preserves_values() {
 fn external_call_needs_lto_masking() {
     let mut f = Function::new();
     let p = f.reg();
-    f.push(Inst::AllocPm { dst: p, size: Operand::Const(32) });
-    f.push(Inst::CallExt { name: "read", ptr_args: vec![p] });
+    f.push(Inst::AllocPm {
+        dst: p,
+        size: Operand::Const(32),
+    });
+    f.push(Inst::CallExt {
+        name: "read",
+        ptr_args: vec![p],
+    });
     let (t, _) = spp_transform(&f, true);
     // Without the LTO pass: the uninstrumented callee dereferences the
     // tagged pointer and faults (the incompatibility §IV-C solves).
@@ -205,7 +256,10 @@ fn ptrtoint_value_is_the_plain_address() {
     let mut f = Function::new();
     let p = f.reg();
     let n = f.reg();
-    f.push(Inst::AllocPm { dst: p, size: Operand::Const(32) });
+    f.push(Inst::AllocPm {
+        dst: p,
+        size: Operand::Const(32),
+    });
     f.push(Inst::PtrToInt { dst: n, src: p });
     let (t, _) = spp_transform(&f, true);
     let mut m = vm(VmMode::Spp);
@@ -225,9 +279,20 @@ mod volatile_generalisation {
     fn vol_overflow_program() -> Function {
         let mut f = Function::new();
         let p = f.reg();
-        f.push(Inst::AllocVol { dst: p, size: Operand::Const(32) });
-        f.push(Inst::Gep { dst: p, base: p, offset: Operand::Const(32) });
-        f.push(Inst::Store { ptr: p, value: Operand::Const(1), size: 8 });
+        f.push(Inst::AllocVol {
+            dst: p,
+            size: Operand::Const(32),
+        });
+        f.push(Inst::Gep {
+            dst: p,
+            base: p,
+            offset: Operand::Const(32),
+        });
+        f.push(Inst::Store {
+            ptr: p,
+            value: Operand::Const(1),
+            size: 8,
+        });
         f
     }
 
@@ -256,9 +321,20 @@ mod volatile_generalisation {
         let mut f = Function::new();
         let p = f.reg();
         let x = f.reg();
-        f.push(Inst::AllocVol { dst: p, size: Operand::Const(32) });
-        f.push(Inst::Store { ptr: p, value: Operand::Const(0xAB), size: 8 });
-        f.push(Inst::Load { dst: x, ptr: p, size: 8 });
+        f.push(Inst::AllocVol {
+            dst: p,
+            size: Operand::Const(32),
+        });
+        f.push(Inst::Store {
+            ptr: p,
+            value: Operand::Const(0xAB),
+            size: 8,
+        });
+        f.push(Inst::Load {
+            dst: x,
+            ptr: p,
+            size: 8,
+        });
         let (t, _) = spp_transform(&f, false);
         let mut m = vm(VmMode::SppAll);
         m.run(&t).unwrap();

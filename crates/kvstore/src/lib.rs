@@ -47,7 +47,14 @@ impl NodeLayout {
         let vlen = next + os;
         let value = vlen + 8;
         let size = value + os;
-        NodeLayout { key, next, vlen, value, size, os }
+        NodeLayout {
+            key,
+            next,
+            vlen,
+            value,
+            size,
+            os,
+        }
     }
 }
 
@@ -77,7 +84,14 @@ impl<P: MemoryPolicy> KvStore<P> {
         policy.store_u64(policy.gep(mptr, layout.os as i64), nbuckets)?;
         policy.persist(mptr, layout.os + 8)?;
         let locks = (0..LOCK_STRIPES).map(|_| RwLock::new(())).collect();
-        Ok(KvStore { policy, meta, buckets, nbuckets, layout, locks })
+        Ok(KvStore {
+            policy,
+            meta,
+            buckets,
+            nbuckets,
+            layout,
+            locks,
+        })
     }
 
     /// Re-attach to an engine created earlier in this pool (the restart /
@@ -92,7 +106,14 @@ impl<P: MemoryPolicy> KvStore<P> {
         let buckets = policy.load_oid(mptr)?;
         let nbuckets = policy.load_u64(policy.gep(mptr, layout.os as i64))?;
         let locks = (0..LOCK_STRIPES).map(|_| RwLock::new(())).collect();
-        Ok(KvStore { policy, meta, buckets, nbuckets, layout, locks })
+        Ok(KvStore {
+            policy,
+            meta,
+            buckets,
+            nbuckets,
+            layout,
+            locks,
+        })
     }
 
     /// The durable metadata oid (store it in the pool root).
@@ -131,11 +152,15 @@ impl<P: MemoryPolicy> KvStore<P> {
     }
 
     fn bucket_field(&self, b: u64) -> u64 {
-        self.policy.gep(self.policy.direct(self.buckets), (b * self.layout.os) as i64)
+        self.policy.gep(
+            self.policy.direct(self.buckets),
+            (b * self.layout.os) as i64,
+        )
     }
 
     fn key_of_node(&self, node_ptr: u64, out: &mut [u8; KEY_SIZE]) -> Result<()> {
-        self.policy.load(self.policy.gep(node_ptr, self.layout.key as i64), out)
+        self.policy
+            .load(self.policy.gep(node_ptr, self.layout.key as i64), out)
     }
 
     /// Insert or update.
@@ -397,7 +422,10 @@ mod tests {
         for t in 0..4u64 {
             for i in 0..100u64 {
                 out.clear();
-                assert!(kv.get(&key(t * 1000 + i), &mut out).unwrap(), "lost key {t}/{i}");
+                assert!(
+                    kv.get(&key(t * 1000 + i), &mut out).unwrap(),
+                    "lost key {t}/{i}"
+                );
                 assert_eq!(out, vec![t as u8; 32]);
             }
         }

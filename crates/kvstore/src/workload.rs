@@ -39,7 +39,12 @@ impl Mix {
 
     /// All four mixes in figure order.
     pub fn all() -> [Mix; 4] {
-        [Mix::Update5050, Mix::Read95Write5, Mix::RandomReads, Mix::SequentialReads]
+        [
+            Mix::Update5050,
+            Mix::Read95Write5,
+            Mix::RandomReads,
+            Mix::SequentialReads,
+        ]
     }
 }
 
@@ -58,7 +63,12 @@ pub struct WorkloadConfig {
 
 impl Default for WorkloadConfig {
     fn default() -> Self {
-        WorkloadConfig { preload_keys: 100_000, ops: 200_000, value_size: 1024, seed: 7 }
+        WorkloadConfig {
+            preload_keys: 100_000,
+            ops: 200_000,
+            value_size: 1024,
+            seed: 7,
+        }
     }
 }
 
@@ -131,7 +141,10 @@ pub fn run_mix<P: MemoryPolicy>(
                 Ok(())
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     for r in results {
         r?;
@@ -153,7 +166,12 @@ mod tests {
         let pool = Arc::new(ObjPool::create(pm, PoolOpts::new().lanes(8)).unwrap());
         let policy = Arc::new(SppPolicy::new(pool, TagConfig::default()).unwrap());
         let kv = Arc::new(KvStore::create(policy, 4096).unwrap());
-        let cfg = WorkloadConfig { preload_keys: 500, ops: 2000, value_size: 128, seed: 3 };
+        let cfg = WorkloadConfig {
+            preload_keys: 500,
+            ops: 2000,
+            value_size: 128,
+            seed: 3,
+        };
         preload(&kv, &cfg).unwrap();
         assert_eq!(kv.count().unwrap(), 500);
         for mix in Mix::all() {

@@ -38,9 +38,17 @@ fn kv_workload_recovers_consistently_in_every_crash_state() {
     let log = pm.event_log().unwrap();
     // Rules: flush/fence discipline and tx discipline both hold.
     let report = Checker::new().analyze(&log);
-    assert!(report.is_clean(), "{:?}", &report.errors[..report.errors.len().min(3)]);
+    assert!(
+        report.is_clean(),
+        "{:?}",
+        &report.errors[..report.errors.len().min(3)]
+    );
     let txr = TxChecker::new(heap_off).analyze(&log);
-    assert!(txr.is_clean(), "{:?}", &txr.unprotected[..txr.unprotected.len().min(3)]);
+    assert!(
+        txr.is_clean(),
+        "{:?}",
+        &txr.unprotected[..txr.unprotected.len().min(3)]
+    );
     assert!(txr.transactions >= 7);
 
     // Crash exploration: in every state, the recovered pool opens and each
@@ -59,9 +67,8 @@ fn kv_workload_recovers_consistently_in_every_crash_state() {
         .explore(CrashPoints::Fences, |img| {
             let pm = Arc::new(PmPool::from_image(img.clone(), PoolConfig::new(0)));
             let pool = Arc::new(ObjPool::open(pm).map_err(|e| format!("recovery: {e}"))?);
-            let policy = Arc::new(
-                SppPolicy::new(pool, TagConfig::default()).map_err(|e| format!("{e}"))?,
-            );
+            let policy =
+                Arc::new(SppPolicy::new(pool, TagConfig::default()).map_err(|e| format!("{e}"))?);
             let kv = KvStore::open(policy, meta).map_err(|e| format!("re-attach: {e}"))?;
             let mut out = Vec::new();
             for (i, vals) in &legal {

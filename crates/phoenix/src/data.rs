@@ -21,11 +21,7 @@ impl XorShift {
     }
 }
 
-fn fill_pm<P: MemoryPolicy>(
-    p: &P,
-    len: u64,
-    mut gen: impl FnMut(&mut Vec<u8>),
-) -> Result<PmemOid> {
+fn fill_pm<P: MemoryPolicy>(p: &P, len: u64, mut gen: impl FnMut(&mut Vec<u8>)) -> Result<PmemOid> {
     let oid = p.alloc(len)?;
     let base = p.direct(oid);
     let mut off = 0u64;

@@ -22,7 +22,10 @@ mod parking_lot_stub {
 fn ranges(n: u64, threads: usize) -> Vec<(u64, u64)> {
     let threads = threads.max(1) as u64;
     let per = n.div_ceil(threads);
-    (0..threads).map(|t| (t * per, ((t + 1) * per).min(n))).filter(|(a, b)| a < b).collect()
+    (0..threads)
+        .map(|t| (t * per, ((t + 1) * per).min(n)))
+        .filter(|(a, b)| a < b)
+        .collect()
 }
 
 /// Run workers over ranges, collecting per-worker outputs.
@@ -42,7 +45,10 @@ fn parallel<P: MemoryPolicy, T: Send>(
                 s.spawn(move || work(&p, a, b))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("phoenix worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("phoenix worker panicked"))
+            .collect()
     })
 }
 
@@ -209,7 +215,11 @@ pub fn matrix_multiply<P: MemoryPolicy>(policy: &Arc<P>, cfg: &PhoenixConfig) ->
     let a_in = gen_points(&**policy, n * n, 1, cfg.seed)?;
     let b_in = gen_points(&**policy, n * n, 1, cfg.seed ^ 0xB)?;
     let c_out = policy.zalloc(n * n * 8)?;
-    let (pa, pb, pc) = (policy.direct(a_in), policy.direct(b_in), policy.direct(c_out));
+    let (pa, pb, pc) = (
+        policy.direct(a_in),
+        policy.direct(b_in),
+        policy.direct(c_out),
+    );
     let partials = parallel(policy, n, cfg.threads, |p, r0, r1| {
         let mut local = 0u64;
         for i in r0..r1 {
@@ -245,14 +255,19 @@ pub fn pca<P: MemoryPolicy>(policy: &Arc<P>, cfg: &PhoenixConfig) -> Result<u64>
         let mut sums = vec![0u64; cols as usize];
         for r in a..b {
             for c in 0..cols {
-                sums[c as usize] =
-                    sums[c as usize].wrapping_add(p.load_u64(p.gep(base, ((r * cols + c) * 8) as i64))?);
+                sums[c as usize] = sums[c as usize]
+                    .wrapping_add(p.load_u64(p.gep(base, ((r * cols + c) * 8) as i64))?);
             }
         }
         Ok(sums)
     })?;
     let means: Vec<u64> = (0..cols as usize)
-        .map(|c| mean_parts.iter().fold(0u64, |acc, s| acc.wrapping_add(s[c])) / rows)
+        .map(|c| {
+            mean_parts
+                .iter()
+                .fold(0u64, |acc, s| acc.wrapping_add(s[c]))
+                / rows
+        })
         .collect();
     // Covariance over column pairs (parallelised by first column index).
     let means = Arc::new(means);

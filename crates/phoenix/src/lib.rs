@@ -88,7 +88,11 @@ pub struct PhoenixConfig {
 
 impl Default for PhoenixConfig {
     fn default() -> Self {
-        PhoenixConfig { threads: 8, scale: 1, seed: 0xF0E1 }
+        PhoenixConfig {
+            threads: 8,
+            scale: 1,
+            seed: 0xF0E1,
+        }
     }
 }
 

@@ -19,7 +19,11 @@ fn pool() -> Arc<ObjPool> {
 }
 
 fn cfg() -> PhoenixConfig {
-    PhoenixConfig { threads: 4, scale: 1, seed: 0xF0E1 }
+    PhoenixConfig {
+        threads: 4,
+        scale: 1,
+        seed: 0xF0E1,
+    }
 }
 
 #[test]
@@ -70,7 +74,13 @@ mod string_match_bug {
         let spp = Arc::new(SppPolicy::new(pool(), TagConfig::phoenix()).unwrap());
         let err = string_match(&spp, &cfg(), true).unwrap_err();
         assert!(
-            matches!(err, SppError::OverflowDetected { mechanism: "overflow-bit", .. }),
+            matches!(
+                err,
+                SppError::OverflowDetected {
+                    mechanism: "overflow-bit",
+                    ..
+                }
+            ),
             "expected overflow-bit detection, got {err}"
         );
     }

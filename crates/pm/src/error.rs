@@ -61,8 +61,15 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errs = [
-            PmError::Fault { va: 0x4000_0000_0000_0000, len: 8 },
-            PmError::OutOfRange { off: 10, len: 4, pool_size: 8 },
+            PmError::Fault {
+                va: 0x4000_0000_0000_0000,
+                len: 8,
+            },
+            PmError::OutOfRange {
+                off: 10,
+                len: 4,
+                pool_size: 8,
+            },
             PmError::BadPoolSize(0),
             PmError::NotTracked,
         ];

@@ -102,9 +102,9 @@ impl EventLog {
 
     /// Iterate over store events that are not yet durable.
     pub fn unpersisted_stores(&self) -> impl Iterator<Item = &PmEvent> {
-        self.events.iter().filter(|e| {
-            matches!(e, PmEvent::Store { state, .. } if *state != StoreState::Persisted)
-        })
+        self.events.iter().filter(
+            |e| matches!(e, PmEvent::Store { state, .. } if *state != StoreState::Persisted),
+        )
     }
 }
 
@@ -116,7 +116,10 @@ mod tests {
     fn push_assigns_monotonic_seq() {
         let mut log = EventLog::new();
         let a = log.push(|seq| PmEvent::Fence { seq });
-        let b = log.push(|seq| PmEvent::Mark { seq, label: "x".into() });
+        let b = log.push(|seq| PmEvent::Mark {
+            seq,
+            label: "x".into(),
+        });
         assert_eq!(a, 0);
         assert_eq!(b, 1);
         assert_eq!(log.len(), 2);

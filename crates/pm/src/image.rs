@@ -65,7 +65,13 @@ impl<'p> CrashStateIter<'p> {
         let n = seqs.len();
         if n <= Self::EXHAUSTIVE_LIMIT {
             let total = 1u64 << n;
-            CrashStateIter { pool, seqs, next: 0, total, stride: 1 }
+            CrashStateIter {
+                pool,
+                seqs,
+                next: 0,
+                total,
+                stride: 1,
+            }
         } else {
             // Sample: always include masks 0 (drop all) and 2^n-1 (keep all)
             // plus a deterministic stride through the space. n can exceed 63;
@@ -73,11 +79,23 @@ impl<'p> CrashStateIter<'p> {
             // the "crash at each program point" states — the ones recovery
             // code must actually handle.
             if n >= 63 {
-                CrashStateIter { pool, seqs, next: 0, total: n as u64 + 1, stride: u64::MAX }
+                CrashStateIter {
+                    pool,
+                    seqs,
+                    next: 0,
+                    total: n as u64 + 1,
+                    stride: u64::MAX,
+                }
             } else {
                 let space = 1u64 << n;
                 let stride = (space / Self::SAMPLE_BUDGET).max(1) | 1; // odd stride
-                CrashStateIter { pool, seqs, next: 0, total: space.min(Self::SAMPLE_BUDGET), stride }
+                CrashStateIter {
+                    pool,
+                    seqs,
+                    next: 0,
+                    total: space.min(Self::SAMPLE_BUDGET),
+                    stride,
+                }
             }
         }
     }
@@ -132,8 +150,10 @@ mod tests {
         let images: Vec<_> = it.collect();
         assert_eq!(images.len(), 4);
         // All four combinations of the two stores must appear.
-        let mut combos: Vec<(u8, u8)> =
-            images.iter().map(|im| (im.bytes()[0], im.bytes()[8])).collect();
+        let mut combos: Vec<(u8, u8)> = images
+            .iter()
+            .map(|im| (im.bytes()[0], im.bytes()[8]))
+            .collect();
         combos.sort_unstable();
         combos.dedup();
         assert_eq!(combos, vec![(0, 0), (0, 2), (1, 0), (1, 2)]);

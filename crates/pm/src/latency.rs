@@ -28,7 +28,11 @@ impl LatencyModel {
     /// buffered but bandwidth-limited. The absolute spin counts are
     /// calibration-free; only their ratios matter for overhead *shapes*.
     pub fn optane_like() -> Self {
-        LatencyModel { read_spins: 60, write_spins: 20, per_line_spins: 30 }
+        LatencyModel {
+            read_spins: 60,
+            write_spins: 20,
+            per_line_spins: 30,
+        }
     }
 
     #[inline]

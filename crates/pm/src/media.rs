@@ -82,7 +82,9 @@ impl Drop for Media {
         // SAFETY: `ptr`/`len` came from `Box::into_raw` of a boxed slice of
         // exactly this length, and are dropped exactly once.
         unsafe {
-            drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(self.ptr, self.len)));
+            drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                self.ptr, self.len,
+            )));
         }
     }
 }
@@ -138,7 +140,9 @@ mod tests {
         }
         let snap = m.snapshot();
         for t in 0..4usize {
-            assert!(snap[t * 1024..(t + 1) * 1024].iter().all(|&b| b == t as u8 + 1));
+            assert!(snap[t * 1024..(t + 1) * 1024]
+                .iter()
+                .all(|&b| b == t as u8 + 1));
         }
     }
 }

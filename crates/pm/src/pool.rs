@@ -134,7 +134,11 @@ impl PmPool {
             size: cfg.size,
             media: Media::zeroed(cfg.size as usize),
             mode: cfg.mode,
-            track: Mutex::new(Tracked { log: EventLog::new(), unflushed: Vec::new(), flushed: Vec::new() }),
+            track: Mutex::new(Tracked {
+                log: EventLog::new(),
+                unflushed: Vec::new(),
+                flushed: Vec::new(),
+            }),
             latency: cfg.latency,
             stats: PmStats::new(),
             record_stats: cfg.record_stats,
@@ -151,7 +155,11 @@ impl PmPool {
             size,
             media: Media::from_bytes(bytes),
             mode: cfg.mode,
-            track: Mutex::new(Tracked { log: EventLog::new(), unflushed: Vec::new(), flushed: Vec::new() }),
+            track: Mutex::new(Tracked {
+                log: EventLog::new(),
+                unflushed: Vec::new(),
+                flushed: Vec::new(),
+            }),
             latency: cfg.latency,
             stats: PmStats::new(),
             record_stats: cfg.record_stats,
@@ -185,7 +193,9 @@ impl PmPool {
     /// Returns [`PmError::Fault`] if any byte of `[va, va + len)` lies
     /// outside this pool's mapping — the simulated SIGSEGV.
     pub fn resolve(&self, va: VirtAddr, len: usize) -> Result<PoolOffset> {
-        let end = va.checked_add(len as u64).ok_or(PmError::Fault { va, len })?;
+        let end = va
+            .checked_add(len as u64)
+            .ok_or(PmError::Fault { va, len })?;
         if va < self.base || end > self.base + self.size {
             return Err(PmError::Fault { va, len });
         }
@@ -198,8 +208,15 @@ impl PmPool {
     }
 
     fn check_range(&self, off: PoolOffset, len: usize) -> Result<()> {
-        if off.checked_add(len as u64).is_none_or(|end| end > self.size) {
-            return Err(PmError::OutOfRange { off, len, pool_size: self.size });
+        if off
+            .checked_add(len as u64)
+            .is_none_or(|end| end > self.size)
+        {
+            return Err(PmError::OutOfRange {
+                off,
+                len,
+                pool_size: self.size,
+            });
         }
         Ok(())
     }
@@ -245,7 +262,8 @@ impl PmPool {
                 state: StoreState::Dirty,
             });
             let idx = t.log.events.len() - 1;
-            t.unflushed.push((idx, vec![(off, off + data.len() as u64)]));
+            t.unflushed
+                .push((idx, vec![(off, off + data.len() as u64)]));
         }
         self.media.write(off as usize, data);
         Ok(())
@@ -288,7 +306,11 @@ impl PmPool {
         let lo = off / CACHE_LINE * CACHE_LINE;
         let hi = (off + len as u64).div_ceil(CACHE_LINE) * CACHE_LINE;
         let mut t = self.track.lock();
-        t.log.push(|seq| PmEvent::Flush { seq, off: lo, len: hi - lo });
+        t.log.push(|seq| PmEvent::Flush {
+            seq,
+            off: lo,
+            len: hi - lo,
+        });
         let mut newly_flushed = Vec::new();
         for (idx, ranges) in t.unflushed.iter_mut() {
             subtract_range(ranges, lo, hi);
@@ -408,7 +430,14 @@ impl PmPool {
         // Step 2: replay survivors in program order — persisted stores
         // always, pending ones according to `spec`.
         for e in t.log.events.iter() {
-            if let PmEvent::Store { seq, off, new, state, .. } = e {
+            if let PmEvent::Store {
+                seq,
+                off,
+                new,
+                state,
+                ..
+            } = e
+            {
                 let survives = *state == StoreState::Persisted
                     || match &spec {
                         CrashSpec::DropUnpersisted => false,
@@ -569,8 +598,20 @@ mod tests {
         let base = pool.base();
         assert!(pool.resolve(base, 8).is_ok());
         assert!(pool.resolve(base + 1016, 8).is_ok());
-        assert_eq!(pool.resolve(base + 1017, 8), Err(PmError::Fault { va: base + 1017, len: 8 }));
-        assert_eq!(pool.resolve(base - 1, 1), Err(PmError::Fault { va: base - 1, len: 1 }));
+        assert_eq!(
+            pool.resolve(base + 1017, 8),
+            Err(PmError::Fault {
+                va: base + 1017,
+                len: 8
+            })
+        );
+        assert_eq!(
+            pool.resolve(base - 1, 1),
+            Err(PmError::Fault {
+                va: base - 1,
+                len: 1
+            })
+        );
         // An address with bit 62 set (a kept overflow bit) always faults.
         let ov = (1u64 << 62) | base;
         assert!(matches!(pool.resolve(ov, 1), Err(PmError::Fault { .. })));
@@ -580,8 +621,14 @@ mod tests {
     fn out_of_range_pool_relative() {
         let pool = PmPool::new(PoolConfig::new(128));
         let mut b = [0u8; 16];
-        assert!(matches!(pool.read(120, &mut b), Err(PmError::OutOfRange { .. })));
-        assert!(matches!(pool.write(u64::MAX, &b), Err(PmError::OutOfRange { .. })));
+        assert!(matches!(
+            pool.read(120, &mut b),
+            Err(PmError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            pool.write(u64::MAX, &b),
+            Err(PmError::OutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -37,7 +37,10 @@ struct Model {
 
 impl Model {
     fn new() -> Self {
-        Model { durable: vec![0; SIZE as usize], ..Default::default() }
+        Model {
+            durable: vec![0; SIZE as usize],
+            ..Default::default()
+        }
     }
 
     fn apply(&mut self, op: &Op) {

@@ -210,7 +210,9 @@ impl Arenas {
             heap_off,
             heap_end,
             chunk,
-            arenas: (0..narenas).map(|_| Mutex::new(ArenaState::default())).collect(),
+            arenas: (0..narenas)
+                .map(|_| Mutex::new(ArenaState::default()))
+                .collect(),
             shared: Mutex::new(SharedWilderness { cursor: heap_off }),
             live_bytes: AtomicU64::new(0),
             live_objects: AtomicU64::new(0),
@@ -223,7 +225,12 @@ impl Arenas {
     /// identical). Free blocks are distributed round-robin: class-shaped
     /// ones onto arena free lists, odd-shaped ones (chunk remainders) as
     /// re-carvable wilderness spans.
-    pub(crate) fn rebuild(pm: &PmPool, heap_off: u64, heap_end: u64, narenas: usize) -> Result<Self> {
+    pub(crate) fn rebuild(
+        pm: &PmPool,
+        heap_off: u64,
+        heap_end: u64,
+        narenas: usize,
+    ) -> Result<Self> {
         let ar = Arenas::new(heap_off, heap_end, narenas);
         let n = ar.arenas.len();
         let (mut next_free, mut next_wild) = (0usize, 0usize);
@@ -235,7 +242,9 @@ impl Arenas {
                 break; // wilderness begins
             }
             if size % 16 != 0 || off + size > heap_end {
-                return Err(PmdkError::BadPool(format!("corrupt block header at {off:#x}")));
+                return Err(PmdkError::BadPool(format!(
+                    "corrupt block header at {off:#x}"
+                )));
             }
             let state = read_u64(pm, off + BH_STATE)?;
             match state {
@@ -254,7 +263,9 @@ impl Arenas {
                     live_objects += 1;
                 }
                 other => {
-                    return Err(PmdkError::BadPool(format!("corrupt block state {other} at {off:#x}")))
+                    return Err(PmdkError::BadPool(format!(
+                        "corrupt block state {other} at {off:#x}"
+                    )))
                 }
             }
             off += size;
@@ -336,7 +347,8 @@ impl Arenas {
                 pm.mark(format!("heap_hdr:{off}:8"));
             }
             sh.cursor += extra;
-            self.high_water.fetch_max(sh.cursor - self.heap_off, Ordering::Relaxed);
+            self.high_water
+                .fetch_max(sh.cursor - self.heap_off, Ordering::Relaxed);
             a.wild[i] = (off, len + extra);
             return Ok(true);
         }
@@ -353,7 +365,8 @@ impl Arenas {
             pm.mark(format!("heap_hdr:{off}:{BLOCK_HEADER_SIZE}"));
         }
         sh.cursor += want;
-        self.high_water.fetch_max(sh.cursor - self.heap_off, Ordering::Relaxed);
+        self.high_water
+            .fetch_max(sh.cursor - self.heap_off, Ordering::Relaxed);
         a.wild.push((off, want));
         Ok(true)
     }
@@ -416,7 +429,7 @@ impl Arenas {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spp_pm::{PoolConfig, PmPool};
+    use spp_pm::{PmPool, PoolConfig};
 
     #[test]
     fn class_sizes() {
@@ -499,7 +512,10 @@ mod tests {
         let ar = Arenas::new(0, 64, 1);
         ar.reserve(&pm, 0, 16).unwrap();
         ar.reserve(&pm, 0, 16).unwrap();
-        assert!(matches!(ar.reserve(&pm, 0, 16), Err(PmdkError::OutOfMemory { .. })));
+        assert!(matches!(
+            ar.reserve(&pm, 0, 16),
+            Err(PmdkError::OutOfMemory { .. })
+        ));
     }
 
     #[test]
@@ -554,7 +570,10 @@ mod tests {
     fn rebuild_rejects_corrupt_header() {
         let pm = PmPool::new(PoolConfig::new(1 << 16));
         write_u64(&pm, BH_SIZE, 17).unwrap(); // not multiple of 16
-        assert!(matches!(Arenas::rebuild(&pm, 0, 1 << 16, 1), Err(PmdkError::BadPool(_))));
+        assert!(matches!(
+            Arenas::rebuild(&pm, 0, 1 << 16, 1),
+            Err(PmdkError::BadPool(_))
+        ));
     }
 
     #[test]

@@ -19,7 +19,9 @@ fn main() {
             let pool = ObjPool::create(Arc::clone(&pm), PoolOpts::small()).expect("create");
             // A few objects so the dump is interesting.
             let root = pool.root(64).expect("root");
-            let a = pool.zalloc_into(OidDest::spp(root.off), 100).expect("alloc");
+            let a = pool
+                .zalloc_into(OidDest::spp(root.off), 100)
+                .expect("alloc");
             let _b = pool.zalloc(1000).expect("alloc");
             let c = pool.zalloc(4096).expect("alloc");
             pool.free(c).expect("free");
@@ -57,7 +59,10 @@ fn main() {
     println!("heap");
     println!("  live objects: {}", stats.live_objects);
     println!("  live bytes  : {}", stats.live_bytes);
-    println!("  high water  : {} / {} bytes", stats.high_water, stats.heap_size);
+    println!(
+        "  high water  : {} / {} bytes",
+        stats.high_water, stats.heap_size
+    );
 
     // Walk block headers like recovery does and histogram the classes.
     let mut live: BTreeMap<u64, u64> = BTreeMap::new();
@@ -69,7 +74,12 @@ fn main() {
             break;
         }
         let state = pool.read_u64(off + 8).expect("block state");
-        *if state == 1 { live.entry(size) } else { free.entry(size) }.or_insert(0) += 1;
+        *if state == 1 {
+            live.entry(size)
+        } else {
+            free.entry(size)
+        }
+        .or_insert(0) += 1;
         off += size;
     }
     println!("  block classes (size: live/free):");

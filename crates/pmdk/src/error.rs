@@ -45,7 +45,10 @@ impl fmt::Display for PmdkError {
                 write!(f, "out of pool memory allocating {requested} bytes")
             }
             PmdkError::UndoLogFull { needed, capacity } => {
-                write!(f, "undo log full: entry needs {needed} bytes, lane capacity is {capacity}")
+                write!(
+                    f,
+                    "undo log full: entry needs {needed} bytes, lane capacity is {capacity}"
+                )
             }
             PmdkError::RedoLogFull => write!(f, "redo log slots exhausted"),
             PmdkError::BadPool(msg) => write!(f, "invalid pool: {msg}"),

@@ -85,7 +85,13 @@ impl Lanes {
         for i in 0..self.locks.len() {
             let idx = (start + i) % self.locks.len();
             if let Some(guard) = self.locks[idx].try_lock() {
-                return Some((idx, LaneGuard { lanes: self, held: Some(guard) }));
+                return Some((
+                    idx,
+                    LaneGuard {
+                        lanes: self,
+                        held: Some(guard),
+                    },
+                ));
             }
         }
         None
@@ -104,7 +110,13 @@ impl Lanes {
         // Fast path: the sticky lane is free (the common case whenever
         // threads <= lanes).
         if let Some(guard) = self.locks[pref].try_lock() {
-            return (pref, LaneGuard { lanes: self, held: Some(guard) });
+            return (
+                pref,
+                LaneGuard {
+                    lanes: self,
+                    held: Some(guard),
+                },
+            );
         }
         // Bounded spinning with exponential backoff.
         for round in 0..SPIN_ROUNDS {
@@ -141,7 +153,9 @@ impl Lanes {
 
 impl std::fmt::Debug for Lanes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Lanes").field("count", &self.locks.len()).finish()
+        f.debug_struct("Lanes")
+            .field("count", &self.locks.len())
+            .finish()
     }
 }
 

@@ -98,7 +98,10 @@ impl Header {
     /// Read and validate the header of an existing pool.
     pub fn read_from(pm: &Arc<PmPool>) -> Result<Header> {
         if pm.size() < HEADER_SIZE {
-            return Err(PmdkError::BadPool(format!("pool too small: {} bytes", pm.size())));
+            return Err(PmdkError::BadPool(format!(
+                "pool too small: {} bytes",
+                pm.size()
+            )));
         }
         let magic = read_u64(pm, hdr::MAGIC)?;
         if magic != MAGIC {

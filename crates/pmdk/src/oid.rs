@@ -50,11 +50,19 @@ pub struct PmemOid {
 
 impl PmemOid {
     /// The null oid.
-    pub const NULL: PmemOid = PmemOid { pool_uuid: 0, off: 0, size: 0 };
+    pub const NULL: PmemOid = PmemOid {
+        pool_uuid: 0,
+        off: 0,
+        size: 0,
+    };
 
     /// Create an oid.
     pub fn new(pool_uuid: u64, off: u64, size: u64) -> Self {
-        PmemOid { pool_uuid, off, size }
+        PmemOid {
+            pool_uuid,
+            off,
+            size,
+        }
     }
 
     /// Whether this oid is null (offset zero), matching `OID_IS_NULL`.
@@ -88,7 +96,11 @@ impl PmemOid {
             OidKind::Pmdk => 0,
             OidKind::Spp => u64::from_le_bytes(bytes[16..24].try_into().expect("oid size")),
         };
-        PmemOid { pool_uuid: uuid, off, size }
+        PmemOid {
+            pool_uuid: uuid,
+            off,
+            size,
+        }
     }
 }
 
@@ -108,12 +120,18 @@ pub struct OidDest {
 impl OidDest {
     /// A destination using stock PMDK encoding.
     pub fn pmdk(off: u64) -> Self {
-        OidDest { off, kind: OidKind::Pmdk }
+        OidDest {
+            off,
+            kind: OidKind::Pmdk,
+        }
     }
 
     /// A destination using SPP's enhanced encoding.
     pub fn spp(off: u64) -> Self {
-        OidDest { off, kind: OidKind::Spp }
+        OidDest {
+            off,
+            kind: OidKind::Spp,
+        }
     }
 }
 

@@ -8,7 +8,9 @@ use rand::RngExt;
 
 use spp_pm::PmPool;
 
-use crate::alloc::{AllocStats, Arenas, BH_SIZE, BH_STATE, BLOCK_HEADER_SIZE, STATE_ALLOC, STATE_FREE};
+use crate::alloc::{
+    AllocStats, Arenas, BH_SIZE, BH_STATE, BLOCK_HEADER_SIZE, STATE_ALLOC, STATE_FREE,
+};
 use crate::lane::Lanes;
 use crate::layout::{self, Header};
 use crate::oid::{OidDest, OidKind, PmemOid};
@@ -27,7 +29,11 @@ pub struct PoolOpts {
 
 impl Default for PoolOpts {
     fn default() -> Self {
-        PoolOpts { lane_count: 16, redo_slots: 64, undo_capacity: 256 * 1024 }
+        PoolOpts {
+            lane_count: 16,
+            redo_slots: 64,
+            undo_capacity: 256 * 1024,
+        }
     }
 }
 
@@ -41,7 +47,11 @@ impl PoolOpts {
     /// A tiny geometry for small pools (examples, unit tests): 2 lanes with
     /// 8 KiB undo logs.
     pub fn small() -> Self {
-        PoolOpts { lane_count: 2, redo_slots: 16, undo_capacity: 8 * 1024 }
+        PoolOpts {
+            lane_count: 2,
+            redo_slots: 16,
+            undo_capacity: 8 * 1024,
+        }
     }
 
     /// Set the number of lanes (bounds intra-pool concurrency).
@@ -506,19 +516,30 @@ impl ObjPool {
     pub fn root(&self, size: u64) -> Result<PmemOid> {
         let _g = self.root_lock.lock();
         if self.hdr.root_off != 0 {
-            return Ok(PmemOid::new(self.hdr.pool_uuid, self.hdr.root_off, self.hdr.root_size));
+            return Ok(PmemOid::new(
+                self.hdr.pool_uuid,
+                self.hdr.root_off,
+                self.hdr.root_size,
+            ));
         }
         let root_off_durable = layout::read_u64(&self.pm, layout::hdr::ROOT_OFF)?;
         if root_off_durable != 0 {
             let root_size = layout::read_u64(&self.pm, layout::hdr::ROOT_SIZE)?;
-            return Ok(PmemOid::new(self.hdr.pool_uuid, root_off_durable, root_size));
+            return Ok(PmemOid::new(
+                self.hdr.pool_uuid,
+                root_off_durable,
+                root_size,
+            ));
         }
         let oid = self.zalloc(size)?;
         // Publish the root pointer atomically (size before off, as always).
         let (lane, _guard) = self.lanes.acquire();
         RedoLog::new(self.hdr.redo_off(lane), self.hdr.redo_slots).commit(
             &self.pm,
-            &[(layout::hdr::ROOT_SIZE, size), (layout::hdr::ROOT_OFF, oid.off)],
+            &[
+                (layout::hdr::ROOT_SIZE, size),
+                (layout::hdr::ROOT_OFF, oid.off),
+            ],
         )?;
         // The volatile header copy is updated via interior state on reopen;
         // within this process we cannot mutate `self.hdr` (shared refs), so

@@ -93,7 +93,7 @@ impl RedoLog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spp_pm::{CrashSpec, Mode, PoolConfig, PmPool};
+    use spp_pm::{CrashSpec, Mode, PmPool, PoolConfig};
     use std::sync::Arc;
 
     fn pool() -> Arc<PmPool> {
@@ -109,7 +109,10 @@ mod tests {
         assert_eq!(read_u64(&pm, 0x1008).unwrap(), 9);
         // And the effects are durable.
         let img = pm.crash_image(CrashSpec::DropUnpersisted);
-        assert_eq!(u64::from_le_bytes(img.bytes()[0x1000..0x1008].try_into().unwrap()), 7);
+        assert_eq!(
+            u64::from_le_bytes(img.bytes()[0x1000..0x1008].try_into().unwrap()),
+            7
+        );
     }
 
     #[test]
@@ -117,7 +120,10 @@ mod tests {
         let pm = pool();
         let log = RedoLog::new(0, 1);
         let entries = vec![(0x1000u64, 1u64), (0x1008, 2)];
-        assert!(matches!(log.commit(&pm, &entries), Err(PmdkError::RedoLogFull)));
+        assert!(matches!(
+            log.commit(&pm, &entries),
+            Err(PmdkError::RedoLogFull)
+        ));
     }
 
     #[test]
@@ -132,7 +138,10 @@ mod tests {
         write_u64(&pm, VALID, 1).unwrap();
         pm.persist(VALID, 8).unwrap();
         let img = pm.crash_image(CrashSpec::DropUnpersisted);
-        let pm2 = Arc::new(PmPool::from_image(img, PoolConfig::new(1 << 16).mode(Mode::Tracked)));
+        let pm2 = Arc::new(PmPool::from_image(
+            img,
+            PoolConfig::new(1 << 16).mode(Mode::Tracked),
+        ));
         assert!(log.recover(&pm2).unwrap());
         assert_eq!(read_u64(&pm2, 0x2000).unwrap(), 42);
         // Second recovery is a no-op.
@@ -174,7 +183,10 @@ mod tests {
         write_u64(&pm, 0x3000, 1).unwrap();
         pm.persist(0x3000, 8).unwrap();
         let img = pm.crash_image(CrashSpec::DropUnpersisted);
-        let pm2 = Arc::new(PmPool::from_image(img, PoolConfig::new(1 << 16).mode(Mode::Tracked)));
+        let pm2 = Arc::new(PmPool::from_image(
+            img,
+            PoolConfig::new(1 << 16).mode(Mode::Tracked),
+        ));
         let log = RedoLog::new(0, 8);
         assert!(log.recover(&pm2).unwrap());
         assert_eq!(read_u64(&pm2, 0x3000).unwrap(), 1);

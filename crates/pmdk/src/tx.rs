@@ -168,7 +168,10 @@ impl<'p> Tx<'p> {
         self.ulog.set_committed(pm)?;
         pm.mark("tx_commit");
         // 3. Deferred frees, each atomic via the lane redo.
-        let redo = RedoLog::new(self.pool.hdr().redo_off(self.lane), self.pool.hdr().redo_slots);
+        let redo = RedoLog::new(
+            self.pool.hdr().redo_off(self.lane),
+            self.pool.hdr().redo_slots,
+        );
         for &(block, block_size) in &self.frees {
             redo.commit(pm, &[(block + BH_STATE, STATE_FREE)])?;
             self.pool.arenas().free_block(self.lane, block, block_size);

@@ -74,7 +74,10 @@ pub(crate) struct UndoLog {
 
 impl UndoLog {
     pub(crate) fn new(region_off: u64, capacity: u64) -> Self {
-        UndoLog { region_off, capacity }
+        UndoLog {
+            region_off,
+            capacity,
+        }
     }
 
     pub(crate) fn state(&self, pm: &PmPool) -> Result<TxState> {
@@ -111,7 +114,10 @@ impl UndoLog {
         let padded = (data.len() as u64).next_multiple_of(8);
         let needed = ENTRY_HDR + padded;
         if tail + needed > self.capacity {
-            return Err(PmdkError::UndoLogFull { needed, capacity: self.capacity });
+            return Err(PmdkError::UndoLogFull {
+                needed,
+                capacity: self.capacity,
+            });
         }
         let base = self.region_off + ENTRIES + tail;
         write_u64(pm, base, kind)?;
@@ -160,7 +166,11 @@ impl UndoLog {
                 }
                 KIND_ALLOC_ON_ABORT => UndoEntry::AllocOnAbort { block_hdr: target },
                 KIND_FREE_ON_COMMIT => UndoEntry::FreeOnCommit { block_hdr: target },
-                other => return Err(PmdkError::BadPool(format!("corrupt undo entry kind {other}"))),
+                other => {
+                    return Err(PmdkError::BadPool(format!(
+                        "corrupt undo entry kind {other}"
+                    )))
+                }
             };
             out.push(entry);
             pos += ENTRY_HDR + len.next_multiple_of(8);
@@ -183,7 +193,7 @@ impl UndoLog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spp_pm::{CrashSpec, Mode, PoolConfig, PmPool};
+    use spp_pm::{CrashSpec, Mode, PmPool, PoolConfig};
     use std::sync::Arc;
 
     fn pm() -> Arc<PmPool> {
@@ -200,7 +210,13 @@ mod tests {
         log.append_free(&pm, 0x3000).unwrap();
         let es = log.entries(&pm).unwrap();
         assert_eq!(es.len(), 3);
-        assert_eq!(es[0], UndoEntry::Snapshot { target: 0x1000, old: vec![1, 2, 3, 4, 5] });
+        assert_eq!(
+            es[0],
+            UndoEntry::Snapshot {
+                target: 0x1000,
+                old: vec![1, 2, 3, 4, 5]
+            }
+        );
         assert_eq!(es[1], UndoEntry::AllocOnAbort { block_hdr: 0x2000 });
         assert_eq!(es[2], UndoEntry::FreeOnCommit { block_hdr: 0x3000 });
     }

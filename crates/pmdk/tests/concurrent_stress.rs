@@ -81,7 +81,8 @@ fn eight_thread_churn_then_rebuild() {
                             .unwrap();
                         // The surviving prefix keeps the fill; re-fill the
                         // whole payload so the invariant stays simple.
-                        pool.write(oid.off, &vec![s.fill; new_size as usize]).unwrap();
+                        pool.write(oid.off, &vec![s.fill; new_size as usize])
+                            .unwrap();
                         pool.persist(oid.off, new_size as usize).unwrap();
                         s.oid = oid;
                         s.size = new_size;
@@ -89,7 +90,11 @@ fn eight_thread_churn_then_rebuild() {
                     _ => {
                         // Free/realloc with nothing live: alloc instead.
                         let oid = pool.zalloc(1 + (i as u64 % 100)).unwrap();
-                        live.push(Survivor { oid, fill: 0, size: 1 + (i as u64 % 100) });
+                        live.push(Survivor {
+                            oid,
+                            fill: 0,
+                            size: 1 + (i as u64 % 100),
+                        });
                     }
                 }
             }
@@ -97,7 +102,10 @@ fn eight_thread_churn_then_rebuild() {
         }));
     }
 
-    let survivors: Vec<Survivor> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+    let survivors: Vec<Survivor> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
 
     // Every surviving object is intact and none overlap.
     let mut spans: Vec<(u64, u64)> = Vec::new();
@@ -106,7 +114,10 @@ fn eight_thread_churn_then_rebuild() {
         check_payload(&pool, s);
         let block = pool.usable_size(s.oid).unwrap() + BLOCK_HEADER_SIZE;
         expect_bytes += block;
-        spans.push((s.oid.off - BLOCK_HEADER_SIZE, s.oid.off - BLOCK_HEADER_SIZE + block));
+        spans.push((
+            s.oid.off - BLOCK_HEADER_SIZE,
+            s.oid.off - BLOCK_HEADER_SIZE + block,
+        ));
     }
     spans.sort_unstable();
     for w in spans.windows(2) {
@@ -114,7 +125,9 @@ fn eight_thread_churn_then_rebuild() {
     }
 
     // Stats balance: survivors plus the per-thread realloc slots.
-    let slot_block = pool.usable_size(PmemOid::new(pool.uuid(), slots[0], 32)).unwrap()
+    let slot_block = pool
+        .usable_size(PmemOid::new(pool.uuid(), slots[0], 32))
+        .unwrap()
         + BLOCK_HEADER_SIZE;
     let stats = pool.stats();
     assert_eq!(stats.live_objects, survivors.len() as u64 + THREADS as u64);
@@ -169,7 +182,11 @@ fn crash_between_refill_and_first_carve_recovers() {
         let oid = pool.alloc(size).unwrap();
         pool.write(oid.off, &vec![0xA0 + i; size as usize]).unwrap();
         pool.persist(oid.off, size as usize).unwrap();
-        survivors.push(Survivor { oid, fill: 0xA0 + i, size });
+        survivors.push(Survivor {
+            oid,
+            fill: 0xA0 + i,
+            size,
+        });
     }
     let before = pool.stats();
 
@@ -209,7 +226,9 @@ fn crash_between_refill_and_first_carve_recovers() {
         }
     }
     assert!(
-        fillers.iter().any(|o| o.off >= cursor && o.off < cursor + chunk),
+        fillers
+            .iter()
+            .any(|o| o.off >= cursor && o.off < cursor + chunk),
         "no allocation landed in the recovered chunk"
     );
     let stats_full = pool.stats();
@@ -221,7 +240,6 @@ fn crash_between_refill_and_first_carve_recovers() {
     for s in &survivors {
         check_payload(&pool, s);
     }
-
 }
 
 /// Torn refill: only the size half of the fresh chunk header persisted
@@ -244,6 +262,13 @@ fn torn_refill_header_recovers() {
     let pool = ObjPool::open(pm).unwrap();
     assert_eq!(pool.stats().live_objects, before.live_objects);
     assert_eq!(pool.stats().live_bytes, before.live_bytes);
-    check_payload(&pool, &Survivor { oid, fill: 0x5A, size: 500 });
+    check_payload(
+        &pool,
+        &Survivor {
+            oid,
+            fill: 0x5A,
+            size: 500,
+        },
+    );
     pool.alloc(1024).unwrap();
 }

@@ -18,7 +18,10 @@ fn fresh_tracked(size: u64) -> ObjPool {
 /// Crash the pool (dropping unpersisted stores) and reopen it.
 fn crash_and_reopen(pool: ObjPool) -> ObjPool {
     let img = pool.pm().crash_image(CrashSpec::DropUnpersisted);
-    let pm = Arc::new(PmPool::from_image(img, PoolConfig::new(0).mode(Mode::Tracked)));
+    let pm = Arc::new(PmPool::from_image(
+        img,
+        PoolConfig::new(0).mode(Mode::Tracked),
+    ));
     ObjPool::open(pm).unwrap()
 }
 
@@ -105,7 +108,7 @@ fn alloc_into_pmdk_16_bytes() {
     let stored = pool.oid_read(home.off, OidKind::Pmdk).unwrap();
     assert_eq!(stored.off, oid.off);
     assert_eq!(stored.size, 0); // size not durable in stock encoding
-    // Bytes 16..24 of the home object are untouched by the 16-byte encoding.
+                                // Bytes 16..24 of the home object are untouched by the 16-byte encoding.
     let mut b = [0u8; 8];
     pool.read(home.off + 16, &mut b).unwrap();
     assert_eq!(b, [0u8; 8]);
@@ -235,7 +238,10 @@ fn oid_validity_implies_size_validity_at_every_crash_state() {
     let oid = pool.zalloc_into(dest, 4242).unwrap();
     assert_eq!(oid.size, 4242);
     for img in spp_pm::CrashStateIter::new(pool.pm()) {
-        let pm = Arc::new(PmPool::from_image(img, PoolConfig::new(0).mode(Mode::Tracked)));
+        let pm = Arc::new(PmPool::from_image(
+            img,
+            PoolConfig::new(0).mode(Mode::Tracked),
+        ));
         let reopened = ObjPool::open(pm).unwrap();
         let stored = reopened.oid_read(home.off, OidKind::Spp).unwrap();
         if !stored.is_null() {
@@ -256,14 +262,19 @@ fn free_crash_states_never_leave_dangling_valid_oid() {
     let pool = crash_and_reopen(pool);
     pool.free_from(dest, oid).unwrap();
     for img in spp_pm::CrashStateIter::new(pool.pm()) {
-        let pm = Arc::new(PmPool::from_image(img, PoolConfig::new(0).mode(Mode::Tracked)));
+        let pm = Arc::new(PmPool::from_image(
+            img,
+            PoolConfig::new(0).mode(Mode::Tracked),
+        ));
         let reopened = ObjPool::open(pm).unwrap();
         let stored = reopened.oid_read(home.off, OidKind::Spp).unwrap();
         if !stored.is_null() {
             // If the oid survived, the object must still be allocated
             // (the free did not happen): reading through it must work and
             // the block must be valid.
-            assert!(reopened.usable_size(PmemOid::new(reopened.uuid(), stored.off, stored.size)).is_ok());
+            assert!(reopened
+                .usable_size(PmemOid::new(reopened.uuid(), stored.off, stored.size))
+                .is_ok());
         }
     }
 }
@@ -302,7 +313,10 @@ fn concurrent_allocs_distinct_offsets() {
             offs
         }));
     }
-    let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+    let mut all: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
     let n = all.len();
     all.sort_unstable();
     all.dedup();

@@ -12,7 +12,10 @@ fn fresh_tracked(size: u64) -> ObjPool {
 
 fn crash_and_reopen(pool: &ObjPool, spec: CrashSpec) -> ObjPool {
     let img = pool.pm().crash_image(spec);
-    let pm = Arc::new(PmPool::from_image(img, PoolConfig::new(0).mode(Mode::Tracked)));
+    let pm = Arc::new(PmPool::from_image(
+        img,
+        PoolConfig::new(0).mode(Mode::Tracked),
+    ));
     ObjPool::open(pm).unwrap()
 }
 
@@ -67,7 +70,10 @@ fn crash_mid_tx_rolls_back_on_recovery() {
         Err(tx.abort("simulated crash point"))
     });
     let img = img_cell.into_inner().unwrap();
-    let pm = Arc::new(PmPool::from_image(img, PoolConfig::new(0).mode(Mode::Tracked)));
+    let pm = Arc::new(PmPool::from_image(
+        img,
+        PoolConfig::new(0).mode(Mode::Tracked),
+    ));
     let reopened = ObjPool::open(pm).unwrap();
     let mut b = [0u8; 8];
     reopened.read(obj.off, &mut b).unwrap();
@@ -116,8 +122,12 @@ fn tx_free_applies_only_on_commit() {
     });
     assert!(pool.usable_size(obj).is_ok());
     // Commit: object freed.
-    pool.tx(|tx| -> spp_pmdk::Result<()> { tx.free(obj) }).unwrap();
-    assert!(matches!(pool.usable_size(obj), Err(PmdkError::InvalidOid { .. })));
+    pool.tx(|tx| -> spp_pmdk::Result<()> { tx.free(obj) })
+        .unwrap();
+    assert!(matches!(
+        pool.usable_size(obj),
+        Err(PmdkError::InvalidOid { .. })
+    ));
 }
 
 #[test]
@@ -137,7 +147,10 @@ fn tx_crash_window_all_or_nothing() {
     })
     .unwrap();
     for img in spp_pm::CrashStateIter::new(pool.pm()) {
-        let pm = Arc::new(PmPool::from_image(img, PoolConfig::new(0).mode(Mode::Tracked)));
+        let pm = Arc::new(PmPool::from_image(
+            img,
+            PoolConfig::new(0).mode(Mode::Tracked),
+        ));
         let reopened = ObjPool::open(pm).unwrap();
         let a = reopened.read_u64(obj.off).unwrap();
         let b = reopened.read_u64(obj.off + 8).unwrap();
@@ -186,7 +199,8 @@ fn sequential_transactions_reuse_lane() {
     let pool = fresh_tracked(1 << 20);
     let obj = pool.zalloc(8).unwrap();
     for i in 0..50u64 {
-        pool.tx(|tx| -> spp_pmdk::Result<()> { tx.write_u64(obj.off, i) }).unwrap();
+        pool.tx(|tx| -> spp_pmdk::Result<()> { tx.write_u64(obj.off, i) })
+            .unwrap();
     }
     assert_eq!(pool.read_u64(obj.off).unwrap(), 49);
 }

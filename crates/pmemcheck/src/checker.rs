@@ -104,9 +104,11 @@ impl Checker {
                         }
                     }
                     if !useful {
-                        report
-                            .warnings
-                            .push(Warning::RedundantFlush { seq: *seq, off: lo, len: *len });
+                        report.warnings.push(Warning::RedundantFlush {
+                            seq: *seq,
+                            off: lo,
+                            len: *len,
+                        });
                     }
                 }
                 PmEvent::Fence { .. } => {
@@ -178,7 +180,10 @@ mod tests {
         assert_eq!(report.errors.len(), 1);
         assert!(matches!(
             report.errors[0],
-            Violation::StoreNotPersisted { state: "not flushed", .. }
+            Violation::StoreNotPersisted {
+                state: "not flushed",
+                ..
+            }
         ));
     }
 
@@ -191,7 +196,10 @@ mod tests {
         assert_eq!(report.errors.len(), 1);
         assert!(matches!(
             report.errors[0],
-            Violation::StoreNotPersisted { state: "flushed but not fenced", .. }
+            Violation::StoreNotPersisted {
+                state: "flushed but not fenced",
+                ..
+            }
         ));
     }
 

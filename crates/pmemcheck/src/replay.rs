@@ -69,13 +69,19 @@ impl Replayer {
     /// Create a replayer for a pool of `pool_size` bytes whose entire
     /// history (from the zeroed state) is in `log`.
     pub fn new(pool_size: u64, log: EventLog) -> Self {
-        Replayer { initial: vec![0u8; pool_size as usize], events: log.events().to_vec() }
+        Replayer {
+            initial: vec![0u8; pool_size as usize],
+            events: log.events().to_vec(),
+        }
     }
 
     /// Create a replayer whose history starts from a known durable baseline
     /// (pair with [`spp_pm::PmPool::reset_tracking`] after pool setup).
     pub fn with_initial(initial: Vec<u8>, log: EventLog) -> Self {
-        Replayer { initial, events: log.events().to_vec() }
+        Replayer {
+            initial,
+            events: log.events().to_vec(),
+        }
     }
 
     /// Number of events in the log.
@@ -98,11 +104,7 @@ impl Replayer {
     /// # Errors
     ///
     /// [`ExploreError`] describing the first inconsistent crash state.
-    pub fn explore<F>(
-        &self,
-        points: CrashPoints,
-        mut validate: F,
-    ) -> Result<u64, Box<ExploreError>>
+    pub fn explore<F>(&self, points: CrashPoints, mut validate: F) -> Result<u64, Box<ExploreError>>
     where
         F: FnMut(&CrashImage) -> Result<(), String>,
     {
@@ -246,7 +248,10 @@ mod tests {
             })
             .unwrap();
         assert!(checked > 3);
-        assert!(saw_pending_survivor, "exploration never surfaced the pending store");
+        assert!(
+            saw_pending_survivor,
+            "exploration never surfaced the pending store"
+        );
     }
 
     #[test]

@@ -81,7 +81,11 @@ fn ctree_workload_is_crash_consistent() {
     // Rule check: the workload flushed and fenced everything it wrote.
     let log = policy.pool().pm().event_log().unwrap();
     let report = Checker::new().analyze(&log);
-    assert!(report.is_clean(), "pmemcheck errors: {:?}", &report.errors[..report.errors.len().min(3)]);
+    assert!(
+        report.is_clean(),
+        "pmemcheck errors: {:?}",
+        &report.errors[..report.errors.len().min(3)]
+    );
 
     // Crash-state exploration.
     let replayer = Replayer::with_initial(initial, log);
@@ -135,7 +139,8 @@ fn rbtree_workload_preserves_invariants_across_crashes() {
             let tree = RbTree::open(policy, meta).map_err(|e| format!("reopen: {e}"))?;
             // Full structural validation (colors, BST order, black height).
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                tree.check_invariants().map_err(|e| format!("walk failed: {e}"))
+                tree.check_invariants()
+                    .map_err(|e| format!("walk failed: {e}"))
             }))
             .map_err(|_| "red-black invariant violated after recovery".to_string())??;
             Ok(())

@@ -73,7 +73,10 @@ pub struct Union<V> {
 impl<V> Union<V> {
     /// Build from a non-empty list of alternatives.
     pub fn new(variants: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
-        assert!(!variants.is_empty(), "prop_oneof! needs at least one branch");
+        assert!(
+            !variants.is_empty(),
+            "prop_oneof! needs at least one branch"
+        );
         Union { variants }
     }
 }

@@ -15,8 +15,12 @@ pub enum Method {
 
 impl Method {
     /// The methods used when sweeping a family.
-    pub const ALL: [Method; 4] =
-        [Method::LoopStore, Method::SingleStore, Method::Memcpy, Method::Strcpy];
+    pub const ALL: [Method; 4] = [
+        Method::LoopStore,
+        Method::SingleStore,
+        Method::Memcpy,
+        Method::Strcpy,
+    ];
 }
 
 /// Mechanically-distinct attack families (see the crate docs table).
@@ -58,8 +62,17 @@ pub struct Attack {
 }
 
 fn push(suite: &mut Vec<Attack>, family: Family, method: Method, buffer_size: u64, reach: u64) {
-    let id = format!("{:?}/{:?}/buf{}/reach{}", family, method, buffer_size, reach);
-    suite.push(Attack { id, family, method, buffer_size, reach });
+    let id = format!(
+        "{:?}/{:?}/buf{}/reach{}",
+        family, method, buffer_size, reach
+    );
+    suite.push(Attack {
+        id,
+        family,
+        method,
+        buffer_size,
+        reach,
+    });
 }
 
 /// Generate the deterministic 223-form suite (83 viable on an unprotected

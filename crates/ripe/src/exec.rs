@@ -97,7 +97,11 @@ fn intra_object<P: MemoryPolicy>(p: &P, a: &Attack) -> Result<Outcome> {
     if let Some(o) = classify(attack()) {
         return Ok(o);
     }
-    Ok(if target_hit(p, obj.off + secret_off)? { Outcome::Success } else { Outcome::Prevented })
+    Ok(if target_hit(p, obj.off + secret_off)? {
+        Outcome::Success
+    } else {
+        Outcome::Prevented
+    })
 }
 
 /// Jump from one object straight into another live object.
@@ -122,7 +126,11 @@ fn far_jump<P: MemoryPolicy>(p: &P, a: &Attack) -> Result<Outcome> {
     if let Some(o) = classify(attack()) {
         return Ok(o);
     }
-    Ok(if target_hit(p, victim.off + 16)? { Outcome::Success } else { Outcome::Prevented })
+    Ok(if target_hit(p, victim.off + 16)? {
+        Outcome::Success
+    } else {
+        Outcome::Prevented
+    })
 }
 
 /// Contiguously overflow into the adjacent object (crossing its header).
@@ -161,7 +169,11 @@ fn adjacent<P: MemoryPolicy>(p: &P, a: &Attack) -> Result<Outcome> {
     if let Some(o) = classify(attack()) {
         return Ok(o);
     }
-    Ok(if target_hit(p, victim.off)? { Outcome::Success } else { Outcome::Prevented })
+    Ok(if target_hit(p, victim.off)? {
+        Outcome::Success
+    } else {
+        Outcome::Prevented
+    })
 }
 
 /// Overflow confined to the attacker block's class padding.
@@ -190,7 +202,11 @@ fn padding<P: MemoryPolicy>(p: &P, a: &Attack) -> Result<Outcome> {
     if let Some(o) = classify(attack()) {
         return Ok(o);
     }
-    Ok(if target_hit(p, target_off)? { Outcome::Success } else { Outcome::Prevented })
+    Ok(if target_hit(p, target_off)? {
+        Outcome::Success
+    } else {
+        Outcome::Prevented
+    })
 }
 
 /// Long contiguous smash into unallocated heap space.
@@ -227,7 +243,11 @@ fn wilderness<P: MemoryPolicy>(p: &P, a: &Attack) -> Result<Outcome> {
     if let Some(o) = classify(attack()) {
         return Ok(o);
     }
-    Ok(if target_hit(p, target_off)? { Outcome::Success } else { Outcome::Prevented })
+    Ok(if target_hit(p, target_off)? {
+        Outcome::Success
+    } else {
+        Outcome::Prevented
+    })
 }
 
 /// Target beyond the pool mapping: environmentally impossible everywhere.

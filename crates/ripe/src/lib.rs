@@ -70,5 +70,9 @@ pub fn evaluate_variant<P: MemoryPolicy, F: FnMut() -> Result<P>>(
             Outcome::Prevented => prevented += 1,
         }
     }
-    Ok(TableRow { variant: variant.to_string(), successful, prevented })
+    Ok(TableRow {
+        variant: variant.to_string(),
+        successful,
+        prevented,
+    })
 }

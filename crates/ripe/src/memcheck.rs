@@ -30,7 +30,10 @@ pub struct MemcheckPolicy {
 impl MemcheckPolicy {
     /// Wrap a pool with memcheck-style tracking.
     pub fn new(pool: Arc<ObjPool>) -> Self {
-        MemcheckPolicy { inner: PmdkPolicy::new(pool), chunks: Mutex::new(HashMap::new()) }
+        MemcheckPolicy {
+            inner: PmdkPolicy::new(pool),
+            chunks: Mutex::new(HashMap::new()),
+        }
     }
 
     fn block_extent(&self, oid: PmemOid) -> Result<(u64, u64)> {
@@ -120,7 +123,11 @@ impl MemoryPolicy for MemcheckPolicy {
     }
 
     fn tx_alloc(&self, tx: &mut Tx<'_>, size: u64, zero: bool) -> Result<PmemOid> {
-        let oid = if zero { tx.zalloc(size)? } else { tx.alloc(size)? };
+        let oid = if zero {
+            tx.zalloc(size)?
+        } else {
+            tx.alloc(size)?
+        };
         let (start, len) = self.block_extent(oid)?;
         self.mark(start, len, 1);
         Ok(oid)
@@ -163,7 +170,13 @@ mod tests {
         let a = p.zalloc(32).unwrap();
         let pa = p.direct(a);
         let err = p.store_u64(p.gep(pa, 64 * 1024), 0x41).unwrap_err();
-        assert!(matches!(err, SppError::OverflowDetected { mechanism: "memcheck", .. }));
+        assert!(matches!(
+            err,
+            SppError::OverflowDetected {
+                mechanism: "memcheck",
+                ..
+            }
+        ));
     }
 
     #[test]

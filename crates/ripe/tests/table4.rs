@@ -26,8 +26,7 @@ fn table4_counts() {
         SppPolicy::new(fresh_pool(), TagConfig::default())
     })
     .unwrap();
-    let safepm =
-        evaluate_variant("SafePM", &suite, || SafePmPolicy::create(fresh_pool())).unwrap();
+    let safepm = evaluate_variant("SafePM", &suite, || SafePmPolicy::create(fresh_pool())).unwrap();
     let memcheck =
         evaluate_variant("memcheck", &suite, || Ok(MemcheckPolicy::new(fresh_pool()))).unwrap();
 

@@ -95,10 +95,15 @@ impl MemoryPolicy for SafePmPolicy {
         // Allocate payload + redzone, unpoison the payload, then publish —
         // so a crash never leaves a reachable-but-poisoned object.
         let padded = Self::padded(size);
-        let oid = if zero { self.pool.zalloc(padded)? } else { self.pool.alloc(padded)? };
+        let oid = if zero {
+            self.pool.zalloc(padded)?
+        } else {
+            self.pool.alloc(padded)?
+        };
         self.shadow.unpoison(&self.pool, oid.off, size)?;
         if let Some(d) = dest {
-            self.pool.publish_oid(d, PmemOid::new(oid.pool_uuid, oid.off, size))?;
+            self.pool
+                .publish_oid(d, PmemOid::new(oid.pool_uuid, oid.off, size))?;
         }
         Ok(PmemOid::new(oid.pool_uuid, oid.off, size))
     }
@@ -110,13 +115,18 @@ impl MemoryPolicy for SafePmPolicy {
         }
         let usable = self.pool.usable_size(oid)?;
         self.shadow.poison(&self.pool, oid.off, usable)?;
-        self.pool.free(PmemOid::new(oid.pool_uuid, oid.off, usable))?;
+        self.pool
+            .free(PmemOid::new(oid.pool_uuid, oid.off, usable))?;
         Ok(())
     }
 
     fn tx_alloc(&self, tx: &mut spp_pmdk::Tx<'_>, size: u64, zero: bool) -> Result<PmemOid> {
         let padded = Self::padded(size);
-        let oid = if zero { tx.zalloc(padded)? } else { tx.alloc(padded)? };
+        let oid = if zero {
+            tx.zalloc(padded)?
+        } else {
+            tx.alloc(padded)?
+        };
         self.shadow.unpoison(&self.pool, oid.off, size)?;
         Ok(PmemOid::new(oid.pool_uuid, oid.off, size))
     }
@@ -144,7 +154,8 @@ impl MemoryPolicy for SafePmPolicy {
         }
         self.pool.publish_oid(dest, new)?;
         self.shadow.poison(&self.pool, oid.off, old_usable)?;
-        self.pool.free(PmemOid::new(oid.pool_uuid, oid.off, old_usable))?;
+        self.pool
+            .free(PmemOid::new(oid.pool_uuid, oid.off, old_usable))?;
         Ok(new)
     }
 }
@@ -178,7 +189,13 @@ mod tests {
         let ptr = p.direct(oid);
         // 64 is granule-aligned: first byte past the end is caught.
         let err = p.store(p.gep(ptr, 64), &[1]).unwrap_err();
-        assert!(matches!(err, SppError::OverflowDetected { mechanism: "shadow", .. }));
+        assert!(matches!(
+            err,
+            SppError::OverflowDetected {
+                mechanism: "shadow",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -217,12 +234,20 @@ mod tests {
         p.store_u64(ptr, 1).unwrap();
         p.free(oid).unwrap();
         let err = p.load_u64(ptr).unwrap_err();
-        assert!(matches!(err, SppError::OverflowDetected { mechanism: "shadow", .. }));
+        assert!(matches!(
+            err,
+            SppError::OverflowDetected {
+                mechanism: "shadow",
+                ..
+            }
+        ));
     }
 
     #[test]
     fn shadow_survives_reopen() {
-        let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 20).mode(spp_pm::Mode::Tracked)));
+        let pm = Arc::new(PmPool::new(
+            PoolConfig::new(1 << 20).mode(spp_pm::Mode::Tracked),
+        ));
         let pool = Arc::new(ObjPool::create(Arc::clone(&pm), PoolOpts::small()).unwrap());
         let p = SafePmPolicy::create(Arc::clone(&pool)).unwrap();
         let oid = p.zalloc(32).unwrap();

@@ -32,7 +32,10 @@ impl Shadow {
 
     /// Create a view given the shadow object's pool offset.
     pub fn new(base: u64, pool_size: u64) -> Self {
-        Shadow { base, covered: pool_size }
+        Shadow {
+            base,
+            covered: pool_size,
+        }
     }
 
     /// Pool offset of the shadow byte covering application offset `off`.
@@ -140,7 +143,13 @@ mod tests {
     fn default_is_poisoned() {
         let (pool, shadow) = setup();
         let err = shadow.check(&pool, 0x8000, 8).unwrap_err();
-        assert!(matches!(err, SppError::OverflowDetected { mechanism: "shadow", .. }));
+        assert!(matches!(
+            err,
+            SppError::OverflowDetected {
+                mechanism: "shadow",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -40,22 +40,43 @@ fn btree_bug<P: MemoryPolicy>(policy: Arc<P>) -> spp::core::Result<bool> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== PMDK btree_map memmove overflow (issue #5333) ==");
-    println!("  PMDK   : {}", verdict(btree_bug(Arc::new(PmdkPolicy::new(pool(1 << 32))))));
-    println!("  SafePM : {}", verdict(btree_bug(Arc::new(SafePmPolicy::create(pool(1 << 32))?))));
-    println!(
-        "  SPP    : {}",
-        verdict(btree_bug(Arc::new(SppPolicy::new(pool(1 << 32), TagConfig::default())?)))
-    );
-
-    println!("\n== Phoenix string_match off-by-one (kozyraki/phoenix#9) ==");
-    let cfg = PhoenixConfig { threads: 2, scale: 1, seed: 1 };
     println!(
         "  PMDK   : {}",
-        verdict(string_match(&Arc::new(PmdkPolicy::new(pool(0x10000))), &cfg, true))
+        verdict(btree_bug(Arc::new(PmdkPolicy::new(pool(1 << 32)))))
     );
     println!(
         "  SafePM : {}",
-        verdict(string_match(&Arc::new(SafePmPolicy::create(pool(0x10000))?), &cfg, true))
+        verdict(btree_bug(Arc::new(SafePmPolicy::create(pool(1 << 32))?)))
+    );
+    println!(
+        "  SPP    : {}",
+        verdict(btree_bug(Arc::new(SppPolicy::new(
+            pool(1 << 32),
+            TagConfig::default()
+        )?)))
+    );
+
+    println!("\n== Phoenix string_match off-by-one (kozyraki/phoenix#9) ==");
+    let cfg = PhoenixConfig {
+        threads: 2,
+        scale: 1,
+        seed: 1,
+    };
+    println!(
+        "  PMDK   : {}",
+        verdict(string_match(
+            &Arc::new(PmdkPolicy::new(pool(0x10000))),
+            &cfg,
+            true
+        ))
+    );
+    println!(
+        "  SafePM : {}",
+        verdict(string_match(
+            &Arc::new(SafePmPolicy::create(pool(0x10000))?),
+            &cfg,
+            true
+        ))
     );
     println!(
         "  SPP    : {}",
@@ -72,9 +93,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .find(|a| a.family == Family::AdjacentSameChunk)
         .expect("suite has adjacent attacks");
     for (name, outcome) in [
-        ("PMDK", run_attack(&PmdkPolicy::new(pool(1 << 32)), &attack)?),
-        ("SafePM", run_attack(&SafePmPolicy::create(pool(1 << 32))?, &attack)?),
-        ("SPP", run_attack(&SppPolicy::new(pool(1 << 32), TagConfig::default())?, &attack)?),
+        (
+            "PMDK",
+            run_attack(&PmdkPolicy::new(pool(1 << 32)), &attack)?,
+        ),
+        (
+            "SafePM",
+            run_attack(&SafePmPolicy::create(pool(1 << 32))?, &attack)?,
+        ),
+        (
+            "SPP",
+            run_attack(
+                &SppPolicy::new(pool(1 << 32), TagConfig::default())?,
+                &attack,
+            )?,
+        ),
     ] {
         let text = match outcome {
             Outcome::Success => "ATTACK SUCCEEDED (victim corrupted)",

@@ -20,7 +20,12 @@ fn fresh_pool() -> Arc<ObjPool> {
 }
 
 fn demo<P: MemoryPolicy>(name: &str, policy: Arc<P>) {
-    let cfg = WorkloadConfig { preload_keys: 10_000, ops: 20_000, value_size: 1024, seed: 42 };
+    let cfg = WorkloadConfig {
+        preload_keys: 10_000,
+        ops: 20_000,
+        value_size: 1024,
+        seed: 42,
+    };
     let kv = Arc::new(KvStore::create(policy, 16_384).expect("engine"));
     let start = Instant::now();
     preload(&kv, &cfg).expect("preload");
@@ -46,14 +51,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     kv.put(&make_key(1), b"updated")?; // in-place value swap (tx)
     out.clear();
     kv.get(&make_key(1), &mut out)?;
-    println!("key 1 -> {:?} (updated transactionally)", String::from_utf8_lossy(&out));
+    println!(
+        "key 1 -> {:?} (updated transactionally)",
+        String::from_utf8_lossy(&out)
+    );
     kv.remove(&make_key(2))?;
     println!("key 2 removed; {} entries remain", kv.count()?);
 
     println!("\n-- the same workload under each protection variant --");
     demo("PMDK", Arc::new(PmdkPolicy::new(fresh_pool())));
     demo("SafePM", Arc::new(SafePmPolicy::create(fresh_pool())?));
-    demo("SPP", Arc::new(SppPolicy::new(fresh_pool(), TagConfig::default())?));
+    demo(
+        "SPP",
+        Arc::new(SppPolicy::new(fresh_pool(), TagConfig::default())?),
+    );
     println!("\n(SPP's tag arithmetic costs a few percent; SafePM's shadow reads");
     println!(" on every access cost much more — the Fig. 5 story.)");
     Ok(())

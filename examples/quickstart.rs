@@ -58,11 +58,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    field recorded in PM re-creates the exact same bounds (§IV-F).
     let root2 = pool2.root(64)?;
     let recovered = spp2.load_oid(spp2.direct(root2))?;
-    println!("recovered oid: off={:#x} size={}", recovered.off, recovered.size);
+    println!(
+        "recovered oid: off={:#x} size={}",
+        recovered.off, recovered.size
+    );
     let mut buf = vec![0u8; 42];
     spp2.load(spp2.direct(recovered), &mut buf)?;
     println!("contents: {:?}", String::from_utf8_lossy(&buf));
-    let err = spp2.load_u64(spp2.gep(spp2.direct(recovered), 42)).unwrap_err();
+    let err = spp2
+        .load_u64(spp2.gep(spp2.direct(recovered), 42))
+        .unwrap_err();
     println!("post-recovery overflow still detected: {err}");
     Ok(())
 }

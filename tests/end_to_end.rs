@@ -29,7 +29,9 @@ fn full_stack_index_restart_under_spp() {
         tree.insert(k, k * 7).unwrap();
     }
     let root = pool1.root(64).unwrap();
-    pool1.publish_oid(spp::pmdk::OidDest::spp(root.off), tree.meta()).unwrap();
+    pool1
+        .publish_oid(spp::pmdk::OidDest::spp(root.off), tree.meta())
+        .unwrap();
 
     let img = pm.crash_image(CrashSpec::DropUnpersisted);
     let pm2 = Arc::new(PmPool::from_image(img, PoolConfig::new(0)));
@@ -89,7 +91,11 @@ fn kv_store_and_index_share_one_pool() {
 
 #[test]
 fn phoenix_checksums_identical_across_variants() {
-    let cfg = PhoenixConfig { threads: 2, scale: 1, seed: 99 };
+    let cfg = PhoenixConfig {
+        threads: 2,
+        scale: 1,
+        seed: 99,
+    };
     for app in [App::Histogram, App::LinearRegression, App::WordCount] {
         let low = |_| {
             let pm = Arc::new(PmPool::new(PoolConfig::new(32 << 20).base(0x10000)));
