@@ -12,8 +12,8 @@
 use std::sync::Arc;
 
 use spp_bench::{
-    banner, fresh_pool, pmdk_policy, safepm_policy, slowdown, spp_policy, write_results, Args,
-    Json, Variant,
+    banner, fresh_pool, pmdk_policy, safepm_policy, slowdown, spp_policy, validate_rows,
+    write_results, Args, Json, Variant,
 };
 use spp_core::{MemoryPolicy, TagConfig};
 use spp_kvstore::workload::{preload, run_mix, Mix, WorkloadConfig};
@@ -122,6 +122,10 @@ fn main() {
     println!();
     println!("(paper: SPP average 18.3% slowdown across mixes; SafePM 84.4%)");
 
+    let validation = validate_rows(
+        &rows,
+        &["pmdk_ops_per_s", "safepm_slowdown", "spp_slowdown"],
+    );
     let doc = Json::Obj(vec![
         ("bench", Json::Str("fig5_pmemkv".to_string())),
         ("smoke", Json::Bool(smoke)),
@@ -142,4 +146,9 @@ fn main() {
     ]);
     let path = write_results("fig5_pmemkv", &doc);
     println!("results written to {}", path.display());
+    if let Err(e) = validation {
+        eprintln!("fig5_pmemkv: self-validation FAILED: {e}");
+        std::process::exit(1);
+    }
+    println!("self-validation passed");
 }

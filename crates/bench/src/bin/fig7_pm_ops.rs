@@ -10,8 +10,8 @@
 use std::sync::Arc;
 
 use spp_bench::{
-    banner, fresh_pool, pmdk_policy, slowdown, spp_policy, timed, warm_pool, write_results, Args,
-    Json,
+    banner, fresh_pool, pmdk_policy, slowdown, spp_policy, timed, validate_rows, warm_pool,
+    write_results, Args, Json,
 };
 use spp_core::{MemoryPolicy, TagConfig};
 use spp_pmdk::PmemOid;
@@ -182,6 +182,18 @@ fn main() {
     println!();
     println!("(paper: 1-8% slowdown for most operations, 7-17% for atomic free)");
 
+    let validation = validate_rows(
+        &rows,
+        &[
+            "size",
+            "atomic_alloc_slowdown",
+            "atomic_free_slowdown",
+            "atomic_realloc_slowdown",
+            "tx_alloc_slowdown",
+            "tx_free_slowdown",
+            "tx_realloc_slowdown",
+        ],
+    );
     let doc = Json::Obj(vec![
         ("bench", Json::Str("fig7_pm_ops".to_string())),
         ("smoke", Json::Bool(smoke)),
@@ -197,4 +209,9 @@ fn main() {
     ]);
     let path = write_results("fig7_pm_ops", &doc);
     println!("results written to {}", path.display());
+    if let Err(e) = validation {
+        eprintln!("fig7_pm_ops: self-validation FAILED: {e}");
+        std::process::exit(1);
+    }
+    println!("self-validation passed");
 }

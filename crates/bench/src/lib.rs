@@ -219,6 +219,46 @@ impl Json {
     }
 }
 
+/// Self-validation of benchmark result rows, run by every binary before it
+/// exits (the `--smoke` CI mode relies on this to turn a silently-broken
+/// harness into a red build): there must be at least one row, and each of
+/// the named fields must be present in every row, numeric, finite, and
+/// strictly positive.
+///
+/// # Errors
+///
+/// A description of the first problem found.
+pub fn validate_rows(rows: &[Json], positive_fields: &[&str]) -> Result<(), String> {
+    if rows.is_empty() {
+        return Err("no result rows were produced".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let Json::Obj(fields) = row else {
+            return Err(format!("result row {i} is not an object"));
+        };
+        for want in positive_fields {
+            let Some((_, v)) = fields.iter().find(|(k, _)| k == want) else {
+                return Err(format!("result row {i}: missing field `{want}`"));
+            };
+            let num = match v {
+                Json::Num(x) => *x,
+                Json::Int(x) => *x as f64,
+                other => {
+                    return Err(format!(
+                        "result row {i}: field `{want}` is not numeric: {other:?}"
+                    ))
+                }
+            };
+            if !num.is_finite() || num <= 0.0 {
+                return Err(format!(
+                    "result row {i}: field `{want}` = {num} (must be finite and > 0)"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Write a benchmark result document to `results/BENCH_<name>.json`
 /// (creating `results/` under the current directory) and return the path.
 pub fn write_results(name: &str, doc: &Json) -> std::path::PathBuf {
@@ -227,4 +267,40 @@ pub fn write_results(name: &str, doc: &Json) -> std::path::PathBuf {
     let path = dir.join(format!("BENCH_{name}.json"));
     std::fs::write(&path, doc.render() + "\n").expect("write results json");
     path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: f64) -> Json {
+        Json::Obj(vec![("x", Json::Num(v)), ("n", Json::Int(3))])
+    }
+
+    #[test]
+    fn validate_rows_accepts_sane_rows() {
+        assert!(validate_rows(&[row(1.5), row(0.1)], &["x", "n"]).is_ok());
+    }
+
+    #[test]
+    fn validate_rows_rejects_garbage() {
+        assert!(validate_rows(&[], &["x"])
+            .unwrap_err()
+            .contains("no result rows"));
+        assert!(validate_rows(&[row(0.0)], &["x"])
+            .unwrap_err()
+            .contains("must be finite"));
+        assert!(validate_rows(&[row(f64::NAN)], &["x"])
+            .unwrap_err()
+            .contains("must be finite"));
+        assert!(validate_rows(&[row(-2.0)], &["x"])
+            .unwrap_err()
+            .contains("must be finite"));
+        assert!(validate_rows(&[row(1.0)], &["missing"])
+            .unwrap_err()
+            .contains("missing field"));
+        assert!(validate_rows(&[Json::Num(1.0)], &["x"])
+            .unwrap_err()
+            .contains("not an object"));
+    }
 }

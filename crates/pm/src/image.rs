@@ -49,6 +49,9 @@ pub struct CrashStateIter<'p> {
     next: u64,
     total: u64,
     stride: u64,
+    /// Pre-planned keep-lists (seeded sampling mode); `None` for the lazy
+    /// exhaustive/strided/prefix modes.
+    planned: Option<Vec<Vec<u64>>>,
 }
 
 impl<'p> CrashStateIter<'p> {
@@ -71,6 +74,7 @@ impl<'p> CrashStateIter<'p> {
                 next: 0,
                 total,
                 stride: 1,
+                planned: None,
             }
         } else {
             // Sample: always include masks 0 (drop all) and 2^n-1 (keep all)
@@ -85,6 +89,7 @@ impl<'p> CrashStateIter<'p> {
                     next: 0,
                     total: n as u64 + 1,
                     stride: u64::MAX,
+                    planned: None,
                 }
             } else {
                 let space = 1u64 << n;
@@ -95,8 +100,71 @@ impl<'p> CrashStateIter<'p> {
                     next: 0,
                     total: space.min(Self::SAMPLE_BUDGET),
                     stride,
+                    planned: None,
                 }
             }
+        }
+    }
+
+    /// Create a seeded, budgeted iterator over crash states of `pool`.
+    ///
+    /// When the full `2^n` space fits within `max_states` the enumeration
+    /// is exhaustive (and `seed` is irrelevant). Otherwise the iterator
+    /// yields the two extremes — drop-everything and keep-everything —
+    /// plus distinct pseudo-random keep-subsets derived from `seed`, up to
+    /// `max_states` states in total. The same `(pool state, max_states,
+    /// seed)` always produces the same sequence of images, which is what
+    /// makes torture-rig failures reproducible from a reported seed.
+    pub fn sampled(pool: &'p PmPool, max_states: u64, seed: u64) -> Self {
+        let seqs = pool.unpersisted_seqs();
+        let n = seqs.len();
+        let max_states = max_states.max(1);
+        if n < 63 && (1u64 << n) <= max_states {
+            return Self::new(pool);
+        }
+        // Plan keep-lists eagerly: extremes first, then seeded subsets.
+        // Masks are dedup'd so the budget buys distinct states; the word-
+        // vector key also covers n >= 64 (multi-word masks).
+        let words = n.div_ceil(64).max(1);
+        let mut seen: std::collections::HashSet<Vec<u64>> = std::collections::HashSet::new();
+        let mut planned: Vec<Vec<u64>> = Vec::new();
+        let mut push = |mask: Vec<u64>, planned: &mut Vec<Vec<u64>>| {
+            if seen.insert(mask.clone()) {
+                planned.push(
+                    seqs.iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask[i / 64] & (1u64 << (i % 64)) != 0)
+                        .map(|(_, &s)| s)
+                        .collect(),
+                );
+            }
+        };
+        let mut full = vec![u64::MAX; words];
+        if !n.is_multiple_of(64) {
+            full[words - 1] = (1u64 << (n % 64)) - 1;
+        }
+        push(vec![0; words], &mut planned);
+        push(full.clone(), &mut planned);
+        let mut state = seed;
+        // 4x oversampling bounds the loop when the space is nearly
+        // exhausted by duplicates.
+        let mut attempts = 4 * max_states.max(16);
+        while (planned.len() as u64) < max_states && attempts > 0 {
+            attempts -= 1;
+            let mut mask: Vec<u64> = (0..words).map(|_| splitmix64(&mut state)).collect();
+            for (w, f) in mask.iter_mut().zip(full.iter()) {
+                *w &= f;
+            }
+            push(mask, &mut planned);
+        }
+        let total = planned.len() as u64;
+        CrashStateIter {
+            pool,
+            seqs,
+            next: 0,
+            total,
+            stride: 0,
+            planned: Some(planned),
         }
     }
 
@@ -104,6 +172,48 @@ impl<'p> CrashStateIter<'p> {
     pub fn state_count(&self) -> u64 {
         self.total
     }
+
+    /// The sequence numbers of the unpersisted stores this iterator ranges
+    /// over. Dropping a subset of these is what distinguishes the states.
+    pub fn unpersisted(&self) -> &[u64] {
+        &self.seqs
+    }
+
+    /// The keep-set (surviving unpersisted store sequence numbers) of the
+    /// `k`-th crash state. Lets an explorer that found a failing state
+    /// reconstruct and then *shrink* the exact store-drop set behind it.
+    ///
+    /// # Panics
+    ///
+    /// If `k >= state_count()`.
+    pub fn keep_for(&self, k: u64) -> Vec<u64> {
+        assert!(k < self.total, "crash state index out of range");
+        if let Some(planned) = &self.planned {
+            planned[k as usize].clone()
+        } else if self.stride == u64::MAX {
+            // Prefix mode: keep the first k stores (program-order crash points).
+            self.seqs.iter().take(k as usize).copied().collect()
+        } else {
+            let mask = (k * self.stride) % (1u64 << self.seqs.len());
+            self.seqs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1u64 << i) != 0)
+                .map(|(_, &s)| s)
+                .collect()
+        }
+    }
+}
+
+/// SplitMix64 step — the deterministic generator behind
+/// [`CrashStateIter::sampled`]. Kept local so `spp-pm` stays free of a
+/// rand dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Iterator for CrashStateIter<'_> {
@@ -115,18 +225,7 @@ impl Iterator for CrashStateIter<'_> {
         }
         let k = self.next;
         self.next += 1;
-        let keep: Vec<u64> = if self.stride == u64::MAX {
-            // Prefix mode: keep the first k stores (program-order crash points).
-            self.seqs.iter().take(k as usize).copied().collect()
-        } else {
-            let mask = (k * self.stride) % (1u64 << self.seqs.len());
-            self.seqs
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| mask & (1u64 << i) != 0)
-                .map(|(_, &s)| s)
-                .collect()
-        };
+        let keep = self.keep_for(k);
         Some(self.pool.crash_image(if keep.is_empty() {
             CrashSpec::DropUnpersisted
         } else {
@@ -180,6 +279,63 @@ mod tests {
         let n = it.state_count();
         assert!(n <= CrashStateIter::SAMPLE_BUDGET);
         assert_eq!(it.count() as u64, n);
+    }
+
+    #[test]
+    fn sampled_small_space_is_exhaustive() {
+        let pool = PmPool::new(PoolConfig::new(1024).mode(Mode::Tracked));
+        pool.write(0, &[1]).unwrap();
+        pool.write(8, &[2]).unwrap();
+        let it = CrashStateIter::sampled(&pool, 100, 42);
+        assert_eq!(it.state_count(), 4);
+        assert_eq!(it.count(), 4);
+    }
+
+    #[test]
+    fn sampled_respects_budget_and_includes_extremes() {
+        let pool = PmPool::new(PoolConfig::new(1 << 16).mode(Mode::Tracked));
+        for i in 0..20u64 {
+            pool.write(i * 8, &[i as u8 + 1]).unwrap();
+        }
+        let it = CrashStateIter::sampled(&pool, 64, 7);
+        assert_eq!(it.state_count(), 64);
+        let images: Vec<_> = it.collect();
+        // First two images are the extremes.
+        assert!((0..20).all(|i| images[0].bytes()[i * 8] == 0));
+        assert!((0..20usize).all(|i| images[1].bytes()[i * 8] == i as u8 + 1));
+        // All sampled states are distinct.
+        let mut keys: Vec<Vec<u8>> = images
+            .iter()
+            .map(|im| (0..20).map(|i| im.bytes()[i * 8]).collect())
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 64);
+    }
+
+    #[test]
+    fn sampled_is_deterministic_per_seed() {
+        let pool = PmPool::new(PoolConfig::new(1 << 16).mode(Mode::Tracked));
+        for i in 0..30u64 {
+            pool.write(i * 8, &[1]).unwrap();
+        }
+        let a: Vec<_> = CrashStateIter::sampled(&pool, 32, 99).collect();
+        let b: Vec<_> = CrashStateIter::sampled(&pool, 32, 99).collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = CrashStateIter::sampled(&pool, 32, 100).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sampled_handles_more_than_64_stores() {
+        let pool = PmPool::new(PoolConfig::new(1 << 16).mode(Mode::Tracked));
+        for i in 0..70u64 {
+            pool.write(i * 8, &[1]).unwrap();
+        }
+        let images: Vec<_> = CrashStateIter::sampled(&pool, 16, 5).collect();
+        assert_eq!(images.len(), 16);
+        // Keep-all extreme must cover every one of the 70 stores.
+        assert!((0..70).all(|i| images[1].bytes()[i * 8] == 1));
     }
 
     #[test]

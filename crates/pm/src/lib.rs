@@ -51,7 +51,7 @@ pub use error::PmError;
 pub use events::{EventLog, PmEvent, StoreState};
 pub use image::{CrashImage, CrashStateIter};
 pub use latency::LatencyModel;
-pub use pool::{CrashSpec, Mode, PmPool, PoolConfig, CACHE_LINE};
+pub use pool::{Boundary, BoundaryTap, CrashSpec, Mode, PmPool, PoolConfig, CACHE_LINE};
 pub use stats::PmStats;
 
 /// A simulated virtual address within the 64-bit simulated address space.

@@ -38,6 +38,26 @@ pub enum CrashSpec {
     KeepSubset(Vec<u64>),
 }
 
+/// A durability boundary a tracked pool just crossed — the points where
+/// the reachable crash-state space changes shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Boundary {
+    /// A flush (`CLWB` analogue) was recorded. Stores it covered are now
+    /// flushed-but-unfenced: they still may or may not survive a crash.
+    Flush,
+    /// A fence (`SFENCE` analogue) promoted every flushed store to durable.
+    Fence,
+}
+
+/// Observer invoked after each tracked flush/fence, once the pool's
+/// tracking lock has been released — so the callback may freely call
+/// [`PmPool::crash_image`], [`PmPool::unpersisted_seqs`], etc.
+///
+/// The callback must not issue stores/flushes/fences on the *same* pool:
+/// re-entrant boundaries are suppressed (the tap is taken out of its slot
+/// for the duration of the call), so such activity would go unexplored.
+pub type BoundaryTap = Box<dyn FnMut(&PmPool, Boundary) + Send>;
+
 /// Configuration for creating a [`PmPool`].
 #[derive(Debug, Clone)]
 pub struct PoolConfig {
@@ -111,6 +131,7 @@ pub struct PmPool {
     media: Media,
     mode: Mode,
     track: Mutex<Tracked>,
+    tap: Mutex<Option<BoundaryTap>>,
     latency: LatencyModel,
     stats: PmStats,
     record_stats: bool,
@@ -139,6 +160,7 @@ impl PmPool {
                 unflushed: Vec::new(),
                 flushed: Vec::new(),
             }),
+            tap: Mutex::new(None),
             latency: cfg.latency,
             stats: PmStats::new(),
             record_stats: cfg.record_stats,
@@ -160,6 +182,7 @@ impl PmPool {
                 unflushed: Vec::new(),
                 flushed: Vec::new(),
             }),
+            tap: Mutex::new(None),
             latency: cfg.latency,
             stats: PmStats::new(),
             record_stats: cfg.record_stats,
@@ -305,26 +328,29 @@ impl PmPool {
         }
         let lo = off / CACHE_LINE * CACHE_LINE;
         let hi = (off + len as u64).div_ceil(CACHE_LINE) * CACHE_LINE;
-        let mut t = self.track.lock();
-        t.log.push(|seq| PmEvent::Flush {
-            seq,
-            off: lo,
-            len: hi - lo,
-        });
-        let mut newly_flushed = Vec::new();
-        for (idx, ranges) in t.unflushed.iter_mut() {
-            subtract_range(ranges, lo, hi);
-            if ranges.is_empty() {
-                newly_flushed.push(*idx);
+        {
+            let mut t = self.track.lock();
+            t.log.push(|seq| PmEvent::Flush {
+                seq,
+                off: lo,
+                len: hi - lo,
+            });
+            let mut newly_flushed = Vec::new();
+            for (idx, ranges) in t.unflushed.iter_mut() {
+                subtract_range(ranges, lo, hi);
+                if ranges.is_empty() {
+                    newly_flushed.push(*idx);
+                }
+            }
+            t.unflushed.retain(|(_, ranges)| !ranges.is_empty());
+            for idx in newly_flushed {
+                if let PmEvent::Store { state, .. } = &mut t.log.events[idx] {
+                    *state = StoreState::Flushed;
+                }
+                t.flushed.push(idx);
             }
         }
-        t.unflushed.retain(|(_, ranges)| !ranges.is_empty());
-        for idx in newly_flushed {
-            if let PmEvent::Store { state, .. } = &mut t.log.events[idx] {
-                *state = StoreState::Flushed;
-            }
-            t.flushed.push(idx);
-        }
+        self.fire_tap(Boundary::Flush);
         Ok(())
     }
 
@@ -337,12 +363,45 @@ impl PmPool {
         if self.mode != Mode::Tracked {
             return;
         }
-        let mut t = self.track.lock();
-        t.log.push(|seq| PmEvent::Fence { seq });
-        let flushed = std::mem::take(&mut t.flushed);
-        for idx in flushed {
-            if let PmEvent::Store { state, .. } = &mut t.log.events[idx] {
-                *state = StoreState::Persisted;
+        {
+            let mut t = self.track.lock();
+            t.log.push(|seq| PmEvent::Fence { seq });
+            let flushed = std::mem::take(&mut t.flushed);
+            for idx in flushed {
+                if let PmEvent::Store { state, .. } = &mut t.log.events[idx] {
+                    *state = StoreState::Persisted;
+                }
+            }
+        }
+        self.fire_tap(Boundary::Fence);
+    }
+
+    /// Install a [`BoundaryTap`], replacing any previous one. Only fires in
+    /// [`Mode::Tracked`]. The crash-consistency torture rig uses this to
+    /// explore crash states at every durability boundary.
+    pub fn set_boundary_tap(&self, tap: BoundaryTap) {
+        *self.tap.lock() = Some(tap);
+    }
+
+    /// Remove the installed [`BoundaryTap`], returning it if present.
+    pub fn clear_boundary_tap(&self) -> Option<BoundaryTap> {
+        self.tap.lock().take()
+    }
+
+    /// Invoke the tap with the tracking lock released. The tap is taken out
+    /// of its slot for the duration of the call, so re-entrant boundaries
+    /// (a tap writing to this same pool) are silently suppressed rather
+    /// than deadlocking or recursing.
+    fn fire_tap(&self, boundary: Boundary) {
+        let taken = self.tap.lock().take();
+        if let Some(mut f) = taken {
+            f(self, boundary);
+            let mut slot = self.tap.lock();
+            // Keep a replacement installed mid-call; otherwise restore. A
+            // tap cannot uninstall itself from inside the callback (the
+            // slot is empty during the call) — stop via captured state.
+            if slot.is_none() {
+                *slot = Some(f);
             }
         }
     }
@@ -684,6 +743,72 @@ mod tests {
         loaded.read(100, &mut b).unwrap();
         assert_eq!(&b, b"durable-image");
         let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn boundary_tap_fires_on_flush_and_fence() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let pool = tracked_pool();
+        let flushes = Arc::new(AtomicUsize::new(0));
+        let fences = Arc::new(AtomicUsize::new(0));
+        let (f, n) = (Arc::clone(&flushes), Arc::clone(&fences));
+        pool.set_boundary_tap(Box::new(move |p, b| {
+            // The tracking lock is free: crash-state queries must work.
+            let _ = p.crash_image(CrashSpec::DropUnpersisted);
+            match b {
+                Boundary::Flush => f.fetch_add(1, Ordering::Relaxed),
+                Boundary::Fence => n.fetch_add(1, Ordering::Relaxed),
+            };
+        }));
+        pool.write(0, &[1; 8]).unwrap();
+        pool.persist(0, 8).unwrap();
+        pool.fence();
+        assert_eq!(flushes.load(Ordering::Relaxed), 1);
+        assert_eq!(fences.load(Ordering::Relaxed), 2);
+        pool.clear_boundary_tap();
+        pool.persist(0, 8).unwrap();
+        assert_eq!(flushes.load(Ordering::Relaxed), 1);
+        assert_eq!(fences.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn boundary_tap_reentrant_boundaries_suppressed() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let pool = Arc::new(tracked_pool());
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        pool.set_boundary_tap(Box::new(move |p, _| {
+            c.fetch_add(1, Ordering::Relaxed);
+            // A misbehaving tap persisting to the same pool must not
+            // recurse or deadlock.
+            p.write(512, &[3]).unwrap();
+            let _ = p.persist(512, 1);
+        }));
+        pool.write(0, &[1]).unwrap();
+        pool.persist(0, 1).unwrap();
+        // Exactly two firings (flush + fence), none from the tap's own
+        // persist.
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+        // The tap survives for the next boundary.
+        pool.fence();
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn boundary_tap_silent_in_fast_mode() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let pool = PmPool::new(PoolConfig::new(1024));
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        pool.set_boundary_tap(Box::new(move |_, _| {
+            c.fetch_add(1, Ordering::Relaxed);
+        }));
+        pool.write(0, &[1]).unwrap();
+        pool.persist(0, 1).unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -98,6 +98,74 @@ fn is_class_block(block: u64) -> bool {
     block > BLOCK_HEADER_SIZE && class_block_size(block - BLOCK_HEADER_SIZE) == block
 }
 
+/// Durable allocation state of one heap block, as the recovery scan sees
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockState {
+    /// Free (the zero-fill default).
+    Free,
+    /// Validated as allocated by a redo log.
+    Allocated,
+}
+
+/// One durable heap block: what [`crate::ObjPool::walk_heap`] reports and
+/// what the arena rebuild pass consumes during recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// Offset of the block header.
+    pub off: u64,
+    /// Total block size, header included.
+    pub size: u64,
+    /// Durable allocation state.
+    pub state: BlockState,
+}
+
+impl BlockInfo {
+    /// Offset of the block's payload (what an oid's `off` points at).
+    pub fn payload_off(&self) -> u64 {
+        self.off + BLOCK_HEADER_SIZE
+    }
+
+    /// Payload capacity in bytes.
+    pub fn payload_size(&self) -> u64 {
+        self.size - BLOCK_HEADER_SIZE
+    }
+}
+
+/// Walk the durable header chain from `heap_off`, validating each header,
+/// until the wilderness (a zero size word) or `heap_end`.
+///
+/// This is the single source of truth recovery rebuilds from; the torture
+/// rig's oracles reuse it so "what the allocator would reconstruct" and
+/// "what the oracle checks" can never drift apart.
+pub(crate) fn scan_heap(pm: &PmPool, heap_off: u64, heap_end: u64) -> Result<Vec<BlockInfo>> {
+    let mut blocks = Vec::new();
+    let mut off = heap_off;
+    while off + BLOCK_HEADER_SIZE <= heap_end {
+        let size = read_u64(pm, off + BH_SIZE)?;
+        if size == 0 {
+            break; // wilderness begins
+        }
+        if size % 16 != 0 || off + size > heap_end {
+            return Err(PmdkError::BadPool(format!(
+                "corrupt block header at {off:#x}"
+            )));
+        }
+        let state = match read_u64(pm, off + BH_STATE)? {
+            STATE_FREE => BlockState::Free,
+            STATE_ALLOC => BlockState::Allocated,
+            other => {
+                return Err(PmdkError::BadPool(format!(
+                    "corrupt block state {other} at {off:#x}"
+                )))
+            }
+        };
+        blocks.push(BlockInfo { off, size, state });
+        off += size;
+    }
+    Ok(blocks)
+}
+
 /// Point-in-time allocator statistics, used for the Table III space
 /// accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -235,41 +303,26 @@ impl Arenas {
         let n = ar.arenas.len();
         let (mut next_free, mut next_wild) = (0usize, 0usize);
         let (mut live_bytes, mut live_objects) = (0u64, 0u64);
-        let mut off = heap_off;
-        while off + BLOCK_HEADER_SIZE <= heap_end {
-            let size = read_u64(pm, off + BH_SIZE)?;
-            if size == 0 {
-                break; // wilderness begins
-            }
-            if size % 16 != 0 || off + size > heap_end {
-                return Err(PmdkError::BadPool(format!(
-                    "corrupt block header at {off:#x}"
-                )));
-            }
-            let state = read_u64(pm, off + BH_STATE)?;
-            match state {
-                STATE_FREE => {
-                    if is_class_block(size) {
+        let blocks = scan_heap(pm, heap_off, heap_end)?;
+        for b in &blocks {
+            match b.state {
+                BlockState::Free => {
+                    if is_class_block(b.size) {
                         let mut a = ar.arenas[next_free % n].lock();
-                        a.free.entry(size).or_default().push(off);
+                        a.free.entry(b.size).or_default().push(b.off);
                         next_free += 1;
                     } else {
-                        ar.arenas[next_wild % n].lock().wild.push((off, size));
+                        ar.arenas[next_wild % n].lock().wild.push((b.off, b.size));
                         next_wild += 1;
                     }
                 }
-                STATE_ALLOC => {
-                    live_bytes += size;
+                BlockState::Allocated => {
+                    live_bytes += b.size;
                     live_objects += 1;
                 }
-                other => {
-                    return Err(PmdkError::BadPool(format!(
-                        "corrupt block state {other} at {off:#x}"
-                    )))
-                }
             }
-            off += size;
         }
+        let off = blocks.last().map_or(heap_off, |b| b.off + b.size);
         ar.shared.lock().cursor = off;
         ar.live_bytes.store(live_bytes, Ordering::Relaxed);
         ar.live_objects.store(live_objects, Ordering::Relaxed);

@@ -74,6 +74,58 @@ impl PoolOpts {
     }
 }
 
+/// Recovery steps to deliberately skip in
+/// [`ObjPool::open_with_faults`] — the torture rig's fault injection.
+/// Everything `false` (the default) is correct recovery.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryFaults {
+    /// Discard valid redo logs instead of re-applying them. Breaks the
+    /// all-or-nothing guarantee of atomic allocation/free/publication.
+    pub skip_redo_apply: bool,
+    /// Leave active transactions un-rolled-back (the undo log is cleared
+    /// without restoring snapshots or freeing AllocOnAbort blocks).
+    pub skip_tx_rollback: bool,
+}
+
+impl RecoveryFaults {
+    /// Whether any recovery step is being skipped.
+    pub fn any(&self) -> bool {
+        self.skip_redo_apply || self.skip_tx_rollback
+    }
+}
+
+/// Durable transaction status of one lane, as recovery classifies it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxStatus {
+    /// No transaction was in flight.
+    None,
+    /// A transaction had begun but not committed (recovery rolls it back).
+    Active,
+    /// A transaction had committed but not finished cleanup (recovery
+    /// completes its deferred frees).
+    Committed,
+}
+
+/// Durable per-lane recovery state: what [`ObjPool::lane_status`] reports.
+/// After a successful recovery every lane must be quiescent (no valid redo
+/// log, [`TxStatus::None`]) — the torture rig's oracles assert exactly
+/// that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneStatus {
+    /// Whether the lane's redo log valid flag is set.
+    pub redo_valid: bool,
+    /// The lane's undo-log transaction status.
+    pub tx: TxStatus,
+}
+
+impl LaneStatus {
+    /// Whether the lane has no recovery work pending.
+    pub fn is_quiescent(&self) -> bool {
+        !self.redo_valid && self.tx == TxStatus::None
+    }
+}
+
 /// A persistent object pool over a [`PmPool`] device — the `PMEMobjpool`
 /// analogue.
 ///
@@ -136,10 +188,24 @@ impl ObjPool {
     /// [`PmdkError::BadPool`] if validation of the header, logs, or heap
     /// fails.
     pub fn open(pm: Arc<PmPool>) -> Result<ObjPool> {
+        Self::open_with_faults(pm, RecoveryFaults::default())
+    }
+
+    /// [`Self::open`] with deliberately broken recovery steps — the torture
+    /// rig's fault-injection hook. With `RecoveryFaults::default()` this is
+    /// exactly `open`. Not for production use: a skipped step silently
+    /// corrupts the pool.
+    #[doc(hidden)]
+    pub fn open_with_faults(pm: Arc<PmPool>, faults: RecoveryFaults) -> Result<ObjPool> {
         let hdr = Header::read_from(&pm)?;
         // Phase 1: redo logs (atomic op completion).
         for lane in 0..hdr.lane_count as usize {
-            RedoLog::new(hdr.redo_off(lane), hdr.redo_slots).recover(&pm)?;
+            let redo = RedoLog::new(hdr.redo_off(lane), hdr.redo_slots);
+            if faults.skip_redo_apply {
+                redo.discard(&pm)?;
+            } else {
+                redo.recover(&pm)?;
+            }
         }
         // Phase 2: transaction undo logs.
         for lane in 0..hdr.lane_count as usize {
@@ -147,11 +213,13 @@ impl ObjPool {
             match ulog.state(&pm)? {
                 TxState::None => {}
                 TxState::Active => {
-                    ulog.rollback_snapshots(&pm)?;
-                    for e in ulog.entries(&pm)? {
-                        if let UndoEntry::AllocOnAbort { block_hdr } = e {
-                            layout::write_u64(&pm, block_hdr + BH_STATE, STATE_FREE)?;
-                            pm.persist(block_hdr + BH_STATE, 8)?;
+                    if !faults.skip_tx_rollback {
+                        ulog.rollback_snapshots(&pm)?;
+                        for e in ulog.entries(&pm)? {
+                            if let UndoEntry::AllocOnAbort { block_hdr } = e {
+                                layout::write_u64(&pm, block_hdr + BH_STATE, STATE_FREE)?;
+                                pm.persist(block_hdr + BH_STATE, 8)?;
+                            }
                         }
                     }
                     ulog.clear(&pm)?;
@@ -208,6 +276,74 @@ impl ObjPool {
     /// Current allocator statistics (space accounting for Table III).
     pub fn stats(&self) -> AllocStats {
         self.alloc.stats()
+    }
+
+    // ---- recovery introspection (oracle surface) ----
+
+    /// Walk the durable heap header chain, returning every block exactly as
+    /// a recovery scan would classify it.
+    ///
+    /// # Errors
+    ///
+    /// [`PmdkError::BadPool`] on a corrupt header chain — for a recovered
+    /// pool this is itself an invariant violation.
+    pub fn walk_heap(&self) -> Result<Vec<crate::alloc::BlockInfo>> {
+        crate::alloc::scan_heap(&self.pm, self.hdr.heap_off, self.hdr.pool_size)
+    }
+
+    /// Number of lanes in this pool's geometry.
+    pub fn lane_count(&self) -> usize {
+        self.hdr.lane_count as usize
+    }
+
+    /// Durable recovery state of one lane (redo valid flag + tx status).
+    ///
+    /// # Errors
+    ///
+    /// Device errors, or [`PmdkError::BadPool`] for a lane out of range or
+    /// a corrupt tx state word.
+    pub fn lane_status(&self, lane: usize) -> Result<LaneStatus> {
+        if lane >= self.hdr.lane_count as usize {
+            return Err(PmdkError::BadPool(format!(
+                "lane {lane} out of range (pool has {})",
+                self.hdr.lane_count
+            )));
+        }
+        let redo_valid =
+            RedoLog::new(self.hdr.redo_off(lane), self.hdr.redo_slots).is_valid(&self.pm)?;
+        let tx =
+            match UndoLog::new(self.hdr.undo_off(lane), self.hdr.undo_capacity).state(&self.pm)? {
+                TxState::None => TxStatus::None,
+                TxState::Active => TxStatus::Active,
+                TxState::Committed => TxStatus::Committed,
+            };
+        Ok(LaneStatus { redo_valid, tx })
+    }
+
+    /// [`Self::lane_status`] for every lane.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::lane_status`].
+    pub fn lane_statuses(&self) -> Result<Vec<LaneStatus>> {
+        (0..self.lane_count())
+            .map(|l| self.lane_status(l))
+            .collect()
+    }
+
+    /// The durable root oid, or `None` if no root has been allocated.
+    /// Read-only: unlike [`Self::root`], never allocates.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn root_oid(&self) -> Result<Option<PmemOid>> {
+        let off = layout::read_u64(&self.pm, layout::hdr::ROOT_OFF)?;
+        if off == 0 {
+            return Ok(None);
+        }
+        let size = layout::read_u64(&self.pm, layout::hdr::ROOT_SIZE)?;
+        Ok(Some(PmemOid::new(self.hdr.pool_uuid, off, size)))
     }
 
     // ---- raw data access (pool-relative) ----

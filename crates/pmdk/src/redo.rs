@@ -76,6 +76,24 @@ impl RedoLog {
         Ok(())
     }
 
+    /// Whether the log's valid flag is set (an atomic operation was in
+    /// flight when the pool last went down, or recovery was skipped).
+    pub(crate) fn is_valid(&self, pm: &PmPool) -> Result<bool> {
+        Ok(read_u64(pm, self.region_off + VALID)? == 1)
+    }
+
+    /// Clear a valid log *without* applying it — deliberately broken
+    /// recovery, used by the torture rig's fault injection to prove the
+    /// oracles catch a missing redo apply.
+    pub(crate) fn discard(&self, pm: &PmPool) -> Result<bool> {
+        if !self.is_valid(pm)? {
+            return Ok(false);
+        }
+        write_u64(pm, self.region_off + VALID, 0)?;
+        pm.persist(self.region_off + VALID, 8)?;
+        Ok(true)
+    }
+
     /// Recover this lane's redo log: if valid, re-apply and clear.
     ///
     /// Returns whether a log was applied.

@@ -1,0 +1,160 @@
+//! `torture` — crash-consistency exploration CLI.
+//!
+//! Drives the workloads in `spp-torture` with a fixed seed, prints a
+//! per-workload summary, writes `summary.json`, and exits nonzero if any
+//! crash state violated an oracle (failing states are shrunk and dumped
+//! under the output directory).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use spp_torture::{all_workloads, run, workload_names, write_summary_json, TortureConfig};
+
+const USAGE: &str = "usage: torture [options]
+
+options:
+  --seed N            master seed (default 12648430)
+  --steps N           workload operations to drive (default 28; smoke 14)
+  --per-boundary N    max crash states sampled per durability boundary (default 6)
+  --budget N          total crash-state budget per workload (default 3000; smoke 600)
+  --stride N          check recovery idempotence every N-th state, 0=off (default 8)
+  --workloads a,b,c   comma-separated workload subset (default: all)
+  --out DIR           failure-dump / summary directory (default results/torture)
+  --smoke             CI-sized run (smaller budget, same coverage shape)
+  --fault NAME        inject a recovery fault: skip-redo-apply | skip-tx-rollback
+                      (the run is then EXPECTED to fail — validates the oracles)
+  --list              list workloads and exit
+  --help              this text";
+
+fn parse_args() -> Result<(TortureConfig, Vec<String>, bool), String> {
+    let mut cfg = TortureConfig::default();
+    let mut smoke = false;
+    let mut explicit: Vec<(String, String)> = Vec::new();
+    let mut names: Option<Vec<String>> = None;
+    let mut list = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--list" => list = true,
+            "--smoke" => smoke = true,
+            "--seed" | "--steps" | "--per-boundary" | "--budget" | "--stride" => {
+                let v = take(&arg)?;
+                explicit.push((arg, v));
+            }
+            "--workloads" => {
+                names = Some(
+                    take("--workloads")?
+                        .split(',')
+                        .map(str::to_string)
+                        .collect(),
+                );
+            }
+            "--out" => cfg.out_dir = PathBuf::from(take("--out")?),
+            "--fault" => match take("--fault")?.as_str() {
+                "skip-redo-apply" => cfg.faults.skip_redo_apply = true,
+                "skip-tx-rollback" => cfg.faults.skip_tx_rollback = true,
+                other => return Err(format!("unknown fault `{other}`\n\n{USAGE}")),
+            },
+            other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
+        }
+    }
+    if smoke {
+        let out = std::mem::take(&mut cfg.out_dir);
+        let faults = cfg.faults;
+        cfg = TortureConfig::smoke();
+        cfg.out_dir = out;
+        cfg.faults = faults;
+    }
+    // Explicit numeric flags override the smoke defaults regardless of
+    // argument order.
+    for (flag, v) in explicit {
+        let n: u64 = v
+            .parse()
+            .map_err(|_| format!("{flag}: not a number: {v}"))?;
+        match flag.as_str() {
+            "--seed" => cfg.seed = n,
+            "--steps" => cfg.steps = n,
+            "--per-boundary" => cfg.per_boundary = n.max(1),
+            "--budget" => cfg.max_states = n.max(1),
+            "--stride" => cfg.idempotence_stride = n,
+            _ => unreachable!(),
+        }
+    }
+    let names = names.unwrap_or_else(|| workload_names().iter().map(|s| s.to_string()).collect());
+    Ok((cfg, names, list))
+}
+
+fn main() -> ExitCode {
+    let (cfg, names, list) = match parse_args() {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if list {
+        for w in all_workloads() {
+            println!("{:<10} {}", w.name, w.about);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "torture: seed {}, steps {}, per-boundary {}, budget {}/workload{}",
+        cfg.seed,
+        cfg.steps,
+        cfg.per_boundary,
+        cfg.max_states,
+        if cfg.faults.any() {
+            " [RECOVERY FAULTS INJECTED]"
+        } else {
+            ""
+        }
+    );
+    let summary = match run(&cfg, &names) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("torture: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for r in &summary.results {
+        println!(
+            "  {:<10} boundaries {:>5}  states {:>6}  failures {}",
+            r.name,
+            r.boundaries,
+            r.states,
+            r.failures.len()
+        );
+        for f in &r.failures {
+            println!(
+                "    FAIL at boundary {} state {} (seed {})",
+                f.boundary, f.state, f.seed
+            );
+            println!("      {}", f.message);
+            println!("      minimal dropped stores: {:?}", f.dropped);
+            if !f.dump_dir.is_empty() {
+                println!("      dumped to {}", f.dump_dir);
+            }
+        }
+    }
+    if let Err(e) = write_summary_json(&cfg, &summary) {
+        eprintln!("torture: failed to write summary.json: {e}");
+    }
+    println!(
+        "torture: explored {} crash states across {} workloads, {} violation(s)",
+        summary.total_states(),
+        summary.results.len(),
+        summary.total_failures()
+    );
+    if summary.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

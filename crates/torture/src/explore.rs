@@ -1,0 +1,213 @@
+//! The explorer: hooks a tracked pool's durability boundaries, samples
+//! crash states at each, runs the oracle, and shrinks failures.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use spp_pm::{Boundary, CrashImage, CrashSpec, CrashStateIter, PmPool};
+
+use crate::oracle::Oracle;
+use crate::{report, TortureConfig};
+
+/// Cap on shrink oracle calls, so a huge unpersisted set cannot stall the
+/// run (each call is a full recovery).
+const SHRINK_CAP: usize = 128;
+
+/// One oracle violation, shrunk to a minimal store-drop set.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Workload that produced it.
+    pub workload: String,
+    /// Index of the durability boundary (since tap attach) where found.
+    pub boundary: u64,
+    /// Index of the crash state within that boundary's sample.
+    pub state: u64,
+    /// The per-boundary sampling seed (derived from the master seed).
+    pub seed: u64,
+    /// What the oracle reported for the minimal state.
+    pub message: String,
+    /// All unpersisted store sequence numbers at the boundary.
+    pub unpersisted: Vec<u64>,
+    /// Minimal keep-set that still fails.
+    pub kept: Vec<u64>,
+    /// Minimal drop-set: `unpersisted \ kept`. These lost stores *cause*
+    /// the violation.
+    pub dropped: Vec<u64>,
+    /// Where the crash image + event log were dumped (empty for
+    /// event-log-level failures with no single crash state).
+    pub dump_dir: String,
+}
+
+#[derive(Debug, Default)]
+struct Shared {
+    boundaries: u64,
+    states: u64,
+    failures: Vec<Failure>,
+}
+
+/// Drives crash-state exploration for one workload run. Attach it to the
+/// workload's pool after setup; every flush/fence boundary is then explored
+/// until the state budget or failure cap is hit.
+pub struct Explorer {
+    cfg: TortureConfig,
+    workload: &'static str,
+    shared: Arc<Mutex<Shared>>,
+}
+
+impl Explorer {
+    /// A fresh explorer for `workload` under `cfg`.
+    pub fn new(cfg: TortureConfig, workload: &'static str) -> Self {
+        Explorer {
+            cfg,
+            workload,
+            shared: Arc::default(),
+        }
+    }
+
+    /// Whether the failure cap has been reached (workloads poll this to
+    /// stop driving ops early).
+    pub fn hit_failure_cap(&self) -> bool {
+        self.shared.lock().failures.len() as u64 >= self.cfg.max_failures
+    }
+
+    /// Install the boundary tap on `pm`. From here until [`Self::detach`],
+    /// every flush and fence explores crash states through `oracle`.
+    pub fn attach(&self, pm: &PmPool, oracle: Oracle) {
+        let cfg = self.cfg.clone();
+        let workload = self.workload;
+        let shared = Arc::clone(&self.shared);
+        pm.set_boundary_tap(Box::new(move |pool, _b: Boundary| {
+            explore_boundary(pool, &cfg, workload, &shared, &oracle);
+        }));
+    }
+
+    /// Remove the tap.
+    pub fn detach(&self, pm: &PmPool) {
+        pm.clear_boundary_tap();
+    }
+
+    /// Record a failure found outside any single crash state (e.g. the
+    /// whole-run pmemcheck cross-check).
+    pub fn record_external(&self, message: String) {
+        let mut st = self.shared.lock();
+        let boundary = st.boundaries;
+        st.failures.push(Failure {
+            workload: self.workload.to_string(),
+            boundary,
+            state: 0,
+            seed: self.cfg.seed,
+            message,
+            unpersisted: Vec::new(),
+            kept: Vec::new(),
+            dropped: Vec::new(),
+            dump_dir: String::new(),
+        });
+    }
+
+    /// Consume the explorer, returning `(boundaries, states, failures)`.
+    pub fn finish(self) -> (u64, u64, Vec<Failure>) {
+        let st = std::mem::take(&mut *self.shared.lock());
+        (st.boundaries, st.states, st.failures)
+    }
+}
+
+/// Build the crash image that keeps exactly `keep` of the unpersisted
+/// stores.
+fn image_for(pool: &PmPool, keep: &[u64]) -> CrashImage {
+    pool.crash_image(if keep.is_empty() {
+        CrashSpec::DropUnpersisted
+    } else {
+        CrashSpec::KeepSubset(keep.to_vec())
+    })
+}
+
+fn explore_boundary(
+    pool: &PmPool,
+    cfg: &TortureConfig,
+    workload: &'static str,
+    shared: &Arc<Mutex<Shared>>,
+    oracle: &Oracle,
+) {
+    let (boundary, budget) = {
+        let mut st = shared.lock();
+        if st.states >= cfg.max_states || st.failures.len() as u64 >= cfg.max_failures {
+            return;
+        }
+        let b = st.boundaries;
+        st.boundaries += 1;
+        (b, cfg.max_states - st.states)
+    };
+    // Decorrelate boundaries with a splitmix-style multiply so nearby
+    // boundaries sample unrelated subsets.
+    let bseed = cfg
+        .seed
+        .wrapping_add((boundary + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let it = CrashStateIter::sampled(pool, cfg.per_boundary.min(budget), bseed);
+    let unpersisted = it.unpersisted().to_vec();
+    for k in 0..it.state_count() {
+        {
+            let mut st = shared.lock();
+            if st.states >= cfg.max_states || st.failures.len() as u64 >= cfg.max_failures {
+                return;
+            }
+            st.states += 1;
+        }
+        let keep = it.keep_for(k);
+        let img = image_for(pool, &keep);
+        if let Err(msg) = oracle(&img) {
+            let (kept, message) = shrink(pool, &unpersisted, keep, msg, oracle);
+            let dropped: Vec<u64> = unpersisted
+                .iter()
+                .copied()
+                .filter(|s| !kept.contains(s))
+                .collect();
+            let mut failure = Failure {
+                workload: workload.to_string(),
+                boundary,
+                state: k,
+                seed: bseed,
+                message,
+                unpersisted: unpersisted.clone(),
+                kept: kept.clone(),
+                dropped,
+                dump_dir: String::new(),
+            };
+            let min_img = image_for(pool, &kept);
+            failure.dump_dir = report::dump_failure(&cfg.out_dir, &failure, &min_img, pool);
+            shared.lock().failures.push(failure);
+            return;
+        }
+    }
+}
+
+/// Greedy 1-minimal shrink: try to *restore* each dropped store; keep the
+/// restoration whenever the state still fails. Every store left in the
+/// final drop-set is then necessary — restoring it (alone) makes the
+/// violation disappear.
+fn shrink(
+    pool: &PmPool,
+    unpersisted: &[u64],
+    kept0: Vec<u64>,
+    msg0: String,
+    oracle: &Oracle,
+) -> (Vec<u64>, String) {
+    let mut kept: BTreeSet<u64> = kept0.into_iter().collect();
+    let mut msg = msg0;
+    let dropped: Vec<u64> = unpersisted
+        .iter()
+        .copied()
+        .filter(|s| !kept.contains(s))
+        .collect();
+    for d in dropped.into_iter().take(SHRINK_CAP) {
+        kept.insert(d);
+        let candidate: Vec<u64> = kept.iter().copied().collect();
+        match oracle(&image_for(pool, &candidate)) {
+            Err(m) => msg = m, // still fails without dropping d: restore it
+            Ok(()) => {
+                kept.remove(&d); // d's loss is necessary for the failure
+            }
+        }
+    }
+    (kept.into_iter().collect(), msg)
+}

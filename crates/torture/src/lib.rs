@@ -1,0 +1,166 @@
+//! # spp-torture — deterministic crash-consistency exploration
+//!
+//! The rig drives small deterministic workloads (raw allocation,
+//! redo-validated oid publication, transactions, the kvstore, persistent
+//! containers) against a [`spp_pm::PmPool`] in tracked mode. At **every
+//! durability boundary** — each flush and each fence — a
+//! [`spp_pm::PmPool::set_boundary_tap`] hook enumerates or samples
+//! (seeded, reproducible) crash states via
+//! [`spp_pm::CrashStateIter::sampled`]: every persisted store survives,
+//! every unpersisted store independently may or may not.
+//!
+//! Each crash image is reopened through full `spp-pmdk` recovery
+//! ([`spp_pmdk::ObjPool::open`]) and checked against a stack of oracles:
+//!
+//! * recovery itself must succeed and leave every lane quiescent
+//!   (no valid redo log, no live transaction);
+//! * the durable heap must scan cleanly and carry no leaked or
+//!   doubly-referenced blocks;
+//! * recovery must be **idempotent** — recovering the recovered image again
+//!   changes nothing;
+//! * workload-specific invariants hold: committed effects are present,
+//!   aborted/in-flight effects are absent or complete (never partial), and
+//!   every oid's durable `size` field agrees with the allocator's view of
+//!   its block (the paper's §IV-F invariant).
+//!
+//! On top of the per-state oracles, each workload's full event log is
+//! replayed through `spp-pmemcheck` as a cross-check.
+//!
+//! A failing state is **shrunk** to a minimal set of dropped stores and
+//! dumped (crash image + event log + report) under `results/torture/` for
+//! offline debugging; the report carries the seed and boundary needed to
+//! reproduce it exactly.
+
+mod explore;
+mod oracle;
+mod report;
+mod workloads;
+
+pub use explore::{Explorer, Failure};
+pub use oracle::{make_oracle, recover, Oracle, Recovered};
+pub use report::write_summary_json;
+pub use workloads::{all_workloads, workload_names, Workload};
+
+use std::path::PathBuf;
+
+use spp_pmdk::RecoveryFaults;
+
+/// Tuning knobs for one torture run. Everything that influences the
+/// explored state space is here, so `(config, workload)` fully determines
+/// the run — the reproducibility contract.
+#[derive(Debug, Clone)]
+pub struct TortureConfig {
+    /// Master seed; per-boundary sampling seeds derive from it.
+    pub seed: u64,
+    /// Workload steps (operations) to drive.
+    pub steps: u64,
+    /// Maximum crash states sampled at a single boundary.
+    pub per_boundary: u64,
+    /// Total crash-state budget per workload.
+    pub max_states: u64,
+    /// Check recovery idempotence on every N-th state (0 disables).
+    pub idempotence_stride: u64,
+    /// Stop exploring a workload after this many failures.
+    pub max_failures: u64,
+    /// Where failing states are dumped.
+    pub out_dir: PathBuf,
+    /// Deliberate recovery breakage (fault injection) — the rig must
+    /// *catch* these, which is how the oracles themselves are validated.
+    pub faults: RecoveryFaults,
+}
+
+impl Default for TortureConfig {
+    fn default() -> Self {
+        TortureConfig {
+            seed: 0x00C0_FFEE,
+            steps: 28,
+            per_boundary: 6,
+            max_states: 3000,
+            idempotence_stride: 8,
+            max_failures: 1,
+            out_dir: PathBuf::from("results/torture"),
+            faults: RecoveryFaults::default(),
+        }
+    }
+}
+
+impl TortureConfig {
+    /// A configuration sized for CI: same coverage shape, smaller budget.
+    pub fn smoke() -> Self {
+        TortureConfig {
+            steps: 14,
+            max_states: 600,
+            ..TortureConfig::default()
+        }
+    }
+}
+
+/// Outcome of torturing one workload.
+#[derive(Debug)]
+pub struct WorkloadResult {
+    /// Workload name.
+    pub name: String,
+    /// Durability boundaries crossed while the tap was attached.
+    pub boundaries: u64,
+    /// Crash states explored.
+    pub states: u64,
+    /// Oracle violations, shrunk and dumped.
+    pub failures: Vec<Failure>,
+}
+
+/// Outcome of a whole run.
+#[derive(Debug, Default)]
+pub struct Summary {
+    /// Per-workload results, in run order.
+    pub results: Vec<WorkloadResult>,
+}
+
+impl Summary {
+    /// Total crash states explored.
+    pub fn total_states(&self) -> u64 {
+        self.results.iter().map(|r| r.states).sum()
+    }
+
+    /// Total oracle violations.
+    pub fn total_failures(&self) -> usize {
+        self.results.iter().map(|r| r.failures.len()).sum()
+    }
+
+    /// Whether every explored state passed every oracle.
+    pub fn is_clean(&self) -> bool {
+        self.total_failures() == 0
+    }
+}
+
+/// Run the named workloads under `cfg`.
+///
+/// # Errors
+///
+/// An unknown workload name, or a *driver* error (the live workload itself
+/// failing, as opposed to an oracle violation — those are reported in the
+/// summary, not as `Err`).
+pub fn run(cfg: &TortureConfig, names: &[String]) -> Result<Summary, String> {
+    let catalog = all_workloads();
+    let mut summary = Summary::default();
+    for name in names {
+        let w = catalog
+            .iter()
+            .find(|w| w.name == name.as_str())
+            .ok_or_else(|| {
+                format!(
+                    "unknown workload `{name}` (have: {})",
+                    workload_names().join(", ")
+                )
+            })?;
+        let ex = Explorer::new(cfg.clone(), w.name);
+        (w.run)(cfg, &ex)?;
+        let (boundaries, states, failures) = ex.finish();
+        summary.results.push(WorkloadResult {
+            name: w.name.to_string(),
+            boundaries,
+            states,
+            failures,
+        });
+    }
+    Ok(summary)
+}

@@ -1,0 +1,124 @@
+//! The oracle stack: everything that must hold for *every* crash state.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use spp_pm::{CrashImage, PmPool, PoolConfig};
+use spp_pmdk::{BlockInfo, BlockState, ObjPool, RecoveryFaults};
+
+/// A crash-state oracle: `Ok` if the state recovers to a consistent pool.
+pub type Oracle = Arc<dyn Fn(&CrashImage) -> Result<(), String> + Send + Sync>;
+
+/// A crash image after recovery.
+pub struct Recovered {
+    /// The reopened device.
+    pub pm: Arc<PmPool>,
+    /// The recovered object pool.
+    pub pool: Arc<ObjPool>,
+}
+
+/// Reopen `img` through pmdk recovery (with `faults` injected, normally
+/// none).
+///
+/// # Errors
+///
+/// A human-readable description when recovery itself fails.
+pub fn recover(img: &CrashImage, faults: RecoveryFaults) -> Result<Recovered, String> {
+    let pm = Arc::new(PmPool::from_image(img.clone(), PoolConfig::new(0)));
+    let pool = ObjPool::open_with_faults(Arc::clone(&pm), faults)
+        .map_err(|e| format!("recovery failed: {e:?}"))?;
+    Ok(Recovered {
+        pm,
+        pool: Arc::new(pool),
+    })
+}
+
+/// Structural invariants every recovered pool must satisfy, regardless of
+/// workload: quiescent lanes and a cleanly scannable heap.
+fn structural_checks(rp: &Recovered) -> Result<Vec<BlockInfo>, String> {
+    for (i, s) in rp
+        .pool
+        .lane_statuses()
+        .map_err(|e| format!("lane scan failed: {e:?}"))?
+        .into_iter()
+        .enumerate()
+    {
+        if !s.is_quiescent() {
+            return Err(format!("lane {i} not quiescent after recovery: {s:?}"));
+        }
+    }
+    rp.pool
+        .walk_heap()
+        .map_err(|e| format!("heap scan failed after recovery: {e:?}"))
+}
+
+/// Recovery idempotence: recovering the already-recovered pool must be a
+/// byte-for-byte no-op with identical allocator stats.
+fn idempotence_check(rp: &Recovered, faults: RecoveryFaults) -> Result<(), String> {
+    let bytes1 = rp.pm.contents();
+    let stats1 = rp.pool.stats();
+    let again = recover(&CrashImage::from_bytes(bytes1.clone()), faults)
+        .map_err(|e| format!("second recovery failed: {e}"))?;
+    if again.pm.contents() != bytes1 {
+        return Err("recovery is not idempotent: second open changed pool bytes".into());
+    }
+    let stats2 = again.pool.stats();
+    if stats1 != stats2 {
+        return Err(format!(
+            "recovery is not idempotent: stats changed {stats1:?} -> {stats2:?}"
+        ));
+    }
+    Ok(())
+}
+
+/// Find the allocated heap block whose payload starts at `payload_off`.
+pub(crate) fn allocated_block_at(blocks: &[BlockInfo], payload_off: u64) -> Option<&BlockInfo> {
+    blocks
+        .iter()
+        .find(|b| b.state == BlockState::Allocated && b.payload_off() == payload_off)
+}
+
+/// Count allocated heap blocks.
+pub(crate) fn allocated_count(blocks: &[BlockInfo]) -> u64 {
+    blocks
+        .iter()
+        .filter(|b| b.state == BlockState::Allocated)
+        .count() as u64
+}
+
+/// Build the full per-state oracle: recovery, structural checks, strided
+/// idempotence, then the workload-specific `check`.
+pub fn make_oracle<F>(faults: RecoveryFaults, idempotence_stride: u64, check: F) -> Oracle
+where
+    F: Fn(&Recovered, &[BlockInfo]) -> Result<(), String> + Send + Sync + 'static,
+{
+    let calls = AtomicU64::new(0);
+    Arc::new(move |img: &CrashImage| {
+        let rp = recover(img, faults)?;
+        let blocks = structural_checks(&rp)?;
+        let n = calls.fetch_add(1, Ordering::Relaxed);
+        if idempotence_stride > 0 && n.is_multiple_of(idempotence_stride) {
+            idempotence_check(&rp, faults)?;
+        }
+        check(&rp, &blocks)
+    })
+}
+
+/// Whole-run cross-check: replay the workload's event log through
+/// `spp-pmemcheck`. The workloads end quiescent, so a clean run must
+/// produce a clean report.
+pub fn check_event_log(pm: &PmPool) -> Result<(), String> {
+    let log = pm
+        .event_log()
+        .map_err(|e| format!("event log unavailable: {e:?}"))?;
+    let report = spp_pmemcheck::Checker::new().analyze(&log);
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "pmemcheck found {} violation(s); first: {:?}",
+            report.errors.len(),
+            report.errors.first()
+        ))
+    }
+}
