@@ -58,6 +58,27 @@ impl NodeLayout {
     }
 }
 
+/// Read-only introspection snapshot of a [`KvStore`] (the server's STATS
+/// command). Produced by a full bucket walk under the stripe read locks, so
+/// concurrent writers are excluded per-stripe but the snapshot as a whole is
+/// only approximately consistent — fine for monitoring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvStats {
+    /// Live entries.
+    pub keys: u64,
+    /// Approximate resident payload bytes: node objects (key + header) plus
+    /// value objects, excluding allocator block headers.
+    pub resident_bytes: u64,
+    /// Bucket-array length.
+    pub nbuckets: u64,
+    /// Buckets with at least one entry.
+    pub nonempty_buckets: u64,
+    /// Longest bucket chain.
+    pub max_chain: u64,
+    /// Entries guarded by each lock stripe (length [`LOCK_STRIPES`]).
+    pub stripe_occupancy: Vec<u64>,
+}
+
 /// A concurrent persistent hash map (the `cmap` engine analogue).
 pub struct KvStore<P: MemoryPolicy> {
     policy: Arc<P>,
@@ -137,18 +158,24 @@ impl<P: MemoryPolicy> KvStore<P> {
         h
     }
 
+    /// The lock stripe guarding bucket `b`.
+    ///
+    /// The stripe must be a pure function of the bucket index: the stripe
+    /// lock is the only synchronization for a bucket chain, so two keys
+    /// that collide into one bucket must take the same lock. Mix b with a
+    /// Fibonacci constant and keep the upper bits so neighbouring buckets
+    /// still spread across stripes when LOCK_STRIPES shares factors with
+    /// nbuckets.
+    #[inline]
+    fn stripe_of_bucket(b: u64) -> usize {
+        (b.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 54) as usize % LOCK_STRIPES
+    }
+
     #[inline]
     fn bucket_of(&self, key: &[u8]) -> (u64, usize) {
         let h = Self::hash(key);
         let b = h % self.nbuckets;
-        // The stripe must be a pure function of the bucket index: the stripe
-        // lock is the only synchronization for a bucket chain, so two keys
-        // that collide into one bucket must take the same lock. Mix b with a
-        // Fibonacci constant and keep the upper bits so neighbouring buckets
-        // still spread across stripes when LOCK_STRIPES shares factors with
-        // nbuckets.
-        let stripe = (b.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 54) as usize % LOCK_STRIPES;
-        (b, stripe)
+        (b, Self::stripe_of_bucket(b))
     }
 
     fn bucket_field(&self, b: u64) -> u64 {
@@ -283,6 +310,80 @@ impl<P: MemoryPolicy> KvStore<P> {
             }
             Ok(false)
         })
+    }
+
+    /// Visit every entry, passing each key and value to `f`. Buckets are
+    /// walked in index order under their stripe read locks, so each chain is
+    /// seen atomically w.r.t. writers but the scan as a whole is not a
+    /// point-in-time snapshot. Returns the number of entries visited.
+    ///
+    /// # Errors
+    ///
+    /// Device errors, or the first error returned by `f` (which stops the
+    /// scan).
+    pub fn for_each(&self, mut f: impl FnMut(&[u8; KEY_SIZE], &[u8]) -> Result<()>) -> Result<u64> {
+        let p = &*self.policy;
+        let l = self.layout;
+        let mut n = 0;
+        let mut kbuf = [0u8; KEY_SIZE];
+        let mut vbuf = Vec::new();
+        for b in 0..self.nbuckets {
+            let _g = self.locks[Self::stripe_of_bucket(b)].read();
+            let mut cur = p.load_oid(self.bucket_field(b))?;
+            while !cur.is_null() {
+                let nptr = p.direct(cur);
+                self.key_of_node(nptr, &mut kbuf)?;
+                let vlen = p.load_u64(p.gep(nptr, l.vlen as i64))? as usize;
+                let val = p.load_oid(p.gep(nptr, l.value as i64))?;
+                vbuf.clear();
+                vbuf.resize(vlen, 0);
+                p.load(p.direct(val), &mut vbuf)?;
+                f(&kbuf, &vbuf)?;
+                n += 1;
+                cur = p.load_oid(p.gep(nptr, l.next as i64))?;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Take a [`KvStats`] snapshot (key count, approximate resident bytes,
+    /// chain shape, per-stripe occupancy). Same locking discipline as
+    /// [`KvStore::for_each`]; values are not read, only their lengths.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn stats(&self) -> Result<KvStats> {
+        let p = &*self.policy;
+        let l = self.layout;
+        let mut stats = KvStats {
+            keys: 0,
+            resident_bytes: 0,
+            nbuckets: self.nbuckets,
+            nonempty_buckets: 0,
+            max_chain: 0,
+            stripe_occupancy: vec![0; LOCK_STRIPES],
+        };
+        for b in 0..self.nbuckets {
+            let stripe = Self::stripe_of_bucket(b);
+            let _g = self.locks[stripe].read();
+            let mut chain = 0u64;
+            let mut cur = p.load_oid(self.bucket_field(b))?;
+            while !cur.is_null() {
+                let nptr = p.direct(cur);
+                let vlen = p.load_u64(p.gep(nptr, l.vlen as i64))?;
+                stats.keys += 1;
+                stats.resident_bytes += l.size + vlen;
+                chain += 1;
+                cur = p.load_oid(p.gep(nptr, l.next as i64))?;
+            }
+            if chain > 0 {
+                stats.nonempty_buckets += 1;
+                stats.stripe_occupancy[stripe] += chain;
+                stats.max_chain = stats.max_chain.max(chain);
+            }
+        }
+        Ok(stats)
     }
 
     /// Count all entries (full scan; test/diagnostic use).
@@ -442,6 +543,82 @@ mod tests {
         assert!(kv.get(&key(25), &mut out).unwrap());
         assert_eq!(out.len(), 1024);
         assert!(out.iter().all(|&b| b == 0xAB));
+    }
+
+    #[test]
+    fn for_each_visits_every_entry_once() {
+        let kv = spp_store(1 << 23, 8); // few buckets: multi-entry chains
+        let mut want = std::collections::BTreeMap::new();
+        for i in 0..64u64 {
+            let v = format!("scan-value-{i}").into_bytes();
+            kv.put(&key(i), &v).unwrap();
+            want.insert(key(i).to_vec(), v);
+        }
+        let mut got = std::collections::BTreeMap::new();
+        let visited = kv
+            .for_each(|k, v| {
+                assert!(
+                    got.insert(k.to_vec(), v.to_vec()).is_none(),
+                    "key visited twice"
+                );
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(visited, 64);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn for_each_stops_on_callback_error() {
+        let kv = spp_store(1 << 22, 4);
+        for i in 0..10u64 {
+            kv.put(&key(i), b"x").unwrap();
+        }
+        let mut seen = 0;
+        let r = kv.for_each(|_, _| {
+            seen += 1;
+            if seen == 3 {
+                Err(spp_core::SppError::Fault { va: 0 })
+            } else {
+                Ok(())
+            }
+        });
+        assert!(r.is_err());
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn stats_track_keys_bytes_and_stripes() {
+        let kv = spp_store(1 << 23, 16);
+        let empty = kv.stats().unwrap();
+        assert_eq!(empty.keys, 0);
+        assert_eq!(empty.resident_bytes, 0);
+        assert_eq!(empty.nonempty_buckets, 0);
+        assert_eq!(empty.max_chain, 0);
+        assert_eq!(empty.stripe_occupancy.len(), LOCK_STRIPES);
+
+        for i in 0..40u64 {
+            kv.put(&key(i), &[7u8; 100]).unwrap();
+        }
+        let s = kv.stats().unwrap();
+        assert_eq!(s.keys, 40);
+        assert_eq!(s.nbuckets, 16);
+        // Each entry costs its node layout plus the 100-byte value.
+        assert_eq!(s.resident_bytes, 40 * (kv.layout.size + 100));
+        assert!(s.nonempty_buckets > 0 && s.nonempty_buckets <= 16);
+        assert!(s.max_chain >= 40 / 16);
+        assert_eq!(s.stripe_occupancy.iter().sum::<u64>(), 40);
+
+        // Updating in place must not change the key count, and deletion
+        // must drain everything.
+        kv.put(&key(0), &[9u8; 200]).unwrap();
+        assert_eq!(kv.stats().unwrap().keys, 40);
+        for i in 0..40u64 {
+            assert!(kv.remove(&key(i)).unwrap());
+        }
+        let drained = kv.stats().unwrap();
+        assert_eq!(drained.keys, 0);
+        assert_eq!(drained.resident_bytes, 0);
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! `spp-loadgen`: a `db_bench`-style closed-loop load generator for
+//! `spp-server`.
+//!
+//! ```text
+//! spp-loadgen [--addr HOST:PORT] [--policy pmdk|spp|safepm]
+//!             [--conns 4] [--ops 20000] [--value-size 100] [--read-pct 50]
+//!             [--pool-mb 64] [--workers 4] [--nbuckets 4096]
+//!             [--smoke] [--shutdown] [--inject-garbage]
+//! ```
+//!
+//! Without `--addr`, an in-process server (ephemeral port, `--policy`) is
+//! spawned and measured — the one-command mode CI and `EXPERIMENTS.md`
+//! use. Each connection runs a closed loop of `--ops` operations
+//! (`--read-pct`% GETs over previously-written keys, the rest durable
+//! PUTs), retrying on `BUSY`. The run reports throughput and p50/p95/p99
+//! latency per operation class, writes `results/server_loadgen.json`, and
+//! self-validates the rows through `spp-bench`'s `validate_rows` — empty
+//! or non-finite results exit nonzero (`--inject-garbage` deliberately
+//! poisons a row so CI can prove that path stays red).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use spp_bench::{banner, validate_rows, Args, Json};
+use spp_server::{
+    fresh_server_pool, Client, ClientError, KvEngine, PolicyKind, Server, ServerConfig,
+};
+
+const KEY_SIZE: usize = 16;
+
+/// Nanosecond latency samples for one operation class.
+#[derive(Default)]
+struct Lats {
+    ns: Vec<u64>,
+}
+
+impl Lats {
+    fn push(&mut self, d: Duration) {
+        self.ns.push(d.as_nanos() as u64);
+    }
+
+    fn percentile_us(&self, p: f64) -> f64 {
+        if self.ns.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted = self.ns.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx] as f64 / 1_000.0
+    }
+}
+
+struct ConnResult {
+    puts: Lats,
+    gets: Lats,
+    busy_retries: u64,
+}
+
+fn key_of(conn: u32, seq: u64) -> [u8; KEY_SIZE] {
+    let mut k = [0u8; KEY_SIZE];
+    k[..4].copy_from_slice(&conn.to_be_bytes());
+    k[4..12].copy_from_slice(&seq.to_be_bytes());
+    k
+}
+
+/// Closed-loop worker: `ops` operations, `read_pct`% GETs over keys this
+/// connection already wrote, retrying `BUSY` with a short backoff.
+fn run_conn(
+    addr: std::net::SocketAddr,
+    conn_id: u32,
+    ops: u64,
+    value: &[u8],
+    read_pct: u32,
+) -> Result<ConnResult, String> {
+    let mut client = Client::connect_retry(addr, Duration::from_secs(5))
+        .map_err(|e| format!("conn {conn_id}: connect: {e}"))?;
+    let mut res = ConnResult {
+        puts: Lats::default(),
+        gets: Lats::default(),
+        busy_retries: 0,
+    };
+    let mut written: u64 = 0;
+    // Per-connection xorshift for the op mix and GET key choice.
+    let mut x: u64 = 0x9e37_79b9 ^ u64::from(conn_id) << 17 | 1;
+    let mut rng = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut out = Vec::with_capacity(value.len());
+    for _ in 0..ops {
+        let is_get = written > 0 && (rng() % 100) < u64::from(read_pct);
+        if is_get {
+            let key = key_of(conn_id, rng() % written);
+            let start = Instant::now();
+            out.clear();
+            let hit = retry_busy(&mut res.busy_retries, || client.get(&key, &mut out))
+                .map_err(|e| format!("conn {conn_id}: GET: {e}"))?;
+            res.gets.push(start.elapsed());
+            if !hit {
+                return Err(format!("conn {conn_id}: GET missed an acked key"));
+            }
+        } else {
+            let key = key_of(conn_id, written);
+            let start = Instant::now();
+            retry_busy(&mut res.busy_retries, || client.put(&key, value))
+                .map_err(|e| format!("conn {conn_id}: PUT: {e}"))?;
+            res.puts.push(start.elapsed());
+            written += 1;
+        }
+    }
+    Ok(res)
+}
+
+fn retry_busy<R>(
+    busy: &mut u64,
+    mut f: impl FnMut() -> Result<R, ClientError>,
+) -> Result<R, ClientError> {
+    loop {
+        match f() {
+            Err(ClientError::Busy) => {
+                *busy += 1;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            other => return other,
+        }
+    }
+}
+
+fn lat_row(policy: PolicyKind, op: &'static str, lats: &Lats, elapsed_s: f64) -> Json {
+    Json::Obj(vec![
+        ("policy", Json::Str(policy.label().to_string())),
+        ("op", Json::Str(op.to_string())),
+        ("ops", Json::Int(lats.ns.len() as u64)),
+        (
+            "throughput_ops_s",
+            Json::Num(lats.ns.len() as f64 / elapsed_s),
+        ),
+        ("p50_us", Json::Num(lats.percentile_us(0.50))),
+        ("p95_us", Json::Num(lats.percentile_us(0.95))),
+        ("p99_us", Json::Num(lats.percentile_us(0.99))),
+    ])
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse();
+    let smoke = args.flag("smoke");
+    let policy: PolicyKind = args.get("policy", PolicyKind::Spp);
+    let conns: u32 = args.get("conns", if smoke { 2 } else { 4 });
+    let ops: u64 = args.get("ops", if smoke { 500 } else { 20_000 });
+    let value_size: usize = args.get("value-size", if smoke { 64 } else { 100 });
+    let read_pct: u32 = args.get("read-pct", 50).min(100);
+    let addr_arg: String = args.get("addr", String::new());
+    let want_shutdown = args.flag("shutdown");
+    let inject_garbage = args.flag("inject-garbage");
+
+    banner(&format!(
+        "spp-loadgen: policy={} conns={conns} ops/conn={ops} value={value_size}B reads={read_pct}%",
+        policy.label()
+    ));
+
+    // Either measure an external server or spawn one in-process.
+    let mut local: Option<Server> = None;
+    let addr: std::net::SocketAddr = if addr_arg.is_empty() {
+        let pool = fresh_server_pool(args.get("pool-mb", 64u64) << 20, 16, false)
+            .map_err(|e| format!("pool create: {e}"))?;
+        let engine = Arc::new(
+            KvEngine::create(pool, policy, args.get("nbuckets", 4096))
+                .map_err(|e| format!("engine create: {e}"))?,
+        );
+        let cfg = ServerConfig {
+            workers: args.get("workers", 4),
+            max_conns: args.get("max-conns", 64),
+            queue_depth: args.get("queue-depth", 128),
+        };
+        let server = Server::start(engine, ("127.0.0.1", 0), cfg)
+            .map_err(|e| format!("in-process server: {e}"))?;
+        let addr = server.local_addr();
+        println!("spawned in-process server on {addr}");
+        local = Some(server);
+        addr
+    } else {
+        addr_arg
+            .parse()
+            .map_err(|e| format!("bad --addr `{addr_arg}`: {e}"))?
+    };
+
+    let value = vec![0xA5u8; value_size];
+    let start = Instant::now();
+    let handles: Vec<_> = (0..conns)
+        .map(|conn_id| {
+            let value = value.clone();
+            std::thread::spawn(move || run_conn(addr, conn_id, ops, &value, read_pct))
+        })
+        .collect();
+    let mut puts = Lats::default();
+    let mut gets = Lats::default();
+    let mut busy_retries = 0u64;
+    for h in handles {
+        let r = h.join().map_err(|_| "loadgen thread panicked")??;
+        puts.ns.extend_from_slice(&r.puts.ns);
+        gets.ns.extend_from_slice(&r.gets.ns);
+        busy_retries += r.busy_retries;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    // Server-side introspection after the run (also exercises STATS).
+    let mut client =
+        Client::connect_retry(addr, Duration::from_secs(5)).map_err(|e| format!("stats: {e}"))?;
+    let stats = client.stats().map_err(|e| format!("STATS: {e}"))?;
+    println!("--- server stats ---\n{stats}--------------------");
+
+    if want_shutdown {
+        client.shutdown().map_err(|e| format!("SHUTDOWN: {e}"))?;
+    }
+    if let Some(server) = local.take() {
+        // Idempotent with a wire-initiated SHUTDOWN; quiesces the pool.
+        server.shutdown();
+    }
+
+    let total_ops = (puts.ns.len() + gets.ns.len()) as f64;
+    println!(
+        "total: {total_ops:.0} ops in {elapsed:.3}s = {:.0} ops/s ({busy_retries} BUSY retries)",
+        total_ops / elapsed
+    );
+    let mut rows = vec![lat_row(policy, "put", &puts, elapsed)];
+    if !gets.ns.is_empty() {
+        rows.push(lat_row(policy, "get", &gets, elapsed));
+    }
+    for row in &rows {
+        println!("{}", row.render());
+    }
+    if inject_garbage {
+        // Negative CI hook: a poisoned row must make validation fail.
+        rows.push(Json::Obj(vec![
+            ("policy", Json::Str(policy.label().to_string())),
+            ("op", Json::Str("garbage".to_string())),
+            ("ops", Json::Int(0)),
+            ("throughput_ops_s", Json::Num(f64::NAN)),
+            ("p50_us", Json::Num(f64::NAN)),
+            ("p95_us", Json::Num(f64::NAN)),
+            ("p99_us", Json::Num(f64::NAN)),
+        ]));
+    }
+    validate_rows(
+        &rows,
+        &["throughput_ops_s", "p50_us", "p95_us", "p99_us", "ops"],
+    )
+    .map_err(|e| format!("result validation failed: {e}"))?;
+
+    let doc = Json::Obj(vec![
+        ("name", Json::Str("server_loadgen".to_string())),
+        ("policy", Json::Str(policy.label().to_string())),
+        ("conns", Json::Int(u64::from(conns))),
+        ("ops_per_conn", Json::Int(ops)),
+        ("value_size", Json::Int(value_size as u64)),
+        ("read_pct", Json::Int(u64::from(read_pct))),
+        ("busy_retries", Json::Int(busy_retries)),
+        ("elapsed_s", Json::Num(elapsed)),
+        ("rows", Json::Arr(rows)),
+    ]);
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).map_err(|e| format!("create results/: {e}"))?;
+    let path = dir.join("server_loadgen.json");
+    std::fs::write(&path, doc.render() + "\n").map_err(|e| format!("write {path:?}: {e}"))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("spp-loadgen: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! The `spp-server` daemon: serve one persistent KV engine over TCP.
+//!
+//! ```text
+//! spp-server [--addr 127.0.0.1] [--port 7877] [--policy pmdk|spp|safepm]
+//!            [--pool-mb 64] [--lanes 16] [--nbuckets 4096]
+//!            [--workers 4] [--max-conns 64] [--queue-depth 128]
+//!            [--pool-file PATH]
+//! ```
+//!
+//! `--port 0` binds an ephemeral port; the daemon prints a
+//! `spp-server listening on ADDR` line either way, which scripts (and the
+//! CI smoke job) parse. With `--pool-file`, an existing image is opened
+//! through full pmdk recovery and the durable image is saved back on
+//! graceful shutdown. A wire `SHUTDOWN` quiesces the server and the
+//! process exits 0.
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use spp_bench::Args;
+use spp_pm::{PmPool, PoolConfig};
+use spp_pmdk::ObjPool;
+use spp_server::{fresh_server_pool, KvEngine, PolicyKind, Server, ServerConfig};
+
+fn run() -> Result<(), String> {
+    let args = Args::parse();
+    let addr: String = args.get("addr", "127.0.0.1".to_string());
+    let port: u16 = args.get("port", 7877);
+    let policy: PolicyKind = args.get("policy", PolicyKind::Spp);
+    let pool_mb: u64 = args.get("pool-mb", 64);
+    let lanes: usize = args.get("lanes", 16);
+    let nbuckets: u64 = args.get("nbuckets", 4096);
+    let pool_file: String = args.get("pool-file", String::new());
+    let cfg = ServerConfig {
+        workers: args.get("workers", 4),
+        max_conns: args.get("max-conns", 64),
+        queue_depth: args.get("queue-depth", 128),
+    };
+
+    let reopening = !pool_file.is_empty() && std::path::Path::new(&pool_file).exists();
+    let engine = if reopening {
+        // Restart path: load the saved device image and run full pmdk
+        // recovery before re-attaching the engine.
+        let pm = PmPool::load_from_file(&pool_file, PoolConfig::new(0))
+            .map_err(|e| format!("load pool image `{pool_file}`: {e}"))?;
+        let pool = Arc::new(ObjPool::open(Arc::new(pm)).map_err(|e| format!("pool open: {e}"))?);
+        KvEngine::open(pool, policy).map_err(|e| format!("engine open: {e}"))?
+    } else {
+        let pool = fresh_server_pool(pool_mb << 20, lanes, false)
+            .map_err(|e| format!("pool create: {e}"))?;
+        KvEngine::create(pool, policy, nbuckets).map_err(|e| format!("engine create: {e}"))?
+    };
+    let engine = Arc::new(engine);
+
+    let server = Server::start(Arc::clone(&engine), (addr.as_str(), port), cfg)
+        .map_err(|e| format!("bind {addr}:{port}: {e}"))?;
+    println!("spp-server listening on {}", server.local_addr());
+    println!(
+        "spp-server policy={} pool_mb={pool_mb} nbuckets={nbuckets} {}",
+        policy.label(),
+        if reopening {
+            "reopened=true"
+        } else {
+            "reopened=false"
+        }
+    );
+    let _ = std::io::stdout().flush();
+
+    server.wait_shutdown();
+    server.shutdown();
+
+    if !pool_file.is_empty() {
+        engine
+            .pool()
+            .pm()
+            .save_to_file(&pool_file)
+            .map_err(|e| format!("save pool image `{pool_file}`: {e}"))?;
+        println!("spp-server saved pool image to {pool_file}");
+    }
+    println!("spp-server shut down cleanly");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("spp-server: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! A blocking wire-protocol client: one TCP connection, closed-loop
+//! request/response. Used by the load generator and the integration tests.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::wire::{decode_frame, encode_request, parse_response, Request, Response, WireError};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket error (includes the peer closing mid-response).
+    Io(std::io::Error),
+    /// The server sent bytes the codec rejects.
+    Wire(WireError),
+    /// The server answered `ERR` with this message.
+    Remote(String),
+    /// The server answered `BUSY` (queue or connection limit saturated).
+    Busy,
+    /// The server answered with a response that does not fit the request
+    /// (e.g. `PONG` to a `PUT`).
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Remote(m) => write!(f, "server error: {m}"),
+            ClientError::Busy => write!(f, "server busy"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A blocking connection to an `spp-server`.
+pub struct Client {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+}
+
+impl Client {
+    /// Connect once.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            rbuf: Vec::with_capacity(4096),
+            wbuf: Vec::with_capacity(4096),
+        })
+    }
+
+    /// Connect with retries until `deadline` elapses — for racing a server
+    /// that is still binding its listener.
+    ///
+    /// # Errors
+    ///
+    /// The last connection error once the deadline passes.
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + Copy,
+        deadline: Duration,
+    ) -> std::io::Result<Client> {
+        let start = Instant::now();
+        loop {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if start.elapsed() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    fn roundtrip<R>(
+        &mut self,
+        req: &Request<'_>,
+        on_resp: impl FnOnce(Response<'_>) -> Result<R, ClientError>,
+    ) -> Result<R, ClientError> {
+        self.wbuf.clear();
+        encode_request(&mut self.wbuf, req);
+        self.stream.write_all(&self.wbuf)?;
+        // Pull bytes until one complete response frame is buffered. A
+        // leftover tail (the server never pipelines, but a malicious peer
+        // could) is preserved for the next call.
+        loop {
+            if let Some(frame) = decode_frame(&self.rbuf)? {
+                let consumed = frame.consumed;
+                let result = parse_response(&frame)
+                    .map_err(ClientError::from)
+                    .and_then(|resp| match resp {
+                        Response::Err(m) => Err(ClientError::Remote(m.to_string())),
+                        Response::Busy => Err(ClientError::Busy),
+                        other => on_resp(other),
+                    });
+                self.rbuf.drain(..consumed);
+                return result;
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed connection mid-response",
+                )));
+            }
+            self.rbuf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// `PUT`: durable once this returns `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`]; [`ClientError::Busy`] is retryable.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), ClientError> {
+        self.roundtrip(&Request::Put { key, value }, |resp| match resp {
+            Response::Ok => Ok(()),
+            _ => Err(ClientError::Unexpected("PUT wants OK")),
+        })
+    }
+
+    /// `GET`: appends the value to `out` on a hit and returns whether the
+    /// key existed.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`].
+    pub fn get(&mut self, key: &[u8], out: &mut Vec<u8>) -> Result<bool, ClientError> {
+        self.roundtrip(&Request::Get { key }, |resp| match resp {
+            Response::Value(v) => {
+                out.extend_from_slice(v);
+                Ok(true)
+            }
+            Response::NotFound => Ok(false),
+            _ => Err(ClientError::Unexpected("GET wants VALUE or NOT_FOUND")),
+        })
+    }
+
+    /// `DEL`: returns whether the key existed.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`].
+    pub fn del(&mut self, key: &[u8]) -> Result<bool, ClientError> {
+        self.roundtrip(&Request::Del { key }, |resp| match resp {
+            Response::Ok => Ok(true),
+            Response::NotFound => Ok(false),
+            _ => Err(ClientError::Unexpected("DEL wants OK or NOT_FOUND")),
+        })
+    }
+
+    /// `STATS`: the engine's `key=value` introspection body.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`].
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        self.roundtrip(&Request::Stats, |resp| match resp {
+            Response::Stats(s) => Ok(s.to_string()),
+            _ => Err(ClientError::Unexpected("STATS wants STATS_BODY")),
+        })
+    }
+
+    /// `FLUSH`: drain outstanding device writes.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`].
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        self.roundtrip(&Request::Flush, |resp| match resp {
+            Response::Ok => Ok(()),
+            _ => Err(ClientError::Unexpected("FLUSH wants OK")),
+        })
+    }
+
+    /// `PING`: liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.roundtrip(&Request::Ping, |resp| match resp {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::Unexpected("PING wants PONG")),
+        })
+    }
+
+    /// `SHUTDOWN`: acked with `OK`, then the server quiesces.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.roundtrip(&Request::Shutdown, |resp| match resp {
+            Response::Ok => Ok(()),
+            _ => Err(ClientError::Unexpected("SHUTDOWN wants OK")),
+        })
+    }
+
+    /// Send raw bytes, bypassing the codec — for malformed-frame tests.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Read one response frame after [`Client::send_raw`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`]; `ERR` bodies surface as [`ClientError::Remote`].
+    pub fn recv_response_kind(&mut self) -> Result<RespKind, ClientError> {
+        loop {
+            if let Some(frame) = decode_frame(&self.rbuf)? {
+                let consumed = frame.consumed;
+                let kind = parse_response(&frame).map(|resp| match resp {
+                    Response::Ok => RespKind::Ok,
+                    Response::Value(_) => RespKind::Value,
+                    Response::NotFound => RespKind::NotFound,
+                    Response::Err(m) => RespKind::Err(m.to_string()),
+                    Response::Busy => RespKind::Busy,
+                    Response::Stats(_) => RespKind::Stats,
+                    Response::Pong => RespKind::Pong,
+                });
+                self.rbuf.drain(..consumed);
+                return kind.map_err(ClientError::from);
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed connection",
+                )));
+            }
+            self.rbuf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+/// Owned response discriminant for [`Client::recv_response_kind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RespKind {
+    /// `OK`.
+    Ok,
+    /// `VALUE`.
+    Value,
+    /// `NOT_FOUND`.
+    NotFound,
+    /// `ERR` with its message.
+    Err(String),
+    /// `BUSY`.
+    Busy,
+    /// `STATS_BODY`.
+    Stats,
+    /// `PONG`.
+    Pong,
+}

@@ -1,0 +1,368 @@
+//! Policy selection and the engine the server serves.
+//!
+//! [`KvEngine`] wraps one [`spp_kvstore::KvStore`] instantiated under one
+//! of the three benchmark policies (`--policy pmdk|spp|safepm`), so
+//! end-to-end safety overhead is measurable over the wire. The engine owns
+//! the durable attachment protocol: on [`KvEngine::create`] the store's
+//! meta oid is published into the pool root, and [`KvEngine::open`] (the
+//! restart / post-crash path) reads it back after full pmdk recovery.
+
+use std::sync::Arc;
+
+use spp_core::{MemoryPolicy, PmdkPolicy, Result, SppError, SppPolicy, TagConfig};
+use spp_kvstore::{KvStats, KvStore, KEY_SIZE};
+use spp_pm::{Mode, PmPool, PoolConfig};
+use spp_pmdk::{ObjPool, OidDest, PoolOpts};
+use spp_safepm::SafePmPolicy;
+
+/// Bytes reserved in the pool root for the engine meta oid (the widest
+/// encoding, SPP's 24-byte oid, plus slack).
+const ROOT_SIZE: u64 = 32;
+
+/// The three servable memory-safety policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Native PMDK (no safety mechanism).
+    Pmdk,
+    /// Safe persistent pointers (tagged oids, overflow bit).
+    Spp,
+    /// SafePM persistent shadow memory.
+    SafePm,
+}
+
+impl PolicyKind {
+    /// All policies, baseline first.
+    pub const ALL: [PolicyKind; 3] = [PolicyKind::Pmdk, PolicyKind::Spp, PolicyKind::SafePm];
+
+    /// CLI / results label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Pmdk => "pmdk",
+            PolicyKind::Spp => "spp",
+            PolicyKind::SafePm => "safepm",
+        }
+    }
+
+    /// Parse a `--policy` value.
+    pub fn parse(s: &str) -> Option<PolicyKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "pmdk" => Some(PolicyKind::Pmdk),
+            "spp" => Some(PolicyKind::Spp),
+            "safepm" => Some(PolicyKind::SafePm),
+            _ => None,
+        }
+    }
+}
+
+impl std::str::FromStr for PolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        PolicyKind::parse(s).ok_or_else(|| format!("unknown policy `{s}` (pmdk|spp|safepm)"))
+    }
+}
+
+/// Create a fresh simulated device + object pool for the server.
+///
+/// `tracked` selects [`Mode::Tracked`] (crash-injection test rigs) over the
+/// default [`Mode::Fast`] (benchmarks / serving).
+pub fn fresh_server_pool(bytes: u64, lanes: usize, tracked: bool) -> Result<Arc<ObjPool>> {
+    let mode = if tracked { Mode::Tracked } else { Mode::Fast };
+    let pm = Arc::new(PmPool::new(
+        PoolConfig::new(bytes).mode(mode).record_stats(false),
+    ));
+    Ok(Arc::new(ObjPool::create(pm, PoolOpts::new().lanes(lanes))?))
+}
+
+/// The KV store under one concrete policy. Dispatch is a three-way match —
+/// the policies are statically known and `KvStore` is generic, so no trait
+/// object can cover all three without erasing the policy surface.
+pub enum KvEngine {
+    /// Native PMDK.
+    Pmdk(KvStore<PmdkPolicy>),
+    /// Safe persistent pointers.
+    Spp(KvStore<SppPolicy>),
+    /// SafePM shadow memory.
+    SafePm(KvStore<SafePmPolicy>),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $kv:ident => $body:expr) => {
+        match $self {
+            KvEngine::Pmdk($kv) => $body,
+            KvEngine::Spp($kv) => $body,
+            KvEngine::SafePm($kv) => $body,
+        }
+    };
+}
+
+impl KvEngine {
+    /// Build a fresh engine over `pool` with `nbuckets` hash buckets and
+    /// publish its meta oid in the pool root so [`KvEngine::open`] can
+    /// re-attach after a restart.
+    ///
+    /// # Errors
+    ///
+    /// Policy construction or allocation errors.
+    pub fn create(pool: Arc<ObjPool>, kind: PolicyKind, nbuckets: u64) -> Result<KvEngine> {
+        let root = pool.root(ROOT_SIZE)?;
+        let engine = match kind {
+            PolicyKind::Pmdk => {
+                let policy = Arc::new(PmdkPolicy::new(Arc::clone(&pool)));
+                KvEngine::Pmdk(KvStore::create(policy, nbuckets)?)
+            }
+            PolicyKind::Spp => {
+                let policy = Arc::new(SppPolicy::new(Arc::clone(&pool), TagConfig::default())?);
+                KvEngine::Spp(KvStore::create(policy, nbuckets)?)
+            }
+            PolicyKind::SafePm => {
+                let policy = Arc::new(SafePmPolicy::create(Arc::clone(&pool))?);
+                KvEngine::SafePm(KvStore::create(policy, nbuckets)?)
+            }
+        };
+        let (meta, oid_kind) = dispatch!(&engine, kv => (kv.meta(), kv.policy().oid_kind()));
+        pool.publish_oid(
+            OidDest {
+                off: root.off,
+                kind: oid_kind,
+            },
+            meta,
+        )?;
+        Ok(engine)
+    }
+
+    /// Re-attach to an engine created earlier in this pool — the restart /
+    /// post-crash path, entered after `ObjPool::open` has already run full
+    /// pmdk recovery on the device.
+    ///
+    /// # Errors
+    ///
+    /// A [`SppError::Pmdk`] bad-pool error when no engine meta was ever
+    /// published; policy reopen errors.
+    pub fn open(pool: Arc<ObjPool>, kind: PolicyKind) -> Result<KvEngine> {
+        let root = pool.root(ROOT_SIZE)?;
+        let bad = || {
+            SppError::Pmdk(spp_pmdk::PmdkError::BadPool(
+                "pool root holds no kv engine meta oid".into(),
+            ))
+        };
+        match kind {
+            PolicyKind::Pmdk => {
+                let policy = Arc::new(PmdkPolicy::new(Arc::clone(&pool)));
+                let meta = pool.oid_read(root.off, policy.oid_kind())?;
+                if meta.is_null() {
+                    return Err(bad());
+                }
+                Ok(KvEngine::Pmdk(KvStore::open(policy, meta)?))
+            }
+            PolicyKind::Spp => {
+                let policy = Arc::new(SppPolicy::new(Arc::clone(&pool), TagConfig::default())?);
+                let meta = pool.oid_read(root.off, policy.oid_kind())?;
+                if meta.is_null() {
+                    return Err(bad());
+                }
+                Ok(KvEngine::Spp(KvStore::open(policy, meta)?))
+            }
+            PolicyKind::SafePm => {
+                let policy = Arc::new(SafePmPolicy::open(Arc::clone(&pool))?);
+                let meta = pool.oid_read(root.off, policy.oid_kind())?;
+                if meta.is_null() {
+                    return Err(bad());
+                }
+                Ok(KvEngine::SafePm(KvStore::open(policy, meta)?))
+            }
+        }
+    }
+
+    /// The policy this engine runs under.
+    pub fn kind(&self) -> PolicyKind {
+        match self {
+            KvEngine::Pmdk(_) => PolicyKind::Pmdk,
+            KvEngine::Spp(_) => PolicyKind::Spp,
+            KvEngine::SafePm(_) => PolicyKind::SafePm,
+        }
+    }
+
+    /// The underlying object pool.
+    pub fn pool(&self) -> &Arc<ObjPool> {
+        dispatch!(self, kv => kv.policy().pool())
+    }
+
+    /// Insert or update; durable (flushed + fenced) when this returns.
+    ///
+    /// # Errors
+    ///
+    /// Engine errors, including a non-[`KEY_SIZE`] key.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        check_key(key)?;
+        dispatch!(self, kv => kv.put(key, value))
+    }
+
+    /// Look up `key`, appending the value to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Engine errors, including a non-[`KEY_SIZE`] key.
+    pub fn get(&self, key: &[u8], out: &mut Vec<u8>) -> Result<bool> {
+        check_key(key)?;
+        dispatch!(self, kv => kv.get(key, out))
+    }
+
+    /// Remove `key`; durable when this returns.
+    ///
+    /// # Errors
+    ///
+    /// Engine errors, including a non-[`KEY_SIZE`] key.
+    pub fn remove(&self, key: &[u8]) -> Result<bool> {
+        check_key(key)?;
+        dispatch!(self, kv => kv.remove(key))
+    }
+
+    /// Entry count (full scan).
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn count(&self) -> Result<u64> {
+        dispatch!(self, kv => kv.count())
+    }
+
+    /// Introspection snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn stats(&self) -> Result<KvStats> {
+        dispatch!(self, kv => kv.stats())
+    }
+
+    /// Visit every entry (the scan primitive, re-exported at the service
+    /// layer for verification tooling).
+    ///
+    /// # Errors
+    ///
+    /// Device errors or the first callback error.
+    pub fn for_each(&self, f: impl FnMut(&[u8; KEY_SIZE], &[u8]) -> Result<()>) -> Result<u64> {
+        dispatch!(self, kv => kv.for_each(f))
+    }
+
+    /// Drain outstanding device writes: a pool-level fence. Acked writes
+    /// are already durable; this exists for clients that want an explicit
+    /// global barrier.
+    pub fn fence(&self) {
+        self.pool().pm().fence();
+    }
+
+    /// Render the STATS response body: UTF-8 `key=value` lines.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn render_stats(&self) -> Result<String> {
+        let s = self.stats()?;
+        let occupied_stripes = s.stripe_occupancy.iter().filter(|&&n| n > 0).count();
+        let max_stripe = s.stripe_occupancy.iter().copied().max().unwrap_or(0);
+        Ok(format!(
+            "policy={}\nkeys={}\nresident_bytes={}\nnbuckets={}\nnonempty_buckets={}\n\
+             max_chain={}\noccupied_stripes={}\nmax_stripe_occupancy={}\npool_bytes={}\n",
+            self.kind().label(),
+            s.keys,
+            s.resident_bytes,
+            s.nbuckets,
+            s.nonempty_buckets,
+            s.max_chain,
+            occupied_stripes,
+            max_stripe,
+            self.pool().pm().size(),
+        ))
+    }
+}
+
+fn check_key(key: &[u8]) -> Result<()> {
+    // KvStore asserts on key length; a network service must reject, not
+    // abort, so validate here and surface a typed error.
+    if key.len() == KEY_SIZE {
+        Ok(())
+    } else {
+        Err(SppError::Pmdk(spp_pmdk::PmdkError::BadPool(format!(
+            "key must be exactly {KEY_SIZE} bytes, got {}",
+            key.len()
+        ))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_pm::CrashSpec;
+
+    fn key(i: u64) -> [u8; KEY_SIZE] {
+        let mut k = [0u8; KEY_SIZE];
+        k[..8].copy_from_slice(&i.to_be_bytes());
+        k
+    }
+
+    #[test]
+    fn create_roundtrip_under_all_policies() {
+        for kind in PolicyKind::ALL {
+            let pool = fresh_server_pool(8 << 20, 4, false).unwrap();
+            let engine = KvEngine::create(pool, kind, 64).unwrap();
+            assert_eq!(engine.kind(), kind);
+            engine.put(&key(1), b"v1").unwrap();
+            let mut out = Vec::new();
+            assert!(engine.get(&key(1), &mut out).unwrap());
+            assert_eq!(out, b"v1");
+            assert!(engine.remove(&key(1)).unwrap());
+            assert!(!engine.remove(&key(1)).unwrap());
+            let stats = engine.render_stats().unwrap();
+            assert!(
+                stats.contains(&format!("policy={}", kind.label())),
+                "{stats}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_key_length_is_an_error_not_a_panic() {
+        let pool = fresh_server_pool(4 << 20, 2, false).unwrap();
+        let engine = KvEngine::create(pool, PolicyKind::Spp, 16).unwrap();
+        assert!(engine.put(b"short", b"v").is_err());
+        assert!(engine.get(b"", &mut Vec::new()).is_err());
+        assert!(engine.remove(&[0; 64]).is_err());
+    }
+
+    #[test]
+    fn open_reattaches_after_clean_image_reload() {
+        for kind in PolicyKind::ALL {
+            let pool = fresh_server_pool(8 << 20, 4, false).unwrap();
+            let engine = KvEngine::create(Arc::clone(&pool), kind, 64).unwrap();
+            for i in 0..20u64 {
+                engine.put(&key(i), format!("val-{i}").as_bytes()).unwrap();
+            }
+            let img = pool.pm().crash_image(CrashSpec::KeepAll);
+            drop(engine);
+            let pm2 = Arc::new(PmPool::from_image(img, PoolConfig::new(0)));
+            let pool2 = Arc::new(ObjPool::open(pm2).unwrap());
+            let engine2 = KvEngine::open(pool2, kind).unwrap();
+            assert_eq!(engine2.count().unwrap(), 20);
+            let mut out = Vec::new();
+            assert!(engine2.get(&key(7), &mut out).unwrap());
+            assert_eq!(out, b"val-7");
+        }
+    }
+
+    #[test]
+    fn open_fresh_pool_reports_missing_meta() {
+        let pool = fresh_server_pool(4 << 20, 2, false).unwrap();
+        assert!(KvEngine::open(pool, PolicyKind::Pmdk).is_err());
+    }
+
+    #[test]
+    fn policy_parsing() {
+        assert_eq!(PolicyKind::parse("SPP"), Some(PolicyKind::Spp));
+        assert_eq!(PolicyKind::parse("pmdk"), Some(PolicyKind::Pmdk));
+        assert_eq!(PolicyKind::parse("safepm"), Some(PolicyKind::SafePm));
+        assert_eq!(PolicyKind::parse("redis"), None);
+        assert_eq!("spp".parse::<PolicyKind>().unwrap(), PolicyKind::Spp);
+    }
+}

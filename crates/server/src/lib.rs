@@ -1,0 +1,32 @@
+//! `spp-server` — a network-facing persistent KV service over the
+//! workspace's memory-safety policies.
+//!
+//! This crate turns the [`spp_kvstore`] cmap-analogue into something a
+//! `memcached`-style deployment would actually run: a compact
+//! length-prefixed [wire protocol](wire), a blocking TCP [server] with a
+//! bounded worker pool and explicit `BUSY` backpressure, a closed-loop
+//! [client], and (as binaries) the `spp-server` daemon plus the
+//! `spp-loadgen` load generator. The served store is selected per process
+//! with `--policy pmdk|spp|safepm`, so the three policies are compared
+//! end-to-end — syscalls, framing, and fences included — rather than in a
+//! tight loop.
+//!
+//! The headline property is **acked-write durability**: a `PUT` is acked
+//! only after the engine's transactional commit has flushed and fenced the
+//! update, so every acked write survives a crash. The root
+//! `server_crash_restart` test drives this over real sockets with
+//! crash-injection and full recovery.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod engine;
+pub mod queue;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError, RespKind};
+pub use engine::{fresh_server_pool, KvEngine, PolicyKind};
+pub use queue::{BoundedQueue, Job, PushError, WorkerPool};
+pub use server::{Server, ServerConfig};
+pub use wire::{Request, Response, WireError};

@@ -1,0 +1,412 @@
+//! The blocking TCP server: acceptor, per-connection framing threads, and
+//! the bounded worker pool executing engine requests.
+//!
+//! Threading model:
+//!
+//! * one **acceptor** owns the listener; over-limit connections are
+//!   answered with a `BUSY` frame and closed immediately;
+//! * one **connection thread** per accepted socket does buffered framing
+//!   (decode → enqueue → await reply → encode). Each connection is
+//!   closed-loop: one outstanding request, so response ordering is
+//!   structural;
+//! * a fixed **worker pool** (the only threads touching the engine) drains
+//!   the bounded request queue. When the queue is full the connection
+//!   thread answers `BUSY` itself — saturation degrades into explicit
+//!   rejection, never unbounded buffering.
+//!
+//! Durability contract: `PUT`/`DEL` are executed through the engine's
+//! transactional path, which flushes and fences before returning — the ack
+//! frame is only written after that, so **every acked write survives a
+//! crash** (the root crash-restart test drives this over real sockets).
+//!
+//! Graceful shutdown (a `SHUTDOWN` frame or [`Server::shutdown`]) stops
+//! accepting, lets connection threads drain, quiesces the worker pool
+//! (queued jobs all run), and leaves the pool quiescent for a clean
+//! reopen.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::engine::KvEngine;
+use crate::queue::{BoundedQueue, Job, PushError, WorkerPool};
+use crate::wire::{
+    decode_frame, encode_response, parse_request, Request, Response, WireError, MAX_FRAME, PREFIX,
+};
+
+/// Poll granularity for blocking reads: how quickly connection threads
+/// notice a shutdown.
+const READ_TICK: Duration = Duration::from_millis(50);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing engine requests.
+    pub workers: usize,
+    /// Maximum simultaneously served connections; excess connections get
+    /// `BUSY` and are closed.
+    pub max_conns: usize,
+    /// Bounded request-queue depth; a full queue answers `BUSY` per
+    /// request.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            max_conns: 64,
+            queue_depth: 128,
+        }
+    }
+}
+
+struct Shared {
+    engine: Arc<KvEngine>,
+    cfg: ServerConfig,
+    addr: SocketAddr,
+    queue: Arc<BoundedQueue<Job>>,
+    shutdown: AtomicBool,
+    conns: AtomicUsize,
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl Shared {
+    fn trigger_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        *self.done.lock().expect("done lock") = true;
+        self.done_cv.notify_all();
+        // Wake the acceptor out of its blocking accept.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running KV service. Dropping without [`Server::shutdown`] aborts
+/// non-gracefully (threads are detached); call `shutdown` for the clean
+/// quiesce.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Option<WorkerPool>,
+}
+
+impl Server {
+    /// Bind `addr` (port 0 picks an ephemeral port) and start serving
+    /// `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn start(
+        engine: Arc<KvEngine>,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let queue = Arc::new(BoundedQueue::new(cfg.queue_depth));
+        let workers = WorkerPool::start(Arc::clone(&queue), cfg.workers);
+        let shared = Arc::new(Shared {
+            engine,
+            cfg,
+            addr: local,
+            queue,
+            shutdown: AtomicBool::new(false),
+            conns: AtomicUsize::new(0),
+            conn_handles: Mutex::new(Vec::new()),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("spp-server-acceptor".into())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            workers: Some(workers),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The engine being served.
+    pub fn engine(&self) -> &Arc<KvEngine> {
+        &self.shared.engine
+    }
+
+    /// Block until a shutdown is triggered (a `SHUTDOWN` frame or
+    /// [`Server::shutdown`] from another thread via a prior clone of the
+    /// trigger — the daemon's main loop).
+    pub fn wait_shutdown(&self) {
+        let mut done = self.shared.done.lock().expect("done lock");
+        while !*done {
+            done = self.shared.done_cv.wait(done).expect("done lock");
+        }
+    }
+
+    /// Trigger + complete a graceful shutdown: stop accepting, drain
+    /// connection threads, quiesce the worker pool (all queued jobs run),
+    /// and join everything. Idempotent with a wire-initiated `SHUTDOWN`.
+    pub fn shutdown(mut self) {
+        self.shared.trigger_shutdown();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        let handles = std::mem::take(&mut *self.shared.conn_handles.lock().expect("conn handles"));
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(w) = self.workers.take() {
+            w.shutdown();
+        }
+        // Leave the device quiescent: a final fence so any straggling
+        // flushed-but-unfenced stores are promoted before the pool is
+        // dropped or its image saved.
+        self.shared.engine.pool().pm().fence();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if shared.conns.load(Ordering::SeqCst) >= shared.cfg.max_conns {
+            reject_busy(stream);
+            continue;
+        }
+        shared.conns.fetch_add(1, Ordering::SeqCst);
+        let shared2 = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("spp-server-conn".into())
+            .spawn(move || {
+                serve_conn(stream, &shared2);
+                shared2.conns.fetch_sub(1, Ordering::SeqCst);
+            });
+        match handle {
+            Ok(h) => shared.conn_handles.lock().expect("conn handles").push(h),
+            Err(_) => {
+                shared.conns.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// Connection-limit rejection: one `BUSY` frame, then close.
+fn reject_busy(mut stream: TcpStream) {
+    let mut out = Vec::with_capacity(8);
+    encode_response(&mut out, &Response::Busy);
+    let _ = stream.write_all(&out);
+}
+
+/// A request copied out of the receive buffer so it can cross to a worker.
+enum OwnedRequest {
+    Put { key: Vec<u8>, value: Vec<u8> },
+    Del { key: Vec<u8> },
+    Get { key: Vec<u8> },
+    Stats,
+    Flush,
+}
+
+/// A worker's reply, sent back over the connection's channel.
+enum OwnedResponse {
+    Ok,
+    Value(Vec<u8>),
+    NotFound,
+    Err(String),
+    Stats(String),
+}
+
+fn execute(engine: &KvEngine, req: OwnedRequest) -> OwnedResponse {
+    match req {
+        OwnedRequest::Put { key, value } => match engine.put(&key, &value) {
+            Ok(()) => OwnedResponse::Ok,
+            Err(e) => OwnedResponse::Err(e.to_string()),
+        },
+        OwnedRequest::Del { key } => match engine.remove(&key) {
+            Ok(true) => OwnedResponse::Ok,
+            Ok(false) => OwnedResponse::NotFound,
+            Err(e) => OwnedResponse::Err(e.to_string()),
+        },
+        OwnedRequest::Get { key } => {
+            let mut out = Vec::new();
+            match engine.get(&key, &mut out) {
+                Ok(true) => OwnedResponse::Value(out),
+                Ok(false) => OwnedResponse::NotFound,
+                Err(e) => OwnedResponse::Err(e.to_string()),
+            }
+        }
+        OwnedRequest::Stats => match engine.render_stats() {
+            Ok(body) => OwnedResponse::Stats(body),
+            Err(e) => OwnedResponse::Err(e.to_string()),
+        },
+        OwnedRequest::Flush => {
+            engine.fence();
+            OwnedResponse::Ok
+        }
+    }
+}
+
+fn owned_of(req: &Request<'_>) -> Option<OwnedRequest> {
+    match req {
+        Request::Put { key, value } => Some(OwnedRequest::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        }),
+        Request::Get { key } => Some(OwnedRequest::Get { key: key.to_vec() }),
+        Request::Del { key } => Some(OwnedRequest::Del { key: key.to_vec() }),
+        Request::Stats => Some(OwnedRequest::Stats),
+        Request::Flush => Some(OwnedRequest::Flush),
+        Request::Shutdown | Request::Ping => None,
+    }
+}
+
+fn serve_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let mut rbuf: Vec<u8> = Vec::with_capacity(4096);
+    let mut wbuf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 16 * 1024];
+    // Reused per-connection reply channel; capacity 1 because the
+    // connection is closed-loop.
+    let (reply_tx, reply_rx): (SyncSender<OwnedResponse>, Receiver<OwnedResponse>) =
+        sync_channel(1);
+
+    loop {
+        // Drain complete frames already buffered.
+        let mut consumed = 0;
+        loop {
+            wbuf.clear();
+            let frame = match decode_frame(&rbuf[consumed..]) {
+                Ok(Some(f)) => f,
+                Ok(None) => break,
+                Err(e) => {
+                    // Envelope error: the length prefix is garbage, the
+                    // stream cannot resync. Report and close.
+                    debug_assert!(e.is_envelope());
+                    encode_response(&mut wbuf, &Response::Err(&e.to_string()));
+                    let _ = stream.write_all(&wbuf);
+                    return;
+                }
+            };
+            let advance = frame.consumed;
+            let close = match parse_request(&frame) {
+                Err(e @ WireError::BadOpcode(_)) | Err(e @ WireError::BadPayload { .. }) => {
+                    // Body error: frame boundary known — answer ERR and
+                    // keep serving.
+                    encode_response(&mut wbuf, &Response::Err(&e.to_string()));
+                    false
+                }
+                Err(e) => {
+                    encode_response(&mut wbuf, &Response::Err(&e.to_string()));
+                    true
+                }
+                Ok(Request::Ping) => {
+                    encode_response(&mut wbuf, &Response::Pong);
+                    false
+                }
+                Ok(Request::Shutdown) => {
+                    encode_response(&mut wbuf, &Response::Ok);
+                    let _ = stream.write_all(&wbuf);
+                    shared.trigger_shutdown();
+                    return;
+                }
+                Ok(req) => {
+                    let owned = owned_of(&req).expect("inline requests handled above");
+                    let engine = Arc::clone(&shared.engine);
+                    let tx = reply_tx.clone();
+                    let job: Job = Box::new(move || {
+                        // A hung/vanished connection must not wedge the
+                        // worker: drop the reply instead of blocking.
+                        let _ = tx.try_send(execute(&engine, owned));
+                    });
+                    match shared.queue.try_push(job) {
+                        Ok(()) => match reply_rx.recv() {
+                            Ok(resp) => {
+                                encode_owned(&mut wbuf, &resp);
+                                false
+                            }
+                            Err(_) => {
+                                encode_response(
+                                    &mut wbuf,
+                                    &Response::Err("worker pool terminated"),
+                                );
+                                true
+                            }
+                        },
+                        Err(PushError::Full(_)) => {
+                            encode_response(&mut wbuf, &Response::Busy);
+                            false
+                        }
+                        Err(PushError::Closed(_)) => {
+                            encode_response(&mut wbuf, &Response::Err("server shutting down"));
+                            true
+                        }
+                    }
+                }
+            };
+            if !wbuf.is_empty() && stream.write_all(&wbuf).is_err() {
+                return;
+            }
+            consumed += advance;
+            if close {
+                return;
+            }
+        }
+        if consumed > 0 {
+            rbuf.drain(..consumed);
+        }
+        // Oversized-but-incomplete frames never get here (decode_frame
+        // rejects the prefix immediately), so rbuf growth is bounded by
+        // MAX_FRAME plus one read chunk.
+        debug_assert!(rbuf.len() <= MAX_FRAME + PREFIX + chunk.len());
+
+        // Pull more bytes, ticking the shutdown flag.
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => rbuf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn encode_owned(out: &mut Vec<u8>, resp: &OwnedResponse) {
+    match resp {
+        OwnedResponse::Ok => encode_response(out, &Response::Ok),
+        OwnedResponse::Value(v) => encode_response(out, &Response::Value(v)),
+        OwnedResponse::NotFound => encode_response(out, &Response::NotFound),
+        OwnedResponse::Err(m) => encode_response(out, &Response::Err(m)),
+        OwnedResponse::Stats(s) => encode_response(out, &Response::Stats(s)),
+    }
+}

@@ -1,0 +1,510 @@
+//! The wire protocol: compact length-prefixed frames.
+//!
+//! Every frame is `[u32 LE length][u8 opcode][payload]`, where `length`
+//! counts the opcode byte plus the payload (so the minimum legal value is
+//! 1). Requests and responses share the envelope; opcodes above `0x80` are
+//! responses.
+//!
+//! | opcode | frame            | payload                              |
+//! |--------|------------------|--------------------------------------|
+//! | `0x01` | `PUT`            | `[u16 LE klen][key][value]`          |
+//! | `0x02` | `GET`            | `[key]`                              |
+//! | `0x03` | `DEL`            | `[key]`                              |
+//! | `0x04` | `STATS`          | empty                                |
+//! | `0x05` | `FLUSH`          | empty                                |
+//! | `0x06` | `SHUTDOWN`       | empty                                |
+//! | `0x07` | `PING`           | empty                                |
+//! | `0x80` | `OK`             | empty                                |
+//! | `0x81` | `VALUE`          | `[value]`                            |
+//! | `0x82` | `NOT_FOUND`      | empty                                |
+//! | `0x83` | `ERR`            | UTF-8 message                        |
+//! | `0x84` | `BUSY`           | empty                                |
+//! | `0x85` | `STATS_BODY`     | UTF-8 `key=value` lines              |
+//! | `0x86` | `PONG`           | empty                                |
+//!
+//! Decoding is zero-copy: [`decode_frame`] borrows the payload from the
+//! connection buffer and [`parse_request`]/[`parse_response`] return
+//! key/value slices into it. Errors split into two severities the server
+//! relies on: *envelope* errors ([`WireError::is_envelope`]) mean the
+//! length prefix cannot be trusted and the connection must be torn down
+//! after an `ERR`, while *body* errors leave the frame boundary intact so
+//! the stream stays in sync and service continues with the next frame.
+
+use std::fmt;
+
+/// Hard cap on `length` (opcode + payload). Values in this workspace are
+/// ~1 KiB; 1 MiB leaves generous headroom while bounding per-connection
+/// buffering.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Envelope size: the `u32` length prefix.
+pub const PREFIX: usize = 4;
+
+// Request opcodes.
+pub(crate) const OP_PUT: u8 = 0x01;
+pub(crate) const OP_GET: u8 = 0x02;
+pub(crate) const OP_DEL: u8 = 0x03;
+pub(crate) const OP_STATS: u8 = 0x04;
+pub(crate) const OP_FLUSH: u8 = 0x05;
+pub(crate) const OP_SHUTDOWN: u8 = 0x06;
+pub(crate) const OP_PING: u8 = 0x07;
+
+// Response opcodes.
+pub(crate) const OP_OK: u8 = 0x80;
+pub(crate) const OP_VALUE: u8 = 0x81;
+pub(crate) const OP_NOT_FOUND: u8 = 0x82;
+pub(crate) const OP_ERR: u8 = 0x83;
+pub(crate) const OP_BUSY: u8 = 0x84;
+pub(crate) const OP_STATS_BODY: u8 = 0x85;
+pub(crate) const OP_PONG: u8 = 0x86;
+
+/// A client request, borrowing key/value bytes from the receive buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request<'a> {
+    /// Insert or update; acked only after the write is flushed + fenced.
+    Put {
+        /// The key.
+        key: &'a [u8],
+        /// The value.
+        value: &'a [u8],
+    },
+    /// Look up a key.
+    Get {
+        /// The key.
+        key: &'a [u8],
+    },
+    /// Remove a key.
+    Del {
+        /// The key.
+        key: &'a [u8],
+    },
+    /// Engine introspection (key count, resident bytes, chain shape).
+    Stats,
+    /// Drain outstanding device writes (flush + fence).
+    Flush,
+    /// Graceful server shutdown: acked, then the listener quiesces.
+    Shutdown,
+    /// Liveness probe.
+    Ping,
+}
+
+/// A server response, borrowing payload bytes from the receive buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Response<'a> {
+    /// Operation applied (and, for writes, durable).
+    Ok,
+    /// `GET` hit.
+    Value(&'a [u8]),
+    /// `GET`/`DEL` miss.
+    NotFound,
+    /// Protocol or engine error; the message is human-readable.
+    Err(&'a str),
+    /// Backpressure: the bounded request queue (or connection limit) is
+    /// saturated; retry later.
+    Busy,
+    /// `STATS` body: UTF-8 `key=value` lines.
+    Stats(&'a str),
+    /// `PING` reply.
+    Pong,
+}
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The length prefix exceeds [`MAX_FRAME`]; the stream cannot be
+    /// trusted to resynchronise.
+    FrameTooLarge {
+        /// The declared length.
+        len: usize,
+    },
+    /// The length prefix is zero (no opcode byte); envelope-level garbage.
+    EmptyFrame,
+    /// Unknown opcode; the frame boundary is still known.
+    BadOpcode(u8),
+    /// The payload does not match the opcode's schema.
+    BadPayload {
+        /// The opcode whose payload was malformed.
+        opcode: u8,
+        /// What was wrong.
+        reason: &'static str,
+    },
+}
+
+impl WireError {
+    /// Whether this is an envelope error — the framing itself is broken, so
+    /// the connection must be closed (after an `ERR`) rather than resynced.
+    pub fn is_envelope(&self) -> bool {
+        matches!(
+            self,
+            WireError::FrameTooLarge { .. } | WireError::EmptyFrame
+        )
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::FrameTooLarge { len } => {
+                write!(f, "frame length {len} exceeds maximum {MAX_FRAME}")
+            }
+            WireError::EmptyFrame => write!(f, "zero-length frame (no opcode)"),
+            WireError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::BadPayload { opcode, reason } => {
+                write!(f, "malformed payload for opcode {opcode:#04x}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A framed-but-unparsed message: opcode, borrowed payload, and the number
+/// of buffer bytes the frame occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawFrame<'a> {
+    /// The opcode byte.
+    pub opcode: u8,
+    /// The payload, borrowed from the receive buffer.
+    pub payload: &'a [u8],
+    /// Total encoded size (prefix + opcode + payload): advance the buffer
+    /// by this much once the frame is handled.
+    pub consumed: usize,
+}
+
+/// Split the next frame off `buf`. `Ok(None)` means more bytes are needed
+/// (a truncated prefix or partial payload is not an error — the peer may
+/// still be sending); errors are envelope-level only.
+///
+/// # Errors
+///
+/// [`WireError::FrameTooLarge`] / [`WireError::EmptyFrame`].
+pub fn decode_frame(buf: &[u8]) -> Result<Option<RawFrame<'_>>, WireError> {
+    if buf.len() < PREFIX {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len == 0 {
+        return Err(WireError::EmptyFrame);
+    }
+    if len > MAX_FRAME {
+        return Err(WireError::FrameTooLarge { len });
+    }
+    if buf.len() < PREFIX + len {
+        return Ok(None);
+    }
+    Ok(Some(RawFrame {
+        opcode: buf[PREFIX],
+        payload: &buf[PREFIX + 1..PREFIX + len],
+        consumed: PREFIX + len,
+    }))
+}
+
+/// Parse a request body. Body errors leave the stream in sync.
+///
+/// # Errors
+///
+/// [`WireError::BadOpcode`] / [`WireError::BadPayload`].
+pub fn parse_request<'a>(frame: &RawFrame<'a>) -> Result<Request<'a>, WireError> {
+    let p = frame.payload;
+    let bad = |reason| WireError::BadPayload {
+        opcode: frame.opcode,
+        reason,
+    };
+    match frame.opcode {
+        OP_PUT => {
+            if p.len() < 2 {
+                return Err(bad("missing key-length prefix"));
+            }
+            let klen = u16::from_le_bytes([p[0], p[1]]) as usize;
+            if p.len() < 2 + klen {
+                return Err(bad("key length exceeds payload"));
+            }
+            Ok(Request::Put {
+                key: &p[2..2 + klen],
+                value: &p[2 + klen..],
+            })
+        }
+        OP_GET => Ok(Request::Get { key: p }),
+        OP_DEL => Ok(Request::Del { key: p }),
+        OP_STATS => expect_empty(p, Request::Stats, bad),
+        OP_FLUSH => expect_empty(p, Request::Flush, bad),
+        OP_SHUTDOWN => expect_empty(p, Request::Shutdown, bad),
+        OP_PING => expect_empty(p, Request::Ping, bad),
+        op => Err(WireError::BadOpcode(op)),
+    }
+}
+
+/// Parse a response body.
+///
+/// # Errors
+///
+/// [`WireError::BadOpcode`] / [`WireError::BadPayload`].
+pub fn parse_response<'a>(frame: &RawFrame<'a>) -> Result<Response<'a>, WireError> {
+    let p = frame.payload;
+    let bad = |reason| WireError::BadPayload {
+        opcode: frame.opcode,
+        reason,
+    };
+    match frame.opcode {
+        OP_OK => expect_empty(p, Response::Ok, bad),
+        OP_VALUE => Ok(Response::Value(p)),
+        OP_NOT_FOUND => expect_empty(p, Response::NotFound, bad),
+        OP_ERR => Ok(Response::Err(
+            std::str::from_utf8(p).map_err(|_| bad("ERR message is not UTF-8"))?,
+        )),
+        OP_BUSY => expect_empty(p, Response::Busy, bad),
+        OP_STATS_BODY => Ok(Response::Stats(
+            std::str::from_utf8(p).map_err(|_| bad("STATS body is not UTF-8"))?,
+        )),
+        OP_PONG => expect_empty(p, Response::Pong, bad),
+        op => Err(WireError::BadOpcode(op)),
+    }
+}
+
+fn expect_empty<T>(
+    payload: &[u8],
+    ok: T,
+    bad: impl Fn(&'static str) -> WireError,
+) -> Result<T, WireError> {
+    if payload.is_empty() {
+        Ok(ok)
+    } else {
+        Err(bad("payload must be empty"))
+    }
+}
+
+/// Decode one complete request (envelope + body) from `buf`.
+///
+/// # Errors
+///
+/// Any [`WireError`].
+pub fn decode_request(buf: &[u8]) -> Result<Option<(Request<'_>, usize)>, WireError> {
+    match decode_frame(buf)? {
+        None => Ok(None),
+        Some(frame) => Ok(Some((parse_request(&frame)?, frame.consumed))),
+    }
+}
+
+/// Decode one complete response (envelope + body) from `buf`.
+///
+/// # Errors
+///
+/// Any [`WireError`].
+pub fn decode_response(buf: &[u8]) -> Result<Option<(Response<'_>, usize)>, WireError> {
+    match decode_frame(buf)? {
+        None => Ok(None),
+        Some(frame) => Ok(Some((parse_response(&frame)?, frame.consumed))),
+    }
+}
+
+fn frame_header(out: &mut Vec<u8>, opcode: u8, payload_len: usize) {
+    debug_assert!(payload_len < MAX_FRAME, "frame exceeds MAX_FRAME");
+    out.extend_from_slice(&((1 + payload_len) as u32).to_le_bytes());
+    out.push(opcode);
+}
+
+/// Append the encoding of `req` to `out`.
+///
+/// # Panics
+///
+/// Panics if a `PUT` key exceeds `u16::MAX` bytes or the frame would exceed
+/// [`MAX_FRAME`] (the blocking client validates sizes before encoding).
+pub fn encode_request(out: &mut Vec<u8>, req: &Request<'_>) {
+    match req {
+        Request::Put { key, value } => {
+            assert!(key.len() <= u16::MAX as usize, "PUT key too long");
+            assert!(
+                1 + 2 + key.len() + value.len() <= MAX_FRAME,
+                "PUT frame exceeds MAX_FRAME"
+            );
+            frame_header(out, OP_PUT, 2 + key.len() + value.len());
+            out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+            out.extend_from_slice(key);
+            out.extend_from_slice(value);
+        }
+        Request::Get { key } => {
+            frame_header(out, OP_GET, key.len());
+            out.extend_from_slice(key);
+        }
+        Request::Del { key } => {
+            frame_header(out, OP_DEL, key.len());
+            out.extend_from_slice(key);
+        }
+        Request::Stats => frame_header(out, OP_STATS, 0),
+        Request::Flush => frame_header(out, OP_FLUSH, 0),
+        Request::Shutdown => frame_header(out, OP_SHUTDOWN, 0),
+        Request::Ping => frame_header(out, OP_PING, 0),
+    }
+}
+
+/// Append the encoding of `resp` to `out`.
+pub fn encode_response(out: &mut Vec<u8>, resp: &Response<'_>) {
+    match resp {
+        Response::Ok => frame_header(out, OP_OK, 0),
+        Response::Value(v) => {
+            frame_header(out, OP_VALUE, v.len());
+            out.extend_from_slice(v);
+        }
+        Response::NotFound => frame_header(out, OP_NOT_FOUND, 0),
+        Response::Err(msg) => {
+            frame_header(out, OP_ERR, msg.len());
+            out.extend_from_slice(msg.as_bytes());
+        }
+        Response::Busy => frame_header(out, OP_BUSY, 0),
+        Response::Stats(body) => {
+            frame_header(out, OP_STATS_BODY, body.len());
+            out.extend_from_slice(body.as_bytes());
+        }
+        Response::Pong => frame_header(out, OP_PONG, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips() {
+        let reqs = [
+            Request::Put {
+                key: b"0123456789abcdef",
+                value: b"hello",
+            },
+            Request::Put {
+                key: b"",
+                value: b"",
+            },
+            Request::Get { key: b"k" },
+            Request::Del { key: b"gone" },
+            Request::Stats,
+            Request::Flush,
+            Request::Shutdown,
+            Request::Ping,
+        ];
+        let mut buf = Vec::new();
+        for r in &reqs {
+            encode_request(&mut buf, r);
+        }
+        let mut off = 0;
+        for r in &reqs {
+            let (got, n) = decode_request(&buf[off..]).unwrap().unwrap();
+            assert_eq!(&got, r);
+            off += n;
+        }
+        assert_eq!(off, buf.len());
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let resps = [
+            Response::Ok,
+            Response::Value(b"v"),
+            Response::Value(b""),
+            Response::NotFound,
+            Response::Err("bad \u{1F525}"),
+            Response::Busy,
+            Response::Stats("keys=3\nbytes=99\n"),
+            Response::Pong,
+        ];
+        let mut buf = Vec::new();
+        for r in &resps {
+            encode_response(&mut buf, r);
+        }
+        let mut off = 0;
+        for r in &resps {
+            let (got, n) = decode_response(&buf[off..]).unwrap().unwrap();
+            assert_eq!(&got, r);
+            off += n;
+        }
+        assert_eq!(off, buf.len());
+    }
+
+    #[test]
+    fn truncated_prefix_and_payload_want_more() {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, &Request::Get { key: b"wanted" });
+        for cut in 0..buf.len() {
+            assert_eq!(decode_request(&buf[..cut]).unwrap(), None, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_frame_is_envelope_error() {
+        let mut buf = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        buf.push(OP_GET);
+        let err = decode_frame(&buf).unwrap_err();
+        assert!(matches!(err, WireError::FrameTooLarge { .. }));
+        assert!(err.is_envelope());
+    }
+
+    #[test]
+    fn zero_frame_is_envelope_error() {
+        let buf = 0u32.to_le_bytes();
+        let err = decode_frame(&buf).unwrap_err();
+        assert_eq!(err, WireError::EmptyFrame);
+        assert!(err.is_envelope());
+    }
+
+    #[test]
+    fn bad_opcode_is_body_error_with_known_boundary() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&[0x7F, 1, 2]);
+        let frame = decode_frame(&buf).unwrap().unwrap();
+        assert_eq!(frame.consumed, buf.len());
+        let err = parse_request(&frame).unwrap_err();
+        assert_eq!(err, WireError::BadOpcode(0x7F));
+        assert!(!err.is_envelope());
+    }
+
+    #[test]
+    fn put_key_longer_than_payload_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.push(OP_PUT);
+        buf.extend_from_slice(&100u16.to_le_bytes());
+        buf.push(b'k');
+        let frame = decode_frame(&buf).unwrap().unwrap();
+        assert!(matches!(
+            parse_request(&frame).unwrap_err(),
+            WireError::BadPayload { .. }
+        ));
+    }
+
+    #[test]
+    fn nonempty_payload_on_empty_ops_rejected() {
+        for op in [OP_STATS, OP_FLUSH, OP_SHUTDOWN, OP_PING, OP_OK, OP_PONG] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&2u32.to_le_bytes());
+            buf.extend_from_slice(&[op, 0xEE]);
+            let frame = decode_frame(&buf).unwrap().unwrap();
+            let res = if op < 0x80 {
+                parse_request(&frame).map(|_| ())
+            } else {
+                parse_response(&frame).map(|_| ())
+            };
+            assert!(matches!(res, Err(WireError::BadPayload { .. })), "{op:#x}");
+        }
+    }
+
+    #[test]
+    fn decode_is_zero_copy() {
+        let mut buf = Vec::new();
+        encode_request(
+            &mut buf,
+            &Request::Put {
+                key: b"key0",
+                value: b"value0",
+            },
+        );
+        let (req, _) = decode_request(&buf).unwrap().unwrap();
+        if let Request::Put { key, value } = req {
+            // Borrowed slices point into the receive buffer itself.
+            let range = buf.as_ptr() as usize..buf.as_ptr() as usize + buf.len();
+            assert!(range.contains(&(key.as_ptr() as usize)));
+            assert!(range.contains(&(value.as_ptr() as usize)));
+        } else {
+            panic!("wrong request");
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Codec hardening: property-based round-trips and malformed-frame fuzzing.
+//!
+//! The server feeds every byte a peer sends through this codec, so the
+//! invariants here are load-bearing for the service: encode→decode is the
+//! identity on any frame sequence, truncation is never an error (just
+//! "need more bytes"), and arbitrary garbage produces a typed
+//! [`WireError`] — never a panic, and never a silent desync past a known
+//! frame boundary.
+
+use proptest::prelude::*;
+use spp_server::wire::{
+    decode_frame, decode_request, decode_response, encode_request, encode_response, parse_request,
+    Request, Response, WireError, MAX_FRAME, PREFIX,
+};
+
+/// Owned mirror of [`Request`] so strategies can generate storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum OReq {
+    Put(Vec<u8>, Vec<u8>),
+    Get(Vec<u8>),
+    Del(Vec<u8>),
+    Stats,
+    Flush,
+    Shutdown,
+    Ping,
+}
+
+impl OReq {
+    fn as_wire(&self) -> Request<'_> {
+        match self {
+            OReq::Put(k, v) => Request::Put { key: k, value: v },
+            OReq::Get(k) => Request::Get { key: k },
+            OReq::Del(k) => Request::Del { key: k },
+            OReq::Stats => Request::Stats,
+            OReq::Flush => Request::Flush,
+            OReq::Shutdown => Request::Shutdown,
+            OReq::Ping => Request::Ping,
+        }
+    }
+}
+
+/// Owned mirror of [`Response`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum OResp {
+    Ok,
+    Value(Vec<u8>),
+    NotFound,
+    Err(String),
+    Busy,
+    Stats(String),
+    Pong,
+}
+
+impl OResp {
+    fn as_wire(&self) -> Response<'_> {
+        match self {
+            OResp::Ok => Response::Ok,
+            OResp::Value(v) => Response::Value(v),
+            OResp::NotFound => Response::NotFound,
+            OResp::Err(m) => Response::Err(m),
+            OResp::Busy => Response::Busy,
+            OResp::Stats(s) => Response::Stats(s),
+            OResp::Pong => Response::Pong,
+        }
+    }
+}
+
+fn bytes(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..max)
+}
+
+fn req_strategy() -> impl Strategy<Value = OReq> {
+    prop_oneof![
+        (bytes(48), bytes(160)).prop_map(|(k, v)| OReq::Put(k, v)),
+        bytes(48).prop_map(OReq::Get),
+        bytes(48).prop_map(OReq::Del),
+        Just(OReq::Stats),
+        Just(OReq::Flush),
+        Just(OReq::Shutdown),
+        Just(OReq::Ping),
+    ]
+}
+
+fn text(max: usize) -> impl Strategy<Value = String> {
+    bytes(max).prop_map(|b| b.into_iter().map(|c| (c % 95 + 32) as char).collect())
+}
+
+fn resp_strategy() -> impl Strategy<Value = OResp> {
+    prop_oneof![
+        Just(OResp::Ok),
+        bytes(160).prop_map(OResp::Value),
+        Just(OResp::NotFound),
+        text(60).prop_map(OResp::Err),
+        Just(OResp::Busy),
+        text(120).prop_map(OResp::Stats),
+        Just(OResp::Pong),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode→decode is the identity on any request stream, consuming
+    /// exactly the encoded bytes.
+    #[test]
+    fn request_stream_roundtrips(reqs in prop::collection::vec(req_strategy(), 1..12)) {
+        let mut buf = Vec::new();
+        for r in &reqs {
+            encode_request(&mut buf, &r.as_wire());
+        }
+        let mut off = 0;
+        for r in &reqs {
+            let (got, n) = decode_request(&buf[off..]).unwrap().unwrap();
+            prop_assert_eq!(got, r.as_wire());
+            off += n;
+        }
+        prop_assert_eq!(off, buf.len());
+        prop_assert_eq!(decode_request(&buf[off..]).unwrap(), None);
+    }
+
+    /// Same identity for responses.
+    #[test]
+    fn response_stream_roundtrips(resps in prop::collection::vec(resp_strategy(), 1..12)) {
+        let mut buf = Vec::new();
+        for r in &resps {
+            encode_response(&mut buf, &r.as_wire());
+        }
+        let mut off = 0;
+        for r in &resps {
+            let (got, n) = decode_response(&buf[off..]).unwrap().unwrap();
+            prop_assert_eq!(got, r.as_wire());
+            off += n;
+        }
+        prop_assert_eq!(off, buf.len());
+    }
+
+    /// Any prefix of a valid frame is "need more bytes", never an error —
+    /// the server keeps reading instead of dropping a slow client.
+    #[test]
+    fn truncation_is_never_an_error(req in req_strategy(), frac in 0u32..1000) {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, &req.as_wire());
+        let cut = (frac as usize * buf.len() / 1000).min(buf.len() - 1);
+        prop_assert_eq!(decode_request(&buf[..cut]).unwrap(), None);
+    }
+
+    /// Arbitrary byte soup never panics the decoder, and every outcome is
+    /// one of the three contracted shapes: need-more, a parseable frame, or
+    /// a typed error.
+    #[test]
+    fn garbage_never_panics(soup in bytes(96)) {
+        match decode_frame(&soup) {
+            Ok(None) => {}
+            Ok(Some(frame)) => {
+                // Body parsing must also be total.
+                let _ = parse_request(&frame);
+                prop_assert!(frame.consumed <= soup.len());
+                prop_assert!(frame.consumed > PREFIX);
+            }
+            Err(e) => prop_assert!(e.is_envelope()),
+        }
+    }
+
+    /// A frame with a bad opcode or bad payload does not desync the
+    /// stream: the next (valid) frame still decodes.
+    #[test]
+    fn body_errors_resync_at_frame_boundary(
+        bad_op in 0x08u8..0x80,
+        junk in bytes(32),
+        follow in req_strategy(),
+    ) {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((1 + junk.len()) as u32).to_le_bytes());
+        buf.push(bad_op);
+        buf.extend_from_slice(&junk);
+        encode_request(&mut buf, &follow.as_wire());
+
+        let frame = decode_frame(&buf).unwrap().unwrap();
+        let err = parse_request(&frame).unwrap_err();
+        prop_assert!(!err.is_envelope());
+        let (got, n) = decode_request(&buf[frame.consumed..]).unwrap().unwrap();
+        prop_assert_eq!(got, follow.as_wire());
+        prop_assert_eq!(frame.consumed + n, buf.len());
+    }
+
+    /// Oversized length prefixes are rejected immediately from the prefix
+    /// alone — the server never buffers toward an absurd length.
+    #[test]
+    fn oversized_prefix_rejected_before_buffering(extra in 1u64..u64::from(u32::MAX >> 1)) {
+        let len = (MAX_FRAME as u64 + extra).min(u64::from(u32::MAX)) as u32;
+        let buf = len.to_le_bytes();
+        match decode_frame(&buf) {
+            Err(WireError::FrameTooLarge { len: l }) => prop_assert_eq!(l, len as usize),
+            other => prop_assert!(false, "expected FrameTooLarge, got {:?}", other),
+        }
+    }
+
+    /// Truncated PUT key-length prefixes (the classic length-confusion
+    /// spot) are body errors with the boundary intact.
+    #[test]
+    fn put_klen_overflow_is_contained(klen in 1u16..u16::MAX, have in 0usize..8) {
+        prop_assume!((klen as usize) > have);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((1 + 2 + have) as u32).to_le_bytes());
+        buf.push(0x01); // OP_PUT
+        buf.extend_from_slice(&klen.to_le_bytes());
+        buf.extend(std::iter::repeat_n(0xABu8, have));
+        let frame = decode_frame(&buf).unwrap().unwrap();
+        prop_assert_eq!(frame.consumed, buf.len());
+        match parse_request(&frame) {
+            Err(WireError::BadPayload { .. }) => {}
+            other => prop_assert!(false, "expected BadPayload, got {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! End-to-end service tests over real sockets: every policy, malformed
+//! frames, connection-limit backpressure, and graceful shutdown.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use spp_server::{
+    fresh_server_pool, Client, ClientError, KvEngine, PolicyKind, RespKind, Server, ServerConfig,
+};
+
+fn key(i: u64) -> [u8; 16] {
+    let mut k = [0u8; 16];
+    k[..8].copy_from_slice(&i.to_be_bytes());
+    k
+}
+
+fn start(kind: PolicyKind, cfg: ServerConfig) -> Server {
+    let pool = fresh_server_pool(16 << 20, 4, false).unwrap();
+    let engine = Arc::new(KvEngine::create(pool, kind, 256).unwrap());
+    Server::start(engine, ("127.0.0.1", 0), cfg).unwrap()
+}
+
+fn connect(server: &Server) -> Client {
+    Client::connect_retry(server.local_addr(), Duration::from_secs(5)).unwrap()
+}
+
+#[test]
+fn full_roundtrip_under_every_policy() {
+    for kind in PolicyKind::ALL {
+        let server = start(kind, ServerConfig::default());
+        let mut c = connect(&server);
+        c.ping().unwrap();
+        for i in 0..50u64 {
+            c.put(&key(i), format!("value-{i}").as_bytes()).unwrap();
+        }
+        let mut out = Vec::new();
+        assert!(c.get(&key(17), &mut out).unwrap());
+        assert_eq!(out, b"value-17");
+        out.clear();
+        assert!(!c.get(&key(999), &mut out).unwrap());
+        assert!(c.del(&key(17)).unwrap());
+        assert!(!c.del(&key(17)).unwrap());
+        out.clear();
+        assert!(!c.get(&key(17), &mut out).unwrap());
+        c.flush().unwrap();
+        let stats = c.stats().unwrap();
+        assert!(
+            stats.contains(&format!("policy={}", kind.label())),
+            "{stats}"
+        );
+        assert!(stats.contains("keys=49"), "{stats}");
+        c.shutdown().unwrap();
+        server.shutdown();
+    }
+}
+
+#[test]
+fn values_cross_policy_engines_identically() {
+    // The same byte-for-byte workload must be observable under all three
+    // policies — the service layer adds no policy-dependent behaviour.
+    let mut images: Vec<String> = Vec::new();
+    for kind in PolicyKind::ALL {
+        let server = start(kind, ServerConfig::default());
+        let mut c = connect(&server);
+        for i in 0..20u64 {
+            c.put(&key(i), &i.to_le_bytes()).unwrap();
+        }
+        let mut dump: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        server
+            .engine()
+            .for_each(|k, v| {
+                dump.push((k.to_vec(), v.to_vec()));
+                Ok(())
+            })
+            .unwrap();
+        dump.sort();
+        images.push(format!("{dump:?}"));
+        server.shutdown();
+    }
+    assert_eq!(images[0], images[1]);
+    assert_eq!(images[1], images[2]);
+}
+
+#[test]
+fn malformed_body_gets_err_and_stream_resyncs() {
+    let server = start(PolicyKind::Spp, ServerConfig::default());
+    let mut c = connect(&server);
+
+    // Unknown opcode: ERR, connection stays usable.
+    c.send_raw(&{
+        let mut b = 3u32.to_le_bytes().to_vec();
+        b.extend_from_slice(&[0x7F, 1, 2]);
+        b
+    })
+    .unwrap();
+    assert!(matches!(c.recv_response_kind().unwrap(), RespKind::Err(_)));
+    c.ping().unwrap();
+
+    // PUT whose declared key length overruns the payload: ERR, resync.
+    c.send_raw(&{
+        let mut b = 4u32.to_le_bytes().to_vec();
+        b.extend_from_slice(&[0x01]);
+        b.extend_from_slice(&500u16.to_le_bytes());
+        b.push(b'k');
+        b
+    })
+    .unwrap();
+    assert!(matches!(c.recv_response_kind().unwrap(), RespKind::Err(_)));
+    c.ping().unwrap();
+
+    // Wrong key size is an engine error, not a panic; still usable after.
+    match c.put(b"short", b"v") {
+        Err(ClientError::Remote(msg)) => assert!(msg.contains("16 bytes"), "{msg}"),
+        other => panic!("expected Remote error, got {other:?}"),
+    }
+    c.ping().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn envelope_garbage_closes_connection_with_err() {
+    let server = start(PolicyKind::Pmdk, ServerConfig::default());
+    let mut c = connect(&server);
+    // Length prefix far beyond MAX_FRAME: ERR, then the server hangs up.
+    c.send_raw(&u32::MAX.to_le_bytes()).unwrap();
+    match c.recv_response_kind().unwrap() {
+        RespKind::Err(msg) => assert!(msg.contains("exceeds maximum"), "{msg}"),
+        other => panic!("expected Err, got {other:?}"),
+    }
+    match c.recv_response_kind() {
+        Err(ClientError::Io(_)) => {}
+        other => panic!("expected closed connection, got {other:?}"),
+    }
+    // A fresh connection is unaffected.
+    let mut c2 = connect(&server);
+    c2.ping().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn connection_limit_answers_busy() {
+    let server = start(
+        PolicyKind::Spp,
+        ServerConfig {
+            workers: 2,
+            max_conns: 1,
+            queue_depth: 8,
+        },
+    );
+    let mut first = connect(&server);
+    first.ping().unwrap();
+    // The slot is taken: the next connection is told BUSY and hung up on.
+    let mut second = connect(&server);
+    match second.recv_response_kind().unwrap() {
+        RespKind::Busy => {}
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    // The admitted connection keeps full service.
+    first.put(&key(1), b"v").unwrap();
+    drop(second);
+    server.shutdown();
+}
+
+#[test]
+fn wire_shutdown_quiesces_and_refuses_new_work() {
+    let server = start(PolicyKind::SafePm, ServerConfig::default());
+    let addr = server.local_addr();
+    let mut c = connect(&server);
+    c.put(&key(7), b"survives").unwrap();
+    c.shutdown().unwrap();
+    server.shutdown();
+    // The listener is gone: connecting now fails (or is immediately reset).
+    let refused = match Client::connect(addr) {
+        Err(_) => true,
+        Ok(mut c2) => c2.ping().is_err(),
+    };
+    assert!(refused, "server accepted work after graceful shutdown");
+}
+
+#[test]
+fn concurrent_clients_see_consistent_store() {
+    let server = start(PolicyKind::Spp, ServerConfig::default());
+    let addr = server.local_addr();
+    let threads: Vec<_> = (0..4u64)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+                for i in 0..100u64 {
+                    let k = key(t * 1_000 + i);
+                    loop {
+                        match c.put(&k, &i.to_le_bytes()) {
+                            Ok(()) => break,
+                            Err(ClientError::Busy) => {
+                                std::thread::sleep(Duration::from_micros(100))
+                            }
+                            Err(e) => panic!("put: {e}"),
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let mut c = connect(&server);
+    assert_eq!(server.engine().count().unwrap(), 400);
+    let mut out = Vec::new();
+    assert!(c.get(&key(2_042), &mut out).unwrap());
+    assert_eq!(out, 42u64.to_le_bytes());
+    server.shutdown();
+}

@@ -14,6 +14,8 @@
 //! * [`spp_phoenix`] — Phoenix 2.0 kernels ported to PM
 //! * [`spp_ripe`] — RIPE-style attack matrix
 //! * [`spp_pmemcheck`] — crash-consistency checker (pmemcheck/pmreorder)
+//! * [`spp_server`] — network-facing persistent KV service (wire protocol,
+//!   TCP server, load generator)
 
 pub use spp_containers as containers;
 pub use spp_core as core;
@@ -26,3 +28,4 @@ pub use spp_pmdk as pmdk;
 pub use spp_pmemcheck as pmemcheck;
 pub use spp_ripe as ripe;
 pub use spp_safepm as safepm;
+pub use spp_server as server;
