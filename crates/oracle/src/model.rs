@@ -1,0 +1,337 @@
+//! The volatile reference model: a plain in-RAM interpretation of every
+//! trace op, predicting the legal-trace outcome each policy must
+//! reproduce byte-exact.
+//!
+//! The model is the hub of the differential check: each policy is
+//! compared against the model, never against another policy, so the
+//! four replays are transitively equivalent even though their physical
+//! pool layouts differ (SafePM pads allocations with redzones, SPP uses
+//! a wider oid encoding, …).
+//!
+//! `apply` re-checks every op precondition and returns
+//! [`Predicted::Skip`] when it does not hold (a slot is empty, a range
+//! is out of bounds). The replayer makes the *same* decision from the
+//! *same* state, so shrinking — which removes ops and can orphan later
+//! ones — never desynchronises model and pool.
+
+use std::collections::BTreeMap;
+
+use spp_kvstore::KEY_SIZE;
+
+use crate::trace::{Op, NSLOTS, NTYPED};
+
+/// Deterministic data pattern for fills, writes and KV values: a
+/// splitmix-style byte stream keyed by `seed`.
+pub fn pattern_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut x = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut out = Vec::with_capacity(len + 8);
+    while out.len() < len {
+        x = x
+            .wrapping_mul(0x2545_F491_4F6C_DD1D)
+            .wrapping_add(0x9E37_79B9);
+        x ^= x >> 29;
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// Expand a key id into the KV store's fixed-width key.
+pub fn key_bytes(key: u8) -> [u8; KEY_SIZE] {
+    let mut out = [0u8; KEY_SIZE];
+    out[0] = key;
+    out[1..9].copy_from_slice(
+        &(u64::from(key))
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .to_le_bytes(),
+    );
+    out
+}
+
+/// One live slot: the current size and the predicted contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotData {
+    /// Current payload size.
+    pub size: u64,
+    /// Predicted payload bytes (`len == size`).
+    pub bytes: Vec<u8>,
+}
+
+/// What the crash-at-boundary check must find in the recovered image:
+/// every committed entry intact, and the in-flight put either absent or
+/// complete.
+#[derive(Debug, Clone)]
+pub struct CrashExpect {
+    /// KV contents committed before the crash put began.
+    pub snapshot: Vec<([u8; KEY_SIZE], Vec<u8>)>,
+    /// The in-flight put's key.
+    pub key: [u8; KEY_SIZE],
+    /// The in-flight put's value.
+    pub val: Vec<u8>,
+}
+
+/// The model's prediction for one op — what the replayer checks the
+/// policy's observable behaviour against.
+#[derive(Debug, Clone)]
+pub enum Predicted {
+    /// Precondition unmet (post-shrink artifact): the replayer must not
+    /// execute the op.
+    Skip,
+    /// The op executes and must succeed; nothing further to compare.
+    Unit,
+    /// The op must succeed and load exactly these bytes.
+    Bytes(Vec<u8>),
+    /// The typed read must return exactly this value.
+    Value(u64),
+    /// The KV op's hit/miss (and value, for gets) must match.
+    Kv(Option<Vec<u8>>),
+    /// The transaction must roll back with a `TxAborted` error and leave
+    /// no trace in the model state.
+    Aborted,
+    /// A deliberately-illegal access: the replayer classifies the
+    /// policy's reaction into the guarantee matrix instead of comparing
+    /// data.
+    Probe,
+    /// A crash-at-boundary KV put with its recovery contract.
+    Crash(CrashExpect),
+}
+
+/// The volatile reference model of one trace.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    /// Slot-directory objects: size + predicted contents.
+    pub slots: Vec<Option<SlotData>>,
+    /// Typed `u64` cells.
+    pub typed: Vec<Option<u64>>,
+    /// KV contents.
+    pub kv: BTreeMap<[u8; KEY_SIZE], Vec<u8>>,
+}
+
+impl Model {
+    /// An empty model (all slots free, empty KV).
+    pub fn new() -> Self {
+        Model {
+            slots: vec![None; NSLOTS],
+            typed: vec![None; NTYPED],
+            kv: BTreeMap::new(),
+        }
+    }
+
+    /// Advance the model by one op and return the prediction the
+    /// replayer must verify. Must stay in lockstep with
+    /// `replay::run_policy` — both skip exactly when this returns
+    /// [`Predicted::Skip`].
+    #[allow(clippy::too_many_lines)]
+    pub fn apply(&mut self, op: &Op) -> Predicted {
+        match *op {
+            Op::Alloc {
+                slot,
+                size,
+                zero,
+                seed,
+            } => {
+                let bytes = if zero {
+                    vec![0u8; size as usize]
+                } else {
+                    pattern_bytes(seed, size as usize)
+                };
+                self.slots[slot] = Some(SlotData { size, bytes });
+                Predicted::Unit
+            }
+            Op::Free { slot } => match self.slots[slot].take() {
+                Some(_) => Predicted::Unit,
+                None => Predicted::Skip,
+            },
+            Op::Realloc {
+                slot,
+                new_size,
+                seed,
+            } => {
+                let Some(s) = self.slots[slot].as_mut() else {
+                    return Predicted::Skip;
+                };
+                let old = s.size;
+                s.bytes.resize(new_size as usize, 0);
+                if new_size > old {
+                    // The replayer overwrites the grown tail (allocator
+                    // tail garbage is policy-dependent); the preserved
+                    // prefix is min(old, new).
+                    s.bytes[old as usize..]
+                        .copy_from_slice(&pattern_bytes(seed, (new_size - old) as usize));
+                }
+                s.size = new_size;
+                Predicted::Unit
+            }
+            Op::WriteAt {
+                slot,
+                at,
+                len,
+                seed,
+            } => {
+                let Some(s) = self.slots[slot].as_mut() else {
+                    return Predicted::Skip;
+                };
+                if at + len > s.size {
+                    return Predicted::Skip;
+                }
+                s.bytes[at as usize..(at + len) as usize]
+                    .copy_from_slice(&pattern_bytes(seed, len as usize));
+                Predicted::Unit
+            }
+            Op::ReadBack { slot } => match &self.slots[slot] {
+                Some(s) => Predicted::Bytes(s.bytes.clone()),
+                None => Predicted::Skip,
+            },
+            Op::Memmove {
+                slot,
+                src,
+                dst,
+                len,
+            } => {
+                let Some(s) = self.slots[slot].as_mut() else {
+                    return Predicted::Skip;
+                };
+                if src + len > s.size || dst + len > s.size {
+                    return Predicted::Skip;
+                }
+                s.bytes
+                    .copy_within(src as usize..(src + len) as usize, dst as usize);
+                Predicted::Unit
+            }
+            Op::TxUpdate {
+                slot,
+                at,
+                len,
+                seed,
+                abort,
+            } => {
+                let Some(s) = self.slots[slot].as_mut() else {
+                    return Predicted::Skip;
+                };
+                if at + len > s.size {
+                    return Predicted::Skip;
+                }
+                if abort {
+                    return Predicted::Aborted;
+                }
+                s.bytes[at as usize..(at + len) as usize]
+                    .copy_from_slice(&pattern_bytes(seed, len as usize));
+                Predicted::Unit
+            }
+            Op::TypedPut { cell, value } => {
+                self.typed[cell] = Some(value);
+                Predicted::Unit
+            }
+            Op::TypedGet { cell } => match self.typed[cell] {
+                Some(v) => Predicted::Value(v),
+                None => Predicted::Skip,
+            },
+            Op::TypedDel { cell } => match self.typed[cell].take() {
+                Some(_) => Predicted::Unit,
+                None => Predicted::Skip,
+            },
+            Op::KvPut { key, len, seed } => {
+                self.kv
+                    .insert(key_bytes(key), pattern_bytes(seed, len as usize));
+                Predicted::Unit
+            }
+            Op::KvGet { key } => Predicted::Kv(self.kv.get(&key_bytes(key)).cloned()),
+            Op::KvDel { key } => Predicted::Kv(self.kv.remove(&key_bytes(key))),
+            Op::ProbeInBounds { slot } => match &self.slots[slot] {
+                Some(s) => Predicted::Bytes(vec![*s.bytes.last().expect("nonempty slot")]),
+                None => Predicted::Skip,
+            },
+            Op::ProbeJustPast { slot }
+            | Op::ProbeWilderness { slot }
+            | Op::ProbeBeyond { slot } => {
+                if self.slots[slot].is_some() {
+                    Predicted::Probe
+                } else {
+                    Predicted::Skip
+                }
+            }
+            Op::ProbeFarLive { from, to } => {
+                if from != to && self.slots[from].is_some() && self.slots[to].is_some() {
+                    Predicted::Probe
+                } else {
+                    Predicted::Skip
+                }
+            }
+            Op::CrashKvPut { key, len, seed, .. } => {
+                let snapshot = self.kv.iter().map(|(k, v)| (*k, v.clone())).collect();
+                let k = key_bytes(key);
+                let val = pattern_bytes(seed, len as usize);
+                self.kv.insert(k, val.clone());
+                Predicted::Crash(CrashExpect {
+                    snapshot,
+                    key: k,
+                    val,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_is_deterministic_and_seed_sensitive() {
+        assert_eq!(pattern_bytes(7, 100), pattern_bytes(7, 100));
+        assert_ne!(pattern_bytes(7, 100), pattern_bytes(8, 100));
+        assert_eq!(pattern_bytes(7, 100).len(), 100);
+        // Prefix property: a longer draw extends a shorter one.
+        assert_eq!(pattern_bytes(7, 100)[..50], pattern_bytes(7, 50));
+    }
+
+    #[test]
+    fn preconditions_skip_after_op_removal() {
+        // Removing the Alloc from [Alloc, WriteAt] must turn the WriteAt
+        // into a Skip, not a panic — the shrinker depends on this.
+        let mut m = Model::new();
+        let w = Op::WriteAt {
+            slot: 0,
+            at: 0,
+            len: 8,
+            seed: 1,
+        };
+        assert!(matches!(m.apply(&w), Predicted::Skip));
+        m.apply(&Op::Alloc {
+            slot: 0,
+            size: 64,
+            zero: true,
+            seed: 0,
+        });
+        assert!(matches!(m.apply(&w), Predicted::Unit));
+        // Out-of-bounds after a shrink that removed a Realloc.
+        let w2 = Op::WriteAt {
+            slot: 0,
+            at: 60,
+            len: 8,
+            seed: 1,
+        };
+        assert!(matches!(m.apply(&w2), Predicted::Skip));
+    }
+
+    #[test]
+    fn aborted_tx_leaves_model_unchanged() {
+        let mut m = Model::new();
+        m.apply(&Op::Alloc {
+            slot: 0,
+            size: 64,
+            zero: true,
+            seed: 0,
+        });
+        let before = m.slots[0].clone();
+        let p = m.apply(&Op::TxUpdate {
+            slot: 0,
+            at: 0,
+            len: 8,
+            seed: 9,
+            abort: true,
+        });
+        assert!(matches!(p, Predicted::Aborted));
+        assert_eq!(m.slots[0], before);
+    }
+}

@@ -1,0 +1,45 @@
+//! Greedy 1-minimal trace shrinking, the torture shrinker's approach
+//! lifted from store-sets to op sequences: try removing each op in turn
+//! and keep the removal whenever the trace still diverges. Every op left
+//! in the final trace is then necessary — removing it (alone) makes the
+//! divergence disappear.
+
+use spp_ripe::Protection;
+
+use crate::replay::{replay, Divergence};
+use crate::trace::Op;
+
+/// Cap on shrink replays, so a pathological trace cannot stall the run
+/// (each replay is a full four-fixture pool build).
+const SHRINK_CAP: usize = 512;
+
+/// Shrink `ops` to a 1-minimal subsequence that still produces a
+/// divergence under `protection`, starting from the divergence `first`
+/// the full trace produced.
+pub fn shrink(
+    ops: &[Op],
+    protection: Protection,
+    break_matrix: bool,
+    first: Divergence,
+) -> (Vec<Op>, Divergence) {
+    let mut kept: Vec<Op> = ops.to_vec();
+    let mut fail = first;
+    let mut i = 0;
+    let mut budget = SHRINK_CAP;
+    while i < kept.len() && budget > 0 {
+        budget -= 1;
+        let mut candidate = kept.clone();
+        candidate.remove(i);
+        match replay(&candidate, protection, break_matrix) {
+            Err(d) => {
+                // Still diverges without the op: drop it for good. The
+                // model skips any later op this orphans, so the candidate
+                // stays well-formed.
+                kept = candidate;
+                fail = d;
+            }
+            Ok(_) => i += 1,
+        }
+    }
+    (kept, fail)
+}

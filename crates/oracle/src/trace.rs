@@ -1,0 +1,439 @@
+//! Seeded trace generation: randomized op sequences over the slot table,
+//! the typed-cell table, and the KV store, with deliberately-illegal
+//! probes mixed in.
+//!
+//! The generator keeps a shadow of the model's occupancy so emitted ops
+//! are well-formed by construction (a `Free` targets a live slot, a
+//! `WriteAt` stays inside the slot's current size, …). The reference
+//! model still re-checks every precondition at replay time, because the
+//! shrinker removes ops and can invalidate them — see
+//! [`Predicted::Skip`](crate::Predicted::Skip).
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// Slots in the persistent slot directory each trace allocates.
+pub const NSLOTS: usize = 6;
+/// Cells in the volatile typed-oid table.
+pub const NTYPED: usize = 4;
+
+/// Key space for regular KV ops (`0..KV_KEYS`). Crash puts draw from a
+/// disjoint space (`CRASH_KEY_BASE..`) so the in-flight transaction never
+/// frees an existing value node — a `tx_free` rolled back by crash
+/// recovery leaves the survivor poisoned under SafePM (a documented
+/// conservative false positive), which would break the oracle's
+/// "committed keys stay readable" check.
+pub const KV_KEYS: u8 = 24;
+/// First key of the crash-put key space (disjoint from `0..KV_KEYS`).
+pub const CRASH_KEY_BASE: u8 = 128;
+
+/// Smallest / largest slot object size the generator emits.
+pub const MIN_SIZE: u64 = 32;
+const MAX_SIZE: u64 = 256;
+
+/// One operation of a trace. Every variant is deterministic given its
+/// fields; data payloads are derived from per-op seeds via
+/// [`pattern_bytes`](crate::pattern_bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Allocate `size` bytes into slot `slot`'s directory cell
+    /// (`alloc_into_ptr`), overwriting (and leaking) any previous
+    /// occupant. Non-zeroed allocations are immediately filled with
+    /// `pattern_bytes(seed, size)` so contents are model-predictable.
+    Alloc {
+        /// Directory slot.
+        slot: usize,
+        /// Payload size in bytes.
+        size: u64,
+        /// Whether to use the zeroed allocation path.
+        zero: bool,
+        /// Fill-pattern seed (unused when `zero`).
+        seed: u64,
+    },
+    /// Free the slot's object through its directory cell.
+    Free {
+        /// Directory slot.
+        slot: usize,
+    },
+    /// Reallocate the slot's object; a grown tail is filled with
+    /// `pattern_bytes(seed, ..)` (allocator tail garbage is
+    /// policy-dependent).
+    Realloc {
+        /// Directory slot.
+        slot: usize,
+        /// New payload size.
+        new_size: u64,
+        /// Tail fill-pattern seed.
+        seed: u64,
+    },
+    /// Store `pattern_bytes(seed, len)` at byte offset `at`.
+    WriteAt {
+        /// Directory slot.
+        slot: usize,
+        /// Byte offset inside the object.
+        at: u64,
+        /// Store length.
+        len: u64,
+        /// Data seed.
+        seed: u64,
+    },
+    /// Load the whole object and compare byte-exact against the model —
+    /// the cross-policy equivalence check.
+    ReadBack {
+        /// Directory slot.
+        slot: usize,
+    },
+    /// Overlap-safe `memmove` within the object.
+    Memmove {
+        /// Directory slot.
+        slot: usize,
+        /// Source byte offset.
+        src: u64,
+        /// Destination byte offset.
+        dst: u64,
+        /// Bytes to move.
+        len: u64,
+    },
+    /// Transactional write; when `abort` is set the transaction is rolled
+    /// back and the model state must be unchanged.
+    TxUpdate {
+        /// Directory slot.
+        slot: usize,
+        /// Byte offset inside the object.
+        at: u64,
+        /// Write length.
+        len: u64,
+        /// Data seed.
+        seed: u64,
+        /// Abort instead of committing.
+        abort: bool,
+    },
+    /// Create or transactionally overwrite the typed `u64` cell.
+    TypedPut {
+        /// Typed-table cell.
+        cell: usize,
+        /// Value to store.
+        value: u64,
+    },
+    /// Read the typed cell and compare against the model.
+    TypedGet {
+        /// Typed-table cell.
+        cell: usize,
+    },
+    /// Delete the typed cell's object.
+    TypedDel {
+        /// Typed-table cell.
+        cell: usize,
+    },
+    /// KV put of `pattern_bytes(seed, len)` under `key_bytes(key)`.
+    KvPut {
+        /// Key id (expanded via [`key_bytes`](crate::key_bytes)).
+        key: u8,
+        /// Value length.
+        len: u64,
+        /// Value seed.
+        seed: u64,
+    },
+    /// KV get; hit/miss and bytes must match the model.
+    KvGet {
+        /// Key id.
+        key: u8,
+    },
+    /// KV delete; the removed-flag must match the model.
+    KvDel {
+        /// Key id.
+        key: u8,
+    },
+    /// Legal probe: load the object's last byte (`size - 1`). Expected
+    /// `Hit` with the model's byte under every policy
+    /// ([`Family::IntraObject`](spp_ripe::Family::IntraObject)).
+    ProbeInBounds {
+        /// Directory slot.
+        slot: usize,
+    },
+    /// Illegal probe: load one byte just past the end (`size`) —
+    /// [`Family::AdjacentSameChunk`](spp_ripe::Family::AdjacentSameChunk).
+    ProbeJustPast {
+        /// Directory slot.
+        slot: usize,
+    },
+    /// Illegal probe: jump from `from`'s pointer to `to`'s payload —
+    /// [`Family::FarJumpLive`](spp_ripe::Family::FarJumpLive). Only SPP
+    /// catches the forward jump; a backward jump is an underflow every
+    /// mechanism (including SPP) misses.
+    ProbeFarLive {
+        /// Anchor slot whose pointer is redirected.
+        from: usize,
+        /// Victim slot.
+        to: usize,
+    },
+    /// Illegal probe: load from unallocated heap near the end of the pool
+    /// — [`Family::WildernessSmash`](spp_ripe::Family::WildernessSmash).
+    ProbeWilderness {
+        /// Anchor slot whose pointer is redirected.
+        slot: usize,
+    },
+    /// Illegal probe: load from past the pool mapping —
+    /// [`Family::BeyondMapping`](spp_ripe::Family::BeyondMapping).
+    ProbeBeyond {
+        /// Anchor slot whose pointer is redirected.
+        slot: usize,
+    },
+    /// KV put of a *fresh* key with a crash image captured at the
+    /// `boundary`-th durability boundary inside the put; the image is
+    /// recovered and checked (at most one per trace).
+    CrashKvPut {
+        /// Fresh key id (from the crash key space).
+        key: u8,
+        /// Value length.
+        len: u64,
+        /// Value seed.
+        seed: u64,
+        /// 1-based durability boundary to crash at.
+        boundary: u64,
+    },
+}
+
+/// Generator shadow state: just enough occupancy tracking to emit
+/// well-formed ops.
+struct GenState {
+    live: [Option<u64>; NSLOTS],
+    typed: [bool; NTYPED],
+    crash_done: bool,
+}
+
+impl GenState {
+    fn live_slot(&self, rng: &mut StdRng) -> Option<usize> {
+        let live: Vec<usize> = (0..NSLOTS).filter(|&i| self.live[i].is_some()).collect();
+        if live.is_empty() {
+            None
+        } else {
+            Some(live[rng.random_range(0..live.len())])
+        }
+    }
+}
+
+/// Generate a deterministic trace of `nops` ops from `seed`.
+pub fn generate(seed: u64, nops: usize) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut st = GenState {
+        live: [None; NSLOTS],
+        typed: [false; NTYPED],
+        crash_done: false,
+    };
+    let mut ops = Vec::with_capacity(nops);
+    for _ in 0..nops {
+        ops.push(next_op(&mut rng, &mut st));
+    }
+    ops
+}
+
+/// A fallback allocation (always legal) for when a drawn op's
+/// precondition is unsatisfiable.
+fn fallback_alloc(rng: &mut StdRng, st: &mut GenState) -> Op {
+    let slot = rng.random_range(0..NSLOTS);
+    let size = rng.random_range(MIN_SIZE..MAX_SIZE + 1);
+    st.live[slot] = Some(size);
+    Op::Alloc {
+        slot,
+        size,
+        zero: rng.random_range(0..2u32) == 0,
+        seed: rng.random(),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn next_op(rng: &mut StdRng, st: &mut GenState) -> Op {
+    let roll = rng.random_range(0..100u32);
+    match roll {
+        0..=13 => fallback_alloc(rng, st),
+        14..=19 => match st.live_slot(rng) {
+            Some(slot) => {
+                st.live[slot] = None;
+                Op::Free { slot }
+            }
+            None => fallback_alloc(rng, st),
+        },
+        20..=23 => match st.live_slot(rng) {
+            Some(slot) => {
+                let new_size = rng.random_range(MIN_SIZE..MAX_SIZE + 1);
+                st.live[slot] = Some(new_size);
+                Op::Realloc {
+                    slot,
+                    new_size,
+                    seed: rng.random(),
+                }
+            }
+            None => fallback_alloc(rng, st),
+        },
+        24..=35 => match st.live_slot(rng) {
+            Some(slot) => {
+                let size = st.live[slot].unwrap();
+                let at = rng.random_range(0..size);
+                let len = rng.random_range(1..size - at + 1);
+                Op::WriteAt {
+                    slot,
+                    at,
+                    len,
+                    seed: rng.random(),
+                }
+            }
+            None => fallback_alloc(rng, st),
+        },
+        36..=45 => match st.live_slot(rng) {
+            Some(slot) => Op::ReadBack { slot },
+            None => fallback_alloc(rng, st),
+        },
+        46..=49 => match st.live_slot(rng) {
+            Some(slot) => {
+                let size = st.live[slot].unwrap();
+                let len = rng.random_range(1..size / 2 + 1);
+                let src = rng.random_range(0..size - len + 1);
+                let dst = rng.random_range(0..size - len + 1);
+                Op::Memmove {
+                    slot,
+                    src,
+                    dst,
+                    len,
+                }
+            }
+            None => fallback_alloc(rng, st),
+        },
+        50..=55 => match st.live_slot(rng) {
+            Some(slot) => {
+                let size = st.live[slot].unwrap();
+                let at = rng.random_range(0..size);
+                let len = rng.random_range(1..size - at + 1);
+                Op::TxUpdate {
+                    slot,
+                    at,
+                    len,
+                    seed: rng.random(),
+                    abort: rng.random_range(0..3u32) == 0,
+                }
+            }
+            None => fallback_alloc(rng, st),
+        },
+        56..=59 => {
+            let cell = rng.random_range(0..NTYPED);
+            st.typed[cell] = true;
+            Op::TypedPut {
+                cell,
+                value: rng.random(),
+            }
+        }
+        60..=62 => {
+            let cell = rng.random_range(0..NTYPED);
+            if st.typed[cell] {
+                Op::TypedGet { cell }
+            } else {
+                st.typed[cell] = true;
+                Op::TypedPut {
+                    cell,
+                    value: rng.random(),
+                }
+            }
+        }
+        63..=64 => {
+            let cell = rng.random_range(0..NTYPED);
+            if st.typed[cell] {
+                st.typed[cell] = false;
+                Op::TypedDel { cell }
+            } else {
+                st.typed[cell] = true;
+                Op::TypedPut {
+                    cell,
+                    value: rng.random(),
+                }
+            }
+        }
+        65..=70 => Op::KvPut {
+            key: rng.random_range(0..KV_KEYS),
+            len: rng.random_range(8..65u64),
+            seed: rng.random(),
+        },
+        71..=74 => Op::KvGet {
+            key: rng.random_range(0..KV_KEYS),
+        },
+        75..=77 => Op::KvDel {
+            key: rng.random_range(0..KV_KEYS),
+        },
+        78..=81 => match st.live_slot(rng) {
+            Some(slot) => Op::ProbeInBounds { slot },
+            None => fallback_alloc(rng, st),
+        },
+        82..=85 => match st.live_slot(rng) {
+            Some(slot) => Op::ProbeJustPast { slot },
+            None => fallback_alloc(rng, st),
+        },
+        86..=89 => {
+            let a = st.live_slot(rng);
+            let b = st.live_slot(rng);
+            match (a, b) {
+                (Some(from), Some(to)) if from != to => Op::ProbeFarLive { from, to },
+                _ => fallback_alloc(rng, st),
+            }
+        }
+        90..=92 => match st.live_slot(rng) {
+            Some(slot) => Op::ProbeWilderness { slot },
+            None => fallback_alloc(rng, st),
+        },
+        93..=95 => match st.live_slot(rng) {
+            Some(slot) => Op::ProbeBeyond { slot },
+            None => fallback_alloc(rng, st),
+        },
+        _ => {
+            if st.crash_done {
+                Op::KvPut {
+                    key: rng.random_range(0..KV_KEYS),
+                    len: rng.random_range(8..65u64),
+                    seed: rng.random(),
+                }
+            } else {
+                st.crash_done = true;
+                Op::CrashKvPut {
+                    key: CRASH_KEY_BASE + rng.random_range(0..64u8),
+                    len: rng.random_range(8..65u64),
+                    seed: rng.random(),
+                    boundary: rng.random_range(1..10u64),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate(42, 60), generate(42, 60));
+        assert_ne!(generate(42, 60), generate(43, 60));
+    }
+
+    #[test]
+    fn at_most_one_crash_per_trace() {
+        for seed in 0..50 {
+            let n = generate(seed, 80)
+                .iter()
+                .filter(|o| matches!(o, Op::CrashKvPut { .. }))
+                .count();
+            assert!(n <= 1, "seed {seed}: {n} crash ops");
+        }
+    }
+
+    #[test]
+    fn crash_keys_are_disjoint_from_regular_keys() {
+        for seed in 0..50 {
+            for op in generate(seed, 80) {
+                match op {
+                    Op::CrashKvPut { key, .. } => assert!(key >= CRASH_KEY_BASE),
+                    Op::KvPut { key, .. } | Op::KvGet { key } | Op::KvDel { key } => {
+                        assert!(key < KV_KEYS);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}

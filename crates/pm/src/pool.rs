@@ -379,6 +379,14 @@ impl PmPool {
     /// Install a [`BoundaryTap`], replacing any previous one. Only fires in
     /// [`Mode::Tracked`]. The crash-consistency torture rig uses this to
     /// explore crash states at every durability boundary.
+    ///
+    /// Must not be called from *inside* a tap callback on the same pool: the
+    /// slot is empty for the duration of the call (that is how re-entrant
+    /// boundaries are suppressed), so a nested install would silently
+    /// *replace* the running tap when it returns. Debug builds catch this
+    /// with an assertion in the dispatch path; swap taps between boundaries
+    /// instead — e.g. from the workload thread after
+    /// [`PmPool::clear_boundary_tap`].
     pub fn set_boundary_tap(&self, tap: BoundaryTap) {
         *self.tap.lock() = Some(tap);
     }
@@ -397,9 +405,19 @@ impl PmPool {
         if let Some(mut f) = taken {
             f(self, boundary);
             let mut slot = self.tap.lock();
-            // Keep a replacement installed mid-call; otherwise restore. A
-            // tap cannot uninstall itself from inside the callback (the
-            // slot is empty during the call) — stop via captured state.
+            // The slot must still be empty: a tap installing another tap
+            // from inside its own callback (or a racing install from a
+            // second thread mid-call) would silently displace the running
+            // tap — a re-entrancy bug in the caller, not a supported
+            // hand-over point. A tap also cannot *uninstall* itself from
+            // inside the callback (the slot is already empty during the
+            // call) — stop via captured state instead.
+            debug_assert!(
+                slot.is_none(),
+                "boundary tap replaced while a tap was running: \
+                 set_boundary_tap must not be called from inside a tap \
+                 callback (install taps between boundaries instead)"
+            );
             if slot.is_none() {
                 *slot = Some(f);
             }
@@ -794,6 +812,23 @@ mod tests {
         // The tap survives for the next boundary.
         pool.fence();
         assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+
+    /// A tap that installs another tap from inside its own callback is a
+    /// re-entrancy bug: the nested install would displace the running tap
+    /// when `fire_tap` returns. Debug builds must refuse it loudly.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "boundary tap replaced while a tap was running")]
+    fn boundary_tap_nested_install_asserts() {
+        use std::sync::Arc;
+        let pool = Arc::new(tracked_pool());
+        let p2 = Arc::clone(&pool);
+        pool.set_boundary_tap(Box::new(move |_, _| {
+            p2.set_boundary_tap(Box::new(|_, _| {}));
+        }));
+        pool.write(0, &[1]).unwrap();
+        pool.persist(0, 1).unwrap();
     }
 
     #[test]

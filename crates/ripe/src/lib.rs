@@ -26,15 +26,23 @@
 //! | adjacent, same chunk | hit  | hit      | caught (redzone) | caught |
 //! | padding slack        | hit  | hit      | caught (byte-precise shadow) | caught |
 //! | wilderness smash     | hit  | caught (dead chunk) | caught | caught |
-//! | beyond mapping       | fault| fault    | fault  | fault |
+//! | beyond mapping       | fault| fault    | fault  | caught (tag overflows first) |
+//!
+//! The same matrix is exported as data — [`expected_cell`] /
+//! [`expected_outcome`] — so the differential oracle (`spp-oracle`) and the
+//! Table IV evaluation share one source of truth; a unit test in
+//! [`mod@matrix`]'s module re-runs all 223 forms under all four protections
+//! and asserts the measured outcomes agree.
 
 mod attacks;
 mod exec;
+pub mod matrix;
 mod memcheck;
 
 pub use attacks::{generate_suite, Attack, Family, Method};
 pub use exec::{run_attack, Outcome};
-pub use memcheck::MemcheckPolicy;
+pub use matrix::{expected_cell, expected_outcome, Cell, Protection};
+pub use memcheck::{MemcheckPolicy, CHUNK};
 
 use spp_core::{MemoryPolicy, Result};
 

@@ -1,0 +1,227 @@
+//! The guarantee matrix as a pure function — the single source of truth
+//! shared by the Table IV evaluation and the differential oracle
+//! (`spp-oracle`).
+//!
+//! The crate-level docs show the matrix as measured prose; this module
+//! encodes it as data so two independent consumers can check against the
+//! *same* expectations:
+//!
+//! * the unit test below re-runs every one of the 223 attack forms under
+//!   every protection and asserts [`run_attack`](crate::run_attack) agrees
+//!   with [`expected_outcome`] — the doc table can never drift from the
+//!   executable behaviour;
+//! * `spp-oracle` replays randomized traces and asserts each deliberately
+//!   illegal access lands in its [`expected_cell`].
+
+use crate::attacks::Family;
+use crate::exec::Outcome;
+
+/// The four protection variants of the guarantee matrix (Table IV's
+/// columns, minus the volatile baseline which has no PM pool at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protection {
+    /// Native PMDK: only the pool-mapping edge stops anything.
+    Pmdk,
+    /// Valgrind-memcheck-style chunk-granular addressability tracking.
+    Memcheck,
+    /// SafePM: byte-precise persistent shadow with redzones.
+    SafePm,
+    /// Safe persistent pointers: the per-pointer distance tag.
+    Spp,
+}
+
+impl Protection {
+    /// Matrix column order (baseline first, as in the paper).
+    pub const ALL: [Protection; 4] = [
+        Protection::Pmdk,
+        Protection::Memcheck,
+        Protection::SafePm,
+        Protection::Spp,
+    ];
+
+    /// Display label (matches the Table IV variant strings).
+    pub fn label(self) -> &'static str {
+        match self {
+            Protection::Pmdk => "PM pool (PMDK)",
+            Protection::Memcheck => "memcheck",
+            Protection::SafePm => "SafePM",
+            Protection::Spp => "SPP",
+        }
+    }
+
+    /// The mechanism string carried by this protection's
+    /// [`SppError::OverflowDetected`](spp_core::SppError::OverflowDetected)
+    /// errors, or `None` for native PMDK (which never detects, only
+    /// faults).
+    pub fn mechanism(self) -> Option<&'static str> {
+        match self {
+            Protection::Pmdk => None,
+            Protection::Memcheck => Some("memcheck"),
+            Protection::SafePm => Some("shadow"),
+            Protection::Spp => Some("overflow-bit"),
+        }
+    }
+}
+
+/// One cell of the guarantee matrix: what happens when the family's access
+/// is attempted under a protection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cell {
+    /// The access lands silently — the target bytes are corrupted.
+    Hit,
+    /// The mechanism *detects* the violation
+    /// ([`SppError::OverflowDetected`](spp_core::SppError::OverflowDetected)).
+    Caught,
+    /// The access crashes at the mapping edge
+    /// ([`SppError::Fault`](spp_core::SppError::Fault)) — a stop, but not a
+    /// detection.
+    Fault,
+}
+
+impl Cell {
+    /// Project to the two-valued RIPE accounting: only a silent hit counts
+    /// as a successful attack.
+    pub fn to_outcome(self) -> Outcome {
+        match self {
+            Cell::Hit => Outcome::Success,
+            Cell::Caught | Cell::Fault => Outcome::Prevented,
+        }
+    }
+}
+
+/// The guarantee matrix: the expected [`Cell`] for every (family,
+/// protection) pair.
+///
+/// One deliberate refinement over the prose table in the crate docs: for
+/// [`Family::BeyondMapping`] under [`Protection::Spp`] the expected cell is
+/// [`Cell::Caught`], not [`Cell::Fault`] — the overflow bit is set by the
+/// huge pointer offset *before* the access reaches the mapping edge, so SPP
+/// reports a detection where every other variant merely crashes. Both
+/// project to [`Outcome::Prevented`].
+pub fn expected_cell(family: Family, protection: Protection) -> Cell {
+    use Family::*;
+    use Protection::*;
+    match (family, protection) {
+        // In bounds for every object-granular mechanism (§VI-D).
+        (IntraObject, _) => Cell::Hit,
+        // A jump into another *live* object looks valid to redzones and
+        // chunk maps alike; only the distance tag knows the bound.
+        (FarJumpLive, Spp) => Cell::Caught,
+        (FarJumpLive, _) => Cell::Hit,
+        // Contiguous overflow into the neighbour: crosses SafePM's poisoned
+        // header/redzone; memcheck's chunk is still live.
+        (AdjacentSameChunk, SafePm | Spp) => Cell::Caught,
+        (AdjacentSameChunk, _) => Cell::Hit,
+        // Class padding: byte-precise shadow and the exact-size tag see it;
+        // nothing coarser can.
+        (PaddingSlack, SafePm | Spp) => Cell::Caught,
+        (PaddingSlack, _) => Cell::Hit,
+        // A smash into unallocated heap: dead chunks are unaddressable even
+        // at memcheck granularity.
+        (WildernessSmash, Pmdk) => Cell::Hit,
+        (WildernessSmash, _) => Cell::Caught,
+        // Beyond the pool mapping: environmentally impossible. SPP's tag
+        // overflows first (see above); the rest fault at the edge.
+        (BeyondMapping, Spp) => Cell::Caught,
+        (BeyondMapping, _) => Cell::Fault,
+    }
+}
+
+/// The matrix projected to RIPE's two-valued accounting — what
+/// [`evaluate_variant`](crate::evaluate_variant) measures.
+pub fn expected_outcome(family: Family, protection: Protection) -> Outcome {
+    expected_cell(family, protection).to_outcome()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{evaluate_variant, generate_suite, run_attack, MemcheckPolicy};
+    use spp_core::{MemoryPolicy, PmdkPolicy, Result, SppPolicy, TagConfig};
+    use spp_pm::{PmPool, PoolConfig};
+    use spp_pmdk::{ObjPool, PoolOpts};
+    use spp_safepm::SafePmPolicy;
+    use std::sync::Arc;
+
+    fn fresh() -> Arc<ObjPool> {
+        let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 22).record_stats(false)));
+        Arc::new(ObjPool::create(pm, PoolOpts::small()).unwrap())
+    }
+
+    fn check_all<P: MemoryPolicy, F: FnMut() -> Result<P>>(p: Protection, mut mk: F) {
+        let suite = generate_suite();
+        // Per-form agreement: the measured outcome of every one of the 223
+        // forms matches the matrix.
+        for a in &suite {
+            let policy = mk().unwrap();
+            let got = run_attack(&policy, a).unwrap();
+            assert_eq!(
+                got,
+                expected_outcome(a.family, p),
+                "{}: attack {} disagrees with expected_outcome",
+                p.label(),
+                a.id
+            );
+        }
+        // Row-total agreement: evaluate_variant's Table IV counts equal the
+        // counts the matrix predicts.
+        let row = evaluate_variant(p.label(), &suite, mk).unwrap();
+        let predicted_hits = suite
+            .iter()
+            .filter(|a| expected_outcome(a.family, p) == crate::Outcome::Success)
+            .count() as u64;
+        assert_eq!(row.successful, predicted_hits, "{}: row total", p.label());
+        assert_eq!(row.prevented, 223 - predicted_hits);
+    }
+
+    #[test]
+    fn matrix_agrees_with_measured_pmdk() {
+        check_all(Protection::Pmdk, || Ok(PmdkPolicy::new(fresh())));
+    }
+
+    #[test]
+    fn matrix_agrees_with_measured_memcheck() {
+        check_all(Protection::Memcheck, || Ok(MemcheckPolicy::new(fresh())));
+    }
+
+    #[test]
+    fn matrix_agrees_with_measured_safepm() {
+        check_all(Protection::SafePm, || SafePmPolicy::create(fresh()));
+    }
+
+    #[test]
+    fn matrix_agrees_with_measured_spp() {
+        check_all(Protection::Spp, || {
+            SppPolicy::new(fresh(), TagConfig::default())
+        });
+    }
+
+    #[test]
+    fn cells_project_consistently() {
+        for f in [
+            Family::IntraObject,
+            Family::FarJumpLive,
+            Family::AdjacentSameChunk,
+            Family::PaddingSlack,
+            Family::WildernessSmash,
+            Family::BeyondMapping,
+        ] {
+            for p in Protection::ALL {
+                assert_eq!(expected_cell(f, p).to_outcome(), expected_outcome(f, p));
+            }
+        }
+        // The paper's headline asymmetries, spelled out.
+        assert_eq!(
+            expected_cell(Family::FarJumpLive, Protection::SafePm),
+            Cell::Hit
+        );
+        assert_eq!(
+            expected_cell(Family::FarJumpLive, Protection::Spp),
+            Cell::Caught
+        );
+        assert_eq!(
+            expected_cell(Family::IntraObject, Protection::Spp),
+            Cell::Hit
+        );
+    }
+}

@@ -73,6 +73,13 @@ impl Explorer {
 
     /// Install the boundary tap on `pm`. From here until [`Self::detach`],
     /// every flush and fence explores crash states through `oracle`.
+    ///
+    /// Re-entrancy contract (enforced by a debug assertion in
+    /// [`spp_pm::PmPool`]): neither the oracle nor anything it calls may
+    /// install another boundary tap on the same pool — the tap slot is
+    /// empty while a tap runs, so a nested install would displace the
+    /// explorer. Swap oracles by calling [`Self::detach`] first, from
+    /// workload code between boundaries.
     pub fn attach(&self, pm: &PmPool, oracle: Oracle) {
         let cfg = self.cfg.clone();
         let workload = self.workload;

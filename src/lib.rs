@@ -16,12 +16,15 @@
 //! * [`spp_pmemcheck`] — crash-consistency checker (pmemcheck/pmreorder)
 //! * [`spp_server`] — network-facing persistent KV service (wire protocol,
 //!   TCP server, load generator)
+//! * [`spp_oracle`] — differential oracle: seeded traces replayed under
+//!   every policy against a volatile reference model
 
 pub use spp_containers as containers;
 pub use spp_core as core;
 pub use spp_indices as indices;
 pub use spp_instrument as instrument;
 pub use spp_kvstore as kvstore;
+pub use spp_oracle as oracle;
 pub use spp_phoenix as phoenix;
 pub use spp_pm as pm;
 pub use spp_pmdk as pmdk;

@@ -231,6 +231,70 @@ fn acked_writes_survive_crash_restart_safepm() {
     recover_and_verify(PolicyKind::SafePm, &cap);
 }
 
+/// Differential variant of the contract: the acked wire log is replayed
+/// into the oracle harness's volatile reference model ([`spp::oracle`]),
+/// and every post-recovery GET must match the model's prediction — both
+/// positive (each modelled key hits with its exact bytes) and negative
+/// (keys the model never saw must miss). Whatever else survived must be
+/// an in-flight un-acked write from the run, never a foreign record.
+#[test]
+fn recovered_gets_match_reference_model_after_midload_crash() {
+    let cap = crash_under_load(PolicyKind::Spp, 90);
+    assert!(!cap.acked.is_empty(), "rig crashed before any ack");
+
+    // Each ack is a committed KV put; acks are applied in wire order so
+    // the model's last-write-wins semantics match the engine's.
+    let mut model = spp::oracle::Model::new();
+    for &(cid, seq) in &cap.acked {
+        model.kv.insert(key_of(cid, seq), value_of(cid, seq));
+    }
+
+    let pm = Arc::new(PmPool::from_image(cap.image.clone(), PoolConfig::new(0)));
+    let pool = Arc::new(ObjPool::open(pm).expect("pmdk recovery failed on crash image"));
+    let engine = KvEngine::open(Arc::clone(&pool), PolicyKind::Spp).expect("engine reopen failed");
+
+    // Positive predictions: every modelled entry hits, byte-exact.
+    let mut out = Vec::new();
+    for (k, want) in &model.kv {
+        out.clear();
+        let hit = engine.get(k, &mut out).expect("GET after recovery errored");
+        assert!(hit, "model predicts a hit for key {k:?}, engine missed");
+        assert_eq!(&out, want, "GET diverges from the reference model");
+    }
+
+    // Negative predictions: keys outside the trace's key space miss.
+    for miss in [key_of(CLIENTS + 7, 0), key_of(0, OPS_PER_CLIENT + 3)] {
+        out.clear();
+        assert!(
+            !engine.get(&miss, &mut out).expect("GET errored"),
+            "engine hit a key the model never saw"
+        );
+    }
+
+    // Everything else the engine holds must be an in-flight un-acked put
+    // from the run, carrying its exact would-be value.
+    engine
+        .for_each(|k, v| {
+            if let Some(want) = model.kv.get(k) {
+                assert_eq!(v, want.as_slice(), "recovered value diverges from model");
+            } else {
+                let cid = u32::from_be_bytes(k[..4].try_into().unwrap());
+                let seq = u64::from_be_bytes(k[4..12].try_into().unwrap());
+                assert!(
+                    cid < CLIENTS && seq < OPS_PER_CLIENT,
+                    "recovered foreign key ({cid},{seq})"
+                );
+                assert_eq!(
+                    v,
+                    value_of(cid, seq).as_slice(),
+                    "un-acked in-flight put recovered torn"
+                );
+            }
+            Ok(())
+        })
+        .unwrap();
+}
+
 #[test]
 fn late_crash_still_recovers_every_ack() {
     // A crash deep into the run: most writes acked, several transactions

@@ -1,0 +1,114 @@
+//! `spp_core::typed` deref paths at exact-boundary offsets, under all
+//! four policies.
+//!
+//! A typed object's media layout is an 8-byte type-number header plus
+//! the `PmType::SIZE` payload. Dereferencing through the policy's
+//! pointer at the last byte (`total - 1`) must succeed everywhere; one
+//! byte past the object (`total`) and a short jump into the allocator
+//! slack (`total + 7`) are adjacent-same-chunk overflows that each
+//! policy must land in its guarantee-matrix cell: caught by SafePM's
+//! redzone and SPP's tag, silently hit by native PMDK and (chunk
+//! granularity) by memcheck.
+
+use std::sync::Arc;
+
+use spp::core::{MemoryPolicy, PmdkPolicy, SppError, SppPolicy, TagConfig, TypedOid};
+use spp::pm::{PmPool, PoolConfig};
+use spp::pmdk::{ObjPool, PoolOpts};
+use spp::ripe::{expected_cell, Cell, Family, MemcheckPolicy, Protection, CHUNK};
+use spp::safepm::SafePmPolicy;
+
+/// Payload bytes of the test record.
+const PAYLOAD: u64 = 40;
+/// The typed layer's type-number prefix.
+const TYPE_HDR: u64 = 8;
+/// Full on-media object size.
+const TOTAL: u64 = TYPE_HDR + PAYLOAD;
+
+fn fresh_pool() -> Arc<ObjPool> {
+    let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 20)));
+    Arc::new(ObjPool::create(pm, PoolOpts::small()).unwrap())
+}
+
+/// What a one-byte probe load actually did.
+#[derive(Debug)]
+enum Observed {
+    Hit(u8),
+    Caught(&'static str),
+    Fault,
+}
+
+fn probe<P: MemoryPolicy>(policy: &P, ptr: u64) -> Observed {
+    let mut b = [0u8; 1];
+    match policy.load(ptr, &mut b) {
+        Ok(()) => Observed::Hit(b[0]),
+        Err(SppError::OverflowDetected { mechanism, .. }) => Observed::Caught(mechanism),
+        Err(SppError::Fault { .. }) => Observed::Fault,
+        Err(e) => panic!("probe load raised unexpected error: {e}"),
+    }
+}
+
+fn check_policy<P: MemoryPolicy>(policy: &P, protection: Protection) {
+    let value = [0xA5u8; PAYLOAD as usize];
+    let t = TypedOid::new(policy, &value).unwrap();
+    // The legal deref path works.
+    assert_eq!(t.read(policy).unwrap(), value, "{protection:?}: read");
+    let ptr = policy.direct(t.oid());
+
+    // total - 1: the object's last byte must Hit with the stored value.
+    match probe(policy, policy.gep(ptr, (TOTAL - 1) as i64)) {
+        Observed::Hit(b) => assert_eq!(b, 0xA5, "{protection:?}: last byte"),
+        obs => panic!("{protection:?}: in-bounds probe at total-1 observed {obs:?}"),
+    }
+
+    // total and total + 7: adjacent-same-chunk overflows. Skip the
+    // chunk-granular memcheck when the target byte crosses into the next
+    // 4 KiB chunk (its verdict would depend on neighbouring objects).
+    let base = policy.resolve(ptr, 1).unwrap();
+    for delta in [TOTAL, TOTAL + 7] {
+        if matches!(protection, Protection::Memcheck) && (base + delta) / CHUNK != base / CHUNK {
+            continue;
+        }
+        let obs = probe(policy, policy.gep(ptr, delta as i64));
+        let want = expected_cell(Family::AdjacentSameChunk, protection);
+        match (&obs, want) {
+            (Observed::Hit(_), Cell::Hit) | (Observed::Fault, Cell::Fault) => {}
+            (Observed::Caught(m), Cell::Caught) => {
+                assert_eq!(
+                    Some(*m),
+                    protection.mechanism(),
+                    "{protection:?}: wrong mechanism at +{delta}"
+                );
+            }
+            _ => panic!("{protection:?}: probe at +{delta} observed {obs:?}, expected {want:?}"),
+        }
+    }
+
+    t.delete(policy).unwrap();
+}
+
+#[test]
+fn typed_boundary_pmdk() {
+    check_policy(&PmdkPolicy::new(fresh_pool()), Protection::Pmdk);
+}
+
+#[test]
+fn typed_boundary_memcheck() {
+    check_policy(&MemcheckPolicy::new(fresh_pool()), Protection::Memcheck);
+}
+
+#[test]
+fn typed_boundary_safepm() {
+    check_policy(
+        &SafePmPolicy::create(fresh_pool()).unwrap(),
+        Protection::SafePm,
+    );
+}
+
+#[test]
+fn typed_boundary_spp() {
+    check_policy(
+        &SppPolicy::new(fresh_pool(), TagConfig::default()).unwrap(),
+        Protection::Spp,
+    );
+}
