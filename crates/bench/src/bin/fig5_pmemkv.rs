@@ -12,12 +12,13 @@
 use std::sync::Arc;
 
 use spp_bench::{
-    banner, fresh_pool, pmdk_policy, safepm_policy, slowdown, spp_policy, validate_rows,
-    write_results, Args, Json, Variant,
+    banner, fresh_pool, fresh_scaling_pool, pmdk_policy, safepm_policy, slowdown, spp_policy,
+    validate_rows, validate_scaling, write_results, write_text_artifact, Args, Json, Variant,
 };
 use spp_core::{MemoryPolicy, TagConfig};
 use spp_kvstore::workload::{preload, run_mix, Mix, WorkloadConfig};
 use spp_kvstore::KvStore;
+use spp_pm::contention;
 
 fn throughput<P: MemoryPolicy>(
     policy: Arc<P>,
@@ -28,6 +29,18 @@ fn throughput<P: MemoryPolicy>(
     let kv = Arc::new(KvStore::create(policy, (cfg.preload_keys * 2).max(1024)).expect("kv"));
     preload(&kv, cfg).expect("preload");
     run_mix(&kv, cfg, mix, threads).expect("mix")
+}
+
+/// One point of the thread-scaling row: a fresh device-wait pool, preloaded
+/// at DRAM speed, then the 50/50 mix timed with latency injection on.
+fn scaling_throughput(pool_bytes: u64, flush_wait_ns: u32, cfg: &WorkloadConfig, t: u64) -> f64 {
+    let pool = fresh_scaling_pool(pool_bytes, 16, flush_wait_ns);
+    let pm = Arc::clone(pool.pm());
+    let kv =
+        Arc::new(KvStore::create(pmdk_policy(pool), (cfg.preload_keys * 2).max(1024)).expect("kv"));
+    preload(&kv, cfg).expect("preload");
+    pm.set_latency_enabled(true);
+    run_mix(&kv, cfg, Mix::Update5050, t).expect("mix")
 }
 
 fn main() {
@@ -121,6 +134,52 @@ fn main() {
     }
     println!();
     println!("(paper: SPP average 18.3% slowdown across mixes; SafePM 84.4%)");
+    println!();
+
+    // ---- Thread-scaling row: 50/50 mix, PMDK policy, device-wait media ----
+    //
+    // The mix rows above run without latency injection, so on a single-core
+    // host their thread counts only time-slice. This row runs on a device
+    // whose flushes cost overlappable wall-clock time: N threads overlap
+    // their device waits exactly as N cores overlap stalls on real PM, so
+    // throughput must climb with the thread count until the workload turns
+    // CPU-bound — unless a lock is held across the device path, which is
+    // precisely what the validation below would catch.
+    let s_threads: Vec<u64> = vec![1, 2, 4, 8];
+    let s_ops: u64 = args.get("scaling-ops", if smoke { 1_200 } else { 16_000 });
+    let s_preload: u64 = args.get("scaling-preload", if smoke { 200 } else { 2_000 });
+    let flush_wait_ns: u32 = args.get("flush-wait-ns", 15_000);
+    println!("Scaling: 50/50 mix, PMDK, device-wait media (flush wait {flush_wait_ns}ns)");
+    let s_cfg = WorkloadConfig {
+        preload_keys: s_preload,
+        ops: s_ops,
+        value_size: 1024,
+        seed: 11,
+    };
+    contention::reset_all();
+    let mut s_ops_per_s = Vec::new();
+    for &t in &s_threads {
+        let tput = scaling_throughput(pool_bytes, flush_wait_ns, &s_cfg, t);
+        println!("  threads={t:<3} {tput:>10.0} ops/s");
+        s_ops_per_s.push(tput);
+    }
+    let speedup = s_ops_per_s[s_ops_per_s.len() - 1] / s_ops_per_s[0];
+    println!("  8-thread speedup over 1-thread: {speedup:.2}x");
+    let dump = contention::dump();
+    let dump_path = write_text_artifact("contention_fig5.txt", &dump);
+    println!("top contended locks during the sweep:");
+    for snap in contention::top_contended(3) {
+        println!(
+            "  {:<16} {:>8} acq  {:>6.2}% contended  {:>8.2}ms waited",
+            snap.name,
+            snap.acquisitions,
+            snap.contended_fraction() * 100.0,
+            snap.wait_ns as f64 / 1e6,
+        );
+    }
+    println!("contention dump written to {}", dump_path.display());
+    let s_threads_usize: Vec<usize> = s_threads.iter().map(|&t| t as usize).collect();
+    let scaling_validation = validate_scaling(&s_threads_usize, &s_ops_per_s, 0.10, 2.0);
 
     let validation = validate_rows(
         &rows,
@@ -143,11 +202,34 @@ fn main() {
             ]),
         ),
         ("results", Json::Arr(rows)),
+        (
+            "scaling",
+            Json::Obj(vec![
+                ("mix", Json::Str(Mix::Update5050.label().to_string())),
+                ("policy", Json::Str("pmdk".to_string())),
+                ("flush_wait_ns", Json::Int(u64::from(flush_wait_ns))),
+                ("ops", Json::Int(s_ops)),
+                (
+                    "threads",
+                    Json::Arr(s_threads.iter().map(|&t| Json::Int(t)).collect()),
+                ),
+                (
+                    "ops_per_s",
+                    Json::Arr(s_ops_per_s.iter().map(|&v| Json::Num(v)).collect()),
+                ),
+                ("speedup_8_over_1", Json::Num(speedup)),
+                ("monotone_ok", Json::Bool(scaling_validation.is_ok())),
+            ]),
+        ),
     ]);
     let path = write_results("fig5_pmemkv", &doc);
     println!("results written to {}", path.display());
     if let Err(e) = validation {
         eprintln!("fig5_pmemkv: self-validation FAILED: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = scaling_validation {
+        eprintln!("fig5_pmemkv: scaling self-validation FAILED: {e}");
         std::process::exit(1);
     }
     println!("self-validation passed");

@@ -10,10 +10,11 @@
 use std::sync::Arc;
 
 use spp_bench::{
-    banner, fresh_pool, pmdk_policy, slowdown, spp_policy, timed, validate_rows, warm_pool,
-    write_results, Args, Json,
+    banner, fresh_pool, fresh_scaling_pool, pmdk_policy, slowdown, spp_policy, timed,
+    validate_rows, validate_scaling, warm_pool, write_results, write_text_artifact, Args, Json,
 };
 use spp_core::{MemoryPolicy, TagConfig};
+use spp_pm::contention;
 use spp_pmdk::PmemOid;
 
 const SIZES: [(u64, &str); 5] = [
@@ -99,6 +100,37 @@ fn run_ops<P: MemoryPolicy>(p: &Arc<P>, size: u64, ops: u64) -> OpSet {
     }
 }
 
+/// One point of the thread-scaling row: `pairs` transactional alloc+free
+/// pairs split across `threads` workers on a device-wait pool. Returns PM
+/// management operations per second (two per pair). This storms the lane
+/// subsystem: every transaction acquires a lane, so lane affinity and the
+/// rotation fallback are what keep N threads from serializing.
+fn scaling_storm(flush_wait_ns: u32, size: u64, pairs: u64, threads: u64) -> f64 {
+    let pool = fresh_scaling_pool(64 << 20, 16, flush_wait_ns);
+    let pm = Arc::clone(pool.pm());
+    let p = pmdk_policy(pool);
+    pm.set_latency_enabled(true);
+    let per = pairs / threads;
+    let (_, secs) = timed(|| {
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let p = Arc::clone(&p);
+                s.spawn(move || {
+                    let pool = Arc::clone(p.pool());
+                    for _ in 0..per {
+                        let oid = pool
+                            .tx(|tx| -> spp_core::Result<_> { p.tx_alloc(tx, size, false) })
+                            .expect("tx alloc");
+                        pool.tx(|tx| -> spp_core::Result<_> { p.tx_free(tx, oid) })
+                            .expect("tx free");
+                    }
+                });
+            }
+        });
+    });
+    (per * threads * 2) as f64 / secs
+}
+
 fn main() {
     let args = Args::parse();
     let smoke = args.flag("smoke");
@@ -181,6 +213,28 @@ fn main() {
     }
     println!();
     println!("(paper: 1-8% slowdown for most operations, 7-17% for atomic free)");
+    println!();
+
+    // ---- Thread-scaling row: tx alloc/free storm on device-wait media ----
+    let s_threads: Vec<u64> = vec![1, 2, 4, 8];
+    let s_pairs: u64 = args.get("scaling-pairs", if smoke { 240 } else { 4_000 });
+    let flush_wait_ns: u32 = args.get("flush-wait-ns", 15_000);
+    println!(
+        "Scaling: tx alloc/free storm, PMDK, device-wait media (flush wait {flush_wait_ns}ns)"
+    );
+    contention::reset_all();
+    let mut s_ops_per_s = Vec::new();
+    for &t in &s_threads {
+        let tput = scaling_storm(flush_wait_ns, 256, s_pairs, t);
+        println!("  threads={t:<3} {tput:>10.0} ops/s");
+        s_ops_per_s.push(tput);
+    }
+    let speedup = s_ops_per_s[s_ops_per_s.len() - 1] / s_ops_per_s[0];
+    println!("  8-thread speedup over 1-thread: {speedup:.2}x");
+    let dump_path = write_text_artifact("contention_fig7.txt", &contention::dump());
+    println!("contention dump written to {}", dump_path.display());
+    let s_threads_usize: Vec<usize> = s_threads.iter().map(|&t| t as usize).collect();
+    let scaling_validation = validate_scaling(&s_threads_usize, &s_ops_per_s, 0.10, 2.0);
 
     let validation = validate_rows(
         &rows,
@@ -206,11 +260,34 @@ fn main() {
             ]),
         ),
         ("results", Json::Arr(rows)),
+        (
+            "scaling",
+            Json::Obj(vec![
+                ("workload", Json::Str("tx_alloc_free_storm".to_string())),
+                ("policy", Json::Str("pmdk".to_string())),
+                ("flush_wait_ns", Json::Int(u64::from(flush_wait_ns))),
+                ("pairs", Json::Int(s_pairs)),
+                (
+                    "threads",
+                    Json::Arr(s_threads.iter().map(|&t| Json::Int(t)).collect()),
+                ),
+                (
+                    "ops_per_s",
+                    Json::Arr(s_ops_per_s.iter().map(|&v| Json::Num(v)).collect()),
+                ),
+                ("speedup_8_over_1", Json::Num(speedup)),
+                ("monotone_ok", Json::Bool(scaling_validation.is_ok())),
+            ]),
+        ),
     ]);
     let path = write_results("fig7_pm_ops", &doc);
     println!("results written to {}", path.display());
     if let Err(e) = validation {
         eprintln!("fig7_pm_ops: self-validation FAILED: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = scaling_validation {
+        eprintln!("fig7_pm_ops: scaling self-validation FAILED: {e}");
         std::process::exit(1);
     }
     println!("self-validation passed");

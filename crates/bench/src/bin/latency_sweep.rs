@@ -58,6 +58,7 @@ fn main() {
                 read_spins: 180,
                 write_spins: 60,
                 per_line_spins: 90,
+                ..LatencyModel::none()
             },
         ),
     ];

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use spp_core::{PmdkPolicy, SppPolicy, TagConfig};
-use spp_pm::{PmPool, PoolConfig};
+use spp_pm::{LatencyModel, PmPool, PoolConfig};
 use spp_pmdk::{ObjPool, PoolOpts};
 use spp_safepm::SafePmPolicy;
 
@@ -41,6 +41,21 @@ impl Variant {
 /// Create a fresh device + object pool.
 pub fn fresh_pool(bytes: u64, lanes: usize) -> Arc<ObjPool> {
     let pm = Arc::new(PmPool::new(PoolConfig::new(bytes).record_stats(false)));
+    Arc::new(ObjPool::create(pm, PoolOpts::new().lanes(lanes)).expect("pool create"))
+}
+
+/// Create a fresh pool backed by a device with an *overlappable* wall-clock
+/// flush wait ([`LatencyModel::device_wait`]) — the substrate for the
+/// thread-scaling rows. The wait starts **disabled** so preloading runs at
+/// DRAM speed; call `pool.pm().set_latency_enabled(true)` around the timed
+/// region.
+pub fn fresh_scaling_pool(bytes: u64, lanes: usize, flush_wait_ns: u32) -> Arc<ObjPool> {
+    let pm = Arc::new(PmPool::new(
+        PoolConfig::new(bytes)
+            .record_stats(false)
+            .latency(LatencyModel::device_wait(0, flush_wait_ns)),
+    ));
+    pm.set_latency_enabled(false);
     Arc::new(ObjPool::create(pm, PoolOpts::new().lanes(lanes)).expect("pool create"))
 }
 
@@ -259,6 +274,74 @@ pub fn validate_rows(rows: &[Json], positive_fields: &[&str]) -> Result<(), Stri
     Ok(())
 }
 
+/// Self-validation of a thread-scaling series: `ops_per_s[i]` measured at
+/// `threads[i]`, with thread counts strictly increasing. The series must be
+/// *monotone non-decreasing within tolerance* — each step may dip at most
+/// `dip_tolerance` below the running maximum (scheduler noise happens; a
+/// collapse does not) — and the final point must reach at least
+/// `min_final_speedup` × the first. Run by the scaling benches before they
+/// publish a row, so a re-serialized hot path turns the build red rather
+/// than silently flattening the figure.
+///
+/// # Errors
+///
+/// A description of the first violation found.
+pub fn validate_scaling(
+    threads: &[usize],
+    ops_per_s: &[f64],
+    dip_tolerance: f64,
+    min_final_speedup: f64,
+) -> Result<(), String> {
+    if threads.len() != ops_per_s.len() {
+        return Err(format!(
+            "scaling series shape mismatch: {} thread counts vs {} measurements",
+            threads.len(),
+            ops_per_s.len()
+        ));
+    }
+    if threads.len() < 2 {
+        return Err("scaling series needs at least two points".into());
+    }
+    if !threads.windows(2).all(|w| w[0] < w[1]) {
+        return Err(format!("thread counts must strictly increase: {threads:?}"));
+    }
+    let mut peak = 0.0f64;
+    for (&t, &ops) in threads.iter().zip(ops_per_s) {
+        if !ops.is_finite() || ops <= 0.0 {
+            return Err(format!("{t} threads: ops/s = {ops} (must be > 0)"));
+        }
+        if ops < peak * (1.0 - dip_tolerance) {
+            return Err(format!(
+                "scaling collapse: {t} threads ran at {ops:.0} ops/s, below \
+                 {:.0} (peak {peak:.0} − {:.0}% tolerance)",
+                peak * (1.0 - dip_tolerance),
+                dip_tolerance * 100.0
+            ));
+        }
+        peak = peak.max(ops);
+    }
+    let speedup = ops_per_s[ops_per_s.len() - 1] / ops_per_s[0];
+    if speedup < min_final_speedup {
+        return Err(format!(
+            "{}-thread throughput is only {speedup:.2}x the {}-thread run \
+             (need >= {min_final_speedup:.2}x)",
+            threads[threads.len() - 1],
+            threads[0]
+        ));
+    }
+    Ok(())
+}
+
+/// Write a plain-text artifact (e.g. a contention-profile dump) to
+/// `results/<name>` and return the path.
+pub fn write_text_artifact(name: &str, text: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results/");
+    let path = dir.join(name);
+    std::fs::write(&path, text).expect("write results artifact");
+    path
+}
+
 /// Write a benchmark result document to `results/BENCH_<name>.json`
 /// (creating `results/` under the current directory) and return the path.
 pub fn write_results(name: &str, doc: &Json) -> std::path::PathBuf {
@@ -302,5 +385,44 @@ mod tests {
         assert!(validate_rows(&[Json::Num(1.0)], &["x"])
             .unwrap_err()
             .contains("not an object"));
+    }
+
+    #[test]
+    fn validate_scaling_accepts_monotone_and_noisy_monotone() {
+        let t = [1, 2, 4, 8];
+        assert!(validate_scaling(&t, &[100.0, 190.0, 360.0, 650.0], 0.05, 2.0).is_ok());
+        // A small dip within tolerance is fine.
+        assert!(validate_scaling(&t, &[100.0, 98.0, 180.0, 340.0], 0.05, 2.0).is_ok());
+    }
+
+    #[test]
+    fn validate_scaling_rejects_collapse_and_weak_speedup() {
+        let t = [1, 2, 4, 8];
+        assert!(
+            validate_scaling(&t, &[100.0, 60.0, 200.0, 400.0], 0.05, 2.0)
+                .unwrap_err()
+                .contains("scaling collapse")
+        );
+        assert!(
+            validate_scaling(&t, &[100.0, 110.0, 120.0, 130.0], 0.05, 2.0)
+                .unwrap_err()
+                .contains("need >= 2.00x")
+        );
+        assert!(validate_scaling(&[1], &[100.0], 0.05, 2.0)
+            .unwrap_err()
+            .contains("at least two points"));
+        assert!(validate_scaling(&t, &[100.0], 0.05, 2.0)
+            .unwrap_err()
+            .contains("shape mismatch"));
+        assert!(
+            validate_scaling(&[1, 1, 2, 4], &[1.0, 2.0, 3.0, 4.0], 0.05, 1.0)
+                .unwrap_err()
+                .contains("strictly increase")
+        );
+        assert!(
+            validate_scaling(&t, &[100.0, f64::NAN, 1.0, 1.0], 0.05, 1.0)
+                .unwrap_err()
+                .contains("must be > 0")
+        );
     }
 }

@@ -18,9 +18,8 @@ pub mod workload;
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
-
 use spp_core::{MemoryPolicy, Result};
+use spp_pm::contention::{self, ProfiledRwLock};
 use spp_pmdk::PmemOid;
 
 /// Fixed key size (db_bench default used in the paper).
@@ -80,13 +79,31 @@ pub struct KvStats {
 }
 
 /// A concurrent persistent hash map (the `cmap` engine analogue).
+///
+/// Locking discipline for write operations: the transaction lane is
+/// acquired *before* the stripe lock (uniformly, for `put` and `remove`),
+/// and the stripe lock is held until the transaction commit completes.
+/// Lane-then-stripe ordering cannot deadlock — a stripe holder always
+/// already owns a lane and lane acquisition rotates, so some lane holder
+/// always makes progress — and committing under the stripe lock is what
+/// keeps crash recovery sound: no other writer can durably build chain
+/// state on top of a still-abortable chain edit.
 pub struct KvStore<P: MemoryPolicy> {
     policy: Arc<P>,
     meta: PmemOid,
     buckets: PmemOid,
     nbuckets: u64,
     layout: NodeLayout,
-    locks: Vec<RwLock<()>>,
+    locks: Vec<ProfiledRwLock<()>>,
+}
+
+/// The stripe-lock set, reporting to the `kvstore.stripe` contention
+/// counter.
+fn stripe_locks() -> Vec<ProfiledRwLock<()>> {
+    let c = contention::counter("kvstore.stripe");
+    (0..LOCK_STRIPES)
+        .map(|_| ProfiledRwLock::new(c, ()))
+        .collect()
 }
 
 impl<P: MemoryPolicy> KvStore<P> {
@@ -104,7 +121,7 @@ impl<P: MemoryPolicy> KvStore<P> {
         let buckets = policy.zalloc_into_ptr(mptr, nbuckets * layout.os)?;
         policy.store_u64(policy.gep(mptr, layout.os as i64), nbuckets)?;
         policy.persist(mptr, layout.os + 8)?;
-        let locks = (0..LOCK_STRIPES).map(|_| RwLock::new(())).collect();
+        let locks = stripe_locks();
         Ok(KvStore {
             policy,
             meta,
@@ -126,7 +143,7 @@ impl<P: MemoryPolicy> KvStore<P> {
         let mptr = policy.direct(meta);
         let buckets = policy.load_oid(mptr)?;
         let nbuckets = policy.load_u64(policy.gep(mptr, layout.os as i64))?;
-        let locks = (0..LOCK_STRIPES).map(|_| RwLock::new(())).collect();
+        let locks = stripe_locks();
         Ok(KvStore {
             policy,
             meta,
@@ -204,13 +221,33 @@ impl<P: MemoryPolicy> KvStore<P> {
         let p = &*self.policy;
         let l = self.layout;
         let (b, stripe) = self.bucket_of(key);
-        let _g = self.locks[stripe].write();
-        p.pool().tx(|tx| -> Result<()> {
-            // New value object first.
-            let val = p.tx_alloc(tx, value.len() as u64, false)?;
+        // Phase 1, no stripe lock held: begin the transaction (acquires the
+        // lane — lane before stripe, uniformly) and prepare the value
+        // object. The policy bounds checks, the value memcpy, and its
+        // persist — the expensive part of a put — happen outside the stripe
+        // critical section; the value object is private to this transaction
+        // until phase 2 links it.
+        let mut h = p.pool().tx_begin()?;
+        let prep = (|| -> Result<PmemOid> {
+            let val = p.tx_alloc(h.tx(), value.len() as u64, false)?;
             let vptr = p.direct(val);
             p.store(vptr, value)?;
             p.persist(vptr, value.len() as u64)?;
+            Ok(val)
+        })();
+        let val = match prep {
+            Ok(val) => val,
+            Err(e) => {
+                h.rollback()?;
+                return Err(e);
+            }
+        };
+        // Phase 2: edit the chain and *commit* under the stripe lock. The
+        // lock must cover the commit — released earlier, a second writer
+        // could durably commit chain state built on this still-abortable
+        // edit, which recovery would then tear off.
+        let guard = self.locks[stripe].write();
+        let linked = (|| -> Result<()> {
             // Find the key in the chain.
             let head_field = self.bucket_field(b);
             let mut cur = p.load_oid(head_field)?;
@@ -221,25 +258,37 @@ impl<P: MemoryPolicy> KvStore<P> {
                 if kbuf == key {
                     let vfield = p.gep(nptr, l.value as i64);
                     let old = p.load_oid(vfield)?;
-                    p.tx_free(tx, old)?;
-                    p.tx_write_u64(tx, p.gep(nptr, l.vlen as i64), value.len() as u64)?;
-                    p.tx_write_oid(tx, vfield, val)?;
+                    p.tx_free(h.tx(), old)?;
+                    p.tx_write_u64(h.tx(), p.gep(nptr, l.vlen as i64), value.len() as u64)?;
+                    p.tx_write_oid(h.tx(), vfield, val)?;
                     return Ok(());
                 }
                 cur = p.load_oid(p.gep(nptr, l.next as i64))?;
             }
             // Prepend a new node.
             let head = p.load_oid(head_field)?;
-            let node = p.tx_alloc(tx, l.size, false)?;
+            let node = p.tx_alloc(h.tx(), l.size, false)?;
             let nptr = p.direct(node);
             p.store(p.gep(nptr, l.key as i64), key)?;
             p.store_oid(p.gep(nptr, l.next as i64), head)?;
             p.store_u64(p.gep(nptr, l.vlen as i64), value.len() as u64)?;
             p.store_oid(p.gep(nptr, l.value as i64), val)?;
             p.persist(nptr, l.size)?;
-            p.tx_write_oid(tx, head_field, node)?;
+            p.tx_write_oid(h.tx(), head_field, node)?;
             Ok(())
-        })
+        })();
+        let r = match linked {
+            Ok(()) => {
+                h.commit()?;
+                Ok(())
+            }
+            Err(e) => {
+                h.rollback()?;
+                Err(e)
+            }
+        };
+        drop(guard);
+        r
     }
 
     /// Look up `key`, appending the value to `out`. Returns whether found.
@@ -289,8 +338,11 @@ impl<P: MemoryPolicy> KvStore<P> {
         let p = &*self.policy;
         let l = self.layout;
         let (b, stripe) = self.bucket_of(key);
-        let _g = self.locks[stripe].write();
-        p.pool().tx(|tx| -> Result<bool> {
+        // Lane before stripe, the same order as `put` — mixing orders
+        // could deadlock once threads outnumber lanes.
+        let mut h = p.pool().tx_begin()?;
+        let guard = self.locks[stripe].write();
+        let unlinked = (|| -> Result<bool> {
             let mut field = self.bucket_field(b);
             let mut cur = p.load_oid(field)?;
             let mut kbuf = [0u8; KEY_SIZE];
@@ -300,22 +352,38 @@ impl<P: MemoryPolicy> KvStore<P> {
                 if kbuf == key {
                     let next = p.load_oid(p.gep(nptr, l.next as i64))?;
                     let val = p.load_oid(p.gep(nptr, l.value as i64))?;
-                    p.tx_free(tx, val)?;
-                    p.tx_free(tx, cur)?;
-                    p.tx_write_oid(tx, field, next)?;
+                    p.tx_free(h.tx(), val)?;
+                    p.tx_free(h.tx(), cur)?;
+                    p.tx_write_oid(h.tx(), field, next)?;
                     return Ok(true);
                 }
                 field = p.gep(nptr, l.next as i64);
                 cur = p.load_oid(field)?;
             }
             Ok(false)
-        })
+        })();
+        let r = match unlinked {
+            Ok(found) => {
+                h.commit()?;
+                Ok(found)
+            }
+            Err(e) => {
+                h.rollback()?;
+                Err(e)
+            }
+        };
+        drop(guard);
+        r
     }
 
     /// Visit every entry, passing each key and value to `f`. Buckets are
-    /// walked in index order under their stripe read locks, so each chain is
-    /// seen atomically w.r.t. writers but the scan as a whole is not a
-    /// point-in-time snapshot. Returns the number of entries visited.
+    /// walked in index order; each chain is snapshotted (keys and values
+    /// copied out) under its stripe read lock and the lock is *released
+    /// before* `f` runs — so each chain is seen atomically w.r.t. writers,
+    /// the scan as a whole is not a point-in-time snapshot, and the
+    /// callback may freely call back into the store (e.g. `put`/`remove`)
+    /// without deadlocking on a stripe it is being called under. Returns
+    /// the number of entries visited.
     ///
     /// # Errors
     ///
@@ -325,22 +393,29 @@ impl<P: MemoryPolicy> KvStore<P> {
         let p = &*self.policy;
         let l = self.layout;
         let mut n = 0;
-        let mut kbuf = [0u8; KEY_SIZE];
-        let mut vbuf = Vec::new();
+        let mut entries: Vec<([u8; KEY_SIZE], Vec<u8>)> = Vec::new();
         for b in 0..self.nbuckets {
-            let _g = self.locks[Self::stripe_of_bucket(b)].read();
-            let mut cur = p.load_oid(self.bucket_field(b))?;
-            while !cur.is_null() {
-                let nptr = p.direct(cur);
-                self.key_of_node(nptr, &mut kbuf)?;
-                let vlen = p.load_u64(p.gep(nptr, l.vlen as i64))? as usize;
-                let val = p.load_oid(p.gep(nptr, l.value as i64))?;
-                vbuf.clear();
-                vbuf.resize(vlen, 0);
-                p.load(p.direct(val), &mut vbuf)?;
-                f(&kbuf, &vbuf)?;
+            entries.clear();
+            {
+                // Snapshot the chain under the lock...
+                let _g = self.locks[Self::stripe_of_bucket(b)].read();
+                let mut cur = p.load_oid(self.bucket_field(b))?;
+                while !cur.is_null() {
+                    let nptr = p.direct(cur);
+                    let mut kbuf = [0u8; KEY_SIZE];
+                    self.key_of_node(nptr, &mut kbuf)?;
+                    let vlen = p.load_u64(p.gep(nptr, l.vlen as i64))? as usize;
+                    let val = p.load_oid(p.gep(nptr, l.value as i64))?;
+                    let mut vbuf = vec![0u8; vlen];
+                    p.load(p.direct(val), &mut vbuf)?;
+                    entries.push((kbuf, vbuf));
+                    cur = p.load_oid(p.gep(nptr, l.next as i64))?;
+                }
+            }
+            // ...then yield to the callback with no lock held.
+            for (kbuf, vbuf) in &entries {
+                f(kbuf, vbuf)?;
                 n += 1;
-                cur = p.load_oid(p.gep(nptr, l.next as i64))?;
             }
         }
         Ok(n)
@@ -585,6 +660,87 @@ mod tests {
         });
         assert!(r.is_err());
         assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn put_inside_for_each_callback_does_not_deadlock() {
+        // Regression: for_each used to hold the stripe read lock across the
+        // callback, so a put() to the same stripe from inside the callback
+        // self-deadlocked (std RwLock is not reentrant). The snapshot-then-
+        // yield scan must allow it.
+        let kv = spp_store(1 << 23, 4);
+        for i in 0..16u64 {
+            kv.put(&key(i), b"seed").unwrap();
+        }
+        let mut inserted = 0u64;
+        let visited = kv
+            .for_each(|k, v| {
+                // Update the very key being visited: same bucket, same
+                // stripe as the chain just snapshotted. (Keys inserted
+                // below may themselves get visited; leave those alone so
+                // their value stays checkable.)
+                if v == b"seed" {
+                    kv.put(k, b"updated-from-callback").unwrap();
+                }
+                // And insert a bounded number of fresh keys while scanning.
+                if inserted < 8 {
+                    kv.put(&key(1000 + inserted), b"new-from-callback").unwrap();
+                    inserted += 1;
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert!(visited >= 16, "must at least visit the seeds: {visited}");
+        assert_eq!(inserted, 8);
+        assert_eq!(kv.count().unwrap(), 16 + 8);
+        let mut out = Vec::new();
+        assert!(kv.get(&key(0), &mut out).unwrap());
+        assert_eq!(&out, b"updated-from-callback");
+        out.clear();
+        assert!(kv.get(&key(1000), &mut out).unwrap());
+        assert_eq!(&out, b"new-from-callback");
+    }
+
+    #[test]
+    fn mixed_put_remove_storm_with_more_threads_than_lanes() {
+        // Lane-before-stripe ordering must hold for every write op: with 4
+        // lanes and 8 writer threads hammering 2 buckets, an ordering
+        // inversion between put and remove would deadlock here.
+        let kv = Arc::new(spp_store(1 << 24, 2));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let kv = Arc::clone(&kv);
+                s.spawn(move || {
+                    for i in 0..60u64 {
+                        let k = key(t * 1000 + (i % 20));
+                        if i % 3 == 2 {
+                            kv.remove(&k).unwrap();
+                        } else {
+                            kv.put(&k, &[t as u8; 48]).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        // Every surviving key must read back intact.
+        let mut out = Vec::new();
+        let n = kv
+            .for_each(|_, v| {
+                assert_eq!(v.len(), 48);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(n, kv.count().unwrap());
+        for t in 0..8u64 {
+            out.clear();
+            // i = 0 (mod 20) was last written by i=40 (put), never removed
+            // after: the final op on that key in program order is a put...
+            // unless a remove at i∈{2,..} hit it. Just assert lookups don't
+            // error and values, when present, are the right shape.
+            if kv.get(&key(t * 1000), &mut out).unwrap() {
+                assert_eq!(out, vec![t as u8; 48]);
+            }
+        }
     }
 
     #[test]

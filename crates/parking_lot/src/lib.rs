@@ -98,6 +98,24 @@ impl<T: ?Sized> RwLock<T> {
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         RwLockWriteGuard(self.0.write().unwrap_or_else(PoisonError::into_inner))
     }
+
+    /// Take shared read access if no writer holds the lock.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(RwLockReadGuard(g)),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard(p.into_inner())),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Take exclusive write access if the lock is free.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(RwLockWriteGuard(g)),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockWriteGuard(p.into_inner())),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
 }
 
 impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
@@ -151,6 +169,22 @@ mod tests {
         drop((a, b));
         *l.write() = 9;
         assert_eq!(*l.read(), 9);
+    }
+
+    #[test]
+    fn rwlock_try_paths() {
+        let l = RwLock::new(3);
+        let r = l.try_read().unwrap();
+        assert_eq!(*r, 3);
+        // A reader blocks writers but not further readers.
+        assert!(l.try_write().is_none());
+        assert!(l.try_read().is_some());
+        drop(r);
+        let mut w = l.try_write().unwrap();
+        *w = 4;
+        assert!(l.try_read().is_none());
+        drop(w);
+        assert_eq!(*l.read(), 4);
     }
 
     #[test]

@@ -1,0 +1,446 @@
+//! Always-on contention profiling for the hot-path locks of the stack.
+//!
+//! Every serialization point in the workspace (kvstore stripe locks, pmdk
+//! lanes, the tracked-mode event-log lock, the allocator's shared
+//! wilderness) registers a named [`LockCounter`] here and reports each
+//! acquisition through it. The counters answer the question the scaling
+//! benchmarks keep raising: *which* lock is the wall. They are cheap enough
+//! to leave on in release builds — the uncontended path is a `try_lock`
+//! plus one relaxed `fetch_add` into a cache-line-padded per-thread shard,
+//! and wall-clock timing only happens on the contended path.
+//!
+//! The registry is process-global on purpose: benches and the load
+//! generator snapshot it with [`snapshot`]/[`dump`] after a measured phase
+//! (and [`reset_all`] between phases) without having to thread a profiler
+//! handle through every layer.
+//!
+//! Counter taxonomy (see DESIGN.md "Contention profile"):
+//! * `acquisitions` — total lock acquisitions (reads + writes for rwlocks).
+//! * `contended` — acquisitions that did not succeed on the first
+//!   `try_lock`; the acquirer had to spin, block, or park.
+//! * `wait_ns` — wall-clock nanoseconds spent waiting on contended
+//!   acquisitions (the serialization actually paid, not a sample).
+//! * `events` — subsystem-specific event count for non-lock counters
+//!   (e.g. `pm.flush` / `pm.fence` boundary totals).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex as StdMutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Number of padded shards per counter. Threads hash onto shards so that
+/// concurrent recording does not serialize on one cache line.
+pub const PROFILE_SHARDS: usize = 8;
+
+/// Process-wide source of per-thread shard indices.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// The calling thread's stable shard index in `[0, PROFILE_SHARDS)`.
+#[inline]
+pub(crate) fn shard_idx() -> usize {
+    SHARD.with(|s| {
+        if s.get() == usize::MAX {
+            s.set(NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % PROFILE_SHARDS);
+        }
+        s.get()
+    })
+}
+
+/// One cache-line-padded counter shard. 128-byte alignment covers the
+/// adjacent-line prefetcher on common x86 parts.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct Shard {
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+    wait_ns: AtomicU64,
+    events: AtomicU64,
+}
+
+/// A named, sharded set of contention counters.
+///
+/// Obtain one with [`counter`]; instances are interned by name and live for
+/// the whole process (`&'static`), so locks can embed the reference and
+/// record with zero lookups.
+#[derive(Debug)]
+pub struct LockCounter {
+    name: &'static str,
+    shards: [Shard; PROFILE_SHARDS],
+}
+
+impl LockCounter {
+    fn new(name: &'static str) -> Self {
+        LockCounter {
+            name,
+            shards: std::array::from_fn(|_| Shard::default()),
+        }
+    }
+
+    /// The name this counter was registered under.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record an acquisition that succeeded on the first try.
+    #[inline]
+    pub fn record_uncontended(&self) {
+        self.shards[shard_idx()]
+            .acquisitions
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an acquisition that had to wait `waited` of wall-clock time.
+    #[inline]
+    pub fn record_contended(&self, waited: Duration) {
+        let shard = &self.shards[shard_idx()];
+        shard.acquisitions.fetch_add(1, Ordering::Relaxed);
+        shard.contended.fetch_add(1, Ordering::Relaxed);
+        shard
+            .wait_ns
+            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Record a subsystem event (e.g. one flush boundary).
+    #[inline]
+    pub fn record_event(&self) {
+        self.shards[shard_idx()]
+            .events
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sum the shards into one snapshot.
+    pub fn snapshot(&self) -> LockSnapshot {
+        let mut s = LockSnapshot {
+            name: self.name,
+            acquisitions: 0,
+            contended: 0,
+            wait_ns: 0,
+            events: 0,
+        };
+        for shard in &self.shards {
+            s.acquisitions += shard.acquisitions.load(Ordering::Relaxed);
+            s.contended += shard.contended.load(Ordering::Relaxed);
+            s.wait_ns += shard.wait_ns.load(Ordering::Relaxed);
+            s.events += shard.events.load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    fn reset(&self) {
+        for shard in &self.shards {
+            shard.acquisitions.store(0, Ordering::Relaxed);
+            shard.contended.store(0, Ordering::Relaxed);
+            shard.wait_ns.store(0, Ordering::Relaxed);
+            shard.events.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Point-in-time totals for one [`LockCounter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockSnapshot {
+    /// Registered counter name (`subsystem.lock`).
+    pub name: &'static str,
+    /// Total acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that failed the first `try_lock`.
+    pub contended: u64,
+    /// Wall-clock nanoseconds spent waiting, summed over contended
+    /// acquisitions.
+    pub wait_ns: u64,
+    /// Subsystem-specific event count.
+    pub events: u64,
+}
+
+impl LockSnapshot {
+    /// Fraction of acquisitions that were contended, in `[0, 1]`.
+    pub fn contended_fraction(&self) -> f64 {
+        if self.acquisitions == 0 {
+            0.0
+        } else {
+            self.contended as f64 / self.acquisitions as f64
+        }
+    }
+}
+
+fn registry() -> &'static StdMutex<Vec<&'static LockCounter>> {
+    static REGISTRY: OnceLock<StdMutex<Vec<&'static LockCounter>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| StdMutex::new(Vec::new()))
+}
+
+/// Get or register the process-wide counter named `name`.
+///
+/// Names are interned: every call with the same name returns the same
+/// counter, so multiple pools/stores of the same subsystem aggregate into
+/// one line of the profile. Call once at construction and embed the
+/// returned reference; this function takes a registry lock.
+pub fn counter(name: &'static str) -> &'static LockCounter {
+    let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(c) = reg.iter().find(|c| c.name == name) {
+        return c;
+    }
+    let c: &'static LockCounter = Box::leak(Box::new(LockCounter::new(name)));
+    reg.push(c);
+    c
+}
+
+/// Snapshot every registered counter, sorted by total wait time
+/// (descending) then name — the order a contention dump should be read in.
+pub fn snapshot() -> Vec<LockSnapshot> {
+    let reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+    let mut rows: Vec<LockSnapshot> = reg.iter().map(|c| c.snapshot()).collect();
+    rows.sort_by(|a, b| b.wait_ns.cmp(&a.wait_ns).then(a.name.cmp(b.name)));
+    rows
+}
+
+/// The `n` most-contended counters (by wait time), skipping counters that
+/// never saw contention.
+pub fn top_contended(n: usize) -> Vec<LockSnapshot> {
+    snapshot()
+        .into_iter()
+        .filter(|s| s.contended > 0)
+        .take(n)
+        .collect()
+}
+
+/// Zero every registered counter. Benches call this between measured
+/// phases so each dump attributes contention to one phase.
+pub fn reset_all() {
+    let reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+    for c in reg.iter() {
+        c.reset();
+    }
+}
+
+/// Render the full profile as an aligned text table.
+pub fn dump() -> String {
+    let rows = snapshot();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<24} {:>12} {:>12} {:>8} {:>12} {:>12}\n",
+        "lock", "acq", "contended", "cont%", "wait_ms", "events"
+    ));
+    for s in rows {
+        out.push_str(&format!(
+            "{:<24} {:>12} {:>12} {:>7.2}% {:>12.3} {:>12}\n",
+            s.name,
+            s.acquisitions,
+            s.contended,
+            100.0 * s.contended_fraction(),
+            s.wait_ns as f64 / 1e6,
+            s.events,
+        ));
+    }
+    out
+}
+
+/// A mutex that reports every acquisition to a [`LockCounter`].
+///
+/// Uncontended cost over the raw lock: one failed-or-successful `try_lock`
+/// plus a relaxed sharded increment. `Instant::now` is only taken when the
+/// fast path fails.
+#[derive(Debug)]
+pub struct ProfiledMutex<T> {
+    inner: Mutex<T>,
+    counter: &'static LockCounter,
+}
+
+impl<T> ProfiledMutex<T> {
+    /// Wrap `value`, reporting to `counter`.
+    pub fn new(counter: &'static LockCounter, value: T) -> Self {
+        ProfiledMutex {
+            inner: Mutex::new(value),
+            counter,
+        }
+    }
+
+    /// Wrap `value`, reporting to the registry counter named `name`.
+    pub fn with_name(name: &'static str, value: T) -> Self {
+        Self::new(counter(name), value)
+    }
+
+    /// Lock, recording whether the acquisition was contended.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if let Some(g) = self.inner.try_lock() {
+            self.counter.record_uncontended();
+            return g;
+        }
+        let start = Instant::now();
+        let g = self.inner.lock();
+        self.counter.record_contended(start.elapsed());
+        g
+    }
+
+    /// Non-blocking lock attempt; records only on success.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let g = self.inner.try_lock();
+        if g.is_some() {
+            self.counter.record_uncontended();
+        }
+        g
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+/// A reader-writer lock that reports every acquisition to a
+/// [`LockCounter`]. Reader and writer acquisitions aggregate into the same
+/// counter: what the profile cares about is time serialized, not mode.
+#[derive(Debug)]
+pub struct ProfiledRwLock<T> {
+    inner: RwLock<T>,
+    counter: &'static LockCounter,
+}
+
+impl<T> ProfiledRwLock<T> {
+    /// Wrap `value`, reporting to `counter`.
+    pub fn new(counter: &'static LockCounter, value: T) -> Self {
+        ProfiledRwLock {
+            inner: RwLock::new(value),
+            counter,
+        }
+    }
+
+    /// Wrap `value`, reporting to the registry counter named `name`.
+    pub fn with_name(name: &'static str, value: T) -> Self {
+        Self::new(counter(name), value)
+    }
+
+    /// Shared lock, recording whether the acquisition was contended.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        if let Some(g) = self.inner.try_read() {
+            self.counter.record_uncontended();
+            return g;
+        }
+        let start = Instant::now();
+        let g = self.inner.read();
+        self.counter.record_contended(start.elapsed());
+        g
+    }
+
+    /// Exclusive lock, recording whether the acquisition was contended.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        if let Some(g) = self.inner.try_write() {
+            self.counter.record_uncontended();
+            return g;
+        }
+        let start = Instant::now();
+        let g = self.inner.write();
+        self.counter.record_contended(start.elapsed());
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// The registry is process-global and some tests reset it; tests that
+    /// read or reset counter totals serialize here so parallel test threads
+    /// cannot zero each other's counters mid-assertion.
+    fn registry_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: StdMutex<()> = StdMutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn counter_interned_by_name() {
+        let a = counter("test.intern");
+        let b = counter("test.intern");
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn uncontended_and_contended_recorded() {
+        let _serial = registry_test_lock();
+        let c = counter("test.mutex");
+        let base = c.snapshot();
+        let m = Arc::new(ProfiledMutex::new(c, 0u64));
+        *m.lock() += 1;
+        let after_one = c.snapshot();
+        assert_eq!(after_one.acquisitions, base.acquisitions + 1);
+
+        // Force contention: hold the lock while another thread acquires.
+        let m2 = Arc::clone(&m);
+        let g = m.lock();
+        let h = std::thread::spawn(move || {
+            *m2.lock() += 1;
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        drop(g);
+        h.join().unwrap();
+        let s = c.snapshot();
+        assert!(s.contended >= 1, "blocked acquisition must count: {s:?}");
+        assert!(s.wait_ns > 0, "contended wait must accumulate time: {s:?}");
+    }
+
+    #[test]
+    fn rwlock_reader_does_not_contend_reader() {
+        let _serial = registry_test_lock();
+        let c = counter("test.rwlock");
+        let base = c.snapshot();
+        let l = ProfiledRwLock::new(c, 7u32);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a + *b, 14);
+        let s = c.snapshot();
+        assert_eq!(s.acquisitions - base.acquisitions, 2);
+        assert_eq!(s.contended, base.contended);
+    }
+
+    #[test]
+    fn snapshot_reset_and_dump() {
+        let _serial = registry_test_lock();
+        let c = counter("test.dumpable");
+        c.record_event();
+        c.record_uncontended();
+        let rows = snapshot();
+        assert!(rows.iter().any(|s| s.name == "test.dumpable"));
+        let text = dump();
+        assert!(text.contains("test.dumpable"));
+        assert!(text.lines().next().unwrap().contains("wait_ms"));
+        reset_all();
+        assert_eq!(counter("test.dumpable").snapshot().events, 0);
+    }
+
+    #[test]
+    fn top_contended_skips_clean_locks() {
+        let _serial = registry_test_lock();
+        reset_all();
+        let clean = counter("test.clean");
+        clean.record_uncontended();
+        let dirty = counter("test.dirty");
+        dirty.record_contended(Duration::from_micros(5));
+        let top = top_contended(10);
+        assert!(top.iter().any(|s| s.name == "test.dirty"));
+        assert!(!top.iter().any(|s| s.name == "test.clean"));
+    }
+
+    #[test]
+    fn contended_fraction_bounds() {
+        let s = LockSnapshot {
+            name: "x",
+            acquisitions: 0,
+            contended: 0,
+            wait_ns: 0,
+            events: 0,
+        };
+        assert_eq!(s.contended_fraction(), 0.0);
+        let s = LockSnapshot {
+            acquisitions: 4,
+            contended: 1,
+            ..s
+        };
+        assert!((s.contended_fraction() - 0.25).abs() < 1e-12);
+    }
+}

@@ -17,7 +17,12 @@
 //! * an **event log** ([`PmEvent`]) consumed by the `spp-pmemcheck` crate to
 //!   validate flush/fence ordering rules;
 //! * optional **latency modelling** ([`LatencyModel`]) to emulate PM media
-//!   that is slower than DRAM.
+//!   that is slower than DRAM — including wall-clock *overlappable* device
+//!   waits for thread-scaling experiments;
+//! * an always-on **contention profile** ([`contention`]): named, sharded
+//!   lock/event counters that the whole stack (stripe locks, tx lanes, the
+//!   tracked-mode event log) reports into, snapshot-able by benches and the
+//!   load generator to locate hot-path serialization.
 //!
 //! Accesses outside the pool mapping return [`PmError::Fault`] — the
 //! simulator's analogue of a SIGSEGV/SIGBUS. This is the primitive SPP's
@@ -39,6 +44,7 @@
 //! # }
 //! ```
 
+pub mod contention;
 mod error;
 mod events;
 mod image;
@@ -47,6 +53,7 @@ mod media;
 mod pool;
 mod stats;
 
+pub use contention::{LockCounter, LockSnapshot, ProfiledMutex, ProfiledRwLock};
 pub use error::PmError;
 pub use events::{EventLog, PmEvent, StoreState};
 pub use image::{CrashImage, CrashStateIter};

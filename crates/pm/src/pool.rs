@@ -1,5 +1,8 @@
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use parking_lot::Mutex;
 
+use crate::contention::{self, LockCounter, ProfiledMutex};
 use crate::error::PmError;
 use crate::events::{EventLog, PmEvent, StoreState};
 use crate::image::CrashImage;
@@ -130,11 +133,24 @@ pub struct PmPool {
     size: u64,
     media: Media,
     mode: Mode,
-    track: Mutex<Tracked>,
+    track: ProfiledMutex<Tracked>,
     tap: Mutex<Option<BoundaryTap>>,
+    /// Mirror of `tap.is_some()`, so the per-boundary dispatch can skip the
+    /// tap mutex entirely while no tap is installed (the common case for
+    /// every tracked pool outside the torture rig).
+    tap_installed: AtomicBool,
     latency: LatencyModel,
+    /// `!latency.is_none()`, precomputed so the access hot path is a single
+    /// branch when no model is configured.
+    has_latency: bool,
+    /// Runtime latency gate: benches disable injection during setup
+    /// (preload) and enable it only for the measured phase.
+    latency_on: AtomicBool,
     stats: PmStats,
     record_stats: bool,
+    /// Contention-profile event counters for durability boundaries.
+    c_flush: &'static LockCounter,
+    c_fence: &'static LockCounter,
 }
 
 impl std::fmt::Debug for PmPool {
@@ -148,23 +164,35 @@ impl std::fmt::Debug for PmPool {
 }
 
 impl PmPool {
-    /// Create a zero-initialised pool.
-    pub fn new(cfg: PoolConfig) -> Self {
+    fn build(media: Media, size: u64, cfg: &PoolConfig) -> Self {
         PmPool {
             base: cfg.base,
-            size: cfg.size,
-            media: Media::zeroed(cfg.size as usize),
+            size,
+            media,
             mode: cfg.mode,
-            track: Mutex::new(Tracked {
-                log: EventLog::new(),
-                unflushed: Vec::new(),
-                flushed: Vec::new(),
-            }),
+            track: ProfiledMutex::with_name(
+                "pm.track",
+                Tracked {
+                    log: EventLog::new(),
+                    unflushed: Vec::new(),
+                    flushed: Vec::new(),
+                },
+            ),
             tap: Mutex::new(None),
+            tap_installed: AtomicBool::new(false),
             latency: cfg.latency,
+            has_latency: !cfg.latency.is_none(),
+            latency_on: AtomicBool::new(true),
             stats: PmStats::new(),
             record_stats: cfg.record_stats,
+            c_flush: contention::counter("pm.flush"),
+            c_fence: contention::counter("pm.fence"),
         }
+    }
+
+    /// Create a zero-initialised pool.
+    pub fn new(cfg: PoolConfig) -> Self {
+        Self::build(Media::zeroed(cfg.size as usize), cfg.size, &cfg)
     }
 
     /// Re-open a pool from a crash image, as if `mmap`ing the device after a
@@ -172,21 +200,7 @@ impl PmPool {
     pub fn from_image(image: CrashImage, cfg: PoolConfig) -> Self {
         let bytes = image.into_bytes();
         let size = bytes.len() as u64;
-        PmPool {
-            base: cfg.base,
-            size,
-            media: Media::from_bytes(bytes),
-            mode: cfg.mode,
-            track: Mutex::new(Tracked {
-                log: EventLog::new(),
-                unflushed: Vec::new(),
-                flushed: Vec::new(),
-            }),
-            tap: Mutex::new(None),
-            latency: cfg.latency,
-            stats: PmStats::new(),
-            record_stats: cfg.record_stats,
-        }
+        Self::build(Media::from_bytes(bytes), size, &cfg)
     }
 
     /// Simulated virtual address the pool is mapped at.
@@ -207,6 +221,21 @@ impl PmPool {
     /// Access statistics (reads/writes/flushes/fences).
     pub fn stats(&self) -> &PmStats {
         &self.stats
+    }
+
+    /// Enable or disable latency injection at runtime (default on).
+    ///
+    /// Scaling benches disable injection while preloading a store and
+    /// re-enable it for the measured phase, so setup cost does not scale
+    /// with the configured device wait. No-op for pools built without a
+    /// latency model.
+    pub fn set_latency_enabled(&self, on: bool) {
+        self.latency_on.store(on, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn latency_active(&self) -> bool {
+        self.has_latency && self.latency_on.load(Ordering::Relaxed)
     }
 
     /// Resolve a simulated virtual address range to a pool offset.
@@ -251,7 +280,9 @@ impl PmPool {
     /// Returns [`PmError::OutOfRange`] if the range exceeds the pool.
     pub fn read(&self, off: PoolOffset, buf: &mut [u8]) -> Result<()> {
         self.check_range(off, buf.len())?;
-        self.latency.on_read(buf.len());
+        if self.latency_active() {
+            self.latency.on_read(buf.len());
+        }
         if self.record_stats {
             self.stats.record_read(buf.len());
         }
@@ -269,7 +300,9 @@ impl PmPool {
     /// Returns [`PmError::OutOfRange`] if the range exceeds the pool.
     pub fn write(&self, off: PoolOffset, data: &[u8]) -> Result<()> {
         self.check_range(off, data.len())?;
-        self.latency.on_write(data.len());
+        if self.latency_active() {
+            self.latency.on_write(data.len());
+        }
         if self.record_stats {
             self.stats.record_write(data.len());
         }
@@ -304,7 +337,9 @@ impl PmPool {
             self.write(off, &vec![byte; len])
         } else {
             self.check_range(off, len)?;
-            self.latency.on_write(len);
+            if self.latency_active() {
+                self.latency.on_write(len);
+            }
             if self.record_stats {
                 self.stats.record_write(len);
             }
@@ -320,6 +355,10 @@ impl PmPool {
     /// Returns [`PmError::OutOfRange`] if the range exceeds the pool.
     pub fn flush(&self, off: PoolOffset, len: usize) -> Result<()> {
         self.check_range(off, len)?;
+        self.c_flush.record_event();
+        if self.latency_active() {
+            self.latency.on_flush();
+        }
         if self.record_stats {
             self.stats.record_flush();
         }
@@ -357,6 +396,7 @@ impl PmPool {
     /// Issue a store fence (`SFENCE` analogue): all flushed stores become
     /// durable.
     pub fn fence(&self) {
+        self.c_fence.record_event();
         if self.record_stats {
             self.stats.record_fence();
         }
@@ -389,18 +429,28 @@ impl PmPool {
     /// [`PmPool::clear_boundary_tap`].
     pub fn set_boundary_tap(&self, tap: BoundaryTap) {
         *self.tap.lock() = Some(tap);
+        self.tap_installed.store(true, Ordering::Release);
     }
 
     /// Remove the installed [`BoundaryTap`], returning it if present.
     pub fn clear_boundary_tap(&self) -> Option<BoundaryTap> {
-        self.tap.lock().take()
+        let taken = self.tap.lock().take();
+        self.tap_installed.store(false, Ordering::Release);
+        taken
     }
 
     /// Invoke the tap with the tracking lock released. The tap is taken out
     /// of its slot for the duration of the call, so re-entrant boundaries
     /// (a tap writing to this same pool) are silently suppressed rather
     /// than deadlocking or recursing.
+    ///
+    /// Fast path: when no tap was ever installed (every tracked pool
+    /// outside the torture rig), a relaxed flag load skips the tap mutex —
+    /// boundaries on tap-free pools never serialize here.
     fn fire_tap(&self, boundary: Boundary) {
+        if !self.tap_installed.load(Ordering::Acquire) {
+            return;
+        }
         let taken = self.tap.lock().take();
         if let Some(mut f) = taken {
             f(self, boundary);
@@ -420,6 +470,10 @@ impl PmPool {
             );
             if slot.is_none() {
                 *slot = Some(f);
+                // A clear racing with the call flipped the flag off while
+                // the slot was empty; the slot is occupied again, so the
+                // fast-path flag must agree.
+                self.tap_installed.store(true, Ordering::Release);
             }
         }
     }

@@ -1,17 +1,30 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Lock-free access counters for a pool.
-///
-/// Used by the space-overhead accounting (Table III) and by tests asserting
-/// that optimizations actually remove accesses.
+use crate::contention::{shard_idx, PROFILE_SHARDS};
+
+/// One cache-line-padded shard of access counters. Padding keeps two
+/// threads recording into different shards from false-sharing one line.
+#[repr(align(128))]
 #[derive(Debug, Default)]
-pub struct PmStats {
+struct StatShard {
     reads: AtomicU64,
     writes: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     flushes: AtomicU64,
     fences: AtomicU64,
+}
+
+/// Lock-free access counters for a pool, sharded per thread.
+///
+/// Used by the space-overhead accounting (Table III), by tests asserting
+/// that optimizations actually remove accesses, and by the contention
+/// profile (flush/fence totals). Recording picks the calling thread's
+/// shard; accessors sum across shards, so totals are exact once writers
+/// quiesce (and monotone under concurrency).
+#[derive(Debug, Default)]
+pub struct PmStats {
+    shards: [StatShard; PROFILE_SHARDS],
 }
 
 impl PmStats {
@@ -21,64 +34,79 @@ impl PmStats {
 
     #[inline]
     pub(crate) fn record_read(&self, len: usize) {
-        self.reads.fetch_add(1, Ordering::Relaxed);
-        self.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
+        let s = &self.shards[shard_idx()];
+        s.reads.fetch_add(1, Ordering::Relaxed);
+        s.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn record_write(&self, len: usize) {
-        self.writes.fetch_add(1, Ordering::Relaxed);
-        self.bytes_written.fetch_add(len as u64, Ordering::Relaxed);
+        let s = &self.shards[shard_idx()];
+        s.writes.fetch_add(1, Ordering::Relaxed);
+        s.bytes_written.fetch_add(len as u64, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn record_flush(&self) {
-        self.flushes.fetch_add(1, Ordering::Relaxed);
+        self.shards[shard_idx()]
+            .flushes
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn record_fence(&self) {
-        self.fences.fetch_add(1, Ordering::Relaxed);
+        self.shards[shard_idx()]
+            .fences
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn sum(&self, f: impl Fn(&StatShard) -> &AtomicU64) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| f(s).load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Number of load operations performed.
     pub fn reads(&self) -> u64 {
-        self.reads.load(Ordering::Relaxed)
+        self.sum(|s| &s.reads)
     }
 
     /// Number of store operations performed.
     pub fn writes(&self) -> u64 {
-        self.writes.load(Ordering::Relaxed)
+        self.sum(|s| &s.writes)
     }
 
     /// Total bytes loaded.
     pub fn bytes_read(&self) -> u64 {
-        self.bytes_read.load(Ordering::Relaxed)
+        self.sum(|s| &s.bytes_read)
     }
 
     /// Total bytes stored.
     pub fn bytes_written(&self) -> u64 {
-        self.bytes_written.load(Ordering::Relaxed)
+        self.sum(|s| &s.bytes_written)
     }
 
     /// Number of flush operations.
     pub fn flushes(&self) -> u64 {
-        self.flushes.load(Ordering::Relaxed)
+        self.sum(|s| &s.flushes)
     }
 
     /// Number of fences.
     pub fn fences(&self) -> u64 {
-        self.fences.load(Ordering::Relaxed)
+        self.sum(|s| &s.fences)
     }
 
     /// Reset all counters to zero.
     pub fn reset(&self) {
-        self.reads.store(0, Ordering::Relaxed);
-        self.writes.store(0, Ordering::Relaxed);
-        self.bytes_read.store(0, Ordering::Relaxed);
-        self.bytes_written.store(0, Ordering::Relaxed);
-        self.flushes.store(0, Ordering::Relaxed);
-        self.fences.store(0, Ordering::Relaxed);
+        for s in &self.shards {
+            s.reads.store(0, Ordering::Relaxed);
+            s.writes.store(0, Ordering::Relaxed);
+            s.bytes_read.store(0, Ordering::Relaxed);
+            s.bytes_written.store(0, Ordering::Relaxed);
+            s.flushes.store(0, Ordering::Relaxed);
+            s.fences.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -102,5 +130,24 @@ mod tests {
         assert_eq!(s.fences(), 1);
         s.reset();
         assert_eq!(s.reads() + s.writes() + s.flushes() + s.fences(), 0);
+    }
+
+    #[test]
+    fn shards_sum_across_threads() {
+        let s = std::sync::Arc::new(PmStats::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = std::sync::Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    s.record_write(64);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.writes(), 4000);
+        assert_eq!(s.bytes_written(), 4000 * 64);
     }
 }

@@ -62,7 +62,7 @@ mod ulog;
 pub use alloc::{AllocStats, BlockInfo, BlockState, BLOCK_HEADER_SIZE};
 pub use error::PmdkError;
 pub use oid::{OidDest, OidKind, PmemOid, OID_SIZE_PMDK, OID_SIZE_SPP};
-pub use pool::{LaneStatus, ObjPool, PoolOpts, RecoveryFaults, TxStatus};
+pub use pool::{LaneStatus, ObjPool, PoolOpts, RecoveryFaults, TxHandle, TxStatus};
 pub use tx::Tx;
 
 /// Result alias for pool operations.

@@ -11,7 +11,7 @@ use spp_pm::PmPool;
 use crate::alloc::{
     AllocStats, Arenas, BH_SIZE, BH_STATE, BLOCK_HEADER_SIZE, STATE_ALLOC, STATE_FREE,
 };
-use crate::lane::Lanes;
+use crate::lane::{LaneGuard, Lanes};
 use crate::layout::{self, Header};
 use crate::oid::{OidDest, OidKind, PmemOid};
 use crate::redo::RedoLog;
@@ -738,12 +738,43 @@ impl ObjPool {
 
     // ---- transactions ----
 
+    /// Begin a software transaction explicitly, returning a [`TxHandle`]
+    /// that must be [`commit`](TxHandle::commit)ed or
+    /// [`rollback`](TxHandle::rollback)ed.
+    ///
+    /// This is the building block under [`ObjPool::tx`]; use it directly
+    /// when transaction scope and lock scope must interleave — e.g. the KV
+    /// store prepares a value object with no store-level lock held, *then*
+    /// takes its stripe lock, links the object, and commits while still
+    /// holding the stripe lock (so no other writer can build chain state on
+    /// top of uncommitted writes).
+    ///
+    /// Dropping the handle without finishing it rolls the transaction back
+    /// (and releases the lane), so an unwinding panic cannot leak an
+    /// `Active` undo log into the next transaction on the lane.
+    ///
+    /// # Errors
+    ///
+    /// Device or undo-log errors while arming the lane's log.
+    pub fn tx_begin(&self) -> Result<TxHandle<'_>> {
+        let (lane, guard) = self.lanes.acquire();
+        let ulog = UndoLog::new(self.hdr.undo_off(lane), self.hdr.undo_capacity);
+        ulog.begin(&self.pm)?;
+        self.pm.mark("tx_begin");
+        Ok(TxHandle {
+            tx: Some(Tx::new(self, lane, ulog)),
+            _lane: guard,
+        })
+    }
+
     /// Run `f` inside a software transaction.
     ///
     /// If `f` returns `Ok`, the transaction commits: snapshotted ranges are
     /// flushed, deferred frees performed, and the undo log discarded. If `f`
     /// returns `Err`, every snapshotted range is rolled back to its
     /// pre-transaction contents and transactional allocations are freed.
+    /// If `f` panics, the unwind rolls the transaction back the same way
+    /// (via [`TxHandle`]'s drop guard) before the panic propagates.
     ///
     /// # Errors
     ///
@@ -754,20 +785,14 @@ impl ObjPool {
         &self,
         f: impl FnOnce(&mut Tx<'_>) -> std::result::Result<R, E>,
     ) -> std::result::Result<R, E> {
-        let (lane, _guard) = self.lanes.acquire();
-        let ulog = UndoLog::new(self.hdr.undo_off(lane), self.hdr.undo_capacity);
-        ulog.begin(&self.pm).map_err(E::from)?;
-        self.pm.mark("tx_begin");
-        let mut tx = Tx::new(self, lane, ulog);
-        match f(&mut tx) {
+        let mut h = self.tx_begin().map_err(E::from)?;
+        match f(h.tx()) {
             Ok(r) => {
-                tx.commit().map_err(E::from)?;
-                self.pm.mark("tx_end");
+                h.commit().map_err(E::from)?;
                 Ok(r)
             }
             Err(e) => {
-                tx.rollback().map_err(E::from)?;
-                self.pm.mark("tx_abort");
+                h.rollback().map_err(E::from)?;
                 Err(e)
             }
         }
@@ -779,5 +804,76 @@ impl ObjPool {
 
     pub(crate) fn arenas(&self) -> &Arenas {
         &self.alloc
+    }
+}
+
+/// An explicitly-managed software transaction: a held lane plus an armed
+/// undo log. Created by [`ObjPool::tx_begin`].
+///
+/// Exactly one of [`commit`](TxHandle::commit) / [`rollback`](TxHandle::rollback)
+/// consumes the handle; dropping it unfinished (including during panic
+/// unwinding) rolls back. The lane is released when the handle goes away,
+/// whichever path it takes.
+pub struct TxHandle<'p> {
+    tx: Option<Tx<'p>>,
+    _lane: LaneGuard<'p>,
+}
+
+impl std::fmt::Debug for TxHandle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxHandle")
+            .field("finished", &self.tx.is_none())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'p> TxHandle<'p> {
+    /// The in-flight transaction, for `Tx`-consuming operations
+    /// (`snapshot`/`write`/`alloc`/`free` and the policy `tx_*` entry
+    /// points).
+    pub fn tx(&mut self) -> &mut Tx<'p> {
+        self.tx.as_mut().expect("transaction already finished")
+    }
+
+    /// Commit: flush snapshotted ranges, pass the durable commit point,
+    /// perform deferred frees, discard the undo log.
+    ///
+    /// # Errors
+    ///
+    /// Device or log errors. The commit point may or may not have been
+    /// passed when an error surfaces; recovery on reopen resolves it.
+    pub fn commit(mut self) -> Result<()> {
+        let tx = self.tx.take().expect("transaction already finished");
+        let pool = tx.pool();
+        tx.commit()?;
+        pool.pm().mark("tx_end");
+        Ok(())
+    }
+
+    /// Roll back: restore every snapshotted range, free transactional
+    /// allocations, discard the undo log.
+    ///
+    /// # Errors
+    ///
+    /// Device or log errors.
+    pub fn rollback(mut self) -> Result<()> {
+        let tx = self.tx.take().expect("transaction already finished");
+        let pool = tx.pool();
+        tx.rollback()?;
+        pool.pm().mark("tx_abort");
+        Ok(())
+    }
+}
+
+impl Drop for TxHandle<'_> {
+    fn drop(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            let pool = tx.pool();
+            // Unwinding (or a dropped handle): abort. Errors cannot
+            // propagate from drop; recovery on reopen re-runs the rollback
+            // from the durable undo log if this one did not finish.
+            let _ = tx.rollback();
+            pool.pm().mark("tx_abort");
+        }
     }
 }

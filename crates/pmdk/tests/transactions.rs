@@ -227,3 +227,82 @@ fn concurrent_transactions() {
         assert_eq!(pool.read_u64(obj.off + t * 8).unwrap(), 99);
     }
 }
+
+// ---- explicit TxHandle API ----
+
+#[test]
+fn tx_handle_explicit_commit_is_durable() {
+    let pool = fresh_tracked(1 << 20);
+    let obj = pool.zalloc(64).unwrap();
+    let mut h = pool.tx_begin().unwrap();
+    h.tx().write(obj.off, b"handle-committed").unwrap();
+    h.commit().unwrap();
+    let reopened = crash_and_reopen(&pool, CrashSpec::DropUnpersisted);
+    let mut b = [0u8; 16];
+    reopened.read(obj.off, &mut b).unwrap();
+    assert_eq!(&b, b"handle-committed");
+}
+
+#[test]
+fn tx_handle_explicit_rollback_restores() {
+    let pool = fresh_tracked(1 << 20);
+    let obj = pool.zalloc(64).unwrap();
+    pool.write(obj.off, b"original").unwrap();
+    pool.persist(obj.off, 8).unwrap();
+    let mut h = pool.tx_begin().unwrap();
+    h.tx().write(obj.off, b"scribble").unwrap();
+    h.rollback().unwrap();
+    let mut b = [0u8; 8];
+    pool.read(obj.off, &mut b).unwrap();
+    assert_eq!(&b, b"original");
+}
+
+#[test]
+fn tx_handle_drop_rolls_back() {
+    let pool = fresh_tracked(1 << 20);
+    let obj = pool.zalloc(64).unwrap();
+    pool.write(obj.off, b"original").unwrap();
+    pool.persist(obj.off, 8).unwrap();
+    {
+        let mut h = pool.tx_begin().unwrap();
+        h.tx().write(obj.off, b"scribble").unwrap();
+        // Dropped unfinished: must roll back and release the lane.
+    }
+    let mut b = [0u8; 8];
+    pool.read(obj.off, &mut b).unwrap();
+    assert_eq!(&b, b"original");
+    // The lane is free again: another transaction starts cleanly.
+    pool.tx(|tx| -> spp_pmdk::Result<()> { tx.write(obj.off, b"afterward") })
+        .unwrap();
+}
+
+#[test]
+fn panic_inside_tx_closure_rolls_back_and_releases_lane() {
+    let pool = Arc::new(fresh_tracked(1 << 20));
+    let obj = pool.zalloc(64).unwrap();
+    pool.write(obj.off, b"original").unwrap();
+    pool.persist(obj.off, 8).unwrap();
+    let p2 = Arc::clone(&pool);
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        p2.tx(|tx| -> spp_pmdk::Result<()> {
+            tx.write(obj.off, b"scribble").unwrap();
+            panic!("die mid-transaction");
+        })
+    }));
+    assert!(r.is_err());
+    // The unwind rolled the transaction back in-process...
+    let mut b = [0u8; 8];
+    pool.read(obj.off, &mut b).unwrap();
+    assert_eq!(&b, b"original");
+    // ...left no Active undo log behind for recovery to trip on...
+    let reopened = crash_and_reopen(&pool, CrashSpec::KeepAll);
+    let mut b = [0u8; 8];
+    reopened.read(obj.off, &mut b).unwrap();
+    assert_eq!(&b, b"original");
+    // ...and released the lane, so the pool keeps working (small() has
+    // only 2 lanes — a leak would wedge this quickly).
+    for _ in 0..4 {
+        pool.tx(|tx| -> spp_pmdk::Result<()> { tx.write(obj.off, b"continues") })
+            .unwrap();
+    }
+}

@@ -6,7 +6,12 @@
 //!             [--conns 4] [--ops 20000] [--value-size 100] [--read-pct 50]
 //!             [--pool-mb 64] [--workers 4] [--nbuckets 4096]
 //!             [--smoke] [--shutdown] [--inject-garbage]
+//!             [--sweep-threads 1,2,4,8] [--flush-wait-ns 15000]
 //! ```
+//!
+//! `--sweep-threads` switches to thread-sweep mode: one fresh in-process
+//! server per connection count on device-wait media, reporting ops/s per
+//! point and the throughput knee (see [`run_sweep`]).
 //!
 //! Without `--addr`, an in-process server (ephemeral port, `--policy`) is
 //! spawned and measured — the one-command mode CI and `EXPERIMENTS.md`
@@ -22,32 +27,91 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use spp_bench::{banner, validate_rows, Args, Json};
+use spp_bench::{banner, validate_rows, write_text_artifact, Args, Json};
+use spp_pm::contention;
 use spp_server::{
-    fresh_server_pool, Client, ClientError, KvEngine, PolicyKind, Server, ServerConfig,
+    fresh_server_pool, fresh_server_pool_wait, Client, ClientError, KvEngine, PolicyKind, Server,
+    ServerConfig,
 };
 
 const KEY_SIZE: usize = 16;
 
-/// Nanosecond latency samples for one operation class.
-#[derive(Default)]
+/// Log-linear histogram resolution: sub-buckets per power of two. 32 keeps
+/// the quantile error under ~3%.
+const HIST_SUB_BITS: u32 = 5;
+const HIST_SUB: u64 = 1 << HIST_SUB_BITS;
+/// Buckets 0..2*HIST_SUB are exact (ns < 64); above that, each power of two
+/// splits into `HIST_SUB` linear sub-buckets up to the full u64 range.
+const HIST_BUCKETS: usize =
+    (2 * HIST_SUB as usize) + (63 - HIST_SUB_BITS as usize) * HIST_SUB as usize;
+
+fn bucket_of(ns: u64) -> usize {
+    if ns < 2 * HIST_SUB {
+        return ns as usize;
+    }
+    let msb = 63 - u64::from(ns.leading_zeros());
+    let shift = msb - u64::from(HIST_SUB_BITS);
+    let sub = (ns >> shift) - HIST_SUB;
+    (2 * HIST_SUB + (msb - u64::from(HIST_SUB_BITS) - 1) * HIST_SUB + sub) as usize
+}
+
+/// Midpoint of a bucket's value range, in nanoseconds.
+fn bucket_rep(idx: usize) -> u64 {
+    if idx < 2 * HIST_SUB as usize {
+        return idx as u64;
+    }
+    let off = idx as u64 - 2 * HIST_SUB;
+    let group = off / HIST_SUB;
+    let sub = off % HIST_SUB;
+    let shift = group + 1;
+    ((HIST_SUB + sub) << shift) + (1 << shift) / 2
+}
+
+/// Nanosecond latency distribution for one operation class: a fixed-footprint
+/// log-linear histogram. Each connection thread fills its own and the driver
+/// merges them bucket-wise — O(1) per sample, O(`HIST_BUCKETS`) per merge —
+/// replacing the per-operation `Vec<u64>` that previously grew (and
+/// reallocated) once per request for the whole run.
 struct Lats {
-    ns: Vec<u64>,
+    count: u64,
+    buckets: Box<[u64]>,
+}
+
+impl Default for Lats {
+    fn default() -> Self {
+        Lats {
+            count: 0,
+            buckets: vec![0u64; HIST_BUCKETS].into_boxed_slice(),
+        }
+    }
 }
 
 impl Lats {
     fn push(&mut self, d: Duration) {
-        self.ns.push(d.as_nanos() as u64);
+        self.buckets[bucket_of(d.as_nanos() as u64)] += 1;
+        self.count += 1;
+    }
+
+    fn merge(&mut self, other: &Lats) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
     }
 
     fn percentile_us(&self, p: f64) -> f64 {
-        if self.ns.is_empty() {
+        if self.count == 0 {
             return f64::NAN;
         }
-        let mut sorted = self.ns.clone();
-        sorted.sort_unstable();
-        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-        sorted[idx] as f64 / 1_000.0
+        let rank = ((self.count - 1) as f64 * p).round() as u64;
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if n > 0 && seen > rank {
+                return bucket_rep(idx) as f64 / 1_000.0;
+            }
+        }
+        f64::NAN
     }
 }
 
@@ -133,19 +197,173 @@ fn lat_row(policy: PolicyKind, op: &'static str, lats: &Lats, elapsed_s: f64) ->
     Json::Obj(vec![
         ("policy", Json::Str(policy.label().to_string())),
         ("op", Json::Str(op.to_string())),
-        ("ops", Json::Int(lats.ns.len() as u64)),
-        (
-            "throughput_ops_s",
-            Json::Num(lats.ns.len() as f64 / elapsed_s),
-        ),
+        ("ops", Json::Int(lats.count)),
+        ("throughput_ops_s", Json::Num(lats.count as f64 / elapsed_s)),
         ("p50_us", Json::Num(lats.percentile_us(0.50))),
         ("p95_us", Json::Num(lats.percentile_us(0.95))),
         ("p99_us", Json::Num(lats.percentile_us(0.99))),
     ])
 }
 
+/// Thread-sweep mode (`--sweep-threads 1,2,4,8`): one fresh in-process
+/// server per connection count, all on device-wait media, reporting where
+/// the throughput knee sits. Each point's row lands in
+/// `results/server_loadgen.json` with `op: "sweep"`; the contention profile
+/// accumulated across the sweep is dumped to
+/// `results/contention_loadgen.txt`.
+fn run_sweep(args: &Args, sweep_csv: &str) -> Result<(), String> {
+    let smoke = args.flag("smoke");
+    let policy: PolicyKind = args.get("policy", PolicyKind::Pmdk);
+    let ops: u64 = args.get("ops", if smoke { 300 } else { 4_000 });
+    let value_size: usize = args.get("value-size", if smoke { 64 } else { 100 });
+    let read_pct: u32 = args.get("read-pct", 50).min(100);
+    let flush_wait_ns: u32 = args.get("flush-wait-ns", 15_000);
+    let conn_counts: Vec<u32> = sweep_csv
+        .split(',')
+        .filter_map(|t| t.parse().ok())
+        .collect();
+    if conn_counts.len() < 2 {
+        return Err(format!(
+            "--sweep-threads needs >= 2 counts, got `{sweep_csv}`"
+        ));
+    }
+
+    banner(&format!(
+        "spp-loadgen sweep: policy={} conns={conn_counts:?} ops/conn={ops} \
+         value={value_size}B reads={read_pct}% flush-wait={flush_wait_ns}ns",
+        policy.label()
+    ));
+
+    contention::reset_all();
+    let value = vec![0xA5u8; value_size];
+    let mut rows = Vec::new();
+    let mut tputs: Vec<f64> = Vec::new();
+    for &conns in &conn_counts {
+        let pool = fresh_server_pool_wait(args.get("pool-mb", 64u64) << 20, 16, flush_wait_ns)
+            .map_err(|e| format!("pool create: {e}"))?;
+        let pm = Arc::clone(pool.pm());
+        let engine = Arc::new(
+            KvEngine::create(pool, policy, args.get("nbuckets", 4096))
+                .map_err(|e| format!("engine create: {e}"))?,
+        );
+        let cfg = ServerConfig {
+            workers: args.get("workers", 8),
+            max_conns: args.get("max-conns", 64),
+            queue_depth: args.get("queue-depth", 256),
+        };
+        let server = Server::start(engine, ("127.0.0.1", 0), cfg)
+            .map_err(|e| format!("in-process server: {e}"))?;
+        let addr = server.local_addr();
+        pm.set_latency_enabled(true);
+
+        let start = Instant::now();
+        let handles: Vec<_> = (0..conns)
+            .map(|conn_id| {
+                let value = value.clone();
+                std::thread::spawn(move || run_conn(addr, conn_id, ops, &value, read_pct))
+            })
+            .collect();
+        let mut all = Lats::default();
+        let mut busy_retries = 0u64;
+        for h in handles {
+            let r = h.join().map_err(|_| "loadgen thread panicked")??;
+            all.merge(&r.puts);
+            all.merge(&r.gets);
+            busy_retries += r.busy_retries;
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        server.shutdown();
+
+        let tput = all.count as f64 / elapsed;
+        println!(
+            "  conns={conns:<3} {tput:>10.0} ops/s  p50={:>8.1}us  p99={:>8.1}us  \
+             ({busy_retries} BUSY retries)",
+            all.percentile_us(0.50),
+            all.percentile_us(0.99),
+        );
+        let mut row = lat_row(policy, "sweep", &all, elapsed);
+        if let Json::Obj(fields) = &mut row {
+            fields.insert(2, ("conns", Json::Int(u64::from(conns))));
+        }
+        rows.push(row);
+        tputs.push(tput);
+    }
+
+    // The knee: the last connection count that still bought >= 10% more
+    // throughput than the previous point.
+    let mut knee = conn_counts[0];
+    for i in 1..tputs.len() {
+        if tputs[i] >= tputs[i - 1] * 1.10 {
+            knee = conn_counts[i];
+        } else {
+            break;
+        }
+    }
+    println!("throughput knee at {knee} connections");
+    println!("top contended locks during the sweep:");
+    for snap in contention::top_contended(3) {
+        println!(
+            "  {:<16} {:>8} acq  {:>6.2}% contended  {:>8.2}ms waited",
+            snap.name,
+            snap.acquisitions,
+            snap.contended_fraction() * 100.0,
+            snap.wait_ns as f64 / 1e6,
+        );
+    }
+    let dump_path = write_text_artifact("contention_loadgen.txt", &contention::dump());
+    println!("contention dump written to {}", dump_path.display());
+
+    validate_rows(
+        &rows,
+        &[
+            "throughput_ops_s",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "ops",
+            "conns",
+        ],
+    )
+    .map_err(|e| format!("sweep validation failed: {e}"))?;
+
+    let doc = Json::Obj(vec![
+        ("name", Json::Str("server_loadgen".to_string())),
+        ("mode", Json::Str("sweep".to_string())),
+        ("policy", Json::Str(policy.label().to_string())),
+        ("ops_per_conn", Json::Int(ops)),
+        ("value_size", Json::Int(value_size as u64)),
+        ("read_pct", Json::Int(u64::from(read_pct))),
+        ("flush_wait_ns", Json::Int(u64::from(flush_wait_ns))),
+        (
+            "sweep_conns",
+            Json::Arr(
+                conn_counts
+                    .iter()
+                    .map(|&c| Json::Int(u64::from(c)))
+                    .collect(),
+            ),
+        ),
+        (
+            "sweep_ops_per_s",
+            Json::Arr(tputs.iter().map(|&v| Json::Num(v)).collect()),
+        ),
+        ("knee_conns", Json::Int(u64::from(knee))),
+        ("rows", Json::Arr(rows)),
+    ]);
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).map_err(|e| format!("create results/: {e}"))?;
+    let path = dir.join("server_loadgen.json");
+    std::fs::write(&path, doc.render() + "\n").map_err(|e| format!("write {path:?}: {e}"))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = Args::parse();
+    let sweep_csv: String = args.get("sweep-threads", String::new());
+    if !sweep_csv.is_empty() {
+        return run_sweep(&args, &sweep_csv);
+    }
     let smoke = args.flag("smoke");
     let policy: PolicyKind = args.get("policy", PolicyKind::Spp);
     let conns: u32 = args.get("conns", if smoke { 2 } else { 4 });
@@ -200,8 +418,8 @@ fn run() -> Result<(), String> {
     let mut busy_retries = 0u64;
     for h in handles {
         let r = h.join().map_err(|_| "loadgen thread panicked")??;
-        puts.ns.extend_from_slice(&r.puts.ns);
-        gets.ns.extend_from_slice(&r.gets.ns);
+        puts.merge(&r.puts);
+        gets.merge(&r.gets);
         busy_retries += r.busy_retries;
     }
     let elapsed = start.elapsed().as_secs_f64();
@@ -220,13 +438,13 @@ fn run() -> Result<(), String> {
         server.shutdown();
     }
 
-    let total_ops = (puts.ns.len() + gets.ns.len()) as f64;
+    let total_ops = (puts.count + gets.count) as f64;
     println!(
         "total: {total_ops:.0} ops in {elapsed:.3}s = {:.0} ops/s ({busy_retries} BUSY retries)",
         total_ops / elapsed
     );
     let mut rows = vec![lat_row(policy, "put", &puts, elapsed)];
-    if !gets.ns.is_empty() {
+    if gets.count > 0 {
         rows.push(lat_row(policy, "get", &gets, elapsed));
     }
     for row in &rows {
@@ -276,5 +494,76 @@ fn main() -> ExitCode {
             eprintln!("spp-loadgen: {msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_in_range() {
+        let mut samples: Vec<u64> = (0..64u32)
+            .flat_map(|shift| {
+                [0u64, 1, 3]
+                    .into_iter()
+                    .map(move |frac| (1u64 << shift) | (frac << shift.saturating_sub(3)))
+            })
+            .collect();
+        samples.sort_unstable();
+        let mut prev = 0usize;
+        for ns in samples {
+            let idx = bucket_of(ns);
+            assert!(idx < HIST_BUCKETS, "ns={ns} idx={idx}");
+            assert!(idx >= prev, "bucket index regressed at ns={ns}");
+            prev = idx;
+        }
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_rep_lands_in_its_own_bucket() {
+        for idx in 0..HIST_BUCKETS {
+            assert_eq!(bucket_of(bucket_rep(idx)), idx, "idx={idx}");
+        }
+    }
+
+    #[test]
+    fn percentiles_track_samples_within_bucket_error() {
+        let mut lats = Lats::default();
+        for us in 1..=1000u64 {
+            lats.push(Duration::from_micros(us));
+        }
+        let p50 = lats.percentile_us(0.50);
+        let p99 = lats.percentile_us(0.99);
+        assert!((p50 - 500.0).abs() / 500.0 < 0.05, "p50 = {p50}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.05, "p99 = {p99}");
+        assert!(lats.percentile_us(1.0) >= p99);
+    }
+
+    #[test]
+    fn merge_equals_pushing_into_one() {
+        let mut a = Lats::default();
+        let mut b = Lats::default();
+        let mut whole = Lats::default();
+        for i in 1..200u64 {
+            let d = Duration::from_nanos(i * i * 37);
+            if i % 2 == 0 {
+                a.push(d);
+            } else {
+                b.push(d);
+            }
+            whole.push(d);
+        }
+        a.merge(&b);
+        assert_eq!(a.count, whole.count);
+        for p in [0.5, 0.95, 0.99] {
+            assert_eq!(a.percentile_us(p), whole.percentile_us(p));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_yields_nan() {
+        assert!(Lats::default().percentile_us(0.5).is_nan());
     }
 }

@@ -74,6 +74,26 @@ pub fn fresh_server_pool(bytes: u64, lanes: usize, tracked: bool) -> Result<Arc<
     Ok(Arc::new(ObjPool::create(pm, PoolOpts::new().lanes(lanes))?))
 }
 
+/// Create a server pool whose flushes pay an *overlappable* wall-clock
+/// device wait ([`spp_pm::LatencyModel::device_wait`]) — the substrate for
+/// the load generator's thread sweep, where N connections must overlap
+/// their durability stalls the way N cores do on real PM. Latency starts
+/// disabled so engine setup runs at DRAM speed; call
+/// `pool.pm().set_latency_enabled(true)` around the measured region.
+pub fn fresh_server_pool_wait(
+    bytes: u64,
+    lanes: usize,
+    flush_wait_ns: u32,
+) -> Result<Arc<ObjPool>> {
+    let pm = Arc::new(PmPool::new(
+        PoolConfig::new(bytes)
+            .record_stats(false)
+            .latency(spp_pm::LatencyModel::device_wait(0, flush_wait_ns)),
+    ));
+    pm.set_latency_enabled(false);
+    Ok(Arc::new(ObjPool::create(pm, PoolOpts::new().lanes(lanes))?))
+}
+
 /// The KV store under one concrete policy. Dispatch is a three-way match —
 /// the policies are statically known and `KvStore` is generic, so no trait
 /// object can cover all three without erasing the policy surface.

@@ -26,7 +26,7 @@ pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError, RespKind};
-pub use engine::{fresh_server_pool, KvEngine, PolicyKind};
+pub use engine::{fresh_server_pool, fresh_server_pool_wait, KvEngine, PolicyKind};
 pub use queue::{BoundedQueue, Job, PushError, WorkerPool};
 pub use server::{Server, ServerConfig};
 pub use wire::{Request, Response, WireError};
