@@ -236,6 +236,19 @@ pub trait MemoryPolicy: Send + Sync {
         Ok(())
     }
 
+    /// Flush the `len` bytes at `ptr` **without fencing**: the stores
+    /// become durable at the next fence on the pool. Batched writers use
+    /// this so one commit-time fence covers every staged object.
+    ///
+    /// # Errors
+    ///
+    /// Resolution errors.
+    fn flush(&self, ptr: u64, len: u64) -> Result<()> {
+        let off = self.resolve(ptr, len)?;
+        self.pool().flush(off, len as usize)?;
+        Ok(())
+    }
+
     /// Load an oid stored at `ptr` under this policy's encoding.
     ///
     /// # Errors

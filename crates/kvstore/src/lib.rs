@@ -78,6 +78,43 @@ pub struct KvStats {
     pub stripe_occupancy: Vec<u64>,
 }
 
+/// One mutation in a group-committed batch (see [`KvStore::apply_batch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOp<'a> {
+    /// Insert or update `key` with `value`.
+    Put {
+        /// The key (exactly [`KEY_SIZE`] bytes).
+        key: &'a [u8],
+        /// The value.
+        value: &'a [u8],
+    },
+    /// Remove `key`.
+    Del {
+        /// The key (exactly [`KEY_SIZE`] bytes).
+        key: &'a [u8],
+    },
+}
+
+impl BatchOp<'_> {
+    /// The key this op touches.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            BatchOp::Put { key, .. } | BatchOp::Del { key } => key,
+        }
+    }
+}
+
+/// Per-op result of [`KvStore::apply_batch`], index-aligned with the ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// The put was applied.
+    Put,
+    /// The delete removed an existing key.
+    Removed,
+    /// The delete found nothing (still part of the committed batch).
+    Missed,
+}
+
 /// A concurrent persistent hash map (the `cmap` engine analogue).
 ///
 /// Locking discipline for write operations: the transaction lane is
@@ -374,6 +411,189 @@ impl<P: MemoryPolicy> KvStore<P> {
         };
         drop(guard);
         r
+    }
+
+    /// Apply a batch of mutations in **one transaction with one durability
+    /// boundary** (the group-commit path). All value objects are prepared
+    /// first under the transaction lane (no stripe locks — same phase
+    /// split as [`put`](Self::put)), then every touched stripe is
+    /// write-locked in sorted index order and the chain edits are staged
+    /// and committed together: one undo log, one flush+fence sweep, one
+    /// commit record. Crash semantics are all-or-nothing — recovery either
+    /// rolls the whole batch back (crash before the commit record is
+    /// durable) or keeps every member.
+    ///
+    /// Lock ordering matches the single-op writers (lane before stripes)
+    /// and the stripes themselves are acquired in ascending index order,
+    /// so concurrent batches cannot deadlock each other. Ops apply in
+    /// order, so a batch may legally contain multiple ops on one key.
+    ///
+    /// The shared undo log bounds batch size: an oversized batch fails
+    /// with `UndoLogFull` and is rolled back (callers fall back to per-op
+    /// transactions). On any error nothing is applied.
+    ///
+    /// # Errors
+    ///
+    /// Allocation/transaction errors or detected safety violations; the
+    /// batch is rolled back in full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key is not exactly [`KEY_SIZE`] bytes.
+    pub fn apply_batch(&self, ops: &[BatchOp<'_>]) -> Result<Vec<BatchOutcome>> {
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        for op in ops {
+            assert_eq!(op.key().len(), KEY_SIZE, "cmap engine uses fixed-size keys");
+        }
+        // Defer the per-flush device waits: the batch's flushes all land
+        // before its single fence, so they drain as one queue flush.
+        self.policy
+            .pool()
+            .pm()
+            .coalesce_flush_waits(|| self.apply_batch_staged(ops))
+    }
+
+    fn apply_batch_staged(&self, ops: &[BatchOp<'_>]) -> Result<Vec<BatchOutcome>> {
+        let p = &*self.policy;
+        // Lane before stripes, as everywhere.
+        let mut h = p.pool().tx_begin()?;
+        // Phase 1, no stripe locks: a value object per put, private to the
+        // transaction until linked.
+        let prep = ops
+            .iter()
+            .map(|op| match op {
+                BatchOp::Put { value, .. } => {
+                    let val = p.tx_alloc(h.tx(), value.len() as u64, false)?;
+                    let vptr = p.direct(val);
+                    p.store(vptr, value)?;
+                    // Flush only — the commit's single fence (issued before
+                    // the commit record) makes every staged value durable.
+                    p.flush(vptr, value.len() as u64)?;
+                    Ok(Some(val))
+                }
+                BatchOp::Del { .. } => Ok(None),
+            })
+            .collect::<Result<Vec<Option<PmemOid>>>>();
+        let vals = match prep {
+            Ok(vals) => vals,
+            Err(e) => {
+                h.rollback()?;
+                return Err(e);
+            }
+        };
+        // Phase 2: every touched stripe, ascending, then stage the chain
+        // edits and commit while all of them are held.
+        let mut stripes: Vec<usize> = ops.iter().map(|op| self.bucket_of(op.key()).1).collect();
+        stripes.sort_unstable();
+        stripes.dedup();
+        let guards: Vec<_> = stripes.iter().map(|&s| self.locks[s].write()).collect();
+        let staged = (|| -> Result<Vec<BatchOutcome>> {
+            let mut out = Vec::with_capacity(ops.len());
+            for (op, val) in ops.iter().zip(&vals) {
+                match op {
+                    BatchOp::Put { key, value } => {
+                        self.stage_put(
+                            &mut h,
+                            key,
+                            value.len() as u64,
+                            val.expect("put prepared a value"),
+                        )?;
+                        out.push(BatchOutcome::Put);
+                    }
+                    BatchOp::Del { key } => {
+                        let found = self.stage_remove(&mut h, key)?;
+                        out.push(if found {
+                            BatchOutcome::Removed
+                        } else {
+                            BatchOutcome::Missed
+                        });
+                    }
+                }
+            }
+            Ok(out)
+        })();
+        let r = match staged {
+            Ok(out) => {
+                h.commit()?;
+                Ok(out)
+            }
+            Err(e) => {
+                h.rollback()?;
+                Err(e)
+            }
+        };
+        drop(guards);
+        r
+    }
+
+    /// Stage one put's chain edit into `h`'s transaction. Caller holds the
+    /// stripe write lock; `val` is the prepared value object.
+    fn stage_put(
+        &self,
+        h: &mut spp_pmdk::TxHandle<'_>,
+        key: &[u8],
+        vlen: u64,
+        val: PmemOid,
+    ) -> Result<()> {
+        let p = &*self.policy;
+        let l = self.layout;
+        let (b, _) = self.bucket_of(key);
+        let head_field = self.bucket_field(b);
+        let mut cur = p.load_oid(head_field)?;
+        let mut kbuf = [0u8; KEY_SIZE];
+        while !cur.is_null() {
+            let nptr = p.direct(cur);
+            self.key_of_node(nptr, &mut kbuf)?;
+            if kbuf == key {
+                let vfield = p.gep(nptr, l.value as i64);
+                let old = p.load_oid(vfield)?;
+                p.tx_free(h.tx(), old)?;
+                p.tx_write_u64(h.tx(), p.gep(nptr, l.vlen as i64), vlen)?;
+                p.tx_write_oid(h.tx(), vfield, val)?;
+                return Ok(());
+            }
+            cur = p.load_oid(p.gep(nptr, l.next as i64))?;
+        }
+        let head = p.load_oid(head_field)?;
+        let node = p.tx_alloc(h.tx(), l.size, false)?;
+        let nptr = p.direct(node);
+        p.store(p.gep(nptr, l.key as i64), key)?;
+        p.store_oid(p.gep(nptr, l.next as i64), head)?;
+        p.store_u64(p.gep(nptr, l.vlen as i64), vlen)?;
+        p.store_oid(p.gep(nptr, l.value as i64), val)?;
+        // Flush only: the node must be durable before the commit record,
+        // and the commit's fence orders exactly that.
+        p.flush(nptr, l.size)?;
+        p.tx_write_oid(h.tx(), head_field, node)?;
+        Ok(())
+    }
+
+    /// Stage one delete's chain unlink into `h`'s transaction. Caller
+    /// holds the stripe write lock. Returns whether the key existed.
+    fn stage_remove(&self, h: &mut spp_pmdk::TxHandle<'_>, key: &[u8]) -> Result<bool> {
+        let p = &*self.policy;
+        let l = self.layout;
+        let (b, _) = self.bucket_of(key);
+        let mut field = self.bucket_field(b);
+        let mut cur = p.load_oid(field)?;
+        let mut kbuf = [0u8; KEY_SIZE];
+        while !cur.is_null() {
+            let nptr = p.direct(cur);
+            self.key_of_node(nptr, &mut kbuf)?;
+            if kbuf == key {
+                let next = p.load_oid(p.gep(nptr, l.next as i64))?;
+                let val = p.load_oid(p.gep(nptr, l.value as i64))?;
+                p.tx_free(h.tx(), val)?;
+                p.tx_free(h.tx(), cur)?;
+                p.tx_write_oid(h.tx(), field, next)?;
+                return Ok(true);
+            }
+            field = p.gep(nptr, l.next as i64);
+            cur = p.load_oid(field)?;
+        }
+        Ok(false)
     }
 
     /// Visit every entry, passing each key and value to `f`. Buckets are
@@ -741,6 +961,197 @@ mod tests {
                 assert_eq!(out, vec![t as u8; 48]);
             }
         }
+    }
+
+    #[test]
+    fn apply_batch_roundtrip_and_outcomes() {
+        let kv = spp_store(1 << 23, 16);
+        kv.put(&key(100), b"preexisting").unwrap();
+        let k0 = key(0);
+        let k1 = key(1);
+        let k100 = key(100);
+        let k999 = key(999);
+        let out = kv
+            .apply_batch(&[
+                BatchOp::Put {
+                    key: &k0,
+                    value: b"batch-v0",
+                },
+                BatchOp::Put {
+                    key: &k1,
+                    value: b"batch-v1",
+                },
+                BatchOp::Del { key: &k100 },
+                BatchOp::Del { key: &k999 },
+            ])
+            .unwrap();
+        assert_eq!(
+            out,
+            vec![
+                BatchOutcome::Put,
+                BatchOutcome::Put,
+                BatchOutcome::Removed,
+                BatchOutcome::Missed,
+            ]
+        );
+        let mut v = Vec::new();
+        assert!(kv.get(&k0, &mut v).unwrap());
+        assert_eq!(&v, b"batch-v0");
+        v.clear();
+        assert!(kv.get(&k1, &mut v).unwrap());
+        assert_eq!(&v, b"batch-v1");
+        assert!(!kv.get(&k100, &mut v).unwrap());
+        assert_eq!(kv.count().unwrap(), 2);
+    }
+
+    #[test]
+    fn apply_batch_ops_apply_in_order_on_one_key() {
+        let kv = spp_store(1 << 23, 4);
+        let k = key(7);
+        let out = kv
+            .apply_batch(&[
+                BatchOp::Put {
+                    key: &k,
+                    value: b"first",
+                },
+                BatchOp::Put {
+                    key: &k,
+                    value: b"second",
+                },
+                BatchOp::Del { key: &k },
+                BatchOp::Put {
+                    key: &k,
+                    value: b"final",
+                },
+            ])
+            .unwrap();
+        assert_eq!(
+            out,
+            vec![
+                BatchOutcome::Put,
+                BatchOutcome::Put,
+                BatchOutcome::Removed,
+                BatchOutcome::Put,
+            ]
+        );
+        let mut v = Vec::new();
+        assert!(kv.get(&k, &mut v).unwrap());
+        assert_eq!(&v, b"final");
+        assert_eq!(kv.count().unwrap(), 1);
+    }
+
+    #[test]
+    fn apply_batch_uses_one_durability_boundary() {
+        // The whole point of group commit: N puts batched must spend far
+        // fewer fences than N puts committed individually. Run under the
+        // native policy — SPP's per-alloc tag publication adds its own
+        // fences that would mask the commit-boundary arithmetic.
+        let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 24)));
+        let pool = Arc::new(ObjPool::create(pm, PoolOpts::new().lanes(4)).unwrap());
+        let kv = KvStore::create(Arc::new(PmdkPolicy::new(pool)), 64).unwrap();
+        let keys: Vec<[u8; KEY_SIZE]> = (0..16).map(key).collect();
+
+        let pm = kv.policy().pool().pm();
+        let fences_before = pm.stats().fences();
+        for k in &keys[..8] {
+            kv.put(k, &[1u8; 64]).unwrap();
+        }
+        let single = pm.stats().fences() - fences_before;
+
+        let ops: Vec<BatchOp<'_>> = keys[8..]
+            .iter()
+            .map(|k| BatchOp::Put {
+                key: k,
+                value: &[2u8; 64],
+            })
+            .collect();
+        let fences_before = pm.stats().fences();
+        kv.apply_batch(&ops).unwrap();
+        let batched = pm.stats().fences() - fences_before;
+        // Eight per-op transactions pay eight commit fences plus a fence
+        // per value/node publish; the batch pays ONE commit fence and
+        // flush-only publishes. Allocator-metadata publication (which has
+        // its own atomic-durability discipline) still fences per alloc in
+        // both columns, so the batch saves at least the ~3-per-op
+        // commit+publish fences rather than collapsing to literally 1.
+        assert!(
+            batched + 3 * 7 <= single,
+            "batched commit spent {batched} fences vs {single} for per-op"
+        );
+    }
+
+    #[test]
+    fn apply_batch_concurrent_with_single_op_writers() {
+        // Batches (sorted multi-stripe write locks) interleaved with plain
+        // puts/removes must neither deadlock nor lose writes.
+        let kv = Arc::new(spp_store(1 << 24, 4)); // few buckets: stripe overlap guaranteed
+        std::thread::scope(|s| {
+            for t in 0..2u64 {
+                let kv = Arc::clone(&kv);
+                s.spawn(move || {
+                    let value = [t as u8; 32];
+                    for i in 0..30u64 {
+                        let keys: Vec<[u8; KEY_SIZE]> =
+                            (0..8).map(|j| key(t * 10_000 + i * 8 + j)).collect();
+                        let ops: Vec<BatchOp<'_>> = keys
+                            .iter()
+                            .map(|k| BatchOp::Put {
+                                key: k,
+                                value: &value,
+                            })
+                            .collect();
+                        kv.apply_batch(&ops).unwrap();
+                    }
+                });
+            }
+            for t in 2..4u64 {
+                let kv = Arc::clone(&kv);
+                s.spawn(move || {
+                    for i in 0..120u64 {
+                        kv.put(&key(t * 10_000 + i), &[t as u8; 32]).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(kv.count().unwrap(), 2 * 30 * 8 + 2 * 120);
+        let mut v = Vec::new();
+        for t in 0..2u64 {
+            v.clear();
+            assert!(kv.get(&key(t * 10_000), &mut v).unwrap());
+            assert_eq!(v, vec![t as u8; 32]);
+        }
+    }
+
+    #[test]
+    fn oversized_batch_fails_atomically() {
+        // Staged chain edits overflow the (deliberately small) per-lane
+        // undo log: the batch must fail cleanly, leaving the store
+        // untouched.
+        let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 24)));
+        let pool =
+            Arc::new(ObjPool::create(pm, PoolOpts::new().lanes(4).undo_capacity(2048)).unwrap());
+        let policy = Arc::new(SppPolicy::new(pool, TagConfig::default()).unwrap());
+        let kv = KvStore::create(policy, 64).unwrap();
+        kv.put(&key(5), b"survivor").unwrap();
+        let keys: Vec<[u8; KEY_SIZE]> = (1000..1400).map(key).collect();
+        let ops: Vec<BatchOp<'_>> = keys
+            .iter()
+            .map(|k| BatchOp::Put {
+                key: k,
+                value: b"doomed",
+            })
+            .collect();
+        let err = kv.apply_batch(&ops).unwrap_err();
+        let msg = format!("{err}");
+        assert!(
+            msg.to_lowercase().contains("undo") || msg.to_lowercase().contains("log"),
+            "unexpected error: {msg}"
+        );
+        // Nothing from the failed batch is visible, the old key survives.
+        assert_eq!(kv.count().unwrap(), 1);
+        let mut v = Vec::new();
+        assert!(kv.get(&key(5), &mut v).unwrap());
+        assert_eq!(&v, b"survivor");
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use parking_lot::Mutex;
@@ -13,6 +14,14 @@ use crate::{PoolOffset, Result, VirtAddr, DEFAULT_POOL_BASE};
 
 /// Cache-line size of the simulated device, in bytes.
 pub const CACHE_LINE: u64 = 64;
+
+thread_local! {
+    /// Per-thread flush-wait coalescing state: (scope nesting depth,
+    /// deferred flush-wait count). See [`PmPool::coalesce_flush_waits`].
+    /// Keyed per thread, not per pool — in practice a thread commits
+    /// against one pool at a time, and the scope is narrow.
+    static FLUSH_COALESCE: Cell<(u32, u64)> = const { Cell::new((0, 0)) };
+}
 
 /// Durability-tracking mode of a pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -238,6 +247,56 @@ impl PmPool {
         self.has_latency && self.latency_on.load(Ordering::Relaxed)
     }
 
+    /// Run `f` with this thread's flush *waits* coalesced: every
+    /// [`flush`](Self::flush) issued inside the scope still records its
+    /// events, stats, durability tracking, and boundary tap exactly as
+    /// usual, but the injected device wait is deferred — one drain wait is
+    /// paid when the outermost scope exits (if any flushes were deferred).
+    ///
+    /// This models how a write-pending queue drains posted `CLWB`s
+    /// concurrently: a group commit that flushes N ranges back to back
+    /// before a single fence pays one queue-drain latency, not N. Scopes
+    /// nest; only the outermost pays. The coalescing is per-thread, so
+    /// concurrent committers on other threads are unaffected.
+    pub fn coalesce_flush_waits<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Scope<'p> {
+            pool: &'p PmPool,
+        }
+        impl Drop for Scope<'_> {
+            fn drop(&mut self) {
+                let (depth, deferred) = FLUSH_COALESCE.get();
+                if depth == 1 {
+                    FLUSH_COALESCE.set((0, 0));
+                    // Pay one drain wait for the whole scope — skipped if
+                    // nothing flushed, and skipped during unwinding (the
+                    // wait models latency, not correctness).
+                    if deferred > 0 && !std::thread::panicking() && self.pool.latency_active() {
+                        self.pool.latency.on_flush();
+                    }
+                } else {
+                    FLUSH_COALESCE.set((depth - 1, deferred));
+                }
+            }
+        }
+        let (depth, deferred) = FLUSH_COALESCE.get();
+        FLUSH_COALESCE.set((depth + 1, deferred));
+        let _scope = Scope { pool: self };
+        f()
+    }
+
+    /// Inside a [`coalesce_flush_waits`](Self::coalesce_flush_waits) scope:
+    /// note one deferred flush wait and return `true` (skip the inline
+    /// wait). Outside any scope: return `false`.
+    #[inline]
+    fn defer_flush_wait(&self) -> bool {
+        let (depth, deferred) = FLUSH_COALESCE.get();
+        if depth == 0 {
+            return false;
+        }
+        FLUSH_COALESCE.set((depth, deferred + 1));
+        true
+    }
+
     /// Resolve a simulated virtual address range to a pool offset.
     ///
     /// # Errors
@@ -356,7 +415,7 @@ impl PmPool {
     pub fn flush(&self, off: PoolOffset, len: usize) -> Result<()> {
         self.check_range(off, len)?;
         self.c_flush.record_event();
-        if self.latency_active() {
+        if self.latency_active() && !self.defer_flush_wait() {
             self.latency.on_flush();
         }
         if self.record_stats {
@@ -650,6 +709,53 @@ mod tests {
         assert_eq!(r, vec![(10, 12), (15, 20)]);
         subtract_range(&mut r, 0, 100);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn coalesced_flushes_pay_one_device_wait() {
+        use crate::latency::LatencyModel;
+        use std::time::Instant;
+        // 2ms per flush wait: 8 inline flushes ≈ 16ms, coalesced ≈ 2ms.
+        let pool =
+            PmPool::new(PoolConfig::new(4096).latency(LatencyModel::device_wait(0, 2_000_000)));
+        let t0 = Instant::now();
+        for i in 0..8u64 {
+            pool.flush(i * 64, 8).unwrap();
+        }
+        pool.fence();
+        let inline = t0.elapsed();
+
+        let t0 = Instant::now();
+        pool.coalesce_flush_waits(|| {
+            for i in 0..8u64 {
+                pool.flush(i * 64, 8).unwrap();
+            }
+        });
+        pool.fence();
+        let coalesced = t0.elapsed();
+
+        assert!(inline.as_micros() >= 14_000, "inline {inline:?}");
+        assert!(
+            coalesced < inline / 3,
+            "coalesced {coalesced:?} vs inline {inline:?}"
+        );
+        // Flush counts are unaffected — only the wait is coalesced.
+        assert_eq!(pool.stats().flushes(), 16);
+    }
+
+    #[test]
+    fn coalesce_scope_keeps_tracking_and_scopes_nest() {
+        let pool = tracked_pool();
+        pool.coalesce_flush_waits(|| {
+            pool.write(0, &[7; 4]).unwrap();
+            pool.coalesce_flush_waits(|| {
+                pool.flush(0, 4).unwrap();
+            });
+            pool.fence();
+        });
+        // Durability tracking inside the scope behaves exactly as inline.
+        let img = pool.crash_image(CrashSpec::DropUnpersisted);
+        assert_eq!(&img.bytes()[..4], &[7u8; 4]);
     }
 
     #[test]

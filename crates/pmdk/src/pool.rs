@@ -378,6 +378,19 @@ impl ObjPool {
         Ok(())
     }
 
+    /// Flush a range without fencing (`pmem_flush`). The stores become
+    /// durable at the next fence — e.g. the one a transaction commit
+    /// issues before its commit record. Group commit uses this to publish
+    /// value objects with one shared fence per batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device range errors.
+    pub fn flush(&self, off: u64, len: usize) -> Result<()> {
+        self.pm.flush(off, len)?;
+        Ok(())
+    }
+
     /// Load a little-endian `u64` at a pool offset.
     ///
     /// # Errors

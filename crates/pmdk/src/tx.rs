@@ -159,9 +159,29 @@ impl<'p> Tx<'p> {
 
     pub(crate) fn commit(self) -> Result<()> {
         let pm = self.pool.pm();
-        // 1. Make all writes to snapshotted ranges durable.
-        for &(off, len) in &self.ranges {
-            pm.flush(off, len as usize)?;
+        // 1. Make all writes to snapshotted ranges durable. Ranges are
+        // sorted and merged cache-line-wise first: a batched (group-commit)
+        // transaction snapshots many small chain-edit ranges, and adjacent
+        // or same-line ranges collapse into one CLWB sweep instead of one
+        // flush call each. Over-flushing the sub-line gaps is safe — a
+        // flush only makes stores durable earlier, never later.
+        let mut spans: Vec<(u64, u64)> = self
+            .ranges
+            .iter()
+            .map(|&(off, len)| (off, off + len))
+            .collect();
+        spans.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(spans.len());
+        for (s, e) in spans {
+            match merged.last_mut() {
+                Some((_, pe)) if s <= pe.div_ceil(spp_pm::CACHE_LINE) * spp_pm::CACHE_LINE => {
+                    *pe = (*pe).max(e);
+                }
+                _ => merged.push((s, e)),
+            }
+        }
+        for &(s, e) in &merged {
+            pm.flush(s, (e - s) as usize)?;
         }
         pm.fence();
         // 2. Commit point.

@@ -7,11 +7,21 @@
 //!             [--pool-mb 64] [--workers 4] [--nbuckets 4096]
 //!             [--smoke] [--shutdown] [--inject-garbage]
 //!             [--sweep-threads 1,2,4,8] [--flush-wait-ns 15000]
+//!             [--pipeline 8] [--throttle-us 0]
 //! ```
 //!
 //! `--sweep-threads` switches to thread-sweep mode: one fresh in-process
 //! server per connection count on device-wait media, reporting ops/s per
 //! point and the throughput knee (see [`run_sweep`]).
+//!
+//! `--pipeline N` switches to pipeline-comparison mode (see
+//! [`run_pipeline`]): a closed-loop round-trip phase, then a phase where
+//! each connection ships batches of `N` operations — alternating `MULTI`
+//! frames (one atomic group-committed batch) and raw pipelined frames —
+//! and the report records round-trip vs pipelined throughput plus their
+//! ratio. The run self-validates that ratio against a floor unless
+//! `--throttle-us` deliberately slows the pipelined phase (the hook CI's
+//! perf-gate self-test uses to prove the gate is not blind).
 //!
 //! Without `--addr`, an in-process server (ephemeral port, `--policy`) is
 //! spawned and measured — the one-command mode CI and `EXPERIMENTS.md`
@@ -30,8 +40,8 @@ use std::time::{Duration, Instant};
 use spp_bench::{banner, validate_rows, write_text_artifact, Args, Json};
 use spp_pm::contention;
 use spp_server::{
-    fresh_server_pool, fresh_server_pool_wait, Client, ClientError, KvEngine, PolicyKind, Server,
-    ServerConfig,
+    fresh_server_pool, fresh_server_pool_wait, Client, ClientError, KvEngine, PolicyKind, Reply,
+    Request, Server, ServerConfig,
 };
 
 const KEY_SIZE: usize = 16;
@@ -193,6 +203,331 @@ fn retry_busy<R>(
     }
 }
 
+/// Pipelined worker: the same op mix as [`run_conn`], but shipped in
+/// batches of `depth` without waiting per op. Batches alternate between a
+/// `MULTI` frame (one atomic, group-committed unit) and raw back-to-back
+/// pipelined frames, so both server paths are measured. A `BUSY` (whole
+/// batch or any slot) retries the batch — PUTs are idempotent here. Batch
+/// latency is attributed evenly across the batch's ops.
+fn run_conn_pipelined(
+    addr: std::net::SocketAddr,
+    conn_id: u32,
+    ops: u64,
+    value: &[u8],
+    read_pct: u32,
+    depth: usize,
+    throttle: Duration,
+) -> Result<ConnResult, String> {
+    let mut client = Client::connect_retry(addr, Duration::from_secs(5))
+        .map_err(|e| format!("conn {conn_id}: connect: {e}"))?;
+    let mut res = ConnResult {
+        puts: Lats::default(),
+        gets: Lats::default(),
+        busy_retries: 0,
+    };
+    let mut written: u64 = 0;
+    let mut x: u64 = 0x9e37_79b9 ^ u64::from(conn_id) << 17 | 1;
+    let mut rng = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut done: u64 = 0;
+    let mut batch_no: u64 = 0;
+    while done < ops {
+        let n = depth.min((ops - done) as usize).max(1);
+        // Plan the batch up front: a GET may target a key whose PUT sits
+        // earlier in the same batch — the server's run execution
+        // guarantees reads observe earlier writes of the run.
+        let mut plan: Vec<(bool, [u8; KEY_SIZE])> = Vec::with_capacity(n);
+        let mut w = written;
+        for _ in 0..n {
+            let is_get = w > 0 && (rng() % 100) < u64::from(read_pct);
+            if is_get {
+                plan.push((true, key_of(conn_id, rng() % w)));
+            } else {
+                plan.push((false, key_of(conn_id, w)));
+                w += 1;
+            }
+        }
+        let reqs: Vec<Request<'_>> = plan
+            .iter()
+            .map(|(is_get, key)| {
+                if *is_get {
+                    Request::Get { key }
+                } else {
+                    Request::Put { key, value }
+                }
+            })
+            .collect();
+        let start = Instant::now();
+        let replies = loop {
+            let attempt = if batch_no.is_multiple_of(2) {
+                client.multi(&reqs)
+            } else {
+                client.pipeline(&reqs)
+            };
+            match attempt {
+                Ok(rs) if rs.iter().any(|r| matches!(r, Reply::Busy)) => {
+                    res.busy_retries += 1;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Ok(rs) => break rs,
+                Err(ClientError::Busy) => {
+                    res.busy_retries += 1;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Err(e) => return Err(format!("conn {conn_id}: batch: {e}")),
+            }
+        };
+        let per_op = start.elapsed() / n as u32;
+        for ((is_get, _), reply) in plan.iter().zip(&replies) {
+            match (is_get, reply) {
+                (true, Reply::Value(v)) if v == value => res.gets.push(per_op),
+                (false, Reply::Ok) => res.puts.push(per_op),
+                _ => {
+                    return Err(format!(
+                        "conn {conn_id}: unexpected batch reply {reply:?} (get={is_get})"
+                    ))
+                }
+            }
+        }
+        written = w;
+        done += n as u64;
+        batch_no += 1;
+        if throttle > Duration::ZERO {
+            std::thread::sleep(throttle);
+        }
+    }
+    Ok(res)
+}
+
+struct PhaseOut {
+    elapsed_s: f64,
+    puts: Lats,
+    gets: Lats,
+    busy_retries: u64,
+    /// `(batches, ops)` group-commit counters — in-process servers only.
+    group: Option<(u64, u64)>,
+}
+
+/// Run one measurement phase: `depth == 0` is the closed-loop round-trip
+/// baseline, `depth > 0` ships pipelined batches. Spawns a fresh in-process
+/// server unless `addr_arg` names an external one (then `conn_base` keeps
+/// the phases' keyspaces disjoint).
+#[allow(clippy::too_many_arguments)]
+fn run_phase(
+    args: &Args,
+    policy: PolicyKind,
+    addr_arg: &str,
+    conn_base: u32,
+    conns: u32,
+    ops: u64,
+    value: &[u8],
+    read_pct: u32,
+    depth: usize,
+    throttle: Duration,
+) -> Result<PhaseOut, String> {
+    let mut local: Option<Server> = None;
+    let addr: std::net::SocketAddr = if addr_arg.is_empty() {
+        let pool = fresh_server_pool(args.get("pool-mb", 64u64) << 20, 16, false)
+            .map_err(|e| format!("pool create: {e}"))?;
+        let engine = Arc::new(
+            KvEngine::create(pool, policy, args.get("nbuckets", 4096))
+                .map_err(|e| format!("engine create: {e}"))?,
+        );
+        let cfg = ServerConfig {
+            workers: args.get("workers", 4),
+            max_conns: args.get("max-conns", 64),
+            queue_depth: args.get("queue-depth", 128),
+            ..ServerConfig::default()
+        };
+        let server = Server::start(engine, ("127.0.0.1", 0), cfg)
+            .map_err(|e| format!("in-process server: {e}"))?;
+        let addr = server.local_addr();
+        local = Some(server);
+        addr
+    } else {
+        addr_arg
+            .parse()
+            .map_err(|e| format!("bad --addr `{addr_arg}`: {e}"))?
+    };
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..conns)
+        .map(|i| {
+            let value = value.to_vec();
+            std::thread::spawn(move || {
+                if depth == 0 {
+                    run_conn(addr, conn_base + i, ops, &value, read_pct)
+                } else {
+                    run_conn_pipelined(addr, conn_base + i, ops, &value, read_pct, depth, throttle)
+                }
+            })
+        })
+        .collect();
+    let mut puts = Lats::default();
+    let mut gets = Lats::default();
+    let mut busy_retries = 0u64;
+    for h in handles {
+        let r = h.join().map_err(|_| "loadgen thread panicked")??;
+        puts.merge(&r.puts);
+        gets.merge(&r.gets);
+        busy_retries += r.busy_retries;
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let group = local.as_ref().map(Server::group_stats);
+    if let Some(server) = local.take() {
+        server.shutdown();
+    }
+    Ok(PhaseOut {
+        elapsed_s,
+        puts,
+        gets,
+        busy_retries,
+        group,
+    })
+}
+
+/// Pipeline-comparison mode (`--pipeline N`): round-trip baseline phase,
+/// then a pipelined phase at depth `N`, reporting both throughputs and
+/// their ratio. Exits nonzero if the speedup misses the floor (2.0x full,
+/// 1.5x smoke) — unless `--throttle-us` is deliberately degrading the run
+/// for the perf-gate's injected-regression self-test.
+fn run_pipeline(args: &Args, depth: usize) -> Result<(), String> {
+    let smoke = args.flag("smoke");
+    let policy: PolicyKind = args.get("policy", PolicyKind::Spp);
+    let conns: u32 = args.get("conns", if smoke { 2 } else { 4 });
+    let ops: u64 = args.get("ops", if smoke { 500 } else { 20_000 });
+    let value_size: usize = args.get("value-size", if smoke { 64 } else { 100 });
+    let read_pct: u32 = args.get("read-pct", 50).min(100);
+    let addr_arg: String = args.get("addr", String::new());
+    let throttle = Duration::from_micros(args.get("throttle-us", 0u64));
+
+    banner(&format!(
+        "spp-loadgen pipeline: policy={} depth={depth} conns={conns} ops/conn={ops} \
+         value={value_size}B reads={read_pct}%",
+        policy.label()
+    ));
+    let value = vec![0xA5u8; value_size];
+
+    let rt = run_phase(
+        args,
+        policy,
+        &addr_arg,
+        0,
+        conns,
+        ops,
+        &value,
+        read_pct,
+        0,
+        Duration::ZERO,
+    )?;
+    let rt_tput = (rt.puts.count + rt.gets.count) as f64 / rt.elapsed_s;
+    println!(
+        "round-trip: {rt_tput:>10.0} ops/s  p50={:.1}us p99={:.1}us ({} BUSY retries)",
+        rt.puts.percentile_us(0.50),
+        rt.puts.percentile_us(0.99),
+        rt.busy_retries
+    );
+
+    let pl = run_phase(
+        args,
+        policy,
+        &addr_arg,
+        1 << 20,
+        conns,
+        ops,
+        &value,
+        read_pct,
+        depth,
+        throttle,
+    )?;
+    let pl_tput = (pl.puts.count + pl.gets.count) as f64 / pl.elapsed_s;
+    println!(
+        "pipelined:  {pl_tput:>10.0} ops/s  p50={:.1}us p99={:.1}us ({} BUSY retries)",
+        pl.puts.percentile_us(0.50),
+        pl.puts.percentile_us(0.99),
+        pl.busy_retries
+    );
+    if let Some((batches, gops)) = pl.group {
+        let avg = if batches > 0 {
+            gops as f64 / batches as f64
+        } else {
+            0.0
+        };
+        println!(
+            "group commit: {gops} write ops over {batches} boundaries ({avg:.1} ops/boundary)"
+        );
+    }
+
+    let speedup = pl_tput / rt_tput;
+    println!("pipeline speedup: {speedup:.2}x");
+    let floor = if smoke { 1.5 } else { 2.0 };
+    if throttle > Duration::ZERO {
+        println!("throttled run ({throttle:?}/batch): speedup floor check skipped");
+    } else if speedup < floor {
+        return Err(format!(
+            "pipeline speedup {speedup:.2}x under the {floor:.1}x floor — batching regressed"
+        ));
+    }
+
+    let mut rows = vec![
+        lat_row(policy, "put_roundtrip", &rt.puts, rt.elapsed_s),
+        lat_row(policy, "put_pipelined", &pl.puts, pl.elapsed_s),
+    ];
+    if rt.gets.count > 0 {
+        rows.push(lat_row(policy, "get_roundtrip", &rt.gets, rt.elapsed_s));
+    }
+    if pl.gets.count > 0 {
+        rows.push(lat_row(policy, "get_pipelined", &pl.gets, pl.elapsed_s));
+    }
+    for row in &rows {
+        println!("{}", row.render());
+    }
+    validate_rows(
+        &rows,
+        &["throughput_ops_s", "p50_us", "p95_us", "p99_us", "ops"],
+    )
+    .map_err(|e| format!("result validation failed: {e}"))?;
+
+    let (group_batches, group_ops) = pl.group.unwrap_or((0, 0));
+    let doc = Json::Obj(vec![
+        ("name", Json::Str("server_loadgen".to_string())),
+        ("mode", Json::Str("pipeline".to_string())),
+        ("policy", Json::Str(policy.label().to_string())),
+        ("pipeline_depth", Json::Int(depth as u64)),
+        ("conns", Json::Int(u64::from(conns))),
+        ("ops_per_conn", Json::Int(ops)),
+        ("value_size", Json::Int(value_size as u64)),
+        ("read_pct", Json::Int(u64::from(read_pct))),
+        ("throttle_us", Json::Int(throttle.as_micros() as u64)),
+        ("roundtrip_ops_s", Json::Num(rt_tput)),
+        ("pipelined_ops_s", Json::Num(pl_tput)),
+        ("pipeline_speedup", Json::Num(speedup)),
+        ("group_batches", Json::Int(group_batches)),
+        ("group_batched_ops", Json::Int(group_ops)),
+        ("busy_retries", Json::Int(rt.busy_retries + pl.busy_retries)),
+        ("rows", Json::Arr(rows)),
+    ]);
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).map_err(|e| format!("create results/: {e}"))?;
+    let path = dir.join("server_loadgen.json");
+    std::fs::write(&path, doc.render() + "\n").map_err(|e| format!("write {path:?}: {e}"))?;
+    println!("wrote {}", path.display());
+
+    // Both phases already tore down their in-process servers; --shutdown
+    // only matters against an external --addr server (the CI smoke job
+    // ends each policy's serving round through this).
+    if args.flag("shutdown") && !addr_arg.is_empty() {
+        let mut client = Client::connect_retry(&addr_arg, Duration::from_secs(5))
+            .map_err(|e| format!("shutdown connect: {e}"))?;
+        client.shutdown().map_err(|e| format!("SHUTDOWN: {e}"))?;
+    }
+    Ok(())
+}
+
 fn lat_row(policy: PolicyKind, op: &'static str, lats: &Lats, elapsed_s: f64) -> Json {
     Json::Obj(vec![
         ("policy", Json::Str(policy.label().to_string())),
@@ -250,6 +585,7 @@ fn run_sweep(args: &Args, sweep_csv: &str) -> Result<(), String> {
             workers: args.get("workers", 8),
             max_conns: args.get("max-conns", 64),
             queue_depth: args.get("queue-depth", 256),
+            ..ServerConfig::default()
         };
         let server = Server::start(engine, ("127.0.0.1", 0), cfg)
             .map_err(|e| format!("in-process server: {e}"))?;
@@ -364,6 +700,10 @@ fn run() -> Result<(), String> {
     if !sweep_csv.is_empty() {
         return run_sweep(&args, &sweep_csv);
     }
+    let pipeline_depth: usize = args.get("pipeline", 0usize);
+    if pipeline_depth > 0 {
+        return run_pipeline(&args, pipeline_depth);
+    }
     let smoke = args.flag("smoke");
     let policy: PolicyKind = args.get("policy", PolicyKind::Spp);
     let conns: u32 = args.get("conns", if smoke { 2 } else { 4 });
@@ -392,6 +732,7 @@ fn run() -> Result<(), String> {
             workers: args.get("workers", 4),
             max_conns: args.get("max-conns", 64),
             queue_depth: args.get("queue-depth", 128),
+            ..ServerConfig::default()
         };
         let server = Server::start(engine, ("127.0.0.1", 0), cfg)
             .map_err(|e| format!("in-process server: {e}"))?;

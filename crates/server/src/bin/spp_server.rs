@@ -4,24 +4,41 @@
 //! spp-server [--addr 127.0.0.1] [--port 7877] [--policy pmdk|spp|safepm]
 //!            [--pool-mb 64] [--lanes 16] [--nbuckets 4096]
 //!            [--workers 4] [--max-conns 64] [--queue-depth 128]
-//!            [--pool-file PATH]
+//!            [--group-max-batch 64] [--group-hold-us 0]
+//!            [--pool-file PATH] [--ready-file PATH]
 //! ```
 //!
 //! `--port 0` binds an ephemeral port; the daemon prints a
 //! `spp-server listening on ADDR` line either way, which scripts (and the
-//! CI smoke job) parse. With `--pool-file`, an existing image is opened
-//! through full pmdk recovery and the durable image is saved back on
-//! graceful shutdown. A wire `SHUTDOWN` quiesces the server and the
-//! process exits 0.
+//! CI smoke job) parse. `--ready-file` additionally publishes that address
+//! to a file once the listener is bound — written to a temp file, fsynced,
+//! and renamed into place, so a watcher never observes a partial write:
+//! the moment the file exists, its contents are the complete address.
+//! With `--pool-file`, an existing image is opened through full pmdk
+//! recovery and the durable image is saved back on graceful shutdown. A
+//! wire `SHUTDOWN` quiesces the server and the process exits 0.
 
 use std::io::Write;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use spp_bench::Args;
 use spp_pm::{PmPool, PoolConfig};
 use spp_pmdk::ObjPool;
-use spp_server::{fresh_server_pool, KvEngine, PolicyKind, Server, ServerConfig};
+use spp_server::{fresh_server_pool, GroupConfig, KvEngine, PolicyKind, Server, ServerConfig};
+
+/// Publish `addr` atomically: temp file in the same directory, fsync, then
+/// rename over the final path (rename is atomic on POSIX).
+fn write_ready_file(path: &str, addr: &std::net::SocketAddr) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        writeln!(f, "{addr}")?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
 
 fn run() -> Result<(), String> {
     let args = Args::parse();
@@ -32,10 +49,15 @@ fn run() -> Result<(), String> {
     let lanes: usize = args.get("lanes", 16);
     let nbuckets: u64 = args.get("nbuckets", 4096);
     let pool_file: String = args.get("pool-file", String::new());
+    let ready_file: String = args.get("ready-file", String::new());
     let cfg = ServerConfig {
         workers: args.get("workers", 4),
         max_conns: args.get("max-conns", 64),
         queue_depth: args.get("queue-depth", 128),
+        group: GroupConfig {
+            max_batch: args.get("group-max-batch", 64),
+            max_hold: Duration::from_micros(args.get("group-hold-us", 0)),
+        },
     };
 
     let reopening = !pool_file.is_empty() && std::path::Path::new(&pool_file).exists();
@@ -66,8 +88,14 @@ fn run() -> Result<(), String> {
         }
     );
     let _ = std::io::stdout().flush();
+    if !ready_file.is_empty() {
+        write_ready_file(&ready_file, &server.local_addr())
+            .map_err(|e| format!("write ready file `{ready_file}`: {e}"))?;
+    }
 
     server.wait_shutdown();
+    let (batches, batched_ops) = server.group_stats();
+    println!("spp-server group_commit batches={batches} ops={batched_ops}");
     server.shutdown();
 
     if !pool_file.is_empty() {

@@ -6,7 +6,10 @@ use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
-use crate::wire::{decode_frame, encode_request, parse_response, Request, Response, WireError};
+use crate::wire::{
+    decode_frame, encode_multi_request, encode_request, parse_response, Request, Response,
+    WireError,
+};
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -219,6 +222,84 @@ impl Client {
         })
     }
 
+    /// `MULTI`: one atomic batch frame. All `PUT`/`DEL`s in the batch
+    /// commit under a single durability boundary — either every write in
+    /// the batch survives a crash or none does. Replies are index-aligned
+    /// with `reqs`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Busy`] if the server rejected the whole batch
+    /// (retryable); [`ClientError`] otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in the encoder) on an empty batch, a nested `Multi`, a
+    /// `Shutdown`, or an oversized frame.
+    pub fn multi(&mut self, reqs: &[Request<'_>]) -> Result<Vec<Reply>, ClientError> {
+        self.wbuf.clear();
+        encode_multi_request(&mut self.wbuf, reqs);
+        self.stream.write_all(&self.wbuf)?;
+        match self.read_reply()? {
+            Reply::Multi(rs) => {
+                if rs.len() == reqs.len() {
+                    Ok(rs)
+                } else {
+                    Err(ClientError::Unexpected("MULTI reply count mismatch"))
+                }
+            }
+            Reply::Busy => Err(ClientError::Busy),
+            Reply::Err(m) => Err(ClientError::Remote(m)),
+            _ => Err(ClientError::Unexpected("MULTI wants MULTI_BODY")),
+        }
+    }
+
+    /// Pipelined send: write every request back-to-back without waiting,
+    /// then collect exactly one reply per request, in order. Unlike the
+    /// closed-loop helpers this surfaces per-request `BUSY`/`ERR` as
+    /// [`Reply`] values rather than errors, because partial success is
+    /// meaningful under backpressure.
+    ///
+    /// Do not include `SHUTDOWN` (the server closes the connection before
+    /// answering later requests).
+    ///
+    /// # Errors
+    ///
+    /// Socket or codec failures only.
+    pub fn pipeline(&mut self, reqs: &[Request<'_>]) -> Result<Vec<Reply>, ClientError> {
+        self.wbuf.clear();
+        for r in reqs {
+            encode_request(&mut self.wbuf, r);
+        }
+        self.stream.write_all(&self.wbuf)?;
+        let mut out = Vec::with_capacity(reqs.len());
+        for _ in 0..reqs.len() {
+            out.push(self.read_reply()?);
+        }
+        Ok(out)
+    }
+
+    /// Read one response frame into an owned [`Reply`].
+    fn read_reply(&mut self) -> Result<Reply, ClientError> {
+        loop {
+            if let Some(frame) = decode_frame(&self.rbuf)? {
+                let consumed = frame.consumed;
+                let reply = parse_response(&frame).map(|r| reply_of(&r));
+                self.rbuf.drain(..consumed);
+                return reply.map_err(ClientError::from);
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed connection mid-response",
+                )));
+            }
+            self.rbuf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
     /// Send raw bytes, bypassing the codec — for malformed-frame tests.
     ///
     /// # Errors
@@ -245,6 +326,7 @@ impl Client {
                     Response::Busy => RespKind::Busy,
                     Response::Stats(_) => RespKind::Stats,
                     Response::Pong => RespKind::Pong,
+                    Response::Multi(_) => RespKind::Multi,
                 });
                 self.rbuf.drain(..consumed);
                 return kind.map_err(ClientError::from);
@@ -279,4 +361,41 @@ pub enum RespKind {
     Stats,
     /// `PONG`.
     Pong,
+    /// `MULTI_BODY`.
+    Multi,
+}
+
+/// An owned server reply, as returned by [`Client::multi`] and
+/// [`Client::pipeline`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// `OK` — for a write, durable before this was sent.
+    Ok,
+    /// `VALUE` with the bytes.
+    Value(Vec<u8>),
+    /// `NOT_FOUND`.
+    NotFound,
+    /// `ERR` with its message.
+    Err(String),
+    /// `BUSY` — retryable backpressure.
+    Busy,
+    /// `STATS_BODY` text.
+    Stats(String),
+    /// `PONG`.
+    Pong,
+    /// `MULTI_BODY`: one reply per batched request, in order.
+    Multi(Vec<Reply>),
+}
+
+fn reply_of(resp: &Response<'_>) -> Reply {
+    match resp {
+        Response::Ok => Reply::Ok,
+        Response::Value(v) => Reply::Value(v.to_vec()),
+        Response::NotFound => Reply::NotFound,
+        Response::Err(m) => Reply::Err(m.to_string()),
+        Response::Busy => Reply::Busy,
+        Response::Stats(s) => Reply::Stats(s.to_string()),
+        Response::Pong => Reply::Pong,
+        Response::Multi(mb) => Reply::Multi(mb.responses().map(|r| reply_of(&r)).collect()),
+    }
 }

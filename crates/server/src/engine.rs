@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use spp_core::{MemoryPolicy, PmdkPolicy, Result, SppError, SppPolicy, TagConfig};
-use spp_kvstore::{KvStats, KvStore, KEY_SIZE};
+use spp_kvstore::{BatchOp, BatchOutcome, KvStats, KvStore, KEY_SIZE};
 use spp_pm::{Mode, PmPool, PoolConfig};
 use spp_pmdk::{ObjPool, OidDest, PoolOpts};
 use spp_safepm::SafePmPolicy;
@@ -92,6 +92,47 @@ pub fn fresh_server_pool_wait(
     ));
     pm.set_latency_enabled(false);
     Ok(Arc::new(ObjPool::create(pm, PoolOpts::new().lanes(lanes))?))
+}
+
+/// One mutation in a group-committed write batch (owned — batches cross
+/// thread boundaries on their way to the committer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Insert or update.
+    Put {
+        /// The key.
+        key: Vec<u8>,
+        /// The value.
+        value: Vec<u8>,
+    },
+    /// Remove a key.
+    Del {
+        /// The key.
+        key: Vec<u8>,
+    },
+}
+
+impl WriteOp {
+    /// The key this op touches.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            WriteOp::Put { key, .. } | WriteOp::Del { key } => key,
+        }
+    }
+}
+
+/// Per-op result of [`KvEngine::apply_write_batch`], index-aligned with
+/// the submitted ops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteReply {
+    /// Applied: a put, or a delete that removed an existing key.
+    Ok,
+    /// Delete found nothing.
+    NotFound,
+    /// The op failed (bad key, engine error); the rest of the batch is
+    /// unaffected — failed-validation ops are excluded before staging and
+    /// engine errors fall back to per-op transactions.
+    Err(String),
 }
 
 /// The KV store under one concrete policy. Dispatch is a three-way match —
@@ -266,6 +307,65 @@ impl KvEngine {
         dispatch!(self, kv => kv.for_each(f))
     }
 
+    /// Apply a batch of writes through the group-commit path: every op
+    /// with a valid key is staged into **one** engine transaction and made
+    /// durable by **one** flush+fence boundary ([`KvStore::apply_batch`]).
+    /// Replies are index-aligned with `ops`.
+    ///
+    /// Failure containment: ops with invalid keys get [`WriteReply::Err`]
+    /// and are excluded before staging. If the batched transaction itself
+    /// fails (e.g. the shared undo log overflows on an oversized batch),
+    /// nothing was applied and every op is retried in its own per-op
+    /// transaction — batching is a throughput optimisation, never a
+    /// correctness cliff.
+    pub fn apply_write_batch(&self, ops: &[WriteOp]) -> Vec<WriteReply> {
+        let mut replies = vec![WriteReply::Ok; ops.len()];
+        let mut valid: Vec<usize> = Vec::with_capacity(ops.len());
+        for (i, op) in ops.iter().enumerate() {
+            match check_key(op.key()) {
+                Ok(()) => valid.push(i),
+                Err(e) => replies[i] = WriteReply::Err(e.to_string()),
+            }
+        }
+        if valid.is_empty() {
+            return replies;
+        }
+        let batch: Vec<BatchOp<'_>> = valid
+            .iter()
+            .map(|&i| match &ops[i] {
+                WriteOp::Put { key, value } => BatchOp::Put { key, value },
+                WriteOp::Del { key } => BatchOp::Del { key },
+            })
+            .collect();
+        match dispatch!(self, kv => kv.apply_batch(&batch)) {
+            Ok(outcomes) => {
+                for (&i, outcome) in valid.iter().zip(&outcomes) {
+                    replies[i] = match outcome {
+                        BatchOutcome::Put | BatchOutcome::Removed => WriteReply::Ok,
+                        BatchOutcome::Missed => WriteReply::NotFound,
+                    };
+                }
+            }
+            Err(_) => {
+                // Rolled back in full; apply each op individually.
+                for &i in &valid {
+                    replies[i] = match &ops[i] {
+                        WriteOp::Put { key, value } => match self.put(key, value) {
+                            Ok(()) => WriteReply::Ok,
+                            Err(e) => WriteReply::Err(e.to_string()),
+                        },
+                        WriteOp::Del { key } => match self.remove(key) {
+                            Ok(true) => WriteReply::Ok,
+                            Ok(false) => WriteReply::NotFound,
+                            Err(e) => WriteReply::Err(e.to_string()),
+                        },
+                    };
+                }
+            }
+        }
+        replies
+    }
+
     /// Drain outstanding device writes: a pool-level fence. Acked writes
     /// are already durable; this exists for clients that want an explicit
     /// global barrier.
@@ -349,6 +449,69 @@ mod tests {
         assert!(engine.put(b"short", b"v").is_err());
         assert!(engine.get(b"", &mut Vec::new()).is_err());
         assert!(engine.remove(&[0; 64]).is_err());
+    }
+
+    #[test]
+    fn write_batch_mixed_outcomes_under_all_policies() {
+        for kind in PolicyKind::ALL {
+            let pool = fresh_server_pool(16 << 20, 4, false).unwrap();
+            let engine = KvEngine::create(pool, kind, 64).unwrap();
+            engine.put(&key(50), b"old").unwrap();
+            let ops = vec![
+                WriteOp::Put {
+                    key: key(1).to_vec(),
+                    value: b"batch-1".to_vec(),
+                },
+                WriteOp::Del {
+                    key: key(50).to_vec(),
+                },
+                WriteOp::Del {
+                    key: key(99).to_vec(),
+                },
+                WriteOp::Put {
+                    key: b"short".to_vec(), // invalid key
+                    value: b"x".to_vec(),
+                },
+                WriteOp::Put {
+                    key: key(2).to_vec(),
+                    value: b"batch-2".to_vec(),
+                },
+            ];
+            let replies = engine.apply_write_batch(&ops);
+            assert_eq!(replies[0], WriteReply::Ok, "{kind:?}");
+            assert_eq!(replies[1], WriteReply::Ok);
+            assert_eq!(replies[2], WriteReply::NotFound);
+            assert!(matches!(replies[3], WriteReply::Err(_)));
+            assert_eq!(replies[4], WriteReply::Ok);
+            let mut out = Vec::new();
+            assert!(engine.get(&key(1), &mut out).unwrap());
+            assert_eq!(out, b"batch-1");
+            assert!(!engine.get(&key(50), &mut Vec::new()).unwrap());
+            assert_eq!(engine.count().unwrap(), 2);
+        }
+    }
+
+    #[test]
+    fn oversized_write_batch_falls_back_to_per_op() {
+        // Build an engine over a pool with a tiny undo log, so the merged
+        // batch transaction overflows and the per-op fallback kicks in —
+        // every op must still land.
+        let pm = Arc::new(PmPool::new(PoolConfig::new(32 << 20)));
+        let pool =
+            Arc::new(ObjPool::create(pm, PoolOpts::new().lanes(4).undo_capacity(2048)).unwrap());
+        let engine = KvEngine::create(pool, PolicyKind::Spp, 256).unwrap();
+        let ops: Vec<WriteOp> = (0..400u64)
+            .map(|i| WriteOp::Put {
+                key: key(i).to_vec(),
+                value: format!("fallback-{i}").into_bytes(),
+            })
+            .collect();
+        let replies = engine.apply_write_batch(&ops);
+        assert!(replies.iter().all(|r| *r == WriteReply::Ok));
+        assert_eq!(engine.count().unwrap(), 400);
+        let mut out = Vec::new();
+        assert!(engine.get(&key(399), &mut out).unwrap());
+        assert_eq!(out, b"fallback-399");
     }
 
     #[test]

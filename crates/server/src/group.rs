@@ -1,0 +1,348 @@
+//! Cross-connection group commit.
+//!
+//! Pipelined connections produce runs of consecutive PUT/DEL requests.
+//! Instead of each worker committing its own transaction per op, writes
+//! funnel through a single [`GroupCommitter`] thread that drains every
+//! submission queued at that moment into **one** engine batch —
+//! [`crate::engine::KvEngine::apply_write_batch`], one transaction, one
+//! flush+fence boundary — and acks all submitters only after that boundary.
+//!
+//! Batching is piggyback-style (the PostgreSQL `commit_delay=0` shape): the
+//! committer never waits for batch-mates by default, so a lone interactive
+//! writer pays no added latency; under load, submissions arriving while the
+//! previous batch commits pile up and ride the next boundary together. A
+//! configurable `max_hold` (> 0) additionally stretches the gather window
+//! for deliberately bigger batches, bounded by `max_batch` ops.
+//!
+//! Ack ordering is the invariant the crash tests pin down: a submitter's
+//! `submit` only returns after the batch containing its ops has committed,
+//! so nothing is acked ahead of its durability boundary, and a batch is
+//! atomic — crash before the shared commit record and *none* of its ops
+//! survive recovery; after, *all* do.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::engine::{KvEngine, WriteOp, WriteReply};
+
+/// Group-commit tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupConfig {
+    /// Target ops per batch. The committer stops gathering once a batch
+    /// reaches this many ops (a single submission larger than the target
+    /// is still committed whole — submissions are never split).
+    pub max_batch: usize,
+    /// How long the committer may hold an open batch waiting for more
+    /// submissions. Zero (the default) means pure piggyback batching: no
+    /// added latency, batches form only from commit-time backlog.
+    pub max_hold: Duration,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            max_batch: 64,
+            max_hold: Duration::ZERO,
+        }
+    }
+}
+
+/// A queued submission: its ops and the channel the committed replies go
+/// back on.
+struct Pending {
+    ops: Vec<WriteOp>,
+    reply: SyncSender<Vec<WriteReply>>,
+}
+
+struct Inner {
+    queue: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// Handle to the committer thread. Cheap to share ([`Arc`] it); shut down
+/// via [`GroupCommitter::close`], which drains queued submissions before
+/// the thread exits.
+pub struct GroupCommitter {
+    state: Arc<(Mutex<Inner>, Condvar)>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+    cfg: GroupConfig,
+    batches: AtomicU64,
+    batched_ops: AtomicU64,
+}
+
+/// Why a [`GroupCommitter::submit`] was not served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The committer is shut down (server stopping).
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Closed => write!(f, "group committer is closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl GroupCommitter {
+    /// Spawn the committer thread over `engine`.
+    pub fn start(engine: Arc<KvEngine>, cfg: GroupConfig) -> Arc<GroupCommitter> {
+        let committer = Arc::new(GroupCommitter {
+            state: Arc::new((
+                Mutex::new(Inner {
+                    queue: VecDeque::new(),
+                    closed: false,
+                }),
+                Condvar::new(),
+            )),
+            thread: Mutex::new(None),
+            cfg,
+            batches: AtomicU64::new(0),
+            batched_ops: AtomicU64::new(0),
+        });
+        let thread_self = Arc::clone(&committer);
+        let handle = std::thread::Builder::new()
+            .name("spp-group-commit".into())
+            .spawn(move || thread_self.run(&engine))
+            .expect("spawn group-commit thread");
+        *committer.thread.lock().unwrap() = Some(handle);
+        committer
+    }
+
+    /// Submit writes and block until the batch containing them has
+    /// committed — i.e. until they are durable. Replies are index-aligned
+    /// with `ops`.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`] once [`close`](Self::close) has run; the
+    /// writes were not applied.
+    pub fn submit(&self, ops: Vec<WriteOp>) -> Result<Vec<WriteReply>, SubmitError> {
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (tx, rx) = sync_channel(1);
+        {
+            let (lock, cv) = &*self.state;
+            let mut g = lock.lock().unwrap();
+            if g.closed {
+                return Err(SubmitError::Closed);
+            }
+            g.queue.push_back(Pending { ops, reply: tx });
+            cv.notify_one();
+        }
+        // The committer drains the queue before exiting, so a recv error
+        // means it died without serving us (post-close race).
+        rx.recv().map_err(|_| SubmitError::Closed)
+    }
+
+    /// (batches committed, ops committed through batches) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.batches.load(Ordering::Relaxed),
+            self.batched_ops.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Stop the committer: reject new submissions, drain what is queued,
+    /// and join the thread. Idempotent.
+    pub fn close(&self) {
+        {
+            let (lock, cv) = &*self.state;
+            let mut g = lock.lock().unwrap();
+            g.closed = true;
+            cv.notify_all();
+        }
+        if let Some(handle) = self.thread.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn run(&self, engine: &KvEngine) {
+        loop {
+            let batch = match self.gather() {
+                Some(batch) => batch,
+                None => return, // closed and drained
+            };
+            let total: usize = batch.iter().map(|p| p.ops.len()).sum();
+            // One engine batch covering every submission gathered: one
+            // transaction, one shared durability boundary.
+            let mut all_ops = Vec::with_capacity(total);
+            for p in &batch {
+                all_ops.extend(p.ops.iter().cloned());
+            }
+            let replies = engine.apply_write_batch(&all_ops);
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            self.batched_ops.fetch_add(total as u64, Ordering::Relaxed);
+            // Ack only now, after the boundary. A submitter that hung up
+            // (connection died) is skipped harmlessly.
+            let mut replies = replies.into_iter();
+            for p in batch {
+                let share: Vec<WriteReply> = replies.by_ref().take(p.ops.len()).collect();
+                let _ = p.reply.send(share);
+            }
+        }
+    }
+
+    /// Block for the next batch: at least one submission, then everything
+    /// already queued (and, with `max_hold > 0`, whatever else arrives
+    /// inside the hold window) up to `max_batch` ops. `None` means closed
+    /// and fully drained.
+    fn gather(&self) -> Option<Vec<Pending>> {
+        let (lock, cv) = &*self.state;
+        let mut g = lock.lock().unwrap();
+        // Wait for the first submission.
+        loop {
+            if let Some(p) = g.queue.pop_front() {
+                let mut nops = p.ops.len();
+                let mut batch = vec![p];
+                // Greedy drain of the existing backlog.
+                while nops < self.cfg.max_batch {
+                    match g.queue.pop_front() {
+                        Some(p) => {
+                            nops += p.ops.len();
+                            batch.push(p);
+                        }
+                        None => break,
+                    }
+                }
+                // Optional hold window to let more submissions arrive.
+                if self.cfg.max_hold > Duration::ZERO {
+                    let deadline = Instant::now() + self.cfg.max_hold;
+                    while nops < self.cfg.max_batch && !g.closed {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        let (g2, timeout) = cv.wait_timeout(g, deadline - now).unwrap();
+                        g = g2;
+                        while nops < self.cfg.max_batch {
+                            match g.queue.pop_front() {
+                                Some(p) => {
+                                    nops += p.ops.len();
+                                    batch.push(p);
+                                }
+                                None => break,
+                            }
+                        }
+                        if timeout.timed_out() {
+                            break;
+                        }
+                    }
+                }
+                return Some(batch);
+            }
+            if g.closed {
+                return None;
+            }
+            g = cv.wait(g).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{fresh_server_pool, KvEngine, PolicyKind};
+    use spp_kvstore::KEY_SIZE;
+
+    fn key(i: u64) -> Vec<u8> {
+        let mut k = vec![0u8; KEY_SIZE];
+        k[..8].copy_from_slice(&i.to_be_bytes());
+        k
+    }
+
+    fn engine() -> Arc<KvEngine> {
+        let pool = fresh_server_pool(16 << 20, 4, false).unwrap();
+        Arc::new(KvEngine::create(pool, PolicyKind::Spp, 64).unwrap())
+    }
+
+    #[test]
+    fn submit_applies_and_acks() {
+        let engine = engine();
+        let gc = GroupCommitter::start(Arc::clone(&engine), GroupConfig::default());
+        let replies = gc
+            .submit(vec![
+                WriteOp::Put {
+                    key: key(1),
+                    value: b"gc-1".to_vec(),
+                },
+                WriteOp::Del { key: key(2) },
+            ])
+            .unwrap();
+        assert_eq!(replies, vec![WriteReply::Ok, WriteReply::NotFound]);
+        let mut out = Vec::new();
+        assert!(engine.get(&key(1), &mut out).unwrap());
+        assert_eq!(out, b"gc-1");
+        gc.close();
+    }
+
+    #[test]
+    fn concurrent_submitters_coalesce_into_fewer_batches() {
+        let engine = engine();
+        // A hold window forces submissions from many threads to ride
+        // shared boundaries.
+        let gc = GroupCommitter::start(
+            Arc::clone(&engine),
+            GroupConfig {
+                max_batch: 256,
+                max_hold: Duration::from_millis(5),
+            },
+        );
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let gc = &gc;
+                s.spawn(move || {
+                    for i in 0..20u64 {
+                        let replies = gc
+                            .submit(vec![WriteOp::Put {
+                                key: key(t * 1000 + i),
+                                value: vec![t as u8; 32],
+                            }])
+                            .unwrap();
+                        assert_eq!(replies, vec![WriteReply::Ok]);
+                    }
+                });
+            }
+        });
+        let (batches, ops) = gc.stats();
+        assert_eq!(ops, 160);
+        assert!(
+            batches < 160,
+            "8 concurrent submitters never shared a boundary ({batches} batches)"
+        );
+        assert_eq!(engine.count().unwrap(), 160);
+        gc.close();
+    }
+
+    #[test]
+    fn close_rejects_new_and_drains_queued() {
+        let engine = engine();
+        let gc = GroupCommitter::start(Arc::clone(&engine), GroupConfig::default());
+        gc.close();
+        let err = gc
+            .submit(vec![WriteOp::Put {
+                key: key(1),
+                value: b"late".to_vec(),
+            }])
+            .unwrap_err();
+        assert_eq!(err, SubmitError::Closed);
+        assert_eq!(engine.count().unwrap(), 0);
+        // Idempotent.
+        gc.close();
+    }
+
+    #[test]
+    fn empty_submit_is_a_noop() {
+        let gc = GroupCommitter::start(engine(), GroupConfig::default());
+        assert_eq!(gc.submit(Vec::new()).unwrap(), Vec::new());
+        gc.close();
+    }
+}

@@ -21,12 +21,16 @@
 
 pub mod client;
 pub mod engine;
+pub mod group;
 pub mod queue;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientError, RespKind};
-pub use engine::{fresh_server_pool, fresh_server_pool_wait, KvEngine, PolicyKind};
+pub use client::{Client, ClientError, Reply, RespKind};
+pub use engine::{
+    fresh_server_pool, fresh_server_pool_wait, KvEngine, PolicyKind, WriteOp, WriteReply,
+};
+pub use group::{GroupCommitter, GroupConfig, SubmitError};
 pub use queue::{BoundedQueue, Job, PushError, WorkerPool};
 pub use server::{Server, ServerConfig};
-pub use wire::{Request, Response, WireError};
+pub use wire::{MultiBody, Request, Response, WireError};

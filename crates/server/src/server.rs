@@ -5,24 +5,34 @@
 //!
 //! * one **acceptor** owns the listener; over-limit connections are
 //!   answered with a `BUSY` frame and closed immediately;
-//! * one **connection thread** per accepted socket does buffered framing
-//!   (decode → enqueue → await reply → encode). Each connection is
-//!   closed-loop: one outstanding request, so response ordering is
-//!   structural;
+//! * one **connection thread** per accepted socket does buffered framing.
+//!   Connections are **pipelined**: every complete frame already buffered
+//!   is decoded into one ordered *run*, the run executes as a single
+//!   worker job, and the responses are written back in request order —
+//!   ordering stays structural (one job in flight per connection), but a
+//!   client that streams N requests without waiting gets them serviced as
+//!   a unit instead of N round trips;
 //! * a fixed **worker pool** (the only threads touching the engine) drains
 //!   the bounded request queue. When the queue is full the connection
 //!   thread answers `BUSY` itself — saturation degrades into explicit
-//!   rejection, never unbounded buffering.
+//!   rejection, never unbounded buffering;
+//! * one **group-commit thread** ([`crate::group::GroupCommitter`]):
+//!   consecutive `PUT`/`DEL`s in a run (and whole `MULTI` bodies) are
+//!   submitted as write batches that share a single flush+fence boundary,
+//!   coalescing across connections under load.
 //!
-//! Durability contract: `PUT`/`DEL` are executed through the engine's
-//! transactional path, which flushes and fences before returning — the ack
-//! frame is only written after that, so **every acked write survives a
-//! crash** (the root crash-restart test drives this over real sockets).
+//! Durability contract: `PUT`/`DEL` acks are written only after the batch
+//! (or single-op transaction) containing them has flushed and fenced —
+//! **every acked write survives a crash**, and a batch is atomic across a
+//! crash (the root crash-restart tests drive both over real sockets).
+//! Within a run, a read is never reordered before an earlier write: the
+//! pending write batch is committed before any `GET`/`STATS`/`FLUSH`
+//! executes.
 //!
 //! Graceful shutdown (a `SHUTDOWN` frame or [`Server::shutdown`]) stops
 //! accepting, lets connection threads drain, quiesces the worker pool
-//! (queued jobs all run), and leaves the pool quiescent for a clean
-//! reopen.
+//! (queued jobs all run), then stops the group committer, and leaves the
+//! pool quiescent for a clean reopen.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -32,10 +42,12 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::engine::KvEngine;
+use crate::engine::{KvEngine, WriteOp, WriteReply};
+use crate::group::{GroupCommitter, GroupConfig};
 use crate::queue::{BoundedQueue, Job, PushError, WorkerPool};
 use crate::wire::{
-    decode_frame, encode_response, parse_request, Request, Response, WireError, MAX_FRAME, PREFIX,
+    decode_frame, encode_response, parse_request, try_encode_multi_response, Request, Response,
+    MAX_FRAME, PREFIX,
 };
 
 /// Poll granularity for blocking reads: how quickly connection threads
@@ -53,6 +65,8 @@ pub struct ServerConfig {
     /// Bounded request-queue depth; a full queue answers `BUSY` per
     /// request.
     pub queue_depth: usize,
+    /// Group-commit tuning for batched `PUT`/`DEL` durability boundaries.
+    pub group: GroupConfig,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +75,7 @@ impl Default for ServerConfig {
             workers: 4,
             max_conns: 64,
             queue_depth: 128,
+            group: GroupConfig::default(),
         }
     }
 }
@@ -70,6 +85,7 @@ struct Shared {
     cfg: ServerConfig,
     addr: SocketAddr,
     queue: Arc<BoundedQueue<Job>>,
+    committer: Arc<GroupCommitter>,
     shutdown: AtomicBool,
     conns: AtomicUsize,
     conn_handles: Mutex<Vec<JoinHandle<()>>>,
@@ -114,11 +130,13 @@ impl Server {
         let local = listener.local_addr()?;
         let queue = Arc::new(BoundedQueue::new(cfg.queue_depth));
         let workers = WorkerPool::start(Arc::clone(&queue), cfg.workers);
+        let committer = GroupCommitter::start(Arc::clone(&engine), cfg.group);
         let shared = Arc::new(Shared {
             engine,
             cfg,
             addr: local,
             queue,
+            committer,
             shutdown: AtomicBool::new(false),
             conns: AtomicUsize::new(0),
             conn_handles: Mutex::new(Vec::new()),
@@ -148,6 +166,13 @@ impl Server {
         &self.shared.engine
     }
 
+    /// Group-commit counters so far: `(batches committed, write ops
+    /// committed through those batches)`. `ops > batches` proves writes
+    /// shared durability boundaries.
+    pub fn group_stats(&self) -> (u64, u64) {
+        self.shared.committer.stats()
+    }
+
     /// Block until a shutdown is triggered (a `SHUTDOWN` frame or
     /// [`Server::shutdown`] from another thread via a prior clone of the
     /// trigger — the daemon's main loop).
@@ -173,6 +198,9 @@ impl Server {
         if let Some(w) = self.workers.take() {
             w.shutdown();
         }
+        // Workers are quiesced, so no job can submit any more: the
+        // committer drains and stops cleanly.
+        self.shared.committer.close();
         // Leave the device quiescent: a final fence so any straggling
         // flushed-but-unfenced stores are promoted before the pool is
         // dropped or its image saved.
@@ -229,6 +257,8 @@ enum OwnedRequest {
     Get { key: Vec<u8> },
     Stats,
     Flush,
+    Ping,
+    Multi(Vec<OwnedRequest>),
 }
 
 /// A worker's reply, sent back over the connection's channel.
@@ -238,8 +268,13 @@ enum OwnedResponse {
     NotFound,
     Err(String),
     Stats(String),
+    Pong,
+    Busy,
+    Multi(Vec<OwnedResponse>),
 }
 
+/// Execute one non-write request directly (writes go through the group
+/// committer — see [`execute_ops`]).
 fn execute(engine: &KvEngine, req: OwnedRequest) -> OwnedResponse {
     match req {
         OwnedRequest::Put { key, value } => match engine.put(&key, &value) {
@@ -267,6 +302,86 @@ fn execute(engine: &KvEngine, req: OwnedRequest) -> OwnedResponse {
             engine.fence();
             OwnedResponse::Ok
         }
+        OwnedRequest::Ping => OwnedResponse::Pong,
+        // Wire validation rejects nested MULTI; `execute_ops` handles the
+        // outer level. Answer defensively rather than panic a worker.
+        OwnedRequest::Multi(_) => OwnedResponse::Err("nested MULTI".to_string()),
+    }
+}
+
+/// Execute an ordered run of requests with write batching: consecutive
+/// `PUT`/`DEL`s are staged and committed through the group committer as one
+/// shared durability boundary; the stage is flushed before anything that
+/// must observe those writes (a read, `STATS`, `FLUSH`) and at `MULTI`
+/// boundaries, so responses are exactly what sequential execution would
+/// produce.
+fn execute_ops(
+    engine: &KvEngine,
+    committer: &GroupCommitter,
+    reqs: Vec<OwnedRequest>,
+) -> Vec<OwnedResponse> {
+    let mut out: Vec<Option<OwnedResponse>> = Vec::with_capacity(reqs.len());
+    let mut staged: Vec<(usize, WriteOp)> = Vec::new();
+    for req in reqs {
+        match req {
+            OwnedRequest::Put { key, value } => {
+                staged.push((out.len(), WriteOp::Put { key, value }));
+                out.push(None);
+            }
+            OwnedRequest::Del { key } => {
+                staged.push((out.len(), WriteOp::Del { key }));
+                out.push(None);
+            }
+            OwnedRequest::Ping => out.push(Some(OwnedResponse::Pong)),
+            OwnedRequest::Multi(nested) => {
+                // A MULTI body is its own atomic batch: align batch
+                // boundaries with the frame boundary on both sides.
+                flush_staged(committer, &mut out, &mut staged);
+                let replies = execute_ops(engine, committer, nested);
+                out.push(Some(OwnedResponse::Multi(replies)));
+            }
+            req => {
+                // Reads must observe every earlier write in the run.
+                flush_staged(committer, &mut out, &mut staged);
+                out.push(Some(execute(engine, req)));
+            }
+        }
+    }
+    flush_staged(committer, &mut out, &mut staged);
+    out.into_iter()
+        .map(|r| r.expect("every slot answered"))
+        .collect()
+}
+
+/// Commit the staged writes as one group-commit submission and patch the
+/// replies into their slots. No-op when nothing is staged.
+fn flush_staged(
+    committer: &GroupCommitter,
+    out: &mut [Option<OwnedResponse>],
+    staged: &mut Vec<(usize, WriteOp)>,
+) {
+    if staged.is_empty() {
+        return;
+    }
+    let (slots, ops): (Vec<usize>, Vec<WriteOp>) = std::mem::take(staged).into_iter().unzip();
+    match committer.submit(ops) {
+        Ok(replies) => {
+            debug_assert_eq!(replies.len(), slots.len());
+            for (slot, reply) in slots.into_iter().zip(replies) {
+                out[slot] = Some(match reply {
+                    WriteReply::Ok => OwnedResponse::Ok,
+                    WriteReply::NotFound => OwnedResponse::NotFound,
+                    WriteReply::Err(m) => OwnedResponse::Err(m),
+                });
+            }
+        }
+        Err(e) => {
+            // Committer closed mid-run (shutdown race): nothing applied,
+            // nothing acked as durable.
+            for slot in slots {
+                out[slot] = Some(OwnedResponse::Err(e.to_string()));
+            }
+        }
     }
 }
 
@@ -280,8 +395,23 @@ fn owned_of(req: &Request<'_>) -> Option<OwnedRequest> {
         Request::Del { key } => Some(OwnedRequest::Del { key: key.to_vec() }),
         Request::Stats => Some(OwnedRequest::Stats),
         Request::Flush => Some(OwnedRequest::Flush),
-        Request::Shutdown | Request::Ping => None,
+        Request::Ping => Some(OwnedRequest::Ping),
+        Request::Multi(mb) => Some(OwnedRequest::Multi(
+            mb.requests()
+                .map(|r| owned_of(&r).expect("validated: no SHUTDOWN inside MULTI"))
+                .collect(),
+        )),
+        Request::Shutdown => None,
     }
+}
+
+/// Why the decode loop stopped early.
+enum Stop {
+    /// A `SHUTDOWN` frame: finish the run, ack, trigger shutdown, close.
+    Shutdown,
+    /// Envelope error: the length prefix is garbage, the stream cannot
+    /// resync. Finish the run, report, close.
+    Envelope(String),
 }
 
 fn serve_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
@@ -290,94 +420,120 @@ fn serve_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
     let mut rbuf: Vec<u8> = Vec::with_capacity(4096);
     let mut wbuf: Vec<u8> = Vec::with_capacity(4096);
     let mut chunk = [0u8; 16 * 1024];
-    // Reused per-connection reply channel; capacity 1 because the
-    // connection is closed-loop.
-    let (reply_tx, reply_rx): (SyncSender<OwnedResponse>, Receiver<OwnedResponse>) =
+    // Reused per-connection reply channel; capacity 1 because at most one
+    // run job is in flight per connection.
+    let (reply_tx, reply_rx): (SyncSender<Vec<OwnedResponse>>, Receiver<Vec<OwnedResponse>>) =
         sync_channel(1);
 
     loop {
-        // Drain complete frames already buffered.
+        // Decode EVERY complete frame already buffered into one ordered
+        // run — this is the pipelining: a client that streamed N requests
+        // gets them executed as a unit (writes group-committed) instead of
+        // N queue round trips.
         let mut consumed = 0;
+        let mut replies: Vec<Option<OwnedResponse>> = Vec::new();
+        let mut execs: Vec<OwnedRequest> = Vec::new();
+        let mut exec_slots: Vec<usize> = Vec::new();
+        let mut stop: Option<Stop> = None;
         loop {
-            wbuf.clear();
             let frame = match decode_frame(&rbuf[consumed..]) {
                 Ok(Some(f)) => f,
                 Ok(None) => break,
                 Err(e) => {
-                    // Envelope error: the length prefix is garbage, the
-                    // stream cannot resync. Report and close.
                     debug_assert!(e.is_envelope());
-                    encode_response(&mut wbuf, &Response::Err(&e.to_string()));
-                    let _ = stream.write_all(&wbuf);
-                    return;
+                    stop = Some(Stop::Envelope(e.to_string()));
+                    break;
                 }
             };
-            let advance = frame.consumed;
-            let close = match parse_request(&frame) {
-                Err(e @ WireError::BadOpcode(_)) | Err(e @ WireError::BadPayload { .. }) => {
-                    // Body error: frame boundary known — answer ERR and
-                    // keep serving.
-                    encode_response(&mut wbuf, &Response::Err(&e.to_string()));
-                    false
-                }
-                Err(e) => {
-                    encode_response(&mut wbuf, &Response::Err(&e.to_string()));
-                    true
-                }
-                Ok(Request::Ping) => {
-                    encode_response(&mut wbuf, &Response::Pong);
-                    false
-                }
+            consumed += frame.consumed;
+            match parse_request(&frame) {
+                Ok(Request::Ping) => replies.push(Some(OwnedResponse::Pong)),
                 Ok(Request::Shutdown) => {
-                    encode_response(&mut wbuf, &Response::Ok);
-                    let _ = stream.write_all(&wbuf);
-                    shared.trigger_shutdown();
-                    return;
+                    stop = Some(Stop::Shutdown);
+                    break;
                 }
                 Ok(req) => {
-                    let owned = owned_of(&req).expect("inline requests handled above");
-                    let engine = Arc::clone(&shared.engine);
-                    let tx = reply_tx.clone();
-                    let job: Job = Box::new(move || {
-                        // A hung/vanished connection must not wedge the
-                        // worker: drop the reply instead of blocking.
-                        let _ = tx.try_send(execute(&engine, owned));
-                    });
-                    match shared.queue.try_push(job) {
-                        Ok(()) => match reply_rx.recv() {
-                            Ok(resp) => {
-                                encode_owned(&mut wbuf, &resp);
-                                false
-                            }
-                            Err(_) => {
-                                encode_response(
-                                    &mut wbuf,
-                                    &Response::Err("worker pool terminated"),
-                                );
-                                true
-                            }
-                        },
-                        Err(PushError::Full(_)) => {
-                            encode_response(&mut wbuf, &Response::Busy);
-                            false
-                        }
-                        Err(PushError::Closed(_)) => {
-                            encode_response(&mut wbuf, &Response::Err("server shutting down"));
-                            true
-                        }
-                    }
+                    exec_slots.push(replies.len());
+                    execs.push(owned_of(&req).expect("Ping/Shutdown handled above"));
+                    replies.push(None);
                 }
-            };
-            if !wbuf.is_empty() && stream.write_all(&wbuf).is_err() {
-                return;
-            }
-            consumed += advance;
-            if close {
-                return;
+                Err(e) => {
+                    // Body error: the frame boundary is known — answer ERR
+                    // in place and keep the stream in sync.
+                    debug_assert!(!e.is_envelope());
+                    replies.push(Some(OwnedResponse::Err(e.to_string())));
+                }
             }
         }
         if consumed > 0 {
             rbuf.drain(..consumed);
+        }
+
+        // Execute the run: one worker job for all engine requests in it.
+        wbuf.clear();
+        let mut close_after: Option<&str> = None;
+        if !execs.is_empty() {
+            let engine = Arc::clone(&shared.engine);
+            let committer = Arc::clone(&shared.committer);
+            let tx = reply_tx.clone();
+            let job: Job = Box::new(move || {
+                // A hung/vanished connection must not wedge the worker:
+                // drop the reply instead of blocking.
+                let _ = tx.try_send(execute_ops(&engine, &committer, execs));
+            });
+            match shared.queue.try_push(job) {
+                Ok(()) => match reply_rx.recv() {
+                    Ok(run_replies) => {
+                        debug_assert_eq!(run_replies.len(), exec_slots.len());
+                        for (slot, reply) in exec_slots.into_iter().zip(run_replies) {
+                            replies[slot] = Some(reply);
+                        }
+                    }
+                    Err(_) => close_after = Some("worker pool terminated"),
+                },
+                Err(PushError::Full(_)) => {
+                    // Saturated: reject the whole run's engine work with
+                    // BUSY (inline answers still stand) — explicit
+                    // backpressure, never unbounded buffering.
+                    for slot in exec_slots {
+                        replies[slot] = Some(OwnedResponse::Busy);
+                    }
+                }
+                Err(PushError::Closed(_)) => close_after = Some("server shutting down"),
+            }
+        }
+        for reply in &replies {
+            match reply {
+                Some(resp) => encode_owned(&mut wbuf, resp),
+                // Unanswered tail after a fatal pool error; the error
+                // frame below closes the connection.
+                None => break,
+            }
+        }
+        if let Some(msg) = close_after {
+            encode_response(&mut wbuf, &Response::Err(msg));
+            let _ = stream.write_all(&wbuf);
+            if matches!(stop, Some(Stop::Shutdown)) {
+                shared.trigger_shutdown();
+            }
+            return;
+        }
+        match stop {
+            Some(Stop::Shutdown) => {
+                encode_response(&mut wbuf, &Response::Ok);
+                let _ = stream.write_all(&wbuf);
+                shared.trigger_shutdown();
+                return;
+            }
+            Some(Stop::Envelope(msg)) => {
+                encode_response(&mut wbuf, &Response::Err(&msg));
+                let _ = stream.write_all(&wbuf);
+                return;
+            }
+            None => {}
+        }
+        if !wbuf.is_empty() && stream.write_all(&wbuf).is_err() {
+            return;
         }
         // Oversized-but-incomplete frames never get here (decode_frame
         // rejects the prefix immediately), so rbuf growth is bounded by
@@ -401,12 +557,33 @@ fn serve_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
+/// Borrow an [`OwnedResponse`] as a wire [`Response`]. Nested `Multi` is
+/// impossible (wire validation rejects it on the way in), so this only has
+/// to cover leaf responses.
+fn response_of(resp: &OwnedResponse) -> Response<'_> {
+    match resp {
+        OwnedResponse::Ok => Response::Ok,
+        OwnedResponse::Value(v) => Response::Value(v),
+        OwnedResponse::NotFound => Response::NotFound,
+        OwnedResponse::Err(m) => Response::Err(m),
+        OwnedResponse::Stats(s) => Response::Stats(s),
+        OwnedResponse::Pong => Response::Pong,
+        OwnedResponse::Busy => Response::Busy,
+        OwnedResponse::Multi(_) => unreachable!("MULTI cannot nest"),
+    }
+}
+
 fn encode_owned(out: &mut Vec<u8>, resp: &OwnedResponse) {
     match resp {
-        OwnedResponse::Ok => encode_response(out, &Response::Ok),
-        OwnedResponse::Value(v) => encode_response(out, &Response::Value(v)),
-        OwnedResponse::NotFound => encode_response(out, &Response::NotFound),
-        OwnedResponse::Err(m) => encode_response(out, &Response::Err(m)),
-        OwnedResponse::Stats(s) => encode_response(out, &Response::Stats(s)),
+        OwnedResponse::Multi(rs) => {
+            let borrowed: Vec<Response<'_>> = rs.iter().map(response_of).collect();
+            // A MULTI of GETs can fan out past MAX_FRAME even though the
+            // request fit; degrade to an ERR frame (the batch's writes are
+            // already durable — only the reply couldn't be framed).
+            if !try_encode_multi_response(out, &borrowed) {
+                encode_response(out, &Response::Err("MULTI response exceeds frame limit"));
+            }
+        }
+        leaf => encode_response(out, &response_of(leaf)),
     }
 }

@@ -14,6 +14,7 @@
 //! | `0x05` | `FLUSH`          | empty                                |
 //! | `0x06` | `SHUTDOWN`       | empty                                |
 //! | `0x07` | `PING`           | empty                                |
+//! | `0x08` | `MULTI`          | `[u16 LE count][count nested frames]`|
 //! | `0x80` | `OK`             | empty                                |
 //! | `0x81` | `VALUE`          | `[value]`                            |
 //! | `0x82` | `NOT_FOUND`      | empty                                |
@@ -21,6 +22,17 @@
 //! | `0x84` | `BUSY`           | empty                                |
 //! | `0x85` | `STATS_BODY`     | UTF-8 `key=value` lines              |
 //! | `0x86` | `PONG`           | empty                                |
+//! | `0x87` | `MULTI_BODY`     | `[u16 LE count][count nested frames]`|
+//!
+//! `MULTI` carries a batch of complete nested frames (each with its own
+//! length prefix) and is answered by a single `MULTI_BODY` with one nested
+//! response per nested request, in order. Nesting is one level deep:
+//! `MULTI` inside `MULTI` and `SHUTDOWN` inside `MULTI` are body errors,
+//! rejected by opcode *before* the nested payload is parsed so a
+//! pathological frame cannot recurse. The whole batch is validated eagerly
+//! at parse time — a malformed nested frame is a body error on the outer
+//! frame (the outer length prefix still bounds it, so the stream stays in
+//! sync).
 //!
 //! Decoding is zero-copy: [`decode_frame`] borrows the payload from the
 //! connection buffer and [`parse_request`]/[`parse_response`] return
@@ -48,6 +60,7 @@ pub(crate) const OP_STATS: u8 = 0x04;
 pub(crate) const OP_FLUSH: u8 = 0x05;
 pub(crate) const OP_SHUTDOWN: u8 = 0x06;
 pub(crate) const OP_PING: u8 = 0x07;
+pub(crate) const OP_MULTI: u8 = 0x08;
 
 // Response opcodes.
 pub(crate) const OP_OK: u8 = 0x80;
@@ -57,6 +70,7 @@ pub(crate) const OP_ERR: u8 = 0x83;
 pub(crate) const OP_BUSY: u8 = 0x84;
 pub(crate) const OP_STATS_BODY: u8 = 0x85;
 pub(crate) const OP_PONG: u8 = 0x86;
+pub(crate) const OP_MULTI_BODY: u8 = 0x87;
 
 /// A client request, borrowing key/value bytes from the receive buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +100,9 @@ pub enum Request<'a> {
     Shutdown,
     /// Liveness probe.
     Ping,
+    /// A pipelined batch of nested requests, validated at parse time.
+    /// Iterate with [`MultiBody::requests`].
+    Multi(MultiBody<'a>),
 }
 
 /// A server response, borrowing payload bytes from the receive buffer.
@@ -106,6 +123,66 @@ pub enum Response<'a> {
     Stats(&'a str),
     /// `PING` reply.
     Pong,
+    /// Batched responses to a `MULTI`, one per nested request, in order.
+    /// Iterate with [`MultiBody::responses`].
+    Multi(MultiBody<'a>),
+}
+
+/// The validated body of a `MULTI`/`MULTI_BODY` frame: `count` nested
+/// frames packed back to back, each with its own length prefix. Produced
+/// only by [`parse_request`]/[`parse_response`], which verify every nested
+/// frame up front, so the iterators below cannot fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiBody<'a> {
+    count: u16,
+    body: &'a [u8],
+}
+
+impl<'a> MultiBody<'a> {
+    /// Number of nested frames in the batch (always ≥ 1).
+    pub fn count(&self) -> u16 {
+        self.count
+    }
+
+    /// Iterate the nested requests of a validated `MULTI` body.
+    pub fn requests(&self) -> impl Iterator<Item = Request<'a>> + '_ {
+        NestedFrames {
+            body: self.body,
+            remaining: self.count,
+        }
+        .map(|f| parse_request(&f).expect("MultiBody was validated at parse time"))
+    }
+
+    /// Iterate the nested responses of a validated `MULTI_BODY` body.
+    pub fn responses(&self) -> impl Iterator<Item = Response<'a>> + '_ {
+        NestedFrames {
+            body: self.body,
+            remaining: self.count,
+        }
+        .map(|f| parse_response(&f).expect("MultiBody was validated at parse time"))
+    }
+}
+
+/// Raw-frame iterator over a validated nested-frame run.
+struct NestedFrames<'a> {
+    body: &'a [u8],
+    remaining: u16,
+}
+
+impl<'a> Iterator for NestedFrames<'a> {
+    type Item = RawFrame<'a>;
+
+    fn next(&mut self) -> Option<RawFrame<'a>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let f = decode_frame(self.body)
+            .expect("MultiBody was validated at parse time")
+            .expect("MultiBody was validated at parse time");
+        self.body = &self.body[f.consumed..];
+        Some(f)
+    }
 }
 
 /// Codec errors.
@@ -230,8 +307,54 @@ pub fn parse_request<'a>(frame: &RawFrame<'a>) -> Result<Request<'a>, WireError>
         OP_FLUSH => expect_empty(p, Request::Flush, bad),
         OP_SHUTDOWN => expect_empty(p, Request::Shutdown, bad),
         OP_PING => expect_empty(p, Request::Ping, bad),
+        OP_MULTI => Ok(Request::Multi(validate_multi(p, frame.opcode, true)?)),
         op => Err(WireError::BadOpcode(op)),
     }
+}
+
+/// Validate a `MULTI`/`MULTI_BODY` payload: `[u16 LE count]` followed by
+/// exactly `count` well-formed nested frames and nothing else. Nested
+/// `MULTI`/`SHUTDOWN` opcodes are rejected *before* their payloads are
+/// parsed, so recursion never goes more than one level deep regardless of
+/// input.
+fn validate_multi(p: &[u8], opcode: u8, is_request: bool) -> Result<MultiBody<'_>, WireError> {
+    let bad = |reason| WireError::BadPayload { opcode, reason };
+    if p.len() < 2 {
+        return Err(bad("missing batch count"));
+    }
+    let count = u16::from_le_bytes([p[0], p[1]]);
+    if count == 0 {
+        return Err(bad("empty batch"));
+    }
+    let body = &p[2..];
+    let mut rest = body;
+    for _ in 0..count {
+        let frame = match decode_frame(rest) {
+            Ok(Some(f)) => f,
+            Ok(None) => return Err(bad("truncated nested frame")),
+            Err(_) => return Err(bad("nested frame envelope is malformed")),
+        };
+        // Opcode screen first: keeps validation non-recursive.
+        if frame.opcode == OP_MULTI || frame.opcode == OP_MULTI_BODY {
+            return Err(bad("MULTI may not nest"));
+        }
+        if frame.opcode == OP_SHUTDOWN {
+            return Err(bad("SHUTDOWN may not ride in a MULTI"));
+        }
+        let parsed = if is_request {
+            parse_request(&frame).map(|_| ())
+        } else {
+            parse_response(&frame).map(|_| ())
+        };
+        if parsed.is_err() {
+            return Err(bad("malformed nested frame body"));
+        }
+        rest = &rest[frame.consumed..];
+    }
+    if !rest.is_empty() {
+        return Err(bad("trailing bytes after final nested frame"));
+    }
+    Ok(MultiBody { count, body })
 }
 
 /// Parse a response body.
@@ -257,6 +380,7 @@ pub fn parse_response<'a>(frame: &RawFrame<'a>) -> Result<Response<'a>, WireErro
             std::str::from_utf8(p).map_err(|_| bad("STATS body is not UTF-8"))?,
         )),
         OP_PONG => expect_empty(p, Response::Pong, bad),
+        OP_MULTI_BODY => Ok(Response::Multi(validate_multi(p, frame.opcode, false)?)),
         op => Err(WireError::BadOpcode(op)),
     }
 }
@@ -334,7 +458,81 @@ pub fn encode_request(out: &mut Vec<u8>, req: &Request<'_>) {
         Request::Flush => frame_header(out, OP_FLUSH, 0),
         Request::Shutdown => frame_header(out, OP_SHUTDOWN, 0),
         Request::Ping => frame_header(out, OP_PING, 0),
+        Request::Multi(mb) => {
+            frame_header(out, OP_MULTI, 2 + mb.body.len());
+            out.extend_from_slice(&mb.count.to_le_bytes());
+            out.extend_from_slice(mb.body);
+        }
     }
+}
+
+/// Encode a batch of requests as one `MULTI` frame appended to `out`.
+///
+/// # Panics
+///
+/// Panics if the batch is empty, exceeds `u16::MAX` entries, contains a
+/// nested `Multi` or `Shutdown`, or the assembled frame would exceed
+/// [`MAX_FRAME`].
+pub fn encode_multi_request(out: &mut Vec<u8>, reqs: &[Request<'_>]) {
+    assert!(!reqs.is_empty(), "MULTI batch must be non-empty");
+    assert!(reqs.len() <= u16::MAX as usize, "MULTI batch too large");
+    let mut body = Vec::new();
+    for r in reqs {
+        assert!(
+            !matches!(r, Request::Multi(_) | Request::Shutdown),
+            "MULTI may not nest MULTI or SHUTDOWN"
+        );
+        encode_request(&mut body, r);
+    }
+    assert!(1 + 2 + body.len() <= MAX_FRAME, "MULTI exceeds MAX_FRAME");
+    frame_header(out, OP_MULTI, 2 + body.len());
+    out.extend_from_slice(&(reqs.len() as u16).to_le_bytes());
+    out.extend_from_slice(&body);
+}
+
+/// Encode a batch of responses as one `MULTI_BODY` frame appended to `out`.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`encode_multi_request`].
+pub fn encode_multi_response(out: &mut Vec<u8>, resps: &[Response<'_>]) {
+    assert!(
+        try_encode_multi_response(out, resps),
+        "MULTI_BODY exceeds MAX_FRAME"
+    );
+}
+
+/// Fallible variant of [`encode_multi_response`] for the server side, where
+/// aggregate size is driven by stored values a client chose (a `MULTI` of
+/// `GET`s can fan out to more bytes than the request frame): returns `false`
+/// and leaves `out` untouched when the assembled frame would exceed
+/// [`MAX_FRAME`], instead of panicking.
+///
+/// # Panics
+///
+/// Still panics on programmer errors: an empty batch, more than `u16::MAX`
+/// entries, or a nested `Multi`.
+pub fn try_encode_multi_response(out: &mut Vec<u8>, resps: &[Response<'_>]) -> bool {
+    assert!(!resps.is_empty(), "MULTI_BODY batch must be non-empty");
+    assert!(
+        resps.len() <= u16::MAX as usize,
+        "MULTI_BODY batch too large"
+    );
+    let mut body = Vec::new();
+    for r in resps {
+        assert!(
+            !matches!(r, Response::Multi(_)),
+            "MULTI_BODY may not nest MULTI_BODY"
+        );
+        encode_response(&mut body, r);
+    }
+    if 1 + 2 + body.len() > MAX_FRAME {
+        return false;
+    }
+    frame_header(out, OP_MULTI_BODY, 2 + body.len());
+    out.extend_from_slice(&(resps.len() as u16).to_le_bytes());
+    out.extend_from_slice(&body);
+    true
 }
 
 /// Append the encoding of `resp` to `out`.
@@ -356,6 +554,11 @@ pub fn encode_response(out: &mut Vec<u8>, resp: &Response<'_>) {
             out.extend_from_slice(body.as_bytes());
         }
         Response::Pong => frame_header(out, OP_PONG, 0),
+        Response::Multi(mb) => {
+            frame_header(out, OP_MULTI_BODY, 2 + mb.body.len());
+            out.extend_from_slice(&mb.count.to_le_bytes());
+            out.extend_from_slice(mb.body);
+        }
     }
 }
 
@@ -485,6 +688,155 @@ mod tests {
             };
             assert!(matches!(res, Err(WireError::BadPayload { .. })), "{op:#x}");
         }
+    }
+
+    #[test]
+    fn multi_request_roundtrips() {
+        let reqs = [
+            Request::Put {
+                key: b"0123456789abcdef",
+                value: b"v0",
+            },
+            Request::Get { key: b"k" },
+            Request::Del { key: b"gone" },
+            Request::Ping,
+            Request::Stats,
+            Request::Flush,
+        ];
+        let mut buf = Vec::new();
+        encode_multi_request(&mut buf, &reqs);
+        let (got, n) = decode_request(&buf).unwrap().unwrap();
+        assert_eq!(n, buf.len());
+        let Request::Multi(mb) = got else {
+            panic!("expected Multi, got {got:?}");
+        };
+        assert_eq!(mb.count() as usize, reqs.len());
+        let nested: Vec<_> = mb.requests().collect();
+        assert_eq!(nested, reqs);
+    }
+
+    #[test]
+    fn multi_response_roundtrips() {
+        let resps = [
+            Response::Ok,
+            Response::Value(b"payload"),
+            Response::NotFound,
+            Response::Err("engine said no"),
+            Response::Busy,
+            Response::Pong,
+        ];
+        let mut buf = Vec::new();
+        encode_multi_response(&mut buf, &resps);
+        let (got, n) = decode_response(&buf).unwrap().unwrap();
+        assert_eq!(n, buf.len());
+        let Response::Multi(mb) = got else {
+            panic!("expected Multi, got {got:?}");
+        };
+        let nested: Vec<_> = mb.responses().collect();
+        assert_eq!(nested, resps);
+    }
+
+    #[test]
+    fn multi_reencodes_byte_identically() {
+        let reqs = [Request::Get { key: b"a" }, Request::Ping];
+        let mut buf = Vec::new();
+        encode_multi_request(&mut buf, &reqs);
+        let (got, _) = decode_request(&buf).unwrap().unwrap();
+        let mut again = Vec::new();
+        encode_request(&mut again, &got);
+        assert_eq!(again, buf);
+    }
+
+    #[test]
+    fn multi_rejects_nested_multi_and_shutdown() {
+        // Hand-build MULTI bodies: count=1, one nested frame.
+        for inner_op in [OP_MULTI, OP_MULTI_BODY, OP_SHUTDOWN] {
+            let mut nested = Vec::new();
+            frame_header(&mut nested, inner_op, 0);
+            let mut buf = Vec::new();
+            frame_header(&mut buf, OP_MULTI, 2 + nested.len());
+            buf.extend_from_slice(&1u16.to_le_bytes());
+            buf.extend_from_slice(&nested);
+            let frame = decode_frame(&buf).unwrap().unwrap();
+            let err = parse_request(&frame).unwrap_err();
+            assert!(
+                matches!(err, WireError::BadPayload { .. }),
+                "{inner_op:#x}: {err:?}"
+            );
+            assert!(!err.is_envelope());
+        }
+    }
+
+    #[test]
+    fn multi_rejects_zero_count_truncation_and_trailing_bytes() {
+        // count = 0
+        let mut buf = Vec::new();
+        frame_header(&mut buf, OP_MULTI, 2);
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        let f = decode_frame(&buf).unwrap().unwrap();
+        assert!(parse_request(&f).is_err());
+
+        // count = 2 but only one nested frame present
+        let mut nested = Vec::new();
+        encode_request(&mut nested, &Request::Ping);
+        let mut buf = Vec::new();
+        frame_header(&mut buf, OP_MULTI, 2 + nested.len());
+        buf.extend_from_slice(&2u16.to_le_bytes());
+        buf.extend_from_slice(&nested);
+        let f = decode_frame(&buf).unwrap().unwrap();
+        assert!(parse_request(&f).is_err());
+
+        // count = 1 with garbage after the nested frame
+        let mut buf = Vec::new();
+        frame_header(&mut buf, OP_MULTI, 2 + nested.len() + 1);
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&nested);
+        buf.push(0xEE);
+        let f = decode_frame(&buf).unwrap().unwrap();
+        assert!(parse_request(&f).is_err());
+    }
+
+    #[test]
+    fn malformed_multi_keeps_stream_in_sync() {
+        // A MULTI whose nested frame is bodily malformed, followed by a
+        // PING: the MULTI is a body error and the PING still parses.
+        let mut nested = Vec::new();
+        frame_header(&mut nested, OP_STATS, 1);
+        nested.push(0xAA); // STATS payload must be empty
+        let mut buf = Vec::new();
+        frame_header(&mut buf, OP_MULTI, 2 + nested.len());
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&nested);
+        encode_request(&mut buf, &Request::Ping);
+
+        let f = decode_frame(&buf).unwrap().unwrap();
+        let err = parse_request(&f).unwrap_err();
+        assert!(!err.is_envelope());
+        let (next, _) = decode_request(&buf[f.consumed..]).unwrap().unwrap();
+        assert_eq!(next, Request::Ping);
+    }
+
+    #[test]
+    fn deeply_nested_multi_does_not_recurse() {
+        // MULTI(MULTI(MULTI(...))) stacked ~100k deep must be rejected in
+        // O(1) without walking (or recursing into) the nesting.
+        let mut inner = Vec::new();
+        frame_header(&mut inner, OP_PING, 0);
+        for _ in 0..100_000 {
+            let mut outer = Vec::new();
+            frame_header(&mut outer, OP_MULTI, 2 + inner.len());
+            outer.extend_from_slice(&1u16.to_le_bytes());
+            outer.extend_from_slice(&inner);
+            if outer.len() > MAX_FRAME {
+                break;
+            }
+            inner = outer;
+        }
+        let f = decode_frame(&inner).unwrap().unwrap();
+        assert!(matches!(
+            parse_request(&f).unwrap_err(),
+            WireError::BadPayload { .. }
+        ));
     }
 
     #[test]

@@ -9,8 +9,8 @@
 
 use proptest::prelude::*;
 use spp_server::wire::{
-    decode_frame, decode_request, decode_response, encode_request, encode_response, parse_request,
-    Request, Response, WireError, MAX_FRAME, PREFIX,
+    decode_frame, decode_request, decode_response, encode_multi_request, encode_request,
+    encode_response, parse_request, Request, Response, WireError, MAX_FRAME, PREFIX,
 };
 
 /// Owned mirror of [`Request`] so strategies can generate storage.
@@ -77,6 +77,18 @@ fn req_strategy() -> impl Strategy<Value = OReq> {
         Just(OReq::Stats),
         Just(OReq::Flush),
         Just(OReq::Shutdown),
+        Just(OReq::Ping),
+    ]
+}
+
+/// Requests legal inside a `MULTI` batch (no `Shutdown`, no nesting).
+fn multi_item_strategy() -> impl Strategy<Value = OReq> {
+    prop_oneof![
+        (bytes(48), bytes(160)).prop_map(|(k, v)| OReq::Put(k, v)),
+        bytes(48).prop_map(OReq::Get),
+        bytes(48).prop_map(OReq::Del),
+        Just(OReq::Stats),
+        Just(OReq::Flush),
         Just(OReq::Ping),
     ]
 }
@@ -161,11 +173,61 @@ proptest! {
         }
     }
 
+    /// encode→decode is the identity on `MULTI` batches: the count and
+    /// every nested frame survive, byte-exactly, in order.
+    #[test]
+    fn multi_request_roundtrips(items in prop::collection::vec(multi_item_strategy(), 1..10)) {
+        let mut buf = Vec::new();
+        let wire: Vec<Request<'_>> = items.iter().map(OReq::as_wire).collect();
+        encode_multi_request(&mut buf, &wire);
+        let (got, n) = decode_request(&buf).unwrap().unwrap();
+        prop_assert_eq!(n, buf.len());
+        match got {
+            Request::Multi(mb) => {
+                prop_assert_eq!(usize::from(mb.count()), items.len());
+                let nested: Vec<Request<'_>> = mb.requests().collect();
+                prop_assert_eq!(nested, wire);
+            }
+            other => prop_assert!(false, "expected Multi, got {:?}", other),
+        }
+    }
+
+    /// Fuzzed `MULTI` bodies — arbitrary declared counts over junk nested
+    /// length prefixes — never panic and never desync: any rejection is a
+    /// body error at a known frame boundary, and the following valid frame
+    /// still decodes.
+    #[test]
+    fn malformed_multi_never_panics_or_desyncs(
+        count in 0u16..32,
+        junk in bytes(64),
+        follow in req_strategy(),
+    ) {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((1 + 2 + junk.len()) as u32).to_le_bytes());
+        buf.push(0x08); // OP_MULTI
+        buf.extend_from_slice(&count.to_le_bytes());
+        buf.extend_from_slice(&junk);
+        encode_request(&mut buf, &follow.as_wire());
+
+        let frame = decode_frame(&buf).unwrap().unwrap();
+        match parse_request(&frame) {
+            // Junk that happens to be a valid batch must iterate cleanly.
+            Ok(Request::Multi(mb)) => {
+                prop_assert_eq!(mb.requests().count(), usize::from(mb.count()));
+            }
+            Ok(other) => prop_assert!(false, "MULTI opcode parsed as {:?}", other),
+            Err(e) => prop_assert!(!e.is_envelope()),
+        }
+        let (got, n) = decode_request(&buf[frame.consumed..]).unwrap().unwrap();
+        prop_assert_eq!(got, follow.as_wire());
+        prop_assert_eq!(frame.consumed + n, buf.len());
+    }
+
     /// A frame with a bad opcode or bad payload does not desync the
     /// stream: the next (valid) frame still decodes.
     #[test]
     fn body_errors_resync_at_frame_boundary(
-        bad_op in 0x08u8..0x80,
+        bad_op in 0x09u8..0x80,
         junk in bytes(32),
         follow in req_strategy(),
     ) {

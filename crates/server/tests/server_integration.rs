@@ -5,7 +5,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use spp_server::{
-    fresh_server_pool, Client, ClientError, KvEngine, PolicyKind, RespKind, Server, ServerConfig,
+    fresh_server_pool, Client, ClientError, GroupConfig, KvEngine, PolicyKind, Reply, Request,
+    RespKind, Server, ServerConfig,
 };
 
 fn key(i: u64) -> [u8; 16] {
@@ -145,6 +146,7 @@ fn connection_limit_answers_busy() {
             workers: 2,
             max_conns: 1,
             queue_depth: 8,
+            ..ServerConfig::default()
         },
     );
     let mut first = connect(&server);
@@ -175,6 +177,195 @@ fn wire_shutdown_quiesces_and_refuses_new_work() {
         Ok(mut c2) => c2.ping().is_err(),
     };
     assert!(refused, "server accepted work after graceful shutdown");
+}
+
+#[test]
+fn multi_roundtrip_under_every_policy() {
+    for kind in PolicyKind::ALL {
+        let server = start(kind, ServerConfig::default());
+        let mut c = connect(&server);
+        // One atomic batch mixing writes and reads of its own writes.
+        let (k1, k2, k3) = (key(1), key(2), key(3));
+        let replies = c
+            .multi(&[
+                Request::Put {
+                    key: &k1,
+                    value: b"alpha",
+                },
+                Request::Put {
+                    key: &k2,
+                    value: b"beta",
+                },
+                Request::Get { key: &k1 },
+                Request::Del { key: &k3 },
+                Request::Ping,
+            ])
+            .unwrap();
+        assert_eq!(
+            replies,
+            vec![
+                Reply::Ok,
+                Reply::Ok,
+                Reply::Value(b"alpha".to_vec()),
+                Reply::NotFound,
+                Reply::Pong,
+            ],
+            "{}",
+            kind.label()
+        );
+        // The batch's writes are visible to plain requests afterwards.
+        let mut out = Vec::new();
+        assert!(c.get(&k2, &mut out).unwrap());
+        assert_eq!(out, b"beta");
+        // An invalid key inside a batch errors that slot only.
+        let replies = c
+            .multi(&[
+                Request::Put {
+                    key: b"short",
+                    value: b"x",
+                },
+                Request::Put {
+                    key: &k3,
+                    value: b"gamma",
+                },
+            ])
+            .unwrap();
+        assert!(matches!(replies[0], Reply::Err(_)), "{replies:?}");
+        assert_eq!(replies[1], Reply::Ok);
+        out.clear();
+        assert!(c.get(&k3, &mut out).unwrap());
+        assert_eq!(out, b"gamma");
+        server.shutdown();
+    }
+}
+
+#[test]
+fn pipelined_frames_are_answered_in_order() {
+    let server = start(PolicyKind::Spp, ServerConfig::default());
+    let mut c = connect(&server);
+    // 40 back-to-back frames without waiting: interleaved PUTs, GETs of
+    // keys written earlier in the same pipeline, and pings.
+    let keys: Vec<[u8; 16]> = (0..16).map(key).collect();
+    let values: Vec<Vec<u8>> = (0..16u64).map(|i| i.to_le_bytes().to_vec()).collect();
+    let mut reqs: Vec<Request<'_>> = Vec::new();
+    for i in 0..16 {
+        reqs.push(Request::Put {
+            key: &keys[i],
+            value: &values[i],
+        });
+        if i % 4 == 3 {
+            // Reads a key PUT earlier in this same pipelined burst.
+            reqs.push(Request::Get { key: &keys[i - 2] });
+        }
+        if i % 8 == 7 {
+            reqs.push(Request::Ping);
+        }
+    }
+    let replies = c.pipeline(&reqs).unwrap();
+    assert_eq!(replies.len(), reqs.len());
+    for (req, reply) in reqs.iter().zip(&replies) {
+        match (req, reply) {
+            (Request::Put { .. }, Reply::Ok) | (Request::Ping, Reply::Pong) => {}
+            (Request::Get { key }, Reply::Value(v)) => {
+                let i = u64::from_be_bytes(key[..8].try_into().unwrap());
+                assert_eq!(v, &i.to_le_bytes(), "GET {i} out of order");
+            }
+            other => panic!("mismatched pipelined reply: {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn nested_multi_and_shutdown_in_multi_get_err_and_resync() {
+    let server = start(PolicyKind::Pmdk, ServerConfig::default());
+    let mut c = connect(&server);
+    // MULTI wrapping a MULTI: a body error (known frame boundary), so the
+    // stream must answer ERR and stay usable.
+    let mut inner = Vec::new();
+    spp_server::wire::encode_multi_request(&mut inner, &[Request::Ping]);
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&((1 + 2 + inner.len()) as u32).to_le_bytes());
+    frame.push(0x08);
+    frame.extend_from_slice(&1u16.to_le_bytes());
+    frame.extend_from_slice(&inner);
+    c.send_raw(&frame).unwrap();
+    assert!(matches!(c.recv_response_kind().unwrap(), RespKind::Err(_)));
+    c.ping().unwrap();
+
+    // MULTI wrapping SHUTDOWN: rejected the same way, and crucially the
+    // server must NOT shut down.
+    let mut inner = Vec::new();
+    inner.extend_from_slice(&1u32.to_le_bytes());
+    inner.push(0x06); // OP_SHUTDOWN
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&((1 + 2 + inner.len()) as u32).to_le_bytes());
+    frame.push(0x08);
+    frame.extend_from_slice(&1u16.to_le_bytes());
+    frame.extend_from_slice(&inner);
+    c.send_raw(&frame).unwrap();
+    assert!(matches!(c.recv_response_kind().unwrap(), RespKind::Err(_)));
+    c.ping().unwrap();
+    c.put(&key(5), b"still serving").unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_multi_writers_share_commit_boundaries() {
+    // A hold window makes cross-connection coalescing deterministic enough
+    // to observe: many single-connection batches must land in fewer
+    // committer boundaries than submissions.
+    let server = start(
+        PolicyKind::Spp,
+        ServerConfig {
+            group: GroupConfig {
+                max_batch: 256,
+                max_hold: Duration::from_millis(3),
+            },
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    let threads: Vec<_> = (0..4u64)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+                for b in 0..10u64 {
+                    let keys: Vec<[u8; 16]> = (0..4).map(|i| key(t * 1_000 + b * 4 + i)).collect();
+                    let reqs: Vec<Request<'_>> = keys
+                        .iter()
+                        .map(|k| Request::Put {
+                            key: k,
+                            value: b"grouped",
+                        })
+                        .collect();
+                    loop {
+                        match c.multi(&reqs) {
+                            Ok(replies) => {
+                                assert!(replies.iter().all(|r| *r == Reply::Ok));
+                                break;
+                            }
+                            Err(ClientError::Busy) => {
+                                std::thread::sleep(Duration::from_micros(100))
+                            }
+                            Err(e) => panic!("multi: {e}"),
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let (batches, ops) = server.group_stats();
+    assert_eq!(ops, 160, "every batched PUT must go through the committer");
+    assert!(
+        batches < 40,
+        "40 MULTI submissions never shared a boundary ({batches} batches)"
+    );
+    assert_eq!(server.engine().count().unwrap(), 160);
+    server.shutdown();
 }
 
 #[test]

@@ -20,12 +20,15 @@ use std::time::Duration;
 use spp::pm::{CrashImage, CrashSpec, PmPool, PoolConfig};
 use spp::pmdk::ObjPool;
 use spp::server::{
-    fresh_server_pool, Client, ClientError, KvEngine, PolicyKind, Server, ServerConfig,
+    fresh_server_pool, Client, ClientError, KvEngine, PolicyKind, Reply, Request, Server,
+    ServerConfig, WriteOp, WriteReply,
 };
 
 const CLIENTS: u32 = 2;
 const OPS_PER_CLIENT: u64 = 250;
 const VALUE_PAD: usize = 48;
+/// Ops per `MULTI` batch in the group-commit rig.
+const BATCH: u64 = 4;
 
 fn key_of(conn: u32, seq: u64) -> [u8; 16] {
     let mut k = [0u8; 16];
@@ -61,6 +64,7 @@ fn crash_under_load(kind: PolicyKind, target: u64) -> Captured {
             workers: 3,
             max_conns: 8,
             queue_depth: 32,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -142,6 +146,142 @@ fn crash_under_load(kind: PolicyKind, target: u64) -> Captured {
                 image: pool.pm().crash_image(CrashSpec::KeepAll),
             }
         }
+    }
+}
+
+/// Group-commit variant of the rig: clients ship `MULTI` batches of
+/// [`BATCH`] PUTs, which the server commits under one shared durability
+/// boundary; a batch's members are logged as acked only when the whole
+/// batch acked. The crash lands at a live boundary exactly as in
+/// [`crash_under_load`].
+fn crash_under_batched_load(kind: PolicyKind, target: u64) -> Captured {
+    let pool = fresh_server_pool(32 << 20, 8, true).unwrap();
+    let engine = Arc::new(KvEngine::create(Arc::clone(&pool), kind, 512).unwrap());
+    let server = Server::start(
+        Arc::clone(&engine),
+        ("127.0.0.1", 0),
+        ServerConfig {
+            workers: 3,
+            max_conns: 8,
+            queue_depth: 32,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let acked: Arc<Mutex<Vec<(u32, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let captured: Arc<Mutex<Option<Captured>>> = Arc::new(Mutex::new(None));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    {
+        let acked = Arc::clone(&acked);
+        let captured = Arc::clone(&captured);
+        let stop = Arc::clone(&stop);
+        let boundaries = AtomicU64::new(0);
+        pool.pm().set_boundary_tap(Box::new(move |pm, _| {
+            if boundaries.fetch_add(1, Ordering::Relaxed) + 1 < target
+                || stop.load(Ordering::SeqCst)
+            {
+                return;
+            }
+            let snapshot = acked.lock().unwrap().clone();
+            if snapshot.is_empty() {
+                return;
+            }
+            let image = pm.crash_image(CrashSpec::DropUnpersisted);
+            *captured.lock().unwrap() = Some(Captured {
+                acked: snapshot,
+                image,
+            });
+            stop.store(true, Ordering::SeqCst);
+        }));
+    }
+
+    let client_threads: Vec<_> = (0..CLIENTS)
+        .map(|cid| {
+            let acked = Arc::clone(&acked);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut c = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+                for b in 0..OPS_PER_CLIENT / BATCH {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let keys: Vec<[u8; 16]> =
+                        (0..BATCH).map(|i| key_of(cid, b * BATCH + i)).collect();
+                    let values: Vec<Vec<u8>> =
+                        (0..BATCH).map(|i| value_of(cid, b * BATCH + i)).collect();
+                    let reqs: Vec<Request<'_>> = keys
+                        .iter()
+                        .zip(&values)
+                        .map(|(key, value)| Request::Put { key, value })
+                        .collect();
+                    match c.multi(&reqs) {
+                        Ok(replies) => {
+                            assert!(
+                                replies.iter().all(|r| *r == Reply::Ok),
+                                "client {cid}: unexpected MULTI replies {replies:?}"
+                            );
+                            let mut g = acked.lock().unwrap();
+                            for i in 0..BATCH {
+                                g.push((cid, b * BATCH + i));
+                            }
+                        }
+                        // The whole batch was rejected under backpressure;
+                        // nothing of it was acked, skip it.
+                        Err(ClientError::Busy) => continue,
+                        Err(_) if stop.load(Ordering::SeqCst) => break,
+                        Err(e) => panic!("client {cid}: MULTI failed mid-load: {e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in client_threads {
+        t.join().unwrap();
+    }
+    pool.pm().clear_boundary_tap();
+    server.shutdown();
+
+    let taken = captured.lock().unwrap().take();
+    match taken {
+        Some(c) => c,
+        None => {
+            let snapshot = acked.lock().unwrap().clone();
+            Captured {
+                acked: snapshot,
+                image: pool.pm().crash_image(CrashSpec::KeepAll),
+            }
+        }
+    }
+}
+
+/// The group-commit atomicity half of the contract: every batch in the
+/// recovered store is whole. A batch commits as one transaction under one
+/// shared boundary, so a crash must never split it — members recovered per
+/// batch is exactly 0 (batch absent) or [`BATCH`].
+fn verify_batch_atomicity(kind: PolicyKind, cap: &Captured) {
+    let pm = Arc::new(PmPool::from_image(cap.image.clone(), PoolConfig::new(0)));
+    let pool = Arc::new(ObjPool::open(pm).expect("pmdk recovery failed on crash image"));
+    let engine = KvEngine::open(pool, kind).expect("engine reopen failed");
+    let mut per_batch: std::collections::HashMap<(u32, u64), u64> =
+        std::collections::HashMap::new();
+    engine
+        .for_each(|k, _| {
+            let cid = u32::from_be_bytes(k[..4].try_into().unwrap());
+            let seq = u64::from_be_bytes(k[4..12].try_into().unwrap());
+            *per_batch.entry((cid, seq / BATCH)).or_insert(0) += 1;
+            Ok(())
+        })
+        .unwrap();
+    for ((cid, b), n) in per_batch {
+        assert_eq!(
+            n,
+            BATCH,
+            "{}: batch ({cid},{b}) recovered {n}/{BATCH} members — a crash split a group-committed batch",
+            kind.label()
+        );
     }
 }
 
@@ -293,6 +433,122 @@ fn recovered_gets_match_reference_model_after_midload_crash() {
             Ok(())
         })
         .unwrap();
+}
+
+#[test]
+fn group_commit_batches_survive_crash_whole_pmdk() {
+    let cap = crash_under_batched_load(PolicyKind::Pmdk, 40);
+    assert!(!cap.acked.is_empty(), "rig crashed before any batch ack");
+    recover_and_verify(PolicyKind::Pmdk, &cap);
+    verify_batch_atomicity(PolicyKind::Pmdk, &cap);
+}
+
+#[test]
+fn group_commit_batches_survive_crash_whole_spp() {
+    let cap = crash_under_batched_load(PolicyKind::Spp, 95);
+    assert!(!cap.acked.is_empty(), "rig crashed before any batch ack");
+    recover_and_verify(PolicyKind::Spp, &cap);
+    verify_batch_atomicity(PolicyKind::Spp, &cap);
+}
+
+#[test]
+fn group_commit_batches_survive_crash_whole_safepm() {
+    let cap = crash_under_batched_load(PolicyKind::SafePm, 260);
+    assert!(!cap.acked.is_empty(), "rig crashed before any batch ack");
+    recover_and_verify(PolicyKind::SafePm, &cap);
+    verify_batch_atomicity(PolicyKind::SafePm, &cap);
+}
+
+/// Deterministic all-or-nothing: capture a crash image at EVERY durability
+/// boundary while one engine write batch commits, and reopen each image.
+/// At every point the batch's fresh keys are all present or all absent,
+/// the overwritten key holds exactly its old or new value (never torn),
+/// and the overwrite flips together with the batch.
+#[test]
+fn batched_commit_all_or_nothing_at_every_boundary() {
+    for kind in [PolicyKind::Pmdk, PolicyKind::Spp, PolicyKind::SafePm] {
+        let pool = fresh_server_pool(8 << 20, 2, true).unwrap();
+        let engine = Arc::new(KvEngine::create(Arc::clone(&pool), kind, 64).unwrap());
+        // Pre-state the batch will overwrite, committed before the tap so
+        // it must survive every image.
+        let old = value_of(9, 0);
+        let new = b"overwritten-by-batch".to_vec();
+        engine.put(&key_of(9, 0), &old).unwrap();
+
+        let images: Arc<Mutex<Vec<CrashImage>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let images = Arc::clone(&images);
+            pool.pm().set_boundary_tap(Box::new(move |pm, _| {
+                let mut g = images.lock().unwrap();
+                // Bound memory; a batch commit crosses far fewer
+                // boundaries than this.
+                if g.len() < 64 {
+                    g.push(pm.crash_image(CrashSpec::DropUnpersisted));
+                }
+            }));
+        }
+        let ops: Vec<WriteOp> = (0..BATCH)
+            .map(|i| WriteOp::Put {
+                key: key_of(8, i).to_vec(),
+                value: value_of(8, i),
+            })
+            .chain([WriteOp::Put {
+                key: key_of(9, 0).to_vec(),
+                value: new.clone(),
+            }])
+            .collect();
+        let replies = engine.apply_write_batch(&ops);
+        assert!(
+            replies.iter().all(|r| *r == WriteReply::Ok),
+            "{}: batch failed: {replies:?}",
+            kind.label()
+        );
+        pool.pm().clear_boundary_tap();
+
+        let images = std::mem::take(&mut *images.lock().unwrap());
+        assert!(!images.is_empty(), "no boundary crossed during the batch");
+        for (i, image) in images.into_iter().enumerate() {
+            let pm = Arc::new(PmPool::from_image(image, PoolConfig::new(0)));
+            let p2 = Arc::new(ObjPool::open(pm).expect("pmdk recovery failed on boundary image"));
+            let e2 = KvEngine::open(p2, kind).expect("engine reopen failed");
+            let mut out = Vec::new();
+            let mut present = 0u64;
+            for s in 0..BATCH {
+                out.clear();
+                if e2.get(&key_of(8, s), &mut out).unwrap() {
+                    present += 1;
+                    assert_eq!(out, value_of(8, s), "boundary {i}: torn batch value");
+                }
+            }
+            out.clear();
+            assert!(
+                e2.get(&key_of(9, 0), &mut out).unwrap(),
+                "{}: pre-existing key lost at boundary {i}",
+                kind.label()
+            );
+            if present == 0 {
+                assert_eq!(
+                    out,
+                    old,
+                    "{}: boundary {i}: overwrite applied without its batch",
+                    kind.label()
+                );
+            } else {
+                assert_eq!(
+                    present,
+                    BATCH,
+                    "{}: boundary {i}: batch split {present}/{BATCH}",
+                    kind.label()
+                );
+                assert_eq!(
+                    out,
+                    new,
+                    "{}: boundary {i}: batch applied without its overwrite",
+                    kind.label()
+                );
+            }
+        }
+    }
 }
 
 #[test]
