@@ -72,8 +72,19 @@ pub fn pmdk_policy(pool: Arc<ObjPool>) -> Arc<PmdkPolicy> {
     Arc::new(PmdkPolicy::new(pool))
 }
 
-/// Build the SPP policy (26 tag bits unless overridden).
+/// Build the SPP policy (26 tag bits unless overridden). A pool mapping
+/// that extends past the requested encoding's address range narrows the
+/// tag via [`TagConfig::fitting`] instead of failing: large benchmark
+/// pools trade maximum object size for reach while keeping the SPP+T
+/// generation field (spatial-only configs like Phoenix's are used as
+/// given).
 pub fn spp_policy(pool: Arc<ObjPool>, cfg: TagConfig) -> Arc<SppPolicy> {
+    let end_va = pool.pm().base() + pool.pm().size();
+    let cfg = if end_va > cfg.max_va() && cfg.gen_bits() > 0 {
+        TagConfig::fitting(end_va).expect("pool beyond any tag encoding")
+    } else {
+        cfg
+    };
     Arc::new(SppPolicy::new(pool, cfg).expect("spp policy"))
 }
 

@@ -19,6 +19,15 @@ pub enum SppError {
         /// `"wrapper"`, ….
         mechanism: &'static str,
     },
+    /// A temporal memory-safety violation was caught: the pointer's
+    /// allocation-generation key no longer matches the live allocation
+    /// (use-after-free, double-free, or a stale pointer after realloc).
+    TemporalViolation {
+        /// The (masked) virtual address the stale pointer referenced.
+        va: u64,
+        /// Which mechanism fired: `"generation-tag"` for SPP+T.
+        mechanism: &'static str,
+    },
     /// A wild access outside every mapping (native SIGSEGV — not a
     /// detection, just a crash).
     Fault {
@@ -53,6 +62,10 @@ impl fmt::Display for SppError {
                 f,
                 "pm buffer overflow detected by {mechanism}: access of {len} bytes at {va:#x}"
             ),
+            SppError::TemporalViolation { va, mechanism } => write!(
+                f,
+                "pm temporal violation detected by {mechanism}: stale pointer to {va:#x}"
+            ),
             SppError::Fault { va } => write!(f, "segmentation fault at {va:#x}"),
             SppError::ObjectTooLarge { size, max } => {
                 write!(
@@ -85,6 +98,12 @@ impl From<PmdkError> for SppError {
     fn from(e: PmdkError) -> Self {
         match e {
             PmdkError::Pm(PmError::Fault { va, .. }) => SppError::Fault { va },
+            // The allocator's generation check fired on an oid-level
+            // operation (free/realloc/usable_size of a stale oid).
+            PmdkError::StaleOid { off, .. } => SppError::TemporalViolation {
+                va: off,
+                mechanism: "generation-tag",
+            },
             other => SppError::Pmdk(other),
         }
     }
@@ -106,7 +125,9 @@ impl SppError {
     pub fn is_violation(&self) -> bool {
         matches!(
             self,
-            SppError::OverflowDetected { .. } | SppError::Fault { .. }
+            SppError::OverflowDetected { .. }
+                | SppError::TemporalViolation { .. }
+                | SppError::Fault { .. }
         )
     }
 }
@@ -122,6 +143,25 @@ mod tests {
         assert!(e.is_violation());
         let e: SppError = PmdkError::RedoLogFull.into();
         assert!(!e.is_violation());
+    }
+
+    #[test]
+    fn stale_oid_maps_to_temporal_violation() {
+        let e: SppError = PmdkError::StaleOid {
+            off: 0x40,
+            oid_gen: 3,
+            current_gen: 4,
+        }
+        .into();
+        assert_eq!(
+            e,
+            SppError::TemporalViolation {
+                va: 0x40,
+                mechanism: "generation-tag",
+            }
+        );
+        assert!(e.is_violation());
+        assert!(e.to_string().contains("generation-tag"));
     }
 
     #[test]

@@ -64,7 +64,9 @@ impl MemoryPolicy for PmdkPolicy {
             (None, true) => self.pool.zalloc(size)?,
             (None, false) => self.pool.alloc(size)?,
         };
-        Ok(oid)
+        // Stock PMDK has no temporal key: the oid is untracked, so stale
+        // uses sail through exactly as in the native baseline.
+        Ok(oid.with_gen(0))
     }
 
     fn free_oid(&self, dest: Option<OidDest>, oid: PmemOid) -> Result<()> {
@@ -76,7 +78,16 @@ impl MemoryPolicy for PmdkPolicy {
     }
 
     fn realloc_oid(&self, dest: OidDest, oid: PmemOid, new_size: u64) -> Result<PmemOid> {
-        Ok(self.pool.realloc_into(dest, oid, new_size)?)
+        Ok(self.pool.realloc_into(dest, oid, new_size)?.with_gen(0))
+    }
+
+    fn tx_alloc(&self, tx: &mut spp_pmdk::Tx<'_>, size: u64, zero: bool) -> Result<PmemOid> {
+        Ok(if zero {
+            tx.zalloc(size)?
+        } else {
+            tx.alloc(size)?
+        }
+        .with_gen(0))
     }
 }
 

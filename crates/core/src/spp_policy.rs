@@ -72,7 +72,8 @@ impl MemoryPolicy for SppPolicy {
     }
 
     /// The adapted `pmemobj_direct` (§IV-B): derive a tagged pointer from
-    /// the enhanced oid's durable size field.
+    /// the enhanced oid's durable size field, carrying the oid's
+    /// allocation-generation key (SPP+T) below the tag.
     #[inline]
     fn direct(&self, oid: PmemOid) -> u64 {
         if oid.is_null() {
@@ -86,7 +87,7 @@ impl MemoryPolicy for SppPolicy {
         } else {
             oid.size
         };
-        self.cfg.make_tagged(va, size)
+        self.cfg.make_tagged_gen(va, size, oid.gen)
     }
 
     /// A GEP plus its injected `__spp_updatetag` (Fig. 3): address and tag
@@ -100,14 +101,41 @@ impl MemoryPolicy for SppPolicy {
     }
 
     /// The injected `__spp_checkbound` + dereference: mask the tag keeping
-    /// the overflow bit, then let the (simulated) MMU do the rest.
+    /// the overflow bit, then (SPP+T) validate the pointer's generation key
+    /// against the allocator's live-generation index, then let the
+    /// (simulated) MMU do the rest.
     #[inline]
     fn resolve(&self, ptr: u64, len: u64) -> Result<u64> {
-        let masked = if is_pm_ptr(ptr) {
-            self.cfg.check_bound(ptr, len.max(1))
-        } else {
-            ptr
-        };
+        if !is_pm_ptr(ptr) {
+            return self
+                .pool
+                .pm()
+                .resolve(ptr, len as usize)
+                .map_err(|_| self.classify_fault(ptr, len));
+        }
+        let masked = self.cfg.check_bound(ptr, len.max(1));
+        if masked & OVERFLOW_BIT != 0 {
+            return Err(self.classify_fault(masked, len));
+        }
+        // SPP+T temporal check — one relaxed byte load. The pointer's bound
+        // (`va + distance_to_bound`) is invariant under pointer arithmetic,
+        // so it uniquely keys the originating allocation; a freed, moved or
+        // in-place-realloc'd allocation no longer has this generation live
+        // at that bound and the stale pointer faults deterministically.
+        // Key 0 means untracked (stock oids, spatial-only configs).
+        let gen = self.cfg.gen_of(ptr);
+        if gen != 0 {
+            let bound_va = self.cfg.va_of(ptr) + self.cfg.distance_to_bound(ptr).unwrap_or(0);
+            let live = bound_va
+                .checked_sub(self.pool.pm().base())
+                .map_or(0, |bound_off| self.pool.gen_at_bound(bound_off));
+            if live != gen {
+                return Err(SppError::TemporalViolation {
+                    va: self.cfg.va_of(ptr),
+                    mechanism: "generation-tag",
+                });
+            }
+        }
         self.pool
             .pm()
             .resolve(masked, len as usize)
@@ -246,17 +274,88 @@ mod tests {
 
     #[test]
     fn pool_mapping_must_fit_address_bits() {
-        let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 20))); // base 4 GiB
+        // A pool mapped at 4 GiB overshoots phoenix's 31 address bits
+        // (2 GiB) — and the default encoding's 29 (512 MiB).
+        let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 20).base(1 << 32)));
         let pool = Arc::new(ObjPool::create(pm, PoolOpts::small()).unwrap());
-        // 31 tag bits leave 31 address bits (2 GiB) — base 4 GiB doesn't fit.
         assert!(matches!(
-            SppPolicy::new(pool, TagConfig::phoenix()),
+            SppPolicy::new(Arc::clone(&pool), TagConfig::phoenix()),
             Err(SppError::PoolTooLarge { .. })
         ));
-        // Remapped low it fits.
-        let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 20).base(0x10000)));
+        assert!(matches!(
+            SppPolicy::new(pool, TagConfig::default()),
+            Err(SppError::PoolTooLarge { .. })
+        ));
+        // At the default base (128 MiB) both encodings fit.
+        let pm = Arc::new(PmPool::new(PoolConfig::new(1 << 20)));
         let pool = Arc::new(ObjPool::create(pm, PoolOpts::small()).unwrap());
-        assert!(SppPolicy::new(pool, TagConfig::phoenix()).is_ok());
+        assert!(SppPolicy::new(Arc::clone(&pool), TagConfig::phoenix()).is_ok());
+        assert!(SppPolicy::new(pool, TagConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn use_after_free_faults_on_deref() {
+        let p = policy();
+        let oid = p.zalloc(64).unwrap();
+        let ptr = p.direct(oid);
+        p.store_u64(ptr, 7).unwrap();
+        p.free_oid(None, oid).unwrap();
+        let err = p.load_u64(ptr).unwrap_err();
+        assert!(matches!(
+            err,
+            SppError::TemporalViolation {
+                mechanism: "generation-tag",
+                ..
+            }
+        ));
+        // Interior pointers derived before the free are just as dead.
+        assert!(matches!(
+            p.load_u64(p.gep(ptr, 8)),
+            Err(SppError::TemporalViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_pointer_after_slot_reuse_faults() {
+        let p = policy();
+        let a = p.zalloc(64).unwrap();
+        let pa = p.direct(a);
+        p.free_oid(None, a).unwrap();
+        // Same block, same size class: LIFO reuse gives the same slot back.
+        let b = p.zalloc(64).unwrap();
+        assert_eq!(a.off, b.off);
+        let pb = p.direct(b);
+        p.store_u64(pb, 42).unwrap();
+        // The new pointer works; the pre-free pointer still faults (ABA).
+        assert_eq!(p.load_u64(pb).unwrap(), 42);
+        assert!(matches!(
+            p.load_u64(pa),
+            Err(SppError::TemporalViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn realloc_kills_the_old_generation() {
+        let p = policy();
+        let home = p.zalloc(64).unwrap();
+        let hp = p.direct(home);
+        let obj = p.zalloc_into_ptr(hp, 33).unwrap();
+        let stale = p.direct(obj);
+        p.store_u64(stale, 9).unwrap();
+        // Grow within the same size class (33 and 48 both round to 64):
+        // in-place, yet the generation bumps and the old pointer dies.
+        let grown = p.realloc_from_ptr(hp, obj, 48).unwrap();
+        assert_eq!(grown.off, obj.off);
+        assert!(matches!(
+            p.load_u64(stale),
+            Err(SppError::TemporalViolation { .. })
+        ));
+        assert_eq!(p.load_u64(p.direct(grown)).unwrap(), 9);
+        // And oid-level ops with the stale oid are rejected temporally too.
+        assert!(matches!(
+            p.free_oid(None, obj),
+            Err(SppError::TemporalViolation { .. })
+        ));
     }
 
     #[test]

@@ -60,9 +60,10 @@ impl std::fmt::Display for Trap {
 
 impl std::error::Error for Trap {}
 
-// Kept inside the default encoding's 36 addressable bits so tagged
+// Kept inside the default encoding's 29 addressable bits (SPP+T spends 7
+// on the generation field) and above the pool region at 128 MiB, so tagged
 // volatile pointers (VmMode::SppAll) resolve after masking.
-const ARENA_BASE: u64 = 0x2_0000_0000;
+const ARENA_BASE: u64 = 0x1000_0000;
 
 /// The interpreter.
 pub struct Vm {

@@ -267,7 +267,7 @@ fn ptrtoint_value_is_the_plain_address() {
     // The integer must look like an ordinary address (tag and PM bit
     // cleaned) so application arithmetic behaves (§IV-G).
     assert!(!spp_core::is_pm_ptr(m.reg(n)));
-    assert!(m.reg(n) >= 0x1_0000_0000); // the pool's base region
+    assert!(m.reg(n) >= spp_pm::DEFAULT_POOL_BASE); // the pool's base region
 }
 
 mod volatile_generalisation {

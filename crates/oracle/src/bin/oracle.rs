@@ -2,13 +2,14 @@
 //!
 //! ```text
 //! oracle [--traces N] [--ops N] [--seed S] [--out DIR]
-//!        [--smoke] [--break-matrix]
+//!        [--smoke] [--break-matrix] [--break-temporal]
 //! ```
 //!
 //! `--smoke` runs a small self-validating sweep; `--break-matrix`
-//! deliberately corrupts one guarantee-matrix expectation so CI can
-//! check the oracle goes red. Writes `results/oracle.json` (validated
-//! through `spp_bench::validate_rows`) on conforming runs.
+//! deliberately corrupts one spatial guarantee-matrix expectation and
+//! `--break-temporal` the (ABA-reuse, SPP) temporal one, so CI can
+//! check the oracle goes red on each axis. Writes `results/oracle.json`
+//! (validated through `spp_bench::validate_rows`) on conforming runs.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -25,16 +26,22 @@ fn main() -> ExitCode {
         ops_per_trace: a.get("ops", 80),
         out_dir: a.get("out", PathBuf::from("results/oracle")),
         break_matrix: a.flag("break-matrix"),
+        break_temporal: a.flag("break-temporal"),
         max_failures: a.get("max-failures", 5),
     };
     eprintln!(
-        "oracle: {} traces x {} ops, seed {:#x}{}{}",
+        "oracle: {} traces x {} ops, seed {:#x}{}{}{}",
         cfg.traces,
         cfg.ops_per_trace,
         cfg.seed,
         if smoke { " [smoke]" } else { "" },
         if cfg.break_matrix {
             " [break-matrix]"
+        } else {
+            ""
+        },
+        if cfg.break_temporal {
+            " [break-temporal]"
         } else {
             ""
         },

@@ -12,9 +12,11 @@
 //! * **legal ops** must match the model byte-exact under every policy
 //!   (cross-policy equivalence through the model hub);
 //! * **deliberately-illegal probes** must land in the policy's expected
-//!   cell of the guarantee matrix — `hit` / `caught` / `fault`, keyed by
-//!   [`spp_ripe::Family`] and validated via
-//!   [`spp_ripe::expected_cell`];
+//!   cell of the guarantee matrix — `hit` / `caught` / `fault` /
+//!   `rejected`, keyed by [`spp_ripe::Family`] and validated via
+//!   [`spp_ripe::expected_cell`]; this includes the *temporal* probes
+//!   (use-after-free, double free, ABA slot reuse, in-place
+//!   realloc-stale) that grade the SPP+T generation tag;
 //! * **crash puts** capture a crash image at a chosen durability
 //!   boundary and check recovery atomicity through the torture rig.
 //!
@@ -27,7 +29,7 @@ pub mod shrink;
 pub mod trace;
 
 pub use model::{key_bytes, pattern_bytes, CrashExpect, Model, Predicted};
-pub use replay::{replay, Divergence, ReplayOutcome, POOL_BYTES};
+pub use replay::{replay, BreakSpec, Divergence, ReplayOutcome, POOL_BYTES};
 pub use shrink::shrink;
 pub use trace::{generate, Op};
 
@@ -47,9 +49,13 @@ pub struct RunConfig {
     pub ops_per_trace: usize,
     /// Failure dump directory.
     pub out_dir: PathBuf,
-    /// Deliberately corrupt one guarantee-matrix expectation (CI
-    /// fault-injection; a healthy oracle must go red).
+    /// Deliberately corrupt one *spatial* guarantee-matrix expectation
+    /// (CI fault-injection; a healthy oracle must go red).
     pub break_matrix: bool,
+    /// Deliberately corrupt the (ABA-reuse, SPP) *temporal* expectation —
+    /// the cell only the SPP+T generation tag separates. A healthy
+    /// oracle must go red on the SPP replay.
+    pub break_temporal: bool,
     /// Stop after this many failures.
     pub max_failures: u64,
 }
@@ -62,6 +68,7 @@ impl Default for RunConfig {
             ops_per_trace: 80,
             out_dir: PathBuf::from("results/oracle"),
             break_matrix: false,
+            break_temporal: false,
             max_failures: 5,
         }
     }
@@ -121,19 +128,23 @@ pub fn run(cfg: &RunConfig) -> RunSummary {
         .collect();
     let mut failures: Vec<Failure> = Vec::new();
     let mut traces = 0u64;
+    let breaks = BreakSpec {
+        matrix: cfg.break_matrix,
+        temporal: cfg.break_temporal,
+    };
     'traces: for t in 0..cfg.traces {
         traces += 1;
         let seed = trace_seed(cfg.seed, t);
         let ops = trace::generate(seed, cfg.ops_per_trace);
         for (i, &p) in Protection::ALL.iter().enumerate() {
-            match replay::replay(&ops, p, cfg.break_matrix) {
+            match replay::replay(&ops, p, breaks) {
                 Ok(o) => {
                     per_policy[i].1.ops += o.ops;
                     per_policy[i].1.probes += o.probes;
                     per_policy[i].1.crash_checks += o.crash_checks;
                 }
                 Err(d) => {
-                    let (kept, min) = shrink::shrink(&ops, p, cfg.break_matrix, d);
+                    let (kept, min) = shrink::shrink(&ops, p, breaks, d);
                     let dump_dir = dump_failure(&cfg.out_dir, failures.len(), t, seed, &kept, &min);
                     failures.push(Failure {
                         trace_index: t,
@@ -229,6 +240,7 @@ mod tests {
             ops_per_trace: 50,
             out_dir: out.clone(),
             break_matrix: true,
+            break_temporal: false,
             max_failures: 1,
         };
         let s = run(&cfg);
@@ -248,6 +260,40 @@ mod tests {
                 .join("trace.txt")
                 .is_file(),
             "missing trace dump"
+        );
+        let _ = std::fs::remove_dir_all(out);
+    }
+
+    #[test]
+    fn broken_temporal_entry_is_caught_on_the_spp_replay() {
+        // The temporal must-stay-red: flipping (ABA-reuse, SPP) — the
+        // cell only the generation tag separates — must surface as a
+        // divergence on the SPP replay, and only there.
+        let out = tmp_out("broken-temporal");
+        let cfg = RunConfig {
+            seed: 1,
+            traces: 40,
+            ops_per_trace: 50,
+            out_dir: out.clone(),
+            break_matrix: false,
+            break_temporal: true,
+            max_failures: 1,
+        };
+        let s = run(&cfg);
+        assert!(
+            !s.failures.is_empty(),
+            "deliberately broken temporal entry went undetected"
+        );
+        let f = &s.failures[0];
+        assert_eq!(f.policy, "SPP", "wrong policy flagged: {f:?}");
+        assert!(
+            f.detail.contains("generation-tag") || f.detail.contains("Caught"),
+            "divergence does not implicate the generation tag: {f:?}"
+        );
+        assert!(
+            f.shrunk_len <= 12,
+            "shrunk trace too large: {} ops",
+            f.shrunk_len
         );
         let _ = std::fs::remove_dir_all(out);
     }

@@ -257,6 +257,32 @@ impl Model {
                     Predicted::Skip
                 }
             }
+            // Temporal probes: the prediction carries the one byte a
+            // *silent* stale read must return (the guarantee matrix says
+            // which policies are allowed to hit at all). `ProbeUafStale`
+            // relies on frees being header-only — the volatile free lists
+            // never write through the dead payload.
+            Op::ProbeUafStale { slot } => match self.slots[slot].take() {
+                Some(s) => Predicted::Bytes(vec![s.bytes[0]]),
+                None => Predicted::Skip,
+            },
+            Op::ProbeDoubleFree { slot } => match self.slots[slot].take() {
+                Some(_) => Predicted::Probe,
+                None => Predicted::Skip,
+            },
+            Op::ProbeAbaStale { slot, seed } => match self.slots[slot].as_mut() {
+                Some(s) => {
+                    // The slot survives under its new owner's contents.
+                    s.bytes = pattern_bytes(seed, s.size as usize);
+                    Predicted::Bytes(vec![s.bytes[0]])
+                }
+                None => Predicted::Skip,
+            },
+            Op::ProbeReallocStale { slot } => match &self.slots[slot] {
+                // Same-size realloc: contents (and size) are preserved.
+                Some(s) => Predicted::Bytes(vec![s.bytes[0]]),
+                None => Predicted::Skip,
+            },
             Op::CrashKvPut { key, len, seed, .. } => {
                 let snapshot = self.kv.iter().map(|(k, v)| (*k, v.clone())).collect();
                 let k = key_bytes(key);

@@ -72,6 +72,11 @@ enum Observed {
     Caught(&'static str),
     /// The access crashed at the mapping edge.
     Fault,
+    /// The allocator refused the operation with an API error — the
+    /// expected fate of a double free of a generation-less oid
+    /// ([`Cell::Rejected`]). The message is only read through the
+    /// derived `Debug` rendering in divergence reports.
+    Rejected(#[allow(dead_code)] String),
     /// Any other error (always a divergence).
     Other(String),
 }
@@ -80,19 +85,54 @@ fn probe_load<P: MemoryPolicy>(policy: &P, ptr: u64) -> Observed {
     let mut b = [0u8; 1];
     match policy.load(ptr, &mut b) {
         Ok(()) => Observed::Hit(b[0]),
-        Err(SppError::OverflowDetected { mechanism, .. }) => Observed::Caught(mechanism),
+        Err(
+            SppError::OverflowDetected { mechanism, .. }
+            | SppError::TemporalViolation { mechanism, .. },
+        ) => Observed::Caught(mechanism),
         Err(SppError::Fault { .. }) => Observed::Fault,
         Err(e) => Observed::Other(format!("{e}")),
     }
 }
 
-/// The expected matrix cell, with the deliberate CI fault-injection:
-/// `break_matrix` flips (adjacent-same-chunk, SafePM) to `Hit`, which a
-/// healthy oracle must report as a matrix divergence.
-fn expected(family: Family, protection: Protection, break_matrix: bool) -> Cell {
-    if break_matrix
+/// Classify a deliberately-illegal oid-level *operation* (the second free
+/// of [`Op::ProbeDoubleFree`]): a silent `Ok` is a hit, a diagnosed
+/// violation is a catch, any other allocator error is the API rejecting
+/// the operation.
+fn probe_free<P: MemoryPolicy>(policy: &P, oid: PmemOid) -> Observed {
+    match policy.free(oid) {
+        Ok(()) => Observed::Hit(0),
+        Err(
+            SppError::OverflowDetected { mechanism, .. }
+            | SppError::TemporalViolation { mechanism, .. },
+        ) => Observed::Caught(mechanism),
+        Err(SppError::Fault { .. }) => Observed::Fault,
+        Err(e) => Observed::Rejected(format!("{e}")),
+    }
+}
+
+/// The deliberate CI fault-injections into the expected matrix — a
+/// healthy oracle must report the flipped cell as a divergence.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BreakSpec {
+    /// Flip (adjacent-same-chunk, SafePM) to `Hit` — the spatial
+    /// must-stay-red check.
+    pub matrix: bool,
+    /// Flip (ABA-reuse, SPP) to `Hit` — the temporal must-stay-red check
+    /// (the one cell only the generation tag separates).
+    pub temporal: bool,
+}
+
+/// The expected matrix cell, with any [`BreakSpec`] fault applied.
+fn expected(family: Family, protection: Protection, breaks: BreakSpec) -> Cell {
+    if breaks.matrix
         && matches!(family, Family::AdjacentSameChunk)
         && matches!(protection, Protection::SafePm)
+    {
+        return Cell::Hit;
+    }
+    if breaks.temporal
+        && matches!(family, Family::AbaReuse)
+        && matches!(protection, Protection::Spp)
     {
         return Cell::Hit;
     }
@@ -100,17 +140,21 @@ fn expected(family: Family, protection: Protection, break_matrix: bool) -> Cell 
 }
 
 /// Check an observation against its matrix cell; `Caught` must also name
-/// the protection's own mechanism.
-fn conform(obs: &Observed, want: Cell, protection: Protection) -> Result<(), String> {
+/// the mechanism this protection uses *for this family* (SPP catches
+/// spatial families with the overflow bit but temporal ones with the
+/// SPP+T generation tag).
+fn conform(obs: &Observed, want: Cell, protection: Protection, family: Family) -> Result<(), String> {
     match (obs, want) {
-        (Observed::Hit(_), Cell::Hit) | (Observed::Fault, Cell::Fault) => Ok(()),
+        (Observed::Hit(_), Cell::Hit)
+        | (Observed::Fault, Cell::Fault)
+        | (Observed::Rejected(_), Cell::Rejected) => Ok(()),
         (Observed::Caught(m), Cell::Caught) => {
-            if Some(*m) == protection.mechanism() {
+            if Some(*m) == protection.mechanism_for(family) {
                 Ok(())
             } else {
                 Err(format!(
                     "caught via mechanism {m:?}, expected {:?}",
-                    protection.mechanism()
+                    protection.mechanism_for(family)
                 ))
             }
         }
@@ -174,7 +218,7 @@ fn kv_verify<P: MemoryPolicy>(policy: Arc<P>, ctx: &CrashCtx) -> Result<(), Stri
 pub fn replay(
     ops: &[Op],
     protection: Protection,
-    break_matrix: bool,
+    breaks: BreakSpec,
 ) -> Result<ReplayOutcome, Divergence> {
     let pm = Arc::new(PmPool::new(
         PoolConfig::new(POOL_BYTES)
@@ -188,7 +232,7 @@ pub fn replay(
     match protection {
         Protection::Pmdk => {
             let policy = Arc::new(PmdkPolicy::new(pool));
-            run_policy(ops, &policy, protection, break_matrix, &|ctx| {
+            run_policy(ops, &policy, protection, breaks, &|ctx| {
                 make_oracle(faults, IDEMPOTENCE_STRIDE, move |rp, _| {
                     kv_verify(Arc::new(PmdkPolicy::new(Arc::clone(&rp.pool))), &ctx)
                 })
@@ -199,7 +243,7 @@ pub fn replay(
             // The chunk map is volatile (valgrind does not survive the
             // process): after a crash the store reopens under the native
             // policy, exactly like a real memcheck-supervised restart.
-            run_policy(ops, &policy, protection, break_matrix, &|ctx| {
+            run_policy(ops, &policy, protection, breaks, &|ctx| {
                 make_oracle(faults, IDEMPOTENCE_STRIDE, move |rp, _| {
                     kv_verify(Arc::new(PmdkPolicy::new(Arc::clone(&rp.pool))), &ctx)
                 })
@@ -207,7 +251,7 @@ pub fn replay(
         }
         Protection::SafePm => {
             let policy = Arc::new(SafePmPolicy::create(pool).expect("safepm instrument"));
-            run_policy(ops, &policy, protection, break_matrix, &|ctx| {
+            run_policy(ops, &policy, protection, breaks, &|ctx| {
                 make_oracle(faults, IDEMPOTENCE_STRIDE, move |rp, _| {
                     let p = SafePmPolicy::open(Arc::clone(&rp.pool))
                         .map_err(|e| format!("safepm reopen failed: {e}"))?;
@@ -218,7 +262,7 @@ pub fn replay(
         Protection::Spp => {
             let policy =
                 Arc::new(SppPolicy::new(pool, TagConfig::default()).expect("spp instrument"));
-            run_policy(ops, &policy, protection, break_matrix, &|ctx| {
+            run_policy(ops, &policy, protection, breaks, &|ctx| {
                 make_oracle(faults, IDEMPOTENCE_STRIDE, move |rp, _| {
                     let p = SppPolicy::new(Arc::clone(&rp.pool), TagConfig::default())
                         .map_err(|e| format!("spp reopen failed: {e}"))?;
@@ -243,7 +287,7 @@ fn run_policy<P: MemoryPolicy>(
     ops: &[Op],
     policy: &Arc<P>,
     protection: Protection,
-    break_matrix: bool,
+    breaks: BreakSpec,
     mk_crash: CrashFactory<'_>,
 ) -> Result<ReplayOutcome, Divergence> {
     let label = protection.label();
@@ -545,8 +589,9 @@ fn run_policy<P: MemoryPolicy>(
                 if !indeterminate {
                     conform(
                         &obs,
-                        expected(Family::AdjacentSameChunk, protection, break_matrix),
+                        expected(Family::AdjacentSameChunk, protection, breaks),
                         protection,
+                        Family::AdjacentSameChunk,
                     )
                     .map_err(|msg| diverge(&pm, label, i, format!("{op:?}: {msg}")))?;
                 }
@@ -569,9 +614,9 @@ fn run_policy<P: MemoryPolicy>(
                 let want = if matches!(protection, Protection::Spp) && delta < 0 {
                     Cell::Hit
                 } else {
-                    expected(Family::FarJumpLive, protection, break_matrix)
+                    expected(Family::FarJumpLive, protection, breaks)
                 };
-                conform(&obs, want, protection)
+                conform(&obs, want, protection, Family::FarJumpLive)
                     .map_err(|msg| diverge(&pm, label, i, format!("{op:?}: {msg}")))?;
                 if let (Cell::Hit, Observed::Hit(got)) = (want, &obs) {
                     // A silent hit must read the victim's real first byte
@@ -600,8 +645,9 @@ fn run_policy<P: MemoryPolicy>(
                 );
                 conform(
                     &obs,
-                    expected(Family::WildernessSmash, protection, break_matrix),
+                    expected(Family::WildernessSmash, protection, breaks),
                     protection,
+                    Family::WildernessSmash,
                 )
                 .map_err(|msg| diverge(&pm, label, i, format!("{op:?}: {msg}")))?;
             }
@@ -618,10 +664,153 @@ fn run_policy<P: MemoryPolicy>(
                 );
                 conform(
                     &obs,
-                    expected(Family::BeyondMapping, protection, break_matrix),
+                    expected(Family::BeyondMapping, protection, breaks),
                     protection,
+                    Family::BeyondMapping,
                 )
                 .map_err(|msg| diverge(&pm, label, i, format!("{op:?}: {msg}")))?;
+            }
+            Op::ProbeUafStale { slot } => {
+                out.probes += 1;
+                let Predicted::Bytes(want) = pred else {
+                    unreachable!()
+                };
+                let s = slots[slot].take().expect("model said live");
+                policy
+                    .free_from_ptr(cell_ptr(slot), s.oid)
+                    .map_err(|e| diverge(&pm, label, i, format!("{op:?}: legal free failed: {e}")))?;
+                let obs = probe_load(policy.as_ref(), s.ptr);
+                // Chunk-granular indeterminacy: whether the freed block's
+                // 4 KiB chunk actually dies depends on co-occupancy with
+                // the live fixtures (slot directory, KV nodes) — skip
+                // memcheck conformance, like the aligned just-past case.
+                if !matches!(protection, Protection::Memcheck) {
+                    let cell = expected(Family::UafRead, protection, breaks);
+                    conform(&obs, cell, protection, Family::UafRead)
+                        .map_err(|msg| diverge(&pm, label, i, format!("{op:?}: {msg}")))?;
+                    if let (Cell::Hit, Observed::Hit(got)) = (cell, &obs) {
+                        // A silent stale read must return the dead
+                        // object's real first byte — frees are
+                        // header-only, so the model still knows it.
+                        if *got != want[0] {
+                            return Err(diverge(
+                                &pm,
+                                label,
+                                i,
+                                format!(
+                                    "{op:?}: stale read {got:#04x}, freed object held {:#04x}",
+                                    want[0]
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            Op::ProbeDoubleFree { slot } => {
+                out.probes += 1;
+                let s = slots[slot].take().expect("model said live");
+                policy
+                    .free_from_ptr(cell_ptr(slot), s.oid)
+                    .map_err(|e| diverge(&pm, label, i, format!("{op:?}: legal free failed: {e}")))?;
+                let obs = probe_free(policy.as_ref(), s.oid);
+                conform(
+                    &obs,
+                    expected(Family::DoubleFree, protection, breaks),
+                    protection,
+                    Family::DoubleFree,
+                )
+                .map_err(|msg| diverge(&pm, label, i, format!("{op:?}: {msg}")))?;
+            }
+            Op::ProbeAbaStale { slot, seed } => {
+                out.probes += 1;
+                let Predicted::Bytes(want) = pred else {
+                    unreachable!()
+                };
+                let s = slots[slot].take().expect("model said live");
+                policy
+                    .free_from_ptr(cell_ptr(slot), s.oid)
+                    .map_err(|e| diverge(&pm, label, i, format!("{op:?}: legal free failed: {e}")))?;
+                let noid = policy
+                    .alloc_into_ptr(cell_ptr(slot), s.size)
+                    .map_err(|e| diverge(&pm, label, i, format!("{op:?}: realloc failed: {e}")))?;
+                let nptr = policy.direct(noid);
+                policy
+                    .store(nptr, &pattern_bytes(seed, s.size as usize))
+                    .map_err(|e| diverge(&pm, label, i, format!("{op:?}: fill failed: {e}")))?;
+                slots[slot] = Some(Slot {
+                    oid: noid,
+                    ptr: nptr,
+                    size: s.size,
+                });
+                // LIFO reuse hands the same-class allocation the block
+                // just freed. Near generation saturation the dead block
+                // is quarantined instead and the new object lands
+                // elsewhere — the stale pointer then dangles at a dead
+                // block whose fate is co-occupancy dependent, so the
+                // probe is only classified when reuse actually happened.
+                if noid.off == s.oid.off {
+                    let obs = probe_load(policy.as_ref(), s.ptr);
+                    let cell = expected(Family::AbaReuse, protection, breaks);
+                    conform(&obs, cell, protection, Family::AbaReuse)
+                        .map_err(|msg| diverge(&pm, label, i, format!("{op:?}: {msg}")))?;
+                    if let (Cell::Hit, Observed::Hit(got)) = (cell, &obs) {
+                        // A silent hit reads the *new* owner's first byte.
+                        if *got != want[0] {
+                            return Err(diverge(
+                                &pm,
+                                label,
+                                i,
+                                format!(
+                                    "{op:?}: stale read {got:#04x}, new owner holds {:#04x}",
+                                    want[0]
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            Op::ProbeReallocStale { slot } => {
+                out.probes += 1;
+                let Predicted::Bytes(want) = pred else {
+                    unreachable!()
+                };
+                let s = slots[slot].take().expect("model said live");
+                let noid = policy
+                    .realloc_from_ptr(cell_ptr(slot), s.oid, s.size)
+                    .map_err(|e| diverge(&pm, label, i, format!("{op:?}: realloc failed: {e}")))?;
+                slots[slot] = Some(Slot {
+                    oid: noid,
+                    ptr: policy.direct(noid),
+                    size: s.size,
+                });
+                // A same-size realloc resizes in place under the shared
+                // allocator (still bumping the generation); SafePM always
+                // moves (that is *how* it catches this family). When a
+                // non-SafePM variant moved anyway (generation
+                // saturation), memcheck's verdict depends on whether the
+                // old chunk died — skip that rare case.
+                let moved = noid.off != s.oid.off;
+                if !(matches!(protection, Protection::Memcheck) && moved) {
+                    let obs = probe_load(policy.as_ref(), s.ptr);
+                    let cell = expected(Family::ReallocStale, protection, breaks);
+                    conform(&obs, cell, protection, Family::ReallocStale)
+                        .map_err(|msg| diverge(&pm, label, i, format!("{op:?}: {msg}")))?;
+                    if let (Cell::Hit, Observed::Hit(got)) = (cell, &obs) {
+                        // In place and header-only: the stale pointer
+                        // still reads the preserved first byte.
+                        if *got != want[0] {
+                            return Err(diverge(
+                                &pm,
+                                label,
+                                i,
+                                format!(
+                                    "{op:?}: stale read {got:#04x}, object holds {:#04x}",
+                                    want[0]
+                                ),
+                            ));
+                        }
+                    }
+                }
             }
             Op::CrashKvPut {
                 key,

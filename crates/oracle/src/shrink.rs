@@ -6,7 +6,7 @@
 
 use spp_ripe::Protection;
 
-use crate::replay::{replay, Divergence};
+use crate::replay::{replay, BreakSpec, Divergence};
 use crate::trace::Op;
 
 /// Cap on shrink replays, so a pathological trace cannot stall the run
@@ -19,7 +19,7 @@ const SHRINK_CAP: usize = 512;
 pub fn shrink(
     ops: &[Op],
     protection: Protection,
-    break_matrix: bool,
+    breaks: BreakSpec,
     first: Divergence,
 ) -> (Vec<Op>, Divergence) {
     let mut kept: Vec<Op> = ops.to_vec();
@@ -30,7 +30,7 @@ pub fn shrink(
         budget -= 1;
         let mut candidate = kept.clone();
         candidate.remove(i);
-        match replay(&candidate, protection, break_matrix) {
+        match replay(&candidate, protection, breaks) {
             Err(d) => {
                 // Still diverges without the op: drop it for good. The
                 // model skips any later op this orphans, so the candidate

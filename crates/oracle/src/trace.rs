@@ -178,6 +178,45 @@ pub enum Op {
         /// Anchor slot whose pointer is redirected.
         slot: usize,
     },
+    /// Temporal probe: free the slot's object through its directory cell,
+    /// then immediately load byte 0 through the dangling pointer —
+    /// [`Family::UafRead`](spp_ripe::Family::UafRead). Self-contained
+    /// (free + stale access in one op) so no intervening allocation can
+    /// make the verdict depend on op interleaving. The slot is dead
+    /// afterwards.
+    ProbeUafStale {
+        /// Directory slot (freed by this op).
+        slot: usize,
+    },
+    /// Temporal probe: free the slot through its directory cell, then
+    /// free the retained oid a second time —
+    /// [`Family::DoubleFree`](spp_ripe::Family::DoubleFree). The slot is
+    /// dead afterwards.
+    ProbeDoubleFree {
+        /// Directory slot (freed by this op).
+        slot: usize,
+    },
+    /// Temporal probe: free the slot, re-allocate the *same size* into the
+    /// same directory cell (LIFO reuse hands the new object the dead
+    /// object's block), fill it with `pattern_bytes(seed, size)`, then
+    /// load byte 0 through the stale pre-free pointer —
+    /// [`Family::AbaReuse`](spp_ripe::Family::AbaReuse). The slot stays
+    /// live under its new contents.
+    ProbeAbaStale {
+        /// Directory slot.
+        slot: usize,
+        /// Fill seed for the new occupant.
+        seed: u64,
+    },
+    /// Temporal probe: reallocate the slot to its *current* size (an
+    /// in-place resize under the pmdk allocator — contents preserved, but
+    /// the generation is bumped) and load byte 0 through the pre-realloc
+    /// pointer — [`Family::ReallocStale`](spp_ripe::Family::ReallocStale).
+    /// The slot stays live.
+    ProbeReallocStale {
+        /// Directory slot.
+        slot: usize,
+    },
     /// KV put of a *fresh* key with a crash image captured at the
     /// `boundary`-th durability boundary inside the put; the image is
     /// recovered and checked (at most one per trace).
@@ -243,7 +282,7 @@ fn fallback_alloc(rng: &mut StdRng, st: &mut GenState) -> Op {
 
 #[allow(clippy::too_many_lines)]
 fn next_op(rng: &mut StdRng, st: &mut GenState) -> Op {
-    let roll = rng.random_range(0..100u32);
+    let roll = rng.random_range(0..112u32);
     match roll {
         0..=13 => fallback_alloc(rng, st),
         14..=19 => match st.live_slot(rng) {
@@ -381,6 +420,33 @@ fn next_op(rng: &mut StdRng, st: &mut GenState) -> Op {
             Some(slot) => Op::ProbeBeyond { slot },
             None => fallback_alloc(rng, st),
         },
+        100..=102 => match st.live_slot(rng) {
+            Some(slot) => {
+                st.live[slot] = None;
+                Op::ProbeUafStale { slot }
+            }
+            None => fallback_alloc(rng, st),
+        },
+        103..=105 => match st.live_slot(rng) {
+            Some(slot) => {
+                st.live[slot] = None;
+                Op::ProbeDoubleFree { slot }
+            }
+            None => fallback_alloc(rng, st),
+        },
+        106..=108 => match st.live_slot(rng) {
+            // Slot stays live at the same size (the new occupant).
+            Some(slot) => Op::ProbeAbaStale {
+                slot,
+                seed: rng.random(),
+            },
+            None => fallback_alloc(rng, st),
+        },
+        109..=111 => match st.live_slot(rng) {
+            // Same-size realloc: slot stays live, contents preserved.
+            Some(slot) => Op::ProbeReallocStale { slot },
+            None => fallback_alloc(rng, st),
+        },
         _ => {
             if st.crash_done {
                 Op::KvPut {
@@ -420,6 +486,29 @@ mod tests {
                 .count();
             assert!(n <= 1, "seed {seed}: {n} crash ops");
         }
+    }
+
+    #[test]
+    fn temporal_probes_are_generated() {
+        // Across a modest seed sweep every temporal probe kind appears,
+        // and the UAF/double-free kinds kill their slot in the shadow
+        // occupancy (no later op can target a dead slot).
+        let (mut uaf, mut dfree, mut aba, mut rstale) = (0usize, 0usize, 0usize, 0usize);
+        for seed in 0..50 {
+            for op in generate(seed, 80) {
+                match op {
+                    Op::ProbeUafStale { .. } => uaf += 1,
+                    Op::ProbeDoubleFree { .. } => dfree += 1,
+                    Op::ProbeAbaStale { .. } => aba += 1,
+                    Op::ProbeReallocStale { .. } => rstale += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(uaf > 0, "no UAF probes generated");
+        assert!(dfree > 0, "no double-free probes generated");
+        assert!(aba > 0, "no ABA probes generated");
+        assert!(rstale > 0, "no realloc-stale probes generated");
     }
 
     #[test]

@@ -73,7 +73,9 @@ pub type Result<T> = std::result::Result<T, PmError>;
 /// Default simulated base virtual address for pool mappings.
 ///
 /// SPP configures PMDK (via `PMEM_MMAP_HINT=0`) to map pools in the *lower*
-/// part of the address space so that `64 - tag_bits - 2` address bits suffice
-/// to address the whole mapping (§IV-F / §V-B of the paper). We default to
-/// 4 GiB, comfortably below `2^36` even for the largest evaluated tag widths.
-pub const DEFAULT_POOL_BASE: VirtAddr = 0x1_0000_0000;
+/// part of the address space so that the encoding's address bits suffice to
+/// address the whole mapping (§IV-F / §V-B of the paper). SPP+T spends 7 of
+/// those bits on the allocation-generation field, leaving 29 address bits
+/// (512 MiB) under the default 26-bit tag — so we default to 128 MiB,
+/// comfortably inside that range for every evaluated configuration.
+pub const DEFAULT_POOL_BASE: VirtAddr = 0x0800_0000;

@@ -61,8 +61,51 @@ pub(crate) const BH_STATE: u64 = 8;
 
 /// Block state: free (also the zero-fill default, so fresh heap is free).
 pub(crate) const STATE_FREE: u64 = 0;
-/// Block state: allocated.
+/// Block state: allocated (legacy raw form; kept for tests exercising the
+/// pre-generation encoding).
+#[cfg(test)]
 pub(crate) const STATE_ALLOC: u64 = 1;
+
+/// Largest live allocation generation. A free that would bump a block past
+/// this value instead parks the block at `GEN_MAX` — a never-reused
+/// *sentinel* generation: the block is quarantined (left out of free lists
+/// and wilderness spans, here and at every rebuild) so a saturated counter
+/// can never wrap around to a live-looking key.
+pub const GEN_MAX: u8 = 127;
+
+/// Bit position of the generation field inside the state word.
+const STATE_GEN_SHIFT: u32 = 1;
+/// Bit position of the requested-payload-size field inside the state word.
+const STATE_SIZE_SHIFT: u32 = 8;
+/// Width of the requested-payload-size field (bits 8..48).
+const STATE_SIZE_BITS: u32 = 40;
+
+/// Pack a block state word: `requested_payload << 8 | gen << 1 | alloc`.
+///
+/// Bit 0 keeps the legacy free/alloc meaning, so a fresh zeroed heap still
+/// decodes as free/gen-0 and a raw `STATE_ALLOC` write (pre-generation
+/// pools, unit tests) decodes as an allocated gen-0 (untracked) block.
+pub(crate) fn encode_state(alloc: bool, gen: u8, requested: u64) -> u64 {
+    debug_assert!(gen <= GEN_MAX);
+    debug_assert!(requested < 1 << STATE_SIZE_BITS);
+    (requested << STATE_SIZE_SHIFT) | ((gen as u64) << STATE_GEN_SHIFT) | (alloc as u64)
+}
+
+/// Unpack a state word into `(state, generation, requested_payload)`.
+/// Returns `None` when reserved bits (48..64) are set — a corrupt header.
+pub(crate) fn decode_state(word: u64) -> Option<(BlockState, u8, u64)> {
+    if word >> (STATE_SIZE_SHIFT + STATE_SIZE_BITS) != 0 {
+        return None;
+    }
+    let state = if word & 1 == 0 {
+        BlockState::Free
+    } else {
+        BlockState::Allocated
+    };
+    let gen = ((word >> STATE_GEN_SHIFT) & GEN_MAX as u64) as u8;
+    let requested = word >> STATE_SIZE_SHIFT;
+    Some((state, gen, requested))
+}
 
 /// Largest chunk a refill grabs from the shared wilderness.
 const MAX_REFILL_CHUNK: u64 = 256 * 1024;
@@ -118,6 +161,15 @@ pub struct BlockInfo {
     pub size: u64,
     /// Durable allocation state.
     pub state: BlockState,
+    /// Durable allocation generation. For an allocated block: the live
+    /// generation (0 = untracked legacy allocation). For a free block: the
+    /// generation the *next* allocation will receive; [`GEN_MAX`] marks a
+    /// quarantined (never reused) block.
+    pub gen: u8,
+    /// Requested payload size of the current allocation (0 when free or
+    /// untracked) — the durable key the volatile generation index is
+    /// rebuilt from after a restart.
+    pub requested: u64,
 }
 
 impl BlockInfo {
@@ -129,6 +181,14 @@ impl BlockInfo {
     /// Payload capacity in bytes.
     pub fn payload_size(&self) -> u64 {
         self.size - BLOCK_HEADER_SIZE
+    }
+
+    /// End of the current allocation's requested extent — the bound a
+    /// tagged SPP pointer into this block computes, and therefore the key
+    /// of the block's generation-index entry. `None` when free/untracked.
+    pub fn bound_off(&self) -> Option<u64> {
+        (self.state == BlockState::Allocated && self.requested != 0)
+            .then(|| self.payload_off() + self.requested)
     }
 }
 
@@ -151,16 +211,29 @@ pub(crate) fn scan_heap(pm: &PmPool, heap_off: u64, heap_end: u64) -> Result<Vec
                 "corrupt block header at {off:#x}"
             )));
         }
-        let state = match read_u64(pm, off + BH_STATE)? {
-            STATE_FREE => BlockState::Free,
-            STATE_ALLOC => BlockState::Allocated,
-            other => {
-                return Err(PmdkError::BadPool(format!(
-                    "corrupt block state {other} at {off:#x}"
-                )))
-            }
+        let word = read_u64(pm, off + BH_STATE)?;
+        let Some((state, gen, requested)) = decode_state(word) else {
+            return Err(PmdkError::BadPool(format!(
+                "corrupt block state {word:#x} at {off:#x}"
+            )));
         };
-        blocks.push(BlockInfo { off, size, state });
+        if requested > size - BLOCK_HEADER_SIZE {
+            return Err(PmdkError::BadPool(format!(
+                "block at {off:#x} records requested size {requested} beyond its capacity"
+            )));
+        }
+        if state == BlockState::Allocated && gen == GEN_MAX {
+            return Err(PmdkError::BadPool(format!(
+                "block at {off:#x} allocated at the quarantine generation"
+            )));
+        }
+        blocks.push(BlockInfo {
+            off,
+            size,
+            state,
+            gen,
+            requested,
+        });
         off += size;
     }
     Ok(blocks)
@@ -307,6 +380,13 @@ impl Arenas {
         for b in &blocks {
             match b.state {
                 BlockState::Free => {
+                    if b.gen == GEN_MAX {
+                        // Saturated generation counter: the sentinel must
+                        // never be handed out again, so the block stays
+                        // quarantined (a deterministic bounded leak of one
+                        // block per 126 frees of the same slot).
+                        continue;
+                    }
                     if is_class_block(b.size) {
                         let mut a = ar.arenas[next_free % n].lock();
                         a.free.entry(b.size).or_default().push(b.off);
@@ -617,6 +697,74 @@ mod tests {
             .map(|a| a.lock().free.values().map(Vec::len).sum())
             .collect();
         assert!(per_arena.iter().all(|&c| c == 2), "{per_arena:?}");
+    }
+
+    #[test]
+    fn state_word_roundtrip() {
+        for (alloc, gen, req) in [
+            (false, 0u8, 0u64),
+            (true, 0, 0), // legacy raw STATE_ALLOC
+            (true, 1, 32),
+            (true, 126, (1 << 40) - 1),
+            (false, GEN_MAX, 0),
+        ] {
+            let w = encode_state(alloc, gen, req);
+            let (state, g, r) = decode_state(w).unwrap();
+            let want = if alloc {
+                BlockState::Allocated
+            } else {
+                BlockState::Free
+            };
+            assert_eq!((state, g, r), (want, gen, req));
+        }
+        // The legacy constants decode to their historical meaning.
+        assert_eq!(
+            decode_state(STATE_FREE),
+            Some((BlockState::Free, 0, 0))
+        );
+        assert_eq!(
+            decode_state(STATE_ALLOC),
+            Some((BlockState::Allocated, 0, 0))
+        );
+        // Reserved high bits are corruption.
+        assert_eq!(decode_state(1 << 48), None);
+        assert_eq!(decode_state(u64::MAX), None);
+    }
+
+    #[test]
+    fn rebuild_quarantines_saturated_blocks() {
+        let pm = PmPool::new(PoolConfig::new(1 << 16));
+        let ar = Arenas::new(0, 1 << 16, 1);
+        let (a, asz) = ar.reserve(&pm, 0, 16).unwrap();
+        let (b, _) = ar.reserve(&pm, 0, 16).unwrap();
+        // a: durably free at the sentinel generation; b: free at a live gen.
+        write_u64(&pm, a + BH_STATE, encode_state(false, GEN_MAX, 0)).unwrap();
+        write_u64(&pm, b + BH_STATE, encode_state(false, 3, 0)).unwrap();
+        let re = Arenas::rebuild(&pm, 0, 1 << 16, 1).unwrap();
+        // Only b is reusable; a is quarantined forever.
+        assert_eq!(re.free_list_len(asz), 1);
+        let (got, _) = re.reserve(&pm, 0, 16).unwrap();
+        assert_eq!(got, b);
+        let (next, _) = re.reserve(&pm, 0, 16).unwrap();
+        assert_ne!(next, a);
+    }
+
+    #[test]
+    fn scan_rejects_temporal_corruption() {
+        // Requested size beyond the block's payload capacity.
+        let pm = PmPool::new(PoolConfig::new(1 << 16));
+        write_u64(&pm, BH_SIZE, 32).unwrap();
+        write_u64(&pm, BH_STATE, encode_state(true, 1, 17)).unwrap();
+        assert!(matches!(
+            scan_heap(&pm, 0, 1 << 16),
+            Err(PmdkError::BadPool(_))
+        ));
+        // An allocated block at the quarantine generation cannot exist.
+        write_u64(&pm, BH_STATE, encode_state(true, GEN_MAX, 16)).unwrap();
+        assert!(matches!(
+            scan_heap(&pm, 0, 1 << 16),
+            Err(PmdkError::BadPool(_))
+        ));
     }
 
     #[test]

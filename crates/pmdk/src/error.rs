@@ -35,6 +35,18 @@ pub enum PmdkError {
     TxAborted(String),
     /// A requested object size is zero or exceeds the configured maximum.
     BadAllocSize(u64),
+    /// A generation-carrying oid no longer matches its block: the block was
+    /// freed (or freed and reallocated) since the oid was minted. This is
+    /// the allocator-level temporal check — use-after-free / double-free /
+    /// realloc-stale detection for tracked oids.
+    StaleOid {
+        /// Payload offset of the oid.
+        off: u64,
+        /// The generation the oid carries.
+        oid_gen: u8,
+        /// The block header's current generation.
+        current_gen: u8,
+    },
 }
 
 impl fmt::Display for PmdkError {
@@ -55,6 +67,14 @@ impl fmt::Display for PmdkError {
             PmdkError::InvalidOid { off } => write!(f, "invalid oid with offset {off:#x}"),
             PmdkError::TxAborted(msg) => write!(f, "transaction aborted: {msg}"),
             PmdkError::BadAllocSize(sz) => write!(f, "bad allocation size {sz}"),
+            PmdkError::StaleOid {
+                off,
+                oid_gen,
+                current_gen,
+            } => write!(
+                f,
+                "stale oid at {off:#x}: carries generation {oid_gen}, block is at {current_gen}"
+            ),
         }
     }
 }

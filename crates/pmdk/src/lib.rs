@@ -59,7 +59,7 @@ mod redo;
 mod tx;
 mod ulog;
 
-pub use alloc::{AllocStats, BlockInfo, BlockState, BLOCK_HEADER_SIZE};
+pub use alloc::{AllocStats, BlockInfo, BlockState, BLOCK_HEADER_SIZE, GEN_MAX};
 pub use error::PmdkError;
 pub use oid::{OidDest, OidKind, PmemOid, OID_SIZE_PMDK, OID_SIZE_SPP};
 pub use pool::{LaneStatus, ObjPool, PoolOpts, RecoveryFaults, TxHandle, TxStatus};

@@ -46,7 +46,19 @@ pub struct PmemOid {
     pub off: u64,
     /// Allocated payload size in bytes. Durable only under [`OidKind::Spp`].
     pub size: u64,
+    /// Allocation generation (SPP+T temporal key): bumped by the allocator
+    /// on every free/realloc of the underlying block, validated against the
+    /// block header so stale oids are rejected. `0` means *untracked* — the
+    /// stock-PMDK behaviour (no temporal checking). Durable only under
+    /// [`OidKind::Spp`], packed into the high byte of the on-media size
+    /// word (sizes are capped well below 2^40 by the tag encoding).
+    pub gen: u8,
 }
+
+/// Bit position of the generation byte inside the on-media size word.
+const OID_GEN_SHIFT: u32 = 56;
+/// Mask of the size bits inside the on-media size word.
+const OID_SIZE_MASK: u64 = (1 << OID_GEN_SHIFT) - 1;
 
 impl PmemOid {
     /// The null oid.
@@ -54,15 +66,22 @@ impl PmemOid {
         pool_uuid: 0,
         off: 0,
         size: 0,
+        gen: 0,
     };
 
-    /// Create an oid.
+    /// Create an untracked oid (generation 0 — no temporal key).
     pub fn new(pool_uuid: u64, off: u64, size: u64) -> Self {
         PmemOid {
             pool_uuid,
             off,
             size,
+            gen: 0,
         }
+    }
+
+    /// The same oid carrying an allocation generation.
+    pub fn with_gen(self, gen: u8) -> Self {
+        PmemOid { gen, ..self }
     }
 
     /// Whether this oid is null (offset zero), matching `OID_IS_NULL`.
@@ -70,16 +89,29 @@ impl PmemOid {
         self.off == 0
     }
 
+    /// The packed on-media size word under [`OidKind::Spp`]:
+    /// `gen << 56 | size`.
+    pub fn size_word(&self) -> u64 {
+        ((self.gen as u64) << OID_GEN_SHIFT) | (self.size & OID_SIZE_MASK)
+    }
+
+    /// Split a packed on-media size word into `(size, gen)`.
+    pub fn split_size_word(word: u64) -> (u64, u8) {
+        (word & OID_SIZE_MASK, (word >> OID_GEN_SHIFT) as u8)
+    }
+
     /// Serialize for on-media storage under `kind`.
     ///
-    /// Layout: `uuid` at +0, `off` at +8, and (SPP only) `size` at +16, all
-    /// little-endian — matching the paper's extended `struct PMEMoid`.
+    /// Layout: `uuid` at +0, `off` at +8, and (SPP only) the packed
+    /// size+generation word at +16, all little-endian — matching the
+    /// paper's extended `struct PMEMoid` with SPP+T's generation key in
+    /// the size word's spare high byte.
     pub fn encode(&self, kind: OidKind) -> Vec<u8> {
         let mut out = Vec::with_capacity(kind.on_media_size() as usize);
         out.extend_from_slice(&self.pool_uuid.to_le_bytes());
         out.extend_from_slice(&self.off.to_le_bytes());
         if kind == OidKind::Spp {
-            out.extend_from_slice(&self.size.to_le_bytes());
+            out.extend_from_slice(&self.size_word().to_le_bytes());
         }
         out
     }
@@ -92,14 +124,17 @@ impl PmemOid {
     pub fn decode(bytes: &[u8], kind: OidKind) -> Self {
         let uuid = u64::from_le_bytes(bytes[0..8].try_into().expect("oid uuid"));
         let off = u64::from_le_bytes(bytes[8..16].try_into().expect("oid off"));
-        let size = match kind {
-            OidKind::Pmdk => 0,
-            OidKind::Spp => u64::from_le_bytes(bytes[16..24].try_into().expect("oid size")),
+        let (size, gen) = match kind {
+            OidKind::Pmdk => (0, 0),
+            OidKind::Spp => Self::split_size_word(u64::from_le_bytes(
+                bytes[16..24].try_into().expect("oid size"),
+            )),
         };
         PmemOid {
             pool_uuid: uuid,
             off,
             size,
+            gen,
         }
     }
 }
@@ -163,6 +198,24 @@ mod tests {
         let bytes = oid.encode(OidKind::Spp);
         assert_eq!(bytes.len(), 24);
         assert_eq!(PmemOid::decode(&bytes, OidKind::Spp), oid);
+    }
+
+    #[test]
+    fn generation_rides_the_spp_size_word() {
+        let oid = PmemOid::new(7, 0x40, 42).with_gen(9);
+        let bytes = oid.encode(OidKind::Spp);
+        let back = PmemOid::decode(&bytes, OidKind::Spp);
+        assert_eq!(back, oid);
+        assert_eq!(back.size, 42);
+        assert_eq!(back.gen, 9);
+        // The stock encoding drops the temporal key along with the size.
+        let stock = PmemOid::decode(&oid.encode(OidKind::Pmdk), OidKind::Pmdk);
+        assert_eq!((stock.size, stock.gen), (0, 0));
+        // Packing is lossless for the full size range.
+        let (s, g) = PmemOid::split_size_word(
+            PmemOid::new(0, 16, (1 << 40) - 1).with_gen(127).size_word(),
+        );
+        assert_eq!((s, g), ((1 << 40) - 1, 127));
     }
 
     #[test]

@@ -2,8 +2,10 @@
 
 use std::collections::HashSet;
 
-use crate::alloc::{BH_STATE, BLOCK_HEADER_SIZE, STATE_ALLOC, STATE_FREE};
-use crate::layout::write_u64;
+use crate::alloc::{
+    decode_state, encode_state, BlockState, BH_STATE, BLOCK_HEADER_SIZE, GEN_MAX,
+};
+use crate::layout::{read_u64, write_u64};
 use crate::oid::PmemOid;
 use crate::pool::ObjPool;
 use crate::redo::RedoLog;
@@ -26,10 +28,12 @@ pub struct Tx<'p> {
     snapshotted: HashSet<(u64, u64)>,
     /// Ranges to flush at commit.
     ranges: Vec<(u64, u64)>,
-    /// Blocks allocated inside this tx (freed on abort).
-    allocs: Vec<(u64, u64)>,
-    /// Blocks to free at commit: (block_hdr, block_size).
-    frees: Vec<(u64, u64)>,
+    /// Blocks allocated inside this tx (freed on abort):
+    /// (block_hdr, block_size, generation, requested size).
+    allocs: Vec<(u64, u64, u8, u64)>,
+    /// Blocks to free at commit:
+    /// (block_hdr, block_size, next generation, requested size).
+    frees: Vec<(u64, u64, u8, u64)>,
 }
 
 impl<'p> Tx<'p> {
@@ -112,7 +116,7 @@ impl<'p> Tx<'p> {
     }
 
     fn alloc_impl(&mut self, size: u64, zero: bool) -> Result<PmemOid> {
-        if size == 0 {
+        if size == 0 || size >= 1 << 40 {
             return Err(PmdkError::BadAllocSize(size));
         }
         let pm = self.pool.pm();
@@ -122,19 +126,29 @@ impl<'p> Tx<'p> {
             self.pool.arenas().unreserve(self.lane, block, block_size);
             return Err(e);
         }
+        let gen = match decode_state(read_u64(pm, block + BH_STATE)?) {
+            Some((BlockState::Free, g, _)) => g.max(1),
+            _ => {
+                self.pool.arenas().unreserve(self.lane, block, block_size);
+                return Err(PmdkError::BadPool(format!(
+                    "reserved block at {block:#x} has a corrupt state word"
+                )));
+            }
+        };
         let payload = block + BLOCK_HEADER_SIZE;
         if zero {
             pm.fill(payload, 0, size as usize)?;
             pm.persist(payload, size as usize)?;
         }
-        write_u64(pm, block + BH_STATE, STATE_ALLOC)?;
+        write_u64(pm, block + BH_STATE, encode_state(true, gen, size))?;
         pm.persist(block + BH_STATE, 8)?;
         if pm.mode() == spp_pm::Mode::Tracked {
             pm.mark(format!("tx_alloc:{block}:{block_size}"));
         }
         self.pool.arenas().note_alloc(block_size);
-        self.allocs.push((block, block_size));
-        Ok(PmemOid::new(self.pool.uuid(), payload, size))
+        self.pool.gens_set(payload + size, gen);
+        self.allocs.push((block, block_size, gen, size));
+        Ok(PmemOid::new(self.pool.uuid(), payload, size).with_gen(gen))
     }
 
     /// `pmemobj_tx_free`: free an object when (and only when) the
@@ -145,9 +159,10 @@ impl<'p> Tx<'p> {
     ///
     /// [`PmdkError::InvalidOid`] or undo-log errors.
     pub fn free(&mut self, oid: PmemOid) -> Result<()> {
-        let (block, block_size) = self.pool.block_of(oid)?;
+        let (block, block_size, gen, requested) = self.pool.block_meta(oid)?;
         self.ulog.append_free(self.pool.pm(), block)?;
-        self.frees.push((block, block_size));
+        let next_gen = if gen == 0 { 1 } else { gen + 1 };
+        self.frees.push((block, block_size, next_gen, requested));
         Ok(())
     }
 
@@ -192,9 +207,17 @@ impl<'p> Tx<'p> {
             self.pool.hdr().redo_off(self.lane),
             self.pool.hdr().redo_slots,
         );
-        for &(block, block_size) in &self.frees {
-            redo.commit(pm, &[(block + BH_STATE, STATE_FREE)])?;
-            self.pool.arenas().free_block(self.lane, block, block_size);
+        for &(block, block_size, next_gen, requested) in &self.frees {
+            redo.commit(pm, &[(block + BH_STATE, encode_state(false, next_gen, 0))])?;
+            if requested != 0 {
+                self.pool.gens_clear(block + BLOCK_HEADER_SIZE + requested);
+            }
+            if next_gen >= GEN_MAX {
+                // Saturated counter: quarantine (see ObjPool::free_impl).
+                self.pool.arenas().note_free(block_size);
+            } else {
+                self.pool.arenas().free_block(self.lane, block, block_size);
+            }
         }
         // 4. Done.
         self.ulog.clear(pm)
@@ -203,10 +226,19 @@ impl<'p> Tx<'p> {
     pub(crate) fn rollback(self) -> Result<()> {
         let pm = self.pool.pm();
         self.ulog.rollback_snapshots(pm)?;
-        for &(block, block_size) in &self.allocs {
-            write_u64(pm, block + BH_STATE, STATE_FREE)?;
+        for &(block, block_size, gen, size) in &self.allocs {
+            // The oid may have escaped into (rolled-back) PM or volatile
+            // state, so the generation is bumped exactly as a real free
+            // would — matching what crash recovery does for AllocOnAbort.
+            let next_gen = (gen + 1).min(GEN_MAX);
+            write_u64(pm, block + BH_STATE, encode_state(false, next_gen, 0))?;
             pm.persist(block + BH_STATE, 8)?;
-            self.pool.arenas().free_block(self.lane, block, block_size);
+            self.pool.gens_clear(block + BLOCK_HEADER_SIZE + size);
+            if next_gen >= GEN_MAX {
+                self.pool.arenas().note_free(block_size);
+            } else {
+                self.pool.arenas().free_block(self.lane, block, block_size);
+            }
         }
         self.ulog.clear(pm)
     }

@@ -143,13 +143,21 @@ proptest! {
     }
 
     #[test]
-    fn oid_encoding_roundtrips(uuid in any::<u64>(), off in any::<u64>(), size in any::<u64>()) {
-        let oid = PmemOid::new(uuid, off, size);
+    fn oid_encoding_roundtrips(
+        uuid in any::<u64>(),
+        off in any::<u64>(),
+        // The allocator rejects sizes >= 2^40; the SPP size word's spare
+        // high byte carries the SPP+T generation.
+        size in 0u64..1 << 40,
+        gen in 0u8..=127,
+    ) {
+        let oid = PmemOid::new(uuid, off, size).with_gen(gen);
         let spp = PmemOid::decode(&oid.encode(OidKind::Spp), OidKind::Spp);
         prop_assert_eq!(spp, oid);
         let pmdk = PmemOid::decode(&oid.encode(OidKind::Pmdk), OidKind::Pmdk);
         prop_assert_eq!(pmdk.pool_uuid, uuid);
         prop_assert_eq!(pmdk.off, off);
         prop_assert_eq!(pmdk.size, 0);
+        prop_assert_eq!(pmdk.gen, 0);
     }
 }

@@ -46,7 +46,13 @@ fn alloc_free_roundtrip() {
     pool.read(oid.off, &mut buf).unwrap();
     assert_eq!(buf, [0u8; 100]); // zalloc zeroes
     pool.free(oid).unwrap();
-    assert!(matches!(pool.free(oid), Err(PmdkError::InvalidOid { .. })));
+    // The oid carries a generation key, so a double-free is the temporal
+    // error (untracked gen-0 oids would get InvalidOid, as before).
+    assert!(matches!(pool.free(oid), Err(PmdkError::StaleOid { .. })));
+    assert!(matches!(
+        pool.free(PmemOid::new(oid.pool_uuid, oid.off, oid.size)),
+        Err(PmdkError::InvalidOid { .. })
+    ));
 }
 
 #[test]

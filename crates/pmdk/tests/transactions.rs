@@ -164,12 +164,12 @@ fn tx_free_applies_only_on_commit() {
         Err(tx.abort("changed my mind"))
     });
     assert!(pool.usable_size(obj).is_ok());
-    // Commit: object freed.
+    // Commit: object freed — the generation-carrying oid is now stale.
     pool.tx(|tx| -> spp_pmdk::Result<()> { tx.free(obj) })
         .unwrap();
     assert!(matches!(
         pool.usable_size(obj),
-        Err(PmdkError::InvalidOid { .. })
+        Err(PmdkError::StaleOid { .. })
     ));
 }
 

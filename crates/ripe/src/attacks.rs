@@ -44,6 +44,55 @@ pub enum Family {
     /// Target beyond the pool mapping — environmentally impossible; these
     /// are RIPE's never-viable forms (the "prevented" bulk of every row).
     BeyondMapping,
+    /// Read through a dangling pointer after its object was freed (no
+    /// intervening allocation). Spatially in bounds — only lifetime
+    /// tracking (shadow poison, chunk death, or the SPP+T generation tag)
+    /// can see it.
+    UafRead,
+    /// Write through a dangling pointer after its object was freed.
+    UafWrite,
+    /// Free the same object twice through a retained oid.
+    DoubleFree,
+    /// Deref a pointer taken *before* an in-place (same size class)
+    /// `realloc` of its object. The address is still live, so redzones and
+    /// chunk maps see nothing; SafePM catches it because its realloc
+    /// always moves, SPP+T because the generation was bumped in place.
+    ReallocStale,
+    /// The ABA hazard: free, then re-allocate the same slot for an
+    /// unrelated object, then deref the stale pointer. The slot is live
+    /// and unpoisoned again — every address-keyed mechanism is blind; only
+    /// the per-pointer generation distinguishes the two lifetimes.
+    AbaReuse,
+}
+
+impl Family {
+    /// Every family, spatial then temporal (matrix row order).
+    pub const ALL: [Family; 11] = [
+        Family::IntraObject,
+        Family::FarJumpLive,
+        Family::AdjacentSameChunk,
+        Family::PaddingSlack,
+        Family::WildernessSmash,
+        Family::BeyondMapping,
+        Family::UafRead,
+        Family::UafWrite,
+        Family::DoubleFree,
+        Family::ReallocStale,
+        Family::AbaReuse,
+    ];
+
+    /// Is this one of the SPP+T temporal families (stale-lifetime attacks,
+    /// as opposed to out-of-bounds ones)?
+    pub fn is_temporal(self) -> bool {
+        matches!(
+            self,
+            Family::UafRead
+                | Family::UafWrite
+                | Family::DoubleFree
+                | Family::ReallocStale
+                | Family::AbaReuse
+        )
+    }
 }
 
 /// One attack form.
@@ -75,11 +124,17 @@ fn push(suite: &mut Vec<Attack>, family: Family, method: Method, buffer_size: u6
     });
 }
 
-/// Generate the deterministic 223-form suite (83 viable on an unprotected
-/// PM heap + 140 environmentally impossible, matching the RIPE PM port's
-/// totals).
+/// The UAF probe lands one memcheck chunk into the freed payload, so the
+/// probed chunk holds nothing but the dead object and even chunk-granular
+/// tracking observes the free deterministically.
+pub const UAF_PROBE_BASE: u64 = 4096;
+
+/// Generate the deterministic 250-form suite: the RIPE PM port's 223
+/// spatial forms (83 viable on an unprotected PM heap + 140
+/// environmentally impossible, matching the port's totals) plus 27
+/// temporal forms exercising the SPP+T generation tag.
 pub fn generate_suite() -> Vec<Attack> {
-    let mut s = Vec::with_capacity(223);
+    let mut s = Vec::with_capacity(250);
     // 4 intra-object forms (one per technique).
     for m in Method::ALL {
         push(&mut s, Family::IntraObject, m, 64, 16);
@@ -111,7 +166,37 @@ pub fn generate_suite() -> Vec<Attack> {
             push(&mut s, Family::BeyondMapping, m, 64, k * 4096);
         }
     }
-    debug_assert_eq!(s.len(), 223);
+    // ---- temporal families (SPP+T) ----
+    // 6 UAF-read forms: 2 techniques × 3 probe offsets into the dead
+    // object's interior chunk. The 3-chunk buffer isolates the probe chunk
+    // (see `UAF_PROBE_BASE`).
+    for m in [Method::SingleStore, Method::Memcpy] {
+        for reach in [0, 64, 1024] {
+            push(&mut s, Family::UafRead, m, 3 * 4096, reach);
+        }
+    }
+    // 9 UAF-write forms: 3 techniques × the same 3 probe offsets.
+    for m in [Method::LoopStore, Method::SingleStore, Method::Memcpy] {
+        for reach in [0, 64, 1024] {
+            push(&mut s, Family::UafWrite, m, 3 * 4096, reach);
+        }
+    }
+    // 3 double-free forms across size classes.
+    for size in [32, 256, 4096] {
+        push(&mut s, Family::DoubleFree, Method::SingleStore, size, 0);
+    }
+    // 6 realloc-stale forms: 3 techniques × {grow, shrink}, both inside
+    // the 64-byte class so the realloc stays in place (`reach` is the new
+    // size).
+    for m in [Method::LoopStore, Method::SingleStore, Method::Memcpy] {
+        push(&mut s, Family::ReallocStale, m, 33, 48);
+        push(&mut s, Family::ReallocStale, m, 48, 33);
+    }
+    // 3 ABA-reuse forms across size classes.
+    for size in [32, 96, 256] {
+        push(&mut s, Family::AbaReuse, Method::SingleStore, size, 0);
+    }
+    debug_assert_eq!(s.len(), 250);
     s
 }
 
@@ -122,7 +207,7 @@ mod tests {
     #[test]
     fn suite_has_ripe_cardinality() {
         let s = generate_suite();
-        assert_eq!(s.len(), 223);
+        assert_eq!(s.len(), 250);
         let count = |f: Family| s.iter().filter(|a| a.family == f).count();
         assert_eq!(count(Family::IntraObject), 4);
         assert_eq!(count(Family::FarJumpLive), 2);
@@ -130,8 +215,31 @@ mod tests {
         assert_eq!(count(Family::PaddingSlack), 6);
         assert_eq!(count(Family::WildernessSmash), 63);
         assert_eq!(count(Family::BeyondMapping), 140);
-        // Viable-on-native total matches the paper's 83.
+        // The original spatial port: viable-on-native total matches the
+        // paper's 83 (of 223).
+        let spatial: usize = s.iter().filter(|a| !a.family.is_temporal()).count();
+        assert_eq!(spatial, 223);
         assert_eq!(223 - count(Family::BeyondMapping), 83);
+        // The SPP+T temporal extension.
+        assert_eq!(count(Family::UafRead), 6);
+        assert_eq!(count(Family::UafWrite), 9);
+        assert_eq!(count(Family::DoubleFree), 3);
+        assert_eq!(count(Family::ReallocStale), 6);
+        assert_eq!(count(Family::AbaReuse), 3);
+    }
+
+    #[test]
+    fn family_all_is_exhaustive_over_the_suite() {
+        let s = generate_suite();
+        for f in Family::ALL {
+            assert!(s.iter().any(|a| a.family == f), "{f:?} has no forms");
+        }
+        // Every UAF probe stays inside the isolated interior chunk.
+        for a in s.iter().filter(|a| {
+            matches!(a.family, Family::UafRead | Family::UafWrite)
+        }) {
+            assert!(super::UAF_PROBE_BASE + a.reach + 16 <= a.buffer_size - 4096);
+        }
     }
 
     #[test]

@@ -64,6 +64,11 @@ pub fn run_attack<P: MemoryPolicy>(p: &P, a: &Attack) -> Result<Outcome> {
         Family::PaddingSlack => padding(p, a),
         Family::WildernessSmash => wilderness(p, a),
         Family::BeyondMapping => beyond_mapping(p, a),
+        Family::UafRead => uaf(p, a, false),
+        Family::UafWrite => uaf(p, a, true),
+        Family::DoubleFree => double_free(p, a),
+        Family::ReallocStale => realloc_stale(p, a),
+        Family::AbaReuse => aba_reuse(p, a),
     }
 }
 
@@ -244,6 +249,124 @@ fn wilderness<P: MemoryPolicy>(p: &P, a: &Attack) -> Result<Outcome> {
         return Ok(o);
     }
     Ok(if target_hit(p, target_off)? {
+        Outcome::Success
+    } else {
+        Outcome::Prevented
+    })
+}
+
+/// Use-after-free: deref a dangling pointer with no intervening
+/// allocation. The buffer spans three memcheck chunks and the probe lands
+/// in the interior one ([`crate::attacks::UAF_PROBE_BASE`]), so the probed
+/// chunk dies with the object and even chunk-granular tracking observes
+/// the free.
+fn uaf<P: MemoryPolicy>(p: &P, a: &Attack, write: bool) -> Result<Outcome> {
+    let obj = p.zalloc(a.buffer_size)?;
+    let ptr = p.direct(obj);
+    let probe = (crate::attacks::UAF_PROBE_BASE + a.reach) as i64;
+    // The memcpy peer buffer is allocated *before* the free so the dead
+    // object's slot is not reused and nothing else lives in its chunk.
+    let aux = p.zalloc(64)?;
+    p.memset(p.direct(aux), MARKER, 16)?;
+    p.free(obj)?;
+    let attack = || -> std::result::Result<(), SppError> {
+        match (write, a.method) {
+            (true, Method::LoopStore) => {
+                for i in 0..16 {
+                    p.store(p.gep(ptr, probe + i), &[MARKER])?;
+                }
+            }
+            (true, Method::Memcpy) => p.memcpy(p.gep(ptr, probe), p.direct(aux), 16)?,
+            (true, _) => p.store_u64(p.gep(ptr, probe), MARKER64)?,
+            (false, Method::Memcpy) => p.memcpy(p.direct(aux), p.gep(ptr, probe), 16)?,
+            (false, _) => {
+                p.load_u64(p.gep(ptr, probe))?;
+            }
+        }
+        Ok(())
+    };
+    if let Some(o) = classify(attack()) {
+        return Ok(o);
+    }
+    if write {
+        Ok(
+            if target_hit(p, obj.off + crate::attacks::UAF_PROBE_BASE + a.reach)? {
+                Outcome::Success
+            } else {
+                Outcome::Prevented
+            },
+        )
+    } else {
+        // A completed read of freed memory *is* the leak.
+        Ok(Outcome::Success)
+    }
+}
+
+/// Free the same object twice through a retained oid.
+fn double_free<P: MemoryPolicy>(p: &P, a: &Attack) -> Result<Outcome> {
+    let obj = p.zalloc(a.buffer_size)?;
+    p.free(obj)?;
+    // The second free is the attack. Either the allocator rejects the
+    // stale oid with an API error, or the generation tag diagnoses a
+    // temporal violation — both stop it; silence would mean corrupted
+    // allocator state.
+    match classify(p.free(obj)) {
+        Some(o) => Ok(o),
+        None => Ok(Outcome::Success),
+    }
+}
+
+/// Deref a pointer captured before an in-place realloc of its object
+/// (`a.buffer_size` → `a.reach`, both within the 64-byte class).
+fn realloc_stale<P: MemoryPolicy>(p: &P, a: &Attack) -> Result<Outcome> {
+    // A durable slot holds the oid so the realloc can republish it, the
+    // way PM applications keep their objects reachable.
+    let slot = p.zalloc(p.oid_kind().on_media_size())?;
+    let slot_ptr = p.direct(slot);
+    let src = make_payload(p, 16)?;
+    let obj = p.zalloc(a.buffer_size)?;
+    let stale = p.direct(obj);
+    p.store_oid(slot_ptr, obj)?;
+    p.realloc_from_ptr(slot_ptr, obj, a.reach)?;
+    let attack = || -> std::result::Result<(), SppError> {
+        match a.method {
+            Method::LoopStore => {
+                for i in 0..8 {
+                    p.store(p.gep(stale, i), &[MARKER])?;
+                }
+            }
+            Method::Memcpy => p.memcpy(stale, p.direct(src), 16)?,
+            _ => p.store_u64(stale, MARKER64)?,
+        }
+        Ok(())
+    };
+    if let Some(o) = classify(attack()) {
+        return Ok(o);
+    }
+    Ok(if target_hit(p, obj.off)? {
+        Outcome::Success
+    } else {
+        Outcome::Prevented
+    })
+}
+
+/// The ABA hazard: free, re-allocate the same slot for an unrelated
+/// object (the allocator's free lists are LIFO), then write through the
+/// stale pointer — corrupting the slot's *new* owner.
+fn aba_reuse<P: MemoryPolicy>(p: &P, a: &Attack) -> Result<Outcome> {
+    let first = p.zalloc(a.buffer_size)?;
+    let stale = p.direct(first);
+    p.free(first)?;
+    let victim = p.zalloc(a.buffer_size)?;
+    // LIFO reuse gives the unrelated victim the dead object's slot; if the
+    // allocator ever changes that, the target inspection below turns the
+    // form into a miss rather than a false result.
+    debug_assert_eq!(victim.off, first.off);
+    let attack = || -> std::result::Result<(), SppError> { p.store_u64(stale, MARKER64) };
+    if let Some(o) = classify(attack()) {
+        return Ok(o);
+    }
+    Ok(if target_hit(p, victim.off)? {
         Outcome::Success
     } else {
         Outcome::Prevented

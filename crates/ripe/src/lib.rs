@@ -4,9 +4,10 @@
 //! — combinations of overflow technique, target location and access method
 //! — and counts which succeed under each protection mechanism. The paper's
 //! Table IV runs a 64-bit PM port of RIPE (223 attack forms) under five
-//! variants. This crate rebuilds that experiment:
+//! variants. This crate rebuilds that experiment and extends it with 27
+//! *temporal* forms (250 total) exercising the SPP+T generation tag:
 //!
-//! * a deterministic **attack suite** ([`generate_suite`]) of 223 forms
+//! * a deterministic **attack suite** ([`generate_suite`]) of 250 forms
 //!   grouped in mechanically-distinct families ([`Family`]);
 //! * an **executor** ([`run_attack`]) that actually performs each
 //!   overflowing write against a fresh pool under the policy being tested
@@ -28,10 +29,20 @@
 //! | wilderness smash     | hit  | caught (dead chunk) | caught | caught |
 //! | beyond mapping       | fault| fault    | fault  | caught (tag overflows first) |
 //!
+//! The temporal extension (stale-lifetime attacks; SPP's column is the
+//! SPP+T generation tag, mechanism `generation-tag`):
+//!
+//! | family               | PMDK | memcheck | SafePM | SPP |
+//! |----------------------|------|----------|--------|-----|
+//! | UAF read / write     | hit  | caught (dead chunk) | caught (poisoned) | caught (stale generation) |
+//! | double free          | rejected | rejected | rejected | caught |
+//! | realloc-stale        | hit  | hit      | caught (realloc always moves) | caught (in-place gen bump) |
+//! | ABA slot reuse       | hit  | hit      | hit    | caught (the only mechanism that can) |
+//!
 //! The same matrix is exported as data — [`expected_cell`] /
 //! [`expected_outcome`] — so the differential oracle (`spp-oracle`) and the
 //! Table IV evaluation share one source of truth; a unit test in
-//! [`mod@matrix`]'s module re-runs all 223 forms under all four protections
+//! [`mod@matrix`]'s module re-runs all 250 forms under all four protections
 //! and asserts the measured outcomes agree.
 
 mod attacks;
@@ -39,7 +50,7 @@ mod exec;
 pub mod matrix;
 mod memcheck;
 
-pub use attacks::{generate_suite, Attack, Family, Method};
+pub use attacks::{generate_suite, Attack, Family, Method, UAF_PROBE_BASE};
 pub use exec::{run_attack, Outcome};
 pub use matrix::{expected_cell, expected_outcome, Cell, Protection};
 pub use memcheck::{MemcheckPolicy, CHUNK};

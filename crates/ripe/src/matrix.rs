@@ -61,6 +61,19 @@ impl Protection {
             Protection::Spp => Some("overflow-bit"),
         }
     }
+
+    /// The mechanism string expected for a *specific family*: SPP catches
+    /// spatial families with the overflow bit but temporal families with
+    /// the SPP+T generation tag
+    /// ([`SppError::TemporalViolation`](spp_core::SppError::TemporalViolation)).
+    /// Every other protection uses one mechanism for both.
+    pub fn mechanism_for(self, family: Family) -> Option<&'static str> {
+        if self == Protection::Spp && family.is_temporal() {
+            Some("generation-tag")
+        } else {
+            self.mechanism()
+        }
+    }
 }
 
 /// One cell of the guarantee matrix: what happens when the family's access
@@ -76,6 +89,11 @@ pub enum Cell {
     /// ([`SppError::Fault`](spp_core::SppError::Fault)) — a stop, but not a
     /// detection.
     Fault,
+    /// The allocator refuses the *operation* with an API error (e.g. a
+    /// double free of an untracked oid returns `InvalidOid`). The attack is
+    /// stopped, but nothing diagnosed a memory-safety violation — the
+    /// temporal analogue of [`Cell::Fault`].
+    Rejected,
 }
 
 impl Cell {
@@ -84,7 +102,7 @@ impl Cell {
     pub fn to_outcome(self) -> Outcome {
         match self {
             Cell::Hit => Outcome::Success,
-            Cell::Caught | Cell::Fault => Outcome::Prevented,
+            Cell::Caught | Cell::Fault | Cell::Rejected => Outcome::Prevented,
         }
     }
 }
@@ -124,6 +142,30 @@ pub fn expected_cell(family: Family, protection: Protection) -> Cell {
         // overflows first (see above); the rest fault at the edge.
         (BeyondMapping, Spp) => Cell::Caught,
         (BeyondMapping, _) => Cell::Fault,
+        // ---- temporal families (SPP+T) ----
+        // Use-after-free with no intervening allocation: the shadow is
+        // poisoned (SafePM), the chunk is dead (memcheck), the generation
+        // is stale (SPP+T); native PMDK reads/writes freed payload
+        // silently.
+        (UafRead | UafWrite, Pmdk) => Cell::Hit,
+        (UafRead | UafWrite, _) => Cell::Caught,
+        // Double free: the allocator's own state machine rejects the
+        // second free of an untracked oid (an API error, not a detection);
+        // only the generation-carrying oid yields a diagnosed temporal
+        // violation.
+        (DoubleFree, Spp) => Cell::Caught,
+        (DoubleFree, _) => Cell::Rejected,
+        // In-place realloc: the address stays live, so chunk maps and
+        // native pointers see nothing. SafePM catches it as a side effect
+        // of always moving (the old slot is poisoned); SPP+T catches it by
+        // design (the generation was bumped in place).
+        (ReallocStale, SafePm | Spp) => Cell::Caught,
+        (ReallocStale, _) => Cell::Hit,
+        // ABA slot reuse: the slot is live and unpoisoned again under a
+        // new owner — every address-keyed mechanism is blind; only the
+        // per-pointer generation separates the two lifetimes.
+        (AbaReuse, Spp) => Cell::Caught,
+        (AbaReuse, _) => Cell::Hit,
     }
 }
 
@@ -150,7 +192,7 @@ mod tests {
 
     fn check_all<P: MemoryPolicy, F: FnMut() -> Result<P>>(p: Protection, mut mk: F) {
         let suite = generate_suite();
-        // Per-form agreement: the measured outcome of every one of the 223
+        // Per-form agreement: the measured outcome of every one of the 250
         // forms matches the matrix.
         for a in &suite {
             let policy = mk().unwrap();
@@ -171,7 +213,7 @@ mod tests {
             .filter(|a| expected_outcome(a.family, p) == crate::Outcome::Success)
             .count() as u64;
         assert_eq!(row.successful, predicted_hits, "{}: row total", p.label());
-        assert_eq!(row.prevented, 223 - predicted_hits);
+        assert_eq!(row.prevented, suite.len() as u64 - predicted_hits);
     }
 
     #[test]
@@ -198,14 +240,7 @@ mod tests {
 
     #[test]
     fn cells_project_consistently() {
-        for f in [
-            Family::IntraObject,
-            Family::FarJumpLive,
-            Family::AdjacentSameChunk,
-            Family::PaddingSlack,
-            Family::WildernessSmash,
-            Family::BeyondMapping,
-        ] {
+        for f in Family::ALL {
             for p in Protection::ALL {
                 assert_eq!(expected_cell(f, p).to_outcome(), expected_outcome(f, p));
             }
@@ -223,5 +258,38 @@ mod tests {
             expected_cell(Family::IntraObject, Protection::Spp),
             Cell::Hit
         );
+        // The SPP+T headline asymmetries: temporal families only the
+        // generation tag separates.
+        assert_eq!(expected_cell(Family::AbaReuse, Protection::SafePm), Cell::Hit);
+        assert_eq!(
+            expected_cell(Family::AbaReuse, Protection::Spp),
+            Cell::Caught
+        );
+        assert_eq!(
+            expected_cell(Family::ReallocStale, Protection::Memcheck),
+            Cell::Hit
+        );
+        assert_eq!(
+            expected_cell(Family::DoubleFree, Protection::SafePm),
+            Cell::Rejected
+        );
+        assert_eq!(
+            expected_cell(Family::DoubleFree, Protection::Spp),
+            Cell::Caught
+        );
+    }
+
+    #[test]
+    fn temporal_mechanism_is_the_generation_tag() {
+        for f in Family::ALL {
+            for p in Protection::ALL {
+                let want = if p == Protection::Spp && f.is_temporal() {
+                    Some("generation-tag")
+                } else {
+                    p.mechanism()
+                };
+                assert_eq!(p.mechanism_for(f), want, "{f:?}/{p:?}");
+            }
+        }
     }
 }

@@ -30,22 +30,29 @@ fn table4_counts() {
     let memcheck =
         evaluate_variant("memcheck", &suite, || Ok(MemcheckPolicy::new(fresh_pool()))).unwrap();
 
-    // Totals always add up.
+    // Totals always add up (223 spatial RIPE forms + 27 temporal).
     for row in [&native, &spp, &safepm, &memcheck] {
-        assert_eq!(row.successful + row.prevented, 223, "{row:?}");
+        assert_eq!(row.successful + row.prevented, 250, "{row:?}");
     }
 
-    // Native: all 83 viable forms succeed (paper: 83/140).
-    assert_eq!(native.successful, 83, "{native:?}");
+    // Native: all 83 viable spatial forms (paper: 83/140) plus every
+    // temporal form the allocator itself doesn't reject (15 UAF + 6
+    // realloc-stale + 3 ABA).
+    assert_eq!(native.successful, 83 + 24, "{native:?}");
 
-    // SPP: only the intra-object forms survive (paper: 4/219).
+    // SPP: only the intra-object forms survive (paper: 4/219); SPP+T's
+    // generation tag stops every temporal form.
     assert_eq!(spp.successful, 4, "{spp:?}");
 
-    // SafePM: intra-object + redzone-skipping jumps (paper: 6/217).
-    assert_eq!(safepm.successful, 6, "{safepm:?}");
+    // SafePM: intra-object + redzone-skipping jumps (paper: 6/217) plus
+    // the temporal forms poisoning cannot see (realloc-stale is caught
+    // because SafePM's realloc always moves; ABA reuse is not).
+    assert_eq!(safepm.successful, 6 + 3, "{safepm:?}");
 
-    // memcheck: everything near live data (paper: 20/203).
-    assert_eq!(memcheck.successful, 20, "{memcheck:?}");
+    // memcheck: everything near live data (paper: 20/203), and every
+    // temporal form whose chunk stays/returns live (6 realloc-stale +
+    // 3 ABA).
+    assert_eq!(memcheck.successful, 20 + 9, "{memcheck:?}");
 
     // The ordering the paper's Table IV demonstrates.
     assert!(spp.successful <= safepm.successful);

@@ -69,6 +69,11 @@ pub fn all_workloads() -> Vec<Workload> {
             about: "persistent list push/pop under the SPP policy; sequence oracle",
             run: run_list,
         },
+        Workload {
+            name: "generation",
+            about: "SPP+T free/realloc churn; gen-bump atomicity + no-resurrection oracles",
+            run: run_generation,
+        },
     ]
 }
 
@@ -619,6 +624,264 @@ fn run_kvstore(cfg: &TortureConfig, ex: &Explorer) -> Result<(), String> {
             let mut exp = expected.lock();
             exp.committed.insert(key, value);
             exp.in_flight = None;
+        }
+    }
+    ex.detach(&pm);
+    if let Err(msg) = check_event_log(&pm) {
+        ex.record_external(msg);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Workload 6: SPP+T generation survival under crash-at-every-boundary.
+//
+// Free/realloc churn over a few same-class slots (so LIFO reuse keeps
+// handing dead blocks to new lifetimes) with two temporal oracles on
+// every sampled crash state:
+//
+// * **gen bump + republish atomicity** — a recovered slot is exactly the
+//   pre- or post-state of the in-flight op: oid and durable block
+//   generation flip together, never one without the other (a torn free
+//   would leave a live oid aimed at a free block, or a bumped block
+//   still published — both are resurrection vectors);
+// * **no resurrection** — the durable generation of every block the
+//   workload ever touched is monotone across crash recovery: a recovered
+//   generation below the committed floor would let a stale pointer's key
+//   match a reborn allocation.
+// ---------------------------------------------------------------------------
+
+const GEN_SLOTS: usize = 4;
+/// Slot sizes all round to the 64-byte class, so reallocs stay in place
+/// (generation bump only) and free→alloc pairs reuse the same block.
+const GEN_SIZES: [u64; 3] = [33, 40, 48];
+
+/// One committed slot, as the driver observed it durably.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GenSlot {
+    /// Payload offset of the slot's block.
+    off: u64,
+    /// Durable live generation.
+    gen: u8,
+    /// Requested payload size.
+    size: u64,
+}
+
+/// One acceptable recovered state of a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GenState {
+    /// Slot oid is null.
+    Empty,
+    /// Slot holds exactly this block/generation/size.
+    Exact(GenSlot),
+    /// A tracked allocation of this size whose block and generation the
+    /// driver has not observed yet (an alloc — or a moving realloc at
+    /// generation saturation — is in flight).
+    Fresh(u64),
+}
+
+#[derive(Debug, Default)]
+struct GenExpected {
+    committed: Vec<Option<GenSlot>>,
+    /// `(slot, pre, post)` of the op in flight: recovery must land on
+    /// exactly one of the two, never between.
+    in_flight: Option<(usize, GenState, GenState)>,
+    /// Monotone floor of the durable generation per payload offset.
+    floor: BTreeMap<u64, u8>,
+}
+
+impl GenExpected {
+    fn acceptable(&self, slot: usize) -> Vec<GenState> {
+        let committed = match self.committed[slot] {
+            Some(s) => GenState::Exact(s),
+            None => GenState::Empty,
+        };
+        match self.in_flight {
+            Some((s, pre, post)) if s == slot => {
+                let mut ok = vec![pre];
+                if post != pre {
+                    ok.push(post);
+                }
+                ok
+            }
+            _ => vec![committed],
+        }
+    }
+}
+
+/// Check one recovered crash state against the generation model.
+fn check_generations(
+    rp: &Recovered,
+    blocks: &[spp_pmdk::BlockInfo],
+    root_off: u64,
+    exp: &GenExpected,
+) -> Result<(), String> {
+    use spp_pmdk::{BlockState, GEN_MAX};
+
+    let mut live = 0u64;
+    for i in 0..exp.committed.len() {
+        let oid = rp
+            .pool
+            .oid_read(root_off + i as u64 * 24, OidKind::Spp)
+            .map_err(|e| format!("slot {i}: oid read failed: {e:?}"))?;
+        let acceptable = exp.acceptable(i);
+        if oid.is_null() {
+            if !acceptable.contains(&GenState::Empty) {
+                return Err(format!(
+                    "slot {i}: oid is null but expected {acceptable:?}"
+                ));
+            }
+            continue;
+        }
+        live += 1;
+        let block = allocated_block_at(blocks, oid.off).ok_or_else(|| {
+            format!(
+                "slot {i}: torn free — published oid {:#x} aims at a non-allocated block",
+                oid.off
+            )
+        })?;
+        let matched = acceptable.iter().any(|st| match *st {
+            GenState::Empty => false,
+            GenState::Exact(s) => {
+                oid.off == s.off && block.gen == s.gen && block.requested == s.size
+            }
+            GenState::Fresh(size) => block.requested == size && block.gen >= 1,
+        });
+        if !matched {
+            return Err(format!(
+                "slot {i}: recovered (off {:#x}, gen {}, req {}) matches none of {acceptable:?}",
+                oid.off, block.gen, block.requested
+            ));
+        }
+    }
+
+    // Gen bump and oid republish travel in one redo record, so the
+    // allocated-block count always equals the published slots plus the
+    // root — a mismatch is a torn free/alloc (or a leak).
+    let total = allocated_count(blocks);
+    if total != live + 1 {
+        return Err(format!(
+            "torn op or leak: {total} allocated blocks, expected {live} live slots + 1 root"
+        ));
+    }
+
+    // No resurrection: every block the workload ever drove must never
+    // recover *below* its committed generation floor, and the saturated
+    // sentinel must never back a live allocation.
+    for b in blocks {
+        if b.state == BlockState::Allocated && b.gen == GEN_MAX {
+            return Err(format!(
+                "block {:#x} allocated at the quarantine sentinel generation",
+                b.off
+            ));
+        }
+        if let Some(&f) = exp.floor.get(&b.payload_off()) {
+            if b.gen != 0 && b.gen < f {
+                return Err(format!(
+                    "generation ran backwards at block {:#x}: recovered {} < committed floor {f}",
+                    b.off, b.gen
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run_generation(cfg: &TortureConfig, ex: &Explorer) -> Result<(), String> {
+    use spp_pmdk::GEN_MAX;
+
+    let pm = tracked_pool();
+    let pool = Arc::new(ObjPool::create(Arc::clone(&pm), PoolOpts::small()).map_err(estr)?);
+    let root = pool.root(GEN_SLOTS as u64 * 24).map_err(estr)?;
+    pm.reset_tracking();
+
+    let expected = Arc::new(Mutex::new(GenExpected {
+        committed: vec![None; GEN_SLOTS],
+        ..GenExpected::default()
+    }));
+    let oracle = make_oracle(cfg.faults, cfg.idempotence_stride, {
+        let expected = Arc::clone(&expected);
+        let root_off = root.off;
+        move |rp: &Recovered, blocks: &[spp_pmdk::BlockInfo]| {
+            let exp = expected.lock();
+            check_generations(rp, blocks, root_off, &exp)
+        }
+    });
+    ex.attach(&pm, oracle);
+
+    let bump_floor = |exp: &mut GenExpected, off: u64, gen: u8| {
+        let f = exp.floor.entry(off).or_insert(0);
+        *f = (*f).max(gen);
+    };
+
+    let mut rng = StdRng::seed_from_u64(wseed(cfg, "generation"));
+    let mut oids: Vec<Option<PmemOid>> = vec![None; GEN_SLOTS];
+    for _ in 0..cfg.steps {
+        if ex.hit_failure_cap() {
+            break;
+        }
+        let slot = rng.random_range(0..GEN_SLOTS as u64) as usize;
+        let dest = OidDest::spp(root.off + slot as u64 * 24);
+        let committed = expected.lock().committed[slot];
+        match (oids[slot], committed) {
+            (Some(oid), Some(s)) if rng.random_range(0..2) == 0 => {
+                // Free: the durable bump to gen+1 and the oid null-out
+                // must land together.
+                expected.lock().in_flight = Some((slot, GenState::Exact(s), GenState::Empty));
+                pool.free_from(dest, oid).map_err(estr)?;
+                let mut exp = expected.lock();
+                exp.committed[slot] = None;
+                exp.in_flight = None;
+                bump_floor(&mut exp, s.off, s.gen.saturating_add(1));
+                oids[slot] = None;
+            }
+            (Some(oid), Some(s)) => {
+                // Same-class realloc: in place with a generation bump —
+                // unless the bump would saturate, in which case the
+                // allocator quarantines the block and moves.
+                let new_size = GEN_SIZES[rng.random_range(0..GEN_SIZES.len() as u64) as usize];
+                let post = if s.gen + 1 < GEN_MAX {
+                    GenState::Exact(GenSlot {
+                        off: s.off,
+                        gen: s.gen + 1,
+                        size: new_size,
+                    })
+                } else {
+                    GenState::Fresh(new_size)
+                };
+                expected.lock().in_flight = Some((slot, GenState::Exact(s), post));
+                let new = pool.realloc_into(dest, oid, new_size).map_err(estr)?;
+                let gen = pool.gen_at_bound(new.off + new_size);
+                let mut exp = expected.lock();
+                exp.committed[slot] = Some(GenSlot {
+                    off: new.off,
+                    gen,
+                    size: new_size,
+                });
+                exp.in_flight = None;
+                // The old key died either way (bumped in place or block
+                // quarantined/freed).
+                bump_floor(&mut exp, s.off, s.gen.saturating_add(1));
+                bump_floor(&mut exp, new.off, gen);
+                oids[slot] = Some(new);
+            }
+            _ => {
+                // Alloc: block and generation are unknown until the op
+                // returns (LIFO reuse vs fresh wilderness block).
+                let size = GEN_SIZES[rng.random_range(0..GEN_SIZES.len() as u64) as usize];
+                expected.lock().in_flight = Some((slot, GenState::Empty, GenState::Fresh(size)));
+                let oid = pool.zalloc_into(dest, size).map_err(estr)?;
+                let gen = pool.gen_at_bound(oid.off + size);
+                let mut exp = expected.lock();
+                exp.committed[slot] = Some(GenSlot {
+                    off: oid.off,
+                    gen,
+                    size,
+                });
+                exp.in_flight = None;
+                bump_floor(&mut exp, oid.off, gen);
+                oids[slot] = Some(oid);
+            }
         }
     }
     ex.detach(&pm);

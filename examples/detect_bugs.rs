@@ -50,9 +50,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  SPP    : {}",
+        // The pool is deliberately mapped high (base 4 GiB); that needs
+        // more address bits than the default encoding leaves beside the
+        // generation field, so trade tag width for reach.
         verdict(btree_bug(Arc::new(SppPolicy::new(
             pool(1 << 32),
-            TagConfig::default()
+            TagConfig::fitting((1 << 32) + (32 << 20))?
         )?)))
     );
 
@@ -104,7 +107,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (
             "SPP",
             run_attack(
-                &SppPolicy::new(pool(1 << 32), TagConfig::default())?,
+                &SppPolicy::new(pool(1 << 32), TagConfig::fitting((1 << 32) + (32 << 20))?)?,
                 &attack,
             )?,
         ),
