@@ -2,18 +2,22 @@
 //!
 //! ```text
 //! perf_gate [--results DIR=results] [--baselines DIR=ci/baselines]
-//!           [--tolerance 0.5] [--pipeline-floor 1.5]
-//!           [--only fig5|fig7|loadgen]
+//!           [--tolerance 0.5] [--pipeline-floor 1.5] [--idle-floor 2000]
+//!           [--only fig5|fig7|loadgen|idle]
 //! ```
 //!
-//! Reads the three smoke-run artifacts — `BENCH_fig5_pmemkv.json`,
-//! `BENCH_fig7_pm_ops.json`, and `server_loadgen.json` — and fails the
-//! build if performance regressed. Two kinds of check, in order of trust:
+//! Reads the four smoke-run artifacts — `BENCH_fig5_pmemkv.json`,
+//! `BENCH_fig7_pm_ops.json`, `server_loadgen.json`, and
+//! `server_loadgen_idle.json` — and fails the build if performance
+//! regressed. Two kinds of check, in order of trust:
 //!
 //! 1. **Ratio invariants** (machine-independent, always enforced): the
 //!    thread-scaling series must stay monotone with `speedup_8_over_1 >=
-//!    2.0`, and the pipelined server must beat its own round-trip baseline
-//!    by `--pipeline-floor`. These compare a run against *itself*, so a
+//!    2.0`, the pipelined server must beat its own round-trip baseline
+//!    by `--pipeline-floor`, and the idle-scaling run must have held
+//!    `--idle-floor` epoll connections while keeping total OS threads
+//!    within `reactors + workers + hot + 8` — threads O(staff), never
+//!    O(connections). These compare a run against *itself*, so a
 //!    slow CI runner cannot fake a pass or a fail.
 //! 2. **Tolerance bands vs committed baselines**: absolute throughputs may
 //!    drop at most `--tolerance` (fraction) below the committed smoke
@@ -209,12 +213,41 @@ fn gate_loadgen(gate: &mut Gate, doc: &JsonValue, base: &JsonValue, tol: f64, fl
     }
 }
 
+/// The idle-scaling artifact's invariants are entirely self-relative —
+/// no baseline. The thread budget is recomputed here from the artifact's
+/// own config fields rather than trusting the loadgen's verdict: a
+/// loadgen that stopped checking would still fail the gate.
+fn gate_idle(gate: &mut Gate, doc: &JsonValue, idle_floor: f64) {
+    gate.check(
+        "idle mode",
+        doc.get("mode").and_then(JsonValue::as_str) == Some("idle_scaling"),
+        "artifact is an idle-scaling run".into(),
+    );
+    gate.check(
+        "idle io_mode",
+        doc.get("io_mode").and_then(JsonValue::as_str) == Some("epoll"),
+        "idle fleet was held by the epoll front end".into(),
+    );
+    gate.at_least("idle idle_conns", num_at(doc, &["idle_conns"]), idle_floor);
+    let budget =
+        num_at(doc, &["reactors"]) + num_at(doc, &["workers"]) + num_at(doc, &["hot_conns"]) + 8.0;
+    gate.at_most(
+        "idle os_threads_load (vs reactors+workers+hot+8)",
+        num_at(doc, &["os_threads_load"]),
+        budget,
+    );
+    // Liveness: the hot core really measured traffic through the parked
+    // fleet (a zero-op run would make the thread sample meaningless).
+    gate.at_least("idle hot_ops_s", num_at(doc, &["hot_ops_s"]), 1.0);
+}
+
 fn run() -> ExitCode {
     let args = Args::parse();
     let results: String = args.get("results", "results".to_string());
     let baselines: String = args.get("baselines", "ci/baselines".to_string());
     let tol: f64 = args.get("tolerance", 0.5);
     let floor: f64 = args.get("pipeline-floor", 1.5);
+    let idle_floor: f64 = args.get("idle-floor", 2000.0);
     let only: String = args.get("only", "all".to_string());
     let want = |name: &str| only == "all" || only == name;
 
@@ -241,6 +274,11 @@ fn run() -> ExitCode {
             load(&mut gate, &baselines, "server_loadgen.json"),
         ) {
             gate_loadgen(&mut gate, &doc, &base, tol, floor);
+        }
+    }
+    if want("idle") {
+        if let Some(doc) = load(&mut gate, &results, "server_loadgen_idle.json") {
+            gate_idle(&mut gate, &doc, idle_floor);
         }
     }
     if only != "all" && gate.checks == 0 {
@@ -341,6 +379,47 @@ mod tests {
         // Throughput down 60% against a 50% band; slowdowns doubled.
         gate_fig5(&mut g, &fig_doc(5.0, true, 40_000.0, 2.8), &base, 0.5);
         assert_eq!(g.failures, 3);
+    }
+
+    fn idle_doc(io: &str, idle: u64, threads: u64) -> JsonValue {
+        JsonValue::parse(&format!(
+            r#"{{"mode":"idle_scaling","io_mode":"{io}","idle_conns":{idle},
+               "hot_conns":2,"reactors":2,"workers":4,
+               "os_threads_load":{threads},"hot_ops_s":15000.0}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn healthy_idle_run_passes() {
+        let mut g = Gate::new();
+        // 2000 idle conns held by 9 threads: well under 2+4+2+8.
+        gate_idle(&mut g, &idle_doc("epoll", 2000, 9), 2000.0);
+        assert_eq!(g.failures, 0, "{} checks", g.checks);
+    }
+
+    #[test]
+    fn idle_thread_scaling_regression_fails() {
+        // Threads grew with connections (the bug the reactor exists to
+        // prevent): budget is 2+4+2+8 = 16, artifact reports 1013.
+        let mut g = Gate::new();
+        gate_idle(&mut g, &idle_doc("epoll", 2000, 1013), 2000.0);
+        assert_eq!(g.failures, 1);
+        // A fleet smaller than the floor also fails.
+        let mut g = Gate::new();
+        gate_idle(&mut g, &idle_doc("epoll", 500, 9), 2000.0);
+        assert_eq!(g.failures, 1);
+        // And a run that quietly fell back to the blocking front end.
+        let mut g = Gate::new();
+        gate_idle(&mut g, &idle_doc("threads", 2000, 9), 2000.0);
+        assert_eq!(g.failures, 1);
+    }
+
+    #[test]
+    fn idle_gate_fails_closed_on_empty_doc() {
+        let mut g = Gate::new();
+        gate_idle(&mut g, &JsonValue::parse("{}").unwrap(), 2000.0);
+        assert_eq!(g.failures, g.checks);
     }
 
     #[test]

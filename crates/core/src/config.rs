@@ -257,8 +257,7 @@ impl TagConfig {
         if self.is_overflowed(ptr) {
             return None;
         }
-        let tag =
-            (ptr >> (self.address_bits() + self.gen_bits)) & (self.max_object_size() - 1);
+        let tag = (ptr >> (self.address_bits() + self.gen_bits)) & (self.max_object_size() - 1);
         let dist = (self.max_object_size() - tag) & (self.max_object_size() - 1);
         Some(if dist == 0 {
             self.max_object_size()

@@ -143,7 +143,12 @@ fn expected(family: Family, protection: Protection, breaks: BreakSpec) -> Cell {
 /// the mechanism this protection uses *for this family* (SPP catches
 /// spatial families with the overflow bit but temporal ones with the
 /// SPP+T generation tag).
-fn conform(obs: &Observed, want: Cell, protection: Protection, family: Family) -> Result<(), String> {
+fn conform(
+    obs: &Observed,
+    want: Cell,
+    protection: Protection,
+    family: Family,
+) -> Result<(), String> {
     match (obs, want) {
         (Observed::Hit(_), Cell::Hit)
         | (Observed::Fault, Cell::Fault)
@@ -676,9 +681,9 @@ fn run_policy<P: MemoryPolicy>(
                     unreachable!()
                 };
                 let s = slots[slot].take().expect("model said live");
-                policy
-                    .free_from_ptr(cell_ptr(slot), s.oid)
-                    .map_err(|e| diverge(&pm, label, i, format!("{op:?}: legal free failed: {e}")))?;
+                policy.free_from_ptr(cell_ptr(slot), s.oid).map_err(|e| {
+                    diverge(&pm, label, i, format!("{op:?}: legal free failed: {e}"))
+                })?;
                 let obs = probe_load(policy.as_ref(), s.ptr);
                 // Chunk-granular indeterminacy: whether the freed block's
                 // 4 KiB chunk actually dies depends on co-occupancy with
@@ -709,9 +714,9 @@ fn run_policy<P: MemoryPolicy>(
             Op::ProbeDoubleFree { slot } => {
                 out.probes += 1;
                 let s = slots[slot].take().expect("model said live");
-                policy
-                    .free_from_ptr(cell_ptr(slot), s.oid)
-                    .map_err(|e| diverge(&pm, label, i, format!("{op:?}: legal free failed: {e}")))?;
+                policy.free_from_ptr(cell_ptr(slot), s.oid).map_err(|e| {
+                    diverge(&pm, label, i, format!("{op:?}: legal free failed: {e}"))
+                })?;
                 let obs = probe_free(policy.as_ref(), s.oid);
                 conform(
                     &obs,
@@ -727,9 +732,9 @@ fn run_policy<P: MemoryPolicy>(
                     unreachable!()
                 };
                 let s = slots[slot].take().expect("model said live");
-                policy
-                    .free_from_ptr(cell_ptr(slot), s.oid)
-                    .map_err(|e| diverge(&pm, label, i, format!("{op:?}: legal free failed: {e}")))?;
+                policy.free_from_ptr(cell_ptr(slot), s.oid).map_err(|e| {
+                    diverge(&pm, label, i, format!("{op:?}: legal free failed: {e}"))
+                })?;
                 let noid = policy
                     .alloc_into_ptr(cell_ptr(slot), s.size)
                     .map_err(|e| diverge(&pm, label, i, format!("{op:?}: realloc failed: {e}")))?;

@@ -718,10 +718,7 @@ mod tests {
             assert_eq!((state, g, r), (want, gen, req));
         }
         // The legacy constants decode to their historical meaning.
-        assert_eq!(
-            decode_state(STATE_FREE),
-            Some((BlockState::Free, 0, 0))
-        );
+        assert_eq!(decode_state(STATE_FREE), Some((BlockState::Free, 0, 0)));
         assert_eq!(
             decode_state(STATE_ALLOC),
             Some((BlockState::Allocated, 0, 0))

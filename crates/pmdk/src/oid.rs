@@ -212,9 +212,8 @@ mod tests {
         let stock = PmemOid::decode(&oid.encode(OidKind::Pmdk), OidKind::Pmdk);
         assert_eq!((stock.size, stock.gen), (0, 0));
         // Packing is lossless for the full size range.
-        let (s, g) = PmemOid::split_size_word(
-            PmemOid::new(0, 16, (1 << 40) - 1).with_gen(127).size_word(),
-        );
+        let (s, g) =
+            PmemOid::split_size_word(PmemOid::new(0, 16, (1 << 40) - 1).with_gen(127).size_word());
         assert_eq!((s, g), ((1 << 40) - 1, 127));
     }
 

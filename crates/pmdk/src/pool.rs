@@ -560,8 +560,7 @@ impl ObjPool {
             self.pm.persist(payload, size as usize)?;
         }
         let oid = PmemOid::new(self.hdr.pool_uuid, payload, size).with_gen(gen);
-        let entries =
-            self.publish_entries(block, encode_state(true, gen, size), dest, Some(oid));
+        let entries = self.publish_entries(block, encode_state(true, gen, size), dest, Some(oid));
         let redo = RedoLog::new(self.hdr.redo_off(lane), self.hdr.redo_slots);
         if let Err(e) = redo.commit(&self.pm, &entries) {
             self.alloc.unreserve(lane, block, block_size);
@@ -695,8 +694,7 @@ impl ObjPool {
         let (block, block_size, gen, requested) = self.block_meta(oid)?;
         let next_gen = if gen == 0 { 1 } else { gen + 1 };
         let (lane, _guard) = self.lanes.acquire();
-        let entries =
-            self.publish_entries(block, encode_state(false, next_gen, 0), dest, None);
+        let entries = self.publish_entries(block, encode_state(false, next_gen, 0), dest, None);
         RedoLog::new(self.hdr.redo_off(lane), self.hdr.redo_slots).commit(&self.pm, &entries)?;
         if requested != 0 {
             self.gens.clear(block + BLOCK_HEADER_SIZE + requested);
@@ -765,8 +763,7 @@ impl ObjPool {
         let copy_len = (old_block_size - BLOCK_HEADER_SIZE).min(new_size);
         self.copy_within(oid.off, new_payload, copy_len)?;
         self.pm.persist(new_payload, copy_len as usize)?;
-        let new_oid =
-            PmemOid::new(self.hdr.pool_uuid, new_payload, new_size).with_gen(new_gen);
+        let new_oid = PmemOid::new(self.hdr.pool_uuid, new_payload, new_size).with_gen(new_gen);
         let old_next_gen = if old_gen == 0 { 1 } else { old_gen + 1 };
         let mut entries = vec![(new_block + BH_STATE, encode_state(true, new_gen, new_size))];
         if dest.kind == OidKind::Spp {

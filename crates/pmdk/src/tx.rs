@@ -2,9 +2,7 @@
 
 use std::collections::HashSet;
 
-use crate::alloc::{
-    decode_state, encode_state, BlockState, BH_STATE, BLOCK_HEADER_SIZE, GEN_MAX,
-};
+use crate::alloc::{decode_state, encode_state, BlockState, BH_STATE, BLOCK_HEADER_SIZE, GEN_MAX};
 use crate::layout::{read_u64, write_u64};
 use crate::oid::PmemOid;
 use crate::pool::ObjPool;

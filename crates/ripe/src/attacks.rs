@@ -235,9 +235,10 @@ mod tests {
             assert!(s.iter().any(|a| a.family == f), "{f:?} has no forms");
         }
         // Every UAF probe stays inside the isolated interior chunk.
-        for a in s.iter().filter(|a| {
-            matches!(a.family, Family::UafRead | Family::UafWrite)
-        }) {
+        for a in s
+            .iter()
+            .filter(|a| matches!(a.family, Family::UafRead | Family::UafWrite))
+        {
             assert!(super::UAF_PROBE_BASE + a.reach + 16 <= a.buffer_size - 4096);
         }
     }

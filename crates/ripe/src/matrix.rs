@@ -260,7 +260,10 @@ mod tests {
         );
         // The SPP+T headline asymmetries: temporal families only the
         // generation tag separates.
-        assert_eq!(expected_cell(Family::AbaReuse, Protection::SafePm), Cell::Hit);
+        assert_eq!(
+            expected_cell(Family::AbaReuse, Protection::SafePm),
+            Cell::Hit
+        );
         assert_eq!(
             expected_cell(Family::AbaReuse, Protection::Spp),
             Cell::Caught

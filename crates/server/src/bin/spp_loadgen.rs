@@ -8,7 +8,16 @@
 //!             [--smoke] [--shutdown] [--inject-garbage]
 //!             [--sweep-threads 1,2,4,8] [--flush-wait-ns 15000]
 //!             [--pipeline 8] [--throttle-us 0]
+//!             [--io-mode threads|epoll] [--reactors 2] [--idle-conns 2000]
 //! ```
+//!
+//! `--io-mode`/`--reactors` select the in-process server's front end for
+//! any mode. `--idle-conns N` switches to idle-scaling mode (see
+//! [`run_idle`]): N open-but-quiet connections are parked on the server
+//! while a small hot core drives pipelined load; the run reports
+//! process thread count and RSS with the idle fleet attached, and — in
+//! epoll mode — self-validates that threads stayed O(reactors + workers),
+//! not O(connections).
 //!
 //! `--sweep-threads` switches to thread-sweep mode: one fresh in-process
 //! server per connection count on device-wait media, reporting ops/s per
@@ -40,8 +49,8 @@ use std::time::{Duration, Instant};
 use spp_bench::{banner, validate_rows, write_text_artifact, Args, Json};
 use spp_pm::contention;
 use spp_server::{
-    fresh_server_pool, fresh_server_pool_wait, Client, ClientError, KvEngine, PolicyKind, Reply,
-    Request, Server, ServerConfig,
+    fresh_server_pool, fresh_server_pool_wait, raise_nofile_limit, Client, ClientError, IoMode,
+    KvEngine, PolicyKind, Reply, Request, Server, ServerConfig,
 };
 
 const KEY_SIZE: usize = 16;
@@ -341,6 +350,8 @@ fn run_phase(
             workers: args.get("workers", 4),
             max_conns: args.get("max-conns", 64),
             queue_depth: args.get("queue-depth", 128),
+            io: args.get("io-mode", IoMode::Threads),
+            reactors: args.get("reactors", 2),
             ..ServerConfig::default()
         };
         let server = Server::start(engine, ("127.0.0.1", 0), cfg)
@@ -585,6 +596,8 @@ fn run_sweep(args: &Args, sweep_csv: &str) -> Result<(), String> {
             workers: args.get("workers", 8),
             max_conns: args.get("max-conns", 64),
             queue_depth: args.get("queue-depth", 256),
+            io: args.get("io-mode", IoMode::Threads),
+            reactors: args.get("reactors", 2),
             ..ServerConfig::default()
         };
         let server = Server::start(engine, ("127.0.0.1", 0), cfg)
@@ -694,11 +707,228 @@ fn run_sweep(args: &Args, sweep_csv: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// `(threads, vm_rss_kb)` for this process, from `/proc/self/status`;
+/// `(0, 0)` when procfs is unavailable (the caller treats that as
+/// "cannot self-validate", not as a pass).
+fn proc_status() -> (u64, u64) {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return (0, 0);
+    };
+    let field = |name: &str| {
+        status
+            .lines()
+            .find(|l| l.starts_with(name))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0)
+    };
+    (field("Threads:"), field("VmRSS:"))
+}
+
+/// Idle-scaling mode (`--idle-conns N`): park N open-but-quiet
+/// connections on a fresh in-process server, then drive pipelined load
+/// over a small hot core and report what the idle fleet actually cost —
+/// process thread count and RSS with the fleet attached, plus hot-path
+/// p50/p99 — and finally ping every idle connection to prove the fleet
+/// stayed serviceable. In epoll mode the run **self-validates** the
+/// headline claim: total threads stay within `reactors + workers +
+/// hot + slack`, i.e. O(reactors + workers), not O(connections). In
+/// threads mode the same row is reported without a budget (each idle
+/// connection pins a blocked thread — the baseline the reactor exists
+/// to beat), which is what the `EXPERIMENTS.md` comparison table plots.
+fn run_idle(args: &Args, idle_conns: u32) -> Result<(), String> {
+    let smoke = args.flag("smoke");
+    let policy: PolicyKind = args.get("policy", PolicyKind::Spp);
+    let io: IoMode = args.get("io-mode", IoMode::Epoll);
+    let reactors: usize = args.get("reactors", 2);
+    let workers: usize = args.get("workers", 4);
+    let hot: u32 = args.get("conns", 2);
+    let ops: u64 = args.get("ops", if smoke { 400 } else { 4_000 });
+    let depth: usize = args.get("pipeline", 8usize).max(1);
+    let value_size: usize = args.get("value-size", if smoke { 64 } else { 100 });
+    let read_pct: u32 = args.get("read-pct", 50).min(100);
+
+    // The fd limit, not memory, is the usual first wall at thousands of
+    // sockets; raise it before opening anything.
+    let nofile = raise_nofile_limit();
+    let need = u64::from(idle_conns) + u64::from(hot) + 64;
+    if nofile < need {
+        return Err(format!(
+            "RLIMIT_NOFILE {nofile} too low for {idle_conns} idle connections (need ~{need})"
+        ));
+    }
+
+    banner(&format!(
+        "spp-loadgen idle-scaling: io={io} policy={} idle={idle_conns} hot={hot} \
+         depth={depth} ops/hot-conn={ops}",
+        policy.label()
+    ));
+
+    let pool = fresh_server_pool(args.get("pool-mb", 64u64) << 20, 16, false)
+        .map_err(|e| format!("pool create: {e}"))?;
+    let engine = Arc::new(
+        KvEngine::create(pool, policy, args.get("nbuckets", 4096))
+            .map_err(|e| format!("engine create: {e}"))?,
+    );
+    let cfg = ServerConfig {
+        workers,
+        max_conns: idle_conns as usize + hot as usize + 8,
+        queue_depth: args.get("queue-depth", 128),
+        io,
+        reactors,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(engine, ("127.0.0.1", 0), cfg)
+        .map_err(|e| format!("in-process server: {e}"))?;
+    let addr = server.local_addr();
+    let (threads_base, rss_base_kb) = proc_status();
+
+    // Park the idle fleet. Each connection proves it was admitted and
+    // served (one PING) before going quiet.
+    let open_start = Instant::now();
+    let mut idle: Vec<Client> = Vec::with_capacity(idle_conns as usize);
+    for i in 0..idle_conns {
+        let mut c = Client::connect_retry(addr, Duration::from_secs(10))
+            .map_err(|e| format!("idle conn {i}: connect: {e}"))?;
+        c.ping().map_err(|e| format!("idle conn {i}: ping: {e}"))?;
+        idle.push(c);
+    }
+    let open_s = open_start.elapsed().as_secs_f64();
+    let (threads_idle, rss_idle_kb) = proc_status();
+    println!(
+        "idle fleet up: {idle_conns} conns in {open_s:.2}s  threads {threads_base} -> \
+         {threads_idle}  rss {rss_base_kb} -> {rss_idle_kb} kB"
+    );
+
+    // Hot pipelined core over the parked fleet.
+    let value = vec![0xA5u8; value_size];
+    let start = Instant::now();
+    let handles: Vec<_> = (0..hot)
+        .map(|i| {
+            let value = value.clone();
+            std::thread::spawn(move || {
+                run_conn_pipelined(
+                    addr,
+                    (1 << 20) + i,
+                    ops,
+                    &value,
+                    read_pct,
+                    depth,
+                    Duration::ZERO,
+                )
+            })
+        })
+        .collect();
+    // Sample the thread count while the hot core is actually running —
+    // that is the moment the claim is about.
+    std::thread::sleep(Duration::from_millis(50));
+    let (threads_load, rss_load_kb) = proc_status();
+    let mut puts = Lats::default();
+    let mut gets = Lats::default();
+    let mut busy_retries = 0u64;
+    for h in handles {
+        let r = h.join().map_err(|_| "loadgen thread panicked")??;
+        puts.merge(&r.puts);
+        gets.merge(&r.gets);
+        busy_retries += r.busy_retries;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let tput = (puts.count + gets.count) as f64 / elapsed;
+    println!(
+        "hot core: {tput:>10.0} ops/s  p50={:.1}us p99={:.1}us ({busy_retries} BUSY retries)  \
+         threads under load: {threads_load}  rss: {rss_load_kb} kB",
+        puts.percentile_us(0.50),
+        puts.percentile_us(0.99),
+    );
+
+    // The fleet must still be alive and serviceable after the load ran.
+    for (i, c) in idle.iter_mut().enumerate() {
+        c.ping()
+            .map_err(|e| format!("idle conn {i} died while parked: {e}"))?;
+    }
+    println!("all {idle_conns} idle connections still answer PING");
+    drop(idle);
+    server.shutdown();
+
+    // Self-validation: with epoll reactors, idle connections are epoll
+    // registrations, so total process threads are bounded by the fixed
+    // staff — reactors + workers + hot client threads + slack for main,
+    // committer, and runtime helpers. 5000 idle conns vs a budget of
+    // ~hot+reactors+workers+8 leaves no room for an O(conns) regression
+    // to hide.
+    let budget = (reactors + workers + hot as usize + 8) as u64;
+    if io == IoMode::Epoll {
+        if threads_load == 0 {
+            return Err("procfs unavailable: cannot validate the thread budget".into());
+        }
+        if threads_load > budget {
+            return Err(format!(
+                "thread count {threads_load} exceeds budget {budget} \
+                 (reactors={reactors} workers={workers} hot={hot}): \
+                 threads are scaling with connections"
+            ));
+        }
+        println!("thread budget holds: {threads_load} <= {budget}");
+    }
+
+    let mut rows = vec![lat_row(policy, "idle_hot_put", &puts, elapsed)];
+    if gets.count > 0 {
+        rows.push(lat_row(policy, "idle_hot_get", &gets, elapsed));
+    }
+    for row in &rows {
+        println!("{}", row.render());
+    }
+    validate_rows(
+        &rows,
+        &["throughput_ops_s", "p50_us", "p95_us", "p99_us", "ops"],
+    )
+    .map_err(|e| format!("result validation failed: {e}"))?;
+
+    let doc = Json::Obj(vec![
+        ("name", Json::Str("server_loadgen".to_string())),
+        ("mode", Json::Str("idle_scaling".to_string())),
+        ("io_mode", Json::Str(io.to_string())),
+        ("policy", Json::Str(policy.label().to_string())),
+        ("idle_conns", Json::Int(u64::from(idle_conns))),
+        ("hot_conns", Json::Int(u64::from(hot))),
+        ("reactors", Json::Int(reactors as u64)),
+        ("workers", Json::Int(workers as u64)),
+        ("pipeline_depth", Json::Int(depth as u64)),
+        ("ops_per_conn", Json::Int(ops)),
+        ("value_size", Json::Int(value_size as u64)),
+        ("read_pct", Json::Int(u64::from(read_pct))),
+        ("open_fleet_s", Json::Num(open_s)),
+        ("os_threads_base", Json::Int(threads_base)),
+        ("os_threads_idle", Json::Int(threads_idle)),
+        ("os_threads_load", Json::Int(threads_load)),
+        ("thread_budget", Json::Int(budget)),
+        ("vm_rss_kb_base", Json::Int(rss_base_kb)),
+        ("vm_rss_kb_idle", Json::Int(rss_idle_kb)),
+        ("vm_rss_kb_load", Json::Int(rss_load_kb)),
+        ("hot_ops_s", Json::Num(tput)),
+        ("busy_retries", Json::Int(busy_retries)),
+        ("rows", Json::Arr(rows)),
+    ]);
+    // A sibling artifact, not `server_loadgen.json`: the pipeline and
+    // sweep artifacts live there, and the perf gate pins that file to
+    // `mode: "pipeline"` — idle-scaling results must not clobber them.
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).map_err(|e| format!("create results/: {e}"))?;
+    let path = dir.join("server_loadgen_idle.json");
+    std::fs::write(&path, doc.render() + "\n").map_err(|e| format!("write {path:?}: {e}"))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = Args::parse();
     let sweep_csv: String = args.get("sweep-threads", String::new());
     if !sweep_csv.is_empty() {
         return run_sweep(&args, &sweep_csv);
+    }
+    let idle_conns: u32 = args.get("idle-conns", 0u32);
+    if idle_conns > 0 {
+        return run_idle(&args, idle_conns);
     }
     let pipeline_depth: usize = args.get("pipeline", 0usize);
     if pipeline_depth > 0 {
@@ -732,6 +962,8 @@ fn run() -> Result<(), String> {
             workers: args.get("workers", 4),
             max_conns: args.get("max-conns", 64),
             queue_depth: args.get("queue-depth", 128),
+            io: args.get("io-mode", IoMode::Threads),
+            reactors: args.get("reactors", 2),
             ..ServerConfig::default()
         };
         let server = Server::start(engine, ("127.0.0.1", 0), cfg)

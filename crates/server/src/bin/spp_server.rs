@@ -5,6 +5,7 @@
 //!            [--pool-mb 64] [--lanes 16] [--nbuckets 4096]
 //!            [--workers 4] [--max-conns 64] [--queue-depth 128]
 //!            [--group-max-batch 64] [--group-hold-us 0]
+//!            [--io-mode threads|epoll] [--reactors 2] [--idle-timeout-ms 0]
 //!            [--pool-file PATH] [--ready-file PATH]
 //! ```
 //!
@@ -17,6 +18,12 @@
 //! With `--pool-file`, an existing image is opened through full pmdk
 //! recovery and the durable image is saved back on graceful shutdown. A
 //! wire `SHUTDOWN` quiesces the server and the process exits 0.
+//!
+//! `--io-mode epoll` swaps the blocking thread-per-connection front end
+//! for sharded epoll reactors (`--reactors N`), so thousands of idle
+//! connections are held by readiness state instead of parked threads;
+//! the daemon also raises `RLIMIT_NOFILE` to its hard cap in that mode.
+//! `--idle-timeout-ms N` (epoll mode) closes connections quiet for N ms.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -26,7 +33,10 @@ use std::time::Duration;
 use spp_bench::Args;
 use spp_pm::{PmPool, PoolConfig};
 use spp_pmdk::ObjPool;
-use spp_server::{fresh_server_pool, GroupConfig, KvEngine, PolicyKind, Server, ServerConfig};
+use spp_server::{
+    fresh_server_pool, raise_nofile_limit, GroupConfig, IoMode, KvEngine, PolicyKind, Server,
+    ServerConfig,
+};
 
 /// Publish `addr` atomically: temp file in the same directory, fsync, then
 /// rename over the final path (rename is atomic on POSIX).
@@ -50,6 +60,8 @@ fn run() -> Result<(), String> {
     let nbuckets: u64 = args.get("nbuckets", 4096);
     let pool_file: String = args.get("pool-file", String::new());
     let ready_file: String = args.get("ready-file", String::new());
+    let io: IoMode = args.get("io-mode", IoMode::Threads);
+    let idle_timeout_ms: u64 = args.get("idle-timeout-ms", 0);
     let cfg = ServerConfig {
         workers: args.get("workers", 4),
         max_conns: args.get("max-conns", 64),
@@ -58,7 +70,15 @@ fn run() -> Result<(), String> {
             max_batch: args.get("group-max-batch", 64),
             max_hold: Duration::from_micros(args.get("group-hold-us", 0)),
         },
+        io,
+        reactors: args.get("reactors", 2),
+        idle_timeout: (idle_timeout_ms > 0).then(|| Duration::from_millis(idle_timeout_ms)),
     };
+    if io == IoMode::Epoll {
+        // Idle connections are cheap now; don't let the default soft
+        // fd limit be the thing that caps concurrency.
+        let _ = raise_nofile_limit();
+    }
 
     let reopening = !pool_file.is_empty() && std::path::Path::new(&pool_file).exists();
     let engine = if reopening {
@@ -79,7 +99,7 @@ fn run() -> Result<(), String> {
         .map_err(|e| format!("bind {addr}:{port}: {e}"))?;
     println!("spp-server listening on {}", server.local_addr());
     println!(
-        "spp-server policy={} pool_mb={pool_mb} nbuckets={nbuckets} {}",
+        "spp-server policy={} io={io} pool_mb={pool_mb} nbuckets={nbuckets} {}",
         policy.label(),
         if reopening {
             "reopened=true"

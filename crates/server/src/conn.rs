@@ -1,0 +1,489 @@
+//! Connection-level protocol state shared by both server front ends.
+//!
+//! The blocking front end ([`crate::server`]) and the epoll reactor
+//! ([`crate::reactor`]) execute the *same* run discipline: every complete
+//! frame already buffered is decoded into one ordered run
+//! ([`decode_run`]), the run executes as a single worker job, and replies
+//! are encoded back in request order. Keeping the decode step in one
+//! function is what lets the crash-restart and group-commit atomicity
+//! proofs carry over to the reactor unchanged — both front ends feed
+//! byte-identical runs into [`crate::server`]'s `execute_ops`.
+//!
+//! [`Conn`] is the reactor's per-connection state machine: receive/send
+//! buffers with partial-write positions, the in-flight or parked run, and
+//! the bookkeeping (interest mask, idle clock, generation) the reactor
+//! needs to drive it off readiness events.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use crate::wire::{
+    decode_frame, encode_response, parse_request, try_encode_multi_response, Request, Response,
+};
+
+/// A request copied out of the receive buffer so it can cross to a worker.
+pub(crate) enum OwnedRequest {
+    /// `PUT key value`.
+    Put {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// `DEL key`.
+    Del {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// `GET key`.
+    Get {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// `STATS`.
+    Stats,
+    /// `FLUSH` (fence).
+    Flush,
+    /// `PING`.
+    Ping,
+    /// An atomic `MULTI` batch.
+    Multi(Vec<OwnedRequest>),
+}
+
+/// A worker's reply, written back on the connection in request order.
+pub(crate) enum OwnedResponse {
+    /// Success.
+    Ok,
+    /// `GET` hit.
+    Value(Vec<u8>),
+    /// Key absent.
+    NotFound,
+    /// Failed request.
+    Err(String),
+    /// Rendered stats body.
+    Stats(String),
+    /// `PING` reply.
+    Pong,
+    /// Explicit backpressure rejection.
+    Busy,
+    /// Replies to a `MULTI` batch, in order.
+    Multi(Vec<OwnedResponse>),
+}
+
+/// Why a decode run stopped early.
+pub(crate) enum Stop {
+    /// A `SHUTDOWN` frame: finish the run, ack, trigger shutdown, close.
+    Shutdown,
+    /// Envelope error: the length prefix is garbage, the stream cannot
+    /// resync. Finish the run, report, close.
+    Envelope(String),
+}
+
+pub(crate) fn owned_of(req: &Request<'_>) -> Option<OwnedRequest> {
+    match req {
+        Request::Put { key, value } => Some(OwnedRequest::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        }),
+        Request::Get { key } => Some(OwnedRequest::Get { key: key.to_vec() }),
+        Request::Del { key } => Some(OwnedRequest::Del { key: key.to_vec() }),
+        Request::Stats => Some(OwnedRequest::Stats),
+        Request::Flush => Some(OwnedRequest::Flush),
+        Request::Ping => Some(OwnedRequest::Ping),
+        Request::Multi(mb) => Some(OwnedRequest::Multi(
+            mb.requests()
+                .map(|r| owned_of(&r).expect("validated: no SHUTDOWN inside MULTI"))
+                .collect(),
+        )),
+        Request::Shutdown => None,
+    }
+}
+
+/// Borrow an [`OwnedResponse`] as a wire [`Response`]. Nested `Multi` is
+/// impossible (wire validation rejects it on the way in), so this only has
+/// to cover leaf responses.
+pub(crate) fn response_of(resp: &OwnedResponse) -> Response<'_> {
+    match resp {
+        OwnedResponse::Ok => Response::Ok,
+        OwnedResponse::Value(v) => Response::Value(v),
+        OwnedResponse::NotFound => Response::NotFound,
+        OwnedResponse::Err(m) => Response::Err(m),
+        OwnedResponse::Stats(s) => Response::Stats(s),
+        OwnedResponse::Pong => Response::Pong,
+        OwnedResponse::Busy => Response::Busy,
+        OwnedResponse::Multi(_) => unreachable!("MULTI cannot nest"),
+    }
+}
+
+pub(crate) fn encode_owned(out: &mut Vec<u8>, resp: &OwnedResponse) {
+    match resp {
+        OwnedResponse::Multi(rs) => {
+            let borrowed: Vec<Response<'_>> = rs.iter().map(response_of).collect();
+            // A MULTI of GETs can fan out past MAX_FRAME even though the
+            // request fit; degrade to an ERR frame (the batch's writes are
+            // already durable — only the reply couldn't be framed).
+            if !try_encode_multi_response(out, &borrowed) {
+                encode_response(out, &Response::Err("MULTI response exceeds frame limit"));
+            }
+        }
+        leaf => encode_response(out, &response_of(leaf)),
+    }
+}
+
+/// One ordered run decoded out of a receive buffer: inline answers
+/// (`PONG`, body-error `ERR`) already sit in their reply slots; engine
+/// requests are in `execs` with their slot indices in `exec_slots`.
+pub(crate) struct DecodedRun {
+    /// Bytes of `rbuf` consumed by the decoded frames (drain these).
+    pub(crate) consumed: usize,
+    /// One slot per decoded frame, in request order; `None` slots await
+    /// the worker's reply.
+    pub(crate) replies: Vec<Option<OwnedResponse>>,
+    /// Engine-bound requests, in order.
+    pub(crate) execs: Vec<OwnedRequest>,
+    /// `replies` index for each entry of `execs`.
+    pub(crate) exec_slots: Vec<usize>,
+    /// Early-stop condition (`SHUTDOWN` frame or envelope error), if any.
+    pub(crate) stop: Option<Stop>,
+}
+
+/// Decode EVERY complete frame already buffered into one ordered run —
+/// this is the pipelining: a client that streamed N requests gets them
+/// executed as a unit (writes group-committed) instead of N queue round
+/// trips. Incomplete trailing bytes are left untouched (`consumed` stops
+/// before them); fragmentation at any byte boundary only delays the frame
+/// until its last byte arrives.
+pub(crate) fn decode_run(rbuf: &[u8]) -> DecodedRun {
+    let mut consumed = 0;
+    let mut replies: Vec<Option<OwnedResponse>> = Vec::new();
+    let mut execs: Vec<OwnedRequest> = Vec::new();
+    let mut exec_slots: Vec<usize> = Vec::new();
+    let mut stop: Option<Stop> = None;
+    loop {
+        let frame = match decode_frame(&rbuf[consumed..]) {
+            Ok(Some(f)) => f,
+            Ok(None) => break,
+            Err(e) => {
+                debug_assert!(e.is_envelope());
+                stop = Some(Stop::Envelope(e.to_string()));
+                break;
+            }
+        };
+        consumed += frame.consumed;
+        match parse_request(&frame) {
+            Ok(Request::Ping) => replies.push(Some(OwnedResponse::Pong)),
+            Ok(Request::Shutdown) => {
+                stop = Some(Stop::Shutdown);
+                break;
+            }
+            Ok(req) => {
+                exec_slots.push(replies.len());
+                execs.push(owned_of(&req).expect("Ping/Shutdown handled above"));
+                replies.push(None);
+            }
+            Err(e) => {
+                // Body error: the frame boundary is known — answer ERR
+                // in place and keep the stream in sync.
+                debug_assert!(!e.is_envelope());
+                replies.push(Some(OwnedResponse::Err(e.to_string())));
+            }
+        }
+    }
+    DecodedRun {
+        consumed,
+        replies,
+        execs,
+        exec_slots,
+        stop,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reactor-side per-connection state
+// ---------------------------------------------------------------------------
+
+/// Where a reactor connection is in the run pipeline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ConnState {
+    /// No run in flight: readable bytes are decoded immediately.
+    Idle,
+    /// One run is executing on the worker pool; reads are disarmed until
+    /// its completion comes back (one job in flight per connection keeps
+    /// ordering structural, exactly like the blocking front end).
+    Running,
+    /// A decoded run could not be queued (pool saturated): reads stay
+    /// disarmed and the run is retried when capacity frees up — pausing
+    /// instead of BUSY-failing the whole pipelined run.
+    Parked,
+}
+
+/// Once the send buffer backs up past this, read interest is dropped until
+/// the peer drains it — flow control by readiness, not by buffering.
+pub(crate) const WBUF_HIGH_WATER: usize = 256 * 1024;
+
+/// Reactor-owned state for one client socket.
+pub(crate) struct Conn {
+    /// The nonblocking socket.
+    pub(crate) stream: TcpStream,
+    /// Bytes received, not yet decoded.
+    pub(crate) rbuf: Vec<u8>,
+    /// Bytes encoded, not yet fully written.
+    pub(crate) wbuf: Vec<u8>,
+    /// How far into `wbuf` the kernel has accepted (partial writes).
+    pub(crate) wpos: usize,
+    /// Run-pipeline state.
+    pub(crate) state: ConnState,
+    /// The already-built worker job of a saturated-queue run, retried
+    /// verbatim when capacity frees up (`state == Parked`).
+    pub(crate) parked_job: Option<crate::queue::Job>,
+    /// Reply slots of the in-flight run, when `state == Running`.
+    pub(crate) pending_replies: Vec<Option<OwnedResponse>>,
+    /// Exec slot indices of the in-flight run.
+    pub(crate) pending_slots: Vec<usize>,
+    /// Stop to apply once the in-flight/parked run is written back.
+    pub(crate) pending_stop: Option<Stop>,
+    /// Flush `wbuf`, then close (set by `SHUTDOWN` ack / envelope error).
+    pub(crate) closing: bool,
+    /// Peer sent FIN: stop arming reads, close once quiesced.
+    pub(crate) peer_eof: bool,
+    /// Last time bytes moved on this connection (idle-timeout clock).
+    pub(crate) last_activity: Instant,
+    /// The epoll interest mask currently registered for this socket.
+    pub(crate) interest: u32,
+    /// Slab generation, embedded in the epoll token so stale events and
+    /// stale worker completions for a recycled slot are discarded.
+    pub(crate) generation: u32,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream, generation: u32, now: Instant) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::with_capacity(4096),
+            wbuf: Vec::with_capacity(4096),
+            wpos: 0,
+            state: ConnState::Idle,
+            parked_job: None,
+            pending_replies: Vec::new(),
+            pending_slots: Vec::new(),
+            pending_stop: None,
+            closing: false,
+            peer_eof: false,
+            last_activity: now,
+            interest: 0,
+            generation,
+        }
+    }
+
+    /// Unwritten response bytes still pending.
+    pub(crate) fn has_backlog(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+
+    /// Pump `wbuf` into the socket until it would block. Returns `false`
+    /// on a fatal socket error (caller closes the connection).
+    pub(crate) fn pump_writes(&mut self, now: Instant) -> bool {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    self.wpos += n;
+                    self.last_activity = now;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if self.wpos == self.wbuf.len() && self.wpos > 0 {
+            self.wbuf.clear();
+            self.wpos = 0;
+        }
+        true
+    }
+
+    /// Drain readable bytes into `rbuf` until the socket would block (or a
+    /// cap per round, to keep one chatty peer from starving the rest).
+    /// Returns `Ok(true)` if any bytes arrived, `Ok(false)` if none;
+    /// `Err(())` means the socket is dead.
+    pub(crate) fn pump_reads(&mut self, now: Instant) -> Result<bool, ()> {
+        const ROUND_CAP: usize = 64 * 1024;
+        let mut chunk = [0u8; 16 * 1024];
+        let mut got = 0usize;
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.peer_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    self.last_activity = now;
+                    got += n;
+                    if got >= ROUND_CAP {
+                        // Level-triggered epoll re-reports the remainder.
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return Err(()),
+            }
+        }
+        Ok(got > 0)
+    }
+
+    /// The interest mask this connection should be registered with right
+    /// now: reads only while idle (and not closing/EOF/backpressured),
+    /// writes only while a backlog exists.
+    pub(crate) fn desired_interest(&self) -> u32 {
+        let mut want = 0;
+        if self.has_backlog() {
+            want |= crate::poll::EPOLLOUT;
+        }
+        let read_ok = self.state == ConnState::Idle
+            && !self.closing
+            && !self.peer_eof
+            && self.wbuf.len().saturating_sub(self.wpos) < WBUF_HIGH_WATER;
+        if read_ok {
+            want |= crate::poll::EPOLLIN;
+        }
+        want
+    }
+
+    /// Whether the connection has fully quiesced and should be closed:
+    /// peer is gone (or we are closing) and nothing remains to execute or
+    /// flush.
+    pub(crate) fn drained(&self) -> bool {
+        let no_work = self.state == ConnState::Idle && !self.has_backlog();
+        no_work && (self.closing || self.peer_eof)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{encode_multi_request, encode_request, MAX_FRAME};
+
+    fn put(key: &[u8], value: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_request(&mut out, &Request::Put { key, value });
+        out
+    }
+
+    #[test]
+    fn decode_run_batches_all_complete_frames() {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, &Request::Ping);
+        buf.extend_from_slice(&put(b"k1", b"v1"));
+        encode_request(&mut buf, &Request::Get { key: b"k1" });
+        let tail_start = buf.len();
+        // Trailing partial frame: must be left unconsumed.
+        buf.extend_from_slice(&put(b"k2", b"v2")[..3]);
+
+        let run = decode_run(&buf);
+        assert_eq!(run.consumed, tail_start);
+        assert_eq!(run.replies.len(), 3);
+        assert!(matches!(run.replies[0], Some(OwnedResponse::Pong)));
+        assert!(run.replies[1].is_none());
+        assert!(run.replies[2].is_none());
+        assert_eq!(run.execs.len(), 2);
+        assert_eq!(run.exec_slots, vec![1, 2]);
+        assert!(run.stop.is_none());
+    }
+
+    #[test]
+    fn decode_run_stops_at_shutdown_frame() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&put(b"k", b"v"));
+        encode_request(&mut buf, &Request::Shutdown);
+        // Frames after SHUTDOWN are not decoded (the connection closes).
+        encode_request(&mut buf, &Request::Ping);
+
+        let run = decode_run(&buf);
+        assert!(matches!(run.stop, Some(Stop::Shutdown)));
+        assert_eq!(run.replies.len(), 1);
+        assert_eq!(run.execs.len(), 1);
+    }
+
+    #[test]
+    fn decode_run_envelope_error_stops_without_consuming_garbage() {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, &Request::Ping);
+        let good = buf.len();
+        // Oversized length prefix: an envelope error.
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        buf.push(0x01);
+
+        let run = decode_run(&buf);
+        assert_eq!(run.consumed, good, "garbage stays unconsumed");
+        assert!(matches!(run.stop, Some(Stop::Envelope(_))));
+        assert!(matches!(run.replies[0], Some(OwnedResponse::Pong)));
+    }
+
+    #[test]
+    fn decode_run_reassembles_byte_at_a_time_delivery() {
+        // The reactor ingests arbitrary fragments; a run must appear
+        // exactly when the last byte of a frame lands, never earlier,
+        // and decoded order must match send order.
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&put(b"alpha", b"1"));
+        let inner = [
+            Request::Put {
+                key: b"beta",
+                value: b"2",
+            },
+            Request::Del { key: b"alpha" },
+        ];
+        encode_multi_request(&mut stream, &inner);
+        stream.extend_from_slice(&put(b"gamma", b"3"));
+
+        let mut rbuf = Vec::new();
+        let mut decoded = 0usize;
+        for (i, b) in stream.iter().enumerate() {
+            rbuf.push(*b);
+            let run = decode_run(&rbuf);
+            if run.consumed > 0 {
+                rbuf.drain(..run.consumed);
+                decoded += run.execs.len();
+                assert!(run.stop.is_none(), "no stop at byte {i}");
+            }
+        }
+        assert!(rbuf.is_empty(), "every byte consumed at the end");
+        assert_eq!(decoded, 3, "PUT + MULTI + PUT all decoded");
+    }
+
+    #[test]
+    fn conn_desired_interest_follows_state() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        let now = Instant::now();
+        let mut conn = Conn::new(stream, 1, now);
+
+        assert_eq!(conn.desired_interest(), crate::poll::EPOLLIN);
+
+        conn.state = ConnState::Running;
+        assert_eq!(conn.desired_interest(), 0, "reads disarmed while running");
+
+        conn.state = ConnState::Idle;
+        conn.wbuf = vec![0u8; 8];
+        assert_eq!(
+            conn.desired_interest(),
+            crate::poll::EPOLLIN | crate::poll::EPOLLOUT
+        );
+
+        conn.wbuf = vec![0u8; WBUF_HIGH_WATER + 1];
+        assert_eq!(
+            conn.desired_interest(),
+            crate::poll::EPOLLOUT,
+            "send backlog past high water drops read interest"
+        );
+
+        conn.wbuf.clear();
+        conn.closing = true;
+        assert_eq!(conn.desired_interest(), 0);
+        assert!(conn.drained());
+    }
+}

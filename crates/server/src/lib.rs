@@ -3,13 +3,15 @@
 //!
 //! This crate turns the [`spp_kvstore`] cmap-analogue into something a
 //! `memcached`-style deployment would actually run: a compact
-//! length-prefixed [wire protocol](wire), a blocking TCP [server] with a
-//! bounded worker pool and explicit `BUSY` backpressure, a closed-loop
-//! [client], and (as binaries) the `spp-server` daemon plus the
-//! `spp-loadgen` load generator. The served store is selected per process
-//! with `--policy pmdk|spp|safepm`, so the three policies are compared
-//! end-to-end — syscalls, framing, and fences included — rather than in a
-//! tight loop.
+//! length-prefixed [wire protocol](wire), a TCP [server] with two
+//! selectable front ends (blocking thread-per-connection, or sharded
+//! epoll reactors via `--io-mode epoll` so idle connections stop costing
+//! threads), a bounded worker pool with explicit backpressure, a
+//! closed-loop [client], and (as binaries) the `spp-server` daemon plus
+//! the `spp-loadgen` load generator. The served store is selected per
+//! process with `--policy pmdk|spp|safepm`, so the three policies are
+//! compared end-to-end — syscalls, framing, and fences included — rather
+//! than in a tight loop.
 //!
 //! The headline property is **acked-write durability**: a `PUT` is acked
 //! only after the engine's transactional commit has flushed and fenced the
@@ -20,9 +22,12 @@
 #![warn(missing_docs)]
 
 pub mod client;
+mod conn;
 pub mod engine;
 pub mod group;
+mod poll;
 pub mod queue;
+mod reactor;
 pub mod server;
 pub mod wire;
 
@@ -31,6 +36,7 @@ pub use engine::{
     fresh_server_pool, fresh_server_pool_wait, KvEngine, PolicyKind, WriteOp, WriteReply,
 };
 pub use group::{GroupCommitter, GroupConfig, SubmitError};
+pub use poll::raise_nofile_limit;
 pub use queue::{BoundedQueue, Job, PushError, WorkerPool};
-pub use server::{Server, ServerConfig};
+pub use server::{IoMode, Server, ServerConfig};
 pub use wire::{MultiBody, Request, Response, WireError};

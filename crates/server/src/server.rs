@@ -1,17 +1,16 @@
-//! The blocking TCP server: acceptor, per-connection framing threads, and
-//! the bounded worker pool executing engine requests.
+//! The TCP server: two selectable front ends (blocking threads or epoll
+//! reactors) over one shared execution core.
 //!
-//! Threading model:
+//! Threading model, blocking mode ([`IoMode::Threads`]):
 //!
 //! * one **acceptor** owns the listener; over-limit connections are
 //!   answered with a `BUSY` frame and closed immediately;
 //! * one **connection thread** per accepted socket does buffered framing.
 //!   Connections are **pipelined**: every complete frame already buffered
-//!   is decoded into one ordered *run*, the run executes as a single
-//!   worker job, and the responses are written back in request order —
-//!   ordering stays structural (one job in flight per connection), but a
-//!   client that streams N requests without waiting gets them serviced as
-//!   a unit instead of N round trips;
+//!   is decoded into one ordered *run* (`conn::decode_run`), the
+//!   run executes as a single worker job, and the responses are written
+//!   back in request order — ordering stays structural (one job in flight
+//!   per connection);
 //! * a fixed **worker pool** (the only threads touching the engine) drains
 //!   the bounded request queue. When the queue is full the connection
 //!   thread answers `BUSY` itself — saturation degrades into explicit
@@ -21,38 +20,79 @@
 //!   submitted as write batches that share a single flush+fence boundary,
 //!   coalescing across connections under load.
 //!
-//! Durability contract: `PUT`/`DEL` acks are written only after the batch
-//! (or single-op transaction) containing them has flushed and fenced —
-//! **every acked write survives a crash**, and a batch is atomic across a
-//! crash (the root crash-restart tests drive both over real sockets).
-//! Within a run, a read is never reordered before an earlier write: the
-//! pending write batch is committed before any `GET`/`STATS`/`FLUSH`
-//! executes.
+//! Epoll mode ([`IoMode::Epoll`], see `reactor.rs`) replaces the
+//! acceptor and the per-connection threads with `cfg.reactors` event-loop
+//! threads; total thread count becomes `reactors + workers + committer`
+//! regardless of connection count. The worker pool, group committer, and
+//! run discipline are identical — only who reads the sockets changes. In
+//! epoll mode a saturated queue *parks* the run and pauses reads instead
+//! of answering `BUSY`: readiness backpressure replaces rejection.
+//!
+//! Durability contract (both modes): `PUT`/`DEL` acks are written only
+//! after the batch (or single-op transaction) containing them has flushed
+//! and fenced — **every acked write survives a crash**, and a batch is
+//! atomic across a crash (the root crash-restart tests drive both over
+//! real sockets, in both io modes). Within a run, a read is never
+//! reordered before an earlier write: the pending write batch is
+//! committed before any `GET`/`STATS`/`FLUSH` executes.
 //!
 //! Graceful shutdown (a `SHUTDOWN` frame or [`Server::shutdown`]) stops
-//! accepting, lets connection threads drain, quiesces the worker pool
-//! (queued jobs all run), then stops the group committer, and leaves the
-//! pool quiescent for a clean reopen.
+//! accepting, quiesces the front end (connection threads drain, or
+//! reactors finish in-flight runs and flush acks), then the worker pool
+//! (queued jobs all run), then the group committer, and leaves the pool
+//! quiescent for a clean reopen.
 
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::conn::{decode_run, encode_owned, OwnedRequest, OwnedResponse, Stop};
 use crate::engine::{KvEngine, WriteOp, WriteReply};
 use crate::group::{GroupCommitter, GroupConfig};
+use crate::poll::Epoll;
 use crate::queue::{BoundedQueue, Job, PushError, WorkerPool};
-use crate::wire::{
-    decode_frame, encode_response, parse_request, try_encode_multi_response, Request, Response,
-    MAX_FRAME, PREFIX,
-};
+use crate::reactor::{reactor_main, ReactorShared};
+use crate::wire::{encode_response, Response, MAX_FRAME, PREFIX};
 
 /// Poll granularity for blocking reads: how quickly connection threads
 /// notice a shutdown.
 const READ_TICK: Duration = Duration::from_millis(50);
+
+/// Which I/O front end serves connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMode {
+    /// Blocking accept + one thread per connection (the PR-3 front end).
+    Threads,
+    /// Sharded epoll reactors: connections cost a slab entry, not a
+    /// thread (`reactor.rs`).
+    Epoll,
+}
+
+impl FromStr for IoMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<IoMode, String> {
+        match s {
+            "threads" | "blocking" => Ok(IoMode::Threads),
+            "epoll" => Ok(IoMode::Epoll),
+            other => Err(format!("unknown io mode `{other}` (threads|epoll)")),
+        }
+    }
+}
+
+impl std::fmt::Display for IoMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IoMode::Threads => "threads",
+            IoMode::Epoll => "epoll",
+        })
+    }
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -63,10 +103,17 @@ pub struct ServerConfig {
     /// `BUSY` and are closed.
     pub max_conns: usize,
     /// Bounded request-queue depth; a full queue answers `BUSY` per
-    /// request.
+    /// request (blocking mode) or parks the run (epoll mode).
     pub queue_depth: usize,
     /// Group-commit tuning for batched `PUT`/`DEL` durability boundaries.
     pub group: GroupConfig,
+    /// Which front end reads the sockets.
+    pub io: IoMode,
+    /// Reactor threads in [`IoMode::Epoll`] (ignored in blocking mode).
+    pub reactors: usize,
+    /// Close connections idle longer than this (epoll mode only; `None`
+    /// disables the timeout).
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -76,32 +123,47 @@ impl Default for ServerConfig {
             max_conns: 64,
             queue_depth: 128,
             group: GroupConfig::default(),
+            io: IoMode::Threads,
+            reactors: 2,
+            idle_timeout: None,
         }
     }
 }
 
-struct Shared {
-    engine: Arc<KvEngine>,
-    cfg: ServerConfig,
-    addr: SocketAddr,
-    queue: Arc<BoundedQueue<Job>>,
-    committer: Arc<GroupCommitter>,
-    shutdown: AtomicBool,
-    conns: AtomicUsize,
-    conn_handles: Mutex<Vec<JoinHandle<()>>>,
-    done: Mutex<bool>,
-    done_cv: Condvar,
+pub(crate) struct Shared {
+    pub(crate) engine: Arc<KvEngine>,
+    pub(crate) cfg: ServerConfig,
+    pub(crate) addr: SocketAddr,
+    pub(crate) queue: Arc<BoundedQueue<Job>>,
+    pub(crate) committer: Arc<GroupCommitter>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) conns: AtomicUsize,
+    pub(crate) conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) reactors: Vec<Arc<ReactorShared>>,
+    pub(crate) done: Mutex<bool>,
+    pub(crate) done_cv: Condvar,
 }
 
 impl Shared {
-    fn trigger_shutdown(&self) {
+    pub(crate) fn trigger_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
         *self.done.lock().expect("done lock") = true;
         self.done_cv.notify_all();
-        // Wake the acceptor out of its blocking accept.
-        let _ = TcpStream::connect(self.addr);
+        match self.cfg.io {
+            // Wake the acceptor out of its blocking accept.
+            IoMode::Threads => {
+                let _ = TcpStream::connect(self.addr);
+            }
+            // Ring every reactor's doorbell; they observe the flag and
+            // start draining.
+            IoMode::Epoll => {
+                for r in &self.reactors {
+                    r.wake.signal();
+                }
+            }
+        }
     }
 }
 
@@ -111,16 +173,17 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
+    reactor_handles: Vec<JoinHandle<()>>,
     workers: Option<WorkerPool>,
 }
 
 impl Server {
     /// Bind `addr` (port 0 picks an ephemeral port) and start serving
-    /// `engine`.
+    /// `engine` with the front end selected by `cfg.io`.
     ///
     /// # Errors
     ///
-    /// Socket errors.
+    /// Socket errors (and, in epoll mode, epoll/eventfd creation errors).
     pub fn start(
         engine: Arc<KvEngine>,
         addr: impl ToSocketAddrs,
@@ -131,6 +194,23 @@ impl Server {
         let queue = Arc::new(BoundedQueue::new(cfg.queue_depth));
         let workers = WorkerPool::start(Arc::clone(&queue), cfg.workers);
         let committer = GroupCommitter::start(Arc::clone(&engine), cfg.group);
+        let io = cfg.io;
+        let n_reactors = cfg.reactors.max(1);
+
+        // Epoll-mode kernel objects are created up front so setup errors
+        // surface here as io::Error instead of panicking a thread.
+        let (reactor_shareds, epolls) = if io == IoMode::Epoll {
+            let mut shareds = Vec::with_capacity(n_reactors);
+            let mut epolls = Vec::with_capacity(n_reactors);
+            for _ in 0..n_reactors {
+                shareds.push(Arc::new(ReactorShared::new()?));
+                epolls.push(Epoll::new()?);
+            }
+            (shareds, epolls)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
         let shared = Arc::new(Shared {
             engine,
             cfg,
@@ -140,18 +220,43 @@ impl Server {
             shutdown: AtomicBool::new(false),
             conns: AtomicUsize::new(0),
             conn_handles: Mutex::new(Vec::new()),
+            reactors: reactor_shareds,
             done: Mutex::new(false),
             done_cv: Condvar::new(),
         });
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("spp-server-acceptor".into())
-                .spawn(move || accept_loop(&listener, &shared))?
-        };
+
+        let mut acceptor = None;
+        let mut reactor_handles = Vec::new();
+        match io {
+            IoMode::Threads => {
+                let shared2 = Arc::clone(&shared);
+                acceptor = Some(
+                    std::thread::Builder::new()
+                        .name("spp-server-acceptor".into())
+                        .spawn(move || accept_loop(&listener, &shared2))?,
+                );
+            }
+            IoMode::Epoll => {
+                let mut listener = Some(listener);
+                for (i, epoll) in epolls.into_iter().enumerate() {
+                    let shared2 = Arc::clone(&shared);
+                    let me = Arc::clone(&shared.reactors[i]);
+                    let peers = shared.reactors.clone();
+                    // Reactor 0 owns the listener and deals accepted
+                    // sockets round-robin to its peers.
+                    let l = if i == 0 { listener.take() } else { None };
+                    reactor_handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("spp-server-reactor-{i}"))
+                            .spawn(move || reactor_main(i, epoll, l, shared2, me, peers))?,
+                    );
+                }
+            }
+        }
         Ok(Server {
             shared,
-            acceptor: Some(acceptor),
+            acceptor,
+            reactor_handles,
             workers: Some(workers),
         })
     }
@@ -183,13 +288,36 @@ impl Server {
         }
     }
 
-    /// Trigger + complete a graceful shutdown: stop accepting, drain
-    /// connection threads, quiesce the worker pool (all queued jobs run),
-    /// and join everything. Idempotent with a wire-initiated `SHUTDOWN`.
+    /// Occupy worker-pool capacity with `jobs` sleeper jobs holding for
+    /// `hold` each; returns how many were accepted. Test-only hook for
+    /// saturating the queue deterministically (the stalled-pool
+    /// backpressure regression tests); real traffic never calls this.
+    #[doc(hidden)]
+    pub fn debug_stall_workers(&self, jobs: usize, hold: Duration) -> usize {
+        let mut accepted = 0;
+        for _ in 0..jobs {
+            let job: Job = Box::new(move || std::thread::sleep(hold));
+            if self.shared.queue.try_push(job).is_ok() {
+                accepted += 1;
+            }
+        }
+        accepted
+    }
+
+    /// Trigger + complete a graceful shutdown: stop accepting, drain the
+    /// front end (connection threads, or reactors finishing in-flight
+    /// runs), quiesce the worker pool (all queued jobs run), and join
+    /// everything. Idempotent with a wire-initiated `SHUTDOWN`.
     pub fn shutdown(mut self) {
         self.shared.trigger_shutdown();
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
+        }
+        // Reactors quiesce BEFORE the workers: they stop feeding the
+        // queue, finish parked/in-flight runs, and flush acks; only then
+        // is the pool drained and closed.
+        for h in std::mem::take(&mut self.reactor_handles) {
+            let _ = h.join();
         }
         let handles = std::mem::take(&mut *self.shared.conn_handles.lock().expect("conn handles"));
         for h in handles {
@@ -244,33 +372,10 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 }
 
 /// Connection-limit rejection: one `BUSY` frame, then close.
-fn reject_busy(mut stream: TcpStream) {
+pub(crate) fn reject_busy(mut stream: TcpStream) {
     let mut out = Vec::with_capacity(8);
     encode_response(&mut out, &Response::Busy);
     let _ = stream.write_all(&out);
-}
-
-/// A request copied out of the receive buffer so it can cross to a worker.
-enum OwnedRequest {
-    Put { key: Vec<u8>, value: Vec<u8> },
-    Del { key: Vec<u8> },
-    Get { key: Vec<u8> },
-    Stats,
-    Flush,
-    Ping,
-    Multi(Vec<OwnedRequest>),
-}
-
-/// A worker's reply, sent back over the connection's channel.
-enum OwnedResponse {
-    Ok,
-    Value(Vec<u8>),
-    NotFound,
-    Err(String),
-    Stats(String),
-    Pong,
-    Busy,
-    Multi(Vec<OwnedResponse>),
 }
 
 /// Execute one non-write request directly (writes go through the group
@@ -314,8 +419,8 @@ fn execute(engine: &KvEngine, req: OwnedRequest) -> OwnedResponse {
 /// shared durability boundary; the stage is flushed before anything that
 /// must observe those writes (a read, `STATS`, `FLUSH`) and at `MULTI`
 /// boundaries, so responses are exactly what sequential execution would
-/// produce.
-fn execute_ops(
+/// produce. Both front ends call this — and only this — to run a run.
+pub(crate) fn execute_ops(
     engine: &KvEngine,
     committer: &GroupCommitter,
     reqs: Vec<OwnedRequest>,
@@ -385,36 +490,9 @@ fn flush_staged(
     }
 }
 
-fn owned_of(req: &Request<'_>) -> Option<OwnedRequest> {
-    match req {
-        Request::Put { key, value } => Some(OwnedRequest::Put {
-            key: key.to_vec(),
-            value: value.to_vec(),
-        }),
-        Request::Get { key } => Some(OwnedRequest::Get { key: key.to_vec() }),
-        Request::Del { key } => Some(OwnedRequest::Del { key: key.to_vec() }),
-        Request::Stats => Some(OwnedRequest::Stats),
-        Request::Flush => Some(OwnedRequest::Flush),
-        Request::Ping => Some(OwnedRequest::Ping),
-        Request::Multi(mb) => Some(OwnedRequest::Multi(
-            mb.requests()
-                .map(|r| owned_of(&r).expect("validated: no SHUTDOWN inside MULTI"))
-                .collect(),
-        )),
-        Request::Shutdown => None,
-    }
-}
-
-/// Why the decode loop stopped early.
-enum Stop {
-    /// A `SHUTDOWN` frame: finish the run, ack, trigger shutdown, close.
-    Shutdown,
-    /// Envelope error: the length prefix is garbage, the stream cannot
-    /// resync. Finish the run, report, close.
-    Envelope(String),
-}
-
 fn serve_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
+    use std::io::Read;
+
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_TICK));
     let mut rbuf: Vec<u8> = Vec::with_capacity(4096);
@@ -426,48 +504,16 @@ fn serve_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
         sync_channel(1);
 
     loop {
-        // Decode EVERY complete frame already buffered into one ordered
-        // run — this is the pipelining: a client that streamed N requests
-        // gets them executed as a unit (writes group-committed) instead of
-        // N queue round trips.
-        let mut consumed = 0;
-        let mut replies: Vec<Option<OwnedResponse>> = Vec::new();
-        let mut execs: Vec<OwnedRequest> = Vec::new();
-        let mut exec_slots: Vec<usize> = Vec::new();
-        let mut stop: Option<Stop> = None;
-        loop {
-            let frame = match decode_frame(&rbuf[consumed..]) {
-                Ok(Some(f)) => f,
-                Ok(None) => break,
-                Err(e) => {
-                    debug_assert!(e.is_envelope());
-                    stop = Some(Stop::Envelope(e.to_string()));
-                    break;
-                }
-            };
-            consumed += frame.consumed;
-            match parse_request(&frame) {
-                Ok(Request::Ping) => replies.push(Some(OwnedResponse::Pong)),
-                Ok(Request::Shutdown) => {
-                    stop = Some(Stop::Shutdown);
-                    break;
-                }
-                Ok(req) => {
-                    exec_slots.push(replies.len());
-                    execs.push(owned_of(&req).expect("Ping/Shutdown handled above"));
-                    replies.push(None);
-                }
-                Err(e) => {
-                    // Body error: the frame boundary is known — answer ERR
-                    // in place and keep the stream in sync.
-                    debug_assert!(!e.is_envelope());
-                    replies.push(Some(OwnedResponse::Err(e.to_string())));
-                }
-            }
+        // The shared run decoder: every complete frame already buffered
+        // becomes one ordered run (see `crate::conn::decode_run`).
+        let run = decode_run(&rbuf);
+        if run.consumed > 0 {
+            rbuf.drain(..run.consumed);
         }
-        if consumed > 0 {
-            rbuf.drain(..consumed);
-        }
+        let mut replies = run.replies;
+        let execs = run.execs;
+        let exec_slots = run.exec_slots;
+        let stop = run.stop;
 
         // Execute the run: one worker job for all engine requests in it.
         wbuf.clear();
@@ -494,7 +540,8 @@ fn serve_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
                 Err(PushError::Full(_)) => {
                     // Saturated: reject the whole run's engine work with
                     // BUSY (inline answers still stand) — explicit
-                    // backpressure, never unbounded buffering.
+                    // backpressure, never unbounded buffering. (The epoll
+                    // front end parks the run instead.)
                     for slot in exec_slots {
                         replies[slot] = Some(OwnedResponse::Busy);
                     }
@@ -554,36 +601,5 @@ fn serve_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
             }
             Err(_) => return,
         }
-    }
-}
-
-/// Borrow an [`OwnedResponse`] as a wire [`Response`]. Nested `Multi` is
-/// impossible (wire validation rejects it on the way in), so this only has
-/// to cover leaf responses.
-fn response_of(resp: &OwnedResponse) -> Response<'_> {
-    match resp {
-        OwnedResponse::Ok => Response::Ok,
-        OwnedResponse::Value(v) => Response::Value(v),
-        OwnedResponse::NotFound => Response::NotFound,
-        OwnedResponse::Err(m) => Response::Err(m),
-        OwnedResponse::Stats(s) => Response::Stats(s),
-        OwnedResponse::Pong => Response::Pong,
-        OwnedResponse::Busy => Response::Busy,
-        OwnedResponse::Multi(_) => unreachable!("MULTI cannot nest"),
-    }
-}
-
-fn encode_owned(out: &mut Vec<u8>, resp: &OwnedResponse) {
-    match resp {
-        OwnedResponse::Multi(rs) => {
-            let borrowed: Vec<Response<'_>> = rs.iter().map(response_of).collect();
-            // A MULTI of GETs can fan out past MAX_FRAME even though the
-            // request fit; degrade to an ERR frame (the batch's writes are
-            // already durable — only the reply couldn't be framed).
-            if !try_encode_multi_response(out, &borrowed) {
-                encode_response(out, &Response::Err("MULTI response exceeds frame limit"));
-            }
-        }
-        leaf => encode_response(out, &response_of(leaf)),
     }
 }

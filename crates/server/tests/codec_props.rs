@@ -93,6 +93,82 @@ fn multi_item_strategy() -> impl Strategy<Value = OReq> {
     ]
 }
 
+/// One element of a fragmented stream: a plain frame or a `MULTI` batch
+/// (whose nested frames give the decoder interior length prefixes to be
+/// split across).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum OFrame {
+    Single(OReq),
+    Multi(Vec<OReq>),
+}
+
+fn frame_strategy() -> impl Strategy<Value = OFrame> {
+    prop_oneof![
+        req_strategy().prop_map(OFrame::Single),
+        req_strategy().prop_map(OFrame::Single),
+        req_strategy().prop_map(OFrame::Single),
+        prop::collection::vec(multi_item_strategy(), 1..5).prop_map(OFrame::Multi),
+    ]
+}
+
+fn encode_oframe(buf: &mut Vec<u8>, f: &OFrame) {
+    match f {
+        OFrame::Single(r) => encode_request(buf, &r.as_wire()),
+        OFrame::Multi(items) => {
+            let wire: Vec<Request<'_>> = items.iter().map(OReq::as_wire).collect();
+            encode_multi_request(buf, &wire);
+        }
+    }
+}
+
+fn assert_oframe_eq(got: &Request<'_>, want: &OFrame) -> Result<(), TestCaseError> {
+    match (got, want) {
+        (got, OFrame::Single(r)) => prop_assert_eq!(got, &r.as_wire()),
+        (Request::Multi(mb), OFrame::Multi(items)) => {
+            let nested: Vec<Request<'_>> = mb.requests().collect();
+            let wire: Vec<Request<'_>> = items.iter().map(OReq::as_wire).collect();
+            prop_assert_eq!(nested, wire);
+        }
+        (other, OFrame::Multi(_)) => prop_assert!(false, "expected Multi, got {:?}", other),
+    }
+    Ok(())
+}
+
+/// Model the reactor's read loop: grow the buffer by the given chunks,
+/// draining every complete frame after each arrival, and check the drained
+/// sequence is exactly the encoded one — no frame early, late, duplicated,
+/// reordered, or mangled, and no spurious decode error at any split point.
+fn check_fragmented_delivery(
+    frames: &[OFrame],
+    chunks: impl Iterator<Item = usize>,
+) -> Result<(), TestCaseError> {
+    let mut bytes = Vec::new();
+    for f in frames {
+        encode_oframe(&mut bytes, f);
+    }
+    let mut rbuf: Vec<u8> = Vec::new();
+    let mut off = 0;
+    let mut next = 0;
+    let mut fed = 0;
+    for chunk in chunks {
+        let take = chunk.clamp(1, bytes.len() - fed);
+        rbuf.extend_from_slice(&bytes[fed..fed + take]);
+        fed += take;
+        while let Some((got, n)) = decode_request(&rbuf[off..]).unwrap() {
+            prop_assert!(next < frames.len(), "decoded more frames than were sent");
+            assert_oframe_eq(&got, &frames[next])?;
+            next += 1;
+            off += n;
+        }
+        if fed == bytes.len() {
+            break;
+        }
+    }
+    prop_assert_eq!(next, frames.len(), "stream ended with frames undelivered");
+    prop_assert_eq!(off, bytes.len());
+    Ok(())
+}
+
 fn text(max: usize) -> impl Strategy<Value = String> {
     bytes(max).prop_map(|b| b.into_iter().map(|c| (c % 95 + 32) as char).collect())
 }
@@ -255,6 +331,28 @@ proptest! {
             Err(WireError::FrameTooLarge { len: l }) => prop_assert_eq!(l, len as usize),
             other => prop_assert!(false, "expected FrameTooLarge, got {:?}", other),
         }
+    }
+
+    /// Byte-at-a-time delivery — the harshest fragmentation the kernel can
+    /// produce — splits every frame at every interior boundary, including
+    /// mid-length-prefix and mid-nested-`MULTI`; the decoded stream must
+    /// still be exactly the sent one.
+    #[test]
+    fn every_byte_fragmentation_preserves_stream(
+        frames in prop::collection::vec(frame_strategy(), 1..8),
+    ) {
+        check_fragmented_delivery(&frames, std::iter::repeat(1))?;
+    }
+
+    /// Arbitrary fragment sizes (1..=9 bytes, cycled) land splits at
+    /// unaligned offsets relative to every prefix and opcode; same
+    /// identity must hold.
+    #[test]
+    fn random_fragmentation_preserves_stream(
+        frames in prop::collection::vec(frame_strategy(), 1..8),
+        sizes in prop::collection::vec(1usize..10, 1..32),
+    ) {
+        check_fragmented_delivery(&frames, sizes.into_iter().cycle())?;
     }
 
     /// Truncated PUT key-length prefixes (the classic length-confusion

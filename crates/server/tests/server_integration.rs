@@ -1,13 +1,19 @@
 //! End-to-end service tests over real sockets: every policy, malformed
-//! frames, connection-limit backpressure, and graceful shutdown.
+//! frames, connection-limit backpressure, and graceful shutdown — each
+//! scenario driven against **both** I/O front ends (`threads` and
+//! `epoll`), since the wire contract must not depend on who reads the
+//! sockets.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use spp_server::{
-    fresh_server_pool, Client, ClientError, GroupConfig, KvEngine, PolicyKind, Reply, Request,
-    RespKind, Server, ServerConfig,
+    fresh_server_pool, Client, ClientError, GroupConfig, IoMode, KvEngine, PolicyKind, Reply,
+    Request, RespKind, Server, ServerConfig,
 };
+
+/// Every front end each scenario must behave identically under.
+const IO_MODES: [IoMode; 2] = [IoMode::Threads, IoMode::Epoll];
 
 fn key(i: u64) -> [u8; 16] {
     let mut k = [0u8; 16];
@@ -21,37 +27,43 @@ fn start(kind: PolicyKind, cfg: ServerConfig) -> Server {
     Server::start(engine, ("127.0.0.1", 0), cfg).unwrap()
 }
 
+fn start_io(kind: PolicyKind, io: IoMode, cfg: ServerConfig) -> Server {
+    start(kind, ServerConfig { io, ..cfg })
+}
+
 fn connect(server: &Server) -> Client {
     Client::connect_retry(server.local_addr(), Duration::from_secs(5)).unwrap()
 }
 
 #[test]
 fn full_roundtrip_under_every_policy() {
-    for kind in PolicyKind::ALL {
-        let server = start(kind, ServerConfig::default());
-        let mut c = connect(&server);
-        c.ping().unwrap();
-        for i in 0..50u64 {
-            c.put(&key(i), format!("value-{i}").as_bytes()).unwrap();
+    for io in IO_MODES {
+        for kind in PolicyKind::ALL {
+            let server = start_io(kind, io, ServerConfig::default());
+            let mut c = connect(&server);
+            c.ping().unwrap();
+            for i in 0..50u64 {
+                c.put(&key(i), format!("value-{i}").as_bytes()).unwrap();
+            }
+            let mut out = Vec::new();
+            assert!(c.get(&key(17), &mut out).unwrap());
+            assert_eq!(out, b"value-17");
+            out.clear();
+            assert!(!c.get(&key(999), &mut out).unwrap());
+            assert!(c.del(&key(17)).unwrap());
+            assert!(!c.del(&key(17)).unwrap());
+            out.clear();
+            assert!(!c.get(&key(17), &mut out).unwrap());
+            c.flush().unwrap();
+            let stats = c.stats().unwrap();
+            assert!(
+                stats.contains(&format!("policy={}", kind.label())),
+                "{stats}"
+            );
+            assert!(stats.contains("keys=49"), "{stats}");
+            c.shutdown().unwrap();
+            server.shutdown();
         }
-        let mut out = Vec::new();
-        assert!(c.get(&key(17), &mut out).unwrap());
-        assert_eq!(out, b"value-17");
-        out.clear();
-        assert!(!c.get(&key(999), &mut out).unwrap());
-        assert!(c.del(&key(17)).unwrap());
-        assert!(!c.del(&key(17)).unwrap());
-        out.clear();
-        assert!(!c.get(&key(17), &mut out).unwrap());
-        c.flush().unwrap();
-        let stats = c.stats().unwrap();
-        assert!(
-            stats.contains(&format!("policy={}", kind.label())),
-            "{stats}"
-        );
-        assert!(stats.contains("keys=49"), "{stats}");
-        c.shutdown().unwrap();
-        server.shutdown();
     }
 }
 
@@ -84,320 +96,501 @@ fn values_cross_policy_engines_identically() {
 
 #[test]
 fn malformed_body_gets_err_and_stream_resyncs() {
-    let server = start(PolicyKind::Spp, ServerConfig::default());
-    let mut c = connect(&server);
-
-    // Unknown opcode: ERR, connection stays usable.
-    c.send_raw(&{
-        let mut b = 3u32.to_le_bytes().to_vec();
-        b.extend_from_slice(&[0x7F, 1, 2]);
-        b
-    })
-    .unwrap();
-    assert!(matches!(c.recv_response_kind().unwrap(), RespKind::Err(_)));
-    c.ping().unwrap();
-
-    // PUT whose declared key length overruns the payload: ERR, resync.
-    c.send_raw(&{
-        let mut b = 4u32.to_le_bytes().to_vec();
-        b.extend_from_slice(&[0x01]);
-        b.extend_from_slice(&500u16.to_le_bytes());
-        b.push(b'k');
-        b
-    })
-    .unwrap();
-    assert!(matches!(c.recv_response_kind().unwrap(), RespKind::Err(_)));
-    c.ping().unwrap();
-
-    // Wrong key size is an engine error, not a panic; still usable after.
-    match c.put(b"short", b"v") {
-        Err(ClientError::Remote(msg)) => assert!(msg.contains("16 bytes"), "{msg}"),
-        other => panic!("expected Remote error, got {other:?}"),
-    }
-    c.ping().unwrap();
-    server.shutdown();
-}
-
-#[test]
-fn envelope_garbage_closes_connection_with_err() {
-    let server = start(PolicyKind::Pmdk, ServerConfig::default());
-    let mut c = connect(&server);
-    // Length prefix far beyond MAX_FRAME: ERR, then the server hangs up.
-    c.send_raw(&u32::MAX.to_le_bytes()).unwrap();
-    match c.recv_response_kind().unwrap() {
-        RespKind::Err(msg) => assert!(msg.contains("exceeds maximum"), "{msg}"),
-        other => panic!("expected Err, got {other:?}"),
-    }
-    match c.recv_response_kind() {
-        Err(ClientError::Io(_)) => {}
-        other => panic!("expected closed connection, got {other:?}"),
-    }
-    // A fresh connection is unaffected.
-    let mut c2 = connect(&server);
-    c2.ping().unwrap();
-    server.shutdown();
-}
-
-#[test]
-fn connection_limit_answers_busy() {
-    let server = start(
-        PolicyKind::Spp,
-        ServerConfig {
-            workers: 2,
-            max_conns: 1,
-            queue_depth: 8,
-            ..ServerConfig::default()
-        },
-    );
-    let mut first = connect(&server);
-    first.ping().unwrap();
-    // The slot is taken: the next connection is told BUSY and hung up on.
-    let mut second = connect(&server);
-    match second.recv_response_kind().unwrap() {
-        RespKind::Busy => {}
-        other => panic!("expected Busy, got {other:?}"),
-    }
-    // The admitted connection keeps full service.
-    first.put(&key(1), b"v").unwrap();
-    drop(second);
-    server.shutdown();
-}
-
-#[test]
-fn wire_shutdown_quiesces_and_refuses_new_work() {
-    let server = start(PolicyKind::SafePm, ServerConfig::default());
-    let addr = server.local_addr();
-    let mut c = connect(&server);
-    c.put(&key(7), b"survives").unwrap();
-    c.shutdown().unwrap();
-    server.shutdown();
-    // The listener is gone: connecting now fails (or is immediately reset).
-    let refused = match Client::connect(addr) {
-        Err(_) => true,
-        Ok(mut c2) => c2.ping().is_err(),
-    };
-    assert!(refused, "server accepted work after graceful shutdown");
-}
-
-#[test]
-fn multi_roundtrip_under_every_policy() {
-    for kind in PolicyKind::ALL {
-        let server = start(kind, ServerConfig::default());
+    for io in IO_MODES {
+        let server = start_io(PolicyKind::Spp, io, ServerConfig::default());
         let mut c = connect(&server);
-        // One atomic batch mixing writes and reads of its own writes.
-        let (k1, k2, k3) = (key(1), key(2), key(3));
-        let replies = c
-            .multi(&[
-                Request::Put {
-                    key: &k1,
-                    value: b"alpha",
-                },
-                Request::Put {
-                    key: &k2,
-                    value: b"beta",
-                },
-                Request::Get { key: &k1 },
-                Request::Del { key: &k3 },
-                Request::Ping,
-            ])
-            .unwrap();
-        assert_eq!(
-            replies,
-            vec![
-                Reply::Ok,
-                Reply::Ok,
-                Reply::Value(b"alpha".to_vec()),
-                Reply::NotFound,
-                Reply::Pong,
-            ],
-            "{}",
-            kind.label()
-        );
-        // The batch's writes are visible to plain requests afterwards.
-        let mut out = Vec::new();
-        assert!(c.get(&k2, &mut out).unwrap());
-        assert_eq!(out, b"beta");
-        // An invalid key inside a batch errors that slot only.
-        let replies = c
-            .multi(&[
-                Request::Put {
-                    key: b"short",
-                    value: b"x",
-                },
-                Request::Put {
-                    key: &k3,
-                    value: b"gamma",
-                },
-            ])
-            .unwrap();
-        assert!(matches!(replies[0], Reply::Err(_)), "{replies:?}");
-        assert_eq!(replies[1], Reply::Ok);
-        out.clear();
-        assert!(c.get(&k3, &mut out).unwrap());
-        assert_eq!(out, b"gamma");
+
+        // Unknown opcode: ERR, connection stays usable.
+        c.send_raw(&{
+            let mut b = 3u32.to_le_bytes().to_vec();
+            b.extend_from_slice(&[0x7F, 1, 2]);
+            b
+        })
+        .unwrap();
+        assert!(matches!(c.recv_response_kind().unwrap(), RespKind::Err(_)));
+        c.ping().unwrap();
+
+        // PUT whose declared key length overruns the payload: ERR, resync.
+        c.send_raw(&{
+            let mut b = 4u32.to_le_bytes().to_vec();
+            b.extend_from_slice(&[0x01]);
+            b.extend_from_slice(&500u16.to_le_bytes());
+            b.push(b'k');
+            b
+        })
+        .unwrap();
+        assert!(matches!(c.recv_response_kind().unwrap(), RespKind::Err(_)));
+        c.ping().unwrap();
+
+        // Wrong key size is an engine error, not a panic; still usable after.
+        match c.put(b"short", b"v") {
+            Err(ClientError::Remote(msg)) => assert!(msg.contains("16 bytes"), "{msg}"),
+            other => panic!("expected Remote error, got {other:?}"),
+        }
+        c.ping().unwrap();
         server.shutdown();
     }
 }
 
 #[test]
+fn envelope_garbage_closes_connection_with_err() {
+    for io in IO_MODES {
+        let server = start_io(PolicyKind::Pmdk, io, ServerConfig::default());
+        let mut c = connect(&server);
+        // Length prefix far beyond MAX_FRAME: ERR, then the server hangs up.
+        c.send_raw(&u32::MAX.to_le_bytes()).unwrap();
+        match c.recv_response_kind().unwrap() {
+            RespKind::Err(msg) => assert!(msg.contains("exceeds maximum"), "{msg}"),
+            other => panic!("expected Err, got {other:?}"),
+        }
+        match c.recv_response_kind() {
+            Err(ClientError::Io(_)) => {}
+            other => panic!("expected closed connection, got {other:?}"),
+        }
+        // A fresh connection is unaffected.
+        let mut c2 = connect(&server);
+        c2.ping().unwrap();
+        server.shutdown();
+    }
+}
+
+#[test]
+fn connection_limit_answers_busy() {
+    for io in IO_MODES {
+        let server = start_io(
+            PolicyKind::Spp,
+            io,
+            ServerConfig {
+                workers: 2,
+                max_conns: 1,
+                queue_depth: 8,
+                ..ServerConfig::default()
+            },
+        );
+        let mut first = connect(&server);
+        first.ping().unwrap();
+        // The slot is taken: the next connection is told BUSY and hung up on.
+        let mut second = connect(&server);
+        match second.recv_response_kind().unwrap() {
+            RespKind::Busy => {}
+            other => panic!("expected Busy ({io}), got {other:?}"),
+        }
+        // The admitted connection keeps full service.
+        first.put(&key(1), b"v").unwrap();
+        drop(second);
+        server.shutdown();
+    }
+}
+
+#[test]
+fn wire_shutdown_quiesces_and_refuses_new_work() {
+    for io in IO_MODES {
+        let server = start_io(PolicyKind::SafePm, io, ServerConfig::default());
+        let addr = server.local_addr();
+        let mut c = connect(&server);
+        c.put(&key(7), b"survives").unwrap();
+        c.shutdown().unwrap();
+        server.shutdown();
+        // The listener is gone: connecting now fails (or is immediately reset).
+        let refused = match Client::connect(addr) {
+            Err(_) => true,
+            Ok(mut c2) => c2.ping().is_err(),
+        };
+        assert!(
+            refused,
+            "server accepted work after graceful shutdown ({io})"
+        );
+    }
+}
+
+#[test]
+fn multi_roundtrip_under_every_policy() {
+    for io in IO_MODES {
+        for kind in PolicyKind::ALL {
+            let server = start_io(kind, io, ServerConfig::default());
+            let mut c = connect(&server);
+            // One atomic batch mixing writes and reads of its own writes.
+            let (k1, k2, k3) = (key(1), key(2), key(3));
+            let replies = c
+                .multi(&[
+                    Request::Put {
+                        key: &k1,
+                        value: b"alpha",
+                    },
+                    Request::Put {
+                        key: &k2,
+                        value: b"beta",
+                    },
+                    Request::Get { key: &k1 },
+                    Request::Del { key: &k3 },
+                    Request::Ping,
+                ])
+                .unwrap();
+            assert_eq!(
+                replies,
+                vec![
+                    Reply::Ok,
+                    Reply::Ok,
+                    Reply::Value(b"alpha".to_vec()),
+                    Reply::NotFound,
+                    Reply::Pong,
+                ],
+                "{} ({io})",
+                kind.label()
+            );
+            // The batch's writes are visible to plain requests afterwards.
+            let mut out = Vec::new();
+            assert!(c.get(&k2, &mut out).unwrap());
+            assert_eq!(out, b"beta");
+            // An invalid key inside a batch errors that slot only.
+            let replies = c
+                .multi(&[
+                    Request::Put {
+                        key: b"short",
+                        value: b"x",
+                    },
+                    Request::Put {
+                        key: &k3,
+                        value: b"gamma",
+                    },
+                ])
+                .unwrap();
+            assert!(matches!(replies[0], Reply::Err(_)), "{replies:?}");
+            assert_eq!(replies[1], Reply::Ok);
+            out.clear();
+            assert!(c.get(&k3, &mut out).unwrap());
+            assert_eq!(out, b"gamma");
+            server.shutdown();
+        }
+    }
+}
+
+#[test]
 fn pipelined_frames_are_answered_in_order() {
-    let server = start(PolicyKind::Spp, ServerConfig::default());
+    for io in IO_MODES {
+        let server = start_io(PolicyKind::Spp, io, ServerConfig::default());
+        let mut c = connect(&server);
+        // 40 back-to-back frames without waiting: interleaved PUTs, GETs of
+        // keys written earlier in the same pipeline, and pings.
+        let keys: Vec<[u8; 16]> = (0..16).map(key).collect();
+        let values: Vec<Vec<u8>> = (0..16u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        let mut reqs: Vec<Request<'_>> = Vec::new();
+        for i in 0..16 {
+            reqs.push(Request::Put {
+                key: &keys[i],
+                value: &values[i],
+            });
+            if i % 4 == 3 {
+                // Reads a key PUT earlier in this same pipelined burst.
+                reqs.push(Request::Get { key: &keys[i - 2] });
+            }
+            if i % 8 == 7 {
+                reqs.push(Request::Ping);
+            }
+        }
+        let replies = c.pipeline(&reqs).unwrap();
+        assert_eq!(replies.len(), reqs.len());
+        for (req, reply) in reqs.iter().zip(&replies) {
+            match (req, reply) {
+                (Request::Put { .. }, Reply::Ok) | (Request::Ping, Reply::Pong) => {}
+                (Request::Get { key }, Reply::Value(v)) => {
+                    let i = u64::from_be_bytes(key[..8].try_into().unwrap());
+                    assert_eq!(v, &i.to_le_bytes(), "GET {i} out of order ({io})");
+                }
+                other => panic!("mismatched pipelined reply ({io}): {other:?}"),
+            }
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
+fn fragmented_byte_at_a_time_frames_are_served() {
+    // Reactor-style ingestion must reassemble frames split at arbitrary
+    // byte boundaries — including mid-length-prefix — without desync. The
+    // client dribbles a 3-frame pipeline one byte per write.
+    for io in IO_MODES {
+        let server = start_io(PolicyKind::Spp, io, ServerConfig::default());
+        let mut c = connect(&server);
+        let k = key(42);
+        let mut bytes = Vec::new();
+        for req in [
+            Request::Put {
+                key: &k,
+                value: b"dribbled",
+            },
+            Request::Ping,
+            Request::Get { key: &k },
+        ] {
+            let mut one = Vec::new();
+            spp_server::wire::encode_request(&mut one, &req);
+            bytes.extend_from_slice(&one);
+        }
+        for b in &bytes {
+            c.send_raw(std::slice::from_ref(b)).unwrap();
+        }
+        assert_eq!(c.recv_response_kind().unwrap(), RespKind::Ok);
+        assert_eq!(c.recv_response_kind().unwrap(), RespKind::Pong);
+        assert_eq!(c.recv_response_kind().unwrap(), RespKind::Value);
+        server.shutdown();
+    }
+}
+
+/// Saturate a 1-worker/depth-1 pool with sleeper jobs, retrying until both
+/// the executing slot and the queued slot are held.
+fn stall_pool(server: &Server, hold: Duration) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut accepted = 0;
+    while accepted < 2 {
+        accepted += server.debug_stall_workers(2 - accepted, hold);
+        assert!(Instant::now() < deadline, "could not saturate worker pool");
+        if accepted < 2 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+#[test]
+fn stalled_pool_parks_runs_in_epoll_mode_never_busy() {
+    // THE backpressure-semantics fix: with the worker pool saturated
+    // mid-run, the epoll front end must pause reading and resume once
+    // capacity frees up — the pipelined run completes with zero BUSY and
+    // in order, nothing dropped.
+    let server = start_io(
+        PolicyKind::Spp,
+        IoMode::Epoll,
+        ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..ServerConfig::default()
+        },
+    );
     let mut c = connect(&server);
-    // 40 back-to-back frames without waiting: interleaved PUTs, GETs of
-    // keys written earlier in the same pipeline, and pings.
-    let keys: Vec<[u8; 16]> = (0..16).map(key).collect();
-    let values: Vec<Vec<u8>> = (0..16u64).map(|i| i.to_le_bytes().to_vec()).collect();
+    stall_pool(&server, Duration::from_millis(300));
+
+    let keys: Vec<[u8; 16]> = (0..10).map(key).collect();
+    let values: Vec<Vec<u8>> = (0..10u64).map(|i| i.to_le_bytes().to_vec()).collect();
     let mut reqs: Vec<Request<'_>> = Vec::new();
-    for i in 0..16 {
+    for i in 0..10 {
         reqs.push(Request::Put {
             key: &keys[i],
             value: &values[i],
         });
-        if i % 4 == 3 {
-            // Reads a key PUT earlier in this same pipelined burst.
-            reqs.push(Request::Get { key: &keys[i - 2] });
-        }
-        if i % 8 == 7 {
-            reqs.push(Request::Ping);
-        }
+        reqs.push(Request::Get { key: &keys[i] });
     }
     let replies = c.pipeline(&reqs).unwrap();
     assert_eq!(replies.len(), reqs.len());
-    for (req, reply) in reqs.iter().zip(&replies) {
-        match (req, reply) {
-            (Request::Put { .. }, Reply::Ok) | (Request::Ping, Reply::Pong) => {}
-            (Request::Get { key }, Reply::Value(v)) => {
-                let i = u64::from_be_bytes(key[..8].try_into().unwrap());
-                assert_eq!(v, &i.to_le_bytes(), "GET {i} out of order");
-            }
-            other => panic!("mismatched pipelined reply: {other:?}"),
-        }
+    for (i, pair) in replies.chunks(2).enumerate() {
+        assert_eq!(pair[0], Reply::Ok, "PUT {i} must not see BUSY");
+        assert_eq!(
+            pair[1],
+            Reply::Value((i as u64).to_le_bytes().to_vec()),
+            "GET {i} dropped or reordered"
+        );
     }
+    // Every acked write really is in the store.
+    assert_eq!(server.engine().count().unwrap(), 10);
     server.shutdown();
 }
 
 #[test]
-fn nested_multi_and_shutdown_in_multi_get_err_and_resync() {
-    let server = start(PolicyKind::Pmdk, ServerConfig::default());
+fn stalled_pool_answers_busy_in_threads_mode() {
+    // The blocking front end keeps its PR-3 contract: a full queue fails
+    // the run's engine work with explicit BUSY (documented contrast with
+    // the epoll mode's park-and-resume).
+    let server = start_io(
+        PolicyKind::Spp,
+        IoMode::Threads,
+        ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..ServerConfig::default()
+        },
+    );
     let mut c = connect(&server);
-    // MULTI wrapping a MULTI: a body error (known frame boundary), so the
-    // stream must answer ERR and stay usable.
-    let mut inner = Vec::new();
-    spp_server::wire::encode_multi_request(&mut inner, &[Request::Ping]);
-    let mut frame = Vec::new();
-    frame.extend_from_slice(&((1 + 2 + inner.len()) as u32).to_le_bytes());
-    frame.push(0x08);
-    frame.extend_from_slice(&1u16.to_le_bytes());
-    frame.extend_from_slice(&inner);
-    c.send_raw(&frame).unwrap();
-    assert!(matches!(c.recv_response_kind().unwrap(), RespKind::Err(_)));
-    c.ping().unwrap();
+    stall_pool(&server, Duration::from_millis(400));
 
-    // MULTI wrapping SHUTDOWN: rejected the same way, and crucially the
-    // server must NOT shut down.
-    let mut inner = Vec::new();
-    inner.extend_from_slice(&1u32.to_le_bytes());
-    inner.push(0x06); // OP_SHUTDOWN
-    let mut frame = Vec::new();
-    frame.extend_from_slice(&((1 + 2 + inner.len()) as u32).to_le_bytes());
-    frame.push(0x08);
-    frame.extend_from_slice(&1u16.to_le_bytes());
-    frame.extend_from_slice(&inner);
-    c.send_raw(&frame).unwrap();
-    assert!(matches!(c.recv_response_kind().unwrap(), RespKind::Err(_)));
-    c.ping().unwrap();
-    c.put(&key(5), b"still serving").unwrap();
+    let k = key(1);
+    let replies = c
+        .pipeline(&[
+            Request::Put {
+                key: &k,
+                value: b"v",
+            },
+            Request::Ping,
+        ])
+        .unwrap();
+    assert_eq!(replies[0], Reply::Busy, "threads mode rejects with BUSY");
+    assert_eq!(replies[1], Reply::Pong, "inline answers still stand");
+    server.shutdown();
+}
+
+#[test]
+fn idle_timeout_closes_quiet_connections_but_not_active_ones() {
+    let server = start_io(
+        PolicyKind::Spp,
+        IoMode::Epoll,
+        ServerConfig {
+            idle_timeout: Some(Duration::from_millis(150)),
+            ..ServerConfig::default()
+        },
+    );
+    let mut quiet = connect(&server);
+    quiet.ping().unwrap();
+    let mut active = connect(&server);
+    active.ping().unwrap();
+
+    // Keep one connection chatty across several timeout windows.
+    for _ in 0..6 {
+        std::thread::sleep(Duration::from_millis(80));
+        active.ping().unwrap();
+    }
+    // The quiet one must be gone by now.
+    match quiet.ping() {
+        Err(ClientError::Io(_)) => {}
+        other => panic!("idle connection survived the timeout: {other:?}"),
+    }
+    // The active one is still fully served.
+    active.put(&key(9), b"alive").unwrap();
     server.shutdown();
 }
 
 #[test]
 fn concurrent_multi_writers_share_commit_boundaries() {
-    // A hold window makes cross-connection coalescing deterministic enough
-    // to observe: many single-connection batches must land in fewer
-    // committer boundaries than submissions.
-    let server = start(
-        PolicyKind::Spp,
-        ServerConfig {
-            group: GroupConfig {
-                max_batch: 256,
-                max_hold: Duration::from_millis(3),
+    for io in IO_MODES {
+        // A hold window makes cross-connection coalescing deterministic
+        // enough to observe: many single-connection batches must land in
+        // fewer committer boundaries than submissions.
+        let server = start_io(
+            PolicyKind::Spp,
+            io,
+            ServerConfig {
+                group: GroupConfig {
+                    max_batch: 256,
+                    max_hold: Duration::from_millis(3),
+                },
+                ..ServerConfig::default()
             },
-            ..ServerConfig::default()
-        },
-    );
-    let addr = server.local_addr();
-    let threads: Vec<_> = (0..4u64)
-        .map(|t| {
-            std::thread::spawn(move || {
-                let mut c = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
-                for b in 0..10u64 {
-                    let keys: Vec<[u8; 16]> = (0..4).map(|i| key(t * 1_000 + b * 4 + i)).collect();
-                    let reqs: Vec<Request<'_>> = keys
-                        .iter()
-                        .map(|k| Request::Put {
-                            key: k,
-                            value: b"grouped",
-                        })
-                        .collect();
-                    loop {
-                        match c.multi(&reqs) {
-                            Ok(replies) => {
-                                assert!(replies.iter().all(|r| *r == Reply::Ok));
-                                break;
+        );
+        let addr = server.local_addr();
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+                    for b in 0..10u64 {
+                        let keys: Vec<[u8; 16]> =
+                            (0..4).map(|i| key(t * 1_000 + b * 4 + i)).collect();
+                        let reqs: Vec<Request<'_>> = keys
+                            .iter()
+                            .map(|k| Request::Put {
+                                key: k,
+                                value: b"grouped",
+                            })
+                            .collect();
+                        loop {
+                            match c.multi(&reqs) {
+                                Ok(replies) => {
+                                    assert!(replies.iter().all(|r| *r == Reply::Ok));
+                                    break;
+                                }
+                                Err(ClientError::Busy) => {
+                                    std::thread::sleep(Duration::from_micros(100))
+                                }
+                                Err(e) => panic!("multi: {e}"),
                             }
-                            Err(ClientError::Busy) => {
-                                std::thread::sleep(Duration::from_micros(100))
-                            }
-                            Err(e) => panic!("multi: {e}"),
                         }
                     }
-                }
+                })
             })
-        })
-        .collect();
-    for t in threads {
-        t.join().unwrap();
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let (batches, ops) = server.group_stats();
+        assert_eq!(ops, 160, "every batched PUT must go through the committer");
+        assert!(
+            batches < 40,
+            "40 MULTI submissions never shared a boundary ({batches} batches, {io})"
+        );
+        assert_eq!(server.engine().count().unwrap(), 160);
+        server.shutdown();
     }
-    let (batches, ops) = server.group_stats();
-    assert_eq!(ops, 160, "every batched PUT must go through the committer");
-    assert!(
-        batches < 40,
-        "40 MULTI submissions never shared a boundary ({batches} batches)"
-    );
-    assert_eq!(server.engine().count().unwrap(), 160);
-    server.shutdown();
 }
 
 #[test]
 fn concurrent_clients_see_consistent_store() {
-    let server = start(PolicyKind::Spp, ServerConfig::default());
-    let addr = server.local_addr();
-    let threads: Vec<_> = (0..4u64)
-        .map(|t| {
-            std::thread::spawn(move || {
-                let mut c = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
-                for i in 0..100u64 {
-                    let k = key(t * 1_000 + i);
-                    loop {
-                        match c.put(&k, &i.to_le_bytes()) {
-                            Ok(()) => break,
-                            Err(ClientError::Busy) => {
-                                std::thread::sleep(Duration::from_micros(100))
+    for io in IO_MODES {
+        let server = start_io(PolicyKind::Spp, io, ServerConfig::default());
+        let addr = server.local_addr();
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+                    for i in 0..100u64 {
+                        let k = key(t * 1_000 + i);
+                        loop {
+                            match c.put(&k, &i.to_le_bytes()) {
+                                Ok(()) => break,
+                                Err(ClientError::Busy) => {
+                                    std::thread::sleep(Duration::from_micros(100))
+                                }
+                                Err(e) => panic!("put: {e}"),
                             }
-                            Err(e) => panic!("put: {e}"),
                         }
                     }
-                }
+                })
             })
-        })
-        .collect();
-    for t in threads {
-        t.join().unwrap();
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut c = connect(&server);
+        assert_eq!(server.engine().count().unwrap(), 400);
+        let mut out = Vec::new();
+        assert!(c.get(&key(2_042), &mut out).unwrap());
+        assert_eq!(out, 42u64.to_le_bytes());
+        server.shutdown();
     }
-    let mut c = connect(&server);
-    assert_eq!(server.engine().count().unwrap(), 400);
-    let mut out = Vec::new();
-    assert!(c.get(&key(2_042), &mut out).unwrap());
-    assert_eq!(out, 42u64.to_le_bytes());
+}
+
+#[test]
+fn epoll_serves_many_idle_connections_without_per_conn_threads() {
+    // Small in-test version of the loadgen idle sweep: 60 open-but-idle
+    // connections on a 2-reactor server must all stay serviceable, and
+    // none of them may cost a thread (coarse check via /proc).
+    let server = start_io(
+        PolicyKind::Spp,
+        IoMode::Epoll,
+        ServerConfig {
+            max_conns: 128,
+            reactors: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let mut conns: Vec<Client> = (0..60).map(|_| connect(&server)).collect();
+    for c in conns.iter_mut() {
+        c.ping().unwrap();
+    }
+    if let Some(threads) = proc_threads() {
+        // Process-wide: test harness + 2 reactors + 4 workers + committer.
+        // 60 idle conns must NOT have added 60 threads.
+        assert!(
+            threads < 40,
+            "thread count {threads} scales with idle connections"
+        );
+    }
+    // Every idle connection still answers.
+    for c in conns.iter_mut() {
+        c.ping().unwrap();
+    }
     server.shutdown();
+}
+
+fn proc_threads() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("Threads:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
 }

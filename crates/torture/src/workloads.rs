@@ -727,9 +727,7 @@ fn check_generations(
         let acceptable = exp.acceptable(i);
         if oid.is_null() {
             if !acceptable.contains(&GenState::Empty) {
-                return Err(format!(
-                    "slot {i}: oid is null but expected {acceptable:?}"
-                ));
+                return Err(format!("slot {i}: oid is null but expected {acceptable:?}"));
             }
             continue;
         }

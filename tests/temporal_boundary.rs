@@ -80,12 +80,7 @@ fn uaf_stale_deref<P: MemoryPolicy>(policy: &P, protection: Protection) {
     policy.free(obj).unwrap();
     // Frees are header-only (the free lists are volatile), so a silent
     // stale read still sees the dead object's fill.
-    conform(
-        &probe(policy, ptr),
-        Family::UafRead,
-        protection,
-        OLD_FILL,
-    );
+    conform(&probe(policy, ptr), Family::UafRead, protection, OLD_FILL);
 }
 
 /// Free the same oid twice; the second free is the probe.
