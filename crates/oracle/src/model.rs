@@ -117,6 +117,19 @@ impl Model {
         }
     }
 
+    /// Record a KV put directly, outside any [`Op`] trace — the entry
+    /// point external replayers (e.g. the server failover rig replaying
+    /// an acked wire log) use to keep the oracle's KV image in lockstep.
+    pub fn kv_put(&mut self, key: [u8; KEY_SIZE], value: Vec<u8>) {
+        self.kv.insert(key, value);
+    }
+
+    /// Record a KV delete directly; returns whether the key was present
+    /// (the hit/miss the acked `DEL` reply must have reported).
+    pub fn kv_del(&mut self, key: &[u8; KEY_SIZE]) -> bool {
+        self.kv.remove(key).is_some()
+    }
+
     /// Advance the model by one op and return the prediction the
     /// replayer must verify. Must stay in lockstep with
     /// `replay::run_policy` — both skip exactly when this returns

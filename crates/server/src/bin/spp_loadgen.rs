@@ -9,7 +9,16 @@
 //!             [--sweep-threads 1,2,4,8] [--flush-wait-ns 15000]
 //!             [--pipeline 8] [--throttle-us 0]
 //!             [--io-mode threads|epoll] [--reactors 2] [--idle-conns 2000]
+//!             [--addrs HOST:PORT,HOST:PORT,...] [--local-shards N]
 //! ```
+//!
+//! `--addrs a,b,c` switches to multi-endpoint mode (see [`run_multi`]):
+//! the loadgen builds the same consistent-hash [`Ring`] the server crate
+//! uses — from nothing but the endpoint count — and routes every key to
+//! its owning endpoint, exactly as a smart client fronts a sharded
+//! deployment. The report breaks throughput down per shard and records
+//! the skew (max/mean ops); `--local-shards N` spawns N in-process
+//! single-shard servers instead, for the self-contained CI smoke.
 //!
 //! `--io-mode`/`--reactors` select the in-process server's front end for
 //! any mode. `--idle-conns N` switches to idle-scaling mode (see
@@ -50,7 +59,7 @@ use spp_bench::{banner, validate_rows, write_text_artifact, Args, Json};
 use spp_pm::contention;
 use spp_server::{
     fresh_server_pool, fresh_server_pool_wait, raise_nofile_limit, Client, ClientError, IoMode,
-    KvEngine, PolicyKind, Reply, Request, Server, ServerConfig,
+    KvEngine, PolicyKind, Reply, Request, Ring, Server, ServerConfig,
 };
 
 const KEY_SIZE: usize = 16;
@@ -310,6 +319,205 @@ fn run_conn_pipelined(
         }
     }
     Ok(res)
+}
+
+struct MultiConnResult {
+    /// All-op latency distribution per endpoint, in endpoint order.
+    per_shard: Vec<Lats>,
+    busy_retries: u64,
+}
+
+/// Multi-endpoint worker: the [`run_conn`] op mix, but each key is routed
+/// through the client-side [`Ring`] to the endpoint that owns it — one
+/// open connection per endpoint. Routing is deterministic, so a GET for a
+/// previously-acked key always lands on the endpoint that took the PUT.
+fn run_conn_multi(
+    endpoints: Arc<Vec<std::net::SocketAddr>>,
+    ring: Arc<Ring>,
+    conn_id: u32,
+    ops: u64,
+    value: &[u8],
+    read_pct: u32,
+) -> Result<MultiConnResult, String> {
+    let mut clients = Vec::with_capacity(endpoints.len());
+    for (s, addr) in endpoints.iter().enumerate() {
+        clients.push(
+            Client::connect_retry(*addr, Duration::from_secs(5))
+                .map_err(|e| format!("conn {conn_id}: connect shard {s} ({addr}): {e}"))?,
+        );
+    }
+    let mut res = MultiConnResult {
+        per_shard: (0..endpoints.len()).map(|_| Lats::default()).collect(),
+        busy_retries: 0,
+    };
+    let mut written: u64 = 0;
+    let mut x: u64 = 0x9e37_79b9 ^ u64::from(conn_id) << 17 | 1;
+    let mut rng = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut out = Vec::with_capacity(value.len());
+    for _ in 0..ops {
+        let is_get = written > 0 && (rng() % 100) < u64::from(read_pct);
+        let key = if is_get {
+            key_of(conn_id, rng() % written)
+        } else {
+            key_of(conn_id, written)
+        };
+        let shard = ring.shard_of(&key) as usize;
+        let client = &mut clients[shard];
+        let start = Instant::now();
+        if is_get {
+            out.clear();
+            let hit = retry_busy(&mut res.busy_retries, || client.get(&key, &mut out))
+                .map_err(|e| format!("conn {conn_id}: GET shard {shard}: {e}"))?;
+            if !hit {
+                return Err(format!(
+                    "conn {conn_id}: shard {shard} missed an acked key — \
+                     client ring disagrees with placement"
+                ));
+            }
+        } else {
+            retry_busy(&mut res.busy_retries, || client.put(&key, value))
+                .map_err(|e| format!("conn {conn_id}: PUT shard {shard}: {e}"))?;
+            written += 1;
+        }
+        res.per_shard[shard].push(start.elapsed());
+    }
+    Ok(res)
+}
+
+/// Multi-endpoint mode (`--addrs a,b,c` / `--local-shards N`): drive a
+/// sharded deployment through a client-side ring and report how evenly
+/// the ring spread real traffic. One row per shard; the headline skew is
+/// `max/mean` of per-shard op counts (1.0 = perfectly even). The run
+/// self-validates through `validate_rows` and fails if any shard saw no
+/// traffic — a starved shard means client and server rings disagree.
+fn run_multi(
+    args: &Args,
+    endpoints: Vec<std::net::SocketAddr>,
+    mut local: Vec<Server>,
+) -> Result<(), String> {
+    let smoke = args.flag("smoke");
+    let policy: PolicyKind = args.get("policy", PolicyKind::Spp);
+    let conns: u32 = args.get("conns", if smoke { 2 } else { 4 });
+    let ops: u64 = args.get("ops", if smoke { 500 } else { 20_000 });
+    let value_size: usize = args.get("value-size", if smoke { 64 } else { 100 });
+    let read_pct: u32 = args.get("read-pct", 50).min(100);
+    let nshards = endpoints.len();
+
+    banner(&format!(
+        "spp-loadgen multi: {nshards} endpoints conns={conns} ops/conn={ops} \
+         value={value_size}B reads={read_pct}%"
+    ));
+    for (s, addr) in endpoints.iter().enumerate() {
+        println!("  shard {s} -> {addr}");
+    }
+
+    let endpoints = Arc::new(endpoints);
+    let ring = Arc::new(Ring::new(nshards as u32));
+    let value = vec![0xA5u8; value_size];
+    let start = Instant::now();
+    let handles: Vec<_> = (0..conns)
+        .map(|conn_id| {
+            let endpoints = Arc::clone(&endpoints);
+            let ring = Arc::clone(&ring);
+            let value = value.clone();
+            std::thread::spawn(move || {
+                run_conn_multi(endpoints, ring, conn_id, ops, &value, read_pct)
+            })
+        })
+        .collect();
+    let mut per_shard: Vec<Lats> = (0..nshards).map(|_| Lats::default()).collect();
+    let mut busy_retries = 0u64;
+    for h in handles {
+        let r = h.join().map_err(|_| "loadgen thread panicked")??;
+        for (acc, lats) in per_shard.iter_mut().zip(&r.per_shard) {
+            acc.merge(lats);
+        }
+        busy_retries += r.busy_retries;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let counts: Vec<u64> = per_shard.iter().map(|l| l.count).collect();
+    let total: u64 = counts.iter().sum();
+    let mean = total as f64 / nshards as f64;
+    let skew = counts.iter().copied().max().unwrap_or(0) as f64 / mean;
+    for (s, lats) in per_shard.iter().enumerate() {
+        println!(
+            "  shard {s}: {:>8} ops  {:>10.0} ops/s  p50={:.1}us p99={:.1}us",
+            lats.count,
+            lats.count as f64 / elapsed,
+            lats.percentile_us(0.50),
+            lats.percentile_us(0.99),
+        );
+    }
+    println!(
+        "total: {total} ops in {elapsed:.3}s = {:.0} ops/s  shard skew (max/mean): {skew:.2} \
+         ({busy_retries} BUSY retries)",
+        total as f64 / elapsed
+    );
+    if let Some(starved) = counts.iter().position(|&c| c == 0) {
+        return Err(format!(
+            "shard {starved} received no traffic — client ring and deployment disagree"
+        ));
+    }
+
+    let mut rows = Vec::with_capacity(nshards);
+    for (s, lats) in per_shard.iter().enumerate() {
+        let mut row = lat_row(policy, "multi_shard", lats, elapsed);
+        if let Json::Obj(fields) = &mut row {
+            fields.insert(2, ("shard", Json::Int(s as u64)));
+        }
+        rows.push(row);
+    }
+    for row in &rows {
+        println!("{}", row.render());
+    }
+    validate_rows(
+        &rows,
+        &["throughput_ops_s", "p50_us", "p95_us", "p99_us", "ops"],
+    )
+    .map_err(|e| format!("result validation failed: {e}"))?;
+
+    let doc = Json::Obj(vec![
+        ("name", Json::Str("server_loadgen".to_string())),
+        ("mode", Json::Str("multi".to_string())),
+        ("policy", Json::Str(policy.label().to_string())),
+        ("shards", Json::Int(nshards as u64)),
+        ("conns", Json::Int(u64::from(conns))),
+        ("ops_per_conn", Json::Int(ops)),
+        ("value_size", Json::Int(value_size as u64)),
+        ("read_pct", Json::Int(u64::from(read_pct))),
+        ("elapsed_s", Json::Num(elapsed)),
+        ("total_ops_s", Json::Num(total as f64 / elapsed)),
+        (
+            "shard_ops",
+            Json::Arr(counts.iter().map(|&c| Json::Int(c)).collect()),
+        ),
+        ("shard_skew_max_over_mean", Json::Num(skew)),
+        ("busy_retries", Json::Int(busy_retries)),
+        ("rows", Json::Arr(rows)),
+    ]);
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).map_err(|e| format!("create results/: {e}"))?;
+    let path = dir.join("server_loadgen.json");
+    std::fs::write(&path, doc.render() + "\n").map_err(|e| format!("write {path:?}: {e}"))?;
+    println!("wrote {}", path.display());
+
+    if args.flag("shutdown") && local.is_empty() {
+        for addr in endpoints.iter() {
+            let mut c = Client::connect_retry(*addr, Duration::from_secs(5))
+                .map_err(|e| format!("shutdown connect {addr}: {e}"))?;
+            c.shutdown().map_err(|e| format!("SHUTDOWN {addr}: {e}"))?;
+        }
+    }
+    for server in local.drain(..) {
+        server.shutdown();
+    }
+    Ok(())
 }
 
 struct PhaseOut {
@@ -933,6 +1141,50 @@ fn run() -> Result<(), String> {
     let pipeline_depth: usize = args.get("pipeline", 0usize);
     if pipeline_depth > 0 {
         return run_pipeline(&args, pipeline_depth);
+    }
+    let addrs_csv: String = args.get("addrs", String::new());
+    let local_shards: u32 = args.get("local-shards", 0u32);
+    if !addrs_csv.is_empty() {
+        let endpoints: Vec<std::net::SocketAddr> = addrs_csv
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .map_err(|e| format!("bad --addrs entry `{t}`: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
+        if endpoints.len() < 2 {
+            return Err("--addrs needs at least 2 endpoints (use --addr for one)".to_string());
+        }
+        return run_multi(&args, endpoints, Vec::new());
+    }
+    if local_shards > 0 {
+        // Self-contained sharded deployment: one in-process single-shard
+        // server per endpoint, each with its own pool.
+        let policy: PolicyKind = args.get("policy", PolicyKind::Spp);
+        let mut servers = Vec::with_capacity(local_shards as usize);
+        let mut endpoints = Vec::with_capacity(local_shards as usize);
+        for s in 0..local_shards {
+            let pool = fresh_server_pool(args.get("pool-mb", 32u64) << 20, 16, false)
+                .map_err(|e| format!("shard {s} pool create: {e}"))?;
+            let engine = Arc::new(
+                KvEngine::create(pool, policy, args.get("nbuckets", 4096))
+                    .map_err(|e| format!("shard {s} engine create: {e}"))?,
+            );
+            let cfg = ServerConfig {
+                workers: args.get("workers", 4),
+                max_conns: args.get("max-conns", 64),
+                queue_depth: args.get("queue-depth", 128),
+                io: args.get("io-mode", IoMode::Threads),
+                reactors: args.get("reactors", 2),
+                ..ServerConfig::default()
+            };
+            let server = Server::start(engine, ("127.0.0.1", 0), cfg)
+                .map_err(|e| format!("shard {s} server: {e}"))?;
+            endpoints.push(server.local_addr());
+            servers.push(server);
+        }
+        return run_multi(&args, endpoints, servers);
     }
     let smoke = args.flag("smoke");
     let policy: PolicyKind = args.get("policy", PolicyKind::Spp);

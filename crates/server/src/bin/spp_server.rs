@@ -2,11 +2,13 @@
 //!
 //! ```text
 //! spp-server [--addr 127.0.0.1] [--port 7877] [--policy pmdk|spp|safepm]
-//!            [--pool-mb 64] [--lanes 16] [--nbuckets 4096]
+//!            [--pool-mb 64] [--lanes 16] [--nbuckets 4096] [--shards 1]
 //!            [--workers 4] [--max-conns 64] [--queue-depth 128]
 //!            [--group-max-batch 64] [--group-hold-us 0]
 //!            [--io-mode threads|epoll] [--reactors 2] [--idle-timeout-ms 0]
 //!            [--pool-file PATH] [--ready-file PATH]
+//!            [--repl-to ADDR] [--repl-ack-mode sync|async]
+//!            [--repl-drop-batch N]
 //! ```
 //!
 //! `--port 0` binds an ephemeral port; the daemon prints a
@@ -24,6 +26,17 @@
 //! connections are held by readiness state instead of parked threads;
 //! the daemon also raises `RLIMIT_NOFILE` to its hard cap in that mode.
 //! `--idle-timeout-ms N` (epoll mode) closes connections quiet for N ms.
+//!
+//! `--shards N` runs N independent pools behind the crate's consistent
+//! hash ring; with `--pool-file PATH`, shard 0 uses `PATH` and shard `i`
+//! uses `PATH.shard{i}`. `--repl-to ADDR` turns this process into a
+//! replicating primary: every committed batch is shipped to the backup
+//! daemon at `ADDR` (which must already be listening) as `REPL_BATCH`
+//! frames. `--repl-ack-mode sync` (the default) makes client acks wait
+//! for the backup's `REPL_ACK`; `async` acks clients after local
+//! durability only. `--repl-drop-batch N` silently drops the Nth shipped
+//! batch — a fault-injection hook that exists so the failover rigs can
+//! prove they detect replication holes.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -34,8 +47,8 @@ use spp_bench::Args;
 use spp_pm::{PmPool, PoolConfig};
 use spp_pmdk::ObjPool;
 use spp_server::{
-    fresh_server_pool, raise_nofile_limit, GroupConfig, IoMode, KvEngine, PolicyKind, Server,
-    ServerConfig,
+    fresh_server_pool, raise_nofile_limit, GroupConfig, IoMode, KvEngine, PolicyKind, ReplAckMode,
+    ReplConfig, Server, ServerConfig,
 };
 
 /// Publish `addr` atomically: temp file in the same directory, fsync, then
@@ -58,10 +71,32 @@ fn run() -> Result<(), String> {
     let pool_mb: u64 = args.get("pool-mb", 64);
     let lanes: usize = args.get("lanes", 16);
     let nbuckets: u64 = args.get("nbuckets", 4096);
+    let shards: usize = args.get("shards", 1);
     let pool_file: String = args.get("pool-file", String::new());
     let ready_file: String = args.get("ready-file", String::new());
     let io: IoMode = args.get("io-mode", IoMode::Threads);
     let idle_timeout_ms: u64 = args.get("idle-timeout-ms", 0);
+    let repl_to: String = args.get("repl-to", String::new());
+    let repl_ack_mode: ReplAckMode = args.get("repl-ack-mode", ReplAckMode::Sync);
+    let repl_drop_batch: u64 = args.get("repl-drop-batch", 0);
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    let repl = if repl_to.is_empty() {
+        None
+    } else {
+        let backup = repl_to
+            .parse()
+            .map_err(|e| format!("parse --repl-to `{repl_to}`: {e}"))?;
+        Some(ReplConfig {
+            backup,
+            ack_mode: repl_ack_mode,
+            drop_batch: (repl_drop_batch > 0).then_some(repl_drop_batch),
+        })
+    };
+    let cfg_repl_desc = repl
+        .as_ref()
+        .map(|r| format!(" repl_to={} repl_ack_mode={}", r.backup, r.ack_mode));
     let cfg = ServerConfig {
         workers: args.get("workers", 4),
         max_conns: args.get("max-conns", 64),
@@ -73,6 +108,7 @@ fn run() -> Result<(), String> {
         io,
         reactors: args.get("reactors", 2),
         idle_timeout: (idle_timeout_ms > 0).then(|| Duration::from_millis(idle_timeout_ms)),
+        repl,
     };
     if io == IoMode::Epoll {
         // Idle connections are cheap now; don't let the default soft
@@ -80,31 +116,52 @@ fn run() -> Result<(), String> {
         let _ = raise_nofile_limit();
     }
 
-    let reopening = !pool_file.is_empty() && std::path::Path::new(&pool_file).exists();
-    let engine = if reopening {
-        // Restart path: load the saved device image and run full pmdk
-        // recovery before re-attaching the engine.
-        let pm = PmPool::load_from_file(&pool_file, PoolConfig::new(0))
-            .map_err(|e| format!("load pool image `{pool_file}`: {e}"))?;
-        let pool = Arc::new(ObjPool::open(Arc::new(pm)).map_err(|e| format!("pool open: {e}"))?);
-        KvEngine::open(pool, policy).map_err(|e| format!("engine open: {e}"))?
-    } else {
-        let pool = fresh_server_pool(pool_mb << 20, lanes, false)
-            .map_err(|e| format!("pool create: {e}"))?;
-        KvEngine::create(pool, policy, nbuckets).map_err(|e| format!("engine create: {e}"))?
+    // Shard i's image path: `PATH` for shard 0, `PATH.shard{i}` after —
+    // so a single-shard deployment keeps its historical file name.
+    let shard_file = |i: usize| -> String {
+        if i == 0 {
+            pool_file.clone()
+        } else {
+            format!("{pool_file}.shard{i}")
+        }
     };
-    let engine = Arc::new(engine);
+    let mut engines = Vec::with_capacity(shards);
+    let mut reopened = 0usize;
+    for i in 0..shards {
+        let file = shard_file(i);
+        let engine = if !file.is_empty() && std::path::Path::new(&file).exists() {
+            // Restart path: load the saved device image and run full pmdk
+            // recovery before re-attaching the engine.
+            reopened += 1;
+            let pm = PmPool::load_from_file(&file, PoolConfig::new(0))
+                .map_err(|e| format!("load pool image `{file}`: {e}"))?;
+            let pool =
+                Arc::new(ObjPool::open(Arc::new(pm)).map_err(|e| format!("pool open: {e}"))?);
+            KvEngine::open(pool, policy).map_err(|e| format!("shard {i} engine open: {e}"))?
+        } else {
+            let pool = fresh_server_pool(pool_mb << 20, lanes, false)
+                .map_err(|e| format!("pool create: {e}"))?;
+            KvEngine::create(pool, policy, nbuckets)
+                .map_err(|e| format!("shard {i} engine create: {e}"))?
+        };
+        engines.push(Arc::new(engine));
+    }
+    let reopening = reopened > 0;
 
-    let server = Server::start(Arc::clone(&engine), (addr.as_str(), port), cfg)
-        .map_err(|e| format!("bind {addr}:{port}: {e}"))?;
+    let server = Server::start_multi(engines.clone(), (addr.as_str(), port), cfg)
+        .map_err(|e| format!("bind {addr}:{port} or connect --repl-to: {e}"))?;
     println!("spp-server listening on {}", server.local_addr());
     println!(
-        "spp-server policy={} io={io} pool_mb={pool_mb} nbuckets={nbuckets} {}",
+        "spp-server policy={} io={io} shards={shards} pool_mb={pool_mb} nbuckets={nbuckets} {}{}",
         policy.label(),
         if reopening {
             "reopened=true"
         } else {
             "reopened=false"
+        },
+        match &cfg_repl_desc {
+            Some(d) => d.as_str(),
+            None => "",
         }
     );
     let _ = std::io::stdout().flush();
@@ -116,15 +173,24 @@ fn run() -> Result<(), String> {
     server.wait_shutdown();
     let (batches, batched_ops) = server.group_stats();
     println!("spp-server group_commit batches={batches} ops={batched_ops}");
+    if let Some(rs) = server.repl_stats() {
+        println!(
+            "spp-server repl shipped={} dropped={} failed={}",
+            rs.shipped, rs.dropped, rs.failed
+        );
+    }
     server.shutdown();
 
     if !pool_file.is_empty() {
-        engine
-            .pool()
-            .pm()
-            .save_to_file(&pool_file)
-            .map_err(|e| format!("save pool image `{pool_file}`: {e}"))?;
-        println!("spp-server saved pool image to {pool_file}");
+        for (i, engine) in engines.iter().enumerate() {
+            let file = shard_file(i);
+            engine
+                .pool()
+                .pm()
+                .save_to_file(&file)
+                .map_err(|e| format!("save pool image `{file}`: {e}"))?;
+            println!("spp-server saved pool image to {file}");
+        }
     }
     println!("spp-server shut down cleanly");
     Ok(())

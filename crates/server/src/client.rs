@@ -7,8 +7,8 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use crate::wire::{
-    decode_frame, encode_multi_request, encode_request, parse_response, Request, Response,
-    WireError,
+    decode_frame, encode_multi_request, encode_repl_batch, encode_request, parse_response, ReplOp,
+    Request, Response, WireError,
 };
 
 /// Client-side failures.
@@ -300,6 +300,49 @@ impl Client {
         }
     }
 
+    /// `REPL_BATCH`: ship one replicated write batch for `shard` with
+    /// sequence number `seq`, blocking until the backup's `REPL_ACK` —
+    /// i.e. until the batch is durable on the backup. Returns the echoed
+    /// `(shard, seq)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`]; a promoted backup answers `ERR`, surfaced as
+    /// [`ClientError::Remote`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (in the encoder) on an empty or oversized batch.
+    pub fn repl_batch(
+        &mut self,
+        shard: u32,
+        seq: u64,
+        ops: &[ReplOp<'_>],
+    ) -> Result<(u32, u64), ClientError> {
+        self.wbuf.clear();
+        encode_repl_batch(&mut self.wbuf, shard, seq, ops);
+        self.stream.write_all(&self.wbuf)?;
+        match self.read_reply()? {
+            Reply::ReplAck { shard, seq } => Ok((shard, seq)),
+            Reply::Busy => Err(ClientError::Busy),
+            Reply::Err(m) => Err(ClientError::Remote(m)),
+            _ => Err(ClientError::Unexpected("REPL_BATCH wants REPL_ACK")),
+        }
+    }
+
+    /// `PROMOTE`: flip a backup into a primary. Acked with `OK` after
+    /// every shard has been fenced.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`].
+    pub fn promote(&mut self) -> Result<(), ClientError> {
+        self.roundtrip(&Request::Promote, |resp| match resp {
+            Response::Ok => Ok(()),
+            _ => Err(ClientError::Unexpected("PROMOTE wants OK")),
+        })
+    }
+
     /// Send raw bytes, bypassing the codec — for malformed-frame tests.
     ///
     /// # Errors
@@ -327,6 +370,7 @@ impl Client {
                     Response::Stats(_) => RespKind::Stats,
                     Response::Pong => RespKind::Pong,
                     Response::Multi(_) => RespKind::Multi,
+                    Response::ReplAck { .. } => RespKind::ReplAck,
                 });
                 self.rbuf.drain(..consumed);
                 return kind.map_err(ClientError::from);
@@ -363,6 +407,8 @@ pub enum RespKind {
     Pong,
     /// `MULTI_BODY`.
     Multi,
+    /// `REPL_ACK`.
+    ReplAck,
 }
 
 /// An owned server reply, as returned by [`Client::multi`] and
@@ -385,6 +431,13 @@ pub enum Reply {
     Pong,
     /// `MULTI_BODY`: one reply per batched request, in order.
     Multi(Vec<Reply>),
+    /// `REPL_ACK`: the batch is durable on the backup.
+    ReplAck {
+        /// The acknowledged shard.
+        shard: u32,
+        /// The acknowledged batch sequence number.
+        seq: u64,
+    },
 }
 
 fn reply_of(resp: &Response<'_>) -> Reply {
@@ -397,5 +450,9 @@ fn reply_of(resp: &Response<'_>) -> Reply {
         Response::Stats(s) => Reply::Stats(s.to_string()),
         Response::Pong => Reply::Pong,
         Response::Multi(mb) => Reply::Multi(mb.responses().map(|r| reply_of(&r)).collect()),
+        Response::ReplAck { shard, seq } => Reply::ReplAck {
+            shard: *shard,
+            seq: *seq,
+        },
     }
 }

@@ -18,8 +18,10 @@ use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::time::Instant;
 
+use crate::engine::WriteOp;
 use crate::wire::{
-    decode_frame, encode_response, parse_request, try_encode_multi_response, Request, Response,
+    decode_frame, encode_response, parse_request, try_encode_multi_response, ReplOp, Request,
+    Response,
 };
 
 /// A request copied out of the receive buffer so it can cross to a worker.
@@ -49,6 +51,18 @@ pub(crate) enum OwnedRequest {
     Ping,
     /// An atomic `MULTI` batch.
     Multi(Vec<OwnedRequest>),
+    /// One replicated batch shipped from a primary, applied behind this
+    /// server's own durability boundary.
+    ReplBatch {
+        /// Owning shard.
+        shard: u32,
+        /// Per-shard batch sequence number, echoed in the ack.
+        seq: u64,
+        /// The decoded redo ops.
+        ops: Vec<WriteOp>,
+    },
+    /// `PROMOTE`: become a primary, refuse further replication.
+    Promote,
 }
 
 /// A worker's reply, written back on the connection in request order.
@@ -69,6 +83,13 @@ pub(crate) enum OwnedResponse {
     Busy,
     /// Replies to a `MULTI` batch, in order.
     Multi(Vec<OwnedResponse>),
+    /// `REPL_BATCH` applied and durable on this side.
+    ReplAck {
+        /// The acknowledged shard.
+        shard: u32,
+        /// The acknowledged batch sequence number.
+        seq: u64,
+    },
 }
 
 /// Why a decode run stopped early.
@@ -96,6 +117,21 @@ pub(crate) fn owned_of(req: &Request<'_>) -> Option<OwnedRequest> {
                 .map(|r| owned_of(&r).expect("validated: no SHUTDOWN inside MULTI"))
                 .collect(),
         )),
+        Request::ReplBatch(rb) => Some(OwnedRequest::ReplBatch {
+            shard: rb.shard,
+            seq: rb.seq,
+            ops: rb
+                .ops()
+                .map(|op| match op {
+                    ReplOp::Put { key, value } => WriteOp::Put {
+                        key: key.to_vec(),
+                        value: value.to_vec(),
+                    },
+                    ReplOp::Del { key } => WriteOp::Del { key: key.to_vec() },
+                })
+                .collect(),
+        }),
+        Request::Promote => Some(OwnedRequest::Promote),
         Request::Shutdown => None,
     }
 }
@@ -112,6 +148,10 @@ pub(crate) fn response_of(resp: &OwnedResponse) -> Response<'_> {
         OwnedResponse::Stats(s) => Response::Stats(s),
         OwnedResponse::Pong => Response::Pong,
         OwnedResponse::Busy => Response::Busy,
+        OwnedResponse::ReplAck { shard, seq } => Response::ReplAck {
+            shard: *shard,
+            seq: *seq,
+        },
         OwnedResponse::Multi(_) => unreachable!("MULTI cannot nest"),
     }
 }

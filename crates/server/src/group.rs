@@ -28,6 +28,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::engine::{KvEngine, WriteOp, WriteReply};
+use crate::repl::ReplSink;
+use crate::server::ReplStats;
 
 /// Group-commit tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +74,8 @@ pub struct GroupCommitter {
     cfg: GroupConfig,
     batches: AtomicU64,
     batched_ops: AtomicU64,
+    /// Ships each committed batch to the backup (primary side only).
+    repl: Option<Arc<ReplSink>>,
 }
 
 /// Why a [`GroupCommitter::submit`] was not served.
@@ -94,6 +98,16 @@ impl std::error::Error for SubmitError {}
 impl GroupCommitter {
     /// Spawn the committer thread over `engine`.
     pub fn start(engine: Arc<KvEngine>, cfg: GroupConfig) -> Arc<GroupCommitter> {
+        GroupCommitter::start_with_repl(engine, cfg, None)
+    }
+
+    /// Spawn the committer thread over `engine`, optionally shipping each
+    /// committed batch through `repl` (the sharded server's primary side).
+    pub(crate) fn start_with_repl(
+        engine: Arc<KvEngine>,
+        cfg: GroupConfig,
+        repl: Option<Arc<ReplSink>>,
+    ) -> Arc<GroupCommitter> {
         let committer = Arc::new(GroupCommitter {
             state: Arc::new((
                 Mutex::new(Inner {
@@ -106,6 +120,7 @@ impl GroupCommitter {
             cfg,
             batches: AtomicU64::new(0),
             batched_ops: AtomicU64::new(0),
+            repl,
         });
         let thread_self = Arc::clone(&committer);
         let handle = std::thread::Builder::new()
@@ -151,6 +166,24 @@ impl GroupCommitter {
         )
     }
 
+    /// Replication counters, when this committer ships to a backup.
+    pub(crate) fn repl_stats(&self) -> Option<ReplStats> {
+        self.repl.as_ref().map(|r| r.stats())
+    }
+
+    /// Sever this committer's replication stream (failover-rig hook).
+    pub(crate) fn cut_replication(&self) {
+        if let Some(r) = &self.repl {
+            r.cut();
+        }
+    }
+
+    /// Whether [`close`](Self::close) has run: new submissions are being
+    /// rejected, and a run parked on a full queue can never be served.
+    pub fn is_closed(&self) -> bool {
+        self.state.0.lock().unwrap().closed
+    }
+
     /// Stop the committer: reject new submissions, drain what is queued,
     /// and join the thread. Idempotent.
     pub fn close(&self) {
@@ -178,15 +211,41 @@ impl GroupCommitter {
             for p in &batch {
                 all_ops.extend(p.ops.iter().cloned());
             }
-            let replies = engine.apply_write_batch(&all_ops);
+            let mut replies = engine.apply_write_batch(&all_ops);
             self.batches.fetch_add(1, Ordering::Relaxed);
             self.batched_ops.fetch_add(total as u64, Ordering::Relaxed);
+            // Replication rides between the local boundary and the client
+            // acks. Sync mode ships first and fails the whole batch's acks
+            // if the backup did not confirm — a client never sees OK for a
+            // write that is not durable on both sides. Async mode acks
+            // first and ships after (below), trading that guarantee away.
+            let mut ship_async = false;
+            if let Some(repl) = &self.repl {
+                if repl.is_sync() {
+                    if let Err(msg) = repl.ship(&all_ops) {
+                        // Locally applied but not replicated: refuse the
+                        // ack so the write is never counted as durable.
+                        for r in &mut replies {
+                            *r = WriteReply::Err(format!("not replicated: {msg}"));
+                        }
+                    }
+                } else {
+                    ship_async = true;
+                }
+            }
             // Ack only now, after the boundary. A submitter that hung up
             // (connection died) is skipped harmlessly.
             let mut replies = replies.into_iter();
             for p in batch {
                 let share: Vec<WriteReply> = replies.by_ref().take(p.ops.len()).collect();
                 let _ = p.reply.send(share);
+            }
+            if ship_async {
+                if let Some(repl) = &self.repl {
+                    // Best effort: the clients were already acked on local
+                    // durability alone.
+                    let _ = repl.ship(&all_ops);
+                }
             }
         }
     }

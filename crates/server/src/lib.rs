@@ -28,6 +28,8 @@ pub mod group;
 mod poll;
 pub mod queue;
 mod reactor;
+mod repl;
+pub mod ring;
 pub mod server;
 pub mod wire;
 
@@ -38,5 +40,6 @@ pub use engine::{
 pub use group::{GroupCommitter, GroupConfig, SubmitError};
 pub use poll::raise_nofile_limit;
 pub use queue::{BoundedQueue, Job, PushError, WorkerPool};
-pub use server::{IoMode, Server, ServerConfig};
-pub use wire::{MultiBody, Request, Response, WireError};
+pub use ring::Ring;
+pub use server::{IoMode, ReplAckMode, ReplConfig, ReplStats, Server, ServerConfig};
+pub use wire::{MultiBody, ReplBatchBody, ReplOp, Request, Response, WireError};

@@ -386,11 +386,10 @@ impl Reactor {
         token: u64,
         execs: Vec<OwnedRequest>,
     ) -> Job {
-        let engine = Arc::clone(&shared.engine);
-        let committer = Arc::clone(&shared.committer);
+        let shards = Arc::clone(&shared.shards);
         let me = Arc::clone(me);
         Box::new(move || {
-            let replies = execute_ops(&engine, &committer, execs);
+            let replies = execute_ops(&shards, execs);
             me.completions
                 .lock()
                 .expect("reactor completions")
@@ -477,7 +476,19 @@ impl Reactor {
                         self.parked -= 1;
                     }
                     Err(PushError::Full(job)) => {
-                        conn.parked_job = Some(job);
+                        // A full queue normally means "wait for capacity" —
+                        // but if a shard committer has already shut down,
+                        // capacity will never come (workers would block
+                        // forever on submit). Fail the run and close
+                        // cleanly instead of hanging the parked client.
+                        if self.shared.shards.any_committer_closed() {
+                            self.parked -= 1;
+                            Self::fail_pending(conn);
+                            let _ = conn.pump_writes(Instant::now());
+                            dead = conn.drained();
+                        } else {
+                            conn.parked_job = Some(job);
+                        }
                     }
                     Err(PushError::Closed(_)) => {
                         self.parked -= 1;

@@ -1,0 +1,150 @@
+//! Primary-side replication: per-shard sinks that ship committed write
+//! batches to the backup over the wire protocol.
+//!
+//! Each shard's [`crate::group::GroupCommitter`] owns one [`ReplSink`]:
+//! after a batch commits locally, the committer hands the sink the same
+//! redo ops it just applied, and the sink sends them as one `REPL_BATCH`
+//! frame and blocks for the backup's `REPL_ACK`. Sequence numbers are
+//! per-shard and monotonic; the backup applies batches in arrival order on
+//! a single connection, so a received ack means *every* prior batch of
+//! that shard is durable on the backup too.
+//!
+//! The sink never retries: any ship failure (connection cut, backup error,
+//! ack mismatch) poisons the connection, and in [`ReplAckMode::Sync`] the
+//! committer converts the batch's client acks into errors — a client never
+//! sees `OK` for a write the backup might not hold. Fault-injection hooks
+//! (`cut`, `drop_batch`) exist solely for the failover rigs.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::client::Client;
+use crate::engine::WriteOp;
+use crate::server::{ReplAckMode, ReplConfig, ReplStats};
+use crate::wire::ReplOp;
+
+/// One shard's replication stream to the backup.
+pub(crate) struct ReplSink {
+    shard: u32,
+    ack_mode: ReplAckMode,
+    /// The dedicated replication connection; poisoned (set to `None`) on
+    /// the first failure. Only the shard's committer thread ships, so the
+    /// lock is uncontended.
+    conn: Mutex<Option<Client>>,
+    /// Per-shard batch sequence, starting at 1.
+    next_seq: AtomicU64,
+    shipped: AtomicU64,
+    dropped: AtomicU64,
+    failed: AtomicU64,
+    /// Simulated primary death, shared across every shard's sink.
+    cut: Arc<AtomicBool>,
+    /// Global ship ordinal across shards, for `drop_batch`.
+    counter: Arc<AtomicU64>,
+    /// Drop (but pretend to ack) the batch with this global ordinal.
+    drop_batch: Option<u64>,
+}
+
+impl ReplSink {
+    /// Open one replication connection per shard to `cfg.backup`. All
+    /// sinks share the cut flag and the global batch ordinal.
+    pub(crate) fn connect_all(
+        cfg: &ReplConfig,
+        nshards: usize,
+    ) -> Result<Vec<Arc<ReplSink>>, crate::client::ClientError> {
+        let cut = Arc::new(AtomicBool::new(false));
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut sinks = Vec::with_capacity(nshards);
+        for shard in 0..nshards {
+            let client = Client::connect(cfg.backup)?;
+            sinks.push(Arc::new(ReplSink {
+                shard: shard as u32,
+                ack_mode: cfg.ack_mode,
+                conn: Mutex::new(Some(client)),
+                next_seq: AtomicU64::new(0),
+                shipped: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                failed: AtomicU64::new(0),
+                cut: Arc::clone(&cut),
+                counter: Arc::clone(&counter),
+                drop_batch: cfg.drop_batch,
+            }));
+        }
+        Ok(sinks)
+    }
+
+    /// Whether client acks wait for this sink's ship to succeed.
+    pub(crate) fn is_sync(&self) -> bool {
+        self.ack_mode == ReplAckMode::Sync
+    }
+
+    /// Sever the stream as if the primary died: every subsequent ship
+    /// fails immediately.
+    pub(crate) fn cut(&self) {
+        self.cut.store(true, Ordering::SeqCst);
+    }
+
+    /// Counters so far.
+    pub(crate) fn stats(&self) -> ReplStats {
+        ReplStats {
+            shipped: self.shipped.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Ship one committed batch and block for the backup's ack.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when the batch is *not* known to be durable
+    /// on the backup; the connection is poisoned so later batches fail
+    /// fast instead of shipping out of order.
+    pub(crate) fn ship(&self, ops: &[WriteOp]) -> Result<(), String> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        let ordinal = self.counter.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.cut.load(Ordering::SeqCst) {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+            return Err("replication stream cut".to_string());
+        }
+        if self.drop_batch == Some(ordinal) {
+            // Injected fault: claim success without shipping. The failover
+            // rig must catch the resulting hole on the backup.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        let mut guard = self.conn.lock().expect("repl conn lock");
+        let Some(client) = guard.as_mut() else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+            return Err("replication connection poisoned by earlier failure".to_string());
+        };
+        let borrowed: Vec<ReplOp<'_>> = ops
+            .iter()
+            .map(|op| match op {
+                WriteOp::Put { key, value } => ReplOp::Put { key, value },
+                WriteOp::Del { key } => ReplOp::Del { key },
+            })
+            .collect();
+        match client.repl_batch(self.shard, seq, &borrowed) {
+            Ok((s, q)) if s == self.shard && q == seq => {
+                self.shipped.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Ok((s, q)) => {
+                *guard = None;
+                self.failed.fetch_add(1, Ordering::Relaxed);
+                Err(format!(
+                    "replication ack mismatch: sent ({}, {seq}), got ({s}, {q})",
+                    self.shard
+                ))
+            }
+            Err(e) => {
+                *guard = None;
+                self.failed.fetch_add(1, Ordering::Relaxed);
+                Err(format!("replication ship failed: {e}"))
+            }
+        }
+    }
+}

@@ -36,6 +36,15 @@
 //! reordered before an earlier write: the pending write batch is
 //! committed before any `GET`/`STATS`/`FLUSH` executes.
 //!
+//! Sharding ([`Server::start_multi`]): the execution core behind both
+//! front ends is a `ShardSet` — N engines over N independent pools, one
+//! group-commit thread per shard, routed by a consistent-hash
+//! [`Ring`] over raw key bytes. Replication
+//! ([`ReplConfig`]): each shard's committer ships its committed batches to
+//! a backup server as `REPL_BATCH` frames; [`ReplAckMode::Sync`] makes the
+//! client ack wait for the backup's `REPL_ACK`, so an acked write is
+//! durable on both sides. A `PROMOTE` frame flips a backup into a primary.
+//!
 //! Graceful shutdown (a `SHUTDOWN` frame or [`Server::shutdown`]) stops
 //! accepting, quiesces the front end (connection threads drain, or
 //! reactors finish in-flight runs and flush acks), then the worker pool
@@ -57,6 +66,8 @@ use crate::group::{GroupCommitter, GroupConfig};
 use crate::poll::Epoll;
 use crate::queue::{BoundedQueue, Job, PushError, WorkerPool};
 use crate::reactor::{reactor_main, ReactorShared};
+use crate::repl::ReplSink;
+use crate::ring::Ring;
 use crate::wire::{encode_response, Response, MAX_FRAME, PREFIX};
 
 /// Poll granularity for blocking reads: how quickly connection threads
@@ -94,6 +105,67 @@ impl std::fmt::Display for IoMode {
     }
 }
 
+/// When a primary with a configured backup acks a client write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplAckMode {
+    /// The client ack waits for the backup's `REPL_ACK`: an acked write is
+    /// durable on *both* sides, and survives losing either one.
+    Sync,
+    /// The client ack follows the local durability boundary; the batch is
+    /// shipped afterwards. Cheaper, but writes acked after the last shipped
+    /// batch are lost if the primary dies.
+    Async,
+}
+
+impl FromStr for ReplAckMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ReplAckMode, String> {
+        match s {
+            "sync" => Ok(ReplAckMode::Sync),
+            "async" => Ok(ReplAckMode::Async),
+            other => Err(format!("unknown repl ack mode `{other}` (sync|async)")),
+        }
+    }
+}
+
+impl std::fmt::Display for ReplAckMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ReplAckMode::Sync => "sync",
+            ReplAckMode::Async => "async",
+        })
+    }
+}
+
+/// Primary-side replication configuration: where to ship acked write
+/// batches, and whether client acks wait for the backup.
+#[derive(Debug, Clone)]
+pub struct ReplConfig {
+    /// The backup server's address. It must be listening before the
+    /// primary starts (each shard opens one replication connection up
+    /// front).
+    pub backup: SocketAddr,
+    /// Whether client acks wait for backup durability.
+    pub ack_mode: ReplAckMode,
+    /// Fault-injection hook: silently drop the Nth shipped batch
+    /// (1-based, counted across all shards) while pretending it was
+    /// acked. Exists so the failover rig can prove it catches a lost
+    /// batch; never set in production.
+    pub drop_batch: Option<u64>,
+}
+
+/// Aggregate replication counters across all shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplStats {
+    /// Batches shipped and acknowledged by the backup.
+    pub shipped: u64,
+    /// Batches deliberately dropped by the fault-injection hook.
+    pub dropped: u64,
+    /// Batches that failed to ship (connection cut or backup error).
+    pub failed: u64,
+}
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -114,6 +186,9 @@ pub struct ServerConfig {
     /// Close connections idle longer than this (epoll mode only; `None`
     /// disables the timeout).
     pub idle_timeout: Option<Duration>,
+    /// Ship acked write batches to a backup server (`None` disables
+    /// replication).
+    pub repl: Option<ReplConfig>,
 }
 
 impl Default for ServerConfig {
@@ -126,16 +201,77 @@ impl Default for ServerConfig {
             io: IoMode::Threads,
             reactors: 2,
             idle_timeout: None,
+            repl: None,
         }
     }
 }
 
-pub(crate) struct Shared {
+/// One shard: an engine over its own pool plus the group-commit thread
+/// that owns its durability boundaries.
+pub(crate) struct Shard {
     pub(crate) engine: Arc<KvEngine>,
+    pub(crate) committer: Arc<GroupCommitter>,
+}
+
+/// The sharded execution core both front ends route into: per-shard
+/// engine + committer behind a consistent-hash [`Ring`], plus the
+/// promotion flag that flips a backup into a primary.
+pub(crate) struct ShardSet {
+    pub(crate) shards: Vec<Shard>,
+    pub(crate) ring: Ring,
+    /// Set by a `PROMOTE` frame: this server now refuses `REPL_BATCH`.
+    pub(crate) promoted: AtomicBool,
+}
+
+impl ShardSet {
+    /// The shard owning `key` under the ring.
+    fn shard_for(&self, key: &[u8]) -> &Shard {
+        &self.shards[self.ring.shard_of(key) as usize]
+    }
+
+    /// Whether any shard's committer has been closed — once one has, a
+    /// parked run can never be served and must fail cleanly.
+    pub(crate) fn any_committer_closed(&self) -> bool {
+        self.shards.iter().any(|s| s.committer.is_closed())
+    }
+
+    /// Flush + fence every shard's pool.
+    fn fence_all(&self) {
+        for s in &self.shards {
+            s.engine.fence();
+        }
+    }
+
+    /// Promote this server: fence every shard so the replicated state is
+    /// fully durable, then refuse further `REPL_BATCH` frames.
+    fn promote(&self) {
+        self.fence_all();
+        self.promoted.store(true, Ordering::SeqCst);
+    }
+
+    /// The `STATS` body: shard 0's engine stats, plus (multi-shard only)
+    /// the shard count and per-shard key counts.
+    fn render_stats(&self) -> Result<String, String> {
+        let mut body = self.shards[0]
+            .engine
+            .render_stats()
+            .map_err(|e| e.to_string())?;
+        if self.shards.len() > 1 {
+            body.push_str(&format!("shards={}\n", self.shards.len()));
+            for (i, s) in self.shards.iter().enumerate() {
+                let keys = s.engine.count().map_err(|e| e.to_string())?;
+                body.push_str(&format!("shard{i}_keys={keys}\n"));
+            }
+        }
+        Ok(body)
+    }
+}
+
+pub(crate) struct Shared {
+    pub(crate) shards: Arc<ShardSet>,
     pub(crate) cfg: ServerConfig,
     pub(crate) addr: SocketAddr,
     pub(crate) queue: Arc<BoundedQueue<Job>>,
-    pub(crate) committer: Arc<GroupCommitter>,
     pub(crate) shutdown: AtomicBool,
     pub(crate) conns: AtomicUsize,
     pub(crate) conn_handles: Mutex<Vec<JoinHandle<()>>>,
@@ -179,7 +315,8 @@ pub struct Server {
 
 impl Server {
     /// Bind `addr` (port 0 picks an ephemeral port) and start serving
-    /// `engine` with the front end selected by `cfg.io`.
+    /// `engine` with the front end selected by `cfg.io`. Single-shard
+    /// convenience over [`Server::start_multi`].
     ///
     /// # Errors
     ///
@@ -189,11 +326,60 @@ impl Server {
         addr: impl ToSocketAddrs,
         cfg: ServerConfig,
     ) -> std::io::Result<Server> {
+        Server::start_multi(vec![engine], addr, cfg)
+    }
+
+    /// Bind `addr` and serve `engines` as shards behind a consistent-hash
+    /// ring: each engine keeps its own pool, recovery path, and generation
+    /// index, and gets its own group-commit thread, so shards never share
+    /// a durability boundary. Both front ends route every key to its
+    /// owning shard via [`Ring::shard_of`] over the raw key bytes — the
+    /// same ring a client can mirror from nothing but the shard count.
+    ///
+    /// With `cfg.repl` set, every shard opens a replication connection to
+    /// the backup before serving starts and ships each committed batch as
+    /// a `REPL_BATCH` frame (see [`ReplAckMode`] for what client acks then
+    /// mean).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, epoll/eventfd creation errors (epoll mode), and
+    /// replication-connection errors when `cfg.repl` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines` is empty.
+    pub fn start_multi(
+        engines: Vec<Arc<KvEngine>>,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        assert!(!engines.is_empty(), "server needs at least one shard");
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let queue = Arc::new(BoundedQueue::new(cfg.queue_depth));
         let workers = WorkerPool::start(Arc::clone(&queue), cfg.workers);
-        let committer = GroupCommitter::start(Arc::clone(&engine), cfg.group);
+        let sinks = match &cfg.repl {
+            Some(rc) => ReplSink::connect_all(rc, engines.len())
+                .map_err(|e| std::io::Error::other(e.to_string()))?,
+            None => Vec::new(),
+        };
+        let ring = Ring::new(engines.len() as u32);
+        let shards: Vec<Shard> = engines
+            .into_iter()
+            .enumerate()
+            .map(|(i, engine)| {
+                let sink = sinks.get(i).cloned();
+                let committer =
+                    GroupCommitter::start_with_repl(Arc::clone(&engine), cfg.group, sink);
+                Shard { engine, committer }
+            })
+            .collect();
+        let shard_set = Arc::new(ShardSet {
+            shards,
+            ring,
+            promoted: AtomicBool::new(false),
+        });
         let io = cfg.io;
         let n_reactors = cfg.reactors.max(1);
 
@@ -212,11 +398,10 @@ impl Server {
         };
 
         let shared = Arc::new(Shared {
-            engine,
+            shards: shard_set,
             cfg,
             addr: local,
             queue,
-            committer,
             shutdown: AtomicBool::new(false),
             conns: AtomicUsize::new(0),
             conn_handles: Mutex::new(Vec::new()),
@@ -266,16 +451,82 @@ impl Server {
         self.shared.addr
     }
 
-    /// The engine being served.
+    /// The engine being served — shard 0's engine (the only one on a
+    /// single-shard server). See [`Server::engines`] for all shards.
     pub fn engine(&self) -> &Arc<KvEngine> {
-        &self.shared.engine
+        &self.shared.shards.shards[0].engine
     }
 
-    /// Group-commit counters so far: `(batches committed, write ops
-    /// committed through those batches)`. `ops > batches` proves writes
-    /// shared durability boundaries.
+    /// Every shard's engine, in shard order.
+    pub fn engines(&self) -> Vec<Arc<KvEngine>> {
+        self.shared
+            .shards
+            .shards
+            .iter()
+            .map(|s| Arc::clone(&s.engine))
+            .collect()
+    }
+
+    /// The consistent-hash ring this server routes with. A client can
+    /// rebuild the identical ring from the shard count alone.
+    pub fn ring(&self) -> &Ring {
+        &self.shared.shards.ring
+    }
+
+    /// Whether a `PROMOTE` frame has flipped this server to primary.
+    pub fn is_promoted(&self) -> bool {
+        self.shared.shards.promoted.load(Ordering::SeqCst)
+    }
+
+    /// Group-commit counters so far, summed across shards: `(batches
+    /// committed, write ops committed through those batches)`. `ops >
+    /// batches` proves writes shared durability boundaries.
     pub fn group_stats(&self) -> (u64, u64) {
-        self.shared.committer.stats()
+        let mut batches = 0;
+        let mut ops = 0;
+        for s in &self.shared.shards.shards {
+            let (b, o) = s.committer.stats();
+            batches += b;
+            ops += o;
+        }
+        (batches, ops)
+    }
+
+    /// Replication counters summed across shards, or `None` when no
+    /// backup is configured.
+    pub fn repl_stats(&self) -> Option<ReplStats> {
+        let mut out = ReplStats::default();
+        let mut any = false;
+        for s in &self.shared.shards.shards {
+            if let Some(stats) = s.committer.repl_stats() {
+                any = true;
+                out.shipped += stats.shipped;
+                out.dropped += stats.dropped;
+                out.failed += stats.failed;
+            }
+        }
+        any.then_some(out)
+    }
+
+    /// Sever the replication stream as if the primary process died
+    /// mid-flight: every subsequent ship fails (which in sync ack mode
+    /// turns the affected client acks into errors). Test-only hook for
+    /// the failover rigs; real traffic never calls this.
+    #[doc(hidden)]
+    pub fn debug_cut_replication(&self) {
+        for s in &self.shared.shards.shards {
+            s.committer.cut_replication();
+        }
+    }
+
+    /// Close every shard's group committer without shutting the server
+    /// down, leaving front ends and workers running. Test-only hook for
+    /// the parked-run regression tests.
+    #[doc(hidden)]
+    pub fn debug_close_committers(&self) {
+        for s in &self.shared.shards.shards {
+            s.committer.close();
+        }
     }
 
     /// Block until a shutdown is triggered (a `SHUTDOWN` frame or
@@ -327,12 +578,16 @@ impl Server {
             w.shutdown();
         }
         // Workers are quiesced, so no job can submit any more: the
-        // committer drains and stops cleanly.
-        self.shared.committer.close();
-        // Leave the device quiescent: a final fence so any straggling
-        // flushed-but-unfenced stores are promoted before the pool is
-        // dropped or its image saved.
-        self.shared.engine.pool().pm().fence();
+        // committers drain and stop cleanly.
+        for s in &self.shared.shards.shards {
+            s.committer.close();
+        }
+        // Leave every device quiescent: a final fence so any straggling
+        // flushed-but-unfenced stores are promoted before the pools are
+        // dropped or their images saved.
+        for s in &self.shared.shards.shards {
+            s.engine.pool().pm().fence();
+        }
     }
 }
 
@@ -378,113 +633,166 @@ pub(crate) fn reject_busy(mut stream: TcpStream) {
     let _ = stream.write_all(&out);
 }
 
-/// Execute one non-write request directly (writes go through the group
-/// committer — see [`execute_ops`]).
-fn execute(engine: &KvEngine, req: OwnedRequest) -> OwnedResponse {
+/// Execute one non-write request directly against its owning shard
+/// (writes go through the shard's group committer — see [`execute_ops`]).
+fn execute(shards: &ShardSet, req: OwnedRequest) -> OwnedResponse {
     match req {
-        OwnedRequest::Put { key, value } => match engine.put(&key, &value) {
+        OwnedRequest::Put { key, value } => match shards.shard_for(&key).engine.put(&key, &value) {
             Ok(()) => OwnedResponse::Ok,
             Err(e) => OwnedResponse::Err(e.to_string()),
         },
-        OwnedRequest::Del { key } => match engine.remove(&key) {
+        OwnedRequest::Del { key } => match shards.shard_for(&key).engine.remove(&key) {
             Ok(true) => OwnedResponse::Ok,
             Ok(false) => OwnedResponse::NotFound,
             Err(e) => OwnedResponse::Err(e.to_string()),
         },
         OwnedRequest::Get { key } => {
             let mut out = Vec::new();
-            match engine.get(&key, &mut out) {
+            match shards.shard_for(&key).engine.get(&key, &mut out) {
                 Ok(true) => OwnedResponse::Value(out),
                 Ok(false) => OwnedResponse::NotFound,
                 Err(e) => OwnedResponse::Err(e.to_string()),
             }
         }
-        OwnedRequest::Stats => match engine.render_stats() {
+        OwnedRequest::Stats => match shards.render_stats() {
             Ok(body) => OwnedResponse::Stats(body),
-            Err(e) => OwnedResponse::Err(e.to_string()),
+            Err(m) => OwnedResponse::Err(m),
         },
         OwnedRequest::Flush => {
-            engine.fence();
+            shards.fence_all();
             OwnedResponse::Ok
         }
         OwnedRequest::Ping => OwnedResponse::Pong,
         // Wire validation rejects nested MULTI; `execute_ops` handles the
         // outer level. Answer defensively rather than panic a worker.
         OwnedRequest::Multi(_) => OwnedResponse::Err("nested MULTI".to_string()),
+        // Handled in `execute_ops` (they need the staging barrier there);
+        // defensive here for the same reason as Multi.
+        OwnedRequest::ReplBatch { .. } | OwnedRequest::Promote => {
+            OwnedResponse::Err("replication frame outside run context".to_string())
+        }
     }
 }
 
-/// Execute an ordered run of requests with write batching: consecutive
-/// `PUT`/`DEL`s are staged and committed through the group committer as one
-/// shared durability boundary; the stage is flushed before anything that
-/// must observe those writes (a read, `STATS`, `FLUSH`) and at `MULTI`
-/// boundaries, so responses are exactly what sequential execution would
-/// produce. Both front ends call this — and only this — to run a run.
-pub(crate) fn execute_ops(
-    engine: &KvEngine,
-    committer: &GroupCommitter,
-    reqs: Vec<OwnedRequest>,
-) -> Vec<OwnedResponse> {
+/// Apply one replicated batch on the backup side: submit the redo ops to
+/// the owning shard's committer (so the batch commits behind the backup's
+/// *own* durability boundary) and ack with the batch's `(shard, seq)` only
+/// after that boundary. A promoted server refuses — it is a primary now.
+fn apply_repl_batch(shards: &ShardSet, shard: u32, seq: u64, ops: Vec<WriteOp>) -> OwnedResponse {
+    if shards.promoted.load(Ordering::SeqCst) {
+        return OwnedResponse::Err("promoted: no longer accepting replication".to_string());
+    }
+    let Some(s) = shards.shards.get(shard as usize) else {
+        return OwnedResponse::Err(format!(
+            "no such shard {shard} (this server has {})",
+            shards.shards.len()
+        ));
+    };
+    match s.committer.submit(ops) {
+        Ok(replies) => {
+            // A per-op failure means the backup does NOT hold the batch
+            // verbatim; never ack it as replicated. (A delete's NotFound is
+            // fine — the tombstone state matches the primary either way.)
+            for r in &replies {
+                if let WriteReply::Err(m) = r {
+                    return OwnedResponse::Err(format!("replicated op failed: {m}"));
+                }
+            }
+            OwnedResponse::ReplAck { shard, seq }
+        }
+        Err(e) => OwnedResponse::Err(e.to_string()),
+    }
+}
+
+/// Execute an ordered run of requests with sharded write batching:
+/// consecutive `PUT`/`DEL`s are staged per owning shard and committed
+/// through each shard's group committer as one shared durability boundary
+/// per shard; the stages are flushed before anything that must observe
+/// those writes (a read, `STATS`, `FLUSH`) and at `MULTI` boundaries, so
+/// responses are exactly what sequential execution would produce. (On a
+/// multi-shard server a `MULTI` is atomic *per shard* — each shard's slice
+/// of the batch shares one boundary — not across shards.) Both front ends
+/// call this — and only this — to run a run.
+pub(crate) fn execute_ops(shards: &ShardSet, reqs: Vec<OwnedRequest>) -> Vec<OwnedResponse> {
+    let nshards = shards.shards.len();
     let mut out: Vec<Option<OwnedResponse>> = Vec::with_capacity(reqs.len());
-    let mut staged: Vec<(usize, WriteOp)> = Vec::new();
+    let mut staged: Vec<Vec<(usize, WriteOp)>> = vec![Vec::new(); nshards];
     for req in reqs {
         match req {
             OwnedRequest::Put { key, value } => {
-                staged.push((out.len(), WriteOp::Put { key, value }));
+                let s = shards.ring.shard_of(&key) as usize;
+                staged[s].push((out.len(), WriteOp::Put { key, value }));
                 out.push(None);
             }
             OwnedRequest::Del { key } => {
-                staged.push((out.len(), WriteOp::Del { key }));
+                let s = shards.ring.shard_of(&key) as usize;
+                staged[s].push((out.len(), WriteOp::Del { key }));
                 out.push(None);
             }
             OwnedRequest::Ping => out.push(Some(OwnedResponse::Pong)),
             OwnedRequest::Multi(nested) => {
-                // A MULTI body is its own atomic batch: align batch
-                // boundaries with the frame boundary on both sides.
-                flush_staged(committer, &mut out, &mut staged);
-                let replies = execute_ops(engine, committer, nested);
+                // A MULTI body is its own (per-shard) atomic batch: align
+                // batch boundaries with the frame boundary on both sides.
+                flush_staged(shards, &mut out, &mut staged);
+                let replies = execute_ops(shards, nested);
                 out.push(Some(OwnedResponse::Multi(replies)));
+            }
+            OwnedRequest::ReplBatch { shard, seq, ops } => {
+                // Replication applies whole batches in shipping order;
+                // never interleave them with this run's staged writes.
+                flush_staged(shards, &mut out, &mut staged);
+                out.push(Some(apply_repl_batch(shards, shard, seq, ops)));
+            }
+            OwnedRequest::Promote => {
+                flush_staged(shards, &mut out, &mut staged);
+                shards.promote();
+                out.push(Some(OwnedResponse::Ok));
             }
             req => {
                 // Reads must observe every earlier write in the run.
-                flush_staged(committer, &mut out, &mut staged);
-                out.push(Some(execute(engine, req)));
+                flush_staged(shards, &mut out, &mut staged);
+                out.push(Some(execute(shards, req)));
             }
         }
     }
-    flush_staged(committer, &mut out, &mut staged);
+    flush_staged(shards, &mut out, &mut staged);
     out.into_iter()
         .map(|r| r.expect("every slot answered"))
         .collect()
 }
 
-/// Commit the staged writes as one group-commit submission and patch the
-/// replies into their slots. No-op when nothing is staged.
+/// Commit each shard's staged writes as one group-commit submission to
+/// that shard's committer and patch the replies into their slots. Two
+/// writes to the same key always share a shard, so per-key ordering is
+/// preserved even though shards flush independently. No-op when nothing
+/// is staged.
 fn flush_staged(
-    committer: &GroupCommitter,
+    shards: &ShardSet,
     out: &mut [Option<OwnedResponse>],
-    staged: &mut Vec<(usize, WriteOp)>,
+    staged: &mut [Vec<(usize, WriteOp)>],
 ) {
-    if staged.is_empty() {
-        return;
-    }
-    let (slots, ops): (Vec<usize>, Vec<WriteOp>) = std::mem::take(staged).into_iter().unzip();
-    match committer.submit(ops) {
-        Ok(replies) => {
-            debug_assert_eq!(replies.len(), slots.len());
-            for (slot, reply) in slots.into_iter().zip(replies) {
-                out[slot] = Some(match reply {
-                    WriteReply::Ok => OwnedResponse::Ok,
-                    WriteReply::NotFound => OwnedResponse::NotFound,
-                    WriteReply::Err(m) => OwnedResponse::Err(m),
-                });
-            }
+    for (shard, stage) in shards.shards.iter().zip(staged.iter_mut()) {
+        if stage.is_empty() {
+            continue;
         }
-        Err(e) => {
-            // Committer closed mid-run (shutdown race): nothing applied,
-            // nothing acked as durable.
-            for slot in slots {
-                out[slot] = Some(OwnedResponse::Err(e.to_string()));
+        let (slots, ops): (Vec<usize>, Vec<WriteOp>) = std::mem::take(stage).into_iter().unzip();
+        match shard.committer.submit(ops) {
+            Ok(replies) => {
+                debug_assert_eq!(replies.len(), slots.len());
+                for (slot, reply) in slots.into_iter().zip(replies) {
+                    out[slot] = Some(match reply {
+                        WriteReply::Ok => OwnedResponse::Ok,
+                        WriteReply::NotFound => OwnedResponse::NotFound,
+                        WriteReply::Err(m) => OwnedResponse::Err(m),
+                    });
+                }
+            }
+            Err(e) => {
+                // Committer closed mid-run (shutdown race): nothing
+                // applied, nothing acked as durable.
+                for slot in slots {
+                    out[slot] = Some(OwnedResponse::Err(e.to_string()));
+                }
             }
         }
     }
@@ -519,13 +827,12 @@ fn serve_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
         wbuf.clear();
         let mut close_after: Option<&str> = None;
         if !execs.is_empty() {
-            let engine = Arc::clone(&shared.engine);
-            let committer = Arc::clone(&shared.committer);
+            let shards = Arc::clone(&shared.shards);
             let tx = reply_tx.clone();
             let job: Job = Box::new(move || {
                 // A hung/vanished connection must not wedge the worker:
                 // drop the reply instead of blocking.
-                let _ = tx.try_send(execute_ops(&engine, &committer, execs));
+                let _ = tx.try_send(execute_ops(&shards, execs));
             });
             match shared.queue.try_push(job) {
                 Ok(()) => match reply_rx.recv() {

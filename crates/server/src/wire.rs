@@ -15,6 +15,8 @@
 //! | `0x06` | `SHUTDOWN`       | empty                                |
 //! | `0x07` | `PING`           | empty                                |
 //! | `0x08` | `MULTI`          | `[u16 LE count][count nested frames]`|
+//! | `0x09` | `REPL_BATCH`     | `[u32 LE shard][u64 LE seq][u16 LE count][count entries]` |
+//! | `0x0A` | `PROMOTE`        | empty                                |
 //! | `0x80` | `OK`             | empty                                |
 //! | `0x81` | `VALUE`          | `[value]`                            |
 //! | `0x82` | `NOT_FOUND`      | empty                                |
@@ -23,6 +25,7 @@
 //! | `0x85` | `STATS_BODY`     | UTF-8 `key=value` lines              |
 //! | `0x86` | `PONG`           | empty                                |
 //! | `0x87` | `MULTI_BODY`     | `[u16 LE count][count nested frames]`|
+//! | `0x88` | `REPL_ACK`       | `[u32 LE shard][u64 LE seq]`         |
 //!
 //! `MULTI` carries a batch of complete nested frames (each with its own
 //! length prefix) and is answered by a single `MULTI_BODY` with one nested
@@ -33,6 +36,16 @@
 //! at parse time — a malformed nested frame is a body error on the outer
 //! frame (the outer length prefix still bounds it, so the stream stays in
 //! sync).
+//!
+//! `REPL_BATCH` is the primary→backup log-shipping frame: the redo payload
+//! of one group-commit batch (`count` put/del entries, each
+//! `[u8 kind][u16 LE klen][key]` plus `[u32 LE vlen][value]` for puts) for
+//! shard `shard`, sequence-numbered per shard. The backup applies it behind
+//! its own durability boundary and answers `REPL_ACK` echoing the same
+//! `(shard, seq)`. `PROMOTE` flips a backup into a primary: it fences every
+//! shard and rejects further `REPL_BATCH`es. Like `SHUTDOWN`, neither
+//! replication frame may ride inside a `MULTI`, and the batch body is
+//! validated eagerly at parse time.
 //!
 //! Decoding is zero-copy: [`decode_frame`] borrows the payload from the
 //! connection buffer and [`parse_request`]/[`parse_response`] return
@@ -61,6 +74,8 @@ pub(crate) const OP_FLUSH: u8 = 0x05;
 pub(crate) const OP_SHUTDOWN: u8 = 0x06;
 pub(crate) const OP_PING: u8 = 0x07;
 pub(crate) const OP_MULTI: u8 = 0x08;
+pub(crate) const OP_REPL_BATCH: u8 = 0x09;
+pub(crate) const OP_PROMOTE: u8 = 0x0A;
 
 // Response opcodes.
 pub(crate) const OP_OK: u8 = 0x80;
@@ -71,6 +86,7 @@ pub(crate) const OP_BUSY: u8 = 0x84;
 pub(crate) const OP_STATS_BODY: u8 = 0x85;
 pub(crate) const OP_PONG: u8 = 0x86;
 pub(crate) const OP_MULTI_BODY: u8 = 0x87;
+pub(crate) const OP_REPL_ACK: u8 = 0x88;
 
 /// A client request, borrowing key/value bytes from the receive buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +119,12 @@ pub enum Request<'a> {
     /// A pipelined batch of nested requests, validated at parse time.
     /// Iterate with [`MultiBody::requests`].
     Multi(MultiBody<'a>),
+    /// One replicated group-commit batch shipped primary→backup, validated
+    /// at parse time. Iterate with [`ReplBatchBody::ops`].
+    ReplBatch(ReplBatchBody<'a>),
+    /// Promote a backup to primary: fence every shard and stop accepting
+    /// `REPL_BATCH`.
+    Promote,
 }
 
 /// A server response, borrowing payload bytes from the receive buffer.
@@ -126,6 +148,14 @@ pub enum Response<'a> {
     /// Batched responses to a `MULTI`, one per nested request, in order.
     /// Iterate with [`MultiBody::responses`].
     Multi(MultiBody<'a>),
+    /// The backup's acknowledgement that a `REPL_BATCH` is durable on its
+    /// side, echoing the batch's shard and sequence number.
+    ReplAck {
+        /// The shard whose batch is being acknowledged.
+        shard: u32,
+        /// The per-shard batch sequence number being acknowledged.
+        seq: u64,
+    },
 }
 
 /// The validated body of a `MULTI`/`MULTI_BODY` frame: `count` nested
@@ -183,6 +213,144 @@ impl<'a> Iterator for NestedFrames<'a> {
         self.body = &self.body[f.consumed..];
         Some(f)
     }
+}
+
+/// One redo entry inside a `REPL_BATCH`, borrowing from the receive
+/// buffer. The entry kinds mirror the group committer's write batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplOp<'a> {
+    /// Insert or update `key` with `value`.
+    Put {
+        /// The key.
+        key: &'a [u8],
+        /// The value.
+        value: &'a [u8],
+    },
+    /// Remove `key`.
+    Del {
+        /// The key.
+        key: &'a [u8],
+    },
+}
+
+/// Entry-kind byte for a replicated put.
+const REPL_KIND_PUT: u8 = 0;
+/// Entry-kind byte for a replicated delete.
+const REPL_KIND_DEL: u8 = 1;
+/// Fixed `REPL_BATCH` header: `[u32 shard][u64 seq][u16 count]`.
+const REPL_HEADER: usize = 4 + 8 + 2;
+
+/// The validated body of a `REPL_BATCH` frame. Produced only by
+/// [`parse_request`], which verifies every entry up front, so [`ops`]
+/// cannot fail.
+///
+/// [`ops`]: ReplBatchBody::ops
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplBatchBody<'a> {
+    /// The shard this batch belongs to.
+    pub shard: u32,
+    /// Per-shard monotonic batch sequence number.
+    pub seq: u64,
+    count: u16,
+    entries: &'a [u8],
+}
+
+impl<'a> ReplBatchBody<'a> {
+    /// Number of redo entries in the batch (always ≥ 1).
+    pub fn count(&self) -> u16 {
+        self.count
+    }
+
+    /// Iterate the validated redo entries.
+    pub fn ops(&self) -> impl Iterator<Item = ReplOp<'a>> + '_ {
+        ReplEntries {
+            entries: self.entries,
+            remaining: self.count,
+        }
+    }
+}
+
+/// Entry iterator over a validated `REPL_BATCH` body.
+struct ReplEntries<'a> {
+    entries: &'a [u8],
+    remaining: u16,
+}
+
+impl<'a> Iterator for ReplEntries<'a> {
+    type Item = ReplOp<'a>;
+
+    fn next(&mut self) -> Option<ReplOp<'a>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let (op, rest) =
+            split_repl_entry(self.entries).expect("ReplBatchBody was validated at parse time");
+        self.entries = rest;
+        Some(op)
+    }
+}
+
+/// Split one redo entry off `e`, returning it and the remaining bytes.
+fn split_repl_entry(e: &[u8]) -> Result<(ReplOp<'_>, &[u8]), &'static str> {
+    let (&kind, e) = e.split_first().ok_or("truncated entry kind")?;
+    if e.len() < 2 {
+        return Err("missing key-length prefix");
+    }
+    let klen = u16::from_le_bytes([e[0], e[1]]) as usize;
+    let e = &e[2..];
+    if e.len() < klen {
+        return Err("key length exceeds payload");
+    }
+    let (key, e) = e.split_at(klen);
+    match kind {
+        REPL_KIND_DEL => Ok((ReplOp::Del { key }, e)),
+        REPL_KIND_PUT => {
+            if e.len() < 4 {
+                return Err("missing value-length prefix");
+            }
+            let vlen = u32::from_le_bytes([e[0], e[1], e[2], e[3]]) as usize;
+            let e = &e[4..];
+            if e.len() < vlen {
+                return Err("value length exceeds payload");
+            }
+            let (value, e) = e.split_at(vlen);
+            Ok((ReplOp::Put { key, value }, e))
+        }
+        _ => Err("unknown entry kind"),
+    }
+}
+
+/// Validate a `REPL_BATCH` payload: the fixed header followed by exactly
+/// `count` well-formed entries and nothing else.
+fn validate_repl_batch(p: &[u8]) -> Result<ReplBatchBody<'_>, WireError> {
+    let bad = |reason| WireError::BadPayload {
+        opcode: OP_REPL_BATCH,
+        reason,
+    };
+    if p.len() < REPL_HEADER {
+        return Err(bad("truncated header"));
+    }
+    let shard = u32::from_le_bytes([p[0], p[1], p[2], p[3]]);
+    let seq = u64::from_le_bytes([p[4], p[5], p[6], p[7], p[8], p[9], p[10], p[11]]);
+    let count = u16::from_le_bytes([p[12], p[13]]);
+    if count == 0 {
+        return Err(bad("empty batch"));
+    }
+    let entries = &p[REPL_HEADER..];
+    let mut rest = entries;
+    for _ in 0..count {
+        rest = split_repl_entry(rest).map_err(bad)?.1;
+    }
+    if !rest.is_empty() {
+        return Err(bad("trailing bytes after final entry"));
+    }
+    Ok(ReplBatchBody {
+        shard,
+        seq,
+        count,
+        entries,
+    })
 }
 
 /// Codec errors.
@@ -308,6 +476,8 @@ pub fn parse_request<'a>(frame: &RawFrame<'a>) -> Result<Request<'a>, WireError>
         OP_SHUTDOWN => expect_empty(p, Request::Shutdown, bad),
         OP_PING => expect_empty(p, Request::Ping, bad),
         OP_MULTI => Ok(Request::Multi(validate_multi(p, frame.opcode, true)?)),
+        OP_REPL_BATCH => Ok(Request::ReplBatch(validate_repl_batch(p)?)),
+        OP_PROMOTE => expect_empty(p, Request::Promote, bad),
         op => Err(WireError::BadOpcode(op)),
     }
 }
@@ -340,6 +510,9 @@ fn validate_multi(p: &[u8], opcode: u8, is_request: bool) -> Result<MultiBody<'_
         }
         if frame.opcode == OP_SHUTDOWN {
             return Err(bad("SHUTDOWN may not ride in a MULTI"));
+        }
+        if frame.opcode == OP_REPL_BATCH || frame.opcode == OP_PROMOTE {
+            return Err(bad("replication frames may not ride in a MULTI"));
         }
         let parsed = if is_request {
             parse_request(&frame).map(|_| ())
@@ -381,6 +554,15 @@ pub fn parse_response<'a>(frame: &RawFrame<'a>) -> Result<Response<'a>, WireErro
         )),
         OP_PONG => expect_empty(p, Response::Pong, bad),
         OP_MULTI_BODY => Ok(Response::Multi(validate_multi(p, frame.opcode, false)?)),
+        OP_REPL_ACK => {
+            if p.len() != 12 {
+                return Err(bad("REPL_ACK payload must be 12 bytes"));
+            }
+            Ok(Response::ReplAck {
+                shard: u32::from_le_bytes([p[0], p[1], p[2], p[3]]),
+                seq: u64::from_le_bytes([p[4], p[5], p[6], p[7], p[8], p[9], p[10], p[11]]),
+            })
+        }
         op => Err(WireError::BadOpcode(op)),
     }
 }
@@ -463,7 +645,60 @@ pub fn encode_request(out: &mut Vec<u8>, req: &Request<'_>) {
             out.extend_from_slice(&mb.count.to_le_bytes());
             out.extend_from_slice(mb.body);
         }
+        Request::ReplBatch(rb) => {
+            frame_header(out, OP_REPL_BATCH, REPL_HEADER + rb.entries.len());
+            out.extend_from_slice(&rb.shard.to_le_bytes());
+            out.extend_from_slice(&rb.seq.to_le_bytes());
+            out.extend_from_slice(&rb.count.to_le_bytes());
+            out.extend_from_slice(rb.entries);
+        }
+        Request::Promote => frame_header(out, OP_PROMOTE, 0),
     }
+}
+
+/// Encode one replicated group-commit batch as a `REPL_BATCH` frame
+/// appended to `out`.
+///
+/// # Panics
+///
+/// Panics if the batch is empty, exceeds `u16::MAX` entries, a key exceeds
+/// `u16::MAX` bytes, a value exceeds `u32::MAX` bytes, or the assembled
+/// frame would exceed [`MAX_FRAME`].
+pub fn encode_repl_batch(out: &mut Vec<u8>, shard: u32, seq: u64, ops: &[ReplOp<'_>]) {
+    assert!(!ops.is_empty(), "REPL_BATCH must be non-empty");
+    assert!(ops.len() <= u16::MAX as usize, "REPL_BATCH too large");
+    let mut entries = Vec::new();
+    for op in ops {
+        match op {
+            ReplOp::Put { key, value } => {
+                assert!(key.len() <= u16::MAX as usize, "REPL_BATCH key too long");
+                assert!(
+                    value.len() <= u32::MAX as usize,
+                    "REPL_BATCH value too long"
+                );
+                entries.push(REPL_KIND_PUT);
+                entries.extend_from_slice(&(key.len() as u16).to_le_bytes());
+                entries.extend_from_slice(key);
+                entries.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                entries.extend_from_slice(value);
+            }
+            ReplOp::Del { key } => {
+                assert!(key.len() <= u16::MAX as usize, "REPL_BATCH key too long");
+                entries.push(REPL_KIND_DEL);
+                entries.extend_from_slice(&(key.len() as u16).to_le_bytes());
+                entries.extend_from_slice(key);
+            }
+        }
+    }
+    assert!(
+        1 + REPL_HEADER + entries.len() <= MAX_FRAME,
+        "REPL_BATCH exceeds MAX_FRAME"
+    );
+    frame_header(out, OP_REPL_BATCH, REPL_HEADER + entries.len());
+    out.extend_from_slice(&shard.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(ops.len() as u16).to_le_bytes());
+    out.extend_from_slice(&entries);
 }
 
 /// Encode a batch of requests as one `MULTI` frame appended to `out`.
@@ -479,8 +714,11 @@ pub fn encode_multi_request(out: &mut Vec<u8>, reqs: &[Request<'_>]) {
     let mut body = Vec::new();
     for r in reqs {
         assert!(
-            !matches!(r, Request::Multi(_) | Request::Shutdown),
-            "MULTI may not nest MULTI or SHUTDOWN"
+            !matches!(
+                r,
+                Request::Multi(_) | Request::Shutdown | Request::ReplBatch(_) | Request::Promote
+            ),
+            "MULTI may not nest MULTI, SHUTDOWN, or replication frames"
         );
         encode_request(&mut body, r);
     }
@@ -558,6 +796,11 @@ pub fn encode_response(out: &mut Vec<u8>, resp: &Response<'_>) {
             frame_header(out, OP_MULTI_BODY, 2 + mb.body.len());
             out.extend_from_slice(&mb.count.to_le_bytes());
             out.extend_from_slice(mb.body);
+        }
+        Response::ReplAck { shard, seq } => {
+            frame_header(out, OP_REPL_ACK, 12);
+            out.extend_from_slice(&shard.to_le_bytes());
+            out.extend_from_slice(&seq.to_le_bytes());
         }
     }
 }
@@ -837,6 +1080,111 @@ mod tests {
             parse_request(&f).unwrap_err(),
             WireError::BadPayload { .. }
         ));
+    }
+
+    #[test]
+    fn repl_batch_roundtrips() {
+        let ops = [
+            ReplOp::Put {
+                key: b"0123456789abcdef",
+                value: b"v0",
+            },
+            ReplOp::Del { key: b"gone" },
+            ReplOp::Put {
+                key: b"k",
+                value: b"",
+            },
+        ];
+        let mut buf = Vec::new();
+        encode_repl_batch(&mut buf, 3, 42, &ops);
+        let (got, n) = decode_request(&buf).unwrap().unwrap();
+        assert_eq!(n, buf.len());
+        let Request::ReplBatch(rb) = got else {
+            panic!("expected ReplBatch, got {got:?}");
+        };
+        assert_eq!((rb.shard, rb.seq, rb.count() as usize), (3, 42, ops.len()));
+        let nested: Vec<_> = rb.ops().collect();
+        assert_eq!(nested, ops);
+
+        // Re-encoding the parsed body is byte-identical.
+        let mut again = Vec::new();
+        encode_request(&mut again, &Request::ReplBatch(rb));
+        assert_eq!(again, buf);
+    }
+
+    #[test]
+    fn promote_and_repl_ack_roundtrip() {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, &Request::Promote);
+        let (got, _) = decode_request(&buf).unwrap().unwrap();
+        assert_eq!(got, Request::Promote);
+
+        let mut buf = Vec::new();
+        encode_response(&mut buf, &Response::ReplAck { shard: 7, seq: 900 });
+        let (got, n) = decode_response(&buf).unwrap().unwrap();
+        assert_eq!(n, buf.len());
+        assert_eq!(got, Response::ReplAck { shard: 7, seq: 900 });
+    }
+
+    #[test]
+    fn repl_batch_rejects_malformed_bodies() {
+        // Truncated header.
+        let mut buf = Vec::new();
+        frame_header(&mut buf, OP_REPL_BATCH, 5);
+        buf.extend_from_slice(&[0; 5]);
+        let f = decode_frame(&buf).unwrap().unwrap();
+        assert!(matches!(
+            parse_request(&f).unwrap_err(),
+            WireError::BadPayload { .. }
+        ));
+
+        // count = 0.
+        let mut buf = Vec::new();
+        frame_header(&mut buf, OP_REPL_BATCH, REPL_HEADER);
+        buf.extend_from_slice(&[0; REPL_HEADER]);
+        let f = decode_frame(&buf).unwrap().unwrap();
+        assert!(parse_request(&f).is_err());
+
+        // Entry with an unknown kind byte.
+        let mut buf = Vec::new();
+        frame_header(&mut buf, OP_REPL_BATCH, REPL_HEADER + 1);
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.push(9);
+        let f = decode_frame(&buf).unwrap().unwrap();
+        assert!(parse_request(&f).is_err());
+
+        // Valid single-entry batch with trailing garbage.
+        let mut good = Vec::new();
+        encode_repl_batch(&mut good, 0, 1, &[ReplOp::Del { key: b"k" }]);
+        let mut buf = good[..PREFIX].to_vec();
+        let len = u32::from_le_bytes([good[0], good[1], good[2], good[3]]) + 1;
+        buf.clear();
+        buf.extend_from_slice(&len.to_le_bytes());
+        buf.extend_from_slice(&good[PREFIX..]);
+        buf.push(0xEE);
+        let f = decode_frame(&buf).unwrap().unwrap();
+        assert!(parse_request(&f).is_err());
+    }
+
+    #[test]
+    fn repl_frames_may_not_ride_in_multi() {
+        for build in [
+            |nested: &mut Vec<u8>| encode_repl_batch(nested, 0, 1, &[ReplOp::Del { key: b"k" }]),
+            |nested: &mut Vec<u8>| encode_request(nested, &Request::Promote),
+        ] {
+            let mut nested = Vec::new();
+            build(&mut nested);
+            let mut buf = Vec::new();
+            frame_header(&mut buf, OP_MULTI, 2 + nested.len());
+            buf.extend_from_slice(&1u16.to_le_bytes());
+            buf.extend_from_slice(&nested);
+            let f = decode_frame(&buf).unwrap().unwrap();
+            let err = parse_request(&f).unwrap_err();
+            assert!(matches!(err, WireError::BadPayload { .. }), "{err:?}");
+            assert!(!err.is_envelope());
+        }
     }
 
     #[test]

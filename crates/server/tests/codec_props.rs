@@ -9,8 +9,9 @@
 
 use proptest::prelude::*;
 use spp_server::wire::{
-    decode_frame, decode_request, decode_response, encode_multi_request, encode_request,
-    encode_response, parse_request, Request, Response, WireError, MAX_FRAME, PREFIX,
+    decode_frame, decode_request, decode_response, encode_multi_request, encode_repl_batch,
+    encode_request, encode_response, parse_request, ReplOp, Request, Response, WireError,
+    MAX_FRAME, PREFIX,
 };
 
 /// Owned mirror of [`Request`] so strategies can generate storage.
@@ -169,6 +170,29 @@ fn check_fragmented_delivery(
     Ok(())
 }
 
+/// Owned mirror of [`ReplOp`] so strategies can generate storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ORepl {
+    Put(Vec<u8>, Vec<u8>),
+    Del(Vec<u8>),
+}
+
+impl ORepl {
+    fn as_wire(&self) -> ReplOp<'_> {
+        match self {
+            ORepl::Put(k, v) => ReplOp::Put { key: k, value: v },
+            ORepl::Del(k) => ReplOp::Del { key: k },
+        }
+    }
+}
+
+fn repl_op_strategy() -> impl Strategy<Value = ORepl> {
+    prop_oneof![
+        (bytes(48), bytes(160)).prop_map(|(k, v)| ORepl::Put(k, v)),
+        bytes(48).prop_map(ORepl::Del),
+    ]
+}
+
 fn text(max: usize) -> impl Strategy<Value = String> {
     bytes(max).prop_map(|b| b.into_iter().map(|c| (c % 95 + 32) as char).collect())
 }
@@ -303,7 +327,7 @@ proptest! {
     /// stream: the next (valid) frame still decodes.
     #[test]
     fn body_errors_resync_at_frame_boundary(
-        bad_op in 0x09u8..0x80,
+        bad_op in 0x0Bu8..0x80,
         junk in bytes(32),
         follow in req_strategy(),
     ) {
@@ -368,6 +392,84 @@ proptest! {
         let frame = decode_frame(&buf).unwrap().unwrap();
         prop_assert_eq!(frame.consumed, buf.len());
         match parse_request(&frame) {
+            Err(WireError::BadPayload { .. }) => {}
+            other => prop_assert!(false, "expected BadPayload, got {:?}", other),
+        }
+    }
+
+    /// encode→decode is the identity on `REPL_BATCH` frames — shard, seq,
+    /// and every op survive byte-exactly, and re-encoding the parsed body
+    /// reproduces the original frame bit for bit (the backup can relay a
+    /// batch without ever owning it).
+    #[test]
+    fn repl_batch_roundtrips_byte_exact(
+        shard in any::<u32>(),
+        seq in any::<u64>(),
+        ops in prop::collection::vec(repl_op_strategy(), 1..12),
+    ) {
+        let mut buf = Vec::new();
+        let wire: Vec<ReplOp<'_>> = ops.iter().map(ORepl::as_wire).collect();
+        encode_repl_batch(&mut buf, shard, seq, &wire);
+        let (got, n) = decode_request(&buf).unwrap().unwrap();
+        prop_assert_eq!(n, buf.len());
+        prop_assert!(matches!(got, Request::ReplBatch(_)), "expected ReplBatch, got {:?}", got);
+        let Request::ReplBatch(body) = got else {
+            unreachable!()
+        };
+        prop_assert_eq!(body.shard, shard);
+        prop_assert_eq!(body.seq, seq);
+        prop_assert_eq!(usize::from(body.count()), ops.len());
+        let decoded: Vec<ReplOp<'_>> = body.ops().collect();
+        prop_assert_eq!(&decoded, &wire);
+        // Re-encoding the borrowed body is byte-identical.
+        let mut again = Vec::new();
+        encode_request(&mut again, &Request::ReplBatch(body));
+        prop_assert_eq!(&again, &buf);
+    }
+
+    /// Fuzzed `REPL_BATCH` bodies — arbitrary declared counts over junk
+    /// entry bytes — never panic and never desync: any rejection is a body
+    /// error at a known frame boundary, and the following valid frame
+    /// still decodes. A backup fed garbage by a confused primary stays up.
+    #[test]
+    fn malformed_repl_batch_never_panics_or_desyncs(
+        header in bytes(20),
+        junk in bytes(64),
+        follow in req_strategy(),
+    ) {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((1 + header.len() + junk.len()) as u32).to_le_bytes());
+        buf.push(0x09); // OP_REPL_BATCH
+        buf.extend_from_slice(&header);
+        buf.extend_from_slice(&junk);
+        encode_request(&mut buf, &follow.as_wire());
+
+        let frame = decode_frame(&buf).unwrap().unwrap();
+        match parse_request(&frame) {
+            // Junk that happens to be a valid batch must iterate cleanly.
+            Ok(Request::ReplBatch(body)) => {
+                prop_assert_eq!(body.ops().count(), usize::from(body.count()));
+            }
+            Ok(other) => prop_assert!(false, "REPL_BATCH opcode parsed as {:?}", other),
+            Err(e) => prop_assert!(!e.is_envelope()),
+        }
+        let (got, n) = decode_request(&buf[frame.consumed..]).unwrap().unwrap();
+        prop_assert_eq!(got, follow.as_wire());
+        prop_assert_eq!(frame.consumed + n, buf.len());
+    }
+
+    /// A truncated `REPL_ACK` (anything but exactly 12 payload bytes) is a
+    /// typed body error, never a panic, and the stream resyncs.
+    #[test]
+    fn short_repl_ack_is_contained(junk in bytes(11)) {
+        prop_assume!(junk.len() != 12);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((1 + junk.len()) as u32).to_le_bytes());
+        buf.push(0x88); // OP_REPL_ACK
+        buf.extend_from_slice(&junk);
+        let frame = decode_frame(&buf).unwrap().unwrap();
+        prop_assert_eq!(frame.consumed, buf.len());
+        match spp_server::wire::parse_response(&frame) {
             Err(WireError::BadPayload { .. }) => {}
             other => prop_assert!(false, "expected BadPayload, got {:?}", other),
         }

@@ -1,0 +1,99 @@
+//! Property tests for the consistent-hash ring that routes keys to
+//! shards.
+//!
+//! Two load-bearing claims: placement is *balanced* (no shard starves or
+//! drowns, within the tolerance 64 virtual nodes buy), and resizing is
+//! *minimal* (growing from N to N+1 shards moves keys only onto the new
+//! shard, and only about a 1/(N+1) fraction of them — equivalently,
+//! removing the last shard scatters only that shard's keys). Clients
+//! mirror this ring to pick endpoints, so these properties bound both
+//! server skew and the rehash traffic a topology change causes.
+
+use proptest::prelude::*;
+use spp_server::Ring;
+
+/// Distinct, well-spread 16-byte keys derived from a seed — proptest
+/// drives the seed, the multiplier spreads the sequence.
+fn keys(seed: u64, n: usize) -> Vec<[u8; 16]> {
+    (0..n as u64)
+        .map(|i| {
+            let x = seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut k = [0u8; 16];
+            k[..8].copy_from_slice(&x.to_le_bytes());
+            k[8..].copy_from_slice(&x.rotate_left(31).to_le_bytes());
+            k
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every shard owns a share of random keys within a constant factor
+    /// of the fair share — the skew the loadgen reports stays bounded.
+    #[test]
+    fn placement_is_balanced_within_tolerance(
+        seed in any::<u64>(),
+        shards in 2u32..=8,
+    ) {
+        const N: usize = 2000;
+        let ring = Ring::new(shards);
+        let mut counts = vec![0usize; shards as usize];
+        for k in keys(seed, N) {
+            counts[ring.shard_of(&k) as usize] += 1;
+        }
+        let mean = N as f64 / shards as f64;
+        for (s, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                (c as f64) > mean * 0.35 && (c as f64) < mean * 2.2,
+                "shard {} owns {} of {} keys (mean {:.0}): {:?}",
+                s, c, N, mean, counts
+            );
+        }
+    }
+
+    /// Growing the ring by one shard is a *minimal* remap: a key either
+    /// keeps its owner or moves to the new shard — never between old
+    /// shards — and the moved fraction is close to the fair 1/(N+1).
+    /// Read right-to-left, the same walk proves shard removal only
+    /// scatters the removed shard's keys.
+    #[test]
+    fn adding_a_shard_remaps_only_a_fair_fraction_onto_it(
+        seed in any::<u64>(),
+        shards in 1u32..=7,
+    ) {
+        const N: usize = 2000;
+        let old = Ring::new(shards);
+        let new = Ring::new(shards + 1);
+        let mut moved = 0usize;
+        for k in keys(seed, N) {
+            let (a, b) = (old.shard_of(&k), new.shard_of(&k));
+            if a != b {
+                prop_assert_eq!(
+                    b, shards,
+                    "key moved between surviving shards ({} -> {})", a, b
+                );
+                moved += 1;
+            }
+        }
+        let fair = N as f64 / (shards + 1) as f64;
+        prop_assert!(moved > 0, "new shard received nothing");
+        prop_assert!(
+            (moved as f64) < fair * 2.5,
+            "{} of {} keys moved; fair share is {:.0}",
+            moved, N, fair
+        );
+    }
+
+    /// The ring is pure state: two independently built rings of the same
+    /// size agree on every key — the property that lets clients mirror
+    /// server-side routing without any metadata exchange.
+    #[test]
+    fn independent_rings_agree(seed in any::<u64>(), shards in 1u32..=8) {
+        let a = Ring::new(shards);
+        let b = Ring::new(shards);
+        for k in keys(seed, 256) {
+            prop_assert_eq!(a.shard_of(&k), b.shard_of(&k));
+        }
+    }
+}

@@ -8,8 +8,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use spp_server::{
-    fresh_server_pool, Client, ClientError, GroupConfig, IoMode, KvEngine, PolicyKind, Reply,
-    Request, RespKind, Server, ServerConfig,
+    fresh_server_pool, Client, ClientError, GroupConfig, IoMode, KvEngine, PolicyKind, ReplAckMode,
+    ReplConfig, ReplOp, Reply, Request, RespKind, Server, ServerConfig,
 };
 
 /// Every front end each scenario must behave identically under.
@@ -583,6 +583,313 @@ fn epoll_serves_many_idle_connections_without_per_conn_threads() {
     for c in conns.iter_mut() {
         c.ping().unwrap();
     }
+    server.shutdown();
+}
+
+fn start_sharded(kind: PolicyKind, io: IoMode, nshards: usize, cfg: ServerConfig) -> Server {
+    let engines = (0..nshards)
+        .map(|_| {
+            let pool = fresh_server_pool(16 << 20, 4, false).unwrap();
+            Arc::new(KvEngine::create(pool, kind, 256).unwrap())
+        })
+        .collect();
+    Server::start_multi(engines, ("127.0.0.1", 0), ServerConfig { io, ..cfg }).unwrap()
+}
+
+#[test]
+fn sharded_server_routes_by_ring_and_serves_all_keys() {
+    for io in IO_MODES {
+        let server = start_sharded(PolicyKind::Spp, io, 3, ServerConfig::default());
+        let mut c = connect(&server);
+        for i in 0..90u64 {
+            c.put(&key(i), &i.to_le_bytes()).unwrap();
+        }
+        // Every key reads back through the front door, whichever shard
+        // owns it.
+        let mut out = Vec::new();
+        for i in 0..90u64 {
+            out.clear();
+            assert!(c.get(&key(i), &mut out).unwrap(), "key {i} lost ({io})");
+            assert_eq!(out, i.to_le_bytes());
+        }
+        // Per-shard placement matches the public ring exactly.
+        let ring = server.ring();
+        let engines = server.engines();
+        let mut expected = vec![0u64; engines.len()];
+        for i in 0..90u64 {
+            expected[ring.shard_of(&key(i)) as usize] += 1;
+        }
+        for (s, engine) in engines.iter().enumerate() {
+            assert_eq!(
+                engine.count().unwrap(),
+                expected[s],
+                "shard {s} holds keys the ring does not assign it ({io})"
+            );
+        }
+        assert!(
+            expected.iter().all(|&n| n > 0),
+            "degenerate ring: {expected:?}"
+        );
+        // STATS reports the shard layout.
+        let stats = c.stats().unwrap();
+        assert!(stats.contains("shards=3"), "{stats}");
+        // A MULTI spanning shards still answers every slot in order.
+        let (k1, k2, k3) = (key(200), key(201), key(202));
+        let replies = c
+            .multi(&[
+                Request::Put {
+                    key: &k1,
+                    value: b"a",
+                },
+                Request::Put {
+                    key: &k2,
+                    value: b"b",
+                },
+                Request::Get { key: &k1 },
+                Request::Del { key: &k3 },
+            ])
+            .unwrap();
+        assert_eq!(
+            replies,
+            vec![
+                Reply::Ok,
+                Reply::Ok,
+                Reply::Value(b"a".to_vec()),
+                Reply::NotFound
+            ]
+        );
+        server.shutdown();
+    }
+}
+
+#[test]
+fn repl_batch_applies_on_backup_and_promote_fences_it() {
+    // Drive the backup role directly over the wire: REPL_BATCH frames
+    // apply through the shard committer, PROMOTE stops further ones.
+    let server = start_sharded(PolicyKind::Spp, IoMode::Threads, 2, ServerConfig::default());
+    let mut c = connect(&server);
+    let (k1, k2) = (key(1), key(2));
+    // A real primary ships each batch to the shard the ring owns the
+    // keys to; front-door GETs route the same way, so the readback only
+    // works if the batch landed on the ring-owned shard.
+    let (s1, s2) = (server.ring().shard_of(&k1), server.ring().shard_of(&k2));
+    let ops = [
+        ReplOp::Put {
+            key: &k1,
+            value: b"replicated",
+        },
+        ReplOp::Put {
+            key: &k2,
+            value: b"doomed",
+        },
+        ReplOp::Del { key: &k2 },
+    ];
+    assert_eq!(
+        c.repl_batch(
+            s1,
+            1,
+            &[ReplOp::Put {
+                key: &k1,
+                value: b"replicated"
+            }]
+        )
+        .unwrap(),
+        (s1, 1)
+    );
+    assert_eq!(
+        c.repl_batch(
+            s2,
+            2,
+            &[
+                ReplOp::Put {
+                    key: &k2,
+                    value: b"doomed"
+                },
+                ReplOp::Del { key: &k2 }
+            ]
+        )
+        .unwrap(),
+        (s2, 2)
+    );
+    let mut out = Vec::new();
+    assert!(c.get(&k1, &mut out).unwrap());
+    assert_eq!(out, b"replicated");
+    assert!(!c.get(&k2, &mut out).unwrap());
+    // Out-of-range shard is refused without desyncing the stream.
+    match c.repl_batch(7, 2, &ops) {
+        Err(ClientError::Remote(msg)) => assert!(msg.contains("shard"), "{msg}"),
+        other => panic!("expected Remote error, got {other:?}"),
+    }
+    c.ping().unwrap();
+    // PROMOTE: acked, and replication input is refused from then on.
+    c.promote().unwrap();
+    assert!(server.is_promoted());
+    match c.repl_batch(0, 2, &ops) {
+        Err(ClientError::Remote(msg)) => assert!(msg.contains("promoted"), "{msg}"),
+        other => panic!("expected Remote error after PROMOTE, got {other:?}"),
+    }
+    // Normal service continues on the promoted server.
+    assert!(c.get(&k1, &mut out).unwrap());
+    c.put(&key(3), b"post-promotion").unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn sync_replication_mirrors_every_acked_write_onto_backup() {
+    for io in IO_MODES {
+        let backup = start_sharded(PolicyKind::Spp, io, 2, ServerConfig::default());
+        let primary = start_sharded(
+            PolicyKind::Spp,
+            io,
+            2,
+            ServerConfig {
+                repl: Some(ReplConfig {
+                    backup: backup.local_addr(),
+                    ack_mode: ReplAckMode::Sync,
+                    drop_batch: None,
+                }),
+                ..ServerConfig::default()
+            },
+        );
+        let mut c = connect(&primary);
+        for i in 0..60u64 {
+            c.put(&key(i), &i.to_le_bytes()).unwrap();
+        }
+        assert!(c.del(&key(0)).unwrap());
+        // Sync mode: each ack above already waited for the backup's
+        // REPL_ACK, so the backup must hold everything right now.
+        let mut b = connect(&backup);
+        let mut out = Vec::new();
+        for i in 1..60u64 {
+            out.clear();
+            assert!(
+                b.get(&key(i), &mut out).unwrap(),
+                "backup lost key {i} ({io})"
+            );
+            assert_eq!(out, i.to_le_bytes());
+        }
+        assert!(
+            !b.get(&key(0), &mut out).unwrap(),
+            "deleted key resurrected"
+        );
+        let rs = primary.repl_stats().expect("primary has repl sinks");
+        assert!(rs.shipped > 0, "{rs:?}");
+        assert_eq!(rs.dropped, 0);
+        assert_eq!(rs.failed, 0);
+        primary.shutdown();
+        backup.shutdown();
+    }
+}
+
+#[test]
+fn async_replication_catches_up_and_cut_stream_fails_sync_acks() {
+    // Async mode: acks don't wait, but the backup converges.
+    let backup = start_sharded(PolicyKind::Spp, IoMode::Threads, 2, ServerConfig::default());
+    let primary = start_sharded(
+        PolicyKind::Spp,
+        IoMode::Threads,
+        2,
+        ServerConfig {
+            repl: Some(ReplConfig {
+                backup: backup.local_addr(),
+                ack_mode: ReplAckMode::Async,
+                drop_batch: None,
+            }),
+            ..ServerConfig::default()
+        },
+    );
+    let mut c = connect(&primary);
+    for i in 0..40u64 {
+        c.put(&key(i), b"async").unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let total: u64 = backup.engines().iter().map(|e| e.count().unwrap()).sum();
+        if total == 40 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "backup never converged ({total}/40)"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    primary.shutdown();
+    backup.shutdown();
+
+    // Sync mode with the stream cut: the client must NOT get OK for a
+    // write the backup never saw.
+    let backup = start_sharded(PolicyKind::Spp, IoMode::Threads, 1, ServerConfig::default());
+    let primary = start_sharded(
+        PolicyKind::Spp,
+        IoMode::Threads,
+        1,
+        ServerConfig {
+            repl: Some(ReplConfig {
+                backup: backup.local_addr(),
+                ack_mode: ReplAckMode::Sync,
+                drop_batch: None,
+            }),
+            ..ServerConfig::default()
+        },
+    );
+    let mut c = connect(&primary);
+    c.put(&key(1), b"before-cut").unwrap();
+    primary.debug_cut_replication();
+    match c.put(&key(2), b"after-cut") {
+        Err(ClientError::Remote(msg)) => assert!(msg.contains("not replicated"), "{msg}"),
+        other => panic!("acked a write the backup cannot hold: {other:?}"),
+    }
+    primary.shutdown();
+    backup.shutdown();
+}
+
+#[test]
+fn parked_epoll_run_fails_cleanly_when_committer_closes() {
+    // The BUSY-gap cousin: a run parked on a saturated queue whose shard
+    // committer then shuts down must get explicit errors and a clean
+    // close — not a parked-forever hang.
+    let server = start_io(
+        PolicyKind::Spp,
+        IoMode::Epoll,
+        ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    stall_pool(&server, Duration::from_millis(1500));
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    let t = std::thread::spawn(move || {
+        let mut c = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+        let k = key(1);
+        // This run parks: both worker slots are held by sleepers.
+        let result = c.pipeline(&[
+            Request::Put {
+                key: &k,
+                value: b"v",
+            },
+            Request::Ping,
+        ]);
+        let _ = tx.send(result);
+    });
+    // Give the run time to reach the parked state, then shut the
+    // committer down underneath it.
+    std::thread::sleep(Duration::from_millis(300));
+    server.debug_close_committers();
+    match rx.recv_timeout(Duration::from_secs(10)) {
+        Ok(Ok(replies)) => {
+            assert!(
+                matches!(&replies[0], Reply::Err(msg) if msg.contains("shutting down")),
+                "parked PUT must fail explicitly, got {replies:?}"
+            );
+        }
+        Ok(Err(e)) => panic!("pipeline errored instead of answering: {e}"),
+        Err(_) => panic!("parked run hung after committer shutdown"),
+    }
+    t.join().unwrap();
     server.shutdown();
 }
 
