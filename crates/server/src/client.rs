@@ -330,6 +330,21 @@ impl Client {
         }
     }
 
+    /// `REPL_HELLO`: announce this primary's shard count on a replication
+    /// connection. The backup acks `OK` only when its own layout matches,
+    /// refusing cross-layout replication before any batch ships.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`]; a mismatch (or a promoted backup) answers `ERR`,
+    /// surfaced as [`ClientError::Remote`].
+    pub fn repl_hello(&mut self, shards: u32) -> Result<(), ClientError> {
+        self.roundtrip(&Request::ReplHello { shards }, |resp| match resp {
+            Response::Ok => Ok(()),
+            _ => Err(ClientError::Unexpected("REPL_HELLO wants OK")),
+        })
+    }
+
     /// `PROMOTE`: flip a backup into a primary. Acked with `OK` after
     /// every shard has been fenced.
     ///

@@ -63,6 +63,12 @@ pub(crate) enum OwnedRequest {
     },
     /// `PROMOTE`: become a primary, refuse further replication.
     Promote,
+    /// `REPL_HELLO`: a primary opening a replication connection announces
+    /// its shard count for layout verification.
+    ReplHello {
+        /// The primary's shard count.
+        shards: u32,
+    },
 }
 
 /// A worker's reply, written back on the connection in request order.
@@ -132,6 +138,7 @@ pub(crate) fn owned_of(req: &Request<'_>) -> Option<OwnedRequest> {
                 .collect(),
         }),
         Request::Promote => Some(OwnedRequest::Promote),
+        Request::ReplHello { shards } => Some(OwnedRequest::ReplHello { shards: *shards }),
         Request::Shutdown => None,
     }
 }

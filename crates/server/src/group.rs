@@ -63,6 +63,18 @@ struct Pending {
 struct Inner {
     queue: VecDeque<Pending>,
     closed: bool,
+    /// Set by [`GroupCommitter::seal_repl`]: replication submissions are
+    /// refused from here on (promotion fences this server's state).
+    repl_sealed: bool,
+}
+
+/// Recover a lock (or condvar wait) result even if the mutex was poisoned
+/// by a panicking committer thread: the `Inner` state is a plain queue +
+/// flags with no invariant a panic can corrupt mid-update, and `is_closed`
+/// must keep working after a committer dies or parked epoll runs would
+/// never be failed over.
+fn relock<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Handle to the committer thread. Cheap to share ([`Arc`] it); shut down
@@ -83,12 +95,15 @@ pub struct GroupCommitter {
 pub enum SubmitError {
     /// The committer is shut down (server stopping).
     Closed,
+    /// Replication submissions are sealed (this server was promoted).
+    Sealed,
 }
 
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SubmitError::Closed => write!(f, "group committer is closed"),
+            SubmitError::Sealed => write!(f, "promoted: no longer accepting replication"),
         }
     }
 }
@@ -113,6 +128,7 @@ impl GroupCommitter {
                 Mutex::new(Inner {
                     queue: VecDeque::new(),
                     closed: false,
+                    repl_sealed: false,
                 }),
                 Condvar::new(),
             )),
@@ -140,22 +156,75 @@ impl GroupCommitter {
     /// [`SubmitError::Closed`] once [`close`](Self::close) has run; the
     /// writes were not applied.
     pub fn submit(&self, ops: Vec<WriteOp>) -> Result<Vec<WriteReply>, SubmitError> {
+        self.submit_inner(ops, false)
+    }
+
+    /// [`submit`](Self::submit) for replicated batches arriving from a
+    /// primary: additionally refused with [`SubmitError::Sealed`] once
+    /// [`seal_repl`](Self::seal_repl) has run. The seal is checked under
+    /// the same lock that enqueues, so no replication batch can slip in
+    /// after a promotion's seal+drain.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`] or [`SubmitError::Sealed`]; the writes were
+    /// not applied.
+    pub(crate) fn submit_repl(&self, ops: Vec<WriteOp>) -> Result<Vec<WriteReply>, SubmitError> {
+        self.submit_inner(ops, true)
+    }
+
+    fn submit_inner(&self, ops: Vec<WriteOp>, repl: bool) -> Result<Vec<WriteReply>, SubmitError> {
         if ops.is_empty() {
             return Ok(Vec::new());
         }
         let (tx, rx) = sync_channel(1);
         {
             let (lock, cv) = &*self.state;
-            let mut g = lock.lock().unwrap();
+            let mut g = relock(lock.lock());
             if g.closed {
                 return Err(SubmitError::Closed);
+            }
+            if repl && g.repl_sealed {
+                return Err(SubmitError::Sealed);
             }
             g.queue.push_back(Pending { ops, reply: tx });
             cv.notify_one();
         }
-        // The committer drains the queue before exiting, so a recv error
-        // means it died without serving us (post-close race).
+        // The committer drains the queue before exiting (even on a panic,
+        // via its exit guard the senders are dropped), so a recv error
+        // means it died without serving us.
         rx.recv().map_err(|_| SubmitError::Closed)
+    }
+
+    /// Refuse all future [`submit_repl`](Self::submit_repl) calls. Part of
+    /// the promotion fence: seal, then [`barrier`](Self::barrier), then
+    /// fence — anything replicated that beat the seal commits before the
+    /// barrier returns.
+    pub(crate) fn seal_repl(&self) {
+        let (lock, cv) = &*self.state;
+        let mut g = relock(lock.lock());
+        g.repl_sealed = true;
+        cv.notify_all();
+    }
+
+    /// Block until every submission enqueued before this call has been
+    /// served (or the committer is closed/dead). Implemented as an empty
+    /// sentinel submission: the committer answers it in arrival order.
+    pub(crate) fn barrier(&self) {
+        let (tx, rx) = sync_channel(1);
+        {
+            let (lock, cv) = &*self.state;
+            let mut g = relock(lock.lock());
+            if g.closed {
+                return;
+            }
+            g.queue.push_back(Pending {
+                ops: Vec::new(),
+                reply: tx,
+            });
+            cv.notify_one();
+        }
+        let _ = rx.recv();
     }
 
     /// (batches committed, ops committed through batches) so far.
@@ -178,10 +247,12 @@ impl GroupCommitter {
         }
     }
 
-    /// Whether [`close`](Self::close) has run: new submissions are being
-    /// rejected, and a run parked on a full queue can never be served.
+    /// Whether the committer can no longer serve submissions — because
+    /// [`close`](Self::close) ran, or because the committer thread died
+    /// (its exit guard flips the flag even on a panic). Either way a run
+    /// parked on a full queue can never be served and must fail cleanly.
     pub fn is_closed(&self) -> bool {
-        self.state.0.lock().unwrap().closed
+        relock(self.state.0.lock()).closed
     }
 
     /// Stop the committer: reject new submissions, drain what is queued,
@@ -189,16 +260,32 @@ impl GroupCommitter {
     pub fn close(&self) {
         {
             let (lock, cv) = &*self.state;
-            let mut g = lock.lock().unwrap();
+            let mut g = relock(lock.lock());
             g.closed = true;
             cv.notify_all();
         }
-        if let Some(handle) = self.thread.lock().unwrap().take() {
+        if let Some(handle) = relock(self.thread.lock()).take() {
             let _ = handle.join();
         }
     }
 
     fn run(&self, engine: &KvEngine) {
+        // If this thread exits for ANY reason — including a panic in the
+        // engine or replication path — the committer must read as closed
+        // and queued submitters must be released (dropping their reply
+        // senders errors them out). Without this, a dead committer would
+        // leave is_closed() false and wedge parked epoll runs forever.
+        struct CloseOnExit<'a>(&'a GroupCommitter);
+        impl Drop for CloseOnExit<'_> {
+            fn drop(&mut self) {
+                let (lock, cv) = &*self.0.state;
+                let mut g = relock(lock.lock());
+                g.closed = true;
+                g.queue.clear();
+                cv.notify_all();
+            }
+        }
+        let _close_guard = CloseOnExit(self);
         loop {
             let batch = match self.gather() {
                 Some(batch) => batch,
@@ -212,17 +299,32 @@ impl GroupCommitter {
                 all_ops.extend(p.ops.iter().cloned());
             }
             let mut replies = engine.apply_write_batch(&all_ops);
-            self.batches.fetch_add(1, Ordering::Relaxed);
-            self.batched_ops.fetch_add(total as u64, Ordering::Relaxed);
+            if total > 0 {
+                self.batches.fetch_add(1, Ordering::Relaxed);
+                self.batched_ops.fetch_add(total as u64, Ordering::Relaxed);
+            }
             // Replication rides between the local boundary and the client
-            // acks. Sync mode ships first and fails the whole batch's acks
-            // if the backup did not confirm — a client never sees OK for a
-            // write that is not durable on both sides. Async mode acks
-            // first and ships after (below), trading that guarantee away.
+            // acks. Only ops the engine accepted are shipped — a locally
+            // rejected op (bad key) must not reach the backup, where it
+            // would diverge the streams or be unframeable. Sync mode ships
+            // first and fails the whole batch's acks if the backup did not
+            // confirm — a client never sees OK for a write that is not
+            // durable on both sides. Async mode acks first and ships after
+            // (below), trading that guarantee away.
+            let to_ship: Vec<WriteOp> = if self.repl.is_some() {
+                all_ops
+                    .iter()
+                    .zip(&replies)
+                    .filter(|(_, r)| !matches!(r, WriteReply::Err(_)))
+                    .map(|(op, _)| op.clone())
+                    .collect()
+            } else {
+                Vec::new()
+            };
             let mut ship_async = false;
             if let Some(repl) = &self.repl {
                 if repl.is_sync() {
-                    if let Err(msg) = repl.ship(&all_ops) {
+                    if let Err(msg) = repl.ship(&to_ship) {
                         // Locally applied but not replicated: refuse the
                         // ack so the write is never counted as durable.
                         for r in &mut replies {
@@ -244,7 +346,7 @@ impl GroupCommitter {
                 if let Some(repl) = &self.repl {
                     // Best effort: the clients were already acked on local
                     // durability alone.
-                    let _ = repl.ship(&all_ops);
+                    let _ = repl.ship(&to_ship);
                 }
             }
         }
@@ -256,7 +358,7 @@ impl GroupCommitter {
     /// and fully drained.
     fn gather(&self) -> Option<Vec<Pending>> {
         let (lock, cv) = &*self.state;
-        let mut g = lock.lock().unwrap();
+        let mut g = relock(lock.lock());
         // Wait for the first submission.
         loop {
             if let Some(p) = g.queue.pop_front() {
@@ -280,7 +382,7 @@ impl GroupCommitter {
                         if now >= deadline {
                             break;
                         }
-                        let (g2, timeout) = cv.wait_timeout(g, deadline - now).unwrap();
+                        let (g2, timeout) = relock(cv.wait_timeout(g, deadline - now));
                         g = g2;
                         while nops < self.cfg.max_batch {
                             match g.queue.pop_front() {
@@ -301,7 +403,7 @@ impl GroupCommitter {
             if g.closed {
                 return None;
             }
-            g = cv.wait(g).unwrap();
+            g = relock(cv.wait(g));
         }
     }
 }
@@ -403,5 +505,41 @@ mod tests {
         let gc = GroupCommitter::start(engine(), GroupConfig::default());
         assert_eq!(gc.submit(Vec::new()).unwrap(), Vec::new());
         gc.close();
+    }
+
+    #[test]
+    fn seal_rejects_replication_but_not_clients() {
+        let engine = engine();
+        let gc = GroupCommitter::start(Arc::clone(&engine), GroupConfig::default());
+        let replies = gc
+            .submit_repl(vec![WriteOp::Put {
+                key: key(1),
+                value: b"before-seal".to_vec(),
+            }])
+            .unwrap();
+        assert_eq!(replies, vec![WriteReply::Ok]);
+
+        gc.seal_repl();
+        let err = gc
+            .submit_repl(vec![WriteOp::Put {
+                key: key(2),
+                value: b"after-seal".to_vec(),
+            }])
+            .unwrap_err();
+        assert_eq!(err, SubmitError::Sealed);
+
+        // The barrier drains cleanly and ordinary client writes still flow.
+        gc.barrier();
+        let replies = gc
+            .submit(vec![WriteOp::Put {
+                key: key(3),
+                value: b"client".to_vec(),
+            }])
+            .unwrap();
+        assert_eq!(replies, vec![WriteReply::Ok]);
+        assert_eq!(engine.count().unwrap(), 2);
+        gc.close();
+        // Post-close, the barrier is a no-op rather than a hang.
+        gc.barrier();
     }
 }

@@ -21,7 +21,7 @@ use std::sync::{Arc, Mutex};
 use crate::client::Client;
 use crate::engine::WriteOp;
 use crate::server::{ReplAckMode, ReplConfig, ReplStats};
-use crate::wire::ReplOp;
+use crate::wire::{repl_entry_size, ReplOp, REPL_MAX_ENTRY_BYTES};
 
 /// One shard's replication stream to the backup.
 pub(crate) struct ReplSink {
@@ -55,7 +55,11 @@ impl ReplSink {
         let counter = Arc::new(AtomicU64::new(0));
         let mut sinks = Vec::with_capacity(nshards);
         for shard in 0..nshards {
-            let client = Client::connect(cfg.backup)?;
+            let mut client = Client::connect(cfg.backup)?;
+            // Handshake: the backup refuses replication unless its shard
+            // layout matches ours, so a misconfigured pair fails at
+            // startup instead of silently misplacing batches.
+            client.repl_hello(nshards as u32)?;
             sinks.push(Arc::new(ReplSink {
                 shard: shard as u32,
                 ack_mode: cfg.ack_mode,
@@ -92,7 +96,11 @@ impl ReplSink {
         }
     }
 
-    /// Ship one committed batch and block for the backup's ack.
+    /// Ship one committed batch and block for the backup's ack. A logical
+    /// batch whose entries exceed one frame's budget is chunked into
+    /// several consecutive `REPL_BATCH` frames, each consuming one
+    /// sequence number, so arbitrarily large group commits never trip the
+    /// encoder's frame-size limits.
     ///
     /// # Errors
     ///
@@ -103,15 +111,17 @@ impl ReplSink {
         if ops.is_empty() {
             return Ok(());
         }
-        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst) + 1;
         let ordinal = self.counter.fetch_add(1, Ordering::SeqCst) + 1;
         if self.cut.load(Ordering::SeqCst) {
             self.failed.fetch_add(1, Ordering::Relaxed);
             return Err("replication stream cut".to_string());
         }
         if self.drop_batch == Some(ordinal) {
-            // Injected fault: claim success without shipping. The failover
-            // rig must catch the resulting hole on the backup.
+            // Injected fault: claim success without shipping — and without
+            // consuming a sequence number, because this models the primary
+            // silently skipping a batch. The backup's sequence check
+            // cannot see the hole; the failover rig must catch it by
+            // reading the backup back.
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return Ok(());
         }
@@ -127,24 +137,109 @@ impl ReplSink {
                 WriteOp::Del { key } => ReplOp::Del { key },
             })
             .collect();
-        match client.repl_batch(self.shard, seq, &borrowed) {
-            Ok((s, q)) if s == self.shard && q == seq => {
-                self.shipped.fetch_add(1, Ordering::Relaxed);
-                Ok(())
+        // Greedy chunking under the frame's entry-byte budget and the
+        // u16 count limit. The first entry of a chunk is always taken, so
+        // the pre-checks below are what keep the encoder's asserts
+        // unreachable: MAX_PUT_PAYLOAD bounds every wire-accepted write,
+        // and ops that never crossed the wire are screened here.
+        let mut start = 0;
+        while start < borrowed.len() {
+            let mut bytes = 0usize;
+            let mut end = start;
+            while end < borrowed.len() && end - start < u16::MAX as usize {
+                let op = &borrowed[end];
+                let sz = repl_entry_size(op);
+                let key_len = match op {
+                    ReplOp::Put { key, .. } | ReplOp::Del { key } => key.len(),
+                };
+                if sz > REPL_MAX_ENTRY_BYTES || key_len > u16::MAX as usize {
+                    *guard = None;
+                    self.failed.fetch_add(1, Ordering::Relaxed);
+                    return Err(format!(
+                        "replication entry of {sz} bytes cannot be framed"
+                    ));
+                }
+                if end > start && bytes + sz > REPL_MAX_ENTRY_BYTES {
+                    break;
+                }
+                bytes += sz;
+                end += 1;
             }
-            Ok((s, q)) => {
-                *guard = None;
-                self.failed.fetch_add(1, Ordering::Relaxed);
-                Err(format!(
-                    "replication ack mismatch: sent ({}, {seq}), got ({s}, {q})",
-                    self.shard
-                ))
+            let seq = self.next_seq.fetch_add(1, Ordering::SeqCst) + 1;
+            match client.repl_batch(self.shard, seq, &borrowed[start..end]) {
+                Ok((s, q)) if s == self.shard && q == seq => {
+                    self.shipped.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok((s, q)) => {
+                    *guard = None;
+                    self.failed.fetch_add(1, Ordering::Relaxed);
+                    return Err(format!(
+                        "replication ack mismatch: sent ({}, {seq}), got ({s}, {q})",
+                        self.shard
+                    ));
+                }
+                Err(e) => {
+                    *guard = None;
+                    self.failed.fetch_add(1, Ordering::Relaxed);
+                    return Err(format!("replication ship failed: {e}"));
+                }
             }
-            Err(e) => {
-                *guard = None;
-                self.failed.fetch_add(1, Ordering::Relaxed);
-                Err(format!("replication ship failed: {e}"))
-            }
+            start = end;
         }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{fresh_server_pool, KvEngine, PolicyKind};
+    use crate::server::{Server, ServerConfig};
+    use spp_kvstore::KEY_SIZE;
+
+    fn key(i: u64) -> Vec<u8> {
+        let mut k = vec![0u8; KEY_SIZE];
+        k[..8].copy_from_slice(&i.to_be_bytes());
+        k
+    }
+
+    #[test]
+    fn oversized_batches_chunk_into_multiple_frames() {
+        let pool = fresh_server_pool(64 << 20, 4, false).unwrap();
+        let engine = Arc::new(KvEngine::create(pool, PolicyKind::Spp, 256).unwrap());
+        let backup = Server::start(engine, ("127.0.0.1", 0), ServerConfig::default()).unwrap();
+        let cfg = ReplConfig {
+            backup: backup.local_addr(),
+            ack_mode: ReplAckMode::Sync,
+            drop_batch: None,
+        };
+        let sinks = ReplSink::connect_all(&cfg, 1).unwrap();
+
+        // ~3 MiB of redo in one logical batch — far past MAX_FRAME — must
+        // ship as several dense-sequenced frames, not panic the caller.
+        let ops: Vec<WriteOp> = (1..=24u64)
+            .map(|i| WriteOp::Put {
+                key: key(i),
+                value: vec![i as u8; 128 << 10],
+            })
+            .collect();
+        sinks[0].ship(&ops).unwrap();
+        let stats = sinks[0].stats();
+        assert!(stats.shipped >= 3, "one frame per ~1MiB expected: {stats:?}");
+        assert_eq!(stats.failed, 0);
+
+        // The stream stays usable: a follow-up batch continues the dense
+        // sequence the backup validates.
+        sinks[0].ship(&[WriteOp::Del { key: key(1) }]).unwrap();
+
+        let engine = Arc::clone(backup.engine());
+        let mut out = Vec::new();
+        assert!(!engine.get(&key(1), &mut out).unwrap());
+        for i in 2..=24u64 {
+            out.clear();
+            assert!(engine.get(&key(i), &mut out).unwrap(), "key {i}");
+            assert_eq!(out, vec![i as u8; 128 << 10]);
+        }
+        backup.shutdown();
     }
 }

@@ -54,7 +54,7 @@
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::str::FromStr;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -221,6 +221,11 @@ pub(crate) struct ShardSet {
     pub(crate) ring: Ring,
     /// Set by a `PROMOTE` frame: this server now refuses `REPL_BATCH`.
     pub(crate) promoted: AtomicBool,
+    /// Backup-side replication cursor per shard: the next `REPL_BATCH`
+    /// sequence number this server will accept. Sequences are dense and
+    /// start at 1; `u64::MAX` marks a poisoned stream (a gap, duplicate,
+    /// or reorder was detected and everything after it is refused).
+    repl_expect: Vec<AtomicU64>,
 }
 
 impl ShardSet {
@@ -242,9 +247,18 @@ impl ShardSet {
         }
     }
 
-    /// Promote this server: fence every shard so the replicated state is
-    /// fully durable, then refuse further `REPL_BATCH` frames.
+    /// Promote this server: seal replication on every committer (checked
+    /// under the committer's own lock, so there is no check-then-enqueue
+    /// window), drain anything replicated that beat the seal, then fence
+    /// every shard and refuse further `REPL_BATCH` frames. Ordering
+    /// matters: nothing replicated can commit after the fence.
     fn promote(&self) {
+        for s in &self.shards {
+            s.committer.seal_repl();
+        }
+        for s in &self.shards {
+            s.committer.barrier();
+        }
         self.fence_all();
         self.promoted.store(true, Ordering::SeqCst);
     }
@@ -375,10 +389,12 @@ impl Server {
                 Shard { engine, committer }
             })
             .collect();
+        let nshards = shards.len();
         let shard_set = Arc::new(ShardSet {
             shards,
             ring,
             promoted: AtomicBool::new(false),
+            repl_expect: (0..nshards).map(|_| AtomicU64::new(1)).collect(),
         });
         let io = cfg.io;
         let n_reactors = cfg.reactors.max(1);
@@ -663,6 +679,20 @@ fn execute(shards: &ShardSet, req: OwnedRequest) -> OwnedResponse {
             OwnedResponse::Ok
         }
         OwnedRequest::Ping => OwnedResponse::Pong,
+        OwnedRequest::ReplHello { shards: n } => {
+            // Layout handshake on a replication connection: refuse a
+            // primary whose shard numbering would not map onto ours.
+            if shards.promoted.load(Ordering::SeqCst) {
+                OwnedResponse::Err("promoted: no longer accepting replication".to_string())
+            } else if n as usize == shards.shards.len() {
+                OwnedResponse::Ok
+            } else {
+                OwnedResponse::Err(format!(
+                    "replication shard count mismatch: primary ships {n} shards, this backup serves {}",
+                    shards.shards.len()
+                ))
+            }
+        }
         // Wire validation rejects nested MULTI; `execute_ops` handles the
         // outer level. Answer defensively rather than panic a worker.
         OwnedRequest::Multi(_) => OwnedResponse::Err("nested MULTI".to_string()),
@@ -674,10 +704,19 @@ fn execute(shards: &ShardSet, req: OwnedRequest) -> OwnedResponse {
     }
 }
 
-/// Apply one replicated batch on the backup side: submit the redo ops to
-/// the owning shard's committer (so the batch commits behind the backup's
-/// *own* durability boundary) and ack with the batch's `(shard, seq)` only
-/// after that boundary. A promoted server refuses — it is a primary now.
+/// Apply one replicated batch on the backup side: validate the per-shard
+/// sequence cursor, submit the redo ops to the owning shard's committer
+/// (so the batch commits behind the backup's *own* durability boundary),
+/// and ack with the batch's `(shard, seq)` only after that boundary. A
+/// promoted server refuses — it is a primary now.
+///
+/// Sequences are dense per shard, so any gap, duplicate, or reorder is a
+/// protocol-visible fault: the batch is rejected and the shard's stream is
+/// poisoned (every later batch on it errors too), rather than silently
+/// applied with the primary and backup diverging. Batches arrive on a
+/// single ordered connection per shard, so exactly one `REPL_BATCH` per
+/// (shard, seq) can be in flight here — the load-validate-store below
+/// never races with itself.
 fn apply_repl_batch(shards: &ShardSet, shard: u32, seq: u64, ops: Vec<WriteOp>) -> OwnedResponse {
     if shards.promoted.load(Ordering::SeqCst) {
         return OwnedResponse::Err("promoted: no longer accepting replication".to_string());
@@ -688,19 +727,38 @@ fn apply_repl_batch(shards: &ShardSet, shard: u32, seq: u64, ops: Vec<WriteOp>) 
             shards.shards.len()
         ));
     };
-    match s.committer.submit(ops) {
+    let cursor = &shards.repl_expect[shard as usize];
+    let expect = cursor.load(Ordering::SeqCst);
+    if expect == u64::MAX {
+        return OwnedResponse::Err(format!(
+            "replication stream for shard {shard} is poisoned by an earlier sequence error"
+        ));
+    }
+    if seq != expect {
+        cursor.store(u64::MAX, Ordering::SeqCst);
+        return OwnedResponse::Err(format!(
+            "replication sequence broken on shard {shard}: expected {expect}, got {seq}"
+        ));
+    }
+    match s.committer.submit_repl(ops) {
         Ok(replies) => {
             // A per-op failure means the backup does NOT hold the batch
-            // verbatim; never ack it as replicated. (A delete's NotFound is
-            // fine — the tombstone state matches the primary either way.)
+            // verbatim; never ack it as replicated — and the stream has
+            // diverged, so poison it. (A delete's NotFound is fine — the
+            // tombstone state matches the primary either way.)
             for r in &replies {
                 if let WriteReply::Err(m) = r {
+                    cursor.store(u64::MAX, Ordering::SeqCst);
                     return OwnedResponse::Err(format!("replicated op failed: {m}"));
                 }
             }
+            cursor.store(expect + 1, Ordering::SeqCst);
             OwnedResponse::ReplAck { shard, seq }
         }
-        Err(e) => OwnedResponse::Err(e.to_string()),
+        Err(e) => {
+            cursor.store(u64::MAX, Ordering::SeqCst);
+            OwnedResponse::Err(e.to_string())
+        }
     }
 }
 

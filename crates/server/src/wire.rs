@@ -17,6 +17,7 @@
 //! | `0x08` | `MULTI`          | `[u16 LE count][count nested frames]`|
 //! | `0x09` | `REPL_BATCH`     | `[u32 LE shard][u64 LE seq][u16 LE count][count entries]` |
 //! | `0x0A` | `PROMOTE`        | empty                                |
+//! | `0x0B` | `REPL_HELLO`     | `[u32 LE shard count]`               |
 //! | `0x80` | `OK`             | empty                                |
 //! | `0x81` | `VALUE`          | `[value]`                            |
 //! | `0x82` | `NOT_FOUND`      | empty                                |
@@ -40,12 +41,19 @@
 //! `REPL_BATCH` is the primary→backup log-shipping frame: the redo payload
 //! of one group-commit batch (`count` put/del entries, each
 //! `[u8 kind][u16 LE klen][key]` plus `[u32 LE vlen][value]` for puts) for
-//! shard `shard`, sequence-numbered per shard. The backup applies it behind
-//! its own durability boundary and answers `REPL_ACK` echoing the same
-//! `(shard, seq)`. `PROMOTE` flips a backup into a primary: it fences every
-//! shard and rejects further `REPL_BATCH`es. Like `SHUTDOWN`, neither
-//! replication frame may ride inside a `MULTI`, and the batch body is
-//! validated eagerly at parse time.
+//! shard `shard`, sequence-numbered per shard. Sequence numbers are dense
+//! (each shipped frame consumes exactly one), so the backup validates them
+//! and poisons the shard's stream on any gap, duplicate, or reorder. A
+//! logical commit batch larger than one frame is chunked by the shipper
+//! into several consecutive `REPL_BATCH`es; [`MAX_PUT_PAYLOAD`] guarantees
+//! every accepted write's entry fits a frame. The backup applies each
+//! frame behind its own durability boundary and answers `REPL_ACK` echoing
+//! the same `(shard, seq)`. `REPL_HELLO` opens a replication connection:
+//! the primary announces its shard count and the backup refuses a
+//! mismatch. `PROMOTE` flips a backup into a primary: it drains in-flight
+//! replication, fences every shard, and rejects further `REPL_BATCH`es.
+//! Like `SHUTDOWN`, no replication frame may ride inside a `MULTI`, and
+//! the batch body is validated eagerly at parse time.
 //!
 //! Decoding is zero-copy: [`decode_frame`] borrows the payload from the
 //! connection buffer and [`parse_request`]/[`parse_response`] return
@@ -65,6 +73,15 @@ pub const MAX_FRAME: usize = 1 << 20;
 /// Envelope size: the `u32` length prefix.
 pub const PREFIX: usize = 4;
 
+/// Hard cap on a `PUT`'s key+value bytes, a shade under [`MAX_FRAME`]. The
+/// slack is what makes every accepted write *replicable*: a redo entry
+/// wraps the same key and value in 7 bytes of entry framing, and the
+/// `REPL_BATCH` frame adds an opcode plus a 14-byte header — without this
+/// cap a maximal `PUT` would be committed locally yet impossible to frame
+/// for the backup. Enforced at parse time (body error) and asserted by the
+/// encoder.
+pub const MAX_PUT_PAYLOAD: usize = MAX_FRAME - 64;
+
 // Request opcodes.
 pub(crate) const OP_PUT: u8 = 0x01;
 pub(crate) const OP_GET: u8 = 0x02;
@@ -76,6 +93,7 @@ pub(crate) const OP_PING: u8 = 0x07;
 pub(crate) const OP_MULTI: u8 = 0x08;
 pub(crate) const OP_REPL_BATCH: u8 = 0x09;
 pub(crate) const OP_PROMOTE: u8 = 0x0A;
+pub(crate) const OP_REPL_HELLO: u8 = 0x0B;
 
 // Response opcodes.
 pub(crate) const OP_OK: u8 = 0x80;
@@ -125,6 +143,13 @@ pub enum Request<'a> {
     /// Promote a backup to primary: fence every shard and stop accepting
     /// `REPL_BATCH`.
     Promote,
+    /// Replication handshake: the primary announces its shard count and
+    /// the backup acks `OK` only when it matches its own layout, so
+    /// mismatched ring configurations are refused before any batch ships.
+    ReplHello {
+        /// The primary's shard count.
+        shards: u32,
+    },
 }
 
 /// A server response, borrowing payload bytes from the receive buffer.
@@ -239,6 +264,20 @@ const REPL_KIND_PUT: u8 = 0;
 const REPL_KIND_DEL: u8 = 1;
 /// Fixed `REPL_BATCH` header: `[u32 shard][u64 seq][u16 count]`.
 const REPL_HEADER: usize = 4 + 8 + 2;
+
+/// Most entry bytes one `REPL_BATCH` frame may carry: [`MAX_FRAME`] minus
+/// the opcode byte and the fixed header. The shipping side chunks a
+/// logical batch into frames that each respect this budget; thanks to
+/// [`MAX_PUT_PAYLOAD`], any single accepted write's entry always fits.
+pub(crate) const REPL_MAX_ENTRY_BYTES: usize = MAX_FRAME - 1 - REPL_HEADER;
+
+/// Encoded size of one redo entry, mirroring [`encode_repl_batch`].
+pub(crate) fn repl_entry_size(op: &ReplOp<'_>) -> usize {
+    match op {
+        ReplOp::Put { key, value } => 1 + 2 + key.len() + 4 + value.len(),
+        ReplOp::Del { key } => 1 + 2 + key.len(),
+    }
+}
 
 /// The validated body of a `REPL_BATCH` frame. Produced only by
 /// [`parse_request`], which verifies every entry up front, so [`ops`]
@@ -464,6 +503,9 @@ pub fn parse_request<'a>(frame: &RawFrame<'a>) -> Result<Request<'a>, WireError>
             if p.len() < 2 + klen {
                 return Err(bad("key length exceeds payload"));
             }
+            if p.len() > 2 + MAX_PUT_PAYLOAD {
+                return Err(bad("key+value exceed MAX_PUT_PAYLOAD"));
+            }
             Ok(Request::Put {
                 key: &p[2..2 + klen],
                 value: &p[2 + klen..],
@@ -478,6 +520,14 @@ pub fn parse_request<'a>(frame: &RawFrame<'a>) -> Result<Request<'a>, WireError>
         OP_MULTI => Ok(Request::Multi(validate_multi(p, frame.opcode, true)?)),
         OP_REPL_BATCH => Ok(Request::ReplBatch(validate_repl_batch(p)?)),
         OP_PROMOTE => expect_empty(p, Request::Promote, bad),
+        OP_REPL_HELLO => {
+            if p.len() != 4 {
+                return Err(bad("REPL_HELLO payload must be 4 bytes"));
+            }
+            Ok(Request::ReplHello {
+                shards: u32::from_le_bytes([p[0], p[1], p[2], p[3]]),
+            })
+        }
         op => Err(WireError::BadOpcode(op)),
     }
 }
@@ -511,7 +561,10 @@ fn validate_multi(p: &[u8], opcode: u8, is_request: bool) -> Result<MultiBody<'_
         if frame.opcode == OP_SHUTDOWN {
             return Err(bad("SHUTDOWN may not ride in a MULTI"));
         }
-        if frame.opcode == OP_REPL_BATCH || frame.opcode == OP_PROMOTE {
+        if frame.opcode == OP_REPL_BATCH
+            || frame.opcode == OP_PROMOTE
+            || frame.opcode == OP_REPL_HELLO
+        {
             return Err(bad("replication frames may not ride in a MULTI"));
         }
         let parsed = if is_request {
@@ -613,15 +666,16 @@ fn frame_header(out: &mut Vec<u8>, opcode: u8, payload_len: usize) {
 ///
 /// # Panics
 ///
-/// Panics if a `PUT` key exceeds `u16::MAX` bytes or the frame would exceed
-/// [`MAX_FRAME`] (the blocking client validates sizes before encoding).
+/// Panics if a `PUT` key exceeds `u16::MAX` bytes or its key+value exceed
+/// [`MAX_PUT_PAYLOAD`] (the blocking client validates sizes before
+/// encoding).
 pub fn encode_request(out: &mut Vec<u8>, req: &Request<'_>) {
     match req {
         Request::Put { key, value } => {
             assert!(key.len() <= u16::MAX as usize, "PUT key too long");
             assert!(
-                1 + 2 + key.len() + value.len() <= MAX_FRAME,
-                "PUT frame exceeds MAX_FRAME"
+                key.len() + value.len() <= MAX_PUT_PAYLOAD,
+                "PUT payload exceeds MAX_PUT_PAYLOAD"
             );
             frame_header(out, OP_PUT, 2 + key.len() + value.len());
             out.extend_from_slice(&(key.len() as u16).to_le_bytes());
@@ -653,6 +707,10 @@ pub fn encode_request(out: &mut Vec<u8>, req: &Request<'_>) {
             out.extend_from_slice(rb.entries);
         }
         Request::Promote => frame_header(out, OP_PROMOTE, 0),
+        Request::ReplHello { shards } => {
+            frame_header(out, OP_REPL_HELLO, 4);
+            out.extend_from_slice(&shards.to_le_bytes());
+        }
     }
 }
 
@@ -716,7 +774,11 @@ pub fn encode_multi_request(out: &mut Vec<u8>, reqs: &[Request<'_>]) {
         assert!(
             !matches!(
                 r,
-                Request::Multi(_) | Request::Shutdown | Request::ReplBatch(_) | Request::Promote
+                Request::Multi(_)
+                    | Request::Shutdown
+                    | Request::ReplBatch(_)
+                    | Request::Promote
+                    | Request::ReplHello { .. }
             ),
             "MULTI may not nest MULTI, SHUTDOWN, or replication frames"
         );
@@ -1169,10 +1231,85 @@ mod tests {
     }
 
     #[test]
+    fn repl_hello_roundtrips_and_rejects_bad_payloads() {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, &Request::ReplHello { shards: 7 });
+        let (got, n) = decode_request(&buf).unwrap().unwrap();
+        assert_eq!(n, buf.len());
+        assert_eq!(got, Request::ReplHello { shards: 7 });
+
+        // Anything but exactly 4 payload bytes is a body error.
+        for plen in [0usize, 3, 5] {
+            let mut buf = Vec::new();
+            frame_header(&mut buf, OP_REPL_HELLO, plen);
+            buf.extend(std::iter::repeat_n(0u8, plen));
+            let f = decode_frame(&buf).unwrap().unwrap();
+            let err = parse_request(&f).unwrap_err();
+            assert!(matches!(err, WireError::BadPayload { .. }), "{plen}");
+            assert!(!err.is_envelope());
+        }
+    }
+
+    #[test]
+    fn put_over_payload_cap_is_body_error() {
+        // Hand-build a PUT whose key+value exceed MAX_PUT_PAYLOAD but whose
+        // frame is still within MAX_FRAME: the envelope is legal, the body
+        // is rejected, and the stream stays in sync.
+        let key = [0u8; 16];
+        let vlen = MAX_PUT_PAYLOAD - key.len() + 1;
+        let mut buf = Vec::new();
+        frame_header(&mut buf, OP_PUT, 2 + key.len() + vlen);
+        buf.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        buf.extend_from_slice(&key);
+        buf.extend(std::iter::repeat_n(0xABu8, vlen));
+        encode_request(&mut buf, &Request::Ping);
+
+        let f = decode_frame(&buf).unwrap().unwrap();
+        let err = parse_request(&f).unwrap_err();
+        assert!(matches!(err, WireError::BadPayload { .. }), "{err:?}");
+        assert!(!err.is_envelope());
+        let (next, _) = decode_request(&buf[f.consumed..]).unwrap().unwrap();
+        assert_eq!(next, Request::Ping);
+
+        // One byte less is accepted — the cap is exact.
+        let vlen = MAX_PUT_PAYLOAD - key.len();
+        let mut buf = Vec::new();
+        frame_header(&mut buf, OP_PUT, 2 + key.len() + vlen);
+        buf.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        buf.extend_from_slice(&key);
+        buf.extend(std::iter::repeat_n(0xABu8, vlen));
+        let f = decode_frame(&buf).unwrap().unwrap();
+        assert!(parse_request(&f).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_PUT_PAYLOAD")]
+    fn encoding_oversized_put_panics() {
+        let value = vec![0u8; MAX_PUT_PAYLOAD + 1];
+        let mut buf = Vec::new();
+        encode_request(
+            &mut buf,
+            &Request::Put {
+                key: b"",
+                value: &value,
+            },
+        );
+    }
+
+    #[test]
+    fn max_put_entry_always_fits_a_repl_frame() {
+        // The invariant MAX_PUT_PAYLOAD exists for: the largest accepted
+        // write's redo entry must fit a REPL_BATCH frame's entry budget.
+        let largest_entry = 1 + 2 + 4 + MAX_PUT_PAYLOAD;
+        assert!(largest_entry <= REPL_MAX_ENTRY_BYTES);
+    }
+
+    #[test]
     fn repl_frames_may_not_ride_in_multi() {
         for build in [
             |nested: &mut Vec<u8>| encode_repl_batch(nested, 0, 1, &[ReplOp::Del { key: b"k" }]),
             |nested: &mut Vec<u8>| encode_request(nested, &Request::Promote),
+            |nested: &mut Vec<u8>| encode_request(nested, &Request::ReplHello { shards: 1 }),
         ] {
             let mut nested = Vec::new();
             build(&mut nested);

@@ -24,6 +24,7 @@ enum OReq {
     Flush,
     Shutdown,
     Ping,
+    ReplHello(u32),
 }
 
 impl OReq {
@@ -36,6 +37,7 @@ impl OReq {
             OReq::Flush => Request::Flush,
             OReq::Shutdown => Request::Shutdown,
             OReq::Ping => Request::Ping,
+            OReq::ReplHello(n) => Request::ReplHello { shards: *n },
         }
     }
 }
@@ -79,6 +81,7 @@ fn req_strategy() -> impl Strategy<Value = OReq> {
         Just(OReq::Flush),
         Just(OReq::Shutdown),
         Just(OReq::Ping),
+        any::<u32>().prop_map(OReq::ReplHello),
     ]
 }
 
@@ -327,7 +330,7 @@ proptest! {
     /// stream: the next (valid) frame still decodes.
     #[test]
     fn body_errors_resync_at_frame_boundary(
-        bad_op in 0x0Bu8..0x80,
+        bad_op in 0x0Cu8..0x80,
         junk in bytes(32),
         follow in req_strategy(),
     ) {

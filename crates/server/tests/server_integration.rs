@@ -684,6 +684,9 @@ fn repl_batch_applies_on_backup_and_promote_fences_it() {
         },
         ReplOp::Del { key: &k2 },
     ];
+    // Sequences are dense *per shard*, starting at 1: the second batch is
+    // seq 2 only when it lands on the same shard as the first.
+    let seq2 = if s2 == s1 { 2 } else { 1 };
     assert_eq!(
         c.repl_batch(
             s1,
@@ -699,7 +702,7 @@ fn repl_batch_applies_on_backup_and_promote_fences_it() {
     assert_eq!(
         c.repl_batch(
             s2,
-            2,
+            seq2,
             &[
                 ReplOp::Put {
                     key: &k2,
@@ -709,7 +712,7 @@ fn repl_batch_applies_on_backup_and_promote_fences_it() {
             ]
         )
         .unwrap(),
-        (s2, 2)
+        (s2, seq2)
     );
     let mut out = Vec::new();
     assert!(c.get(&k1, &mut out).unwrap());
@@ -732,6 +735,89 @@ fn repl_batch_applies_on_backup_and_promote_fences_it() {
     assert!(c.get(&k1, &mut out).unwrap());
     c.put(&key(3), b"post-promotion").unwrap();
     server.shutdown();
+}
+
+#[test]
+fn repl_sequence_gaps_poison_the_shard_stream() {
+    // The backup validates dense per-shard sequences: a gap is rejected
+    // and poisons that shard's stream — even the "missing" seq is refused
+    // afterwards — while other shards and the front door stay live.
+    let server = start_sharded(PolicyKind::Spp, IoMode::Threads, 2, ServerConfig::default());
+    let mut c = connect(&server);
+    let k = key(1);
+    let put = [ReplOp::Put {
+        key: &k,
+        value: b"v",
+    }];
+    assert_eq!(c.repl_batch(0, 1, &put).unwrap(), (0, 1));
+    // Seq 3 after seq 1: a lost batch the protocol must not paper over.
+    match c.repl_batch(0, 3, &put) {
+        Err(ClientError::Remote(msg)) => {
+            assert!(msg.contains("sequence"), "{msg}");
+            assert!(msg.contains("expected 2"), "{msg}");
+        }
+        other => panic!("expected sequence error, got {other:?}"),
+    }
+    // Even the correct next seq is refused now: the stream is poisoned,
+    // because a batch between them was lost for good.
+    match c.repl_batch(0, 2, &put) {
+        Err(ClientError::Remote(msg)) => assert!(msg.contains("poisoned"), "{msg}"),
+        other => panic!("expected poisoned-stream error, got {other:?}"),
+    }
+    // A duplicate on a *fresh* shard stream is caught too (seq must be 1).
+    match c.repl_batch(1, 2, &put) {
+        Err(ClientError::Remote(msg)) => assert!(msg.contains("expected 1"), "{msg}"),
+        other => panic!("expected sequence error, got {other:?}"),
+    }
+    // The front door still serves ordinary traffic.
+    c.put(&key(9), b"front-door").unwrap();
+    let mut out = Vec::new();
+    assert!(c.get(&key(9), &mut out).unwrap());
+    server.shutdown();
+}
+
+#[test]
+fn repl_hello_verifies_shard_count() {
+    let server = start_sharded(PolicyKind::Spp, IoMode::Threads, 2, ServerConfig::default());
+    let mut c = connect(&server);
+    c.repl_hello(2).unwrap();
+    match c.repl_hello(3) {
+        Err(ClientError::Remote(msg)) => assert!(msg.contains("mismatch"), "{msg}"),
+        other => panic!("expected mismatch error, got {other:?}"),
+    }
+    // A promoted server refuses the handshake outright — it is a primary.
+    c.promote().unwrap();
+    match c.repl_hello(2) {
+        Err(ClientError::Remote(msg)) => assert!(msg.contains("promoted"), "{msg}"),
+        other => panic!("expected promoted error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn mismatched_shard_layouts_refuse_to_replicate() {
+    // A 1-shard primary pointed at a 2-shard backup must fail at startup
+    // (the REPL_HELLO handshake), not misplace batches silently.
+    let backup = start_sharded(PolicyKind::Spp, IoMode::Threads, 2, ServerConfig::default());
+    let pool = fresh_server_pool(16 << 20, 4, false).unwrap();
+    let engine = Arc::new(KvEngine::create(pool, PolicyKind::Spp, 256).unwrap());
+    let err = match Server::start_multi(
+        vec![engine],
+        ("127.0.0.1", 0),
+        ServerConfig {
+            repl: Some(ReplConfig {
+                backup: backup.local_addr(),
+                ack_mode: ReplAckMode::Sync,
+                drop_batch: None,
+            }),
+            ..ServerConfig::default()
+        },
+    ) {
+        Err(e) => e,
+        Ok(_) => panic!("mismatched layouts must not start"),
+    };
+    assert!(err.to_string().contains("mismatch"), "{err}");
+    backup.shutdown();
 }
 
 #[test]
